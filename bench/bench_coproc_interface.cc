@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Experiment E8 — the coprocessor interface alternatives.
+ *
+ * The paper walks through four designs:
+ *   1. a coprocessor bit + dedicated instruction bus (~20 pins), with
+ *      register transfers forced through memory;
+ *   2. a 3-bit coprocessor field, still needing the bus;
+ *   3. non-cached coprocessor instructions (no bus) — every coprocessor
+ *      instruction pays an internal cache miss, which floating-point
+ *      traces showed was too expensive;
+ *   4. the final scheme: coprocessor operations as memory operations,
+ *      the instruction riding the address pins, cacheable, with movfrc/
+ *      movtoc register transfers and ldf/stf direct memory access for
+ *      coprocessor 1.
+ *
+ * The harness runs the FP suite under (4) and (3) directly, and models
+ * (1) as (4) plus the memory round trip that replaces each register
+ * transfer, reporting cycles and the pin budget of each.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "isa/decode.hh"
+
+using namespace mipsx;
+using namespace mipsx::bench;
+
+int
+main()
+{
+    banner("E8", "coprocessor interface alternatives (FP suite)",
+           "non-cached coprocessor instructions cost an I-miss each; "
+           "the final address-line scheme caches them and needs ~1 "
+           "extra pin instead of ~20");
+
+    const auto fp = workload::fpWorkloads();
+
+    // How coprocessor-heavy is FP code? (The observation that triggered
+    // the redesign.)
+    std::uint64_t steps = 0, copOps = 0, regMoves = 0;
+    for (const auto &w : fp) {
+        const auto prog = assembler::assemble(w.source, w.name);
+        memory::MainMemory mem;
+        mem.loadProgram(prog);
+        sim::Iss iss({}, mem);
+        iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+        iss.reset(prog.entry);
+        iss.setGpr(isa::reg::sp, 0x70000);
+        if (iss.run() != sim::IssStop::Halt)
+            fatal("fp workload failed");
+        steps += iss.stats().steps;
+        copOps += iss.stats().coprocOps;
+        // Count the register transfers specifically.
+        const auto &text = prog.text();
+        // dynamic counting needs execution; approximate via a re-run
+        // with a branch hook is overkill — walk the static mix instead.
+        (void)text;
+    }
+    // Dynamic register-transfer count via a dedicated run.
+    for (const auto &w : fp) {
+        const auto prog = assembler::assemble(w.source, w.name);
+        memory::MainMemory mem;
+        mem.loadProgram(prog);
+        sim::Iss iss({}, mem);
+        iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+        iss.reset(prog.entry);
+        iss.setGpr(isa::reg::sp, 0x70000);
+        while (!iss.stopped()) {
+            const auto in = isa::decode(
+                mem.read(iss.psw().space(), iss.pc()));
+            if (in.fmt == isa::Format::Mem &&
+                (in.memOp == isa::MemOp::Movfrc ||
+                 in.memOp == isa::MemOp::Movtoc)) {
+                ++regMoves;
+            }
+            iss.step();
+        }
+    }
+    std::printf("FP suite dynamic mix: %llu instructions, %llu "
+                "coprocessor ops (%s), %llu register transfers\n",
+                (unsigned long long)steps, (unsigned long long)copOps,
+                stats::Table::pct(double(copOps) / steps).c_str(),
+                (unsigned long long)regMoves);
+
+    stats::Table table("Coprocessor interface comparison (FP suite)",
+                       {"interface", "cycles", "vs final", "extra pins",
+                        "coproc insts cached?"});
+
+    cycle_t finalCycles = 0;
+    {
+        const auto agg = runSuite(fp);
+        if (agg.failures)
+            fatal("fp suite failed under the final interface");
+        finalCycles = agg.cycles;
+        table.addRow({"final: address-line, cached, ldf/stf",
+                      strformat("%llu", (unsigned long long)agg.cycles),
+                      "1.00x", "1 (memory-ignore)", "yes"});
+    }
+    {
+        sim::MachineConfig mc;
+        mc.cpu.coprocNonCachedFetch = true;
+        const auto agg = runSuite(fp, mc);
+        if (agg.failures)
+            fatal("fp suite failed under the non-cached interface");
+        table.addRow({"rejected: non-cached coproc instructions",
+                      strformat("%llu", (unsigned long long)agg.cycles),
+                      strformat("%.2fx",
+                                double(agg.cycles) / finalCycles),
+                      "1 (memory-ignore)", "no (miss per coproc op)"});
+    }
+    {
+        // Dedicated-bus scheme: instructions cached (they travel on
+        // their own bus), but register transfers go through memory:
+        // movfrc/movtoc each become a store + load pair (one extra
+        // instruction and one extra Ecache access ~ 2 cycles).
+        const cycle_t modeled = finalCycles + 2 * regMoves;
+        table.addRow({"rejected: dedicated coprocessor bus",
+                      strformat("%llu (modeled)",
+                                (unsigned long long)modeled),
+                      strformat("%.2fx", double(modeled) / finalCycles),
+                      "~20 (instruction bus)", "yes"});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "Expected shape: the non-cached scheme loses big on FP code "
+        "(every\ncoprocessor op pays the 2-cycle internal miss plus bus "
+        "traffic); the\ndedicated bus matches the final scheme's cycles "
+        "but burns ~20 pins the\npaper preferred to spend elsewhere.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment E2 — the instruction-cache double fetch.
+ *
+ * Paper: initial simulations of the 512-word, 8-way, 4-set, 16-word-block
+ * sub-block cache gave miss rates "over 20%"; fetching back two words per
+ * miss (the missed word and the next one) "almost halves the miss ratio,
+ * driving down the cost of an instruction fetch to that of a single-cycle
+ * miss". Final result with the large benchmarks: 12% miss rate, an
+ * average instruction fetch of 1.24 cycles.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mipsx;
+using namespace mipsx::bench;
+
+int
+main()
+{
+    banner("E2", "I-cache fetch-back width (double fetch)",
+           ">20% miss (1-word fetch) -> ~12% and 1.24 cycles/fetch "
+           "(2-word fetch)");
+
+    // The paper's miss ratios come from 50-270 KByte programs — far
+    // larger than the 512-word cache. The big-code set is that
+    // population; the small algorithmic workloads live in the cache
+    // (their aggregate miss ratio is ~1%) and are reported separately
+    // in bench_cpi_breakdown.
+    const auto suite = workload::bigCodeWorkloads();
+    stats::Table table(
+        "Instruction cache fetch-back study (large-code programs)",
+                       {"configuration", "miss ratio", "fetch cost",
+                        "icache stalls/instr", "cpi"});
+
+    struct Row
+    {
+        const char *name;
+        unsigned fetchWords;
+        bool allocCross;
+        bool enabled;
+    };
+    const Row rows[] = {
+        {"1-word fetch-back", 1, false, true},
+        {"2-word fetch-back (the design)", 2, false, true},
+        {"2-word + cross-block allocate", 2, true, true},
+        {"cache disabled (test feature)", 1, false, false},
+    };
+
+    for (const auto &row : rows) {
+        sim::MachineConfig mc;
+        mc.cpu.icache.fetchWords = row.fetchWords;
+        mc.cpu.icache.allocCrossBlock = row.allocCross;
+        mc.cpu.icache.enabled = row.enabled;
+        const auto agg = runSuite(suite, mc);
+        if (agg.failures)
+            fatal("suite failures in the I-cache study");
+        table.addRow({row.name,
+                      stats::Table::pct(agg.icacheMissRatio()),
+                      stats::Table::num(agg.avgFetchCost(), 2),
+                      stats::Table::num(double(agg.icacheStalls) /
+                                            double(agg.committed),
+                                        3),
+                      stats::Table::num(agg.cpi(), 2)});
+    }
+    table.print(std::cout);
+
+    // Replacement-policy ablation (the paper fixed the organisation but
+    // the model exposes the remaining design freedom).
+    stats::Table repl("Replacement-policy ablation (2-word fetch-back)",
+                      {"policy", "miss ratio", "fetch cost"});
+    const std::pair<const char *, memory::IReplPolicy> policies[] = {
+        {"LRU", memory::IReplPolicy::Lru},
+        {"FIFO", memory::IReplPolicy::Fifo},
+        {"random", memory::IReplPolicy::Random},
+    };
+    for (const auto &[name, pol] : policies) {
+        sim::MachineConfig mc;
+        mc.cpu.icache.repl = pol;
+        const auto agg = runSuite(suite, mc);
+        if (agg.failures)
+            fatal("suite failures in the replacement ablation");
+        repl.addRow({name, stats::Table::pct(agg.icacheMissRatio()),
+                     stats::Table::num(agg.avgFetchCost(), 2)});
+    }
+    repl.print(std::cout);
+
+    std::printf("Expected shape: the 2-word fetch-back roughly halves "
+                "the 1-word miss ratio\nand pulls the average fetch "
+                "cost toward the single-cycle-miss ideal.\n");
+    return 0;
+}

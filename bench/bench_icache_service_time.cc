@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment E3 — miss service time vs miss ratio.
+ *
+ * Paper: "the performance of the cache was more sensitive to the miss
+ * service time than the miss ratio. ... By placing the tag and valid-bit
+ * stores in the datapath close to the PC unit a 2-cycle miss could be
+ * realized. This lengthened the datapath by the number of cache tags and
+ * meant that we could not have smaller block sizes ... However, the
+ * benefits of having fewer cache miss cycles far outweighed the slightly
+ * lower miss rates achievable by having smaller blocks."
+ *
+ * The sweep crosses block size (smaller blocks -> more tags -> the tags
+ * no longer fit in the datapath -> a 3-cycle miss) with the miss service
+ * time, holding the 512-word capacity and 8-way associativity constant.
+ * The paper's tradeoff is the comparison between:
+ *   - small blocks + 3-cycle miss (tags far away), and
+ *   - 16-word blocks + 2-cycle miss (the design point).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mipsx;
+using namespace mipsx::bench;
+
+int
+main()
+{
+    banner("E3", "I-cache miss service time vs block size",
+           "2-cycle miss with 16-word blocks beats lower-miss-rate "
+           "smaller blocks at 3 cycles");
+
+    const auto suite = workload::bigCodeWorkloads();
+    stats::Table table(
+        "Average fetch cost (cycles), 512 words, 8-way, large-code programs",
+        {"block words", "tags", "miss ratio", "penalty=1", "penalty=2",
+         "penalty=3"});
+
+    for (const unsigned block : {4u, 8u, 16u, 32u}) {
+        const unsigned sets = 512 / (8 * block);
+        std::vector<std::string> cells;
+        cells.push_back(strformat("%u", block));
+        cells.push_back(strformat("%u", sets * 8));
+        double miss_ratio = 0;
+        std::vector<std::string> costs;
+        for (const unsigned penalty : {1u, 2u, 3u}) {
+            sim::MachineConfig mc;
+            mc.cpu.icache.blockWords = block;
+            mc.cpu.icache.sets = sets;
+            mc.cpu.icache.missPenalty = penalty;
+            const auto agg = runSuite(suite, mc);
+            if (agg.failures)
+                fatal("suite failures in the service-time study");
+            miss_ratio = agg.icacheMissRatio();
+            costs.push_back(stats::Table::num(agg.avgFetchCost(), 3));
+        }
+        cells.push_back(stats::Table::pct(miss_ratio));
+        for (auto &c : costs)
+            cells.push_back(std::move(c));
+        table.addRow(std::move(cells));
+    }
+    table.print(std::cout);
+
+    // Associativity sweep at the design's 16-word blocks (the axis the
+    // companion I-cache paper explores; the chip chose 8-way x 4 sets).
+    stats::Table assoc("Associativity sweep (512 words, 16-word blocks, "
+                       "penalty 2)",
+                       {"ways", "sets", "miss ratio", "fetch cost"});
+    for (const unsigned ways : {1u, 2u, 4u, 8u}) {
+        sim::MachineConfig mc;
+        mc.cpu.icache.ways = ways;
+        mc.cpu.icache.sets = 512 / (16 * ways);
+        const auto agg = runSuite(suite, mc);
+        if (agg.failures)
+            fatal("suite failures in the associativity sweep");
+        assoc.addRow({strformat("%u", ways),
+                      strformat("%u", 512 / (16 * ways)),
+                      stats::Table::pct(agg.icacheMissRatio()),
+                      stats::Table::num(agg.avgFetchCost(), 3)});
+    }
+    assoc.print(std::cout);
+
+    std::printf(
+        "Reading the block table the paper's way: compare 'small blocks "
+        "@ penalty 3'\n(tags pushed out of the datapath) against "
+        "'16-word blocks @ penalty 2'\n(the design): the service-time "
+        "advantage dominates the miss-ratio advantage.\n");
+    return 0;
+}

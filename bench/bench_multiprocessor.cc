@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Experiment E12 (extension) — the MIPS-X multiprocessor goal.
+ *
+ * Paper, introduction: "The goal of the MIPS-X project was to ... build
+ * a single processor with a peak rate of 20 MIPS and then to use 6-10 of
+ * these processors as the nodes in a shared memory multiprocessor. The
+ * resulting machine would be about two orders of magnitude more powerful
+ * than a VAX 11/780 minicomputer."
+ *
+ * The single-chip paper never evaluates the multiprocessor; this harness
+ * does, on the substrate the project planned around: N pipelined CPUs
+ * with private I-caches and Ecaches on one arbitrated memory bus with
+ * invalidate-on-write snooping. Two parallel workloads bracket the
+ * space: a memory-bound strided sum (bus-limited) and a compute-bound
+ * polynomial (near-linear).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "mp/multi_machine.hh"
+#include "reorg/scheduler.hh"
+
+using namespace mipsx;
+using namespace mipsx::bench;
+
+int
+main()
+{
+    banner("E12 (extension)", "the 6-10 CPU shared-memory multiprocessor",
+           "~two orders of magnitude over a VAX 11/780 (~0.5 MIPS)");
+
+    for (const auto &w : workload::parallelWorkloads()) {
+        const auto prog = assembler::assemble(w.source, w.name + ".s");
+        const auto sched = reorg::reorganize(prog, {}, nullptr);
+
+        stats::Table table(
+            strformat("%s — %s", w.name.c_str(), w.description.c_str()),
+            {"cpus", "cycles", "speedup", "efficiency", "bus busy",
+             "bus wait", "invals", "agg MIPS@20MHz", "x VAX"});
+
+        cycle_t base = 0;
+        for (const unsigned cpus : {1u, 2u, 4u, 6u, 8u, 10u}) {
+            mp::MultiMachineConfig mc;
+            mc.cpus = cpus;
+            mp::MultiMachine machine(mc);
+            machine.load(sched);
+            const auto r = machine.run();
+            if (!r.allHalted)
+                fatal("parallel workload failed");
+            if (cpus == 1)
+                base = r.cycles;
+
+            const double speedup = double(base) / double(r.cycles);
+            const double busBusy =
+                double(machine.bus().busyCycles()) / double(r.cycles);
+            // Aggregate delivered MIPS at the 20 MHz target: total
+            // instructions over the wall-clock the run took.
+            const double mips =
+                double(r.instructions) / (double(r.cycles) / 20.0);
+            const double vax = mips / 0.5; // VAX 11/780 ~ 0.5 MIPS
+            table.addRow(
+                {strformat("%u", cpus),
+                 strformat("%llu", (unsigned long long)r.cycles),
+                 stats::Table::num(speedup, 2),
+                 stats::Table::pct(speedup / cpus),
+                 stats::Table::pct(busBusy),
+                 strformat("%llu", (unsigned long long)r.busWaitCycles),
+                 strformat("%llu", (unsigned long long)r.invalidations),
+                 stats::Table::num(mips, 1),
+                 stats::Table::num(vax, 0)});
+        }
+        table.print(std::cout);
+    }
+
+    // Write-policy coda. Smith (which the paper cites): "With respect
+    // to performance, there is no clear choice ... a good implementation
+    // of write-through seldom has to wait" — and indeed the issuing
+    // CPU's cycles are a wash below. What is NOT a wash is the shared
+    // bus: write-through carries every store, the coherence-vs-traffic
+    // tradeoff the planned multiprocessor would have faced head-on.
+    {
+        const auto w = workload::parallelWorkloads().at(2); // store-heavy
+        const auto prog = assembler::assemble(w.source, w.name + ".s");
+        const auto sched = reorg::reorganize(prog, {}, nullptr);
+        stats::Table wp("Write policy at 8 CPUs (store-heavy pscale)",
+                        {"policy", "cycles", "bus busy", "bus wait"});
+        for (const bool wt : {false, true}) {
+            mp::MultiMachineConfig mc;
+            mc.cpus = 8;
+            mc.cpu.ecache.writeThrough = wt;
+            mp::MultiMachine machine(mc);
+            machine.load(sched);
+            const auto r = machine.run();
+            if (!r.allHalted)
+                fatal("write-policy run failed");
+            wp.addRow({wt ? "write-through (4-deep buffer)" : "copy-back",
+                       strformat("%llu", (unsigned long long)r.cycles),
+                       stats::Table::pct(
+                           double(machine.bus().busyCycles()) /
+                           double(r.cycles)),
+                       strformat("%llu",
+                                 (unsigned long long)r.busWaitCycles)});
+        }
+        wp.print(std::cout);
+    }
+
+    std::printf(
+        "Expected shape: the compute-bound workload scales near-linearly "
+        "into the\n6-10 CPU range and crosses ~100x VAX (the project's "
+        "goal); the memory-bound\nworkload saturates as the shared bus "
+        "approaches full occupancy — the system\npressure that motivated "
+        "keeping all instruction fetch on-chip. Write-through\nfeeds that "
+        "same bus every store, compounding the saturation.\n");
+    return 0;
+}

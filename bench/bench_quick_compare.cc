@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment E4 — the quick compare.
+ *
+ * Paper: a comparator on the register-file outputs could resolve
+ * equality and sign tests at the end of RF, cutting the branch delay to
+ * one — but only for those conditions ("about 80% of all branches can be
+ * converted into quick compares" per Katevenis; the team measured
+ * 70-80%). It was dropped because the comparator sits after the bypass
+ * buses and would have stretched the cycle (the final chip measured
+ * ~20ns from branch-signal generation to driving the PC bus — already
+ * critical).
+ *
+ * The harness reports (a) the dynamic fraction of branches that are
+ * quick-compareable (equality tests, or sign tests against r0), and
+ * (b) the cycle count of the 1-delay machine vs the 2-delay machine, so
+ * the cycles-per-branch gain can be weighed against a cycle-time
+ * stretch exactly the way the design team did.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "sim/machine.hh"
+
+using namespace mipsx;
+using namespace mipsx::bench;
+
+int
+main()
+{
+    banner("E4", "quick-compare coverage and the 1-slot machine",
+           "70-80% of branches are quick-compareable; dropped for "
+           "cycle-time risk");
+
+    const auto suite = workload::fullSuite();
+
+    // (a) Dynamic census of branch conditions.
+    std::uint64_t total = 0, quick = 0;
+    std::map<std::string, std::uint64_t> byCond;
+    for (const auto &w : suite) {
+        const auto prog = assembler::assemble(w.source, w.name);
+        memory::MainMemory mem;
+        mem.loadProgram(prog);
+        sim::Iss iss({}, mem);
+        iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+        iss.setBranchHook([&](const sim::BranchEvent &ev) {
+            if (!ev.conditional)
+                return;
+            const auto in =
+                isa::decode(mem.read(AddressSpace::User, ev.pc));
+            ++total;
+            ++byCond[isa::branchName(in.cond)];
+            const bool equality = in.cond == isa::BranchCond::Eq ||
+                in.cond == isa::BranchCond::Ne ||
+                in.cond == isa::BranchCond::T; // trivially (r0 == r0)
+            const bool signTest = (in.cond == isa::BranchCond::Lt ||
+                                   in.cond == isa::BranchCond::Ge) &&
+                (in.rs1 == 0 || in.rs2 == 0);
+            if (equality || signTest)
+                ++quick;
+        });
+        iss.reset(prog.entry);
+        iss.setGpr(isa::reg::sp, 0x70000);
+        if (iss.run() != sim::IssStop::Halt)
+            fatal("workload failed in the quick-compare census");
+    }
+
+    stats::Table census("Dynamic branch-condition census",
+                        {"condition", "count", "share"});
+    for (const auto &[name, count] : byCond) {
+        census.addRow({name, strformat("%llu",
+                                       (unsigned long long)count),
+                       stats::Table::pct(double(count) / total)});
+    }
+    census.print(std::cout);
+    std::printf("quick-compareable branches (eq/ne or sign vs r0): "
+                "%s of %llu  (paper: 70%%-80%%)\n\n",
+                stats::Table::pct(double(quick) / total).c_str(),
+                (unsigned long long)total);
+
+    // (b) Machine-level cycles: 2-delay vs idealized 1-delay machine.
+    stats::Table mach("Full-compare (2 slots) vs quick-compare (1 slot)",
+                      {"machine", "cycles", "cycles/branch", "cpi"});
+    for (const unsigned delay : {2u, 1u}) {
+        reorg::ReorgConfig rc;
+        rc.slots = delay;
+        rc.paperFaithful = false;
+        sim::MachineConfig mc;
+        mc.cpu.branchDelay = delay;
+        const auto agg = runSuite(suite, mc, rc);
+        if (agg.failures)
+            fatal("suite failures in the quick-compare study");
+        mach.addRow({delay == 2 ? "full compare, 2 delay slots"
+                                : "quick compare, 1 delay slot (ideal)",
+                     strformat("%llu", (unsigned long long)agg.cycles),
+                     stats::Table::num(agg.cyclesPerBranch(), 2),
+                     stats::Table::num(agg.cpi(), 3)});
+    }
+    mach.print(std::cout);
+
+    std::printf(
+        "The tradeoff the paper resolved: the 1-slot machine saves the\n"
+        "cycles above only if the quick comparator does not stretch the\n"
+        "50ns cycle; with the measured 20ns branch->PC-bus path already\n"
+        "critical, even a small comparator penalty erases the gain.\n");
+    return 0;
+}

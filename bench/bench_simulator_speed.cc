@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): how many
+ * simulated cycles/instructions per second the models deliver. Not a
+ * paper experiment — an engineering health check for the tool itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "reorg/scheduler.hh"
+#include "sim/machine.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+const workload::Workload &
+hashWorkload()
+{
+    static const auto all = workload::pascalWorkloads();
+    for (const auto &w : all)
+        if (w.name == "hash")
+            return w;
+    throw SimError("hash workload missing");
+}
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    const auto prog =
+        assembler::assemble(hashWorkload().source, "hash.s");
+    const auto reorged = reorg::reorganize(prog, {}, nullptr);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Machine machine{sim::MachineConfig{}};
+        machine.load(reorged);
+        const auto r = machine.run();
+        if (!r.halted())
+            state.SkipWithError("workload failed");
+        instructions += r.instructions;
+    }
+    state.counters["sim_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalSimulation(benchmark::State &state)
+{
+    const auto prog =
+        assembler::assemble(hashWorkload().source, "hash.s");
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        memory::MainMemory mem;
+        const auto r = sim::runIss(prog, mem);
+        if (r.reason != sim::IssStop::Halt)
+            state.SkipWithError("workload failed");
+        instructions += r.stats.steps;
+    }
+    state.counters["sim_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    const auto &w = hashWorkload();
+    for (auto _ : state) {
+        const auto prog = assembler::assemble(w.source, "hash.s");
+        benchmark::DoNotOptimize(prog.textSize());
+    }
+}
+BENCHMARK(BM_Assembler)->Unit(benchmark::kMicrosecond);
+
+void
+BM_Reorganizer(benchmark::State &state)
+{
+    const auto prog =
+        assembler::assemble(hashWorkload().source, "hash.s");
+    for (auto _ : state) {
+        const auto q = reorg::reorganize(prog, {}, nullptr);
+        benchmark::DoNotOptimize(q.textSize());
+    }
+}
+BENCHMARK(BM_Reorganizer)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Experiment E1 — reproduce Table 1: "Average Cycles per Branch
+ * Instruction for Various Branch Schemes".
+ *
+ *     Branch Scheme            Cycles/Branch (paper)
+ *     2-slot no squash         2.0
+ *     2-slot always squash     1.5
+ *     2-slot squash optional   1.3
+ *     1-slot no squash         1.4
+ *     1-slot always squash     1.3
+ *     1-slot squash optional   1.1
+ *
+ * Plus the follow-ups in the text: the actual reorganizer first achieved
+ * ~1.5 on small benchmarks with traditional optimization, and 1.27 with
+ * the improved techniques on large benchmarks — our "squash optional +
+ * profiling" row corresponds to the improved result.
+ *
+ * Methodology: the whole workload suite is reorganized under each scheme
+ * (slots x strategy) and run on the matching pipeline (branch delay 1 or
+ * 2). Cost accounting follows the paper's footnote: a branch costs 1
+ * cycle plus every delay slot that was a no-op, was squashed, or
+ * executed uselessly (filled from the path the branch did not take).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "reorg/scheduler.hh"
+
+using namespace mipsx;
+using namespace mipsx::bench;
+using reorg::BranchScheme;
+
+namespace
+{
+
+double
+paperValue(BranchScheme s, unsigned slots)
+{
+    if (slots == 2) {
+        switch (s) {
+          case BranchScheme::NoSquash: return 2.0;
+          case BranchScheme::AlwaysSquash: return 1.5;
+          case BranchScheme::SquashOptional: return 1.3;
+        }
+    }
+    switch (s) {
+      case BranchScheme::NoSquash: return 1.4;
+      case BranchScheme::AlwaysSquash: return 1.3;
+      case BranchScheme::SquashOptional: return 1.1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("E1 / Table 1", "average cycles per branch for six schemes",
+           "2.0 / 1.5 / 1.3 (2-slot), 1.4 / 1.3 / 1.1 (1-slot); "
+           "refined squash-optional result: 1.27");
+
+    const auto suite = workload::fullSuite();
+    stats::Table table(
+        "Table 1: Average Cycles per Branch Instruction",
+        {"branch scheme", "static pred", "profiled pred", "paper",
+         "ctl-xfer (prof)"});
+
+    // The paper's static prediction was compile-time, "possibly with
+    // profiling"; both columns are reported.
+    for (const unsigned slots : {2u, 1u}) {
+        for (const auto scheme :
+             {BranchScheme::NoSquash, BranchScheme::AlwaysSquash,
+              BranchScheme::SquashOptional}) {
+            reorg::ReorgConfig rc;
+            rc.scheme = scheme;
+            rc.slots = slots;
+            rc.paperFaithful = false; // always-squash needs both types
+            sim::MachineConfig mc;
+            mc.cpu.branchDelay = slots;
+
+            const auto aggStatic = runSuite(suite, mc, rc);
+            const auto aggProf =
+                runSuite(suite, mc, rc, /*use_profiles=*/true);
+            if (aggStatic.failures || aggProf.failures)
+                fatal("suite failures under a Table-1 configuration");
+
+            const std::string name = strformat(
+                "%u-slot %s", slots, reorg::branchSchemeName(scheme));
+            table.addRow(
+                {name,
+                 stats::Table::num(aggStatic.cyclesPerBranch(), 2),
+                 stats::Table::num(aggProf.cyclesPerBranch(), 2),
+                 stats::Table::num(paperValue(scheme, slots), 1),
+                 stats::Table::num(aggProf.cyclesPerControl(), 2)});
+        }
+    }
+
+    table.print(std::cout);
+
+    // Static slot-fill provenance (the Gross-style reorganizer
+    // statistics behind the table). The paper's a-priori worry for the
+    // no-squash scheme: "we expected over 50% of the slots to remain
+    // empty".
+    // (Unconditional jumps always use hoist/target fills, so every
+    // scheme shows some of each; the scheme governs the conditional
+    // branches.)
+    stats::Table fills("Static slot filling by source (2 slots)",
+                       {"scheme", "hoisted", "from target", "from fall",
+                        "empty (no-op)"});
+    for (const auto scheme :
+         {BranchScheme::NoSquash, BranchScheme::AlwaysSquash,
+          BranchScheme::SquashOptional}) {
+        reorg::ReorgConfig rc;
+        rc.scheme = scheme;
+        rc.paperFaithful = false;
+        reorg::ReorgStats st;
+        for (const auto &w : suite) {
+            const auto prog = assembler::assemble(w.source, w.name);
+            reorg::reorganize(prog, rc, &st);
+        }
+        const double total = double(st.slotsTotal);
+        fills.addRow({reorg::branchSchemeName(scheme),
+                      stats::Table::pct(st.slotsHoisted / total),
+                      stats::Table::pct(st.slotsFromTarget / total),
+                      stats::Table::pct(st.slotsFromFall / total),
+                      stats::Table::pct(st.slotsNop / total)});
+    }
+    fills.print(std::cout);
+
+    std::printf("Expected shape: squashing beats no-squash; optional "
+                "beats always;\n1-slot schemes beat their 2-slot "
+                "counterparts; profiling helps squash-optional.\n"
+                "The no-squash 'empty slots' row is the paper's "
+                "expected >50%%.\n");
+    return 0;
+}

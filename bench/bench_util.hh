@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: run the whole workload
+ * suite under a machine/reorganizer configuration and aggregate the
+ * statistics the paper's tables report.
+ */
+
+#ifndef MIPSX_BENCH_BENCH_UTIL_HH
+#define MIPSX_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "stats/table.hh"
+#include "workload/workload.hh"
+
+namespace mipsx::bench
+{
+
+/** Aggregated statistics over a set of workloads. */
+struct SuiteStats
+{
+    unsigned workloads = 0;
+    unsigned failures = 0;
+    cycle_t cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t committedNops = 0;
+    std::uint64_t nopsInBranchSlots = 0;
+    std::uint64_t nopsForLoadDelay = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchesTaken = 0;
+    std::uint64_t branchWastedSlots = 0;
+    std::uint64_t jumps = 0;
+    std::uint64_t jumpWastedSlots = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t icacheStalls = 0;
+    std::uint64_t ecacheAccesses = 0;
+    std::uint64_t ecacheMisses = 0;
+    std::uint64_t ecacheStalls = 0;
+
+    double cpi() const
+    {
+        return committed ? double(cycles) / double(committed) : 0.0;
+    }
+    double noopFraction() const
+    {
+        return committed ? double(committedNops) / double(committed) : 0.0;
+    }
+    double cyclesPerBranch() const
+    {
+        return branches ? 1.0 + double(branchWastedSlots) / double(branches)
+                        : 0.0;
+    }
+    double cyclesPerControl() const
+    {
+        const auto n = branches + jumps;
+        return n ? 1.0 +
+                double(branchWastedSlots + jumpWastedSlots) / double(n)
+                 : 0.0;
+    }
+    double icacheMissRatio() const
+    {
+        return icacheAccesses ? double(icacheMisses) / double(icacheAccesses)
+                              : 0.0;
+    }
+    double avgFetchCost() const
+    {
+        return icacheAccesses
+            ? 1.0 + double(icacheStalls) / double(icacheAccesses)
+            : 0.0;
+    }
+    double ecacheMissRatio() const
+    {
+        return ecacheAccesses ? double(ecacheMisses) / double(ecacheAccesses)
+                              : 0.0;
+    }
+};
+
+/** Run every workload in @p ws and aggregate. */
+inline SuiteStats
+runSuite(const std::vector<workload::Workload> &ws,
+         const sim::MachineConfig &machine_cfg = {},
+         const reorg::ReorgConfig &reorg_cfg = {},
+         bool use_profiles = false)
+{
+    SuiteStats agg;
+    for (const auto &w : ws) {
+        reorg::ReorgConfig rc = reorg_cfg;
+        if (use_profiles) {
+            rc.prediction = reorg::Prediction::Profile;
+            rc.profile = workload::collectProfile(w);
+        }
+        const auto prog = assembler::assemble(w.source, w.name + ".s");
+        reorg::ReorgStats rst;
+        const auto reorged = reorg::reorganize(prog, rc, &rst);
+        sim::Machine machine(machine_cfg);
+        machine.load(reorged);
+        const auto result = machine.run();
+
+        ++agg.workloads;
+        if (result.reason != core::StopReason::Halt) {
+            ++agg.failures;
+            std::fprintf(stderr, "!! workload %s stopped with %s\n",
+                         w.name.c_str(),
+                         core::stopReasonName(result.reason));
+            continue;
+        }
+        const auto &s = machine.cpu().stats();
+        agg.cycles += s.cycles;
+        agg.committed += s.committed;
+        agg.committedNops += s.committedNops;
+        agg.nopsInBranchSlots += s.nopsInBranchSlots;
+        agg.nopsForLoadDelay += s.nopsForLoadDelay;
+        agg.squashed += s.squashed;
+        agg.branches += s.branches;
+        agg.branchesTaken += s.branchesTaken;
+        agg.branchWastedSlots += s.branchWastedSlots;
+        agg.jumps += s.jumps;
+        agg.jumpWastedSlots += s.jumpWastedSlots;
+        agg.icacheAccesses += machine.cpu().icache().accesses();
+        agg.icacheMisses += machine.cpu().icache().misses();
+        agg.icacheStalls += machine.cpu().icache().stallCycles();
+        agg.ecacheAccesses += machine.cpu().ecache().accesses();
+        agg.ecacheMisses += machine.cpu().ecache().misses();
+        agg.ecacheStalls += machine.cpu().ecache().stallCycles();
+    }
+    return agg;
+}
+
+/** Print a standard harness header. */
+inline void
+banner(const char *id, const char *what, const char *paper)
+{
+    std::printf("\n================================================="
+                "=====================\n");
+    std::printf("%s: %s\n", id, what);
+    std::printf("paper result: %s\n", paper);
+    std::printf("==================================================="
+                "===================\n");
+}
+
+} // namespace mipsx::bench
+
+#endif // MIPSX_BENCH_BENCH_UTIL_HH

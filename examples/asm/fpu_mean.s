@@ -1,0 +1,25 @@
+; Mean of four singles through the FPU coprocessor (c1):
+; ldf/stf move data directly between memory and FPU registers; aluc
+; cycles carry the operations down the address pins.
+; Run:  mipsx-run examples/asm/fpu_mean.s
+        .data
+vals:   .word 0x3f800000, 0x40000000, 0x40400000, 0x40800000 ; 1,2,3,4
+quart:  .word 0x3e800000                                     ; 0.25
+exp:    .word 0x40200000                                     ; 2.5
+mean:   .space 1
+        .text
+_start: ldf  f1, vals
+        ldf  f2, vals+1
+        aluc c1, 0x22       ; fadd f1, f2
+        ldf  f2, vals+2
+        aluc c1, 0x22       ; fadd f1, f2
+        ldf  f2, vals+3
+        aluc c1, 0x22       ; fadd f1, f2   -> f1 = 10.0
+        ldf  f2, quart
+        aluc c1, 0x822      ; fmul f1, f2   -> f1 = 2.5
+        stf  f1, mean
+        ld   r1, mean
+        ld   r2, exp
+        bne  r1, r2, bad
+        halt
+bad:    fail

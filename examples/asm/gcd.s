@@ -1,0 +1,21 @@
+; Euclid's algorithm by repeated subtraction, with a self-check.
+; Run:  mipsx-run --trace examples/asm/gcd.s
+        .data
+result: .space 1
+        .equ A, 1071
+        .equ B, 462
+        .equ G, 21
+        .text
+_start: addi r1, r0, A
+        addi r2, r0, B
+loop:   beq  r1, r2, done
+        blt  r1, r2, swaps
+        sub  r1, r1, r2     ; a > b: a -= b
+        b    loop
+swaps:  sub  r2, r2, r1     ; b > a: b -= a
+        b    loop
+done:   st   r1, result
+        addi r3, r0, G
+        bne  r1, r3, bad
+        halt
+bad:    fail

@@ -1,0 +1,21 @@
+; Sum an array and store the result — the "hello world" of MX32.
+; Run:  mipsx-run examples/asm/sumarray.s
+        .data
+arr:    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8
+exp:    .word 52
+sum:    .space 1
+        .text
+_start: la   r1, arr
+        addi r2, r0, 12     ; element count
+        add  r3, r0, r0     ; accumulator
+loop:   ld   r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bnz  r2, loop
+        st   r3, sum
+        ld   r5, exp        ; self-check
+        ld   r6, sum
+        bne  r5, r6, bad
+        halt
+bad:    fail

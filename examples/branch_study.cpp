@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario: evaluating a branch-scheme decision for one workload —
+ * the study an architect would run with this library before committing
+ * a pipeline design, mirroring the paper's "Branches" section on a
+ * single program (recursive quicksort).
+ *
+ * For each scheme the program is rescheduled and run on the matching
+ * machine; the output is the per-scheme cost of its branches plus the
+ * slot-fill provenance the reorganizer chose.
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.hh"
+#include "reorg/scheduler.hh"
+#include "sim/machine.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+
+int
+main()
+{
+    // Pick the quicksort workload from the suite.
+    workload::Workload qsort;
+    for (auto &w : workload::pascalWorkloads())
+        if (w.name == "qsort")
+            qsort = w;
+    std::printf("workload: %s — %s\n\n", qsort.name.c_str(),
+                qsort.description.c_str());
+
+    const auto program = assembler::assemble(qsort.source, "qsort.s");
+    const auto profile = workload::collectProfile(qsort);
+    std::printf("profiled %zu static branches on the functional "
+                "simulator\n\n", profile.size());
+
+    std::printf("%-28s %8s %8s %10s %12s %8s\n", "scheme", "slots",
+                "cycles", "cyc/branch", "squashed", "nops");
+    for (const unsigned slots : {2u, 1u}) {
+        for (const auto scheme :
+             {reorg::BranchScheme::NoSquash,
+              reorg::BranchScheme::AlwaysSquash,
+              reorg::BranchScheme::SquashOptional}) {
+            reorg::ReorgConfig rc;
+            rc.scheme = scheme;
+            rc.slots = slots;
+            rc.paperFaithful = false;
+            rc.prediction = reorg::Prediction::Profile;
+            rc.profile = profile;
+
+            reorg::ReorgStats rstats;
+            const auto scheduled =
+                reorg::reorganize(program, rc, &rstats);
+
+            sim::MachineConfig mc;
+            mc.cpu.branchDelay = slots;
+            sim::Machine machine(mc);
+            machine.load(scheduled);
+            const auto result = machine.run();
+            if (!result.halted()) {
+                std::printf("workload failed under %s!\n",
+                            reorg::branchSchemeName(scheme));
+                return 1;
+            }
+            const auto &s = machine.cpu().stats();
+            std::printf("%-28s %8u %8llu %10.2f %12llu %8llu\n",
+                        reorg::branchSchemeName(scheme), slots,
+                        static_cast<unsigned long long>(s.cycles),
+                        s.cyclesPerBranch(),
+                        static_cast<unsigned long long>(s.squashed),
+                        static_cast<unsigned long long>(
+                            s.committedNops));
+        }
+    }
+    std::printf("\nThe decision the paper made: squash-optional with "
+                "two slots — the best\n2-slot row above — because the "
+                "1-slot machine's quick compare threatened\nthe 50ns "
+                "cycle time.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Scenario: floating-point work through the address-line coprocessor
+ * interface — the paper's final design.
+ *
+ * A complex-number multiply kernel runs on the FPU (coprocessor 1):
+ *   - ldf/stf move operands directly between memory and FPU registers
+ *     (the one special coprocessor with direct memory access);
+ *   - aluc cycles carry each FPU operation down the address pins while
+ *     the memory system ignores the cycle;
+ *   - movfrc reads the FPU status register into a CPU register, the
+ *     idiom that replaced the removed branch-on-coprocessor.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "coproc/fpu.hh"
+#include "reorg/scheduler.hh"
+#include "sim/machine.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+word_t
+bitsOf(float f)
+{
+    word_t w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+float
+floatOf(word_t w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+std::string
+fpu(coproc::FpuOp op, unsigned fd, unsigned fs)
+{
+    return strformat("        aluc c1, 0x%x   ; %s f%u, f%u\n",
+                     coproc::fpuAluOp(op, fd, fs),
+                     op == coproc::FpuOp::Fadd   ? "fadd"
+                     : op == coproc::FpuOp::Fsub ? "fsub"
+                     : op == coproc::FpuOp::Fmul ? "fmul"
+                                                 : "fpu-op",
+                     fd, fs);
+}
+
+} // namespace
+
+int
+main()
+{
+    // (a + bi) * (c + di) for 8 complex pairs.
+    constexpr unsigned n = 8;
+    float a[n], b[n], c[n], d[n];
+    for (unsigned i = 0; i < n; ++i) {
+        a[i] = 1.5f + i;
+        b[i] = -0.25f * i;
+        c[i] = 2.0f - 0.5f * i;
+        d[i] = 0.75f + 0.1f * i;
+    }
+
+    std::string data = "        .data\n";
+    auto emit = [&data](const char *label, const float *v, unsigned k) {
+        data += strformat("%s:", label);
+        for (unsigned i = 0; i < k; ++i)
+            data += strformat("%s0x%08x", i ? ", " : " .word ",
+                              bitsOf(v[i]));
+        data += "\n";
+    };
+    emit("va", a, n);
+    emit("vb", b, n);
+    emit("vc", c, n);
+    emit("vd", d, n);
+    data += strformat("outre:  .space %u\noutim:  .space %u\n", n, n);
+
+    using coproc::FpuOp;
+    const std::string source = data + strformat(R"(
+        .text
+_start: la   r1, va
+        la   r2, vb
+        la   r3, vc
+        la   r4, vd
+        la   r5, outre
+        la   r6, outim
+        addi r7, r0, %u
+cloop:  ldf  f1, 0(r1)       ; a
+        ldf  f2, 0(r2)       ; b
+        ldf  f3, 0(r3)       ; c
+        ldf  f4, 0(r4)       ; d
+        ; re = a*c - b*d
+)", n) + "        aluc c1, 0x" +
+        strformat("%x", coproc::fpuAluOp(FpuOp::Fmov, 5, 1)) +
+        "   ; f5 = a\n" + fpu(FpuOp::Fmul, 5, 3) /* f5 = a*c */ +
+        "        aluc c1, 0x" +
+        strformat("%x", coproc::fpuAluOp(FpuOp::Fmov, 6, 2)) +
+        "   ; f6 = b\n" + fpu(FpuOp::Fmul, 6, 4) /* f6 = b*d */ +
+        fpu(FpuOp::Fsub, 5, 6) /* f5 = a*c - b*d */ + R"(
+        stf  f5, 0(r5)
+        ; im = a*d + b*c
+)" + "        aluc c1, 0x" +
+        strformat("%x", coproc::fpuAluOp(FpuOp::Fmov, 5, 1)) + "\n" +
+        fpu(FpuOp::Fmul, 5, 4) /* f5 = a*d */ + "        aluc c1, 0x" +
+        strformat("%x", coproc::fpuAluOp(FpuOp::Fmov, 6, 2)) + "\n" +
+        fpu(FpuOp::Fmul, 6, 3) /* f6 = b*c */ +
+        fpu(FpuOp::Fadd, 5, 6) /* f5 = a*d + b*c */ + R"(
+        stf  f5, 0(r6)
+        addi r1, r1, 1
+        addi r2, r2, 1
+        addi r3, r3, 1
+        addi r4, r4, 1
+        addi r5, r5, 1
+        addi r6, r6, 1
+        addi r7, r7, -1
+        bnz  r7, cloop
+        halt
+)";
+
+    const auto program = assembler::assemble(source, "complex.s");
+    const auto scheduled = reorg::reorganize(program, {}, nullptr);
+    sim::Machine machine{sim::MachineConfig{}};
+    machine.load(scheduled);
+    const auto result = machine.run();
+
+    std::printf("run: %s, %llu cycles for %llu instructions\n",
+                core::stopReasonName(result.reason),
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.instructions));
+
+    bool ok = result.halted();
+    std::printf("\n  %-22s %-12s %-12s\n", "(a+bi)(c+di)", "re", "im");
+    for (unsigned i = 0; i < n; ++i) {
+        const float re =
+            floatOf(machine.readSymbol("outre", i));
+        const float im =
+            floatOf(machine.readSymbol("outim", i));
+        const float wantRe = a[i] * c[i] - b[i] * d[i];
+        const float wantIm = a[i] * d[i] + b[i] * c[i];
+        std::printf("  pair %-17u %-12g %-12g\n", i, re, im);
+        ok = ok && re == wantRe && im == wantIm;
+    }
+    std::printf("\n%s\n", ok ? "OK: all products exact"
+                             : "MISMATCH");
+    return ok ? 0 : 1;
+}

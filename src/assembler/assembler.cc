@@ -1,0 +1,1020 @@
+#include "assembler/assembler.hh"
+
+#include <cctype>
+#include <functional>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+#include "isa/encode.hh"
+#include "isa/isa.hh"
+
+namespace mipsx::assembler
+{
+
+namespace
+{
+
+using namespace mipsx::isa;
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+struct Token
+{
+    enum Kind { Ident, Number, Punct, End } kind = End;
+    std::string text;   // Ident / Punct
+    std::int64_t value = 0; // Number
+};
+
+/** Split one logical line (comments already stripped) into tokens. */
+std::vector<Token>
+tokenize(const std::string &line, unsigned lineno, const std::string &file)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    const auto n = line.size();
+    while (i < n) {
+        const char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.') {
+            std::size_t j = i + 1;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                    line[j] == '_' || line[j] == '.')) {
+                ++j;
+            }
+            out.push_back({Token::Ident, line.substr(i, j - i), 0});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            char *end = nullptr;
+            const long long v = std::strtoll(line.c_str() + i, &end, 0);
+            out.push_back({Token::Number, "", v});
+            i = static_cast<std::size_t>(end - line.c_str());
+            continue;
+        }
+        if (std::string("(),:+-").find(c) != std::string::npos) {
+            out.push_back({Token::Punct, std::string(1, c), 0});
+            ++i;
+            continue;
+        }
+        fatal(strformat("%s:%u: unexpected character '%c'", file.c_str(),
+                        lineno, c));
+    }
+    out.push_back({Token::End, "", 0});
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parsed statements (pass 1 keeps them for pass 2)
+// ---------------------------------------------------------------------
+
+struct Statement
+{
+    unsigned lineno = 0;
+    std::string mnemonic;        // lowercased instruction or directive
+    std::vector<Token> operands; // tokens after the mnemonic
+    std::size_t section = 0;     // index into program sections
+    addr_t addr = 0;             // assigned location
+    unsigned size = 0;           // words
+};
+
+/** State shared between the two passes. */
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, std::string name)
+        : file_(std::move(name)), source_(source)
+    {}
+
+    Program run();
+
+  private:
+    // pass 1
+    void parseLine(const std::string &line, unsigned lineno);
+    void defineLabel(const std::string &label, unsigned lineno);
+    unsigned statementSize(const Statement &st) const;
+    void switchSection(const std::string &which, addr_t base, bool has_base,
+                       unsigned lineno);
+
+    // pass 2
+    void encodeStatement(const Statement &st);
+    word_t encodeInstr(const Statement &st);
+
+    // operand parsing helpers (operate on a token cursor)
+    struct Cursor
+    {
+        const std::vector<Token> *toks;
+        std::size_t pos = 0;
+        const Token &peek() const { return (*toks)[pos]; }
+        const Token &next() { return (*toks)[pos++]; }
+        bool atEnd() const { return peek().kind == Token::End; }
+    };
+
+    [[noreturn]] void err(unsigned lineno, const std::string &msg) const;
+    void expectPunct(Cursor &c, const char *p, unsigned lineno) const;
+    bool tryPunct(Cursor &c, const char *p) const;
+    unsigned parseReg(Cursor &c, unsigned lineno) const;
+    unsigned parseFpuReg(Cursor &c, unsigned lineno) const;
+    unsigned parseCopNum(Cursor &c, unsigned lineno) const;
+    std::int64_t parseExpr(Cursor &c, unsigned lineno) const;
+    std::optional<std::int64_t> lookup(const std::string &sym) const;
+    /** True if @p value falls inside a text section (pass 2 only). */
+    bool isTextAddress(std::int64_t value) const;
+    /** offset(base) | expr | expr(base); returns {offset, base}. */
+    std::pair<std::int64_t, unsigned> parseAddress(Cursor &c,
+                                                   unsigned lineno) const;
+    std::int32_t branchDisp(std::int64_t target, addr_t pc,
+                            unsigned lineno) const;
+
+    Section &cur() { return prog_.sections[curSection_]; }
+    addr_t &loc() { return sectionLoc_[curSection_]; }
+
+    std::string file_;
+    const std::string &source_;
+    Program prog_;
+    std::size_t curSection_ = 0;
+    std::vector<addr_t> sectionLoc_; // per-section location counters
+    std::vector<Statement> statements_;
+    std::map<std::string, std::int64_t> equs_;
+    bool pass2_ = false;
+    mutable bool exprUsedLabel_ = false;
+};
+
+void
+Assembler::err(unsigned lineno, const std::string &msg) const
+{
+    fatal(strformat("%s:%u: %s", file_.c_str(), lineno, msg.c_str()));
+}
+
+// Registered register names.
+std::optional<unsigned>
+regNumber(const std::string &name)
+{
+    if (name == "zero")
+        return 0u;
+    if (name == "sp")
+        return reg::sp;
+    if (name == "fp")
+        return reg::fp;
+    if (name == "ra")
+        return reg::ra;
+    if (name.size() >= 2 && name[0] == 'r' &&
+        std::isdigit(static_cast<unsigned char>(name[1]))) {
+        char *end = nullptr;
+        const long v = std::strtol(name.c_str() + 1, &end, 10);
+        if (*end == '\0' && v >= 0 && v < static_cast<long>(numGprs))
+            return static_cast<unsigned>(v);
+    }
+    return std::nullopt;
+}
+
+std::optional<SpecialReg>
+specialRegNumber(const std::string &name)
+{
+    if (name == "psw")
+        return SpecialReg::Psw;
+    if (name == "pswold")
+        return SpecialReg::PswOld;
+    if (name == "md")
+        return SpecialReg::Md;
+    if (name == "pchain0")
+        return SpecialReg::PcChain0;
+    if (name == "pchain1")
+        return SpecialReg::PcChain1;
+    if (name == "pchain2")
+        return SpecialReg::PcChain2;
+    return std::nullopt;
+}
+
+unsigned
+Assembler::parseReg(Cursor &c, unsigned lineno) const
+{
+    const Token &t = c.next();
+    if (t.kind == Token::Ident) {
+        if (auto r = regNumber(t.text))
+            return *r;
+    }
+    err(lineno, strformat("expected a register, got '%s'", t.text.c_str()));
+}
+
+unsigned
+Assembler::parseFpuReg(Cursor &c, unsigned lineno) const
+{
+    const Token &t = c.next();
+    if (t.kind == Token::Ident && t.text.size() >= 2 && t.text[0] == 'f') {
+        char *end = nullptr;
+        const long v = std::strtol(t.text.c_str() + 1, &end, 10);
+        if (*end == '\0' && v >= 0 && v < 32)
+            return static_cast<unsigned>(v);
+    }
+    err(lineno, "expected an FPU register (f0..f31)");
+}
+
+unsigned
+Assembler::parseCopNum(Cursor &c, unsigned lineno) const
+{
+    const Token &t = c.next();
+    if (t.kind == Token::Ident && t.text.size() == 2 && t.text[0] == 'c' &&
+        t.text[1] >= '1' && t.text[1] <= '7') {
+        return static_cast<unsigned>(t.text[1] - '0');
+    }
+    err(lineno, "expected a coprocessor number (c1..c7)");
+}
+
+std::optional<std::int64_t>
+Assembler::lookup(const std::string &sym) const
+{
+    if (auto it = equs_.find(sym); it != equs_.end())
+        return it->second;
+    if (auto it = prog_.symbols.find(sym); it != prog_.symbols.end()) {
+        exprUsedLabel_ = true;
+        return static_cast<std::int64_t>(it->second);
+    }
+    return std::nullopt;
+}
+
+std::int64_t
+Assembler::parseExpr(Cursor &c, unsigned lineno) const
+{
+    std::int64_t value = 0;
+    bool neg = false;
+    if (tryPunct(c, "-"))
+        neg = true;
+    else
+        (void)tryPunct(c, "+");
+
+    const Token &t = c.next();
+    if (t.kind == Token::Number) {
+        value = t.value;
+    } else if (t.kind == Token::Ident) {
+        auto v = lookup(t.text);
+        if (!v) {
+            if (pass2_)
+                err(lineno, strformat("undefined symbol '%s'",
+                                      t.text.c_str()));
+            value = 0; // pass 1: size does not depend on the value
+        } else {
+            value = *v;
+        }
+    } else {
+        err(lineno, "expected an expression");
+    }
+    if (neg)
+        value = -value;
+
+    while (c.peek().kind == Token::Punct &&
+           (c.peek().text == "+" || c.peek().text == "-")) {
+        const bool minus = c.next().text == "-";
+        const Token &u = c.next();
+        std::int64_t rhs = 0;
+        if (u.kind == Token::Number) {
+            rhs = u.value;
+        } else if (u.kind == Token::Ident) {
+            auto v = lookup(u.text);
+            if (!v && pass2_)
+                err(lineno, strformat("undefined symbol '%s'",
+                                      u.text.c_str()));
+            rhs = v.value_or(0);
+        } else {
+            err(lineno, "expected a term after +/-");
+        }
+        value += minus ? -rhs : rhs;
+    }
+    return value;
+}
+
+void
+Assembler::expectPunct(Cursor &c, const char *p, unsigned lineno) const
+{
+    const Token &t = c.next();
+    if (t.kind != Token::Punct || t.text != p)
+        err(lineno, strformat("expected '%s'", p));
+}
+
+bool
+Assembler::tryPunct(Cursor &c, const char *p) const
+{
+    if (c.peek().kind == Token::Punct && c.peek().text == p) {
+        c.next();
+        return true;
+    }
+    return false;
+}
+
+std::pair<std::int64_t, unsigned>
+Assembler::parseAddress(Cursor &c, unsigned lineno) const
+{
+    std::int64_t offset = 0;
+    // Either "(rb)" immediately, or an expression, optionally "(rb)".
+    if (!(c.peek().kind == Token::Punct && c.peek().text == "("))
+        offset = parseExpr(c, lineno);
+    unsigned base = 0;
+    if (tryPunct(c, "(")) {
+        base = parseReg(c, lineno);
+        expectPunct(c, ")", lineno);
+    }
+    return {offset, base};
+}
+
+std::int32_t
+Assembler::branchDisp(std::int64_t target, addr_t pc, unsigned lineno) const
+{
+    const std::int64_t disp =
+        target - (static_cast<std::int64_t>(pc) + 1);
+    if (!pass2_)
+        return 0;
+    if (!fitsSigned(disp, 17))
+        err(lineno, "branch/jump target out of range");
+    return static_cast<std::int32_t>(disp);
+}
+
+// ---------------------------------------------------------------------
+// Pass 1
+// ---------------------------------------------------------------------
+
+bool
+Assembler::isTextAddress(std::int64_t value) const
+{
+    for (std::size_t i = 0; i < prog_.sections.size(); ++i) {
+        const auto &sec = prog_.sections[i];
+        if (!sec.isText)
+            continue;
+        const auto lo = static_cast<std::int64_t>(sec.base);
+        const auto hi = lo + static_cast<std::int64_t>(sectionLoc_[i]);
+        if (value >= lo && value < hi)
+            return true;
+    }
+    return false;
+}
+
+void
+Assembler::switchSection(const std::string &which, addr_t base,
+                         bool has_base, unsigned lineno)
+{
+    // Reuse an existing section of the same name, else create one.
+    for (std::size_t i = 0; i < prog_.sections.size(); ++i) {
+        if (prog_.sections[i].name == which) {
+            if (has_base)
+                err(lineno, "section base may only be set once");
+            curSection_ = i;
+            return;
+        }
+    }
+    Section s;
+    s.name = which;
+    if (which == ".text") {
+        s.space = AddressSpace::User;
+        s.isText = true;
+        s.base = has_base ? base : defaultTextBase;
+    } else if (which == ".data") {
+        s.space = AddressSpace::User;
+        s.base = has_base ? base : defaultDataBase;
+    } else if (which == ".systext") {
+        s.space = AddressSpace::System;
+        s.isText = true;
+        s.base = has_base ? base : exceptionVector;
+    } else if (which == ".sysdata") {
+        s.space = AddressSpace::System;
+        s.base = has_base ? base : 0x4000;
+    } else {
+        err(lineno, strformat("unknown section '%s'", which.c_str()));
+    }
+    prog_.sections.push_back(std::move(s));
+    sectionLoc_.push_back(0);
+    curSection_ = prog_.sections.size() - 1;
+}
+
+void
+Assembler::defineLabel(const std::string &label, unsigned lineno)
+{
+    if (prog_.symbols.count(label) || equs_.count(label))
+        err(lineno, strformat("symbol '%s' redefined", label.c_str()));
+    prog_.symbols[label] = cur().base + loc();
+}
+
+unsigned
+Assembler::statementSize(const Statement &st) const
+{
+    const auto &m = st.mnemonic;
+    if (m == ".word") {
+        // count expressions: count commas + 1 (expressions are non-empty)
+        unsigned n = 1;
+        for (const auto &t : st.operands)
+            if (t.kind == Token::Punct && t.text == ",")
+                ++n;
+        return n;
+    }
+    if (m == ".space") {
+        Cursor c{&st.operands, 0};
+        const auto n = parseExpr(c, st.lineno);
+        if (n < 0)
+            err(st.lineno, ".space size must be non-negative");
+        return static_cast<unsigned>(n);
+    }
+    if (m == "li" || m == "la")
+        return 2;
+    return 1;
+}
+
+void
+Assembler::parseLine(const std::string &raw_line, unsigned lineno)
+{
+    // Strip comments.
+    std::string line = raw_line;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ';' || line[i] == '#') {
+            line.resize(i);
+            break;
+        }
+    }
+
+    auto toks = tokenize(line, lineno, file_);
+
+    std::size_t pos = 0;
+    // Labels: IDENT ':'
+    while (toks[pos].kind == Token::Ident &&
+           toks[pos + 1].kind == Token::Punct && toks[pos + 1].text == ":") {
+        if (prog_.sections.empty())
+            switchSection(".text", 0, false, lineno);
+        defineLabel(toks[pos].text, lineno);
+        pos += 2;
+    }
+    if (toks[pos].kind == Token::End)
+        return;
+    if (toks[pos].kind != Token::Ident)
+        err(lineno, "expected a mnemonic or directive");
+
+    Statement st;
+    st.lineno = lineno;
+    st.mnemonic = toks[pos].text;
+    for (auto &ch : st.mnemonic)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    st.operands.assign(toks.begin() + static_cast<long>(pos) + 1,
+                       toks.end());
+
+    // Section and symbol directives are handled immediately.
+    const auto &m = st.mnemonic;
+    if (m == ".text" || m == ".data" || m == ".systext" || m == ".sysdata") {
+        bool has_base = false;
+        addr_t base = 0;
+        Cursor c{&st.operands, 0};
+        if (!c.atEnd()) {
+            base = static_cast<addr_t>(parseExpr(c, lineno));
+            has_base = true;
+        }
+        switchSection(m, base, has_base, lineno);
+        return;
+    }
+    if (m == ".equ" || m == ".set") {
+        Cursor c{&st.operands, 0};
+        const Token &nameTok = c.next();
+        if (nameTok.kind != Token::Ident)
+            err(lineno, ".equ needs a symbol name");
+        expectPunct(c, ",", lineno);
+        const auto v = parseExpr(c, lineno);
+        if (prog_.symbols.count(nameTok.text) || equs_.count(nameTok.text))
+            err(lineno, strformat("symbol '%s' redefined",
+                                  nameTok.text.c_str()));
+        equs_[nameTok.text] = v;
+        return;
+    }
+    if (prog_.sections.empty())
+        switchSection(".text", 0, false, lineno);
+
+    if (m == ".org") {
+        Cursor c{&st.operands, 0};
+        const auto target = parseExpr(c, lineno);
+        const auto want = static_cast<std::int64_t>(cur().base) +
+            static_cast<std::int64_t>(loc());
+        if (target < want)
+            err(lineno, ".org cannot move backwards");
+        st.section = curSection_;
+        st.addr = cur().base + loc();
+        st.size = static_cast<unsigned>(target - want);
+        st.mnemonic = ".space"; // pad identically to .space
+        st.operands.clear();
+        Token n;
+        n.kind = Token::Number;
+        n.value = st.size;
+        st.operands.push_back(n);
+        st.operands.push_back({Token::End, "", 0});
+        loc() += st.size;
+        statements_.push_back(std::move(st));
+        return;
+    }
+    if (m == ".align") {
+        Cursor c{&st.operands, 0};
+        const auto align = parseExpr(c, lineno);
+        if (align <= 0 || !isPowerOf2(static_cast<std::uint64_t>(align)))
+            err(lineno, ".align needs a positive power of two");
+        const addr_t here = cur().base + loc();
+        const addr_t mask = static_cast<addr_t>(align) - 1;
+        const unsigned pad =
+            static_cast<unsigned>(((here + mask) & ~mask) - here);
+        st.section = curSection_;
+        st.addr = here;
+        st.size = pad;
+        st.mnemonic = ".space";
+        st.operands.clear();
+        Token n;
+        n.kind = Token::Number;
+        n.value = pad;
+        st.operands.push_back(n);
+        st.operands.push_back({Token::End, "", 0});
+        loc() += pad;
+        statements_.push_back(std::move(st));
+        return;
+    }
+
+    st.section = curSection_;
+    st.addr = cur().base + loc();
+    st.size = statementSize(st);
+    if (!cur().isText && m != ".word" && m != ".space")
+        err(lineno, "instructions are only allowed in text sections");
+    loc() += st.size;
+    statements_.push_back(std::move(st));
+}
+
+// ---------------------------------------------------------------------
+// Pass 2
+// ---------------------------------------------------------------------
+
+void
+Assembler::encodeStatement(const Statement &st)
+{
+    Section &sec = prog_.sections[st.section];
+    auto emit = [&sec, &st, this](word_t w) {
+        const auto idx = (st.addr - sec.base) +
+            static_cast<addr_t>(sec.words.size() -
+                                sec.words.size()); // appended in order
+        (void)idx;
+        sec.words.push_back(w);
+        if (sec.isText)
+            sec.slots.push_back(0);
+        if (sec.words.size() > (1u << 26))
+            err(st.lineno, "section too large");
+    };
+
+    const auto &m = st.mnemonic;
+    Cursor c{&st.operands, 0};
+
+    if (m == ".word") {
+        while (true) {
+            exprUsedLabel_ = false;
+            const auto v = parseExpr(c, st.lineno);
+            if (exprUsedLabel_ && isTextAddress(v)) {
+                // A code pointer: the reorganizer must remap it after
+                // relaying out the text.
+                prog_.textRefs.push_back(
+                    {st.section,
+                     static_cast<addr_t>(sec.words.size())});
+            }
+            emit(static_cast<word_t>(static_cast<std::uint64_t>(v)));
+            if (!tryPunct(c, ","))
+                break;
+        }
+        return;
+    }
+    if (m == ".space") {
+        const auto n = parseExpr(c, st.lineno);
+        for (std::int64_t i = 0; i < n; ++i)
+            emit(sec.isText ? encodeNop() : 0u);
+        return;
+    }
+
+    // li / la expand to two instructions.
+    if (m == "li" || m == "la") {
+        const unsigned rd = parseReg(c, st.lineno);
+        expectPunct(c, ",", st.lineno);
+        exprUsedLabel_ = false;
+        const auto v64 = parseExpr(c, st.lineno);
+        if (exprUsedLabel_ && isTextAddress(v64)) {
+            err(st.lineno,
+                "text addresses cannot be loaded as immediates (the "
+                "reorganizer relays out code); keep the pointer in a "
+                "data word (.word label) and load it");
+        }
+        const auto v = static_cast<std::int32_t>(v64);
+        const std::int32_t hi = v >> 15;
+        const std::int32_t lo = v & 0x7fff;
+        emit(encodeImm(ImmOp::Lih, 0, rd, hi));
+        emit(encodeImm(ImmOp::Addi, rd, rd, lo));
+        return;
+    }
+
+    emit(encodeInstr(st));
+}
+
+word_t
+Assembler::encodeInstr(const Statement &st)
+{
+    const auto &m = st.mnemonic;
+    const unsigned lineno = st.lineno;
+    Cursor c{&st.operands, 0};
+
+    // ---- pseudo-ops ----
+    if (m == "nop")
+        return encodeNop();
+    if (m == "halt")
+        return encodeTrap(trapCodeHalt);
+    if (m == "fail")
+        return encodeTrap(trapCodeFail);
+    if (m == "ret")
+        return encodeJumpReg(ImmOp::Jr, reg::ra, 0, 0);
+    if (m == "mov") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned rs = parseReg(c, lineno);
+        return encodeCompute(ComputeOp::Add, rs, 0, rd);
+    }
+    if (m == "neg") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned rs = parseReg(c, lineno);
+        return encodeCompute(ComputeOp::Sub, 0, rs, rd);
+    }
+    if (m == "call") {
+        const auto target = parseExpr(c, lineno);
+        return encodeJump(ImmOp::Jal, reg::ra,
+                          branchDisp(target, st.addr, lineno));
+    }
+
+    // ---- branches (with optional .sq / .sqn suffix) ----
+    {
+        std::string stem = m;
+        SquashType sq = SquashType::NoSquash;
+        if (stem.size() > 4 && stem.ends_with(".sqn")) {
+            sq = SquashType::SquashTaken;
+            stem = stem.substr(0, stem.size() - 4);
+        } else if (stem.size() > 3 && stem.ends_with(".sq")) {
+            sq = SquashType::SquashNotTaken;
+            stem = stem.substr(0, stem.size() - 3);
+        }
+        std::optional<BranchCond> cond;
+        if (stem == "beq")
+            cond = BranchCond::Eq;
+        else if (stem == "bne")
+            cond = BranchCond::Ne;
+        else if (stem == "blt")
+            cond = BranchCond::Lt;
+        else if (stem == "bge")
+            cond = BranchCond::Ge;
+        else if (stem == "bhs")
+            cond = BranchCond::Hs;
+        else if (stem == "blo")
+            cond = BranchCond::Lo;
+        else if (stem == "bt" || stem == "b")
+            cond = BranchCond::T;
+
+        if (cond) {
+            unsigned rs1 = 0, rs2 = 0;
+            if (stem != "bt" && stem != "b") {
+                rs1 = parseReg(c, lineno);
+                expectPunct(c, ",", lineno);
+                rs2 = parseReg(c, lineno);
+                expectPunct(c, ",", lineno);
+            }
+            const auto target = parseExpr(c, lineno);
+            const auto disp = branchDisp(target, st.addr, lineno);
+            if (pass2_ && !fitsSigned(disp, 15))
+                err(lineno, "branch target out of range");
+            return encodeBranch(*cond, sq, rs1, rs2, disp);
+        }
+        if (stem == "bz" || stem == "bnz") {
+            const unsigned rs = parseReg(c, lineno);
+            expectPunct(c, ",", lineno);
+            const auto target = parseExpr(c, lineno);
+            const auto disp = branchDisp(target, st.addr, lineno);
+            if (pass2_ && !fitsSigned(disp, 15))
+                err(lineno, "branch target out of range");
+            return encodeBranch(stem == "bz" ? BranchCond::Eq
+                                             : BranchCond::Ne,
+                                sq, rs, 0, disp);
+        }
+    }
+
+    // ---- memory ----
+    if (m == "ld" || m == "ldt" || m == "st") {
+        const unsigned rsd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto [off, base] = parseAddress(c, lineno);
+        if (pass2_ && !fitsSigned(off, 17))
+            err(lineno, "memory offset out of range");
+        const MemOp op = m == "ld" ? MemOp::Ld
+            : m == "ldt" ? MemOp::Ldt : MemOp::St;
+        return encodeMem(op, base, rsd,
+                         static_cast<std::int32_t>(pass2_ ? off : 0));
+    }
+    if (m == "ldf" || m == "stf") {
+        const unsigned freg = parseFpuReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto [off, base] = parseAddress(c, lineno);
+        if (pass2_ && !fitsSigned(off, 17))
+            err(lineno, "memory offset out of range");
+        return encodeMem(m == "ldf" ? MemOp::Ldf : MemOp::Stf, base, freg,
+                         static_cast<std::int32_t>(pass2_ ? off : 0));
+    }
+    if (m == "aluc") {
+        const unsigned cop = parseCopNum(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto op = parseExpr(c, lineno);
+        return encodeCop(MemOp::Aluc, cop,
+                         static_cast<std::uint32_t>(op), 0);
+    }
+    if (m == "movfrc") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned cop = parseCopNum(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto op = parseExpr(c, lineno);
+        return encodeCop(MemOp::Movfrc, cop,
+                         static_cast<std::uint32_t>(op), rd);
+    }
+    if (m == "movtoc") {
+        const unsigned cop = parseCopNum(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto op = parseExpr(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned rs = parseReg(c, lineno);
+        return encodeCop(MemOp::Movtoc, cop,
+                         static_cast<std::uint32_t>(op), rs);
+    }
+
+    // ---- compute ----
+    {
+        std::optional<ComputeOp> op;
+        if (m == "add")
+            op = ComputeOp::Add;
+        else if (m == "sub")
+            op = ComputeOp::Sub;
+        else if (m == "and")
+            op = ComputeOp::And;
+        else if (m == "or")
+            op = ComputeOp::Or;
+        else if (m == "xor")
+            op = ComputeOp::Xor;
+        else if (m == "bic")
+            op = ComputeOp::Bic;
+        else if (m == "mstep")
+            op = ComputeOp::Mstep;
+        else if (m == "dstep")
+            op = ComputeOp::Dstep;
+        if (op) {
+            const unsigned rd = parseReg(c, lineno);
+            expectPunct(c, ",", lineno);
+            const unsigned rs1 = parseReg(c, lineno);
+            expectPunct(c, ",", lineno);
+            const unsigned rs2 = parseReg(c, lineno);
+            return encodeCompute(*op, rs1, rs2, rd);
+        }
+    }
+    if (m == "sll" || m == "srl" || m == "sra") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned rs = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto amount = parseExpr(c, lineno);
+        if (amount < 0 || amount >= 32)
+            err(lineno, "shift amount out of range");
+        const ComputeOp op = m == "sll" ? ComputeOp::Sll
+            : m == "srl" ? ComputeOp::Srl : ComputeOp::Sra;
+        return encodeShift(op, rs, rd, static_cast<unsigned>(amount));
+    }
+    if (m == "fsh") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned rs1 = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned rs2 = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto amount = parseExpr(c, lineno);
+        if (amount < 0 || amount >= 32)
+            err(lineno, "funnel shift amount out of range");
+        return encodeCompute(ComputeOp::Fsh, rs1, rs2, rd,
+                             static_cast<unsigned>(amount));
+    }
+    if (m == "movfrs") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const Token &t = c.next();
+        auto sr = t.kind == Token::Ident ? specialRegNumber(t.text)
+                                         : std::nullopt;
+        if (!sr)
+            err(lineno, "expected a special register name");
+        return encodeMovSpecial(ComputeOp::Movfrs, *sr, rd);
+    }
+    if (m == "movtos") {
+        const Token &t = c.next();
+        auto sr = t.kind == Token::Ident ? specialRegNumber(t.text)
+                                         : std::nullopt;
+        if (!sr)
+            err(lineno, "expected a special register name");
+        expectPunct(c, ",", lineno);
+        const unsigned rs = parseReg(c, lineno);
+        return encodeMovSpecial(ComputeOp::Movtos, *sr, rs);
+    }
+
+    // ---- immediate / jumps ----
+    if (m == "addi") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const unsigned rs = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto v = parseExpr(c, lineno);
+        if (pass2_ && !fitsSigned(v, 17))
+            err(lineno, "immediate out of range");
+        return encodeImm(ImmOp::Addi, rs, rd,
+                         static_cast<std::int32_t>(pass2_ ? v : 0));
+    }
+    if (m == "lih") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto v = parseExpr(c, lineno);
+        if (pass2_ && !fitsSigned(v, 17))
+            err(lineno, "immediate out of range");
+        return encodeImm(ImmOp::Lih, 0, rd,
+                         static_cast<std::int32_t>(pass2_ ? v : 0));
+    }
+    if (m == "jmp") {
+        const auto target = parseExpr(c, lineno);
+        return encodeJump(ImmOp::Jmp, 0, branchDisp(target, st.addr,
+                                                    lineno));
+    }
+    if (m == "jal") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto target = parseExpr(c, lineno);
+        return encodeJump(ImmOp::Jal, rd, branchDisp(target, st.addr,
+                                                     lineno));
+    }
+    if (m == "jr") {
+        const auto [off, base] = parseAddress(c, lineno);
+        if (pass2_ && !fitsSigned(off, 17))
+            err(lineno, "jump offset out of range");
+        return encodeJumpReg(ImmOp::Jr, base, 0,
+                             static_cast<std::int32_t>(pass2_ ? off : 0));
+    }
+    if (m == "jalr") {
+        const unsigned rd = parseReg(c, lineno);
+        expectPunct(c, ",", lineno);
+        const auto [off, base] = parseAddress(c, lineno);
+        if (pass2_ && !fitsSigned(off, 17))
+            err(lineno, "jump offset out of range");
+        return encodeJumpReg(ImmOp::Jalr, base, rd,
+                             static_cast<std::int32_t>(pass2_ ? off : 0));
+    }
+    if (m == "jpc")
+        return encodeJpc();
+    if (m == "trap") {
+        const auto code = parseExpr(c, lineno);
+        if (code < 0 || !fitsUnsigned(static_cast<std::uint64_t>(code), 17))
+            err(lineno, "trap code out of range");
+        return encodeTrap(static_cast<std::uint32_t>(code));
+    }
+
+    err(lineno, strformat("unknown mnemonic '%s'", m.c_str()));
+}
+
+Program
+Assembler::run()
+{
+    // Pass 0: expand .rept/.endr blocks textually (nesting allowed).
+    // Line numbers are preserved by attributing every expanded copy to
+    // the .rept line's neighbourhood.
+    struct NumberedLine
+    {
+        std::string text;
+        unsigned lineno;
+    };
+    std::vector<NumberedLine> lines;
+    {
+        std::vector<NumberedLine> raw;
+        std::istringstream is(source_);
+        std::string line;
+        unsigned lineno = 0;
+        while (std::getline(is, line))
+            raw.push_back({line, ++lineno});
+
+        std::function<void(std::size_t, std::size_t, unsigned)> expand =
+            [&](std::size_t lo, std::size_t hi, unsigned times) {
+                for (unsigned rep = 0; rep < times; ++rep) {
+                    for (std::size_t i = lo; i < hi; ++i) {
+                        std::string text = raw[i].text;
+                        for (std::size_t c = 0; c < text.size(); ++c) {
+                            if (text[c] == ';' || text[c] == '#') {
+                                text.resize(c);
+                                break;
+                            }
+                        }
+                        std::istringstream ls(text);
+                        std::string first;
+                        ls >> first;
+                        for (auto &ch : first)
+                            ch = static_cast<char>(
+                                std::tolower(
+                                    static_cast<unsigned char>(ch)));
+                        if (first == ".rept") {
+                            long n = 0;
+                            if (!(ls >> n) || n < 0 || n > 100000) {
+                                fatal(strformat(
+                                    "%s:%u: bad .rept count",
+                                    file_.c_str(), raw[i].lineno));
+                            }
+                            // Find the matching .endr.
+                            std::size_t depth = 1, j = i + 1;
+                            for (; j < hi; ++j) {
+                                std::istringstream js(raw[j].text);
+                                std::string w;
+                                js >> w;
+                                for (auto &ch : w)
+                                    ch = static_cast<char>(std::tolower(
+                                        static_cast<unsigned char>(ch)));
+                                if (w == ".rept")
+                                    ++depth;
+                                else if (w == ".endr" && --depth == 0)
+                                    break;
+                            }
+                            if (j >= hi) {
+                                fatal(strformat(
+                                    "%s:%u: .rept without .endr",
+                                    file_.c_str(), raw[i].lineno));
+                            }
+                            expand(i + 1, j,
+                                   static_cast<unsigned>(n));
+                            i = j; // skip past .endr
+                        } else if (first == ".endr") {
+                            fatal(strformat(
+                                "%s:%u: .endr without .rept",
+                                file_.c_str(), raw[i].lineno));
+                        } else {
+                            lines.push_back(raw[i]);
+                        }
+                    }
+                }
+            };
+        expand(0, raw.size(), 1);
+    }
+
+    // Pass 1: parse and lay out.
+    for (const auto &nl : lines)
+        parseLine(nl.text, nl.lineno);
+
+    // Pass 2: encode.
+    pass2_ = true;
+    for (const auto &st : statements_) {
+        Section &sec = prog_.sections[st.section];
+        const auto expected = st.addr - sec.base;
+        if (sec.words.size() != expected) {
+            err(st.lineno, strformat("internal layout mismatch "
+                                     "(%zu vs %u words)",
+                                     sec.words.size(), expected));
+        }
+        encodeStatement(st);
+        if (sec.words.size() != expected + st.size)
+            err(st.lineno, "internal size mismatch");
+    }
+
+    // Entry point: "_start" or "start" if defined, else first text word.
+    const bool hasText = [this] {
+        for (const auto &sec : prog_.sections)
+            if (sec.isText)
+                return true;
+        return false;
+    }();
+    if (auto it = prog_.symbols.find("_start"); it != prog_.symbols.end())
+        prog_.entry = it->second;
+    else if (auto it2 = prog_.symbols.find("start");
+             it2 != prog_.symbols.end())
+        prog_.entry = it2->second;
+    else if (hasText)
+        prog_.entry = prog_.text().base;
+    for (const auto &s : prog_.sections) {
+        if (s.isText && prog_.entry >= s.base && prog_.entry < s.end()) {
+            prog_.entrySpace = s.space;
+            break;
+        }
+    }
+    return std::move(prog_);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    Assembler as(source, name);
+    return as.run();
+}
+
+} // namespace mipsx::assembler

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A two-pass assembler for the MX32 instruction set.
+ *
+ * Syntax overview (full grammar in the implementation):
+ *
+ *     ; comment            # comment
+ *     .text [base]         start/continue the user text section
+ *     .data [base]         start/continue the user data section
+ *     .systext [base]      system-space text (exception handlers; base 0)
+ *     .sysdata [base]      system-space data
+ *     .org ADDR            advance the location counter (pads)
+ *     .word E, E, ...      literal data words
+ *     .space N             N zero words
+ *     .equ NAME, E         define an absolute symbol
+ *     .align N             pad to an N-word boundary (N a power of two)
+ *
+ *     label:  add  r1, r2, r3
+ *             addi r1, r2, -7
+ *             ld   r4, 12(sp)        ; also: ld r4, symbol / symbol(rb)
+ *             st   r4, 12(sp)
+ *             beq  r1, r2, label     ; beq.sq / beq.sqn squash variants
+ *             jal  ra, func          ; pseudo: call func
+ *             jr   0(ra)             ; pseudo: ret
+ *             ldf  f2, 0(r5)         ; stf, aluc c2,0x12, movfrc, movtoc
+ *             movfrs r1, psw         ; movtos psw, r1
+ *
+ * Pseudo-ops: nop, mov, neg, li (2 words: lih+addi), la, b, bz, bnz,
+ * call, ret, halt, fail.
+ *
+ * The assembler emits *sequential semantics* code: no delay slots. The
+ * code reorganizer (src/reorg) lowers the program to the pipelined
+ * machine's delayed-branch / load-delay form, exactly as the MIPS-X
+ * software system did.
+ */
+
+#ifndef MIPSX_ASSEMBLER_ASSEMBLER_HH
+#define MIPSX_ASSEMBLER_ASSEMBLER_HH
+
+#include <string>
+
+#include "assembler/program.hh"
+
+namespace mipsx::assembler
+{
+
+/** Default base of the user text section (word address). */
+inline constexpr addr_t defaultTextBase = 0x1000;
+
+/** Default base of the user data section (word address). */
+inline constexpr addr_t defaultDataBase = 0x4000;
+
+/**
+ * Assemble @p source into a program image.
+ *
+ * @param source The assembly text.
+ * @param name A name used in diagnostics.
+ * @return The assembled program.
+ * @throws SimError on any syntax or range error, with line information.
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "<asm>");
+
+} // namespace mipsx::assembler
+
+#endif // MIPSX_ASSEMBLER_ASSEMBLER_HH

@@ -1,0 +1,55 @@
+#include "assembler/program.hh"
+
+#include "common/sim_error.hh"
+
+namespace mipsx::assembler
+{
+
+addr_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal(strformat("program has no symbol '%s'", name.c_str()));
+    return it->second;
+}
+
+const Section &
+Program::text() const
+{
+    for (const auto &s : sections)
+        if (s.isText)
+            return s;
+    fatal("program has no text section");
+}
+
+Section &
+Program::text()
+{
+    for (auto &s : sections)
+        if (s.isText)
+            return s;
+    fatal("program has no text section");
+}
+
+const Section *
+Program::sectionAt(AddressSpace space, addr_t addr) const
+{
+    for (const auto &s : sections) {
+        if (s.space == space && addr >= s.base && addr < s.end())
+            return &s;
+    }
+    return nullptr;
+}
+
+std::size_t
+Program::textSize() const
+{
+    std::size_t n = 0;
+    for (const auto &s : sections)
+        if (s.isText)
+            n += s.words.size();
+    return n;
+}
+
+} // namespace mipsx::assembler

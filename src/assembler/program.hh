@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Program images: the output of the assembler, the input/output of the
+ * code reorganizer, and the thing the machine loads into memory.
+ */
+
+#ifndef MIPSX_ASSEMBLER_PROGRAM_HH
+#define MIPSX_ASSEMBLER_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mipsx::assembler
+{
+
+/**
+ * Provenance of an instruction with respect to pipeline-constraint
+ * scheduling. The reorganizer tags every instruction it places in a branch
+ * or load delay slot so the simulator can attribute wasted cycles the way
+ * the paper's Table 1 does ("any no-op instructions in the branch delay
+ * slots are attributed to the cost of the branch").
+ */
+enum class SlotKind : std::uint8_t
+{
+    None = 0,        ///< not a delay-slot instruction
+    BrNop = 1,       ///< branch slot filled with a no-op
+    BrHoisted = 2,   ///< branch slot: hoisted from above; always useful
+    BrFromTarget = 3, ///< branch slot from the taken path
+    BrFromFall = 4,  ///< branch slot from the fall-through path
+    LoadNop = 5,     ///< no-op inserted to satisfy the load delay
+};
+
+/** A contiguous run of words destined for one address range. */
+struct Section
+{
+    std::string name;
+    AddressSpace space = AddressSpace::User;
+    addr_t base = 0;
+    bool isText = false;
+    std::vector<word_t> words;
+
+    /** Parallel to @ref words for text sections; SlotKind per word. */
+    std::vector<std::uint8_t> slots;
+
+    addr_t end() const { return base + static_cast<addr_t>(words.size()); }
+
+    SlotKind
+    slotAt(addr_t addr) const
+    {
+        const auto idx = addr - base;
+        if (idx < slots.size())
+            return static_cast<SlotKind>(slots[idx]);
+        return SlotKind::None;
+    }
+};
+
+/**
+ * A data word that holds the address of a text location (a function
+ * pointer or jump-table entry). The code reorganizer remaps these when
+ * it relays out the text. The assembler records one for every .word
+ * whose expression uses a label and resolves into a text section.
+ */
+struct TextRef
+{
+    std::size_t section = 0; ///< index of the *data* section
+    addr_t offset = 0;       ///< word offset within it
+};
+
+/** A fully assembled (and possibly reorganized) program. */
+struct Program
+{
+    std::vector<Section> sections;
+    std::map<std::string, addr_t> symbols;
+    std::vector<TextRef> textRefs;
+    addr_t entry = 0;
+    AddressSpace entrySpace = AddressSpace::User;
+
+    /** Look up a symbol; throws SimError if missing. */
+    addr_t symbol(const std::string &name) const;
+
+    /** The first text section; throws if there is none. */
+    const Section &text() const;
+    Section &text();
+
+    /** Find the section containing @p addr in @p space, or nullptr. */
+    const Section *sectionAt(AddressSpace space, addr_t addr) const;
+
+    /** Total instruction words across all text sections. */
+    std::size_t textSize() const;
+};
+
+} // namespace mipsx::assembler
+
+#endif // MIPSX_ASSEMBLER_PROGRAM_HH

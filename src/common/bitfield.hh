@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bit-field extraction and insertion helpers used by the instruction
+ * encoder/decoder and the cache index/tag arithmetic.
+ */
+
+#ifndef MIPSX_COMMON_BITFIELD_HH
+#define MIPSX_COMMON_BITFIELD_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace mipsx
+{
+
+/**
+ * Extract bits [hi:lo] (inclusive, hi >= lo) of @p value, right-justified.
+ */
+constexpr std::uint32_t
+bits(std::uint32_t value, unsigned hi, unsigned lo)
+{
+    assert(hi >= lo && hi < 32);
+    const std::uint32_t width = hi - lo + 1;
+    const std::uint32_t mask =
+        width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (value >> lo) & mask;
+}
+
+/** Extract the single bit @p pos of @p value. */
+constexpr std::uint32_t
+bit(std::uint32_t value, unsigned pos)
+{
+    assert(pos < 32);
+    return (value >> pos) & 1u;
+}
+
+/**
+ * Return @p base with bits [hi:lo] replaced by the low bits of @p field.
+ */
+constexpr std::uint32_t
+insertBits(std::uint32_t base, unsigned hi, unsigned lo, std::uint32_t field)
+{
+    assert(hi >= lo && hi < 32);
+    const std::uint32_t width = hi - lo + 1;
+    const std::uint32_t mask =
+        width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/**
+ * Sign-extend the low @p width bits of @p value to a signed 32-bit integer.
+ */
+constexpr std::int32_t
+sext(std::uint32_t value, unsigned width)
+{
+    assert(width >= 1 && width <= 32);
+    if (width == 32)
+        return static_cast<std::int32_t>(value);
+    const std::uint32_t sign = 1u << (width - 1);
+    const std::uint32_t mask = (1u << width) - 1u;
+    value &= mask;
+    return static_cast<std::int32_t>((value ^ sign) - sign);
+}
+
+/** True if @p value fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(std::int64_t value, unsigned width)
+{
+    assert(width >= 1 && width <= 32);
+    const std::int64_t lim = std::int64_t{1} << (width - 1);
+    return value >= -lim && value < lim;
+}
+
+/** True if @p value fits in an unsigned field of @p width bits. */
+constexpr bool
+fitsUnsigned(std::uint64_t value, unsigned width)
+{
+    assert(width >= 1 && width <= 32);
+    return width >= 64 || value < (std::uint64_t{1} << width);
+}
+
+/** True if @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer base-2 logarithm of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t value)
+{
+    assert(isPowerOf2(value));
+    unsigned r = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace mipsx
+
+#endif // MIPSX_COMMON_BITFIELD_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error reporting for the simulator.
+ *
+ * Following the gem5 convention: SimError (fatal) is raised for conditions
+ * that are the *user's* fault — bad configuration, malformed assembly,
+ * ill-formed programs. Internal invariant violations use assert/panic.
+ */
+
+#ifndef MIPSX_COMMON_SIM_ERROR_HH
+#define MIPSX_COMMON_SIM_ERROR_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace mipsx
+{
+
+/** Exception thrown for user-level errors (bad input, bad config). */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+inline std::string
+strformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+/** Raise a SimError with a printf-style message. */
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    throw SimError(message);
+}
+
+} // namespace mipsx
+
+#endif // MIPSX_COMMON_SIM_ERROR_HH

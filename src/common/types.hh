@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental simulator-wide types for the MIPS-X reproduction.
+ *
+ * MIPS-X is a word-addressed 32-bit machine: every address names a 32-bit
+ * word. The processor provides two operating modes, system and user, that
+ * execute in *separate address spaces* (paper, "MIPS-X Architecture"), so an
+ * address is always qualified by the space it refers to.
+ */
+
+#ifndef MIPSX_COMMON_TYPES_HH
+#define MIPSX_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mipsx
+{
+
+/** A 32-bit machine word (register contents, memory contents). */
+using word_t = std::uint32_t;
+
+/** Signed view of a machine word, for arithmetic interpretation. */
+using sword_t = std::int32_t;
+
+/** A word address. MIPS-X addresses 32-bit words, not bytes. */
+using addr_t = std::uint32_t;
+
+/** A simulated cycle count. */
+using cycle_t = std::uint64_t;
+
+/**
+ * The two architectural address spaces. The current PSW mode selects which
+ * space instruction fetches and data references use.
+ */
+enum class AddressSpace : std::uint8_t
+{
+    System = 0,
+    User = 1,
+};
+
+/** Number of general purpose registers (r0 is hardwired to zero). */
+inline constexpr unsigned numGprs = 32;
+
+/** The exception vector: address zero in system space. */
+inline constexpr addr_t exceptionVector = 0;
+
+/** Depth of the PC chain saved across exceptions (IF/RF/ALU stage PCs). */
+inline constexpr unsigned pcChainDepth = 3;
+
+} // namespace mipsx
+
+#endif // MIPSX_COMMON_TYPES_HH

@@ -1,0 +1,30 @@
+#include "coproc/coprocessor.hh"
+
+#include "common/sim_error.hh"
+
+namespace mipsx::coproc
+{
+
+void
+CoprocessorSet::attach(unsigned num, std::unique_ptr<Coprocessor> cop)
+{
+    if (num < 1 || num > 7)
+        fatal(strformat("coprocessor number %u out of range (1..7)", num));
+    cops_[num] = std::move(cop);
+}
+
+bool
+CoprocessorSet::attached(unsigned num) const
+{
+    return num >= 1 && num <= 7 && cops_[num] != nullptr;
+}
+
+Coprocessor &
+CoprocessorSet::at(unsigned num) const
+{
+    if (!attached(num))
+        fatal(strformat("no coprocessor attached at number %u", num));
+    return *cops_[num];
+}
+
+} // namespace mipsx::coproc

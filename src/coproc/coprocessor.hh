@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The MIPS-X coprocessor interface.
+ *
+ * The paper's final scheme ("The Coprocessor Interface"): coprocessor
+ * instructions are a form of memory operation. The 17-bit offset constant
+ * is driven down the *address pins* while a dedicated pin tells the memory
+ * system to ignore the cycle; bits [16:14] select one of seven
+ * coprocessors and the low 14 bits are coprocessor-defined. Data moves
+ * between CPU registers and coprocessor registers over the data bus
+ * (movfrc/movtoc), and one special coprocessor — assumed to be the FPU,
+ * number 1 — gets dedicated load/store floating instructions (ldf/stf)
+ * with direct access to memory.
+ */
+
+#ifndef MIPSX_COPROC_COPROCESSOR_HH
+#define MIPSX_COPROC_COPROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace mipsx::coproc
+{
+
+/** Abstract coprocessor attached to the address/data buses. */
+class Coprocessor
+{
+  public:
+    virtual ~Coprocessor() = default;
+
+    /** An aluc cycle: execute the 14-bit coprocessor operation. */
+    virtual void aluc(std::uint32_t op) = 0;
+
+    /** A movfrc cycle: decode @p op and drive the data bus. */
+    virtual word_t movfrc(std::uint32_t op) = 0;
+
+    /** A movtoc cycle: decode @p op and accept @p data from the bus. */
+    virtual void movtoc(std::uint32_t op, word_t data) = 0;
+
+    /**
+     * ldf: the memory system drives @p data for this coprocessor's
+     * register @p reg (only the special coprocessor ever sees this).
+     */
+    virtual void loadDirect(unsigned reg, word_t data) = 0;
+
+    /** stf: supply the word register @p reg drives onto the data bus. */
+    virtual word_t storeDirect(unsigned reg) = 0;
+
+    /**
+     * The single condition output that the removed branch-on-coprocessor
+     * scheme would have tested; still exposed so the status-register-read
+     * idiom (the final design) can be validated against it.
+     */
+    virtual bool condition() const { return false; }
+
+    virtual const char *name() const = 0;
+};
+
+/**
+ * The seven coprocessor attachment points (1..7). Unattached numbers
+ * raise a simulation error when addressed.
+ */
+class CoprocessorSet
+{
+  public:
+    void attach(unsigned num, std::unique_ptr<Coprocessor> cop);
+    bool attached(unsigned num) const;
+    Coprocessor &at(unsigned num) const;
+
+  private:
+    std::array<std::unique_ptr<Coprocessor>, 8> cops_;
+};
+
+} // namespace mipsx::coproc
+
+#endif // MIPSX_COPROC_COPROCESSOR_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A minimal test coprocessor: a counter with a threshold condition.
+ * Used by the interface tests and the coprocessor example to exercise
+ * aluc/movfrc/movtoc without floating-point semantics in the way.
+ *
+ * Operation field: [13:10] opcode, [9:0] immediate.
+ *   0 = reset counter to immediate
+ *   1 = add immediate
+ *   2 = set condition threshold to immediate
+ *   movfrc op 0 reads the counter, op (1<<10) reads the status.
+ */
+
+#ifndef MIPSX_COPROC_COUNTER_COP_HH
+#define MIPSX_COPROC_COUNTER_COP_HH
+
+#include "coproc/coprocessor.hh"
+
+namespace mipsx::coproc
+{
+
+class CounterCop : public Coprocessor
+{
+  public:
+    void
+    aluc(std::uint32_t op) override
+    {
+        const unsigned opc = (op >> 10) & 0xf;
+        const word_t imm = op & 0x3ff;
+        switch (opc) {
+          case 0:
+            counter_ = imm;
+            break;
+          case 1:
+            counter_ += imm;
+            break;
+          case 2:
+            threshold_ = imm;
+            break;
+          default:
+            break;
+        }
+    }
+
+    word_t
+    movfrc(std::uint32_t op) override
+    {
+        if (((op >> 10) & 0xf) == 1)
+            return condition() ? 1u : 0u;
+        return counter_;
+    }
+
+    void
+    movtoc(std::uint32_t op, word_t data) override
+    {
+        (void)op;
+        counter_ = data;
+    }
+
+    void loadDirect(unsigned, word_t data) override { counter_ = data; }
+    word_t storeDirect(unsigned) override { return counter_; }
+
+    bool condition() const override { return counter_ >= threshold_; }
+    const char *name() const override { return "counter"; }
+
+    word_t counter() const { return counter_; }
+
+  private:
+    word_t counter_ = 0;
+    word_t threshold_ = 0;
+};
+
+} // namespace mipsx::coproc
+
+#endif // MIPSX_COPROC_COUNTER_COP_HH

@@ -1,0 +1,128 @@
+#include "coproc/fpu.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/sim_error.hh"
+
+namespace mipsx::coproc
+{
+
+namespace
+{
+
+float
+toFloat(word_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+word_t
+toBits(float f)
+{
+    word_t w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+} // namespace
+
+float
+Fpu::regFloat(unsigned r) const
+{
+    return toFloat(regs_.at(r));
+}
+
+void
+Fpu::setRegFloat(unsigned r, float v)
+{
+    regs_.at(r) = toBits(v);
+}
+
+void
+Fpu::aluc(std::uint32_t op)
+{
+    ++ops_;
+    const auto opc = static_cast<FpuOp>((op >> 10) & 0xf);
+    const unsigned fd = (op >> 5) & 31;
+    const unsigned fs = op & 31;
+    const float a = toFloat(regs_[fd]);
+    const float b = toFloat(regs_[fs]);
+
+    switch (opc) {
+      case FpuOp::Fadd:
+        regs_[fd] = toBits(a + b);
+        break;
+      case FpuOp::Fsub:
+        regs_[fd] = toBits(a - b);
+        break;
+      case FpuOp::Fmul:
+        regs_[fd] = toBits(a * b);
+        break;
+      case FpuOp::Fdiv:
+        regs_[fd] = toBits(a / b);
+        break;
+      case FpuOp::Fneg:
+        regs_[fd] = toBits(-b);
+        break;
+      case FpuOp::Fabs:
+        regs_[fd] = toBits(std::fabs(b));
+        break;
+      case FpuOp::Fmov:
+        regs_[fd] = regs_[fs];
+        break;
+      case FpuOp::CvtSW:
+        regs_[fd] = toBits(static_cast<float>(
+            static_cast<std::int32_t>(regs_[fs])));
+        break;
+      case FpuOp::CvtWS:
+        regs_[fd] = static_cast<word_t>(
+            static_cast<std::int32_t>(std::lrintf(b)));
+        break;
+      case FpuOp::CmpLt:
+        cond_ = a < b;
+        break;
+      case FpuOp::CmpEq:
+        cond_ = a == b;
+        break;
+      case FpuOp::CmpLe:
+        cond_ = a <= b;
+        break;
+      default:
+        fatal(strformat("fpu: reserved opcode %u", (op >> 10) & 0xf));
+    }
+}
+
+word_t
+Fpu::movfrc(std::uint32_t op)
+{
+    const auto sel = static_cast<FpuMov>((op >> 10) & 0xf);
+    if (sel == FpuMov::Status)
+        return status();
+    return regs_[op & 31];
+}
+
+void
+Fpu::movtoc(std::uint32_t op, word_t data)
+{
+    const auto sel = static_cast<FpuMov>((op >> 10) & 0xf);
+    if (sel != FpuMov::Reg)
+        fatal("fpu: movtoc can only write registers");
+    regs_[op & 31] = data;
+}
+
+void
+Fpu::loadDirect(unsigned reg, word_t data)
+{
+    regs_.at(reg) = data;
+}
+
+word_t
+Fpu::storeDirect(unsigned reg)
+{
+    return regs_.at(reg);
+}
+
+} // namespace mipsx::coproc

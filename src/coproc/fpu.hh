@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The floating-point unit: the "one special coprocessor" (number 1) with
+ * its own load and store instructions (ldf/stf) and direct memory access.
+ *
+ * The paper assumes such an FPU exists but does not define its
+ * instruction set; this is a reconstruction with IEEE-754 single
+ * precision values carried in 32-bit words.
+ *
+ * 14-bit coprocessor operation field layout (aluc):
+ *
+ *     [13:10] opcode   [9:5] fd   [4:0] fs
+ *
+ * For fadd/fsub/fmul/fdiv the second source is the FPU's accumulator
+ * convention: fd <- fd op fs (two-address form keeps the field small,
+ * exactly the pressure the paper describes: "there are fewer bits to
+ * specify the coprocessor instructions").
+ *
+ * movfrc operation field: [13:10]=0 selects register [4:0]; [13:10]=1
+ * reads the status register. movtoc: [13:10]=0 writes register [4:0].
+ */
+
+#ifndef MIPSX_COPROC_FPU_HH
+#define MIPSX_COPROC_FPU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "coproc/coprocessor.hh"
+#include "stats/stats.hh"
+
+namespace mipsx::coproc
+{
+
+/** FPU aluc opcodes (bits [13:10] of the coprocessor field). */
+enum class FpuOp : std::uint8_t
+{
+    Fadd = 0, ///< fd <- fd + fs
+    Fsub = 1, ///< fd <- fd - fs
+    Fmul = 2, ///< fd <- fd * fs
+    Fdiv = 3, ///< fd <- fd / fs
+    Fneg = 4, ///< fd <- -fs
+    Fabs = 5, ///< fd <- |fs|
+    Fmov = 6, ///< fd <- fs
+    CvtSW = 7, ///< fd <- float(int(fs bits))
+    CvtWS = 8, ///< fd <- int bits of round-to-nearest(fs)
+    CmpLt = 9, ///< cond <- fd < fs
+    CmpEq = 10, ///< cond <- fd == fs
+    CmpLe = 11, ///< cond <- fd <= fs
+};
+
+/** movfrc/movtoc selector (bits [13:10]). */
+enum class FpuMov : std::uint8_t
+{
+    Reg = 0,
+    Status = 1,
+};
+
+/** Build the 14-bit coprocessor field for an FPU compute operation. */
+constexpr std::uint32_t
+fpuAluOp(FpuOp op, unsigned fd, unsigned fs)
+{
+    return (static_cast<std::uint32_t>(op) << 10) | ((fd & 31u) << 5) |
+        (fs & 31u);
+}
+
+/** Build the 14-bit field for movfrc/movtoc register access. */
+constexpr std::uint32_t
+fpuRegOp(unsigned freg)
+{
+    return freg & 31u;
+}
+
+/** Build the 14-bit field for a movfrc status-register read. */
+constexpr std::uint32_t
+fpuStatusOp()
+{
+    return static_cast<std::uint32_t>(FpuMov::Status) << 10;
+}
+
+/** The coprocessor-1 floating point unit. */
+class Fpu : public Coprocessor
+{
+  public:
+    void aluc(std::uint32_t op) override;
+    word_t movfrc(std::uint32_t op) override;
+    void movtoc(std::uint32_t op, word_t data) override;
+    void loadDirect(unsigned reg, word_t data) override;
+    word_t storeDirect(unsigned reg) override;
+    bool condition() const override { return cond_; }
+    const char *name() const override { return "fpu"; }
+
+    /** Direct register access for tests and result checking. */
+    word_t regBits(unsigned r) const { return regs_.at(r); }
+    void setRegBits(unsigned r, word_t bits) { regs_.at(r) = bits; }
+    float regFloat(unsigned r) const;
+    void setRegFloat(unsigned r, float v);
+
+    /** Status register: bit 0 = condition flag. */
+    word_t status() const { return cond_ ? 1u : 0u; }
+
+    std::uint64_t opsExecuted() const { return ops_.value(); }
+
+  private:
+    std::array<word_t, 32> regs_{};
+    bool cond_ = false;
+    stats::Counter ops_;
+};
+
+} // namespace mipsx::coproc
+
+#endif // MIPSX_COPROC_FPU_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The external interrupt-control unit.
+ *
+ * Paper: "Exceptions are not vectored so the exception handler must
+ * first determine the cause of the exception. On MIPS there was an
+ * on-chip surprise register where this information was stored. MIPS-X
+ * relies instead on a separate off-chip interrupt control unit that
+ * contains this information", and "For systems requiring more complex
+ * interrupt handling, an external interrupt coprocessor can be added."
+ *
+ * This coprocessor is that unit: devices post numbered interrupt lines;
+ * the handler reads-and-acknowledges the highest pending line over the
+ * coprocessor interface (movfrc), and can mask lines (movtoc/aluc).
+ *
+ * 14-bit operation field:
+ *   movfrc op 0        read pending mask (no side effects)
+ *   movfrc op 1<<10    read-and-ACK: returns the highest pending line
+ *                      number (0..13) and clears it, or 0x3fff if none
+ *   movtoc op 0        set the line mask from the data bus (1 = enabled)
+ *   aluc   op 2<<10|n  ACK line n without reading
+ */
+
+#ifndef MIPSX_COPROC_INTR_CONTROLLER_HH
+#define MIPSX_COPROC_INTR_CONTROLLER_HH
+
+#include <functional>
+
+#include "coproc/coprocessor.hh"
+
+namespace mipsx::coproc
+{
+
+class IntrController : public Coprocessor
+{
+  public:
+    static constexpr unsigned numLines = 14;
+    static constexpr word_t noLine = 0x3fff;
+
+    /**
+     * @param raise invoked whenever an enabled line becomes pending —
+     *        wire it to Cpu::raiseInterrupt.
+     */
+    explicit IntrController(std::function<void()> raise = {})
+        : raise_(std::move(raise))
+    {}
+
+    /** A device posts interrupt line @p line. */
+    void
+    post(unsigned line)
+    {
+        pending_ |= 1u << (line % numLines);
+        if ((pending_ & mask_) && raise_)
+            raise_();
+    }
+
+    bool anyPending() const { return (pending_ & mask_) != 0; }
+    word_t pending() const { return pending_; }
+
+    void
+    aluc(std::uint32_t op) override
+    {
+        if (((op >> 10) & 0xf) == 2)
+            pending_ &= ~(1u << (op & (numLines - 1)));
+    }
+
+    word_t
+    movfrc(std::uint32_t op) override
+    {
+        if (((op >> 10) & 0xf) == 0)
+            return pending_ & mask_;
+        // read-and-ACK the highest enabled pending line
+        const word_t live = pending_ & mask_;
+        if (!live)
+            return noLine;
+        unsigned line = 0;
+        for (unsigned i = 0; i < numLines; ++i)
+            if (live & (1u << i))
+                line = i;
+        pending_ &= ~(1u << line);
+        if ((pending_ & mask_) && raise_)
+            raise_(); // more work queued: re-raise
+        return line;
+    }
+
+    void
+    movtoc(std::uint32_t op, word_t data) override
+    {
+        (void)op;
+        mask_ = data;
+    }
+
+    void loadDirect(unsigned, word_t data) override { mask_ = data; }
+    word_t storeDirect(unsigned) override { return pending_ & mask_; }
+    bool condition() const override { return anyPending(); }
+    const char *name() const override { return "intr-controller"; }
+
+  private:
+    std::function<void()> raise_;
+    word_t pending_ = 0;
+    word_t mask_ = 0xffffffffu;
+};
+
+} // namespace mipsx::coproc
+
+#endif // MIPSX_COPROC_INTR_CONTROLLER_HH

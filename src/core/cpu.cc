@@ -1,0 +1,831 @@
+#include "core/cpu.hh"
+
+#include "common/sim_error.hh"
+#include "stats/stats.hh"
+#include "core/exec.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+
+namespace mipsx::core
+{
+
+using isa::ComputeOp;
+using isa::Format;
+using isa::ImmOp;
+using isa::MemOp;
+using isa::SpecialReg;
+using assembler::SlotKind;
+namespace psw_bits = isa::psw_bits;
+
+const char *
+stopReasonName(StopReason r)
+{
+    switch (r) {
+      case StopReason::Running: return "running";
+      case StopReason::Halt: return "halt";
+      case StopReason::Fail: return "fail";
+      case StopReason::MaxCycles: return "max-cycles";
+      case StopReason::InvalidInstruction: return "invalid-instruction";
+      case StopReason::UnhandledException: return "unhandled-exception";
+      case StopReason::HazardViolation: return "hazard-violation";
+    }
+    return "?";
+}
+
+Cpu::Cpu(const CpuConfig &config, memory::MainMemory &mem)
+    : config_(config), ram_(mem), icache_(config.icache),
+      ecache_(config.ecache)
+{
+    if (config_.branchDelay < 1 || config_.branchDelay > 2)
+        fatal("Cpu: branchDelay must be 1 or 2");
+}
+
+void
+Cpu::attachCoprocessor(unsigned num,
+                       std::unique_ptr<coproc::Coprocessor> cop)
+{
+    cops_.attach(num, std::move(cop));
+}
+
+void
+Cpu::setGpr(unsigned r, word_t v)
+{
+    if (r != 0)
+        regs_.at(r) = v;
+}
+
+void
+Cpu::reset(addr_t entry)
+{
+    regs_.fill(0);
+    md_ = 0;
+    psw_ = Psw(config_.initialPsw);
+    pswOld_ = Psw(0);
+    chain_ = PcChain{};
+    rf_ = alu_ = mem_ = wb_ = Latch{};
+    fetchPc_ = entry;
+    haveRedirect_ = false;
+    redirectKill_ = false;
+    fetchKillArmed_ = false;
+    squashFetch_ = false;
+    suppressFetch_ = false;
+    halting_ = false;
+    pendingIntr_ = pendingNmi_ = false;
+    pendingCost_ = {};
+    squashFsm_.reset();
+    missFsm_.reset();
+    stop_ = StopReason::Running;
+    stats_ = PipelineStats{};
+}
+
+// ---------------------------------------------------------------------
+// Operand resolution (the bypass network)
+// ---------------------------------------------------------------------
+
+word_t
+Cpu::readOperand(unsigned r)
+{
+    if (r == 0)
+        return 0;
+    // Distance-1 bypass: the instruction now in MEM. Compute results
+    // forward from its ALU-output latch; load data arrives only at the
+    // very end of MEM and *cannot* be bypassed — the reader sees the old
+    // register value (the load delay the reorganizer must respect).
+    if (mem_.valid && !mem_.killed && mem_.inst.destReg() == r) {
+        if (mem_.inst.isGprLoad()) {
+            if (config_.detectHazards) {
+                ++stats_.hazardViolations;
+                if (config_.stopOnHazard)
+                    stopSim(StopReason::HazardViolation);
+            }
+            return regs_[r]; // stale: the pre-load value
+        }
+        return mem_.aluOut;
+    }
+    // Distance >= 2: the WB-stage instruction committed at the start of
+    // this cycle (write-before-read), so the register file is current.
+    return regs_[r];
+}
+
+word_t
+Cpu::readMd() const
+{
+    if (mem_.valid && !mem_.killed && mem_.writesMdOut)
+        return mem_.mdOut;
+    return md_;
+}
+
+word_t
+Cpu::readSpecial(SpecialReg sreg) const
+{
+    switch (sreg) {
+      case SpecialReg::Psw:
+        if (mem_.valid && !mem_.killed && mem_.writesPswOut)
+            return mem_.pswOut;
+        return psw_.bits();
+      case SpecialReg::PswOld:
+        return pswOld_.bits();
+      case SpecialReg::Md:
+        return readMd();
+      case SpecialReg::PcChain0:
+        return chain_.read(0);
+      case SpecialReg::PcChain1:
+        return chain_.read(1);
+      case SpecialReg::PcChain2:
+        return chain_.read(2);
+    }
+    return 0;
+}
+
+unsigned
+Cpu::busTransaction(unsigned duration)
+{
+    if (!config_.bus)
+        return duration;
+    return duration + config_.bus->acquire(stats_.cycles, duration);
+}
+
+// ---------------------------------------------------------------------
+// WB: delayed writeback — the only cycle an instruction changes state
+// ---------------------------------------------------------------------
+
+void
+Cpu::commitWb()
+{
+    Latch &l = wb_;
+    if (!l.valid)
+        return;
+
+    if (l.killed) {
+        if (l.squashKilled) {
+            // A squashed instruction retires as an architectural no-op.
+            ++stats_.committed;
+            ++stats_.squashed;
+            if (retireHook_)
+                retireHook_({stats_.cycles, l.pc, l.space, l.inst.raw,
+                             true});
+        }
+        // Exception-killed instructions will re-execute after restart
+        // and are not counted.
+        return;
+    }
+
+    ++stats_.committed;
+    if (retireHook_)
+        retireHook_({stats_.cycles, l.pc, l.space, l.inst.raw, false});
+    if (l.inst.isNop()) {
+        ++stats_.committedNops;
+        if (l.slot == SlotKind::BrNop)
+            ++stats_.nopsInBranchSlots;
+        else if (l.slot == SlotKind::LoadNop)
+            ++stats_.nopsForLoadDelay;
+        return;
+    }
+
+    if (const unsigned d = l.inst.destReg(); d != 0)
+        regs_[d] = l.inst.isGprLoad() ? l.memData : l.aluOut;
+    if (l.writesMdOut)
+        md_ = l.mdOut;
+    if (l.writesPswOut)
+        psw_.setBits(l.pswOut);
+    if (l.chainIndex >= 0)
+        chain_.write(static_cast<unsigned>(l.chainIndex), l.chainOut);
+
+    if (l.inst.isTrap()) {
+        ++stats_.traps;
+        if (l.inst.uimm == isa::trapCodeHalt)
+            stopSim(StopReason::Halt);
+        else if (l.inst.uimm == isa::trapCodeFail)
+            stopSim(StopReason::Fail);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exceptions
+// ---------------------------------------------------------------------
+
+void
+Cpu::takeException(word_t cause)
+{
+    ++stats_.exceptions;
+    if (cause & (psw_bits::cIntr | psw_bits::cNmi))
+        ++stats_.interrupts;
+
+    // Exception no-ops ALU and MEM; Squash no-ops IF and RF. Nothing in
+    // those stages completes. The PC chain (already holding the MEM, ALU
+    // and RF PCs) freezes because the new PSW clears shiftEn.
+    mem_.killed = true;
+    alu_.killed = true;
+    rf_.killed = true;
+    suppressFetch_ = true;
+
+    pswOld_ = psw_;
+    psw_ = Psw::exceptionEntry(psw_, cause);
+
+    haveRedirect_ = true;
+    redirect_ = exceptionVector;
+    redirectKill_ = false;
+    pendingCost_ = {};
+
+    // Without a handler the machine would execute zeroed memory; stop
+    // with a diagnostic instead.
+    if (ram_.read(AddressSpace::System, exceptionVector) == 0)
+        stopSim(StopReason::UnhandledException);
+}
+
+// ---------------------------------------------------------------------
+// ALU stage
+// ---------------------------------------------------------------------
+
+void
+Cpu::resolveControl(Latch &l)
+{
+    const auto &in = l.inst;
+
+    if (in.isBranch()) {
+        const bool taken = branchTaken(in.cond, l.opA, l.opB);
+        ++stats_.branches;
+        if (taken)
+            ++stats_.branchesTaken;
+
+        const bool squash =
+            (in.squash == isa::SquashType::SquashNotTaken && !taken) ||
+            (in.squash == isa::SquashType::SquashTaken && taken);
+
+        pendingCost_.active = true;
+        pendingCost_.conditional = true;
+        pendingCost_.taken = taken;
+        pendingCost_.squashed = squash;
+
+        if (config_.branchDelay == 2) {
+            // Slot 1 is in RF right now; slot 2 is fetched this cycle.
+            accountSlot(rf_, pendingCost_);
+            if (squash) {
+                rf_.killed = true;
+                rf_.squashKilled = true;
+            }
+        }
+        if (squash) {
+            ++stats_.branchSquashTriggers;
+            squashFetch_ = true;
+        }
+        if (taken) {
+            haveRedirect_ = true;
+            redirect_ = static_cast<addr_t>(
+                static_cast<std::int64_t>(l.pc) + 1 + in.imm);
+        }
+        return;
+    }
+
+    // Jumps (and jpc).
+    ++stats_.jumps;
+    pendingCost_.active = true;
+    pendingCost_.conditional = false;
+    pendingCost_.taken = true;
+    pendingCost_.squashed = false;
+    if (config_.branchDelay == 2)
+        accountSlot(rf_, pendingCost_);
+
+    haveRedirect_ = true;
+    switch (in.immOp) {
+      case ImmOp::Jmp:
+      case ImmOp::Jal:
+        redirect_ = static_cast<addr_t>(
+            static_cast<std::int64_t>(l.pc) + 1 + in.imm);
+        break;
+      case ImmOp::Jr:
+      case ImmOp::Jalr:
+        redirect_ = static_cast<addr_t>(
+            static_cast<std::int64_t>(l.opA) + in.imm);
+        break;
+      case ImmOp::Jpc:
+        // The entry was read and popped during this jpc's RF cycle (the
+        // chain lives in the PC unit and needs no register operands), so
+        // the three-jump restart sequence completes before re-enabled
+        // chain shifting can clobber the saved entries.
+        redirect_ = PcChain::entryPc(l.jpcEntry);
+        redirectKill_ = PcChain::entrySquashed(l.jpcEntry);
+        break;
+      default:
+        fatal("resolveControl: not a jump");
+    }
+}
+
+void
+Cpu::evaluateAlu()
+{
+    Latch &l = alu_;
+    if (!l.valid || l.killed)
+        return;
+    const auto &in = l.inst;
+
+    if (!in.valid) {
+        stopSim(StopReason::InvalidInstruction);
+        return;
+    }
+
+    // Resolve operands at the ALU inputs through the bypass network.
+    l.opA = readOperand(in.rs1);
+    l.opB = readOperand(in.rs2);
+    if (stopped())
+        return; // stopOnHazard
+
+    word_t fault = 0;
+    // Privilege is judged by where the instruction was fetched from:
+    // system-space code is privileged even while a PSW restore for the
+    // interrupted user process is already in flight.
+    const bool user = l.space == AddressSpace::User;
+
+    switch (in.fmt) {
+      case Format::Compute:
+        switch (in.compOp) {
+          case ComputeOp::Movfrs:
+            l.aluOut = readSpecial(static_cast<SpecialReg>(in.aux));
+            break;
+          case ComputeOp::Movtos: {
+            const auto sreg = static_cast<SpecialReg>(in.aux);
+            if (sreg != SpecialReg::Md && user) {
+                fault = psw_bits::cPriv;
+                break;
+            }
+            switch (sreg) {
+              case SpecialReg::Md:
+                l.mdOut = l.opA;
+                l.writesMdOut = true;
+                break;
+              case SpecialReg::Psw:
+                l.pswOut = l.opA;
+                l.writesPswOut = true;
+                break;
+              case SpecialReg::PswOld:
+                // PSWold is loaded by the exception hardware only;
+                // writing it is a no-op (reconstruction choice).
+                break;
+              case SpecialReg::PcChain0:
+              case SpecialReg::PcChain1:
+              case SpecialReg::PcChain2:
+                l.chainIndex = static_cast<int>(in.aux) -
+                    static_cast<int>(SpecialReg::PcChain0);
+                l.chainOut = l.opA;
+                break;
+            }
+            break;
+          }
+          default: {
+            const ComputeResult r =
+                executeCompute(in, l.opA, l.opB, readMd());
+            l.aluOut = r.value;
+            if (r.writesMd) {
+                l.mdOut = r.md;
+                l.writesMdOut = true;
+            }
+            if (r.overflow && psw_.overflowTrapEnabled())
+                fault = psw_bits::cOvf;
+            break;
+          }
+        }
+        break;
+
+      case Format::Imm:
+        switch (in.immOp) {
+          case ImmOp::Addi: {
+            const ComputeResult r =
+                addOverflow(l.opA, static_cast<word_t>(in.imm));
+            l.aluOut = r.value;
+            if (r.overflow && psw_.overflowTrapEnabled())
+                fault = psw_bits::cOvf;
+            break;
+          }
+          case ImmOp::Lih:
+            l.aluOut = static_cast<word_t>(in.imm) << 15;
+            break;
+          case ImmOp::Jal:
+          case ImmOp::Jalr:
+            l.aluOut = l.pc + 1 + config_.branchDelay; // the link value
+            [[fallthrough]];
+          case ImmOp::Jmp:
+          case ImmOp::Jr:
+            if (config_.branchDelay == 2)
+                resolveControl(l);
+            break;
+          case ImmOp::Jpc:
+            if (user) {
+                fault = psw_bits::cPriv;
+                break;
+            }
+            if (config_.branchDelay == 2)
+                resolveControl(l);
+            break;
+          case ImmOp::Trap:
+            if (in.uimm == isa::trapCodeHalt ||
+                in.uimm == isa::trapCodeFail) {
+                // Simulation control: drain older instructions, squash
+                // younger ones, and stop when the trap itself retires.
+                halting_ = true;
+                rf_.killed = true;
+                suppressFetch_ = true;
+            } else {
+                fault = psw_bits::cTrap;
+            }
+            break;
+        }
+        break;
+
+      case Format::Mem:
+        // The ALU cycle computes the memory (or coprocessor) address.
+        l.aluOut = static_cast<word_t>(
+            static_cast<std::int64_t>(l.opA) + in.imm);
+        break;
+
+      case Format::Branch:
+        if (config_.branchDelay == 2)
+            resolveControl(l);
+        break;
+    }
+
+    if (fault)
+        takeException(fault);
+}
+
+// ---------------------------------------------------------------------
+// MEM stage
+// ---------------------------------------------------------------------
+
+void
+Cpu::executeMem()
+{
+    Latch &l = mem_;
+    if (!l.valid || l.killed || l.inst.fmt != Format::Mem)
+        return;
+    const auto &in = l.inst;
+    const addr_t addr = l.aluOut;
+    const AddressSpace space = l.space;
+    const std::uint64_t key = memory::physKey(space, addr);
+
+    // A miss goes to main memory over the shared bus: the late-miss
+    // retry loop runs for the memory latency plus any bus arbitration.
+    // Buffered write-through stores occupy the bus without stalling
+    // this processor.
+    auto charge = [this](const memory::ECacheResult &r) {
+        if (r.stallCycles) {
+            missFsm_.startEMiss(busTransaction(r.stallCycles));
+        } else if (r.busCycles && config_.bus) {
+            // A buffered write-through store: the 4-deep store buffer
+            // (Smith's sizing) absorbs bus backlog up to its depth;
+            // beyond that the processor stalls behind its own stores.
+            const unsigned wait =
+                config_.bus->acquire(stats_.cycles, r.busCycles);
+            const unsigned slack = 4 * r.busCycles;
+            if (wait > slack)
+                missFsm_.startEMiss(wait - slack);
+        }
+    };
+    auto snoop = [this](std::uint64_t k) {
+        if (config_.coherence)
+            config_.coherence->writeBroadcast(&ecache_, k);
+    };
+
+    switch (in.memOp) {
+      case MemOp::Ld:
+        l.memData = ram_.read(space, addr);
+        charge(ecache_.access(key, false));
+        break;
+      case MemOp::St:
+        ram_.write(space, addr, l.opB);
+        charge(ecache_.access(key, true));
+        snoop(key);
+        break;
+      case MemOp::Ldt:
+        // Load-through: an uncached access pays a full bus round trip.
+        l.memData = ram_.read(space, addr);
+        missFsm_.startEMiss(
+            busTransaction(ecache_.config().missPenalty));
+        break;
+      case MemOp::Ldf: {
+        const word_t data = ram_.read(space, addr);
+        cops_.at(1).loadDirect(in.aux, data);
+        charge(ecache_.access(key, false));
+        break;
+      }
+      case MemOp::Stf: {
+        const word_t data = cops_.at(1).storeDirect(in.aux);
+        ram_.write(space, addr, data);
+        charge(ecache_.access(key, true));
+        snoop(key);
+        break;
+      }
+      case MemOp::Aluc:
+        cops_.at(in.copNum()).aluc(in.copOp());
+        break;
+      case MemOp::Movfrc:
+        l.memData = cops_.at(in.copNum()).movfrc(in.copOp());
+        break;
+      case MemOp::Movtoc:
+        cops_.at(in.copNum()).movtoc(in.copOp(), l.opB);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// IF stage
+// ---------------------------------------------------------------------
+
+Cpu::Latch
+Cpu::fetch()
+{
+    Latch l;
+    if (suppressFetch_)
+        return l; // bubble
+
+    l.valid = true;
+    l.pc = fetchPc_;
+    l.space = psw_.space();
+    l.inst = isa::decode(ram_.read(l.space, l.pc));
+
+    if (prog_) {
+        if (const auto *sec = prog_->sectionAt(l.space, l.pc))
+            l.slot = sec->slotAt(l.pc);
+    }
+
+    const bool cacheable =
+        !(config_.coprocNonCachedFetch && l.inst.isCoproc());
+    const auto r = icache_.fetch(l.space, l.pc, cacheable);
+    if (!r.hit) {
+        missFsm_.startIMiss(r.stallCycles);
+        // The fetch-back words come from the Ecache; a late miss there
+        // extends the stall while main memory responds over the bus.
+        for (unsigned i = 0; i < r.numRefills; ++i) {
+            const auto e = ecache_.access(r.refillKeys[i], false);
+            if (!e.hit)
+                missFsm_.startEMiss(busTransaction(e.stallCycles));
+        }
+    }
+
+    if (squashFetch_ || fetchKillArmed_) {
+        l.killed = true;
+        l.squashKilled = true;
+    }
+    return l;
+}
+
+// ---------------------------------------------------------------------
+// The w1-clocked cycle
+// ---------------------------------------------------------------------
+
+void
+Cpu::accountSlot(const Latch &slot, const PendingBranchCost &pb)
+{
+    bool wasted = false;
+    if (pb.squashed || !slot.valid || slot.inst.isNop()) {
+        wasted = true;
+    } else {
+        switch (slot.slot) {
+          case SlotKind::BrFromTarget:
+            wasted = !pb.taken;
+            break;
+          case SlotKind::BrFromFall:
+            wasted = pb.taken;
+            break;
+          default:
+            wasted = false; // hoisted or unscheduled: always useful
+            break;
+        }
+    }
+    if (!wasted)
+        return;
+    if (pb.conditional)
+        ++stats_.branchWastedSlots;
+    else
+        ++stats_.jumpWastedSlots;
+}
+
+void
+Cpu::stepCycle()
+{
+    if (stopped())
+        return;
+    if (stats_.cycles >= config_.maxCycles) {
+        stopSim(StopReason::MaxCycles);
+        return;
+    }
+
+    squashFetch_ = false;
+    suppressFetch_ = halting_;
+    haveRedirect_ = false;
+    redirectKill_ = false;
+
+    bool exceptionThisCycle = false;
+
+    // 1. WB commits (write-before-read within the cycle).
+    commitWb();
+    if (stopped())
+        return;
+
+    // 2. External exceptions are sampled first; the ALU instruction is
+    //    killed with everything younger and will re-execute on restart.
+    //    The exception-return sequence is atomic: while a jpc is in
+    //    flight the half-consumed PC chain is not a restartable state,
+    //    so interrupts wait until the reloaded user instructions fill
+    //    the MEM/ALU/RF stages.
+    auto is_jpc = [](const Latch &l) {
+        return l.valid && l.inst.fmt == Format::Imm &&
+            l.inst.immOp == ImmOp::Jpc;
+    };
+    const bool latchesKnown = mem_.valid && alu_.valid && rf_.valid &&
+        !is_jpc(mem_) && !is_jpc(alu_) && !is_jpc(rf_);
+    if (!halting_ && latchesKnown &&
+        (pendingNmi_ || (pendingIntr_ && psw_.interruptsEnabled()))) {
+        const word_t cause =
+            pendingNmi_ ? psw_bits::cNmi : psw_bits::cIntr;
+        if (pendingNmi_)
+            pendingNmi_ = false;
+        else
+            pendingIntr_ = false;
+        takeException(cause);
+        exceptionThisCycle = true;
+    } else {
+        // 3. ALU stage: compute, detect faults, resolve control (delay 2).
+        const auto exceptionsBefore = stats_.exceptions;
+        evaluateAlu();
+        if (stopped())
+            return;
+        exceptionThisCycle = stats_.exceptions != exceptionsBefore;
+    }
+
+    // 4. Data page faults from the external memory system arrive just
+    //    before the access would happen: the faulting instruction is in
+    //    MEM and becomes the oldest saved chain entry, so the restart
+    //    re-executes exactly it.
+    if (!exceptionThisCycle && !halting_ && config_.pageFaultArmed &&
+        mem_.valid && !mem_.killed && mem_.inst.accessesMemory() &&
+        mem_.space == config_.pageFaultSpace &&
+        mem_.aluOut == config_.pageFaultAddr) {
+        config_.pageFaultArmed = false; // "paged in" after the fault
+        takeException(psw_bits::cPage);
+        exceptionThisCycle = true;
+    }
+
+    // 5. MEM stage (gated by the Exception line via the killed flag).
+    executeMem();
+
+    // 6. jpc reads and pops the PC chain during its RF cycle.
+    if (rf_.valid && !rf_.killed && rf_.inst.fmt == Format::Imm &&
+        rf_.inst.immOp == ImmOp::Jpc) {
+        rf_.jpcEntry = chain_.pop();
+    }
+
+    // 7. Quick-compare resolution at the end of RF (branchDelay == 1).
+    if (config_.branchDelay == 1 && !exceptionThisCycle && rf_.valid &&
+        !rf_.killed && (rf_.inst.isBranch() || rf_.inst.isJump())) {
+        // Operands resolved with the RF-stage bypass view.
+        auto read_rf = [this](unsigned r) -> word_t {
+            if (r == 0)
+                return 0;
+            if (alu_.valid && !alu_.killed && alu_.inst.destReg() == r &&
+                !alu_.inst.isGprLoad()) {
+                return alu_.aluOut;
+            }
+            if (mem_.valid && !mem_.killed && mem_.inst.destReg() == r) {
+                return mem_.inst.isGprLoad() ? mem_.memData : mem_.aluOut;
+            }
+            return regs_[r];
+        };
+        rf_.opA = read_rf(rf_.inst.rs1);
+        rf_.opB = read_rf(rf_.inst.rs2);
+        if (rf_.inst.isJump() &&
+            (rf_.inst.immOp == ImmOp::Jal ||
+             rf_.inst.immOp == ImmOp::Jalr)) {
+            rf_.aluOut = rf_.pc + 1 + config_.branchDelay;
+        }
+        resolveControl(rf_);
+    }
+
+    // 8. The squash FSM observes this cycle's events.
+    squashFsm_.tick(squashFetch_ && !exceptionThisCycle,
+                    exceptionThisCycle);
+
+    // 9. IF stage.
+    Latch fetched = fetch();
+    fetchKillArmed_ = false;
+    if (pendingCost_.active) {
+        accountSlot(fetched, pendingCost_);
+        pendingCost_ = {};
+    }
+
+    // 10. Shift the pipeline (w1 rises).
+    wb_ = mem_;
+    mem_ = alu_;
+    alu_ = rf_;
+    rf_ = fetched;
+
+    // 11. The PC chain shadows the MEM/ALU/RF PCs while shifting is
+    //    enabled; an exception freezes it via the PSW.
+    if (psw_.shiftEnabled()) {
+        chain_.shift(
+            PcChain::makeEntry(mem_.pc, mem_.squashKilled || !mem_.valid),
+            PcChain::makeEntry(alu_.pc, alu_.squashKilled || !alu_.valid),
+            PcChain::makeEntry(rf_.pc, rf_.squashKilled || !rf_.valid));
+    }
+
+    // 12. Advance the fetch PC. A jpc re-injecting a squashed chain
+    //     entry arms a kill for the word fetched at the redirect target.
+    if (!suppressFetch_ || haveRedirect_)
+        fetchPc_ = haveRedirect_ ? redirect_ : fetchPc_ + 1;
+    if (haveRedirect_ && redirectKill_)
+        fetchKillArmed_ = true;
+
+    // 13. Count the executed cycle. Stall cycles the caches caused are
+    //     consumed by subsequent tick()s (the w1 clock is withheld).
+    missFsm_.noteRun();
+    ++stats_.cycles;
+}
+
+void
+Cpu::tick()
+{
+    if (stopped())
+        return;
+    if (missFsm_.stalled()) {
+        missFsm_.tick();
+        ++stats_.cycles;
+        return;
+    }
+    stepCycle();
+}
+
+void
+Cpu::step()
+{
+    stepCycle();
+    while (!stopped() && missFsm_.stalled()) {
+        missFsm_.tick();
+        ++stats_.cycles;
+    }
+}
+
+void
+Cpu::dumpStats(std::ostream &os) const
+{
+    stats::Group pipe(strformat("cpu%u.pipeline", config_.cpuId));
+    pipe.set("cycles", double(stats_.cycles));
+    pipe.set("instructions", double(stats_.committed));
+    pipe.set("cpi", stats_.cpi());
+    pipe.set("noops", double(stats_.committedNops));
+    pipe.set("noop_fraction", stats_.noopFraction());
+    pipe.set("noops_branch_slots", double(stats_.nopsInBranchSlots));
+    pipe.set("noops_load_delay", double(stats_.nopsForLoadDelay));
+    pipe.set("squashed", double(stats_.squashed));
+    pipe.set("branches", double(stats_.branches));
+    pipe.set("branches_taken", double(stats_.branchesTaken));
+    pipe.set("cycles_per_branch", stats_.cyclesPerBranch());
+    pipe.set("jumps", double(stats_.jumps));
+    pipe.set("exceptions", double(stats_.exceptions));
+    pipe.set("interrupts", double(stats_.interrupts));
+    pipe.set("traps", double(stats_.traps));
+    pipe.set("hazard_violations", double(stats_.hazardViolations));
+    pipe.dump(os);
+
+    stats::Group ic(strformat("cpu%u.icache", config_.cpuId));
+    ic.set("accesses", double(icache_.accesses()));
+    ic.set("misses", double(icache_.misses()));
+    ic.set("miss_ratio", icache_.missRatio());
+    ic.set("tag_misses", double(icache_.tagMisses()));
+    ic.set("subblock_misses", double(icache_.subBlockMisses()));
+    ic.set("avg_fetch_cost", icache_.avgFetchCost());
+    ic.dump(os);
+
+    stats::Group ec(strformat("cpu%u.ecache", config_.cpuId));
+    ec.set("accesses", double(ecache_.accesses()));
+    ec.set("misses", double(ecache_.misses()));
+    ec.set("miss_ratio", ecache_.missRatio());
+    ec.set("writebacks", double(ecache_.writebacks()));
+    ec.set("stall_cycles", double(ecache_.stallCycles()));
+    ec.set("memory_traffic_cycles",
+           double(ecache_.memoryTrafficCycles()));
+    ec.dump(os);
+
+    stats::Group fsm(strformat("cpu%u.fsm", config_.cpuId));
+    fsm.set("squash_run", double(squashFsm_.occupancy(SquashState::Run)));
+    fsm.set("squash_branch",
+            double(squashFsm_.occupancy(SquashState::BranchSquash)));
+    fsm.set("squash_exception",
+            double(squashFsm_.occupancy(SquashState::Exception)));
+    fsm.set("miss_run", double(missFsm_.occupancy(MissState::Run)));
+    fsm.set("miss_imiss", double(missFsm_.occupancy(MissState::IMiss)));
+    fsm.set("miss_emiss", double(missFsm_.occupancy(MissState::EMiss)));
+    fsm.dump(os);
+}
+
+RunResult
+Cpu::run()
+{
+    while (!stopped())
+        step();
+    RunResult r;
+    r.reason = stop_;
+    r.cycles = stats_.cycles;
+    r.instructions = stats_.committed;
+    return r;
+}
+
+} // namespace mipsx::core

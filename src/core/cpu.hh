@@ -1,0 +1,343 @@
+/**
+ * @file
+ * The cycle-accurate MIPS-X pipeline model.
+ *
+ * Five pipestages (Figure 1): IF, RF, ALU, MEM, WB. One instruction
+ * starts every cycle; the only stalls are whole-pipeline freezes caused
+ * by withholding the qualified w1 clock on an instruction-cache miss or
+ * an external-cache late miss (see miss_fsm.hh). Results commit in WB
+ * (delayed writeback), two levels of bypassing feed the ALU inputs, and
+ * the machine has *no hardware interlocks*: an instruction that reads the
+ * target of the immediately preceding load observes the old register
+ * value — the software reorganizer must schedule around the load delay.
+ *
+ * Branches compute their condition in ALU, giving a branch delay of two;
+ * squashing branches convert the two slot instructions to no-ops when the
+ * branch resolves against the direction their slots were scheduled for.
+ * Exceptions halt the pipeline: the Exception line no-ops the MEM and ALU
+ * stages, the Squash line no-ops RF and IF, the frozen PC chain keeps the
+ * three PCs needed for restart, PSW -> PSWold, and fetch vectors to
+ * address 0 in system space.
+ */
+
+#ifndef MIPSX_CORE_CPU_HH
+#define MIPSX_CORE_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include <ostream>
+
+#include "assembler/program.hh"
+#include "common/types.hh"
+#include "coproc/coprocessor.hh"
+#include "core/miss_fsm.hh"
+#include "core/pc_unit.hh"
+#include "core/psw.hh"
+#include "core/squash_fsm.hh"
+#include "isa/instruction.hh"
+#include "memory/bus.hh"
+#include "memory/ecache.hh"
+#include "memory/icache.hh"
+#include "memory/main_memory.hh"
+
+namespace mipsx::core
+{
+
+/** Static configuration of one CPU instance. */
+struct CpuConfig
+{
+    memory::ICacheConfig icache{};
+    memory::ECacheConfig ecache{};
+
+    /**
+     * Architectural branch delay: 2 for the real machine, 1 for the
+     * quick-compare design point of the branch study (Table 1's one-slot
+     * schemes). With a delay of 1 branches resolve at the end of RF.
+     */
+    unsigned branchDelay = 2;
+
+    /**
+     * Model the rejected "non-cached coprocessor instruction" interface:
+     * coprocessor instructions always miss in the instruction cache and
+     * are picked up off the memory bus during the miss cycle.
+     */
+    bool coprocNonCachedFetch = false;
+
+    /** Count (and optionally stop on) load-delay scheduling violations. */
+    bool detectHazards = true;
+    bool stopOnHazard = false;
+
+    /**
+     * Fault injection for the paper's restartability claim ("all
+     * instructions are restartable so MIPS-X will support a dynamic,
+     * paged virtual memory system"): the external memory system raises
+     * a data page fault the first time this word is accessed. The
+     * faulting memory instruction is killed *before* its MEM cycle and
+     * sits at the head of the frozen PC chain, so the standard restart
+     * sequence re-executes it — a soft-TLB-miss round trip.
+     */
+    bool pageFaultArmed = false;
+    AddressSpace pageFaultSpace = AddressSpace::User;
+    addr_t pageFaultAddr = 0;
+
+    word_t initialPsw = isa::psw_bits::shiftEn; ///< user mode, chain on
+    cycle_t maxCycles = 200'000'000;
+
+    // Multiprocessor integration (optional; see memory/bus.hh and
+    // mp/multi_machine.hh). The bus arbiter charges extra stall cycles
+    // when the shared bus is busy; the coherence hub snoops stores.
+    memory::BusArbiter *bus = nullptr;
+    memory::CoherenceHub *coherence = nullptr;
+    unsigned cpuId = 0;
+};
+
+/** Why a run stopped. */
+enum class StopReason : std::uint8_t
+{
+    Running = 0,
+    Halt,          ///< trap 0x1ffff retired
+    Fail,          ///< trap 0x1fffe retired (workload self-check failed)
+    MaxCycles,
+    InvalidInstruction,
+    UnhandledException, ///< vectored to 0 but no handler is loaded
+    HazardViolation,    ///< load-delay violation with stopOnHazard
+};
+
+const char *stopReasonName(StopReason r);
+
+/** Aggregate pipeline statistics. */
+struct PipelineStats
+{
+    cycle_t cycles = 0;
+    std::uint64_t committed = 0;     ///< instructions retired (incl. nops)
+    std::uint64_t committedNops = 0; ///< canonical no-ops retired
+    std::uint64_t nopsInBranchSlots = 0;
+    std::uint64_t nopsForLoadDelay = 0;
+    std::uint64_t squashed = 0; ///< instructions converted to no-ops
+
+    std::uint64_t branches = 0; ///< conditional branches resolved
+    std::uint64_t branchesTaken = 0;
+    std::uint64_t branchSquashTriggers = 0; ///< branches that squashed
+    std::uint64_t branchWastedSlots = 0;    ///< nop/squashed/useless slots
+    std::uint64_t jumps = 0;
+    std::uint64_t jumpWastedSlots = 0;
+
+    std::uint64_t traps = 0;
+    std::uint64_t exceptions = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t hazardViolations = 0;
+
+    double cpi() const
+    {
+        return committed ? static_cast<double>(cycles) / committed : 0.0;
+    }
+    /** Fraction of retired instructions that are no-ops (paper: 15.6%). */
+    double noopFraction() const
+    {
+        return committed ? static_cast<double>(committedNops) / committed
+                         : 0.0;
+    }
+    /** Table 1's metric: average cycles per conditional branch. */
+    double cyclesPerBranch() const
+    {
+        return branches
+            ? 1.0 + static_cast<double>(branchWastedSlots) / branches
+            : 0.0;
+    }
+    double cyclesPerJump() const
+    {
+        return jumps ? 1.0 + static_cast<double>(jumpWastedSlots) / jumps
+                     : 0.0;
+    }
+};
+
+/** Result of Cpu::run(). */
+struct RunResult
+{
+    StopReason reason = StopReason::Running;
+    cycle_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    bool halted() const { return reason == StopReason::Halt; }
+};
+
+/** The pipelined CPU. */
+class Cpu
+{
+  public:
+    Cpu(const CpuConfig &config, memory::MainMemory &mem);
+
+    /** Attach a coprocessor at number @p num (1..7). */
+    void attachCoprocessor(unsigned num,
+                           std::unique_ptr<coproc::Coprocessor> cop);
+    coproc::Coprocessor &coprocessor(unsigned num) const
+    {
+        return cops_.at(num);
+    }
+
+    /**
+     * Provide the program image so delay-slot provenance annotations can
+     * be consulted for the branch-cost statistics. Optional.
+     */
+    void setProgram(const assembler::Program *prog) { prog_ = prog; }
+
+    /** Reset all pipeline state and begin fetching at @p entry. */
+    void reset(addr_t entry);
+
+    /** Run until the workload halts or a stop condition hits. */
+    RunResult run();
+
+    /** Execute one w1-clocked cycle (plus any stall cycles it causes). */
+    void step();
+
+    /**
+     * Advance exactly one cycle: consume one pending stall cycle if the
+     * w1 clock is withheld, else execute one pipeline cycle. This is the
+     * granularity the multiprocessor uses to interleave CPUs.
+     */
+    void tick();
+
+    bool stopped() const { return stop_ != StopReason::Running; }
+    StopReason stopReason() const { return stop_; }
+
+    // External events.
+    void raiseInterrupt() { pendingIntr_ = true; }
+    void raiseNmi() { pendingNmi_ = true; }
+
+    /** One retired instruction, as observed at writeback. */
+    struct RetireEvent
+    {
+        cycle_t cycle = 0;
+        addr_t pc = 0;
+        AddressSpace space = AddressSpace::User;
+        word_t raw = 0;
+        bool squashed = false; ///< retired as a squashed no-op
+    };
+
+    /** Observe every retiring instruction (tracing / co-simulation). */
+    void
+    setRetireHook(std::function<void(const RetireEvent &)> hook)
+    {
+        retireHook_ = std::move(hook);
+    }
+
+    // Architectural state access (for tests, loaders and checkers).
+    word_t gpr(unsigned r) const { return regs_.at(r); }
+    void setGpr(unsigned r, word_t v);
+    word_t md() const { return md_; }
+    const Psw &psw() const { return psw_; }
+    void setPsw(word_t bits) { psw_.setBits(bits); }
+    const PcChain &pcChain() const { return chain_; }
+
+    // Component access.
+    const memory::ICache &icache() const { return icache_; }
+    memory::ICache &icache() { return icache_; }
+    const memory::ECache &ecache() const { return ecache_; }
+    memory::ECache &ecache() { return ecache_; }
+    const SquashFsm &squashFsm() const { return squashFsm_; }
+    const CacheMissFsm &missFsm() const { return missFsm_; }
+    const PipelineStats &stats() const { return stats_; }
+    const CpuConfig &config() const { return config_; }
+
+    /** Dump every statistic as uniform "group.key value" lines. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    /** One pipeline latch (the instruction occupying a stage). */
+    struct Latch
+    {
+        bool valid = false;
+        bool killed = false;       ///< no write-back / no side effects
+        bool squashKilled = false; ///< killed by a branch squash
+        isa::Instruction inst;
+        addr_t pc = 0;
+        AddressSpace space = AddressSpace::User;
+        word_t opA = 0;   ///< resolved first operand (after bypass)
+        word_t opB = 0;   ///< resolved second operand / store data
+        word_t aluOut = 0;
+        word_t memData = 0; ///< load / movfrc data captured in MEM
+        word_t mdOut = 0;
+        bool writesMdOut = false;
+        word_t pswOut = 0;
+        bool writesPswOut = false;
+        word_t chainOut = 0;   ///< movtos pchainN value
+        int chainIndex = -1;   ///< which chain entry movtos writes
+        word_t jpcEntry = 0;   ///< chain entry popped at RF by jpc
+        assembler::SlotKind slot = assembler::SlotKind::None;
+    };
+
+    // Per-cycle phases.
+    void stepCycle();
+    void commitWb();
+    void evaluateAlu();
+    void resolveControl(Latch &l); ///< branch/jump resolution
+    void takeException(word_t cause);
+    void executeMem();
+    Latch fetch();
+
+    /** Charge a main-memory transaction, arbitrating for the bus. */
+    unsigned busTransaction(unsigned duration);
+
+    /** Resolve a GPR read at the ALU inputs, applying the bypasses. */
+    word_t readOperand(unsigned r);
+    /** Resolve the MD register as seen by the ALU stage. */
+    word_t readMd() const;
+    /** Read a special register at the ALU stage. */
+    word_t readSpecial(isa::SpecialReg sreg) const;
+
+    void stopSim(StopReason r) { stop_ = r; }
+
+    CpuConfig config_;
+    memory::MainMemory &ram_;
+    memory::ICache icache_;
+    memory::ECache ecache_;
+    coproc::CoprocessorSet cops_;
+    const assembler::Program *prog_ = nullptr;
+
+    // Architectural state.
+    std::array<word_t, numGprs> regs_{};
+    word_t md_ = 0;
+    Psw psw_;
+    Psw pswOld_;
+    PcChain chain_;
+
+    // Pipeline state. rf_/alu_/mem_/wb_ hold the instruction in that
+    // stage this cycle; the IF-stage instruction is produced by fetch().
+    Latch rf_, alu_, mem_, wb_;
+    addr_t fetchPc_ = 0;
+    bool haveRedirect_ = false;
+    addr_t redirect_ = 0;
+    bool redirectKill_ = false;  ///< this redirect re-injects a squashed
+                                 ///< chain entry (set by jpc)
+    bool fetchKillArmed_ = false; ///< kill the word fetched this cycle
+    bool squashFetch_ = false;  ///< this cycle's fetch is squashed
+    bool suppressFetch_ = false; ///< halting / exception entry
+    bool halting_ = false;
+
+    bool pendingIntr_ = false;
+    bool pendingNmi_ = false;
+
+    // Pending per-branch slot accounting (slot 2 is the word fetched the
+    // cycle the branch resolves).
+    struct PendingBranchCost
+    {
+        bool active = false;
+        bool conditional = false;
+        bool taken = false;
+        bool squashed = false;
+    } pendingCost_;
+    void accountSlot(const Latch &slot, const PendingBranchCost &pb);
+
+    SquashFsm squashFsm_;
+    CacheMissFsm missFsm_;
+    StopReason stop_ = StopReason::Running;
+    PipelineStats stats_;
+    std::function<void(const RetireEvent &)> retireHook_;
+};
+
+} // namespace mipsx::core
+
+#endif // MIPSX_CORE_CPU_HH

@@ -1,0 +1,128 @@
+#include "core/exec.hh"
+
+#include "common/sim_error.hh"
+
+namespace mipsx::core
+{
+
+ComputeResult
+addOverflow(word_t a, word_t b)
+{
+    ComputeResult r;
+    r.value = a + b;
+    // Overflow iff the operands agree in sign and the result does not.
+    r.overflow = (~(a ^ b) & (a ^ r.value)) >> 31;
+    return r;
+}
+
+ComputeResult
+subOverflow(word_t a, word_t b)
+{
+    ComputeResult r;
+    r.value = a - b;
+    r.overflow = ((a ^ b) & (a ^ r.value)) >> 31;
+    return r;
+}
+
+word_t
+funnelShift(word_t hi, word_t lo, unsigned pos)
+{
+    const std::uint64_t both =
+        (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return static_cast<word_t>(both >> (pos & 31));
+}
+
+ComputeResult
+mstep(word_t acc, word_t b, word_t md)
+{
+    ComputeResult r;
+    r.value = (acc << 1) + ((md >> 31) ? b : 0u);
+    r.md = md << 1;
+    r.writesMd = true;
+    return r;
+}
+
+ComputeResult
+dstep(word_t acc, word_t d, word_t md)
+{
+    ComputeResult r;
+    word_t t = (acc << 1) | (md >> 31);
+    word_t q = md << 1;
+    if (t >= d && d != 0) {
+        t -= d;
+        q |= 1;
+    }
+    r.value = t;
+    r.md = q;
+    r.writesMd = true;
+    return r;
+}
+
+ComputeResult
+executeCompute(const isa::Instruction &in, word_t a, word_t b, word_t md)
+{
+    using isa::ComputeOp;
+    switch (in.compOp) {
+      case ComputeOp::Add:
+        return addOverflow(a, b);
+      case ComputeOp::Sub:
+        return subOverflow(a, b);
+      case ComputeOp::And:
+        return {a & b, 0, false, false};
+      case ComputeOp::Or:
+        return {a | b, 0, false, false};
+      case ComputeOp::Xor:
+        return {a ^ b, 0, false, false};
+      case ComputeOp::Bic:
+        return {a & ~b, 0, false, false};
+      // All shifts run through the funnel shifter, as in the real
+      // datapath (a 64-to-32-bit funnel shifter plus the ALU).
+      case ComputeOp::Sll:
+        if (in.aux == 0)
+            return {a, 0, false, false};
+        return {funnelShift(a, 0, 32 - in.aux), 0, false, false};
+      case ComputeOp::Srl:
+        return {funnelShift(0, a, in.aux), 0, false, false};
+      case ComputeOp::Sra: {
+        const word_t sign = (a >> 31) ? 0xffffffffu : 0u;
+        return {funnelShift(sign, a, in.aux), 0, false, false};
+      }
+      case ComputeOp::Fsh:
+        return {funnelShift(a, b, in.aux), 0, false, false};
+      case ComputeOp::Mstep:
+        return mstep(a, b, md);
+      case ComputeOp::Dstep:
+        return dstep(a, b, md);
+      case ComputeOp::Movfrs:
+      case ComputeOp::Movtos:
+        fatal("executeCompute: movfrs/movtos handled by the caller");
+      default:
+        fatal("executeCompute: reserved compute opcode");
+    }
+}
+
+bool
+branchTaken(isa::BranchCond cond, word_t a, word_t b)
+{
+    using isa::BranchCond;
+    switch (cond) {
+      case BranchCond::Eq:
+        return a == b;
+      case BranchCond::Ne:
+        return a != b;
+      case BranchCond::Lt:
+        return static_cast<sword_t>(a) < static_cast<sword_t>(b);
+      case BranchCond::Ge:
+        return static_cast<sword_t>(a) >= static_cast<sword_t>(b);
+      case BranchCond::Hs:
+        return a >= b;
+      case BranchCond::Lo:
+        return a < b;
+      case BranchCond::T:
+        return true;
+      default:
+        fatal("branchTaken: reserved condition");
+    }
+}
+
+} // namespace mipsx::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pure execution semantics of MX32 compute operations, shared by the
+ * functional simulator (golden model) and the pipeline model so the two
+ * can never drift apart.
+ */
+
+#ifndef MIPSX_CORE_EXEC_HH
+#define MIPSX_CORE_EXEC_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace mipsx::core
+{
+
+/** Result of a compute operation. */
+struct ComputeResult
+{
+    word_t value = 0;  ///< ALU/shifter output (destined for rd)
+    word_t md = 0;     ///< new MD register value
+    bool writesMd = false;
+    bool overflow = false; ///< signed overflow (add/sub/addi)
+};
+
+/** 32-bit add with signed-overflow detection. */
+ComputeResult addOverflow(word_t a, word_t b);
+
+/** 32-bit subtract with signed-overflow detection. */
+ComputeResult subOverflow(word_t a, word_t b);
+
+/**
+ * The 64-bit-to-32-bit funnel shifter: extract 32 bits of {hi:lo}
+ * starting @p pos bits up from the bottom of lo.
+ */
+word_t funnelShift(word_t hi, word_t lo, unsigned pos);
+
+/**
+ * One multiply step through the MD register (MSB-first shift-and-add).
+ *
+ * With the multiplier in MD and an accumulator cleared to zero, 32
+ * repetitions of `mstep r, r, B` compute r = MD0 * B (mod 2^32):
+ *
+ *     result = (acc << 1) + (MD[31] ? b : 0);   MD <<= 1
+ */
+ComputeResult mstep(word_t acc, word_t b, word_t md);
+
+/**
+ * One restoring-division step through the MD register.
+ *
+ * With the dividend in MD and the remainder accumulator cleared, 32
+ * repetitions of `dstep r, r, D` leave the unsigned quotient in MD and
+ * the remainder in r:
+ *
+ *     t = (acc << 1) | MD[31];  MD <<= 1
+ *     if (t >= d) { t -= d; MD |= 1 }
+ *     result = t
+ */
+ComputeResult dstep(word_t acc, word_t d, word_t md);
+
+/**
+ * Execute a compute-format operation (excluding movfrs/movtos, which
+ * touch machine state the caller owns).
+ *
+ * @param in decoded instruction (fmt == Compute)
+ * @param a first operand (R[rs1])
+ * @param b second operand (R[rs2])
+ * @param md current MD register value
+ */
+ComputeResult executeCompute(const isa::Instruction &in, word_t a, word_t b,
+                             word_t md);
+
+/** Evaluate a branch condition on two register values. */
+bool branchTaken(isa::BranchCond cond, word_t a, word_t b);
+
+} // namespace mipsx::core
+
+#endif // MIPSX_CORE_EXEC_HH

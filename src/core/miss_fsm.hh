@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The cache-miss finite state machine (paper Figure 4).
+ *
+ * MIPS-X stalls the *entire* pipeline on a cache miss by withholding the
+ * qualified w1 clock: "when either cache misses, the w1 clock does not
+ * rise, and the control state does not shift down the pipeline control
+ * latches. The lack of a w1 clock causes the machine to execute the
+ * previous phase-2 before retrying the phase-1." This FSM sequences those
+ * stall cycles — two per instruction-cache miss (during which the two
+ * fetch-back words return), and one retry loop per external-cache late
+ * miss that repeats until the Ecache signals a hit.
+ */
+
+#ifndef MIPSX_CORE_MISS_FSM_HH
+#define MIPSX_CORE_MISS_FSM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mipsx::core
+{
+
+/** States of the cache-miss FSM. */
+enum class MissState : std::uint8_t
+{
+    Run = 0,    ///< w1 rises; the pipeline advances
+    IMiss = 1,  ///< servicing an instruction-cache miss
+    EMiss = 2,  ///< re-executing MEM phase 2 (Ecache late miss)
+};
+
+inline constexpr unsigned numMissStates = 3;
+
+class CacheMissFsm
+{
+  public:
+    /** An instruction-cache miss needing @p cycles of service begins. */
+    void
+    startIMiss(unsigned cycles)
+    {
+        state_ = MissState::IMiss;
+        remaining_ += cycles;
+    }
+
+    /** An Ecache late miss: retry MEM phase 2 for @p cycles. */
+    void
+    startEMiss(unsigned cycles)
+    {
+        state_ = MissState::EMiss;
+        remaining_ += cycles;
+    }
+
+    /** True while w1 is withheld and the pipeline must not advance. */
+    bool stalled() const { return remaining_ > 0; }
+
+    /** Record a normal (w1-clocked) execution cycle. */
+    void
+    noteRun()
+    {
+        ++occupancy_[static_cast<unsigned>(MissState::Run)];
+    }
+
+    /** Consume one stall cycle (w1 withheld). Requires stalled(). */
+    void
+    tick()
+    {
+        ++occupancy_[static_cast<unsigned>(state_)];
+        --remaining_;
+        if (remaining_ == 0)
+            state_ = MissState::Run;
+    }
+
+    MissState state() const { return state_; }
+
+    std::uint64_t
+    occupancy(MissState s) const
+    {
+        return occupancy_[static_cast<unsigned>(s)];
+    }
+
+    void
+    reset()
+    {
+        state_ = MissState::Run;
+        remaining_ = 0;
+        occupancy_ = {};
+    }
+
+  private:
+    MissState state_ = MissState::Run;
+    unsigned remaining_ = 0;
+    std::array<std::uint64_t, numMissStates> occupancy_{};
+};
+
+} // namespace mipsx::core
+
+#endif // MIPSX_CORE_MISS_FSM_HH

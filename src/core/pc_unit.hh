@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The PC unit's chain of saved PC values.
+ *
+ * The PC unit contains a displacement adder, an incrementer (both modelled
+ * inline in the pipeline) and "a chain of shift registers to save the PC
+ * values of the instructions currently in execution". The chain holds
+ * three entries — the PCs of the instructions in the RF, ALU and MEM
+ * stages. On an exception the chain freezes, preserving the addresses of
+ * the instructions that must be restarted; the restart sequence reloads it
+ * and performs three special jumps (jpc) that each consume one entry.
+ *
+ * Reconstruction note (see DESIGN.md): each entry carries a *squash flag*
+ * in bit 31 of the saved word. An instruction that was squashed by a
+ * branch (architecturally a no-op) must stay a no-op when the restart
+ * sequence re-executes it; the flag rides along when the handler saves and
+ * restores the chain with movfrs/movtos, and jpc re-applies it to the
+ * instruction it re-injects. Code addresses are therefore restricted to
+ * 31 bits, which the word-addressed machine has room for.
+ */
+
+#ifndef MIPSX_CORE_PC_UNIT_HH
+#define MIPSX_CORE_PC_UNIT_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace mipsx::core
+{
+
+/** The squash flag carried in a saved chain entry. */
+inline constexpr word_t chainSquashBit = 0x80000000u;
+
+/** The PC chain of the PC unit. */
+class PcChain
+{
+  public:
+    /** One shift: capture the PCs of the MEM, ALU and RF instructions. */
+    void
+    shift(word_t mem_entry, word_t alu_entry, word_t rf_entry)
+    {
+        entries_ = {mem_entry, alu_entry, rf_entry};
+    }
+
+    /** jpc: consume the oldest entry. */
+    word_t
+    pop()
+    {
+        const word_t head = entries_[0];
+        entries_[0] = entries_[1];
+        entries_[1] = entries_[2];
+        entries_[2] = 0;
+        return head;
+    }
+
+    /** movfrs pchainN. Index 0 is the oldest entry. */
+    word_t read(unsigned i) const { return entries_.at(i); }
+
+    /** movtos pchainN. */
+    void write(unsigned i, word_t v) { entries_.at(i) = v; }
+
+    static addr_t entryPc(word_t entry) { return entry & ~chainSquashBit; }
+    static bool entrySquashed(word_t entry)
+    {
+        return entry & chainSquashBit;
+    }
+    static word_t
+    makeEntry(addr_t pc, bool squashed)
+    {
+        return (pc & ~chainSquashBit) | (squashed ? chainSquashBit : 0);
+    }
+
+  private:
+    std::array<word_t, pcChainDepth> entries_{};
+};
+
+} // namespace mipsx::core
+
+#endif // MIPSX_CORE_PC_UNIT_HH

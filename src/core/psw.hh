@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The processor status word (PSW) and its shadow, PSWold.
+ *
+ * The PSW carries the mode bit (system/user — the current mode selects
+ * the address space and can only be changed in system mode), interrupt
+ * enable, the overflow-trap mask, the PC-chain shift enable and the
+ * exception cause bits. On an exception the current PSW is placed in
+ * PSWold, interrupts are turned off and the machine enters system mode.
+ */
+
+#ifndef MIPSX_CORE_PSW_HH
+#define MIPSX_CORE_PSW_HH
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mipsx::core
+{
+
+/** A thin typed wrapper around the PSW word. */
+class Psw
+{
+  public:
+    Psw() = default;
+    explicit Psw(word_t bits) : bits_(bits) {}
+
+    word_t bits() const { return bits_; }
+    void setBits(word_t b) { bits_ = b; }
+
+    bool systemMode() const { return bits_ & isa::psw_bits::mode; }
+    bool interruptsEnabled() const { return bits_ & isa::psw_bits::ie; }
+    bool overflowTrapEnabled() const { return bits_ & isa::psw_bits::ovfe; }
+    bool shiftEnabled() const { return bits_ & isa::psw_bits::shiftEn; }
+
+    AddressSpace
+    space() const
+    {
+        return systemMode() ? AddressSpace::System : AddressSpace::User;
+    }
+
+    /**
+     * Build the PSW the exception hardware installs: system mode,
+     * interrupts off, PC-chain shifting frozen, @p cause recorded.
+     * The overflow-trap mask is preserved.
+     */
+    static Psw
+    exceptionEntry(const Psw &current, word_t cause)
+    {
+        word_t b = isa::psw_bits::mode | cause;
+        if (current.overflowTrapEnabled())
+            b |= isa::psw_bits::ovfe;
+        return Psw(b);
+    }
+
+  private:
+    word_t bits_ = 0;
+};
+
+} // namespace mipsx::core
+
+#endif // MIPSX_CORE_PSW_HH

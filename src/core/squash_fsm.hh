@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The squash finite state machine (paper Figure 3).
+ *
+ * One FSM handles both instruction squashing for mispredicted squashing
+ * branches and pipeline squashing on exceptions — the paper's squash
+ * proponents argued (correctly, as it turned out) that the hardware
+ * needed to freeze the pipeline during an exception could implement
+ * squashing branches with "only a single extra input".
+ *
+ * The FSM drives the two kill lines of the machine:
+ *  - Squash    no-ops the instructions currently in the IF and RF stages;
+ *  - Exception no-ops the instructions currently in the ALU and MEM
+ *    stages (and gates writes to MD and the PSW).
+ *
+ * Like the real implementation ("simple shift registers with a very small
+ * amount of random logic"), the states are trivial; the class exists so
+ * the control structure is explicit, testable, and its occupancy can be
+ * reported (experiment E9).
+ */
+
+#ifndef MIPSX_CORE_SQUASH_FSM_HH
+#define MIPSX_CORE_SQUASH_FSM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mipsx::core
+{
+
+/** States of the squash FSM. */
+enum class SquashState : std::uint8_t
+{
+    Run = 0,       ///< normal execution
+    BranchSquash = 1, ///< squashing the two branch-slot instructions
+    Exception = 2, ///< exception entry: squash everything in flight
+};
+
+inline constexpr unsigned numSquashStates = 3;
+
+/** Kill lines asserted by the FSM for the current cycle. */
+struct SquashOutputs
+{
+    bool squashIfRf = false;   ///< the Squash line
+    bool killAluMem = false;   ///< the Exception line
+};
+
+class SquashFsm
+{
+  public:
+    /**
+     * Advance one cycle.
+     *
+     * @param branch_squash a squashing branch resolved against its
+     *        prediction this cycle (the single extra input).
+     * @param exception an exception is being taken this cycle.
+     */
+    SquashOutputs
+    tick(bool branch_squash, bool exception)
+    {
+        SquashOutputs out;
+        if (exception) {
+            state_ = SquashState::Exception;
+            out.squashIfRf = true;
+            out.killAluMem = true;
+        } else if (branch_squash) {
+            state_ = SquashState::BranchSquash;
+            out.squashIfRf = true;
+        } else {
+            state_ = SquashState::Run;
+        }
+        ++occupancy_[static_cast<unsigned>(state_)];
+        return out;
+    }
+
+    SquashState state() const { return state_; }
+
+    /** Cycles spent in each state (experiment E9). */
+    std::uint64_t
+    occupancy(SquashState s) const
+    {
+        return occupancy_[static_cast<unsigned>(s)];
+    }
+
+    void
+    reset()
+    {
+        state_ = SquashState::Run;
+        occupancy_ = {};
+    }
+
+  private:
+    SquashState state_ = SquashState::Run;
+    std::array<std::uint64_t, numSquashStates> occupancy_{};
+};
+
+} // namespace mipsx::core
+
+#endif // MIPSX_CORE_SQUASH_FSM_HH

@@ -1,0 +1,81 @@
+#include "isa/decode.hh"
+
+#include "common/bitfield.hh"
+
+namespace mipsx::isa
+{
+
+Instruction
+decode(word_t raw)
+{
+    Instruction in;
+    in.raw = raw;
+    in.fmt = static_cast<Format>(bits(raw, 31, 30));
+
+    switch (in.fmt) {
+      case Format::Mem: {
+        in.memOp = static_cast<MemOp>(bits(raw, 29, 27));
+        in.rs1 = static_cast<std::uint8_t>(bits(raw, 26, 22));
+        const auto rsd = static_cast<std::uint8_t>(bits(raw, 21, 17));
+        in.uimm = bits(raw, 16, 0);
+        in.imm = sext(in.uimm, 17);
+        switch (in.memOp) {
+          case MemOp::Ld:
+          case MemOp::Ldt:
+          case MemOp::Movfrc:
+            in.rd = rsd;
+            break;
+          case MemOp::St:
+          case MemOp::Movtoc:
+            in.rs2 = rsd;
+            break;
+          case MemOp::Ldf:
+          case MemOp::Stf:
+            in.aux = rsd; // coprocessor-1 register number
+            break;
+          case MemOp::Aluc:
+            break;
+        }
+        break;
+      }
+      case Format::Branch: {
+        in.cond = static_cast<BranchCond>(bits(raw, 29, 27));
+        in.squash = static_cast<SquashType>(bits(raw, 26, 25));
+        in.rs1 = static_cast<std::uint8_t>(bits(raw, 24, 20));
+        in.rs2 = static_cast<std::uint8_t>(bits(raw, 19, 15));
+        in.uimm = bits(raw, 14, 0);
+        in.imm = sext(in.uimm, 15);
+        if (static_cast<unsigned>(in.cond) == 7 ||
+            static_cast<unsigned>(in.squash) == 3) {
+            in.valid = false;
+        }
+        break;
+      }
+      case Format::Compute: {
+        in.compOp = static_cast<ComputeOp>(bits(raw, 29, 24));
+        in.rs1 = static_cast<std::uint8_t>(bits(raw, 23, 19));
+        in.rs2 = static_cast<std::uint8_t>(bits(raw, 18, 14));
+        in.rd = static_cast<std::uint8_t>(bits(raw, 13, 9));
+        in.aux = static_cast<std::uint16_t>(bits(raw, 8, 0));
+        if (static_cast<unsigned>(in.compOp) > 13)
+            in.valid = false;
+        if ((in.compOp == ComputeOp::Movfrs ||
+             in.compOp == ComputeOp::Movtos) &&
+            in.aux >= numSpecialRegs) {
+            in.valid = false;
+        }
+        break;
+      }
+      case Format::Imm: {
+        in.immOp = static_cast<ImmOp>(bits(raw, 29, 27));
+        in.rs1 = static_cast<std::uint8_t>(bits(raw, 26, 22));
+        in.rd = static_cast<std::uint8_t>(bits(raw, 21, 17));
+        in.uimm = bits(raw, 16, 0);
+        in.imm = sext(in.uimm, 17);
+        break;
+      }
+    }
+    return in;
+}
+
+} // namespace mipsx::isa

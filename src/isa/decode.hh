@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The MX32 instruction decoder.
+ */
+
+#ifndef MIPSX_ISA_DECODE_HH
+#define MIPSX_ISA_DECODE_HH
+
+#include "isa/instruction.hh"
+
+namespace mipsx::isa
+{
+
+/**
+ * Decode a raw instruction word.
+ *
+ * Decoding never throws: reserved encodings produce an Instruction with
+ * valid == false (the machine raises a simulation error if one reaches
+ * execution, mirroring undefined hardware behaviour).
+ */
+Instruction decode(word_t raw);
+
+} // namespace mipsx::isa
+
+#endif // MIPSX_ISA_DECODE_HH

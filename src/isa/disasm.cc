@@ -1,0 +1,230 @@
+#include "isa/disasm.hh"
+
+#include "common/sim_error.hh"
+#include "isa/decode.hh"
+
+namespace mipsx::isa
+{
+
+std::string
+regName(unsigned r)
+{
+    switch (r) {
+      case reg::sp:
+        return "sp";
+      case reg::fp:
+        return "fp";
+      case reg::ra:
+        return "ra";
+      default:
+        return strformat("r%u", r);
+    }
+}
+
+const char *
+memOpName(MemOp op)
+{
+    switch (op) {
+      case MemOp::Ld: return "ld";
+      case MemOp::St: return "st";
+      case MemOp::Ldf: return "ldf";
+      case MemOp::Stf: return "stf";
+      case MemOp::Aluc: return "aluc";
+      case MemOp::Movfrc: return "movfrc";
+      case MemOp::Movtoc: return "movtoc";
+      case MemOp::Ldt: return "ldt";
+    }
+    return "?";
+}
+
+const char *
+branchName(BranchCond cond)
+{
+    switch (cond) {
+      case BranchCond::Eq: return "beq";
+      case BranchCond::Ne: return "bne";
+      case BranchCond::Lt: return "blt";
+      case BranchCond::Ge: return "bge";
+      case BranchCond::Hs: return "bhs";
+      case BranchCond::Lo: return "blo";
+      case BranchCond::T: return "bt";
+    }
+    return "b?";
+}
+
+const char *
+computeOpName(ComputeOp op)
+{
+    switch (op) {
+      case ComputeOp::Add: return "add";
+      case ComputeOp::Sub: return "sub";
+      case ComputeOp::And: return "and";
+      case ComputeOp::Or: return "or";
+      case ComputeOp::Xor: return "xor";
+      case ComputeOp::Bic: return "bic";
+      case ComputeOp::Sll: return "sll";
+      case ComputeOp::Srl: return "srl";
+      case ComputeOp::Sra: return "sra";
+      case ComputeOp::Fsh: return "fsh";
+      case ComputeOp::Mstep: return "mstep";
+      case ComputeOp::Dstep: return "dstep";
+      case ComputeOp::Movfrs: return "movfrs";
+      case ComputeOp::Movtos: return "movtos";
+    }
+    return "?";
+}
+
+const char *
+immOpName(ImmOp op)
+{
+    switch (op) {
+      case ImmOp::Addi: return "addi";
+      case ImmOp::Lih: return "lih";
+      case ImmOp::Jmp: return "jmp";
+      case ImmOp::Jal: return "jal";
+      case ImmOp::Jr: return "jr";
+      case ImmOp::Jalr: return "jalr";
+      case ImmOp::Jpc: return "jpc";
+      case ImmOp::Trap: return "trap";
+    }
+    return "?";
+}
+
+const char *
+specialRegName(SpecialReg sreg)
+{
+    switch (sreg) {
+      case SpecialReg::Psw: return "psw";
+      case SpecialReg::PswOld: return "pswold";
+      case SpecialReg::Md: return "md";
+      case SpecialReg::PcChain0: return "pchain0";
+      case SpecialReg::PcChain1: return "pchain1";
+      case SpecialReg::PcChain2: return "pchain2";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+target(std::int32_t disp, addr_t pc, bool have_pc)
+{
+    if (have_pc) {
+        return strformat("0x%x",
+                         static_cast<addr_t>(
+                             static_cast<std::int64_t>(pc) + 1 + disp));
+    }
+    return strformat("%+d", disp);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &in, addr_t pc, bool have_pc)
+{
+    if (!in.valid)
+        return strformat(".word 0x%08x  ; invalid", in.raw);
+    if (in.isNop())
+        return "nop";
+
+    switch (in.fmt) {
+      case Format::Mem:
+        switch (in.memOp) {
+          case MemOp::Ld:
+          case MemOp::Ldt:
+            return strformat("%s %s, %d(%s)", memOpName(in.memOp),
+                             regName(in.rd).c_str(), in.imm,
+                             regName(in.rs1).c_str());
+          case MemOp::St:
+            return strformat("st %s, %d(%s)", regName(in.rs2).c_str(),
+                             in.imm, regName(in.rs1).c_str());
+          case MemOp::Ldf:
+          case MemOp::Stf:
+            return strformat("%s f%u, %d(%s)", memOpName(in.memOp), in.aux,
+                             in.imm, regName(in.rs1).c_str());
+          case MemOp::Aluc:
+            return strformat("aluc c%u, 0x%x", in.copNum(), in.copOp());
+          case MemOp::Movfrc:
+            return strformat("movfrc %s, c%u, 0x%x",
+                             regName(in.rd).c_str(), in.copNum(),
+                             in.copOp());
+          case MemOp::Movtoc:
+            return strformat("movtoc c%u, 0x%x, %s", in.copNum(),
+                             in.copOp(), regName(in.rs2).c_str());
+        }
+        break;
+
+      case Format::Branch: {
+        const char *suffix = "";
+        if (in.squash == SquashType::SquashNotTaken)
+            suffix = ".sq";
+        else if (in.squash == SquashType::SquashTaken)
+            suffix = ".sqn";
+        return strformat("%s%s %s, %s, %s", branchName(in.cond), suffix,
+                         regName(in.rs1).c_str(), regName(in.rs2).c_str(),
+                         target(in.imm, pc, have_pc).c_str());
+      }
+
+      case Format::Compute:
+        switch (in.compOp) {
+          case ComputeOp::Sll:
+          case ComputeOp::Srl:
+          case ComputeOp::Sra:
+            return strformat("%s %s, %s, %u", computeOpName(in.compOp),
+                             regName(in.rd).c_str(),
+                             regName(in.rs1).c_str(), in.aux);
+          case ComputeOp::Fsh:
+            return strformat("fsh %s, %s, %s, %u", regName(in.rd).c_str(),
+                             regName(in.rs1).c_str(),
+                             regName(in.rs2).c_str(), in.aux);
+          case ComputeOp::Movfrs:
+            return strformat("movfrs %s, %s", regName(in.rd).c_str(),
+                             specialRegName(
+                                 static_cast<SpecialReg>(in.aux)));
+          case ComputeOp::Movtos:
+            return strformat("movtos %s, %s",
+                             specialRegName(static_cast<SpecialReg>(in.aux)),
+                             regName(in.rs1).c_str());
+          default:
+            return strformat("%s %s, %s, %s", computeOpName(in.compOp),
+                             regName(in.rd).c_str(),
+                             regName(in.rs1).c_str(),
+                             regName(in.rs2).c_str());
+        }
+        break;
+
+      case Format::Imm:
+        switch (in.immOp) {
+          case ImmOp::Addi:
+            return strformat("addi %s, %s, %d", regName(in.rd).c_str(),
+                             regName(in.rs1).c_str(), in.imm);
+          case ImmOp::Lih:
+            return strformat("lih %s, %d", regName(in.rd).c_str(), in.imm);
+          case ImmOp::Jmp:
+            return strformat("jmp %s", target(in.imm, pc, have_pc).c_str());
+          case ImmOp::Jal:
+            return strformat("jal %s, %s", regName(in.rd).c_str(),
+                             target(in.imm, pc, have_pc).c_str());
+          case ImmOp::Jr:
+            return strformat("jr %d(%s)", in.imm, regName(in.rs1).c_str());
+          case ImmOp::Jalr:
+            return strformat("jalr %s, %d(%s)", regName(in.rd).c_str(),
+                             in.imm, regName(in.rs1).c_str());
+          case ImmOp::Jpc:
+            return "jpc";
+          case ImmOp::Trap:
+            return strformat("trap 0x%x", in.uimm);
+        }
+        break;
+    }
+    return strformat(".word 0x%08x", in.raw);
+}
+
+std::string
+disassemble(word_t raw, addr_t pc, bool have_pc)
+{
+    return disassemble(decode(raw), pc, have_pc);
+}
+
+} // namespace mipsx::isa

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Disassembler and name tables for MX32. The mnemonics here are the same
+ * ones the assembler accepts, so the two stay consistent.
+ */
+
+#ifndef MIPSX_ISA_DISASM_HH
+#define MIPSX_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace mipsx::isa
+{
+
+/** Register name ("r7"; ABI registers print as sp/fp/ra). */
+std::string regName(unsigned r);
+
+/** Mnemonic for a memory-format sub-opcode. */
+const char *memOpName(MemOp op);
+
+/** Mnemonic stem for a branch condition ("beq", "bne", ...). */
+const char *branchName(BranchCond cond);
+
+/** Mnemonic for a compute opcode. */
+const char *computeOpName(ComputeOp op);
+
+/** Mnemonic for an immediate-format opcode. */
+const char *immOpName(ImmOp op);
+
+/** Name of a special register ("psw", "pswold", "md", "pchain0"...). */
+const char *specialRegName(SpecialReg sreg);
+
+/**
+ * Render one instruction. @p pc, when provided, lets branch and jump
+ * targets print as absolute addresses.
+ */
+std::string disassemble(const Instruction &in, addr_t pc = 0,
+                        bool have_pc = false);
+
+/** Decode and render a raw word. */
+std::string disassemble(word_t raw, addr_t pc = 0, bool have_pc = false);
+
+} // namespace mipsx::isa
+
+#endif // MIPSX_ISA_DISASM_HH

@@ -1,0 +1,171 @@
+#include "isa/encode.hh"
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::isa
+{
+
+namespace
+{
+
+void
+checkReg(unsigned r, const char *what)
+{
+    if (r >= numGprs)
+        fatal(strformat("encode: %s register %u out of range", what, r));
+}
+
+void
+checkSigned(std::int64_t v, unsigned width, const char *what)
+{
+    if (!fitsSigned(v, width))
+        fatal(strformat("encode: %s value %lld does not fit in %u bits",
+                        what, static_cast<long long>(v), width));
+}
+
+word_t
+fmtBits(Format f)
+{
+    return static_cast<word_t>(f) << 30;
+}
+
+} // namespace
+
+word_t
+encodeMem(MemOp op, unsigned rs1, unsigned rsd, std::int32_t offset)
+{
+    checkReg(rs1, "base");
+    checkReg(rsd, "data");
+    checkSigned(offset, 17, "memory offset");
+    word_t w = fmtBits(Format::Mem);
+    w = insertBits(w, 29, 27, static_cast<word_t>(op));
+    w = insertBits(w, 26, 22, rs1);
+    w = insertBits(w, 21, 17, rsd);
+    w = insertBits(w, 16, 0, static_cast<word_t>(offset));
+    return w;
+}
+
+word_t
+encodeCop(MemOp op, unsigned cop_num, std::uint32_t cop_op, unsigned rsd)
+{
+    if (op != MemOp::Aluc && op != MemOp::Movfrc && op != MemOp::Movtoc)
+        fatal("encodeCop: op is not a coprocessor operation");
+    if (cop_num < 1 || cop_num > 7)
+        fatal(strformat("encodeCop: coprocessor number %u out of range "
+                        "(1..7)", cop_num));
+    if (!fitsUnsigned(cop_op, 14))
+        fatal("encodeCop: coprocessor opcode does not fit in 14 bits");
+    const std::uint32_t field = (cop_num << 14) | cop_op;
+    // The coprocessor instruction travels as the 17-bit offset with r0 as
+    // the base, so the computed address equals the instruction word.
+    return encodeMem(op, 0, rsd, sext(field, 17));
+}
+
+word_t
+encodeBranch(BranchCond cond, SquashType squash, unsigned rs1, unsigned rs2,
+             std::int32_t disp)
+{
+    checkReg(rs1, "branch source 1");
+    checkReg(rs2, "branch source 2");
+    checkSigned(disp, 15, "branch displacement");
+    word_t w = fmtBits(Format::Branch);
+    w = insertBits(w, 29, 27, static_cast<word_t>(cond));
+    w = insertBits(w, 26, 25, static_cast<word_t>(squash));
+    w = insertBits(w, 24, 20, rs1);
+    w = insertBits(w, 19, 15, rs2);
+    w = insertBits(w, 14, 0, static_cast<word_t>(disp));
+    return w;
+}
+
+word_t
+encodeCompute(ComputeOp op, unsigned rs1, unsigned rs2, unsigned rd,
+              unsigned aux)
+{
+    checkReg(rs1, "source 1");
+    checkReg(rs2, "source 2");
+    checkReg(rd, "destination");
+    if (!fitsUnsigned(aux, 9))
+        fatal("encodeCompute: aux field does not fit in 9 bits");
+    word_t w = fmtBits(Format::Compute);
+    w = insertBits(w, 29, 24, static_cast<word_t>(op));
+    w = insertBits(w, 23, 19, rs1);
+    w = insertBits(w, 18, 14, rs2);
+    w = insertBits(w, 13, 9, rd);
+    w = insertBits(w, 8, 0, aux);
+    return w;
+}
+
+word_t
+encodeShift(ComputeOp op, unsigned rs1, unsigned rd, unsigned amount)
+{
+    if (op != ComputeOp::Sll && op != ComputeOp::Srl &&
+        op != ComputeOp::Sra) {
+        fatal("encodeShift: op is not a shift");
+    }
+    if (amount >= 32)
+        fatal(strformat("encodeShift: amount %u out of range", amount));
+    return encodeCompute(op, rs1, 0, rd, amount);
+}
+
+word_t
+encodeMovSpecial(ComputeOp op, SpecialReg sreg, unsigned gpr)
+{
+    const auto s = static_cast<unsigned>(sreg);
+    if (s >= numSpecialRegs)
+        fatal("encodeMovSpecial: bad special register");
+    if (op == ComputeOp::Movfrs)
+        return encodeCompute(op, 0, 0, gpr, s);
+    if (op == ComputeOp::Movtos)
+        return encodeCompute(op, gpr, 0, 0, s);
+    fatal("encodeMovSpecial: op is not movfrs/movtos");
+}
+
+word_t
+encodeImm(ImmOp op, unsigned rs1, unsigned rd, std::int32_t imm)
+{
+    checkReg(rs1, "source");
+    checkReg(rd, "destination");
+    checkSigned(imm, 17, "immediate");
+    word_t w = fmtBits(Format::Imm);
+    w = insertBits(w, 29, 27, static_cast<word_t>(op));
+    w = insertBits(w, 26, 22, rs1);
+    w = insertBits(w, 21, 17, rd);
+    w = insertBits(w, 16, 0, static_cast<word_t>(imm));
+    return w;
+}
+
+word_t
+encodeJump(ImmOp op, unsigned rd, std::int32_t disp)
+{
+    if (op != ImmOp::Jmp && op != ImmOp::Jal)
+        fatal("encodeJump: op is not jmp/jal");
+    return encodeImm(op, 0, op == ImmOp::Jal ? rd : 0, disp);
+}
+
+word_t
+encodeJumpReg(ImmOp op, unsigned rs1, unsigned rd, std::int32_t offset)
+{
+    if (op != ImmOp::Jr && op != ImmOp::Jalr)
+        fatal("encodeJumpReg: op is not jr/jalr");
+    return encodeImm(op, rs1, op == ImmOp::Jalr ? rd : 0, offset);
+}
+
+word_t
+encodeJpc()
+{
+    return encodeImm(ImmOp::Jpc, 0, 0, 0);
+}
+
+word_t
+encodeTrap(std::uint32_t code)
+{
+    if (!fitsUnsigned(code, 17))
+        fatal("encodeTrap: code does not fit in 17 bits");
+    word_t w = fmtBits(Format::Imm);
+    w = insertBits(w, 29, 27, static_cast<word_t>(ImmOp::Trap));
+    w = insertBits(w, 16, 0, code);
+    return w;
+}
+
+} // namespace mipsx::isa

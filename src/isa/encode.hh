@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Instruction encoders: build raw 32-bit MX32 words from fields.
+ *
+ * Encoders validate field ranges and throw SimError on overflow, so the
+ * assembler and workload builders get immediate diagnostics.
+ */
+
+#ifndef MIPSX_ISA_ENCODE_HH
+#define MIPSX_ISA_ENCODE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mipsx::isa
+{
+
+/** Encode a memory/coprocessor-format instruction. */
+word_t encodeMem(MemOp op, unsigned rs1, unsigned rsd, std::int32_t offset);
+
+/** Encode an aluc/movfrc/movtoc with an explicit coprocessor number. */
+word_t encodeCop(MemOp op, unsigned cop_num, std::uint32_t cop_op,
+                 unsigned rsd);
+
+/** Encode a compare-and-branch. Displacement is relative to PC + 1. */
+word_t encodeBranch(BranchCond cond, SquashType squash, unsigned rs1,
+                    unsigned rs2, std::int32_t disp);
+
+/** Encode a register-register compute instruction. */
+word_t encodeCompute(ComputeOp op, unsigned rs1, unsigned rs2, unsigned rd,
+                     unsigned aux = 0);
+
+/** Encode a shift (sll/srl/sra) with a 5-bit amount. */
+word_t encodeShift(ComputeOp op, unsigned rs1, unsigned rd, unsigned amount);
+
+/** Encode movfrs/movtos. */
+word_t encodeMovSpecial(ComputeOp op, SpecialReg sreg, unsigned gpr);
+
+/** Encode an immediate-format instruction (addi/lih). */
+word_t encodeImm(ImmOp op, unsigned rs1, unsigned rd, std::int32_t imm);
+
+/** Encode jmp/jal with a PC-relative displacement (from PC + 1). */
+word_t encodeJump(ImmOp op, unsigned rd, std::int32_t disp);
+
+/** Encode jr/jalr with a register target plus offset. */
+word_t encodeJumpReg(ImmOp op, unsigned rs1, unsigned rd,
+                     std::int32_t offset);
+
+/** Encode the PC-chain jump used in the exception return sequence. */
+word_t encodeJpc();
+
+/** Encode a trap with a 17-bit code. */
+word_t encodeTrap(std::uint32_t code);
+
+/** The canonical no-op. */
+inline word_t encodeNop() { return nopWord; }
+
+} // namespace mipsx::isa
+
+#endif // MIPSX_ISA_ENCODE_HH

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The decoded-instruction record shared by the functional simulator, the
+ * pipeline model and the code reorganizer.
+ *
+ * Decoding is deliberately trivial — the MIPS-X working document's maxim
+ * ("simple decode, simple decode, simple decode") is honoured by fixed
+ * fields selected purely by bits [31:30].
+ */
+
+#ifndef MIPSX_ISA_INSTRUCTION_HH
+#define MIPSX_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mipsx::isa
+{
+
+/** Up to two general-purpose source registers. */
+struct SourceRegs
+{
+    std::array<std::uint8_t, 2> reg{0, 0};
+    unsigned count = 0;
+
+    void
+    add(std::uint8_t r)
+    {
+        reg[count++] = r;
+    }
+
+    bool
+    contains(std::uint8_t r) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            if (reg[i] == r)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * A fully decoded instruction. Fields not applicable to the instruction's
+ * format are zero.
+ */
+struct Instruction
+{
+    word_t raw = nopWord;
+
+    Format fmt = Format::Compute;
+    MemOp memOp = MemOp::Ld;
+    BranchCond cond = BranchCond::Eq;
+    SquashType squash = SquashType::NoSquash;
+    ComputeOp compOp = ComputeOp::Add;
+    ImmOp immOp = ImmOp::Addi;
+
+    std::uint8_t rs1 = 0; ///< first source GPR
+    std::uint8_t rs2 = 0; ///< second source GPR (store data for st/movtoc)
+    std::uint8_t rd = 0;  ///< destination GPR (0 means "discard")
+    std::int32_t imm = 0; ///< sign-extended offset / displacement / imm
+    std::uint32_t uimm = 0; ///< raw (unsigned) immediate field
+    std::uint16_t aux = 0;  ///< compute aux field / ldf/stf cop register
+
+    bool valid = true; ///< false if the encoding hit a reserved slot
+
+    // -- Classification queries ------------------------------------------
+
+    bool isMem() const { return fmt == Format::Mem; }
+
+    /** True for instructions whose MEM stage accesses the memory system. */
+    bool
+    accessesMemory() const
+    {
+        if (fmt != Format::Mem)
+            return false;
+        switch (memOp) {
+          case MemOp::Ld:
+          case MemOp::St:
+          case MemOp::Ldf:
+          case MemOp::Stf:
+          case MemOp::Ldt:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True for memory ops that address a coprocessor (memory ignores). */
+    bool
+    isCoproc() const
+    {
+        if (fmt != Format::Mem)
+            return false;
+        return memOp == MemOp::Aluc || memOp == MemOp::Movfrc ||
+            memOp == MemOp::Movtoc || memOp == MemOp::Ldf ||
+            memOp == MemOp::Stf;
+    }
+
+    /** Loads whose GPR result arrives only at the end of MEM. */
+    bool
+    isGprLoad() const
+    {
+        return fmt == Format::Mem &&
+            (memOp == MemOp::Ld || memOp == MemOp::Ldt ||
+             memOp == MemOp::Movfrc);
+    }
+
+    bool
+    isStore() const
+    {
+        return fmt == Format::Mem &&
+            (memOp == MemOp::St || memOp == MemOp::Stf ||
+             memOp == MemOp::Movtoc);
+    }
+
+    bool isBranch() const { return fmt == Format::Branch; }
+
+    bool
+    isJump() const
+    {
+        if (fmt != Format::Imm)
+            return false;
+        switch (immOp) {
+          case ImmOp::Jmp:
+          case ImmOp::Jal:
+          case ImmOp::Jr:
+          case ImmOp::Jalr:
+          case ImmOp::Jpc:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Branches, jumps and traps all disturb sequential fetch. */
+    bool
+    isControl() const
+    {
+        return isBranch() || isJump() ||
+            (fmt == Format::Imm && immOp == ImmOp::Trap);
+    }
+
+    bool isTrap() const { return fmt == Format::Imm && immOp == ImmOp::Trap; }
+
+    /** The canonical no-op (add r0, r0, r0). */
+    bool isNop() const { return raw == nopWord; }
+
+    /** True if this instruction writes the MD special register. */
+    bool
+    writesMd() const
+    {
+        if (fmt != Format::Compute)
+            return false;
+        return compOp == ComputeOp::Mstep || compOp == ComputeOp::Dstep ||
+            (compOp == ComputeOp::Movtos &&
+             aux == static_cast<std::uint16_t>(SpecialReg::Md));
+    }
+
+    /** True if this instruction reads the MD special register. */
+    bool
+    readsMd() const
+    {
+        if (fmt != Format::Compute)
+            return false;
+        return compOp == ComputeOp::Mstep || compOp == ComputeOp::Dstep ||
+            (compOp == ComputeOp::Movfrs &&
+             aux == static_cast<std::uint16_t>(SpecialReg::Md));
+    }
+
+    /** True if this instruction writes any special register (PSW, MD...). */
+    bool
+    writesSpecial() const
+    {
+        return writesMd() ||
+            (fmt == Format::Compute && compOp == ComputeOp::Movtos);
+    }
+
+    // -- Register dataflow ------------------------------------------------
+
+    /** The GPR this instruction writes back in WB, or 0 for none. */
+    std::uint8_t
+    destReg() const
+    {
+        switch (fmt) {
+          case Format::Compute:
+            switch (compOp) {
+              case ComputeOp::Movtos:
+                return 0;
+              default:
+                return rd;
+            }
+          case Format::Imm:
+            switch (immOp) {
+              case ImmOp::Addi:
+              case ImmOp::Lih:
+              case ImmOp::Jal:
+              case ImmOp::Jalr:
+                return rd;
+              default:
+                return 0;
+            }
+          case Format::Mem:
+            return isGprLoad() ? rd : 0;
+          case Format::Branch:
+            return 0;
+        }
+        return 0;
+    }
+
+    bool writesGpr() const { return destReg() != 0; }
+
+    /** GPRs read during the RF stage. r0 reads are omitted (constant). */
+    SourceRegs
+    srcRegs() const
+    {
+        SourceRegs s;
+        auto addnz = [&s](std::uint8_t r) {
+            if (r != 0)
+                s.add(r);
+        };
+        switch (fmt) {
+          case Format::Compute:
+            switch (compOp) {
+              case ComputeOp::Sll:
+              case ComputeOp::Srl:
+              case ComputeOp::Sra:
+                addnz(rs1);
+                break;
+              case ComputeOp::Movfrs:
+                break;
+              case ComputeOp::Movtos:
+                addnz(rs1);
+                break;
+              default:
+                addnz(rs1);
+                if (rs2 != rs1)
+                    addnz(rs2);
+                break;
+            }
+            break;
+          case Format::Imm:
+            switch (immOp) {
+              case ImmOp::Addi:
+              case ImmOp::Jr:
+              case ImmOp::Jalr:
+                addnz(rs1);
+                break;
+              default:
+                break;
+            }
+            break;
+          case Format::Mem:
+            addnz(rs1); // base
+            if (isStore() && memOp != MemOp::Stf && rs2 != rs1)
+                addnz(rs2); // store data (stf data comes from the FPU)
+            break;
+          case Format::Branch:
+            addnz(rs1);
+            if (rs2 != rs1)
+                addnz(rs2);
+            break;
+        }
+        return s;
+    }
+
+    /** The coprocessor number addressed by aluc/movfrc/movtoc. */
+    unsigned
+    copNum() const
+    {
+        if (memOp == MemOp::Ldf || memOp == MemOp::Stf)
+            return 1; // the special coprocessor with direct memory access
+        return (uimm >> 14) & 0x7;
+    }
+
+    /** The 14-bit coprocessor-defined opcode field of aluc/movfrc/movtoc. */
+    std::uint32_t copOp() const { return uimm & 0x3fff; }
+};
+
+} // namespace mipsx::isa
+
+#endif // MIPSX_ISA_INSTRUCTION_HH

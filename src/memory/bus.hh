@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The shared memory bus and snooping coherence hub for the MIPS-X
+ * multiprocessor.
+ *
+ * The paper's system goal: "to use 6-10 of these processors as the nodes
+ * in a shared memory multiprocessor. The resulting machine would be
+ * about two orders of magnitude more powerful than a VAX 11/780." The
+ * single-chip paper stops there; this module supplies the missing
+ * substrate the project planned around:
+ *
+ *  - a single shared bus between the per-processor Ecaches and main
+ *    memory: concurrent misses serialize, and the arbiter charges each
+ *    requester the cycles it waits for the bus;
+ *  - invalidate-on-write snooping between the (timing-only) Ecaches —
+ *    the classic scheme of the Smith survey the paper cites — so shared
+ *    data costs re-fetches the way it would in hardware.
+ */
+
+#ifndef MIPSX_MEMORY_BUS_HH
+#define MIPSX_MEMORY_BUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/ecache.hh"
+#include "stats/stats.hh"
+
+namespace mipsx::memory
+{
+
+/** First-come-first-served arbiter for the shared memory bus. */
+class BusArbiter
+{
+  public:
+    /**
+     * Request the bus at time @p now for @p duration cycles.
+     * @return the extra cycles spent waiting for the bus to free.
+     */
+    unsigned
+    acquire(cycle_t now, unsigned duration)
+    {
+        const cycle_t start = now > busyUntil_ ? now : busyUntil_;
+        const unsigned wait = static_cast<unsigned>(start - now);
+        busyUntil_ = start + duration;
+        ++transactions_;
+        waitCycles_ += wait;
+        busyCycles_ += duration;
+        return wait;
+    }
+
+    std::uint64_t transactions() const { return transactions_.value(); }
+    std::uint64_t waitCycles() const { return waitCycles_.value(); }
+    std::uint64_t busyCycles() const { return busyCycles_.value(); }
+
+    void
+    reset()
+    {
+        busyUntil_ = 0;
+        transactions_.reset();
+        waitCycles_.reset();
+        busyCycles_.reset();
+    }
+
+  private:
+    cycle_t busyUntil_ = 0;
+    stats::Counter transactions_;
+    stats::Counter waitCycles_;
+    stats::Counter busyCycles_;
+};
+
+/** Write-invalidate snooping between the attached Ecaches. */
+class CoherenceHub
+{
+  public:
+    void attach(ECache *cache) { caches_.push_back(cache); }
+
+    /** CPU owning @p writer stored to @p key: invalidate other copies. */
+    void
+    writeBroadcast(const ECache *writer, std::uint64_t key)
+    {
+        for (ECache *c : caches_) {
+            if (c != writer && c->invalidateWord(key))
+                ++invalidations_;
+        }
+    }
+
+    std::uint64_t invalidations() const { return invalidations_.value(); }
+
+  private:
+    std::vector<ECache *> caches_;
+    stats::Counter invalidations_;
+};
+
+} // namespace mipsx::memory
+
+#endif // MIPSX_MEMORY_BUS_HH

@@ -1,0 +1,128 @@
+#include "memory/ecache.hh"
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::memory
+{
+
+ECache::ECache(const ECacheConfig &config) : config_(config)
+{
+    if (!isPowerOf2(config_.sizeWords) || !isPowerOf2(config_.lineWords))
+        fatal("ECache: size and line must be powers of two");
+    if (config_.ways == 0 ||
+        config_.sizeWords % (config_.lineWords * config_.ways) != 0) {
+        fatal("ECache: ways must divide size/line");
+    }
+    numSets_ = config_.sizeWords / (config_.lineWords * config_.ways);
+    lines_.assign(static_cast<std::size_t>(numSets_) * config_.ways, {});
+}
+
+void
+ECache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    useClock_ = 0;
+}
+
+void
+ECache::clearStats()
+{
+    accesses_.reset();
+    misses_.reset();
+    writebacks_.reset();
+    stallCycles_.reset();
+}
+
+bool
+ECache::invalidateWord(std::uint64_t key)
+{
+    if (!config_.enabled)
+        return false;
+    const std::uint64_t line_addr = key / config_.lineWords;
+    const std::uint64_t set = line_addr % numSets_;
+    const std::uint64_t tag = line_addr / numSets_;
+    Line *base = &lines_[set * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.valid = false;
+            l.dirty = false;
+            ++invalidationsReceived_;
+            return true;
+        }
+    }
+    return false;
+}
+
+ECacheResult
+ECache::access(std::uint64_t key, bool is_write)
+{
+    ++accesses_;
+    ++useClock_;
+
+    if (!config_.enabled) {
+        ++misses_;
+        stallCycles_ += config_.missPenalty;
+        memTraffic_ += config_.missPenalty;
+        return {false, config_.missPenalty, config_.missPenalty};
+    }
+
+    const std::uint64_t line_addr = key / config_.lineWords;
+    const std::uint64_t set = line_addr % numSets_;
+    const std::uint64_t tag = line_addr / numSets_;
+    Line *base = &lines_[set * config_.ways];
+
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = useClock_;
+            if (is_write) {
+                if (config_.writeThrough) {
+                    // Buffered store: no processor stall, but the word
+                    // crosses the bus to main memory.
+                    memTraffic_ += config_.writeBusCycles;
+                    return {true, 0, config_.writeBusCycles};
+                }
+                l.dirty = true;
+            }
+            return {true, 0, 0};
+        }
+    }
+
+    // Miss.
+    ++misses_;
+    if (is_write && config_.writeThrough) {
+        // No-write-allocate: the store goes straight through.
+        memTraffic_ += config_.writeBusCycles;
+        return {false, 0, config_.writeBusCycles};
+    }
+    // Pick the LRU victim and charge the late-miss retry loop.
+    // Prefer an invalid way; otherwise evict the least recently used.
+    Line *victim = base;
+    for (unsigned w = 1; w < config_.ways; ++w) {
+        if (!victim->valid)
+            break;
+        if (!base[w].valid || base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    unsigned stall = config_.missPenalty;
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        stall += config_.writebackPenalty;
+    }
+    victim->valid = true;
+    victim->dirty = is_write && !config_.writeThrough;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    if (is_write && config_.writeThrough)
+        memTraffic_ += config_.writeBusCycles;
+
+    stallCycles_ += stall;
+    memTraffic_ += stall;
+    return {false, stall, stall};
+}
+
+} // namespace mipsx::memory

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The external cache (Ecache).
+ *
+ * MIPS-X backs its on-chip instruction cache and all data references with
+ * a large 64K-word external cache that talks to main memory over a shared
+ * bus. The paper's key timing property is the *late miss*: the Ecache
+ * reports hit/miss only at the beginning of the following WB cycle, and on
+ * a miss the processor "effectively goes back and re-executes phase 2 of
+ * MEM" until the data arrives — i.e. the whole pipeline stalls for the
+ * miss service time (implemented in hardware by withholding the qualified
+ * w1 clock).
+ *
+ * This model is timing-only (see main_memory.hh): it tracks tags and dirty
+ * bits and returns the stall cycles each access costs.
+ */
+
+#ifndef MIPSX_MEMORY_ECACHE_HH
+#define MIPSX_MEMORY_ECACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace mipsx::memory
+{
+
+/** Ecache configuration. Defaults follow the paper's 64K-word cache. */
+struct ECacheConfig
+{
+    unsigned sizeWords = 64 * 1024;
+    unsigned lineWords = 4;
+    unsigned ways = 1; ///< direct-mapped by default
+    /**
+     * Cycles the pipeline re-executes phase 2 of MEM while main memory
+     * services a miss (shared-bus access).
+     */
+    unsigned missPenalty = 16;
+    /** Extra cycles to copy a dirty victim back over the shared bus. */
+    unsigned writebackPenalty = 4;
+    /**
+     * Write policy. Copy-back (the default) dirties lines and pays a
+     * writeback when a dirty victim is evicted. Write-through sends
+     * every store to main memory; a store buffer hides the latency from
+     * the processor ("a buffer with capacity of four provided most of
+     * the performance improvement" — Smith 1982, which the paper cites),
+     * but the bus still carries every word, the tradeoff that matters
+     * for the multiprocessor.
+     */
+    bool writeThrough = false;
+    /** Bus occupancy of one buffered write-through store. */
+    unsigned writeBusCycles = 2;
+    /** If false, every access misses (for no-Ecache ablations). */
+    bool enabled = true;
+};
+
+/** Result of one Ecache access. */
+struct ECacheResult
+{
+    bool hit = true;
+    unsigned stallCycles = 0; ///< cycles the processor must wait
+    /**
+     * Shared-bus occupancy this access generates beyond stallCycles
+     * (buffered write-through stores occupy the bus without stalling
+     * the issuing processor).
+     */
+    unsigned busCycles = 0;
+};
+
+/** A set-associative, copy-back, write-allocate external cache model. */
+class ECache
+{
+  public:
+    explicit ECache(const ECacheConfig &config = {});
+
+    /**
+     * Access one word.
+     *
+     * @param key physKey(space, addr) of the referenced word.
+     * @param is_write true for stores.
+     * @return hit flag and the stall cycles this access costs.
+     */
+    ECacheResult access(std::uint64_t key, bool is_write);
+
+    /** Invalidate everything (e.g. between benchmark runs). */
+    void reset();
+
+    /**
+     * Snooping invalidation: drop the line containing @p key if
+     * present. Returns true if a line was invalidated.
+     */
+    bool invalidateWord(std::uint64_t key);
+
+    std::uint64_t invalidationsReceived() const
+    {
+        return invalidationsReceived_.value();
+    }
+
+    const ECacheConfig &config() const { return config_; }
+
+    // Statistics.
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+    /** Words sent to main memory (stores + writebacks + fills). */
+    std::uint64_t memoryTrafficCycles() const
+    {
+        return memTraffic_.value();
+    }
+    std::uint64_t stallCycles() const { return stallCycles_.value(); }
+    double missRatio() const { return stats::ratio(misses_, accesses_); }
+    void clearStats();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0; ///< LRU timestamp
+    };
+
+    unsigned numSets_ = 0;
+    ECacheConfig config_;
+    std::vector<Line> lines_; ///< numSets_ x ways, row-major
+    std::uint64_t useClock_ = 0;
+
+    stats::Counter accesses_;
+    stats::Counter misses_;
+    stats::Counter writebacks_;
+    stats::Counter stallCycles_;
+    stats::Counter invalidationsReceived_;
+    stats::Counter memTraffic_;
+};
+
+} // namespace mipsx::memory
+
+#endif // MIPSX_MEMORY_ECACHE_HH

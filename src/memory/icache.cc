@@ -1,0 +1,182 @@
+#include "memory/icache.hh"
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::memory
+{
+
+ICache::ICache(const ICacheConfig &config) : config_(config)
+{
+    if (!isPowerOf2(config_.sets) || !isPowerOf2(config_.blockWords))
+        fatal("ICache: sets and blockWords must be powers of two");
+    if (config_.ways == 0)
+        fatal("ICache: ways must be at least 1");
+    if (config_.fetchWords < 1 || config_.fetchWords > 2)
+        fatal("ICache: fetchWords must be 1 or 2");
+    blocks_.assign(static_cast<std::size_t>(config_.sets) * config_.ways,
+                   Block{});
+    for (auto &b : blocks_)
+        b.valid.assign(config_.blockWords, false);
+}
+
+void
+ICache::reset()
+{
+    for (auto &b : blocks_) {
+        b.anyValid = false;
+        b.tag = 0;
+        b.lastUse = 0;
+        b.allocTime = 0;
+        b.valid.assign(config_.blockWords, false);
+    }
+    useClock_ = 0;
+}
+
+void
+ICache::clearStats()
+{
+    accesses_.reset();
+    misses_.reset();
+    tagMisses_.reset();
+    subBlockMisses_.reset();
+    stallCycles_.reset();
+}
+
+ICache::Block &
+ICache::blockAt(unsigned set, unsigned way)
+{
+    return blocks_[static_cast<std::size_t>(set) * config_.ways + way];
+}
+
+int
+ICache::findWay(unsigned set, std::uint64_t tag) const
+{
+    const auto *base =
+        &blocks_[static_cast<std::size_t>(set) * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w)
+        if (base[w].anyValid && base[w].tag == tag)
+            return static_cast<int>(w);
+    return -1;
+}
+
+unsigned
+ICache::chooseVictim(unsigned set)
+{
+    auto *base = &blocks_[static_cast<std::size_t>(set) * config_.ways];
+    // Always prefer an invalid way first.
+    for (unsigned w = 0; w < config_.ways; ++w)
+        if (!base[w].anyValid)
+            return w;
+
+    switch (config_.repl) {
+      case IReplPolicy::Lru: {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < config_.ways; ++w)
+            if (base[w].lastUse < base[victim].lastUse)
+                victim = w;
+        return victim;
+      }
+      case IReplPolicy::Fifo: {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < config_.ways; ++w)
+            if (base[w].allocTime < base[victim].allocTime)
+                victim = w;
+        return victim;
+      }
+      case IReplPolicy::Random:
+        // xorshift32
+        rng_ ^= rng_ << 13;
+        rng_ ^= rng_ >> 17;
+        rng_ ^= rng_ << 5;
+        return rng_ % config_.ways;
+    }
+    return 0;
+}
+
+void
+ICache::fillWord(std::uint64_t key, bool may_allocate)
+{
+    const std::uint64_t block_addr = key / config_.blockWords;
+    const unsigned offset =
+        static_cast<unsigned>(key % config_.blockWords);
+    const unsigned set = static_cast<unsigned>(block_addr % config_.sets);
+    const std::uint64_t tag = block_addr / config_.sets;
+
+    int way = findWay(set, tag);
+    if (way < 0) {
+        if (!may_allocate)
+            return;
+        way = static_cast<int>(chooseVictim(set));
+        Block &b = blockAt(set, static_cast<unsigned>(way));
+        // Sub-block replacement: a fresh tag invalidates every word.
+        b.anyValid = true;
+        b.tag = tag;
+        b.valid.assign(config_.blockWords, false);
+        b.allocTime = useClock_;
+    }
+    Block &b = blockAt(set, static_cast<unsigned>(way));
+    b.valid[offset] = true;
+    b.lastUse = useClock_;
+}
+
+IFetchResult
+ICache::fetch(AddressSpace space, addr_t pc, bool cacheable)
+{
+    ++accesses_;
+    ++useClock_;
+
+    const std::uint64_t key = physKey(space, pc);
+    const std::uint64_t block_addr = key / config_.blockWords;
+    const unsigned offset =
+        static_cast<unsigned>(key % config_.blockWords);
+    const unsigned set = static_cast<unsigned>(block_addr % config_.sets);
+    const std::uint64_t tag = block_addr / config_.sets;
+
+    IFetchResult res;
+
+    if (config_.enabled && cacheable) {
+        const int way = findWay(set, tag);
+        if (way >= 0) {
+            Block &b = blockAt(set, static_cast<unsigned>(way));
+            if (b.valid[offset]) {
+                b.lastUse = useClock_;
+                return res; // hit
+            }
+            ++subBlockMisses_;
+        } else {
+            ++tagMisses_;
+        }
+    }
+
+    // Miss (or a non-cacheable / cache-disabled fetch).
+    ++misses_;
+    res.hit = false;
+    res.stallCycles = config_.missPenalty;
+    stallCycles_ += config_.missPenalty;
+
+    if (!config_.enabled || !cacheable) {
+        // The instruction-register path: the word comes over the data bus
+        // and is not written into the array.
+        res.numRefills = 1;
+        res.refillKeys[0] = key;
+        return res;
+    }
+
+    // Fetch back the missing word (allocating its block if needed) ...
+    res.numRefills = 1;
+    res.refillKeys[0] = key;
+    fillWord(key, true);
+
+    // ... and, with the double fetch, the next word to be executed.
+    if (config_.fetchWords == 2) {
+        const std::uint64_t next = key + 1;
+        res.refillKeys[res.numRefills++] = next;
+        const bool same_block =
+            next / config_.blockWords == block_addr;
+        fillWord(next, same_block || config_.allocCrossBlock);
+    }
+    return res;
+}
+
+} // namespace mipsx::memory

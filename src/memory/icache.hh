@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The on-chip MIPS-X instruction cache.
+ *
+ * Organisation (paper, "The Instruction Cache" and "A Hardware Overview"):
+ * 512 words arranged as an 8-way set-associative cache with 4 sets (rows)
+ * and 16 words per block (line). A sub-block placement scheme is used, so
+ * there are 512 valid bits — one per word — plus 32 tags. The tags and
+ * valid bits live in the datapath next to the PC unit, which is what makes
+ * a 2-cycle miss possible (the implementation mattered more than the
+ * organisation: a 3-cycle miss would have cost more than the miss-ratio
+ * benefit of smaller blocks).
+ *
+ * On a miss the pipeline stalls for `missPenalty` cycles, and the two miss
+ * cycles are used to fetch back *two* instructions — the one that missed
+ * and the next one to be executed. "Fetching back 2 words almost halves
+ * the miss ratio, driving down the cost of an instruction fetch to that of
+ * a single-cycle miss." Both behaviours are configurable so the paper's
+ * tradeoff studies can be re-run.
+ *
+ * The model is timing-only: instruction bits always come from main memory;
+ * the cache tracks tags/valid bits and returns stall cycles plus the list
+ * of words fetched from the next level (so the machine can charge the
+ * Ecache for the refill traffic).
+ */
+
+#ifndef MIPSX_MEMORY_ICACHE_HH
+#define MIPSX_MEMORY_ICACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/main_memory.hh"
+#include "stats/stats.hh"
+
+namespace mipsx::memory
+{
+
+/** Replacement policy used when a new block needs a way. */
+enum class IReplPolicy : std::uint8_t
+{
+    Lru,
+    Fifo,
+    Random,
+};
+
+/** Instruction cache configuration. Defaults are the paper's design. */
+struct ICacheConfig
+{
+    unsigned sets = 4;        ///< rows
+    unsigned ways = 8;        ///< associativity
+    unsigned blockWords = 16; ///< words per block (line)
+    /**
+     * Cycles the machine stalls on a miss. 2 in the real chip (tags in
+     * the datapath); 3 models the rejected far-tag-store implementation;
+     * 1 models the rejected write-during-return design.
+     */
+    unsigned missPenalty = 2;
+    /** Words fetched back per miss: 1, or 2 for the double fetch. */
+    unsigned fetchWords = 2;
+    /**
+     * What happens when the second fetched word falls in the next block:
+     * if true, allocate/fill that block too; if false (default) the word
+     * is written only when its block already has a matching tag.
+     */
+    bool allocCrossBlock = false;
+    IReplPolicy repl = IReplPolicy::Lru;
+    /** The instruction-register test feature: run with the cache off. */
+    bool enabled = true;
+
+    unsigned totalWords() const { return sets * ways * blockWords; }
+};
+
+/** Result of one instruction fetch. */
+struct IFetchResult
+{
+    bool hit = true;
+    unsigned stallCycles = 0; ///< the cache's own miss penalty
+    unsigned numRefills = 0;  ///< words fetched from the next level (0..2)
+    std::array<std::uint64_t, 2> refillKeys{}; ///< physKey of each refill
+};
+
+/** The on-chip instruction cache model. */
+class ICache
+{
+  public:
+    explicit ICache(const ICacheConfig &config = {});
+
+    /**
+     * Fetch the instruction at @p pc in @p space.
+     *
+     * @param cacheable false to model the rejected "non-cached coprocessor
+     *        instruction" scheme: the access always misses and nothing is
+     *        written into the cache.
+     */
+    IFetchResult fetch(AddressSpace space, addr_t pc, bool cacheable = true);
+
+    /** Invalidate all blocks. */
+    void reset();
+
+    const ICacheConfig &config() const { return config_; }
+
+    // Statistics.
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    /** Misses where no way held the block's tag. */
+    std::uint64_t tagMisses() const { return tagMisses_.value(); }
+    /** Misses where the tag was present but the word's valid bit clear. */
+    std::uint64_t subBlockMisses() const { return subBlockMisses_.value(); }
+    std::uint64_t stallCycles() const { return stallCycles_.value(); }
+    double missRatio() const { return stats::ratio(misses_, accesses_); }
+    /** Average cost of an instruction fetch in cycles (paper: 1.24). */
+    double
+    avgFetchCost() const
+    {
+        return 1.0 + stats::ratio(stallCycles_, accesses_);
+    }
+    void clearStats();
+
+  private:
+    struct Block
+    {
+        bool anyValid = false;
+        std::uint64_t tag = 0;
+        std::vector<bool> valid; ///< one bit per word (sub-block scheme)
+        std::uint64_t lastUse = 0;
+        std::uint64_t allocTime = 0;
+    };
+
+    Block &blockAt(unsigned set, unsigned way);
+    /** Find the way holding @p tag in @p set, or -1. */
+    int findWay(unsigned set, std::uint64_t tag) const;
+    /** Choose a victim way in @p set per the replacement policy. */
+    unsigned chooseVictim(unsigned set);
+    /** Write one word into the cache if its block can accept it. */
+    void fillWord(std::uint64_t key, bool may_allocate);
+
+    ICacheConfig config_;
+    std::vector<Block> blocks_; ///< sets x ways, row-major
+    std::uint64_t useClock_ = 0;
+    std::uint32_t rng_ = 0x2545f491;
+
+    stats::Counter accesses_;
+    stats::Counter misses_;
+    stats::Counter tagMisses_;
+    stats::Counter subBlockMisses_;
+    stats::Counter stallCycles_;
+};
+
+} // namespace mipsx::memory
+
+#endif // MIPSX_MEMORY_ICACHE_HH

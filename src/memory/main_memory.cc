@@ -1,0 +1,17 @@
+#include "memory/main_memory.hh"
+
+namespace mipsx::memory
+{
+
+void
+MainMemory::loadProgram(const assembler::Program &prog)
+{
+    for (const auto &sec : prog.sections) {
+        for (std::size_t i = 0; i < sec.words.size(); ++i) {
+            write(sec.space, sec.base + static_cast<addr_t>(i),
+                  sec.words[i]);
+        }
+    }
+}
+
+} // namespace mipsx::memory

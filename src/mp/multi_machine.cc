@@ -1,0 +1,85 @@
+#include "mp/multi_machine.hh"
+
+#include "common/sim_error.hh"
+
+namespace mipsx::mp
+{
+
+MultiMachine::MultiMachine(const MultiMachineConfig &config)
+    : config_(config)
+{
+    if (config_.cpus == 0 || config_.cpus > 64)
+        fatal("MultiMachine: cpu count out of range");
+    for (unsigned i = 0; i < config_.cpus; ++i) {
+        core::CpuConfig cc = config_.cpu;
+        cc.cpuId = i;
+        cc.bus = &bus_;
+        cc.coherence = &hub_;
+        cc.maxCycles = config_.maxCycles;
+        auto cpu = std::make_unique<core::Cpu>(cc, mem_);
+        if (config_.attachFpu)
+            cpu->attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+        hub_.attach(&cpu->ecache());
+        cpus_.push_back(std::move(cpu));
+    }
+}
+
+void
+MultiMachine::load(const assembler::Program &prog)
+{
+    mem_.loadProgram(prog);
+    prog_ = &prog;
+    for (auto &cpu : cpus_)
+        cpu->setProgram(prog_);
+}
+
+void
+MultiMachine::reset()
+{
+    if (!prog_)
+        fatal("MultiMachine::reset: no program loaded");
+    for (unsigned i = 0; i < cpus_.size(); ++i) {
+        auto &cpu = *cpus_[i];
+        cpu.reset(prog_->entry);
+        cpu.setGpr(isa::reg::sp,
+                   config_.stackTop - i * config_.stackSpacing);
+        cpu.setGpr(convention::cpuIdReg, i);
+        cpu.setGpr(convention::cpuCountReg,
+                   static_cast<word_t>(cpus_.size()));
+    }
+}
+
+MultiRunResult
+MultiMachine::run()
+{
+    reset();
+    MultiRunResult r;
+
+    bool anyRunning = true;
+    cycle_t global = 0;
+    while (anyRunning && global < config_.maxCycles) {
+        anyRunning = false;
+        for (auto &cpu : cpus_) {
+            if (!cpu->stopped()) {
+                cpu->tick();
+                anyRunning = anyRunning || !cpu->stopped();
+            }
+        }
+        ++global;
+    }
+
+    r.allHalted = true;
+    for (auto &cpu : cpus_) {
+        if (cpu->stopReason() != core::StopReason::Halt)
+            r.allHalted = false;
+        r.instructions += cpu->stats().committed;
+        if (cpu->stats().cycles > r.cycles)
+            r.cycles = cpu->stats().cycles;
+    }
+    r.busTransactions = bus_.transactions();
+    r.busWaitCycles = bus_.waitCycles();
+    r.invalidations = hub_.invalidations();
+    return r;
+}
+
+} // namespace mipsx::mp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The shared-memory multiprocessor the MIPS-X project was building
+ * toward: "to use 6-10 of these processors as the nodes in a shared
+ * memory multiprocessor. The resulting machine would be about two orders
+ * of magnitude more powerful than a VAX 11/780 minicomputer."
+ *
+ * N pipelined CPUs, each with its private on-chip I-cache and external
+ * cache, share one main memory over a single arbitrated bus; the Ecaches
+ * snoop stores and invalidate shared lines (memory/bus.hh). The CPUs run
+ * in deterministic lockstep — one cycle per CPU per global cycle — which
+ * also makes the memory model sequentially consistent: every store is
+ * visible to every later load, so the era-appropriate flag/barrier
+ * synchronization idioms work unmodified.
+ *
+ * Program convention: every CPU starts at the program's entry with
+ *   r25 = its CPU id (0-based), r26 = the CPU count,
+ *   sp  = stackTop - id * stackSpacing,
+ * and runs until its own halt.
+ */
+
+#ifndef MIPSX_MP_MULTI_MACHINE_HH
+#define MIPSX_MP_MULTI_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "coproc/fpu.hh"
+#include "core/cpu.hh"
+#include "memory/bus.hh"
+#include "memory/main_memory.hh"
+
+namespace mipsx::mp
+{
+
+/** Registers carrying the topology into the program. */
+namespace convention
+{
+inline constexpr unsigned cpuIdReg = 25;
+inline constexpr unsigned cpuCountReg = 26;
+} // namespace convention
+
+/** Multiprocessor configuration. */
+struct MultiMachineConfig
+{
+    unsigned cpus = 4;
+    core::CpuConfig cpu{}; ///< per-CPU template (bus/id fields overwritten)
+    bool attachFpu = true;
+    addr_t stackTop = 0x70000;
+    addr_t stackSpacing = 0x2000;
+    cycle_t maxCycles = 200'000'000;
+};
+
+/** Result of a multiprocessor run. */
+struct MultiRunResult
+{
+    bool allHalted = false;
+    cycle_t cycles = 0; ///< global cycles until the last CPU halted
+    std::uint64_t instructions = 0; ///< aggregate retired instructions
+    std::uint64_t busTransactions = 0;
+    std::uint64_t busWaitCycles = 0;
+    std::uint64_t invalidations = 0;
+};
+
+/** The shared-memory multiprocessor. */
+class MultiMachine
+{
+  public:
+    explicit MultiMachine(const MultiMachineConfig &config);
+
+    /** Load the (already reorganized) program all CPUs execute. */
+    void load(const assembler::Program &prog);
+
+    /** Reset every CPU to the entry point with the id convention. */
+    void reset();
+
+    /** Run until every CPU halts (or any stops abnormally). */
+    MultiRunResult run();
+
+    unsigned numCpus() const { return static_cast<unsigned>(cpus_.size()); }
+    core::Cpu &cpu(unsigned i) { return *cpus_.at(i); }
+    memory::MainMemory &memory() { return mem_; }
+    const memory::BusArbiter &bus() const { return bus_; }
+    const memory::CoherenceHub &coherence() const { return hub_; }
+
+    word_t
+    readWord(AddressSpace space, addr_t addr) const
+    {
+        return mem_.read(space, addr);
+    }
+
+  private:
+    MultiMachineConfig config_;
+    memory::MainMemory mem_;
+    memory::BusArbiter bus_;
+    memory::CoherenceHub hub_;
+    std::vector<std::unique_ptr<core::Cpu>> cpus_;
+    const assembler::Program *prog_ = nullptr;
+};
+
+} // namespace mipsx::mp
+
+#endif // MIPSX_MP_MULTI_MACHINE_HH

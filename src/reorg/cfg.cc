@@ -1,0 +1,272 @@
+#include "reorg/cfg.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+#include "isa/decode.hh"
+
+namespace mipsx::reorg
+{
+
+using isa::Format;
+using isa::ImmOp;
+
+namespace
+{
+
+bool
+endsBlock(const isa::Instruction &in)
+{
+    return in.isControl();
+}
+
+/** Can control fall through past this terminator? */
+bool
+fallsThrough(const isa::Instruction &in)
+{
+    if (in.isBranch())
+        return in.cond != isa::BranchCond::T;
+    if (in.fmt == Format::Imm) {
+        switch (in.immOp) {
+          case ImmOp::Jal:
+          case ImmOp::Jalr:
+            return true; // the return point follows the call
+          case ImmOp::Trap:
+            // halt/fail never return; other traps resume after a
+            // handler fix-up.
+            return in.uimm != isa::trapCodeHalt &&
+                in.uimm != isa::trapCodeFail;
+          default:
+            return false; // jmp, jr, jpc
+        }
+    }
+    return false;
+}
+
+/** Does this control transfer have a statically known target? */
+bool
+staticTarget(const isa::Instruction &in)
+{
+    if (in.isBranch())
+        return true;
+    return in.fmt == Format::Imm &&
+        (in.immOp == ImmOp::Jmp || in.immOp == ImmOp::Jal);
+}
+
+} // namespace
+
+Cfg
+Cfg::build(const assembler::Section &text,
+           const std::vector<addr_t> &symbol_addrs)
+{
+    Cfg cfg;
+    const auto n = text.words.size();
+    if (n == 0)
+        return cfg;
+
+    std::vector<isa::Instruction> insts(n);
+    std::set<std::size_t> leaders;
+    leaders.insert(0);
+    std::set<std::size_t> labelled;
+    for (const addr_t a : symbol_addrs) {
+        if (a >= text.base && a < text.base + n) {
+            leaders.insert(a - text.base);
+            labelled.insert(a - text.base);
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        insts[i] = isa::decode(text.words[i]);
+        const auto &in = insts[i];
+        if (!endsBlock(in))
+            continue;
+        if (i + 1 < n)
+            leaders.insert(i + 1);
+        if (staticTarget(in)) {
+            const std::int64_t t =
+                static_cast<std::int64_t>(i) + 1 + in.imm;
+            if (t < 0 || t >= static_cast<std::int64_t>(n))
+                fatal(strformat("reorg: control transfer at +%zu targets "
+                                "outside the section", i));
+            leaders.insert(static_cast<std::size_t>(t));
+        }
+    }
+
+    // Slice into blocks.
+    std::unordered_map<std::size_t, int> blockOf; // leader index -> block
+    std::vector<std::size_t> starts(leaders.begin(), leaders.end());
+    for (std::size_t b = 0; b < starts.size(); ++b)
+        blockOf[starts[b]] = static_cast<int>(b);
+
+    cfg.blocks_.resize(starts.size());
+    for (std::size_t b = 0; b < starts.size(); ++b) {
+        const std::size_t lo = starts[b];
+        const std::size_t hi =
+            b + 1 < starts.size() ? starts[b + 1] : n;
+        BasicBlock &blk = cfg.blocks_[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+            InstrNode node;
+            node.id = cfg.nextId_++;
+            node.inst = insts[i];
+            node.origAddr = text.base + static_cast<addr_t>(i);
+            if (endsBlock(insts[i])) {
+                if (i + 1 != hi)
+                    fatal("reorg: control instruction not at block end");
+                blk.term = node;
+                if (staticTarget(insts[i])) {
+                    const auto t = static_cast<std::size_t>(
+                        static_cast<std::int64_t>(i) + 1 + insts[i].imm);
+                    blk.targetBlock = blockOf.at(t);
+                }
+            } else {
+                blk.body.push_back(node);
+            }
+        }
+        const bool falls = !blk.hasTerm() || fallsThrough(blk.term->inst);
+        if (falls && b + 1 < starts.size())
+            blk.fallBlock = static_cast<int>(b + 1);
+    }
+
+    // Predecessor counts (saturating; ~0 means "unknowable").
+    auto bump = [&cfg](int b) {
+        if (b >= 0 && cfg.blocks_[b].preds != ~0u)
+            ++cfg.blocks_[b].preds;
+    };
+    cfg.blocks_[0].preds = ~0u; // the entry
+    for (const auto idx : labelled)
+        cfg.blocks_[blockOf.at(idx)].preds = ~0u;
+    for (auto &blk : cfg.blocks_) {
+        bump(blk.fallBlock);
+        bump(blk.targetBlock);
+        // Return points (after calls) can be reached by any jr.
+        if (blk.hasTerm() && blk.term->inst.fmt == Format::Imm &&
+            (blk.term->inst.immOp == ImmOp::Jal ||
+             blk.term->inst.immOp == ImmOp::Jalr) &&
+            blk.fallBlock >= 0) {
+            cfg.blocks_[blk.fallBlock].preds = ~0u;
+        }
+    }
+    return cfg;
+}
+
+std::size_t
+Cfg::size() const
+{
+    std::size_t total = 0;
+    for (const auto &b : blocks_) {
+        total += b.body.size() + b.slots.size();
+        if (b.hasTerm())
+            ++total;
+    }
+    return total;
+}
+
+NodeId
+Cfg::landingNode(int block, unsigned skip) const
+{
+    while (true) {
+        if (block < 0)
+            fatal("reorg: control transfer lands past the section");
+        const BasicBlock &b = blocks_[static_cast<std::size_t>(block)];
+        if (skip < b.body.size())
+            return b.body[skip].id;
+        skip -= static_cast<unsigned>(b.body.size());
+        if (b.hasTerm()) {
+            if (skip != 0)
+                fatal("reorg: target skip runs past a terminator");
+            return b.term->id;
+        }
+        block = b.fallBlock;
+    }
+}
+
+assembler::Section
+Cfg::emit(const assembler::Section &proto, addr_t base,
+          std::vector<std::pair<addr_t, addr_t>> *addr_map) const
+{
+    // Pass 1: assign final addresses by node id.
+    std::unordered_map<NodeId, addr_t> addrOf;
+    addr_t pc = base;
+    auto place = [&addrOf, &pc](const InstrNode &node) {
+        addrOf[node.id] = pc++;
+    };
+    for (const auto &b : blocks_) {
+        for (const auto &node : b.body)
+            place(node);
+        if (b.hasTerm())
+            place(b.term.value());
+        for (const auto &node : b.slots)
+            place(node);
+    }
+
+    // Pass 2: emit, fixing control displacements against the layout.
+    assembler::Section out;
+    out.name = proto.name;
+    out.space = proto.space;
+    out.isText = true;
+    out.base = base;
+
+    auto emit_node = [&](const InstrNode &node, const BasicBlock &blk) {
+        word_t raw = node.inst.raw;
+        if (node.inst.isBranch() ||
+            (node.inst.fmt == Format::Imm &&
+             (node.inst.immOp == ImmOp::Jmp ||
+              node.inst.immOp == ImmOp::Jal))) {
+            const NodeId land = blk.landingId != invalidNode
+                ? blk.landingId
+                : landingNode(blk.targetBlock, 0);
+            const std::int64_t disp =
+                static_cast<std::int64_t>(addrOf.at(land)) -
+                (static_cast<std::int64_t>(addrOf.at(node.id)) + 1);
+            const unsigned width = node.inst.isBranch() ? 15 : 17;
+            if (!fitsSigned(disp, width))
+                fatal("reorg: relocated control target out of range");
+            raw = insertBits(raw, width - 1, 0,
+                             static_cast<word_t>(disp));
+        }
+        out.words.push_back(raw);
+        out.slots.push_back(static_cast<std::uint8_t>(node.slot));
+    };
+
+    for (const auto &b : blocks_) {
+        for (const auto &node : b.body)
+            emit_node(node, b);
+        if (b.hasTerm())
+            emit_node(b.term.value(), b);
+        for (const auto &node : b.slots)
+            emit_node(node, b);
+    }
+
+    if (addr_map) {
+        // Originals first (slot == None), then moved/copied instances
+        // for addresses not otherwise covered.
+        std::set<addr_t> seen;
+        addr_t a = base;
+        auto record = [&](const InstrNode &node, bool originals) {
+            const bool original =
+                node.slot == assembler::SlotKind::None;
+            if (original == originals &&
+                node.origAddr != ~addr_t{0} && !seen.count(node.origAddr)) {
+                seen.insert(node.origAddr);
+                addr_map->emplace_back(node.origAddr, addrOf.at(node.id));
+            }
+            (void)a;
+        };
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const auto &b : blocks_) {
+                for (const auto &node : b.body)
+                    record(node, pass == 0);
+                if (b.hasTerm())
+                    record(b.term.value(), pass == 0);
+                for (const auto &node : b.slots)
+                    record(node, pass == 0);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mipsx::reorg

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Control-flow graph over an assembled text section.
+ *
+ * The reorganizer consumes the assembler's *sequential-semantics* output
+ * (no delay slots), splits it into basic blocks, fills branch and load
+ * delay slots (scheduler.hh), and re-emits a pipeline-ready section with
+ * relocated branch displacements and per-instruction slot annotations.
+ *
+ * Branch targets are tracked by stable node identity, not address, so
+ * passes can insert and move instructions freely; addresses are assigned
+ * only at emission.
+ */
+
+#ifndef MIPSX_REORG_CFG_HH
+#define MIPSX_REORG_CFG_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "isa/instruction.hh"
+
+namespace mipsx::reorg
+{
+
+/** Stable identity of one instruction node. */
+using NodeId = std::uint32_t;
+inline constexpr NodeId invalidNode = 0xffffffffu;
+
+/** One instruction in the CFG. */
+struct InstrNode
+{
+    NodeId id = invalidNode;
+    isa::Instruction inst;
+    addr_t origAddr = 0; ///< address in the input section
+    assembler::SlotKind slot = assembler::SlotKind::None;
+};
+
+/** A basic block: straight-line body plus an optional terminator. */
+struct BasicBlock
+{
+    std::vector<InstrNode> body;     ///< non-control instructions
+    std::optional<InstrNode> term;   ///< branch / jump / trap
+    std::vector<InstrNode> slots;    ///< delay slots (scheduler output)
+
+    int targetBlock = -1; ///< branch/jmp/jal target block, -1 if unknown
+    /**
+     * How many leading instructions of the target block this block's
+     * control transfer skips (slot filling copies them into the slots
+     * and retargets past them).
+     */
+    unsigned targetSkip = 0;
+    /**
+     * Identity of the instruction the control transfer lands on when
+     * the scheduler retargeted it (invalidNode: land at the target
+     * block's head). Identity survives later no-op insertions.
+     */
+    NodeId landingId = invalidNode;
+    int fallBlock = -1; ///< sequential successor block, -1 if none
+
+    /** Predecessor count; ~0u when unknowable (entry, return targets). */
+    unsigned preds = 0;
+
+    bool hasTerm() const { return term.has_value(); }
+};
+
+/** The control-flow graph of one text section. */
+class Cfg
+{
+  public:
+    /**
+     * Build the CFG of @p text. @p symbol_addrs lists addresses that
+     * carry labels: they start blocks and are treated as externally
+     * reachable (unknown predecessors), which keeps the scheduler from
+     * moving instructions out of them.
+     */
+    static Cfg build(const assembler::Section &text,
+                     const std::vector<addr_t> &symbol_addrs = {});
+
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Allocate a fresh node id (for inserted no-ops). */
+    NodeId newNode() { return nextId_++; }
+
+    /** Total instruction count across all blocks. */
+    std::size_t size() const;
+
+    /**
+     * Lay the blocks back out at @p base: assign addresses, resolve
+     * displacements against the final layout, and emit the section with
+     * slot annotations. @p addr_map receives origAddr -> newAddr for
+     * every node (used to remap symbols).
+     */
+    assembler::Section emit(const assembler::Section &proto, addr_t base,
+                            std::vector<std::pair<addr_t, addr_t>>
+                                *addr_map) const;
+
+  private:
+    /**
+     * The node a control transfer to (block, skip) lands on: walks past
+     * skipped body instructions, falling through empty blocks.
+     */
+    NodeId landingNode(int block, unsigned skip) const;
+
+    std::vector<BasicBlock> blocks_;
+    NodeId nextId_ = 0;
+};
+
+} // namespace mipsx::reorg
+
+#endif // MIPSX_REORG_CFG_HH

@@ -1,0 +1,80 @@
+#include "reorg/predictor.hh"
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::reorg
+{
+
+BranchCacheModel::BranchCacheModel(unsigned entries, unsigned ways)
+    : entries_(entries), ways_(ways)
+{
+    if (entries == 0 || ways == 0 || entries % ways != 0)
+        fatal("BranchCacheModel: entries must be a multiple of ways");
+    sets_ = entries / ways;
+    if (!isPowerOf2(sets_))
+        fatal("BranchCacheModel: sets must be a power of two");
+    lines_.assign(entries, {});
+}
+
+BranchCacheModel::Line *
+BranchCacheModel::find(addr_t pc)
+{
+    const unsigned set = pc % sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == pc)
+            return &base[w];
+    return nullptr;
+}
+
+BranchCacheModel::Line &
+BranchCacheModel::allocate(addr_t pc)
+{
+    const unsigned set = pc % sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    Line *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+bool
+BranchCacheModel::predict(const sim::BranchEvent &ev)
+{
+    ++lookups_;
+    ++clock_;
+    if (Line *l = find(ev.pc)) {
+        ++hits_;
+        l->lastUse = clock_;
+        return l->counter >= 2;
+    }
+    return false; // miss: fetch falls through sequentially
+}
+
+void
+BranchCacheModel::update(const sim::BranchEvent &ev)
+{
+    Line *l = find(ev.pc);
+    if (!l) {
+        Line &v = allocate(ev.pc);
+        v.valid = true;
+        v.tag = ev.pc;
+        v.counter = ev.taken ? 2 : 1;
+        v.lastUse = clock_;
+        return;
+    }
+    if (ev.taken) {
+        if (l->counter < 3)
+            ++l->counter;
+    } else {
+        if (l->counter > 0)
+            --l->counter;
+    }
+}
+
+} // namespace mipsx::reorg

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Branch-prediction models for the paper's branch study.
+ *
+ * "There were two prediction algorithms tried: branch cache, and static
+ * prediction. The branch cache was quickly discarded when we discovered
+ * that it had to be fairly large (much greater than 16 entries) to get a
+ * high hit rate. ... Besides, it never did much better than static
+ * prediction and was much more complex."
+ *
+ * These models consume the dynamic branch stream (sim::BranchEvent) and
+ * report direction-prediction accuracy, reproducing that comparison
+ * (experiment E5).
+ */
+
+#ifndef MIPSX_REORG_PREDICTOR_HH
+#define MIPSX_REORG_PREDICTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/iss.hh"
+#include "stats/stats.hh"
+
+namespace mipsx::reorg
+{
+
+/** Common accounting for all prediction models. */
+class PredictorModel
+{
+  public:
+    virtual ~PredictorModel() = default;
+
+    /** Observe one resolved conditional branch. */
+    void
+    record(const sim::BranchEvent &ev)
+    {
+        if (!ev.conditional)
+            return;
+        ++seen_;
+        if (predict(ev) == ev.taken)
+            ++correct_;
+        update(ev);
+    }
+
+    std::uint64_t seen() const { return seen_.value(); }
+    double accuracy() const { return stats::ratio(correct_, seen_); }
+
+    virtual const char *name() const = 0;
+
+  protected:
+    virtual bool predict(const sim::BranchEvent &ev) = 0;
+    virtual void update(const sim::BranchEvent &ev) { (void)ev; }
+
+  private:
+    stats::Counter seen_;
+    stats::Counter correct_;
+};
+
+/** Static: predict every branch taken. */
+class AlwaysTakenModel : public PredictorModel
+{
+  public:
+    const char *name() const override { return "static always-taken"; }
+
+  protected:
+    bool predict(const sim::BranchEvent &) override { return true; }
+};
+
+/** Static: backward taken, forward not taken (the loop heuristic). */
+class BackwardTakenModel : public PredictorModel
+{
+  public:
+    const char *name() const override { return "static backward-taken"; }
+
+  protected:
+    bool
+    predict(const sim::BranchEvent &ev) override
+    {
+        return ev.target <= ev.pc;
+    }
+};
+
+/**
+ * Static with profiling: per-branch majority direction from a previous
+ * run of the same workload (feed the profile with addProfile first).
+ */
+class ProfileModel : public PredictorModel
+{
+  public:
+    void
+    addProfile(const sim::BranchEvent &ev)
+    {
+        auto &p = profile_[ev.pc];
+        ++p.total;
+        if (ev.taken)
+            ++p.taken;
+    }
+
+    const char *name() const override { return "static profiled"; }
+
+  protected:
+    bool
+    predict(const sim::BranchEvent &ev) override
+    {
+        auto it = profile_.find(ev.pc);
+        if (it == profile_.end())
+            return ev.target <= ev.pc; // fall back to the heuristic
+        return it->second.taken * 2 >= it->second.total;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t taken = 0;
+        std::uint64_t total = 0;
+    };
+    std::map<addr_t, Entry> profile_;
+};
+
+/**
+ * The branch cache ("branch target buffer"): a small set-associative
+ * memory of recently executed branches with a 2-bit direction counter.
+ * A branch that misses in the cache predicts not-taken.
+ */
+class BranchCacheModel : public PredictorModel
+{
+  public:
+    explicit BranchCacheModel(unsigned entries, unsigned ways = 1);
+
+    const char *name() const override { return "branch cache"; }
+    unsigned entries() const { return entries_; }
+
+    /** Fraction of branches that hit in the cache. */
+    double hitRate() const { return stats::ratio(hits_, lookups_); }
+
+  protected:
+    bool predict(const sim::BranchEvent &ev) override;
+    void update(const sim::BranchEvent &ev) override;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        addr_t tag = 0;
+        std::uint8_t counter = 2; ///< 2-bit saturating, >=2 = taken
+        std::uint64_t lastUse = 0;
+    };
+
+    Line *find(addr_t pc);
+    Line &allocate(addr_t pc);
+
+    unsigned entries_;
+    unsigned ways_;
+    unsigned sets_;
+    std::vector<Line> lines_;
+    std::uint64_t clock_ = 0;
+
+    stats::Counter lookups_;
+    stats::Counter hits_;
+};
+
+} // namespace mipsx::reorg
+
+#endif // MIPSX_REORG_PREDICTOR_HH

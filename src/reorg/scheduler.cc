@@ -1,0 +1,1264 @@
+#include "reorg/scheduler.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+#include "isa/decode.hh"
+#include "isa/encode.hh"
+
+namespace mipsx::reorg
+{
+
+using assembler::SlotKind;
+using isa::BranchCond;
+using isa::ComputeOp;
+using isa::Format;
+using isa::ImmOp;
+using isa::Instruction;
+using isa::MemOp;
+using isa::SpecialReg;
+using isa::SquashType;
+
+const char *
+branchSchemeName(BranchScheme s)
+{
+    switch (s) {
+      case BranchScheme::NoSquash: return "no-squash";
+      case BranchScheme::AlwaysSquash: return "always-squash";
+      case BranchScheme::SquashOptional: return "squash-optional";
+    }
+    return "?";
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Dependence analysis
+// ---------------------------------------------------------------------
+
+/** Register/resource sets: GPR bits 0..31, MD bit 32, coproc bit 33. */
+struct ResSet
+{
+    std::uint64_t bits = 0;
+
+    void addGpr(unsigned r)
+    {
+        if (r != 0)
+            bits |= std::uint64_t{1} << r;
+    }
+    void addMd() { bits |= std::uint64_t{1} << 32; }
+    void addCop() { bits |= std::uint64_t{1} << 33; }
+
+    bool intersects(const ResSet &o) const { return (bits & o.bits) != 0; }
+    bool hasGpr(unsigned r) const
+    {
+        return r != 0 && (bits & (std::uint64_t{1} << r));
+    }
+};
+
+ResSet
+defsOf(const Instruction &in)
+{
+    ResSet s;
+    s.addGpr(in.destReg());
+    if (in.writesMd())
+        s.addMd();
+    if (in.isCoproc())
+        s.addCop();
+    return s;
+}
+
+ResSet
+usesOf(const Instruction &in)
+{
+    ResSet s;
+    const auto src = in.srcRegs();
+    for (unsigned i = 0; i < src.count; ++i)
+        s.addGpr(src.reg[i]);
+    if (in.readsMd())
+        s.addMd();
+    if (in.isCoproc())
+        s.addCop();
+    return s;
+}
+
+bool
+isLoadOp(const Instruction &in)
+{
+    return in.accessesMemory() && !in.isStore();
+}
+
+bool
+isStoreOp(const Instruction &in)
+{
+    return in.accessesMemory() && in.isStore();
+}
+
+/** Conservative memory-dependence test between two instructions. */
+bool
+memConflict(const Instruction &a, const Instruction &b)
+{
+    const bool a_mem = a.accessesMemory();
+    const bool b_mem = b.accessesMemory();
+    if (!a_mem || !b_mem)
+        return false;
+    return isStoreOp(a) || isStoreOp(b); // only load/load commutes
+}
+
+/** Instructions the scheduler may relocate or execute speculatively. */
+bool
+movable(const Instruction &in)
+{
+    if (in.isControl() || !in.valid)
+        return false;
+    if (in.fmt == Format::Compute &&
+        (in.compOp == ComputeOp::Movfrs ||
+         in.compOp == ComputeOp::Movtos)) {
+        // MD moves are ordinary dataflow; PSW/chain moves are control
+        // state and stay put.
+        return in.aux == static_cast<std::uint16_t>(SpecialReg::Md);
+    }
+    return true;
+}
+
+/**
+ * True if @p x may move across @p y (in either direction) without
+ * changing dataflow.
+ */
+bool
+independent(const Instruction &x, const Instruction &y)
+{
+    const ResSet dx = defsOf(x), ux = usesOf(x);
+    const ResSet dy = defsOf(y), uy = usesOf(y);
+    if (dx.intersects(uy) || ux.intersects(dy) || dx.intersects(dy))
+        return false;
+    return !memConflict(x, y);
+}
+
+InstrNode
+makeNop(NodeId id, SlotKind kind)
+{
+    InstrNode n;
+    n.id = id;
+    n.inst = isa::decode(isa::encodeNop());
+    n.origAddr = ~addr_t{0};
+    n.slot = kind;
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// The scheduler proper
+// ---------------------------------------------------------------------
+
+class Scheduler
+{
+  public:
+    Scheduler(Cfg &cfg, const ReorgConfig &config, ReorgStats &stats)
+        : cfg_(cfg), config_(config), stats_(stats)
+    {}
+
+    void
+    run()
+    {
+        computePins();
+        computeLiveness();
+        for (std::size_t b = 0; b < cfg_.blocks().size(); ++b)
+            scheduleTerminator(static_cast<int>(b));
+        if (config_.fillLoadDelay) {
+            for (std::size_t b = 0; b < cfg_.blocks().size(); ++b)
+                loadPass(static_cast<int>(b));
+        }
+    }
+
+  private:
+    BasicBlock &blk(int b) { return cfg_.blocks()[std::size_t(b)]; }
+
+    /** First executed instruction reached by (block, skip), or null. */
+    const InstrNode *
+    landing(int block, unsigned skip) const
+    {
+        while (block >= 0) {
+            const BasicBlock &b = cfg_.blocks()[std::size_t(block)];
+            if (skip < b.body.size())
+                return &b.body[skip];
+            skip -= static_cast<unsigned>(b.body.size());
+            if (b.hasTerm())
+                return &b.term.value();
+            block = b.fallBlock;
+        }
+        return nullptr;
+    }
+
+    void
+    computePins()
+    {
+        for (const auto &b : cfg_.blocks()) {
+            if (b.targetBlock >= 0) {
+                if (const auto *n = landing(b.targetBlock, 0))
+                    pinned_.insert(n->id);
+            }
+        }
+        for (std::size_t i = 0; i < cfg_.blocks().size(); ++i) {
+            const auto &b = cfg_.blocks()[i];
+            if (b.preds == ~0u) {
+                if (const auto *n = landing(static_cast<int>(i), 0))
+                    pinned_.insert(n->id);
+            }
+        }
+    }
+
+    /** Predicted probability that this terminator's branch is taken. */
+    double
+    predictTaken(int b) const
+    {
+        const BasicBlock &blk = cfg_.blocks()[std::size_t(b)];
+        const Instruction &t = blk.term->inst;
+        if (!t.isBranch() || t.cond == BranchCond::T)
+            return 1.0;
+        if (config_.prediction == Prediction::AlwaysTaken)
+            return 0.85;
+        if (config_.prediction == Prediction::Profile) {
+            auto it = config_.profile.find(blk.term->origAddr);
+            if (it != config_.profile.end())
+                return it->second;
+        }
+        // Static heuristic: backward (loop) branches are taken.
+        return blk.targetBlock <= b ? 0.85 : 0.3;
+    }
+
+    // -- Liveness (for the wrong-path-harmless fills) --------------------
+
+    static std::uint32_t
+    gprMask(const ResSet &s)
+    {
+        return static_cast<std::uint32_t>(s.bits & 0xffffffffu);
+    }
+
+    static constexpr std::uint32_t allLive = 0xfffffffeu; // r0 excluded
+
+    /**
+     * Classic backward dataflow over the (pre-scheduling) CFG. Unknown
+     * control transfers (jr/jalr/jpc, resumable traps) make everything
+     * live, which conservatively disables wrong-path fills near them.
+     */
+    void
+    computeLiveness()
+    {
+        const auto &B = cfg_.blocks();
+        liveIn_.assign(B.size(), 0);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t bi = B.size(); bi-- > 0;) {
+                const auto &b = B[bi];
+                std::uint32_t out = 0;
+                if (b.hasTerm()) {
+                    const auto &t = b.term->inst;
+                    const bool unknown =
+                        (t.fmt == Format::Imm &&
+                         (t.immOp == ImmOp::Jr || t.immOp == ImmOp::Jalr ||
+                          t.immOp == ImmOp::Jpc)) ||
+                        (t.isTrap() && t.uimm != isa::trapCodeHalt &&
+                         t.uimm != isa::trapCodeFail);
+                    if (unknown)
+                        out = allLive;
+                }
+                if (b.targetBlock >= 0)
+                    out |= liveIn_[std::size_t(b.targetBlock)];
+                if (b.fallBlock >= 0)
+                    out |= liveIn_[std::size_t(b.fallBlock)];
+                std::uint32_t in = out;
+                auto apply = [&in](const Instruction &i) {
+                    in &= ~gprMask(defsOf(i));
+                    in |= gprMask(usesOf(i));
+                };
+                if (b.hasTerm())
+                    apply(b.term->inst);
+                for (std::size_t k = b.body.size(); k-- > 0;)
+                    apply(b.body[k].inst);
+                if (in != liveIn_[bi]) {
+                    liveIn_[bi] = in;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    std::uint32_t
+    liveAtEntry(int block) const
+    {
+        return block >= 0 ? liveIn_[std::size_t(block)] : allLive;
+    }
+
+    /**
+     * Can @p in execute on the path the branch does NOT take without
+     * changing that path's results? (The paper's second no-squash fill
+     * rule: "instructions from the destination or the sequential path
+     * that have no effect if the branch goes the wrong way".)
+     */
+    static bool
+    harmlessWrongPath(const Instruction &in, std::uint32_t live_mask)
+    {
+        if (!movable(in) || in.isStore() || in.isCoproc() ||
+            in.writesSpecial()) {
+            return false;
+        }
+        const unsigned rd = in.destReg();
+        if (rd == 0)
+            return false;
+        return (live_mask & (1u << rd)) == 0;
+    }
+
+    // -- Candidate collection ------------------------------------------
+
+    /**
+     * Longest legal hoist suffix of @p b's body, at most @p want long.
+     * The returned instructions (in program order) can be placed after
+     * the terminator; @p execTaken / @p execFall say on which paths the
+     * slots will execute (for the last-slot load rule).
+     */
+    /**
+     * Pick up to @p want body instructions to hoist past the
+     * terminator, scanning backward and *skipping over* instructions
+     * the candidates are independent of (the Gross/Hennessy-style
+     * scheduling that makes slot filling effective). Returns the
+     * selected body indices in program order.
+     */
+    std::vector<std::size_t>
+    selectHoist(int b, unsigned want)
+    {
+        BasicBlock &blk = this->blk(b);
+        const Instruction &term = blk.term->inst;
+
+        std::vector<std::size_t> picked; // reverse program order
+        // Accumulated defs/uses of everything the candidate must move
+        // across: the terminator plus every skipped instruction.
+        ResSet accDefs = defsOf(term);
+        ResSet accUses = usesOf(term);
+        bool accStore = isStoreOp(term);
+        bool accMem = term.accessesMemory();
+
+        for (std::size_t p = blk.body.size(); p-- > 0;) {
+            if (picked.size() >= want)
+                break;
+            const InstrNode &x = blk.body[p];
+            // Never move an instruction across a landing point (a
+            // retargeted branch enters the block there); nothing above
+            // one may hoist either, so stop the scan.
+            if (pinned_.count(x.id))
+                break;
+            const Instruction &in = x.inst;
+            const ResSet dx = defsOf(in), ux = usesOf(in);
+            const bool movesOk = movable(in) &&
+                !dx.intersects(accUses) && !dx.intersects(accDefs) &&
+                !ux.intersects(accDefs) &&
+                !(isStoreOp(in) && accMem) &&
+                !(isLoadOp(in) && accStore);
+            if (movesOk) {
+                picked.push_back(p);
+            } else {
+                // x stays: later candidates must be independent of it.
+                accDefs.bits |= dx.bits;
+                accUses.bits |= ux.bits;
+                accStore = accStore || isStoreOp(in);
+                accMem = accMem || in.accessesMemory();
+            }
+        }
+        std::reverse(picked.begin(), picked.end());
+        return picked;
+    }
+
+    std::vector<InstrNode>
+    hoistCandidates(int b, unsigned want, bool exec_taken, bool exec_fall)
+    {
+        BasicBlock &blk = this->blk(b);
+        for (unsigned w = want; w > 0; --w) {
+            const auto picked = selectHoist(b, w);
+            if (picked.empty())
+                return {};
+            std::vector<InstrNode> out;
+            for (const auto p : picked)
+                out.push_back(blk.body[p]);
+            if (slotLoadsOk(b, out, want, exec_taken, exec_fall,
+                            /*target_skip=*/0)) {
+                hoistPicked_ = picked;
+                return out;
+            }
+        }
+        return {};
+    }
+
+    /**
+     * Longest copyable prefix of the target block's body, at most
+     * @p want long (the branch will be retargeted past the copies).
+     */
+    std::vector<InstrNode>
+    targetCandidates(int b, unsigned want)
+    {
+        BasicBlock &blk = this->blk(b);
+        if (blk.targetBlock < 0)
+            return {};
+        std::vector<InstrNode> out;
+        copyOrigins_.clear();
+        // Walk the taken path (following fall-through block boundaries,
+        // exactly as a landing walk does) copying movable instructions.
+        int cur = blk.targetBlock;
+        unsigned i = 0;
+        while (out.size() < want && cur >= 0) {
+            const BasicBlock &tgt = cfg_.blocks()[std::size_t(cur)];
+            if (i >= tgt.body.size()) {
+                if (tgt.hasTerm())
+                    break; // cannot copy control
+                cur = tgt.fallBlock;
+                i = 0;
+                continue;
+            }
+            if (!movable(tgt.body[i].inst))
+                break;
+            InstrNode copy = tgt.body[i];
+            copy.id = cfg_.newNode();
+            copy.slot = SlotKind::BrFromTarget;
+            copyOrigins_.push_back(tgt.body[i].id);
+            out.push_back(copy);
+            ++i;
+        }
+        // Trim until the last-slot load rule holds at the new landing.
+        while (!out.empty() &&
+               !slotLoadsOk(b, out, want, /*taken=*/true, /*fall=*/false,
+                            static_cast<unsigned>(out.size()))) {
+            out.pop_back();
+        }
+        return out;
+    }
+
+    /**
+     * Longest movable prefix of the fall-through block (only when this
+     * block is its sole predecessor), at most @p want long.
+     */
+    std::vector<InstrNode>
+    fallCandidates(int b, unsigned want)
+    {
+        BasicBlock &blk = this->blk(b);
+        if (blk.fallBlock < 0)
+            return {};
+        BasicBlock &fall = cfg_.blocks()[std::size_t(blk.fallBlock)];
+        if (fall.preds != 1)
+            return {};
+        std::vector<InstrNode> out;
+        for (unsigned i = 0; i < fall.body.size() && out.size() < want;
+             ++i) {
+            if (!movable(fall.body[i].inst) ||
+                pinned_.count(fall.body[i].id)) {
+                break;
+            }
+            InstrNode moved = fall.body[i];
+            moved.slot = SlotKind::BrFromFall;
+            out.push_back(moved);
+        }
+        // The moved instructions run on the fall path only; validate the
+        // last-slot load rule against what remains of the fall block.
+        while (!out.empty()) {
+            // Temporarily peek at the post-move landing.
+            const InstrNode *land =
+                landing(blk.fallBlock,
+                        static_cast<unsigned>(out.size()));
+            const InstrNode &lastNode = out.back();
+            bool ok = true;
+            if (lastNode.inst.isGprLoad() &&
+                lastNode.inst.destReg() != 0 && land &&
+                usesOf(land->inst).hasGpr(lastNode.inst.destReg())) {
+                ok = false;
+            }
+            if (ok && !internalLoadsOk(out))
+                ok = false;
+            if (ok)
+                break;
+            out.pop_back();
+        }
+        return out;
+    }
+
+    /**
+     * No-squash fill from the taken path: a prefix of the target block
+     * whose destinations are dead on the fall path. The branch is
+     * retargeted past the copies; on fall-through they execute
+     * harmlessly.
+     */
+    std::vector<InstrNode>
+    specTargetCandidates(int b, unsigned want,
+                         const std::vector<InstrNode> &hoisted)
+    {
+        BasicBlock &blk = this->blk(b);
+        if (blk.targetBlock < 0 || blk.fallBlock < 0)
+            return {};
+        const std::uint32_t fallLive = liveAtEntry(blk.fallBlock);
+        std::vector<InstrNode> out;
+        specCopyOrigins_.clear();
+        int cur = blk.targetBlock;
+        unsigned i = 0;
+        while (out.size() < want && cur >= 0) {
+            const BasicBlock &tgt = cfg_.blocks()[std::size_t(cur)];
+            if (i >= tgt.body.size()) {
+                if (tgt.hasTerm())
+                    break;
+                cur = tgt.fallBlock;
+                i = 0;
+                continue;
+            }
+            if (!harmlessWrongPath(tgt.body[i].inst, fallLive))
+                break;
+            InstrNode copy = tgt.body[i];
+            copy.id = cfg_.newNode();
+            copy.slot = SlotKind::BrFromTarget;
+            specCopyOrigins_.push_back(tgt.body[i].id);
+            out.push_back(copy);
+            ++i;
+        }
+        // Validate the combined arrangement on both paths.
+        while (!out.empty()) {
+            std::vector<InstrNode> combined = hoisted;
+            combined.insert(combined.end(), out.begin(), out.end());
+            if (slotLoadsOk(b, combined, config_.slots, true, true,
+                            static_cast<unsigned>(out.size()))) {
+                break;
+            }
+            out.pop_back();
+        }
+        return out;
+    }
+
+    /**
+     * No-squash fill from the sequential path: a movable prefix of a
+     * single-predecessor fall block whose destinations are dead at the
+     * branch target.
+     */
+    std::vector<InstrNode>
+    specFallCandidates(int b, unsigned want,
+                       const std::vector<InstrNode> &hoisted)
+    {
+        BasicBlock &blk = this->blk(b);
+        if (blk.fallBlock < 0 || blk.targetBlock < 0)
+            return {};
+        BasicBlock &fall = cfg_.blocks()[std::size_t(blk.fallBlock)];
+        if (fall.preds != 1)
+            return {};
+        const std::uint32_t targetLive = liveAtEntry(blk.targetBlock);
+        std::vector<InstrNode> out;
+        for (unsigned i = 0; i < fall.body.size() && out.size() < want;
+             ++i) {
+            if (!harmlessWrongPath(fall.body[i].inst, targetLive) ||
+                pinned_.count(fall.body[i].id)) {
+                break;
+            }
+            InstrNode moved = fall.body[i];
+            moved.slot = SlotKind::BrFromFall;
+            out.push_back(moved);
+        }
+        while (!out.empty()) {
+            bool ok = internalLoadsOk(out);
+            if (ok && !hoisted.empty() && out.size() == 1 &&
+                hoisted.back().inst.isGprLoad() &&
+                usesOf(out.front().inst)
+                    .hasGpr(hoisted.back().inst.destReg())) {
+                ok = false; // hoisted load feeding the first moved inst
+            }
+            if (ok && hoisted.size() + out.size() == config_.slots) {
+                // Last slot load vs both landings (slots run on both
+                // paths): fall remainder and the branch target.
+                const auto &last = out.back().inst;
+                if (last.isGprLoad() && last.destReg() != 0) {
+                    const unsigned rd = last.destReg();
+                    const InstrNode *fl =
+                        landing(blk.fallBlock,
+                                static_cast<unsigned>(out.size()));
+                    const InstrNode *tl = landing(blk.targetBlock, 0);
+                    if ((fl && usesOf(fl->inst).hasGpr(rd)) ||
+                        (tl && usesOf(tl->inst).hasGpr(rd))) {
+                        ok = false;
+                    }
+                }
+            }
+            if (ok)
+                break;
+            out.pop_back();
+        }
+        return out;
+    }
+
+    /** Pairwise load rule inside a slot arrangement. */
+    bool
+    internalLoadsOk(const std::vector<InstrNode> &slots) const
+    {
+        for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+            const auto &a = slots[i].inst;
+            if (a.isGprLoad() && a.destReg() != 0 &&
+                usesOf(slots[i + 1].inst).hasGpr(a.destReg())) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /**
+     * The full load rule for a slot arrangement of block @p b: pairwise
+     * inside the slots, and the last occupied slot against the first
+     * instruction on each path the slots execute on. @p fill is the
+     * number of occupied slots (no-ops pad to @p want, pushing real
+     * instructions away from the landing).
+     */
+    bool
+    slotLoadsOk(int b, const std::vector<InstrNode> &slots, unsigned want,
+                bool exec_taken, bool exec_fall, unsigned target_skip)
+    {
+        if (!internalLoadsOk(slots))
+            return false;
+        if (slots.empty())
+            return true;
+        // Only a load in the *last* slot position is adjacent to the
+        // landing instruction; trailing no-ops provide distance.
+        if (slots.size() < want)
+            return true;
+        const auto &last = slots.back().inst;
+        if (!last.isGprLoad() || last.destReg() == 0)
+            return true;
+        const unsigned rd = last.destReg();
+        BasicBlock &blk = this->blk(b);
+
+        if (exec_taken) {
+            if (blk.targetBlock < 0)
+                return false; // unknown target: be conservative
+            const InstrNode *land = landing(blk.targetBlock, target_skip);
+            if (land && usesOf(land->inst).hasGpr(rd))
+                return false;
+        }
+        if (exec_fall) {
+            const InstrNode *land = landing(blk.fallBlock, 0);
+            if (land && usesOf(land->inst).hasGpr(rd))
+                return false;
+        }
+        return true;
+    }
+
+    // -- Terminator scheduling -------------------------------------------
+
+    void
+    setSquash(InstrNode &t, SquashType s)
+    {
+        t.inst = isa::decode(
+            insertBits(t.inst.raw, 26, 25, static_cast<word_t>(s)));
+    }
+
+    void
+    applyHoist(int b, std::vector<InstrNode> hoisted)
+    {
+        if (hoisted.empty())
+            return;
+        BasicBlock &blk = this->blk(b);
+        // Remove the picked instructions (recorded by hoistCandidates),
+        // highest index first so earlier indices stay valid.
+        for (auto it = hoistPicked_.rbegin(); it != hoistPicked_.rend();
+             ++it) {
+            blk.body.erase(blk.body.begin() + static_cast<long>(*it));
+        }
+        for (auto &n : hoisted) {
+            n.slot = SlotKind::BrHoisted;
+            blk.slots.push_back(n);
+        }
+    }
+
+    /**
+     * Pin the original instructions a retargeted branch skips: later
+     * passes must never relocate them to a position the branch path
+     * executes (e.g. into their own block's delay slots, which would
+     * run them twice on the retargeted path).
+     */
+    void
+    pinSkipRegion(const std::vector<NodeId> &origins, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count && i < origins.size(); ++i)
+            pinned_.insert(origins[i]);
+    }
+
+    void
+    padNops(int b, unsigned want)
+    {
+        BasicBlock &blk = this->blk(b);
+        while (blk.slots.size() < want) {
+            blk.slots.push_back(makeNop(cfg_.newNode(), SlotKind::BrNop));
+            ++stats_.slotsNop;
+        }
+    }
+
+    void
+    scheduleTerminator(int b)
+    {
+        BasicBlock &blk = this->blk(b);
+        if (!blk.hasTerm())
+            return;
+        const Instruction &t = blk.term->inst;
+
+        if (t.fmt == Format::Imm && t.immOp == ImmOp::Jpc)
+            fatal("reorg: jpc in user text (handlers are hand-scheduled)");
+        if (t.isTrap())
+            return; // traps kill the following fetches; no slots needed
+
+        const unsigned want = config_.slots;
+        const bool conditional = t.isBranch() && t.cond != BranchCond::T;
+
+        if (!conditional) {
+            // Unconditional transfer: hoisted and target-copied slots
+            // are both always useful; combine them.
+            ++stats_.jumps;
+            stats_.slotsTotal += want;
+            const bool knownTarget = blk.targetBlock >= 0;
+            auto hoisted = hoistCandidates(b, want, knownTarget, false);
+            if (!knownTarget) {
+                // jr/jalr: the landing is unknown; forbid a load in the
+                // last slot by trimming.
+                while (!hoisted.empty() && hoisted.size() == want &&
+                       hoisted.back().inst.isGprLoad()) {
+                    hoisted.pop_back();
+                }
+            }
+            applyHoist(b, hoisted);
+            stats_.slotsHoisted += hoisted.size();
+            if (knownTarget && blk.slots.size() < want) {
+                auto copies = targetCandidates(
+                    b, want - static_cast<unsigned>(blk.slots.size()));
+                // Re-validate the combined arrangement.
+                std::vector<InstrNode> combined = blk.slots;
+                combined.insert(combined.end(), copies.begin(),
+                                copies.end());
+                while (!copies.empty() &&
+                       !slotLoadsOk(b, combined, want, true, false,
+                                    static_cast<unsigned>(copies.size()))) {
+                    copies.pop_back();
+                    combined.pop_back();
+                }
+                if (!copies.empty()) {
+                    blk.targetSkip = static_cast<unsigned>(copies.size());
+                    blk.landingId =
+                        landing(blk.targetBlock, blk.targetSkip)
+                            ? landing(blk.targetBlock, blk.targetSkip)->id
+                            : invalidNode;
+                    if (blk.landingId != invalidNode)
+                        pinned_.insert(blk.landingId);
+                    pinSkipRegion(copyOrigins_, copies.size());
+                    for (auto &c : copies)
+                        blk.slots.push_back(c);
+                    stats_.slotsFromTarget += copies.size();
+                }
+            }
+            padNops(b, want);
+            return;
+        }
+
+        // Conditional branch: choose a strategy per the scheme.
+        ++stats_.branches;
+        stats_.slotsTotal += want;
+        const double p = predictTaken(b);
+
+        // The no-squash plan: hoisted instructions first (always
+        // useful), then — the paper's second rule — instructions from
+        // one path that are harmless if the branch goes the other way.
+        std::vector<InstrNode> hoisted;
+        std::vector<InstrNode> specT, specF;
+        if (config_.scheme != BranchScheme::AlwaysSquash) {
+            hoisted = hoistCandidates(b, want, true, true);
+            const unsigned rem =
+                want - static_cast<unsigned>(hoisted.size());
+            if (rem > 0) {
+                specT = specTargetCandidates(b, rem, hoisted);
+                specF = specFallCandidates(b, rem, hoisted);
+            }
+        }
+        const double specScore =
+            std::max(static_cast<double>(specT.size()) * p,
+                     static_cast<double>(specF.size()) * (1.0 - p));
+        const bool specUseTarget =
+            static_cast<double>(specT.size()) * p >=
+            static_cast<double>(specF.size()) * (1.0 - p);
+
+        // The squashing plans.
+        std::vector<InstrNode> fromTarget;
+        std::vector<InstrNode> fromFall;
+        if (config_.scheme != BranchScheme::NoSquash) {
+            fromTarget = targetCandidates(b, want);
+            if (!config_.paperFaithful)
+                fromFall = fallCandidates(b, want);
+        }
+
+        const double scoreNoSquash =
+            static_cast<double>(hoisted.size()) + specScore;
+        const double scoreTarget =
+            static_cast<double>(fromTarget.size()) * p;
+        const double scoreFall =
+            static_cast<double>(fromFall.size()) * (1.0 - p);
+
+        enum class Choice { NoSquash, Target, Fall } choice =
+            Choice::NoSquash;
+        if (config_.scheme == BranchScheme::AlwaysSquash) {
+            // Must squash: pick the predicted direction's fill.
+            if (!config_.paperFaithful && scoreFall > scoreTarget)
+                choice = Choice::Fall;
+            else
+                choice = Choice::Target;
+        } else if (config_.scheme == BranchScheme::NoSquash) {
+            choice = Choice::NoSquash;
+        } else {
+            choice = Choice::NoSquash;
+            double best = scoreNoSquash;
+            if (scoreTarget > best) {
+                best = scoreTarget;
+                choice = Choice::Target;
+            }
+            if (scoreFall > best)
+                choice = Choice::Fall;
+        }
+
+        switch (choice) {
+          case Choice::NoSquash: {
+            ++stats_.chosenNoSquash;
+            setSquash(blk.term.value(), SquashType::NoSquash);
+            applyHoist(b, hoisted);
+            stats_.slotsHoisted += hoisted.size();
+            const auto &spec = specUseTarget ? specT : specF;
+            if (!spec.empty()) {
+                if (specUseTarget) {
+                    // Copies of the target head: retarget past them.
+                    blk.targetSkip = static_cast<unsigned>(spec.size());
+                    const auto *land =
+                        landing(blk.targetBlock, blk.targetSkip);
+                    blk.landingId = land ? land->id : invalidNode;
+                    if (blk.landingId != invalidNode)
+                        pinned_.insert(blk.landingId);
+                    pinSkipRegion(specCopyOrigins_, spec.size());
+                    stats_.slotsFromTarget += spec.size();
+                } else {
+                    // Moved from the (sole-predecessor) fall block.
+                    BasicBlock &fall = this->blk(blk.fallBlock);
+                    fall.body.erase(fall.body.begin(),
+                                    fall.body.begin() +
+                                        static_cast<long>(spec.size()));
+                    stats_.slotsFromFall += spec.size();
+                }
+                for (const auto &n : spec)
+                    blk.slots.push_back(n);
+            }
+            break;
+          }
+          case Choice::Target:
+            ++stats_.chosenSquashNotTaken;
+            setSquash(blk.term.value(), SquashType::SquashNotTaken);
+            if (!fromTarget.empty()) {
+                blk.targetSkip = static_cast<unsigned>(fromTarget.size());
+                const auto *land =
+                    landing(blk.targetBlock, blk.targetSkip);
+                blk.landingId = land ? land->id : invalidNode;
+                if (blk.landingId != invalidNode)
+                    pinned_.insert(blk.landingId);
+                pinSkipRegion(copyOrigins_, fromTarget.size());
+                for (auto &c : fromTarget)
+                    blk.slots.push_back(c);
+                stats_.slotsFromTarget += fromTarget.size();
+            }
+            break;
+          case Choice::Fall: {
+            ++stats_.chosenSquashTaken;
+            setSquash(blk.term.value(), SquashType::SquashTaken);
+            BasicBlock &fall = this->blk(blk.fallBlock);
+            fall.body.erase(fall.body.begin(),
+                            fall.body.begin() +
+                                static_cast<long>(fromFall.size()));
+            for (auto &m : fromFall)
+                blk.slots.push_back(m);
+            stats_.slotsFromFall += fromFall.size();
+            break;
+          }
+        }
+        padNops(b, want);
+    }
+
+    // -- Load-delay scheduling -------------------------------------------
+
+    void
+    loadPass(int b)
+    {
+        // Moves (pull/push) fix one hazard but can in principle expose
+        // another; the iteration bound forces no-op fixes (which are
+        // strictly monotone) if rescheduling ever churns.
+        std::size_t moveBudget = 8 * (this->blk(b).body.size() + 1);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            BasicBlock &blk = this->blk(b);
+            for (std::size_t i = 0; i < blk.body.size(); ++i) {
+                const Instruction &ld = blk.body[i].inst;
+                if (!ld.isGprLoad() || ld.destReg() == 0)
+                    continue;
+                const unsigned rd = ld.destReg();
+
+                const Instruction *reader = nullptr;
+                bool reader_in_body = false;
+                if (i + 1 < blk.body.size()) {
+                    reader = &blk.body[i + 1].inst;
+                    reader_in_body = true;
+                } else if (blk.hasTerm()) {
+                    reader = &blk.term->inst;
+                } else if (const auto *land = landing(blk.fallBlock, 0)) {
+                    reader = &land->inst;
+                }
+                if (!reader || !usesOf(*reader).hasGpr(rd))
+                    continue;
+
+                ++stats_.loadHazards;
+                const bool mayMove = moveBudget > 0;
+                if (mayMove)
+                    --moveBudget;
+                if (mayMove && reader_in_body && tryPull(b, i)) {
+                    ++stats_.loadReordered;
+                } else if (mayMove && tryPush(b, i)) {
+                    ++stats_.loadReordered;
+                } else {
+                    blk.body.insert(
+                        blk.body.begin() + static_cast<long>(i) + 1,
+                        makeNop(cfg_.newNode(), SlotKind::LoadNop));
+                    ++stats_.loadNops;
+                }
+                changed = true;
+                break; // indices moved; rescan the block
+            }
+        }
+    }
+
+    /**
+     * Try to sink an *earlier* body instruction of block @p b into the
+     * shadow of the load at body index @p i (the complement of
+     * tryPull, for loads at the end of their dependence chains).
+     */
+    bool
+    tryPush(int b, std::size_t i)
+    {
+        BasicBlock &blk = this->blk(b);
+        const unsigned rd = blk.body[i].inst.destReg();
+        // What follows the load (the hazardous reader).
+        const Instruction *after = nullptr;
+        if (i + 1 < blk.body.size())
+            after = &blk.body[i + 1].inst;
+        else if (blk.hasTerm())
+            after = &blk.term->inst;
+
+        for (std::size_t j = i; j-- > 0;) {
+            const InstrNode &cand = blk.body[j];
+            if (!movable(cand.inst) || pinned_.count(cand.id))
+                continue;
+            if (usesOf(cand.inst).hasGpr(rd))
+                continue; // would sit at distance 1 behind the load
+            // A sinking load must not feed the old reader at distance 1.
+            if (cand.inst.isGprLoad() && cand.inst.destReg() != 0 &&
+                after && usesOf(*after).hasGpr(cand.inst.destReg())) {
+                continue;
+            }
+            // The move must not cross a landing point.
+            bool crosses_landing = false;
+            for (std::size_t p = j + 1; p <= i && !crosses_landing; ++p) {
+                if (pinned_.count(blk.body[p].id))
+                    crosses_landing = true;
+            }
+            if (crosses_landing)
+                continue;
+            // Independent of everything it crosses, load included.
+            bool independent_span = true;
+            for (std::size_t k = j + 1; k <= i && independent_span; ++k) {
+                if (!independent(cand.inst, blk.body[k].inst))
+                    independent_span = false;
+            }
+            if (!independent_span)
+                continue;
+            // Vacating position j must not expose a hazard at its seam.
+            if (j > 0) {
+                const Instruction &before = blk.body[j - 1].inst;
+                const Instruction &newNext = blk.body[j + 1].inst;
+                if (before.isGprLoad() && before.destReg() != 0 &&
+                    usesOf(newNext).hasGpr(before.destReg())) {
+                    continue;
+                }
+            }
+            InstrNode moved = cand;
+            blk.body.erase(blk.body.begin() + static_cast<long>(j));
+            // After the erase, the load sits at index i - 1.
+            blk.body.insert(blk.body.begin() + static_cast<long>(i),
+                            moved);
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Try to move a later body instruction of block @p b into the shadow
+     * of the load at body index @p i.
+     */
+    bool
+    tryPull(int b, std::size_t i)
+    {
+        BasicBlock &blk = this->blk(b);
+        const unsigned rd = blk.body[i].inst.destReg();
+        for (std::size_t j = i + 2; j < blk.body.size(); ++j) {
+            const InstrNode &cand = blk.body[j];
+            if (!movable(cand.inst) || pinned_.count(cand.id))
+                continue;
+            // The move must not cross a landing point: a retargeted
+            // branch enters this block mid-body, and an instruction
+            // moved from after that entry to before it would be skipped
+            // on the branch path.
+            bool crosses_landing = false;
+            for (std::size_t p = i + 1; p <= j && !crosses_landing; ++p) {
+                if (pinned_.count(blk.body[p].id))
+                    crosses_landing = true;
+            }
+            if (crosses_landing)
+                continue;
+            if (usesOf(cand.inst).hasGpr(rd))
+                continue; // same hazard, one slot later
+            // The candidate must not itself be a load feeding the old
+            // reader at distance one.
+            if (cand.inst.isGprLoad() && cand.inst.destReg() != 0 &&
+                usesOf(blk.body[i + 1].inst)
+                    .hasGpr(cand.inst.destReg())) {
+                continue;
+            }
+            bool independent_span = true;
+            for (std::size_t k = i + 1; k < j && independent_span; ++k) {
+                if (!independent(cand.inst, blk.body[k].inst))
+                    independent_span = false;
+            }
+            if (!independent_span)
+                continue;
+            // Moving cand out of position j must not create a hazard at
+            // the seam it leaves behind.
+            const Instruction &before =
+                blk.body[j - 1].inst; // j-1 >= i+1
+            const Instruction *after = nullptr;
+            if (j + 1 < blk.body.size())
+                after = &blk.body[j + 1].inst;
+            else if (blk.hasTerm())
+                after = &blk.term->inst;
+            if (before.isGprLoad() && before.destReg() != 0 && after &&
+                usesOf(*after).hasGpr(before.destReg())) {
+                continue;
+            }
+            InstrNode moved = cand;
+            blk.body.erase(blk.body.begin() + static_cast<long>(j));
+            blk.body.insert(blk.body.begin() + static_cast<long>(i) + 1,
+                            moved);
+            return true;
+        }
+        return false;
+    }
+
+    Cfg &cfg_;
+    const ReorgConfig &config_;
+    ReorgStats &stats_;
+    std::unordered_set<NodeId> pinned_;
+    /** Body indices chosen by the last hoistCandidates() call. */
+    std::vector<std::size_t> hoistPicked_;
+    /** Per-block live-in GPR masks (original CFG). */
+    std::vector<std::uint32_t> liveIn_;
+    /** Original node ids of the last targetCandidates() collection. */
+    std::vector<NodeId> copyOrigins_;
+    /** Same, for the last specTargetCandidates() collection. */
+    std::vector<NodeId> specCopyOrigins_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Verification
+// ---------------------------------------------------------------------
+
+unsigned
+verifySchedule(const Cfg &cfg, unsigned slots)
+{
+    unsigned violations = 0;
+
+    auto landing = [&cfg](int block, unsigned skip) -> const InstrNode * {
+        while (block >= 0) {
+            const BasicBlock &b = cfg.blocks()[std::size_t(block)];
+            if (skip < b.body.size())
+                return &b.body[skip];
+            skip -= static_cast<unsigned>(b.body.size());
+            if (b.hasTerm())
+                return &b.term.value();
+            block = b.fallBlock;
+        }
+        return nullptr;
+    };
+
+    auto hazard = [&violations](const Instruction &a,
+                                const Instruction &b) {
+        if (a.isGprLoad() && a.destReg() != 0 &&
+            usesOf(b).hasGpr(a.destReg())) {
+            ++violations;
+        }
+    };
+
+    for (std::size_t bi = 0; bi < cfg.blocks().size(); ++bi) {
+        const BasicBlock &b = cfg.blocks()[bi];
+
+        // Sequential adjacencies inside the block.
+        std::vector<const Instruction *> seq;
+        for (const auto &n : b.body)
+            seq.push_back(&n.inst);
+        if (b.hasTerm())
+            seq.push_back(&b.term->inst);
+        for (const auto &n : b.slots)
+            seq.push_back(&n.inst);
+        for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+            hazard(*seq[i], *seq[i + 1]);
+
+        // Slot-region shape.
+        if (b.hasTerm() && !b.term->inst.isTrap() &&
+            b.slots.size() != slots) {
+            ++violations;
+        }
+
+        // Edges out of the block.
+        if (seq.empty())
+            continue;
+        const Instruction &lastSeq = *seq.back();
+        if (b.hasTerm()) {
+            const Instruction &t = b.term->inst;
+            const bool execTaken =
+                t.squash != SquashType::SquashTaken; // run when taken
+            const bool execFall =
+                t.squash != SquashType::SquashNotTaken;
+            if (execTaken && b.targetBlock >= 0) {
+                const Instruction *landInst = nullptr;
+                if (b.landingId != invalidNode) {
+                    for (const auto &bb : cfg.blocks()) {
+                        for (const auto &n : bb.body)
+                            if (n.id == b.landingId)
+                                landInst = &n.inst;
+                        if (bb.hasTerm() && bb.term->id == b.landingId)
+                            landInst = &bb.term->inst;
+                    }
+                } else if (const auto *land = landing(b.targetBlock, 0)) {
+                    landInst = &land->inst;
+                }
+                if (landInst)
+                    hazard(lastSeq, *landInst);
+            }
+            if (execFall && b.fallBlock >= 0 && t.isBranch()) {
+                if (const auto *land = landing(b.fallBlock, 0))
+                    hazard(lastSeq, land->inst);
+            }
+        } else if (b.fallBlock >= 0) {
+            if (const auto *land = landing(b.fallBlock, 0))
+                hazard(lastSeq, land->inst);
+        }
+    }
+    return violations;
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+assembler::Program
+reorganize(const assembler::Program &prog, const ReorgConfig &config,
+           ReorgStats *stats)
+{
+    if (config.slots < 1 || config.slots > 2)
+        fatal("reorganize: slots must be 1 or 2");
+
+    ReorgStats local;
+    ReorgStats &st = stats ? *stats : local;
+
+    assembler::Program out;
+    out.symbols = prog.symbols;
+    out.textRefs = prog.textRefs;
+    out.entrySpace = prog.entrySpace;
+    std::unordered_map<addr_t, addr_t> globalMap;
+
+    for (const auto &sec : prog.sections) {
+        if (!sec.isText || sec.space == AddressSpace::System) {
+            out.sections.push_back(sec);
+            continue;
+        }
+
+        std::vector<addr_t> symbolAddrs;
+        for (const auto &[name, addr] : prog.symbols) {
+            (void)name;
+            if (addr >= sec.base && addr < sec.end())
+                symbolAddrs.push_back(addr);
+        }
+
+        Cfg cfg = Cfg::build(sec, symbolAddrs);
+        Scheduler sched(cfg, config, st);
+        sched.run();
+
+        // Postcondition: the schedule must be free of load-delay
+        // violations on every path and have well-formed slot regions.
+        if (const unsigned v = verifySchedule(cfg, config.slots))
+            fatal(strformat("reorganize: schedule verification found %u "
+                            "violation(s) in section '%s'",
+                            v, sec.name.c_str()));
+
+        std::vector<std::pair<addr_t, addr_t>> addrMap;
+        assembler::Section newSec = cfg.emit(sec, sec.base, &addrMap);
+
+        std::unordered_map<addr_t, addr_t> map(addrMap.begin(),
+                                               addrMap.end());
+        globalMap.insert(addrMap.begin(), addrMap.end());
+        for (auto &[name, addr] : out.symbols) {
+            (void)name;
+            if (addr >= sec.base && addr < sec.end()) {
+                auto it = map.find(addr);
+                if (it != map.end())
+                    addr = it->second;
+                else if (addr == sec.end())
+                    addr = newSec.end();
+                else
+                    fatal("reorganize: symbol lost during relayout");
+            } else if (addr == sec.end()) {
+                addr = newSec.end();
+            }
+        }
+        out.sections.push_back(std::move(newSec));
+    }
+
+    // Remap code pointers held in data words.
+    for (const auto &ref : out.textRefs) {
+        auto &sec = out.sections.at(ref.section);
+        word_t &w = sec.words.at(ref.offset);
+        auto it = globalMap.find(w);
+        if (it != globalMap.end())
+            w = it->second;
+    }
+
+    // Remap the entry point.
+    out.entry = prog.entry;
+    for (const auto &[name, addr] : prog.symbols) {
+        if (addr == prog.entry) {
+            out.entry = out.symbols.at(name);
+            break;
+        }
+    }
+    if (out.entry == prog.entry) {
+        // No symbol at the entry: if it is a text base, keep the base.
+        for (std::size_t i = 0; i < prog.sections.size(); ++i) {
+            if (prog.sections[i].isText &&
+                prog.entry == prog.sections[i].base) {
+                out.entry = out.sections[i].base;
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mipsx::reorg

@@ -1,0 +1,411 @@
+#include "sim/iss.hh"
+
+#include "common/sim_error.hh"
+#include "core/exec.hh"
+#include "isa/decode.hh"
+
+namespace mipsx::sim
+{
+
+using isa::ComputeOp;
+using isa::Format;
+using isa::ImmOp;
+using isa::MemOp;
+using isa::SpecialReg;
+namespace psw_bits = isa::psw_bits;
+
+Iss::Iss(const IssConfig &config, memory::MainMemory &mem)
+    : config_(config), ram_(mem)
+{
+    if (config_.branchDelay < 1 || config_.branchDelay > 2)
+        fatal("Iss: branchDelay must be 1 or 2");
+}
+
+void
+Iss::attachCoprocessor(unsigned num,
+                       std::unique_ptr<coproc::Coprocessor> cop)
+{
+    cops_.attach(num, std::move(cop));
+}
+
+void
+Iss::reset(addr_t entry)
+{
+    regs_.fill(0);
+    md_ = 0;
+    psw_ = core::Psw(config_.initialPsw);
+    pswOld_ = core::Psw(0);
+    chain_ = core::PcChain{};
+    pc_ = entry;
+    redirects_.clear();
+    skip_ = 0;
+    stalePending_ = false;
+    stop_ = IssStop::Running;
+    stats_ = IssStats{};
+}
+
+void
+Iss::setGpr(unsigned r, word_t v)
+{
+    if (r != 0)
+        regs_.at(r) = v;
+}
+
+word_t
+Iss::readReg(unsigned r) const
+{
+    if (r == 0)
+        return 0;
+    return regs_[r];
+}
+
+void
+Iss::writeReg(unsigned r, word_t v)
+{
+    if (r != 0)
+        regs_[r] = v;
+}
+
+void
+Iss::takeException(word_t cause)
+{
+    ++stats_.exceptions;
+    // Sequential semantics: the faulting instruction's address fills the
+    // oldest chain slot; a single jpc restarts it.
+    chain_.write(0, core::PcChain::makeEntry(pc_, false));
+    chain_.write(1, 0);
+    chain_.write(2, 0);
+    pswOld_ = psw_;
+    psw_ = core::Psw::exceptionEntry(psw_, cause);
+    pc_ = exceptionVector;
+    redirects_.clear();
+    skip_ = 0;
+    stalePending_ = false;
+    if (ram_.read(AddressSpace::System, exceptionVector) == 0)
+        stop_ = IssStop::UnhandledException;
+}
+
+void
+Iss::scheduleRedirect(addr_t target)
+{
+    if (config_.mode == IssMode::Sequential) {
+        pc_ = target;
+        return;
+    }
+    redirects_.push_back({config_.branchDelay + 1, target});
+}
+
+void
+Iss::emitBranch(addr_t pc, addr_t target, bool cond, bool taken)
+{
+    if (branchHook_)
+        branchHook_({pc, target, cond, taken});
+}
+
+IssStop
+Iss::run()
+{
+    while (!stopped())
+        step();
+    return stop_;
+}
+
+void
+Iss::step()
+{
+    if (stopped())
+        return;
+    if (stats_.steps >= config_.maxSteps) {
+        stop_ = IssStop::MaxSteps;
+        return;
+    }
+
+    const addr_t cur = pc_;
+    const AddressSpace space = psw_.space();
+    const isa::Instruction in = isa::decode(ram_.read(space, cur));
+    ++stats_.steps;
+
+    // Load-delay staleness (delayed mode): the previous instruction's
+    // load result is invisible to this instruction only.
+    const bool stale_active = stalePending_;
+    const unsigned stale_reg = staleReg_;
+    const word_t stale_value = staleValue_;
+    stalePending_ = false;
+
+    auto read = [&](unsigned r) -> word_t {
+        if (r == 0)
+            return 0;
+        if (stale_active && r == stale_reg)
+            return stale_value;
+        return regs_[r];
+    };
+
+    const bool squashed = skip_ > 0;
+    if (skip_ > 0)
+        --skip_;
+
+    bool redirected_seq = false; // sequential mode changed pc_ directly
+
+    if (!squashed) {
+        if (!in.valid) {
+            stop_ = IssStop::InvalidInstruction;
+            return;
+        }
+        const bool user = !psw_.systemMode();
+        const word_t a = read(in.rs1);
+        const word_t b = read(in.rs2);
+
+        switch (in.fmt) {
+          case Format::Compute:
+            switch (in.compOp) {
+              case ComputeOp::Movfrs:
+                switch (static_cast<SpecialReg>(in.aux)) {
+                  case SpecialReg::Psw:
+                    writeReg(in.rd, psw_.bits());
+                    break;
+                  case SpecialReg::PswOld:
+                    writeReg(in.rd, pswOld_.bits());
+                    break;
+                  case SpecialReg::Md:
+                    writeReg(in.rd, md_);
+                    break;
+                  case SpecialReg::PcChain0:
+                  case SpecialReg::PcChain1:
+                  case SpecialReg::PcChain2:
+                    writeReg(in.rd,
+                             chain_.read(in.aux - static_cast<unsigned>(
+                                 SpecialReg::PcChain0)));
+                    break;
+                }
+                break;
+              case ComputeOp::Movtos: {
+                const auto sreg = static_cast<SpecialReg>(in.aux);
+                if (sreg != SpecialReg::Md && user) {
+                    takeException(psw_bits::cPriv);
+                    return;
+                }
+                switch (sreg) {
+                  case SpecialReg::Md:
+                    md_ = a;
+                    break;
+                  case SpecialReg::Psw:
+                    psw_.setBits(a);
+                    break;
+                  case SpecialReg::PswOld:
+                    break; // hardware-loaded only
+                  case SpecialReg::PcChain0:
+                  case SpecialReg::PcChain1:
+                  case SpecialReg::PcChain2:
+                    chain_.write(in.aux - static_cast<unsigned>(
+                                     SpecialReg::PcChain0),
+                                 a);
+                    break;
+                }
+                break;
+              }
+              default: {
+                const core::ComputeResult r =
+                    core::executeCompute(in, a, b, md_);
+                if (r.overflow && psw_.overflowTrapEnabled()) {
+                    takeException(psw_bits::cOvf);
+                    return;
+                }
+                writeReg(in.rd, r.value);
+                if (r.writesMd)
+                    md_ = r.md;
+                break;
+              }
+            }
+            break;
+
+          case Format::Imm:
+            switch (in.immOp) {
+              case ImmOp::Addi: {
+                const auto r =
+                    core::addOverflow(a, static_cast<word_t>(in.imm));
+                if (r.overflow && psw_.overflowTrapEnabled()) {
+                    takeException(psw_bits::cOvf);
+                    return;
+                }
+                writeReg(in.rd, r.value);
+                break;
+              }
+              case ImmOp::Lih:
+                writeReg(in.rd, static_cast<word_t>(in.imm) << 15);
+                break;
+              case ImmOp::Jmp:
+              case ImmOp::Jal: {
+                const addr_t target = static_cast<addr_t>(
+                    static_cast<std::int64_t>(cur) + 1 + in.imm);
+                ++stats_.jumps;
+                emitBranch(cur, target, false, true);
+                if (in.immOp == ImmOp::Jal) {
+                    const unsigned delay =
+                        config_.mode == IssMode::Delayed
+                            ? config_.branchDelay
+                            : 0;
+                    writeReg(in.rd, cur + 1 + delay);
+                }
+                scheduleRedirect(target);
+                redirected_seq = config_.mode == IssMode::Sequential;
+                break;
+              }
+              case ImmOp::Jr:
+              case ImmOp::Jalr: {
+                const addr_t target = static_cast<addr_t>(
+                    static_cast<std::int64_t>(a) + in.imm);
+                ++stats_.jumps;
+                emitBranch(cur, target, false, true);
+                if (in.immOp == ImmOp::Jalr) {
+                    const unsigned delay =
+                        config_.mode == IssMode::Delayed
+                            ? config_.branchDelay
+                            : 0;
+                    writeReg(in.rd, cur + 1 + delay);
+                }
+                scheduleRedirect(target);
+                redirected_seq = config_.mode == IssMode::Sequential;
+                break;
+              }
+              case ImmOp::Jpc: {
+                if (user) {
+                    takeException(psw_bits::cPriv);
+                    return;
+                }
+                const word_t entry = chain_.pop();
+                const addr_t target = core::PcChain::entryPc(entry);
+                if (config_.mode == IssMode::Sequential) {
+                    pc_ = target;
+                    redirected_seq = true;
+                } else {
+                    redirects_.push_back(
+                        {config_.branchDelay + 1, target});
+                    // A squashed entry re-executes as a no-op: skip the
+                    // single instruction the redirect injects.
+                    if (core::PcChain::entrySquashed(entry))
+                        redirects_.back().target |= core::chainSquashBit;
+                }
+                break;
+              }
+              case ImmOp::Trap:
+                ++stats_.traps;
+                if (in.uimm == isa::trapCodeHalt) {
+                    stop_ = IssStop::Halt;
+                    return;
+                }
+                if (in.uimm == isa::trapCodeFail) {
+                    stop_ = IssStop::Fail;
+                    return;
+                }
+                takeException(psw_bits::cTrap);
+                return;
+            }
+            break;
+
+          case Format::Mem: {
+            const addr_t addr = static_cast<addr_t>(
+                static_cast<std::int64_t>(a) + in.imm);
+            switch (in.memOp) {
+              case MemOp::Ld:
+              case MemOp::Ldt: {
+                ++stats_.loads;
+                const word_t old = readReg(in.rd);
+                const word_t v = ram_.read(space, addr);
+                writeReg(in.rd, v);
+                if (config_.mode == IssMode::Delayed && in.rd != 0) {
+                    stalePending_ = true;
+                    staleReg_ = in.rd;
+                    staleValue_ = old;
+                }
+                break;
+              }
+              case MemOp::St:
+                ++stats_.stores;
+                ram_.write(space, addr, b);
+                break;
+              case MemOp::Ldf:
+                ++stats_.loads;
+                ++stats_.coprocOps;
+                cops_.at(1).loadDirect(in.aux, ram_.read(space, addr));
+                break;
+              case MemOp::Stf:
+                ++stats_.stores;
+                ++stats_.coprocOps;
+                ram_.write(space, addr, cops_.at(1).storeDirect(in.aux));
+                break;
+              case MemOp::Aluc:
+                ++stats_.coprocOps;
+                cops_.at(in.copNum()).aluc(in.copOp());
+                break;
+              case MemOp::Movfrc: {
+                ++stats_.coprocOps;
+                const word_t old = readReg(in.rd);
+                writeReg(in.rd, cops_.at(in.copNum()).movfrc(in.copOp()));
+                if (config_.mode == IssMode::Delayed && in.rd != 0) {
+                    stalePending_ = true;
+                    staleReg_ = in.rd;
+                    staleValue_ = old;
+                }
+                break;
+              }
+              case MemOp::Movtoc:
+                ++stats_.coprocOps;
+                cops_.at(in.copNum()).movtoc(in.copOp(), b);
+                break;
+            }
+            break;
+          }
+
+          case Format::Branch: {
+            const bool taken = core::branchTaken(in.cond, a, b);
+            ++stats_.branches;
+            if (taken)
+                ++stats_.branchesTaken;
+            const addr_t target = static_cast<addr_t>(
+                static_cast<std::int64_t>(cur) + 1 + in.imm);
+            emitBranch(cur, target, true, taken);
+            if (config_.mode == IssMode::Sequential) {
+                if (taken) {
+                    pc_ = target;
+                    redirected_seq = true;
+                }
+            } else {
+                if (taken)
+                    redirects_.push_back({config_.branchDelay + 1, target});
+                const bool squash =
+                    (in.squash == isa::SquashType::SquashNotTaken &&
+                     !taken) ||
+                    (in.squash == isa::SquashType::SquashTaken && taken);
+                if (squash)
+                    skip_ = config_.branchDelay;
+            }
+            break;
+          }
+        }
+    }
+
+    if (stopped())
+        return;
+
+    // Advance the PC.
+    if (config_.mode == IssMode::Sequential) {
+        if (!redirected_seq)
+            pc_ = cur + 1;
+        return;
+    }
+
+    addr_t next = cur + 1;
+    for (auto it = redirects_.begin(); it != redirects_.end();) {
+        if (--it->remaining == 0) {
+            next = core::PcChain::entryPc(it->target);
+            if (core::PcChain::entrySquashed(it->target))
+                skip_ = skip_ > 1 ? skip_ : 1;
+            it = redirects_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    pc_ = next;
+}
+
+} // namespace mipsx::sim

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The instruction-level (functional) simulator — the golden model.
+ *
+ * The MIPS-X software system was built around an instruction-level
+ * simulator written before the detailed design ("By January 1985 ... we
+ * had written an instruction level simulator for the machine"); this class
+ * plays the same role here. It has two execution semantics:
+ *
+ *  - Sequential: branches take effect immediately and loads complete
+ *    immediately. This is the semantics of the assembler's output, used
+ *    to validate workloads *before* the code reorganizer runs.
+ *
+ *  - Delayed: the architectural semantics of the pipelined machine — a
+ *    branch delay of two (or one) with squashing, and a load delay of one
+ *    (the instruction after a load reads the old register value). Used to
+ *    cross-check the cycle-accurate pipeline model instruction by
+ *    instruction.
+ *
+ * The code reorganizer's correctness statement is exactly: for every
+ * program P, Sequential(P) and Delayed(reorganize(P)) — and the pipeline
+ * model running reorganize(P) — produce the same architectural results.
+ */
+
+#ifndef MIPSX_SIM_ISS_HH
+#define MIPSX_SIM_ISS_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "common/types.hh"
+#include "coproc/coprocessor.hh"
+#include "core/pc_unit.hh"
+#include "core/psw.hh"
+#include "isa/instruction.hh"
+#include "memory/main_memory.hh"
+
+namespace mipsx::sim
+{
+
+/** Execution semantics for the ISS. */
+enum class IssMode : std::uint8_t
+{
+    Sequential,
+    Delayed,
+};
+
+/** ISS configuration. */
+struct IssConfig
+{
+    IssMode mode = IssMode::Sequential;
+    unsigned branchDelay = 2; ///< used in Delayed mode
+    std::uint64_t maxSteps = 500'000'000;
+    word_t initialPsw = isa::psw_bits::shiftEn;
+};
+
+/** Why the ISS stopped. */
+enum class IssStop : std::uint8_t
+{
+    Running = 0,
+    Halt,
+    Fail,
+    MaxSteps,
+    InvalidInstruction,
+    UnhandledException,
+};
+
+/** A resolved control-transfer event (for the branch-prediction study). */
+struct BranchEvent
+{
+    addr_t pc = 0;
+    addr_t target = 0;
+    bool conditional = false;
+    bool taken = false;
+};
+
+/** Functional simulator statistics. */
+struct IssStats
+{
+    std::uint64_t steps = 0; ///< instructions executed (incl. skipped)
+    std::uint64_t branches = 0;
+    std::uint64_t branchesTaken = 0;
+    std::uint64_t jumps = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t coprocOps = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t exceptions = 0;
+};
+
+/** The functional simulator. */
+class Iss
+{
+  public:
+    Iss(const IssConfig &config, memory::MainMemory &mem);
+
+    void attachCoprocessor(unsigned num,
+                           std::unique_ptr<coproc::Coprocessor> cop);
+    coproc::Coprocessor &coprocessor(unsigned num) const
+    {
+        return cops_.at(num);
+    }
+
+    void reset(addr_t entry);
+
+    /** Run until halt/fail or a stop condition; returns the reason. */
+    IssStop run();
+
+    /** Execute one instruction. */
+    void step();
+
+    bool stopped() const { return stop_ != IssStop::Running; }
+    IssStop stopReason() const { return stop_; }
+
+    word_t gpr(unsigned r) const { return regs_.at(r); }
+    /** Delayed mode: true if the next instruction is squashed. */
+    bool nextIsSquashed() const { return skip_ > 0; }
+    void setGpr(unsigned r, word_t v);
+    word_t md() const { return md_; }
+    const core::Psw &psw() const { return psw_; }
+    addr_t pc() const { return pc_; }
+    const IssStats &stats() const { return stats_; }
+
+    /** Observe every resolved branch/jump. */
+    void setBranchHook(std::function<void(const BranchEvent &)> hook)
+    {
+        branchHook_ = std::move(hook);
+    }
+
+  private:
+    word_t readReg(unsigned r) const;
+    void writeReg(unsigned r, word_t v);
+    void takeException(word_t cause);
+    void scheduleRedirect(addr_t target);
+    void emitBranch(addr_t pc, addr_t target, bool cond, bool taken);
+
+    IssConfig config_;
+    memory::MainMemory &ram_;
+    coproc::CoprocessorSet cops_;
+
+    std::array<word_t, numGprs> regs_{};
+    word_t md_ = 0;
+    core::Psw psw_;
+    core::Psw pswOld_;
+    core::PcChain chain_;
+    addr_t pc_ = 0;
+
+    // Delayed-mode machinery.
+    struct Redirect
+    {
+        unsigned remaining;
+        addr_t target;
+    };
+    std::vector<Redirect> redirects_;
+    unsigned skip_ = 0; ///< remaining squashed instructions
+    bool stalePending_ = false;
+    unsigned staleReg_ = 0;
+    word_t staleValue_ = 0;
+
+    IssStop stop_ = IssStop::Running;
+    IssStats stats_;
+    std::function<void(const BranchEvent &)> branchHook_;
+};
+
+} // namespace mipsx::sim
+
+#endif // MIPSX_SIM_ISS_HH

@@ -1,0 +1,78 @@
+#include "sim/machine.hh"
+
+#include "common/sim_error.hh"
+#include "coproc/counter_cop.hh"
+#include "isa/isa.hh"
+
+namespace mipsx::sim
+{
+
+Machine::Machine(const MachineConfig &config) : config_(config)
+{
+    cpu_ = std::make_unique<core::Cpu>(config_.cpu, mem_);
+    if (config_.attachFpu) {
+        auto fpu = std::make_unique<coproc::Fpu>();
+        fpu_ = fpu.get();
+        cpu_->attachCoprocessor(1, std::move(fpu));
+    }
+    if (config_.attachCounterCop)
+        cpu_->attachCoprocessor(2, std::make_unique<coproc::CounterCop>());
+}
+
+void
+Machine::load(const assembler::Program &prog)
+{
+    mem_.loadProgram(prog);
+    prog_ = &prog;
+    cpu_->setProgram(prog_);
+}
+
+core::RunResult
+Machine::run()
+{
+    if (!prog_)
+        fatal("Machine::run: no program loaded");
+    cpu_->reset(prog_->entry);
+    if (prog_->entrySpace == AddressSpace::System) {
+        cpu_->setPsw(cpu_->psw().bits() | isa::psw_bits::mode);
+    }
+    cpu_->setGpr(isa::reg::sp, config_.stackTop);
+    return cpu_->run();
+}
+
+coproc::Fpu &
+Machine::fpu()
+{
+    if (!fpu_)
+        fatal("Machine: no FPU attached");
+    return *fpu_;
+}
+
+word_t
+Machine::readSymbol(const std::string &symbol, addr_t offset) const
+{
+    if (!prog_)
+        fatal("Machine::readSymbol: no program loaded");
+    return mem_.read(AddressSpace::User, prog_->symbol(symbol) + offset);
+}
+
+IssRunResult
+runIss(const assembler::Program &prog, memory::MainMemory &mem,
+       const IssConfig &config, addr_t stack_top)
+{
+    mem.loadProgram(prog);
+    IssConfig cfg = config;
+    if (prog.entrySpace == AddressSpace::System)
+        cfg.initialPsw |= isa::psw_bits::mode;
+    Iss iss(cfg, mem);
+    iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+    iss.attachCoprocessor(2, std::make_unique<coproc::CounterCop>());
+    iss.reset(prog.entry);
+    iss.setGpr(isa::reg::sp, stack_top);
+    IssRunResult r;
+    r.reason = iss.run();
+    r.stats = iss.stats();
+    return r;
+}
+
+} // namespace mipsx::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Machine composition: main memory + pipelined CPU + coprocessors, with
+ * program loading and convenient run/inspect helpers. This is the main
+ * entry point of the library's public API for running workloads on the
+ * cycle-accurate model.
+ */
+
+#ifndef MIPSX_SIM_MACHINE_HH
+#define MIPSX_SIM_MACHINE_HH
+
+#include <memory>
+#include <string>
+
+#include "assembler/program.hh"
+#include "core/cpu.hh"
+#include "coproc/fpu.hh"
+#include "memory/main_memory.hh"
+#include "sim/iss.hh"
+
+namespace mipsx::sim
+{
+
+/** Machine-level configuration. */
+struct MachineConfig
+{
+    core::CpuConfig cpu{};
+    bool attachFpu = true;
+    bool attachCounterCop = false;
+    /** Initial stack pointer (r29) in the entry address space. */
+    addr_t stackTop = 0x70000;
+};
+
+/** A complete pipelined MIPS-X system. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = {});
+
+    /** Load a program image; remembers it for slot annotations. */
+    void load(const assembler::Program &prog);
+
+    /** Reset and run the loaded program to completion. */
+    core::RunResult run();
+
+    core::Cpu &cpu() { return *cpu_; }
+    const core::Cpu &cpu() const { return *cpu_; }
+    memory::MainMemory &memory() { return mem_; }
+    const assembler::Program &program() const { return *prog_; }
+
+    /** The attached FPU (requires attachFpu). */
+    coproc::Fpu &fpu();
+
+    /** Read one memory word (post-run result checking). */
+    word_t
+    readWord(AddressSpace space, addr_t addr) const
+    {
+        return mem_.read(space, addr);
+    }
+
+    /** Read the word at @p symbol + @p offset in the user space. */
+    word_t readSymbol(const std::string &symbol, addr_t offset = 0) const;
+
+  private:
+    MachineConfig config_;
+    memory::MainMemory mem_;
+    std::unique_ptr<core::Cpu> cpu_;
+    const assembler::Program *prog_ = nullptr;
+    coproc::Fpu *fpu_ = nullptr;
+};
+
+/** Result of a functional (ISS) run. */
+struct IssRunResult
+{
+    IssStop reason = IssStop::Running;
+    IssStats stats;
+};
+
+/**
+ * Run @p prog on a fresh functional simulator over @p mem.
+ * @p stack_top initialises r29.
+ */
+IssRunResult runIss(const assembler::Program &prog,
+                    memory::MainMemory &mem, const IssConfig &config = {},
+                    addr_t stack_top = 0x70000);
+
+} // namespace mipsx::sim
+
+#endif // MIPSX_SIM_MACHINE_HH

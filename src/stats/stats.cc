@@ -1,0 +1,29 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+
+#include "common/sim_error.hh"
+
+namespace mipsx::stats
+{
+
+double
+Group::get(const std::string &key) const
+{
+    auto it = scalars_.find(key);
+    if (it == scalars_.end())
+        fatal(strformat("stats group '%s' has no key '%s'",
+                        name_.c_str(), key.c_str()));
+    return it->second;
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[key, value] : scalars_) {
+        os << std::left << std::setw(40) << (name_ + "." + key)
+           << std::setprecision(6) << value << "\n";
+    }
+}
+
+} // namespace mipsx::stats

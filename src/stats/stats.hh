@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight statistics primitives for the simulator: named counters,
+ * derived ratios and histograms, collected into groups that can be dumped
+ * in a human-readable report.
+ */
+
+#ifndef MIPSX_STATS_STATS_HH
+#define MIPSX_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mipsx::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Ratio of two counters; safe against a zero denominator. */
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+        static_cast<double>(den);
+}
+
+inline double
+ratio(const Counter &num, const Counter &den)
+{
+    return ratio(num.value(), den.value());
+}
+
+/** A fixed-bucket histogram over small unsigned values. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets) : buckets_(buckets, 0) {}
+
+    /** Record one sample; values beyond the last bucket clamp into it. */
+    void
+    sample(std::size_t v)
+    {
+        if (v >= buckets_.size())
+            v = buckets_.size() - 1;
+        ++buckets_[v];
+        ++total_;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t size() const { return buckets_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    /** Mean of the recorded samples (clamped values included as clamped). */
+    double
+    mean() const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double sum = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i)
+            sum += static_cast<double>(i) * static_cast<double>(buckets_[i]);
+        return sum / static_cast<double>(total_);
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of scalar statistics, dumped as "name value" lines.
+ * Components register their counters here so reports stay uniform.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    void set(const std::string &key, double value) { scalars_[key] = value; }
+    double get(const std::string &key) const;
+    bool has(const std::string &key) const
+    {
+        return scalars_.count(key) != 0;
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Dump all scalars as aligned "group.key  value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace mipsx::stats
+
+#endif // MIPSX_STATS_STATS_HH

@@ -1,0 +1,67 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/sim_error.hh"
+
+namespace mipsx::stats
+{
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size())
+        fatal(strformat("table '%s': row has %zu cells, header has %zu",
+                        title_.c_str(), cells.size(), header_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << " ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    std::size_t total = 1;
+    for (auto w : width)
+        total += w + 3;
+
+    os << "\n== " << title_ << " ==\n";
+    print_row(header_);
+    os << std::string(total + 1, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+    os << "\n";
+}
+
+} // namespace mipsx::stats

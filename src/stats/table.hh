@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Aligned text-table printer used by the benchmark harnesses to print the
+ * same rows/series the paper's tables report.
+ */
+
+#ifndef MIPSX_STATS_TABLE_HH
+#define MIPSX_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mipsx::stats
+{
+
+/** A simple column-aligned table with a title and a header row. */
+class Table
+{
+  public:
+    Table(std::string title, std::vector<std::string> header)
+        : title_(std::move(title)), header_(std::move(header))
+    {}
+
+    /** Append a row; it must have exactly as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format a percentage with @p precision decimals. */
+    static std::string pct(double fraction, int precision = 1);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mipsx::stats
+
+#endif // MIPSX_STATS_TABLE_HH

@@ -1,0 +1,388 @@
+#include "workload/cisc_ref.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/sim_error.hh"
+#include "workload/wl_util.hh"
+
+namespace mipsx::workload
+{
+
+CiscVm::CiscVm(std::size_t mem_words) : mem_(mem_words, 0) {}
+
+CiscResult
+CiscVm::run(const std::vector<CInst> &program, std::uint64_t max_steps)
+{
+    CiscResult r;
+    std::size_t pc = 0;
+    while (r.instructions < max_steps) {
+        if (pc >= program.size())
+            fatal("CiscVm: fell off the program");
+        const CInst &in = program[pc];
+        ++r.instructions;
+        std::size_t next = pc + 1;
+
+        auto maddr = [&in, this]() { return in.mem + regs_[in.rx]; };
+
+        switch (in.op) {
+          case COp::MovRI:
+            regs_[in.rd] = static_cast<word_t>(in.imm);
+            break;
+          case COp::MovRR:
+            regs_[in.rd] = regs_[in.rs];
+            break;
+          case COp::MovRM:
+            regs_[in.rd] = mem_.at(maddr());
+            ++r.memReads;
+            break;
+          case COp::MovMR:
+            mem_.at(maddr()) = regs_[in.rs];
+            ++r.memWrites;
+            break;
+          case COp::AddRR:
+            regs_[in.rd] += regs_[in.rs];
+            break;
+          case COp::AddRI:
+            regs_[in.rd] += static_cast<word_t>(in.imm);
+            break;
+          case COp::AddRM:
+            regs_[in.rd] += mem_.at(maddr());
+            ++r.memReads;
+            break;
+          case COp::SubRR:
+            regs_[in.rd] -= regs_[in.rs];
+            break;
+          case COp::SubRM:
+            regs_[in.rd] -= mem_.at(maddr());
+            ++r.memReads;
+            break;
+          case COp::MulRM:
+            regs_[in.rd] *= mem_.at(maddr());
+            ++r.memReads;
+            break;
+          case COp::CmpRR:
+            flags_ = static_cast<sword_t>(regs_[in.rd]) -
+                static_cast<sword_t>(regs_[in.rs]);
+            // Exact equality matters more than overflow semantics here.
+            if (regs_[in.rd] == regs_[in.rs])
+                flags_ = 0;
+            break;
+          case COp::CmpRI:
+            flags_ = static_cast<sword_t>(regs_[in.rd]) - in.imm;
+            if (regs_[in.rd] == static_cast<word_t>(in.imm))
+                flags_ = 0;
+            break;
+          case COp::CmpRM:
+            flags_ = static_cast<sword_t>(regs_[in.rd]) -
+                static_cast<sword_t>(mem_.at(maddr()));
+            ++r.memReads;
+            break;
+          case COp::Jmp:
+            next = static_cast<std::size_t>(in.target);
+            break;
+          case COp::Jeq:
+            if (flags_ == 0)
+                next = static_cast<std::size_t>(in.target);
+            break;
+          case COp::Jne:
+            if (flags_ != 0)
+                next = static_cast<std::size_t>(in.target);
+            break;
+          case COp::Jlt:
+            if (flags_ < 0)
+                next = static_cast<std::size_t>(in.target);
+            break;
+          case COp::Jge:
+            if (flags_ >= 0)
+                next = static_cast<std::size_t>(in.target);
+            break;
+          case COp::Sob:
+            regs_[in.rd] -= 1;
+            if (regs_[in.rd] != 0)
+                next = static_cast<std::size_t>(in.target);
+            break;
+          case COp::Halt:
+            r.halted = true;
+            return r;
+        }
+        pc = next;
+    }
+    return r;
+}
+
+namespace
+{
+
+/** Tiny program builder with labels. */
+class B
+{
+  public:
+    int here() const { return static_cast<int>(code.size()); }
+
+    void
+    label(const std::string &name)
+    {
+        labels[name] = here();
+    }
+
+    CInst &
+    emit(COp op)
+    {
+        CInst in;
+        in.op = op;
+        code.push_back(in);
+        return code.back();
+    }
+
+    void
+    ri(COp op, unsigned rd, std::int32_t imm)
+    {
+        auto &i = emit(op);
+        i.rd = static_cast<std::uint8_t>(rd);
+        i.imm = imm;
+    }
+
+    void
+    rr(COp op, unsigned rd, unsigned rs)
+    {
+        auto &i = emit(op);
+        i.rd = static_cast<std::uint8_t>(rd);
+        i.rs = static_cast<std::uint8_t>(rs);
+    }
+
+    void
+    rm(COp op, unsigned rd, addr_t mem, unsigned rx = 0)
+    {
+        auto &i = emit(op);
+        i.rd = static_cast<std::uint8_t>(rd);
+        i.rx = static_cast<std::uint8_t>(rx);
+        i.mem = mem;
+    }
+
+    void
+    mr(addr_t mem, unsigned rx, unsigned rs)
+    {
+        auto &i = emit(COp::MovMR);
+        i.rs = static_cast<std::uint8_t>(rs);
+        i.rx = static_cast<std::uint8_t>(rx);
+        i.mem = mem;
+    }
+
+    void
+    jump(COp op, const std::string &target, unsigned rd = 0)
+    {
+        auto &i = emit(op);
+        i.rd = static_cast<std::uint8_t>(rd);
+        fixups.emplace_back(here() - 1, target);
+    }
+
+    std::vector<CInst>
+    finish()
+    {
+        for (const auto &[idx, name] : fixups) {
+            auto it = labels.find(name);
+            if (it == labels.end())
+                fatal(strformat("cisc builder: undefined label '%s'",
+                                name.c_str()));
+            code[static_cast<std::size_t>(idx)].target = it->second;
+        }
+        return code;
+    }
+
+  private:
+    std::vector<CInst> code;
+    std::map<std::string, int> labels;
+    std::vector<std::pair<int, std::string>> fixups;
+};
+
+/** Same data as the MX32 bubble workload (Lcg seed 7, 40 elements). */
+CiscBenchmark
+ciscBubble()
+{
+    constexpr unsigned n = 40;
+    Lcg rng(7);
+    std::vector<word_t> data;
+    for (unsigned i = 0; i < n; ++i)
+        data.push_back(static_cast<word_t>(
+            static_cast<std::int32_t>(rng.next(20000)) - 10000));
+    auto sorted = data;
+    std::sort(sorted.begin(), sorted.end(),
+              [](word_t a, word_t b) {
+                  return static_cast<sword_t>(a) < static_cast<sword_t>(b);
+              });
+    // Order-sensitive checksum: acc = acc*3 + a[i].
+    word_t expected = 0;
+    for (const auto v : sorted)
+        expected = expected * 3 + v;
+
+    CiscBenchmark bm;
+    bm.name = "bubble";
+    const addr_t arr = 0;
+    bm.resultAddr = 100;
+    for (unsigned i = 0; i < n; ++i)
+        bm.init.emplace_back(arr + i, data[i]);
+    bm.expected = expected;
+
+    B b;
+    b.ri(COp::MovRI, 1, n - 1); // outer count
+    b.label("outer");
+    b.ri(COp::MovRI, 2, 0);     // i
+    b.ri(COp::MovRI, 7, n - 1); // inner count
+    b.label("inner");
+    b.rm(COp::MovRM, 3, arr, 2);     // a[i]
+    b.rm(COp::MovRM, 4, arr + 1, 2); // a[i+1]
+    b.rr(COp::CmpRR, 4, 3);
+    b.jump(COp::Jge, "noswap");
+    b.mr(arr, 2, 4);
+    b.mr(arr + 1, 2, 3);
+    b.label("noswap");
+    b.ri(COp::AddRI, 2, 1);
+    b.jump(COp::Sob, "inner", 7);
+    b.jump(COp::Sob, "outer", 1);
+    // Checksum.
+    b.ri(COp::MovRI, 5, 0);
+    b.ri(COp::MovRI, 2, 0);
+    b.ri(COp::MovRI, 7, n);
+    b.label("ck");
+    b.rr(COp::MovRR, 6, 5);
+    b.rr(COp::AddRR, 5, 5);
+    b.rr(COp::AddRR, 5, 6);
+    b.rm(COp::AddRM, 5, arr, 2);
+    b.ri(COp::AddRI, 2, 1);
+    b.jump(COp::Sob, "ck", 7);
+    b.mr(bm.resultAddr, 0, 5);
+    b.emit(COp::Halt);
+    bm.program = b.finish();
+    return bm;
+}
+
+/** Same computation as the MX32 fib workload (44 steps). */
+CiscBenchmark
+ciscFib()
+{
+    constexpr unsigned n = 44;
+    word_t a = 0, bb = 1;
+    for (unsigned i = 0; i < n; ++i) {
+        const word_t t = a + bb;
+        a = bb;
+        bb = t;
+    }
+
+    CiscBenchmark bm;
+    bm.name = "fib";
+    bm.resultAddr = 0;
+    bm.expected = bb;
+
+    B b;
+    b.ri(COp::MovRI, 1, 0);
+    b.ri(COp::MovRI, 2, 1);
+    b.ri(COp::MovRI, 3, n);
+    b.label("loop");
+    b.rr(COp::MovRR, 4, 1);
+    b.rr(COp::AddRR, 4, 2);
+    b.rr(COp::MovRR, 1, 2);
+    b.rr(COp::MovRR, 2, 4);
+    b.jump(COp::Sob, "loop", 3);
+    b.mr(bm.resultAddr, 0, 2);
+    b.emit(COp::Halt);
+    bm.program = b.finish();
+    return bm;
+}
+
+/** Same computation as the MX32 sieve workload (limit 400). */
+CiscBenchmark
+ciscSieve()
+{
+    constexpr unsigned limit = 400;
+    unsigned count = 0;
+    std::vector<bool> composite(limit, false);
+    for (unsigned i = 2; i < limit; ++i) {
+        if (!composite[i]) {
+            ++count;
+            for (unsigned j = i + i; j < limit; j += i)
+                composite[j] = true;
+        }
+    }
+
+    CiscBenchmark bm;
+    bm.name = "sieve";
+    const addr_t flags = 0;
+    bm.resultAddr = limit;
+    bm.expected = count;
+
+    B b;
+    b.ri(COp::MovRI, 5, 1); // the stored flag value
+    b.ri(COp::MovRI, 1, 2); // i
+    b.ri(COp::MovRI, 2, 0); // count
+    b.label("iloop");
+    b.rm(COp::MovRM, 3, flags, 1);
+    b.ri(COp::CmpRI, 3, 0);
+    b.jump(COp::Jne, "inext");
+    b.ri(COp::AddRI, 2, 1);
+    b.rr(COp::MovRR, 4, 1);
+    b.rr(COp::AddRR, 4, 1); // j = 2i
+    b.label("jloop");
+    b.ri(COp::CmpRI, 4, limit);
+    b.jump(COp::Jge, "inext", 4);
+    b.mr(flags, 4, 5);
+    b.rr(COp::AddRR, 4, 1);
+    b.jump(COp::Jmp, "jloop");
+    b.label("inext");
+    b.ri(COp::AddRI, 1, 1);
+    b.ri(COp::CmpRI, 1, limit);
+    b.jump(COp::Jlt, "iloop", 1);
+    b.mr(bm.resultAddr, 0, 2);
+    b.emit(COp::Halt);
+    bm.program = b.finish();
+    return bm;
+}
+
+/** Same data as the MX32 listsum workload (seed 41, 80 cells). */
+CiscBenchmark
+ciscListSum()
+{
+    constexpr unsigned n = 80;
+    Lcg rng(41);
+    std::vector<word_t> values;
+    word_t sum = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        values.push_back(static_cast<word_t>(
+            static_cast<std::int32_t>(rng.next(1000)) - 500));
+        sum += values.back();
+    }
+
+    CiscBenchmark bm;
+    bm.name = "listsum";
+    const addr_t heap = 16; // cells at [heap + 2i]; first cell = head
+    bm.resultAddr = 0;
+    bm.expected = sum;
+    for (unsigned i = 0; i < n; ++i) {
+        bm.init.emplace_back(heap + 2 * i, values[i]);
+        bm.init.emplace_back(heap + 2 * i + 1,
+                             i + 1 == n ? 0 : heap + 2 * (i + 1));
+    }
+
+    B b;
+    b.ri(COp::MovRI, 1, static_cast<std::int32_t>(heap)); // p
+    b.ri(COp::MovRI, 2, 0);                               // sum
+    b.label("loop");
+    b.rm(COp::AddRM, 2, 0, 1); // sum += car (memory operand!)
+    b.rm(COp::MovRM, 1, 1, 1); // p = cdr
+    b.ri(COp::CmpRI, 1, 0);
+    b.jump(COp::Jne, "loop");
+    b.mr(bm.resultAddr, 0, 2);
+    b.emit(COp::Halt);
+    bm.program = b.finish();
+    return bm;
+}
+
+} // namespace
+
+std::vector<CiscBenchmark>
+ciscBenchmarks()
+{
+    return {ciscBubble(), ciscFib(), ciscSieve(), ciscListSum()};
+}
+
+} // namespace mipsx::workload

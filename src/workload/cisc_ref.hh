@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A small register-memory CISC reference machine for the path-length
+ * comparison (experiment E10).
+ *
+ * The paper compares MIPS-X dynamic instruction counts against a VAX
+ * 11/780: "MIPS-X executes about 25% more instructions but executes the
+ * programs about 14 times faster" (Stanford compiler back ends; 80%
+ * longer against Berkeley Pascal). The VAX and its compilers are not
+ * available, so this module provides a minimal two-address,
+ * memory-operand machine ("VAX-flavoured": one instruction can load,
+ * compute and store) plus the same benchmarks hand-coded for it. The
+ * comparison is of *dynamic path length*; absolute speed is modelled
+ * with the paper's clock assumptions (experiment bench).
+ */
+
+#ifndef MIPSX_WORKLOAD_CISC_REF_HH
+#define MIPSX_WORKLOAD_CISC_REF_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mipsx::workload
+{
+
+/** CISC reference opcodes. Operands can be registers or memory. */
+enum class COp : std::uint8_t
+{
+    MovRI,  ///< r[d] = imm
+    MovRR,  ///< r[d] = r[s]
+    MovRM,  ///< r[d] = M[m + r[x]]
+    MovMR,  ///< M[m + r[x]] = r[s]
+    AddRR,  ///< r[d] += r[s]
+    AddRI,  ///< r[d] += imm
+    AddRM,  ///< r[d] += M[m + r[x]]   (the CISC advantage)
+    SubRR,
+    SubRM,
+    MulRM,  ///< r[d] *= M[m + r[x]]
+    CmpRR,  ///< set flags from r[d] - r[s]
+    CmpRI,
+    CmpRM,
+    Jmp,
+    Jeq,
+    Jne,
+    Jlt,
+    Jge,
+    Sob,    ///< subtract one and branch if non-zero (VAX SOBGTR style)
+    Halt,
+};
+
+/** One CISC instruction. */
+struct CInst
+{
+    COp op = COp::Halt;
+    std::uint8_t rd = 0; ///< destination / compared register
+    std::uint8_t rs = 0; ///< source register
+    std::uint8_t rx = 0; ///< index register for memory operands
+    std::int32_t imm = 0;
+    addr_t mem = 0;      ///< memory-operand base
+    int target = -1;     ///< branch target (instruction index)
+};
+
+/** Execution statistics of one CISC run. */
+struct CiscResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    bool halted = false;
+};
+
+/** The interpreter: 16 registers, word-addressed data memory. */
+class CiscVm
+{
+  public:
+    explicit CiscVm(std::size_t mem_words = 1 << 16);
+
+    void poke(addr_t a, word_t v) { mem_.at(a) = v; }
+    word_t peek(addr_t a) const { return mem_.at(a); }
+
+    CiscResult run(const std::vector<CInst> &program,
+                   std::uint64_t max_steps = 100'000'000);
+
+    word_t reg(unsigned r) const { return regs_.at(r); }
+
+  private:
+    std::vector<word_t> mem_;
+    std::array<word_t, 16> regs_{};
+    sword_t flags_ = 0; ///< last compare difference (signed)
+};
+
+/** A CISC benchmark paired with its expected checksum. */
+struct CiscBenchmark
+{
+    std::string name;
+    std::vector<CInst> program;
+    std::vector<std::pair<addr_t, word_t>> init; ///< memory image
+    addr_t resultAddr = 0;
+    word_t expected = 0;
+};
+
+/**
+ * The path-length benchmark pairs: each entry names a workload from the
+ * MX32 suite that has a hand-coded CISC twin here (bubble, fib, sieve,
+ * listsum).
+ */
+std::vector<CiscBenchmark> ciscBenchmarks();
+
+} // namespace mipsx::workload
+
+#endif // MIPSX_WORKLOAD_CISC_REF_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Floating-point (coprocessor) workloads. These drive the address-line
+ * coprocessor interface hard — ldf/stf direct memory access plus aluc
+ * compute cycles — matching the "floating point intensive code" whose
+ * traces forced the paper to re-examine the non-cached-coprocessor
+ * scheme. Expected results are computed here with the same single-
+ * precision operations in the same order as the FPU model executes, so
+ * the checks compare bit patterns exactly.
+ */
+
+#include "workload/workload.hh"
+
+#include <cstring>
+
+#include "coproc/fpu.hh"
+#include "workload/wl_util.hh"
+
+namespace mipsx::workload
+{
+
+namespace
+{
+
+word_t
+bitsOf(float f)
+{
+    word_t w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+float
+floatOf(word_t w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+/** Deterministic "nice" floats that exercise varied exponents. */
+std::vector<word_t>
+floatImage(Lcg &rng, unsigned n)
+{
+    std::vector<word_t> out;
+    for (unsigned i = 0; i < n; ++i) {
+        const float v =
+            (static_cast<float>(rng.next(2000)) - 1000.0f) / 16.0f;
+        out.push_back(bitsOf(v));
+    }
+    return out;
+}
+
+std::string
+alucLine(coproc::FpuOp op, unsigned fd, unsigned fs)
+{
+    return strformat("        aluc c1, 0x%x\n",
+                     coproc::fpuAluOp(op, fd, fs));
+}
+
+Workload
+saxpy()
+{
+    constexpr unsigned n = 48;
+    Lcg rng(61);
+    const auto x = floatImage(rng, n);
+    auto y = floatImage(rng, n);
+    const float a = 2.5f;
+    std::vector<word_t> expected;
+    for (unsigned i = 0; i < n; ++i) {
+        const float prod = floatOf(x[i]) * a;
+        const float sum = prod + floatOf(y[i]);
+        expected.push_back(bitsOf(sum));
+    }
+
+    Workload w;
+    w.name = "saxpy";
+    w.family = Family::Fp;
+    w.description = "y = a*x + y over 48 singles via ldf/stf + aluc";
+    w.source = "        .data\n" + bitsData("vx", x) + bitsData("vy", y) +
+        strformat("va:     .word 0x%08x\n", bitsOf(a)) +
+        bitsData("exp", expected) + strformat(R"(
+        .text
+_start: la   r1, vx
+        la   r2, vy
+        addi r3, r0, %u
+        ldf  f1, va           ; a stays resident in f1
+sloop:  ldf  f2, 0(r1)        ; x[i]
+)", n) + alucLine(coproc::FpuOp::Fmul, 2, 1) /* f2 *= a */ + R"(
+        ldf  f3, 0(r2)        ; y[i]
+)" + alucLine(coproc::FpuOp::Fadd, 3, 2) /* f3 += f2 */ + R"(
+        stf  f3, 0(r2)        ; y[i] = result
+        addi r1, r1, 1
+        addi r2, r2, 1
+        addi r3, r3, -1
+        bnz  r3, sloop
+)" + checkRegion("vy", "exp", n);
+    return w;
+}
+
+Workload
+dotProduct()
+{
+    constexpr unsigned n = 64;
+    Lcg rng(67);
+    const auto x = floatImage(rng, n);
+    const auto y = floatImage(rng, n);
+    float acc = 0.0f;
+    for (unsigned i = 0; i < n; ++i) {
+        const float prod = floatOf(x[i]) * floatOf(y[i]);
+        acc = acc + prod;
+    }
+
+    Workload w;
+    w.name = "dot";
+    w.family = Family::Fp;
+    w.description = "dot product of two 64-element single vectors";
+    w.source = "        .data\n" + bitsData("vx", x) + bitsData("vy", y) +
+        strformat(R"(
+result: .space 1
+exp:    .word 0x%08x
+zero:   .word 0
+        .text
+_start: la   r1, vx
+        la   r2, vy
+        addi r3, r0, %u
+        ldf  f4, zero         ; acc = 0.0
+dloop:  ldf  f2, 0(r1)
+        ldf  f3, 0(r2)
+)", acc == 0.0f ? 0u : bitsOf(acc), n) +
+        alucLine(coproc::FpuOp::Fmul, 2, 3) /* f2 *= f3 */ +
+        alucLine(coproc::FpuOp::Fadd, 4, 2) /* acc += f2 */ + R"(
+        addi r1, r1, 1
+        addi r2, r2, 1
+        addi r3, r3, -1
+        bnz  r3, dloop
+        stf  f4, result
+)" + checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+horner()
+{
+    constexpr unsigned degree = 8;
+    constexpr unsigned points = 16;
+    Lcg rng(71);
+    const auto coeffs = floatImage(rng, degree + 1);
+    const auto xs = floatImage(rng, points);
+    std::vector<word_t> expected;
+    for (unsigned p = 0; p < points; ++p) {
+        float acc = floatOf(coeffs[0]);
+        for (unsigned j = 1; j <= degree; ++j) {
+            acc = acc * floatOf(xs[p]);
+            acc = acc + floatOf(coeffs[j]);
+        }
+        expected.push_back(bitsOf(acc));
+    }
+
+    Workload w;
+    w.name = "horner";
+    w.family = Family::Fp;
+    w.description =
+        "degree-8 polynomial (Horner) at 16 points, results stored";
+    w.source = "        .data\n" + bitsData("cf", coeffs) +
+        bitsData("px", xs) + strformat(R"(
+out:    .space %u
+)", points) + bitsData("exp", expected) + strformat(R"(
+        .text
+_start: la   r1, px
+        la   r4, out
+        addi r5, r0, %u       ; points
+ploop:  ldf  f1, 0(r1)        ; x
+        ldf  f2, cf           ; acc = c[0]
+        la   r2, cf+1
+        addi r3, r0, %u       ; degree
+hloop:  ldf  f3, 0(r2)
+)", points, degree) + alucLine(coproc::FpuOp::Fmul, 2, 1) +
+        alucLine(coproc::FpuOp::Fadd, 2, 3) + R"(
+        addi r2, r2, 1
+        addi r3, r3, -1
+        bnz  r3, hloop
+        stf  f2, 0(r4)
+        addi r1, r1, 1
+        addi r4, r4, 1
+        addi r5, r5, -1
+        bnz  r5, ploop
+)" + checkRegion("out", "exp", points);
+    return w;
+}
+
+Workload
+fpCompare()
+{
+    // Exercise the final branch-on-coprocessor idiom: read the FPU
+    // status register into a CPU register with movfrc and branch on it
+    // (the paper removed coprocessor branch instructions in favour of
+    // exactly this sequence).
+    constexpr unsigned n = 40;
+    Lcg rng(73);
+    const auto x = floatImage(rng, n);
+    unsigned count = 0;
+    for (unsigned i = 0; i < n; ++i)
+        if (floatOf(x[i]) < 0.0f)
+            ++count;
+
+    Workload w;
+    w.name = "fpcompare";
+    w.family = Family::Fp;
+    w.description =
+        "count negative singles via fpu compare + status read + branch";
+    w.source = "        .data\n" + bitsData("vx", x) + strformat(R"(
+result: .space 1
+exp:    .word %u
+zero:   .word 0
+        .text
+_start: la   r1, vx
+        addi r2, r0, %u
+        add  r3, r0, r0       ; count
+        ldf  f2, zero
+cloop:  ldf  f1, 0(r1)
+)", count, n) + alucLine(coproc::FpuOp::CmpLt, 1, 2) /* f1 < 0.0 */ +
+        strformat(R"(
+        movfrc r4, c1, 0x%x   ; read the status register
+        bz   r4, notneg
+        addi r3, r3, 1
+notneg: addi r1, r1, 1
+        addi r2, r2, -1
+        bnz  r2, cloop
+        st   r3, result
+)", coproc::fpuStatusOp()) + checkRegion("result", "exp", 1);
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+fpWorkloads()
+{
+    return {saxpy(), dotProduct(), horner(), fpCompare()};
+}
+
+} // namespace mipsx::workload

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * The Lisp-family workloads: cons-cell list and tree processing. The
+ * paper attributes Lisp's higher no-op fraction (18.3% vs 15.6%) to "a
+ * larger number of jumps and many load-load interlocks caused by chasing
+ * car and cdr chains" — these programs are built around exactly those
+ * patterns. A cons cell is two consecutive words: [car, cdr]; nil is 0.
+ */
+
+#include "workload/workload.hh"
+
+#include <map>
+
+#include "assembler/assembler.hh"
+#include "workload/wl_util.hh"
+
+namespace mipsx::workload
+{
+
+namespace
+{
+
+/** Lay out a cons list of @p values in a data image; returns the image
+ *  and the address-offsets used. Cell i is at heap + 2*i. */
+std::vector<std::int64_t>
+consList(const std::vector<std::int64_t> &values, addr_t heap_base)
+{
+    std::vector<std::int64_t> image;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        image.push_back(values[i]); // car
+        const bool last = i + 1 == values.size();
+        image.push_back(
+            last ? 0
+                 : static_cast<std::int64_t>(heap_base + 2 * (i + 1)));
+    }
+    return image;
+}
+
+Workload
+listSum()
+{
+    constexpr unsigned n = 80;
+    Lcg rng(41);
+    std::vector<std::int64_t> values;
+    std::int64_t sum = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        values.push_back(static_cast<std::int32_t>(rng.next(1000)) - 500);
+        sum += values.back();
+    }
+    const addr_t heap = assembler::defaultDataBase;
+    const auto image = consList(values, heap);
+
+    Workload w;
+    w.name = "listsum";
+    w.family = Family::Lisp;
+    w.description = "sum the cars of an 80-cell list (cdr chasing)";
+    // The cdr chase is the canonical load-load interlock: the pointer
+    // loaded by `ld r1, 1(r1)` feeds the very next iteration's loads.
+    w.source = "        .data\n" + wordData("heap", image) +
+        strformat(R"(
+result: .space 1
+exp:    .word %lld
+        .text
+_start: la   r1, heap         ; p
+        add  r2, r0, r0       ; sum
+sloop:  ld   r3, 0(r1)        ; car
+        ld   r1, 1(r1)        ; p = cdr  (load feeds next load)
+        add  r2, r2, r3
+        bnz  r1, sloop
+        st   r2, result
+)", static_cast<long long>(sum)) + checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+listReverse()
+{
+    constexpr unsigned n = 50;
+    Lcg rng(43);
+    std::vector<std::int64_t> values;
+    for (unsigned i = 0; i < n; ++i)
+        values.push_back(rng.next(100000));
+    const addr_t heap = assembler::defaultDataBase;
+    const auto image = consList(values, heap);
+    std::vector<std::int64_t> reversed(values.rbegin(), values.rend());
+
+    Workload w;
+    w.name = "listrev";
+    w.family = Family::Lisp;
+    w.description = "destructively reverse a 50-cell list, then walk it";
+    w.source = "        .data\n" + wordData("heap", image) + strformat(R"(
+out:    .space %u
+)", n) + wordData("exp", reversed) + R"(
+        .text
+        ; reverse: prev=nil; while p: next=cdr(p); cdr(p)=prev;
+        ;          prev=p; p=next
+_start: la   r1, heap         ; p
+        add  r2, r0, r0       ; prev
+rloop:  bz   r1, rdone
+        ld   r3, 1(r1)        ; next = cdr
+        st   r2, 1(r1)        ; cdr = prev
+        mov  r2, r1
+        mov  r1, r3
+        b    rloop
+rdone:  la   r4, out          ; walk the reversed list (head = prev)
+wloop:  bz   r2, check
+        ld   r5, 0(r2)        ; car
+        ld   r2, 1(r2)        ; cdr chase
+        st   r5, 0(r4)
+        addi r4, r4, 1
+        b    wloop
+)" + checkRegion("out", "exp", n);
+    return w;
+}
+
+Workload
+treeSort()
+{
+    constexpr unsigned n = 32;
+    Lcg rng(47);
+    std::vector<std::int64_t> keys;
+    for (unsigned i = 0; i < n; ++i)
+        keys.push_back(static_cast<std::int32_t>(rng.next(100000)) -
+                       50000);
+    auto sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    // Duplicate keys go left in both the model and the assembly.
+
+    Workload w;
+    w.name = "treesort";
+    w.family = Family::Lisp;
+    w.description =
+        "binary-tree insertion of 32 keys + recursive in-order walk";
+    // Node layout: [key, left, right], allocated by a bump pointer.
+    w.source = "        .data\n" + wordData("keys", keys) + strformat(R"(
+nodes:  .space %u
+out:    .space %u
+outp:   .space 1
+)", 3 * n, n) + wordData("exp", sorted) + strformat(R"(
+        .text
+_start: la   r10, nodes       ; bump allocator
+        la   r1, keys
+        ld   r2, 0(r1)
+        call alloc            ; root node in r3
+        mov  r11, r3          ; root
+        addi r12, r0, %u      ; remaining keys
+        addi r1, r1, 1
+insl:   ld   r2, 0(r1)
+        mov  r4, r11          ; cursor
+find:   ld   r5, 0(r4)        ; node key
+        blt  r5, r2, goright
+        ld   r6, 1(r4)        ; left child
+        bz   r6, putleft
+        mov  r4, r6
+        b    find
+goright: ld  r6, 2(r4)
+        bz   r6, putright
+        mov  r4, r6
+        b    find
+putleft: call alloc
+        st   r3, 1(r4)
+        b    inserted
+putright: call alloc
+        st   r3, 2(r4)
+inserted:
+        addi r1, r1, 1
+        addi r12, r12, -1
+        bnz  r12, insl
+        ; in-order traversal
+        la   r13, out
+        st   r13, outp
+        mov  r2, r11
+        call walk
+        b    check
+        ; alloc: new node r3 with key r2, children nil
+alloc:  mov  r3, r10
+        st   r2, 0(r10)
+        st   r0, 1(r10)
+        st   r0, 2(r10)
+        addi r10, r10, 3
+        ret
+        ; walk(node = r2): recursive in-order
+walk:   bz   r2, wret
+        addi sp, sp, -2
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        ld   r2, 1(r2)        ; left
+        call walk
+        ld   r2, 1(sp)
+        ld   r5, 0(r2)        ; key
+        ld   r6, outp
+        st   r5, 0(r6)
+        addi r6, r6, 1
+        st   r6, outp
+        ld   r2, 2(r2)        ; right
+        call walk
+        ld   ra, 0(sp)
+        addi sp, sp, 2
+wret:   ret
+)", n - 1) + checkRegion("out", "exp", n);
+    return w;
+}
+
+Workload
+assocLookup()
+{
+    constexpr unsigned entries = 24;
+    constexpr unsigned queries = 100;
+    Lcg rng(53);
+    // Association list: [key, value, next]. Keys 0..23 shuffled-ish.
+    std::vector<std::int64_t> keys, vals;
+    for (unsigned i = 0; i < entries; ++i) {
+        keys.push_back((i * 7 + 3) % entries);
+        vals.push_back(rng.next(10000));
+    }
+    const addr_t heap = assembler::defaultDataBase;
+    std::vector<std::int64_t> image;
+    for (unsigned i = 0; i < entries; ++i) {
+        image.push_back(keys[i]);
+        image.push_back(vals[i]);
+        image.push_back(i + 1 == entries
+                            ? 0
+                            : static_cast<std::int64_t>(heap + 3 * (i + 1)));
+    }
+    std::vector<std::int64_t> qs;
+    std::int64_t expected = 0;
+    for (unsigned q = 0; q < queries; ++q) {
+        const std::int64_t key = rng.next(entries + 4); // a few misses
+        qs.push_back(key);
+        std::int64_t v = -1;
+        for (unsigned i = 0; i < entries; ++i) {
+            if (keys[i] == key) {
+                v = vals[i];
+                break;
+            }
+        }
+        expected += v;
+    }
+
+    Workload w;
+    w.name = "assoc";
+    w.family = Family::Lisp;
+    w.description = "100 association-list lookups over 24 entries";
+    w.source = "        .data\n" + wordData("heap", image) +
+        wordData("qs", qs) + strformat(R"(
+result: .space 1
+exp:    .word %lld
+        .text
+_start: la   r1, qs
+        addi r2, r0, %u
+        add  r3, r0, r0       ; sum
+qloop:  ld   r4, 0(r1)        ; key
+        la   r5, heap         ; p
+aloop:  ld   r6, 0(r5)        ; entry key
+        bne  r6, r4, anext
+        ld   r7, 1(r5)        ; hit: value
+        b    adone
+anext:  ld   r5, 2(r5)        ; p = next (pointer chase)
+        bnz  r5, aloop
+        addi r7, r0, -1       ; miss
+adone:  add  r3, r3, r7
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bnz  r2, qloop
+        st   r3, result
+)", static_cast<long long>(expected), queries) +
+        checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+mapcar()
+{
+    constexpr unsigned n = 40;
+    Lcg rng(59);
+    std::vector<std::int64_t> values;
+    for (unsigned i = 0; i < n; ++i)
+        values.push_back(static_cast<std::int32_t>(rng.next(2000)) - 1000);
+    const addr_t heap = assembler::defaultDataBase;
+    const auto image = consList(values, heap);
+    std::vector<std::int64_t> expected;
+    for (auto v : values)
+        expected.push_back(static_cast<std::int32_t>(
+            static_cast<word_t>(v) * 2 + 1));
+
+    Workload w;
+    w.name = "mapcar";
+    w.family = Family::Lisp;
+    w.description =
+        "map a function (via jalr) over a 40-cell list in place";
+    w.source = "        .data\n" + wordData("heap", image) + strformat(R"(
+out:    .space %u
+fnptr:  .word fn              ; code pointer lives in data (relocated)
+)", n) + wordData("exp", expected) + R"(
+        .text
+_start: ld   r9, fnptr        ; the function pointer
+        la   r1, heap
+        la   r4, out
+maploop:
+        bz   r1, check
+        ld   r2, 0(r1)        ; car
+        jalr ra, 0(r9)        ; r2 = fn(r2)
+        st   r2, 0(r1)        ; set-car!
+        st   r2, 0(r4)
+        ld   r1, 1(r1)        ; cdr chase
+        addi r4, r4, 1
+        b    maploop
+fn:     add  r2, r2, r2       ; 2x + 1
+        addi r2, r2, 1
+        ret
+)" + checkRegion("out", "exp", n);
+    return w;
+}
+
+Workload
+nrev()
+{
+    // The classic Lisp benchmark: naive reverse via append (quadratic
+    // pointer work), on a 24-cell list, with a free-list allocator.
+    constexpr unsigned n = 24;
+    std::vector<std::int64_t> values;
+    for (unsigned i = 0; i < n; ++i)
+        values.push_back(i + 1);
+    const addr_t heap = assembler::defaultDataBase;
+    const auto image = consList(values, heap);
+    std::vector<std::int64_t> expected(values.rbegin(), values.rend());
+
+    Workload w;
+    w.name = "nrev";
+    w.family = Family::Lisp;
+    w.description = "naive reverse (append-based, quadratic) of 24 cells";
+    w.source = "        .data\n" + wordData("heap", image) + strformat(R"(
+cells:  .space %u
+freep:  .space 1
+out:    .space %u
+)", 4 * n * n, n) + wordData("exp", expected) + R"(
+        .text
+_start: la   r2, cells
+        st   r2, freep
+        la   r2, heap
+        call nrev
+        mov  r2, r4           ; walk the result into out
+        la   r6, out
+wloop:  bz   r2, check
+        ld   r7, 0(r2)
+        ld   r2, 1(r2)
+        st   r7, 0(r6)
+        addi r6, r6, 1
+        b    wloop
+        ; cons(car=r2, cdr=r3) -> r4
+cons:   ld   r4, freep
+        st   r2, 0(r4)
+        st   r3, 1(r4)
+        addi r5, r4, 2
+        st   r5, freep
+        ret
+        ; append(a=r2, b=r3) -> r4
+append: bnz  r2, app1
+        mov  r4, r3
+        ret
+app1:   addi sp, sp, -2
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        ld   r2, 1(r2)
+        call append
+        ld   r2, 1(sp)
+        ld   r2, 0(r2)
+        mov  r3, r4
+        call cons
+        ld   ra, 0(sp)
+        addi sp, sp, 2
+        ret
+        ; nrev(l=r2) -> r4
+nrev:   bnz  r2, nr1
+        add  r4, r0, r0
+        ret
+nr1:    addi sp, sp, -3
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        ld   r2, 1(r2)
+        call nrev             ; r4 = nrev(cdr l)
+        st   r4, 2(sp)
+        ld   r2, 1(sp)
+        ld   r2, 0(r2)
+        add  r3, r0, r0
+        call cons             ; r4 = list(car l)
+        mov  r3, r4
+        ld   r2, 2(sp)        ; nrev(cdr l)
+        call append
+        ld   ra, 0(sp)
+        addi sp, sp, 3
+        ret
+)" + checkRegion("out", "exp", n);
+    return w;
+}
+
+Workload
+tak()
+{
+    // The classic Gabriel benchmark: triple recursion, almost nothing
+    // but calls, compares and jumps — the Lisp profile distilled.
+    const auto takRef = [](auto &&self, int x, int y, int z) -> int {
+        if (!(y < x))
+            return z;
+        return self(self, self(self, x - 1, y, z),
+                    self(self, y - 1, z, x), self(self, z - 1, x, y));
+    };
+    const int expected = takRef(takRef, 12, 8, 4);
+
+    Workload w;
+    w.name = "tak";
+    w.family = Family::Lisp;
+    w.description = "tak(12, 8, 4): triple recursion, call/branch heavy";
+    w.source = strformat(R"(
+        .data
+result: .space 1
+exp:    .word %d
+        .text
+_start: addi r2, r0, 12
+        addi r3, r0, 8
+        addi r4, r0, 4
+        call tak
+        st   r2, result
+        b    check
+        ; tak(x=r2, y=r3, z=r4) -> r2
+tak:    blt  r3, r2, takrec
+        mov  r2, r4           ; not y < x: return z
+        ret
+takrec: addi sp, sp, -5
+        st   ra, 0(sp)
+        st   r2, 1(sp)        ; x
+        st   r3, 2(sp)        ; y
+        st   r4, 3(sp)        ; z
+        addi r2, r2, -1       ; tak(x-1, y, z)
+        call tak
+        st   r2, 4(sp)        ; a
+        ld   r3, 3(sp)        ; z
+        ld   r2, 2(sp)        ; y
+        ld   r4, 1(sp)        ; x
+        addi r2, r2, -1       ; tak(y-1, z, x)
+        call tak
+        mov  r5, r2           ; b (caller-saved by convention below)
+        ld   r2, 3(sp)        ; z
+        ld   r3, 1(sp)        ; x
+        ld   r4, 2(sp)        ; y
+        addi r2, r2, -1       ; tak(z-1, x, y)
+        st   r5, 2(sp)        ; spill b over the recursive call
+        call tak
+        mov  r4, r2           ; c
+        ld   r2, 4(sp)        ; a
+        ld   r3, 2(sp)        ; b
+        call tak              ; tak(a, b, c)
+        ld   ra, 0(sp)
+        addi sp, sp, 5
+        ret
+)", expected) + checkRegion("result", "exp", 1);
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+lispWorkloads()
+{
+    return {listSum(), listReverse(), treeSort(), assocLookup(), mapcar(),
+            nrev(),    tak()};
+}
+
+} // namespace mipsx::workload

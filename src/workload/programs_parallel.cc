@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Shared-memory multiprocessor workloads (see mp/multi_machine.hh).
+ *
+ * Convention: r25 = CPU id, r26 = CPU count (set by the MultiMachine).
+ * Work is partitioned into contiguous blocks — the slice bounds are
+ * computed at run time with the dstep divider — so each CPU streams its
+ * own cache lines; synchronization is flag-based (every store is
+ * immediately visible: the lockstep machine is sequentially consistent),
+ * the idiom of the era's shared-memory codes. CPU 0 aggregates and
+ * self-checks; workers halt after raising their done flags.
+ */
+
+#include "workload/workload.hh"
+
+#include "workload/wl_util.hh"
+
+namespace mipsx::workload
+{
+
+namespace
+{
+
+constexpr unsigned maxCpus = 16;
+
+/**
+ * Shared prologue: compute this CPU's block [r1, r3) of an @p n-word
+ * array at label arr. Uses r5, r14, r15; leaves id/count intact.
+ */
+std::string
+blockPrologue(unsigned n)
+{
+    std::string s = strformat(R"(
+_start: li   r14, %u
+        movtos md, r14        ; slice = n / ncpus (32 dsteps)
+        add  r15, r0, r0
+        .rept 32
+        dstep r15, r15, r26
+        .endr
+)", n);
+    s += strformat(R"(
+        movfrs r14, md        ; the quotient
+        add  r1, r0, r0       ; lo = id * slice
+        mov  r5, r25
+mullo:  bz   r5, mdone
+        add  r1, r1, r14
+        addi r5, r5, -1
+        b    mullo
+mdone:  add  r3, r1, r14      ; hi = lo + slice ...
+        addi r5, r26, -1
+        bne  r25, r5, bounds
+        li   r3, %u           ; ... except the last CPU takes the tail
+bounds: la   r4, arr
+        add  r1, r4, r1
+        add  r3, r4, r3
+)", n);
+    return s;
+}
+
+/** Shared epilogue: publish the partial, flag-barrier, aggregate. */
+std::string
+barrierEpilogue()
+{
+    return R"(
+sdone:  la   r5, partials
+        add  r5, r5, r25
+        st   r2, 0(r5)
+        la   r5, done
+        add  r5, r5, r25
+        addi r6, r0, 1
+        st   r6, 0(r5)
+        bnz  r25, workerdone   ; only CPU 0 aggregates
+        add  r7, r0, r0
+wloop:  bge  r7, r26, agg
+        la   r5, done
+        add  r5, r5, r7
+        ld   r8, 0(r5)
+        bz   r8, wloop         ; spin until CPU r7 is done
+        addi r7, r7, 1
+        b    wloop
+agg:    add  r9, r0, r0
+        add  r7, r0, r0
+aloop:  bge  r7, r26, fin
+        la   r5, partials
+        add  r5, r5, r7
+        ld   r10, 0(r5)
+        add  r9, r9, r10
+        addi r7, r7, 1
+        b    aloop
+fin:    st   r9, total
+        b    check
+workerdone:
+        halt
+)";
+}
+
+Workload
+parallelSum()
+{
+    constexpr unsigned n = 8192;
+    Lcg rng(83);
+    std::vector<std::int64_t> data;
+    word_t sum = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        data.push_back(static_cast<std::int32_t>(rng.next(100000)) -
+                       50000);
+        sum += static_cast<word_t>(data.back());
+    }
+
+    Workload w;
+    w.name = "psum";
+    w.family = Family::Pascal;
+    w.description = "parallel blocked sum of 8192 words (memory-bound)";
+    w.source = "        .data\n" + wordData("arr", data) + strformat(R"(
+partials: .space %u
+done:     .space %u
+total:    .space 1
+exp:      .word %lld
+        .text
+)", maxCpus, maxCpus,
+                 static_cast<long long>(static_cast<std::int32_t>(sum))) +
+        blockPrologue(n) + R"(
+        add  r2, r0, r0        ; partial sum
+sloop:  bge  r1, r3, sdone
+        ld   r4, 0(r1)
+        add  r2, r2, r4
+        addi r1, r1, 1
+        b    sloop
+)" + barrierEpilogue() + checkRegion("total", "exp", 1);
+    return w;
+}
+
+Workload
+parallelPoly()
+{
+    // Compute-bound: out[i] = x^3 + 3x^2 + 7x + 1 (mod 2^32), repeated
+    // for several sweeps over the (cache-warm) block; the partial is a
+    // checksum of every sweep's outputs.
+    constexpr unsigned n = 1024;
+    constexpr unsigned sweeps = 6;
+    Lcg rng(89);
+    std::vector<std::int64_t> data;
+    word_t sum = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const word_t x = rng.next();
+        data.push_back(static_cast<std::int32_t>(x));
+        const word_t v = x * x * x + 3 * x * x + 7 * x + 1;
+        sum += v;
+    }
+    sum *= sweeps;
+
+    Workload w;
+    w.name = "ppoly";
+    w.family = Family::Pascal;
+    w.description =
+        "parallel cubic polynomial, 6 warm sweeps (compute-bound)";
+    w.source = "        .data\n" + wordData("arr", data) + strformat(R"(
+out:      .space %u
+partials: .space %u
+done:     .space %u
+total:    .space 1
+exp:      .word %lld
+        .text
+)", n, maxCpus, maxCpus,
+                 static_cast<long long>(static_cast<std::int32_t>(sum))) +
+        blockPrologue(n) + strformat(R"(
+        add  r2, r0, r0        ; checksum across all sweeps
+        addi r20, r0, %u       ; sweep counter
+        mov  r21, r1           ; remember the block bounds
+        mov  r22, r3
+sweep:  mov  r1, r21
+outer:  bge  r1, r22, snext
+        ld   r12, 0(r1)        ; x
+        mov  r14, r12          ; x^2
+        mov  r15, r12
+        call mulp
+        mov  r16, r14
+        mov  r15, r12          ; x^3
+        call mulp
+        add  r17, r16, r16     ; 3x^2
+        add  r17, r17, r16
+        add  r14, r14, r17
+        sll  r17, r12, 3       ; 7x
+        sub  r17, r17, r12
+        add  r14, r14, r17
+        addi r14, r14, 1
+        la   r17, out
+        sub  r18, r1, r4       ; element index (arr base in r4)
+        add  r17, r17, r18
+        st   r14, 0(r17)
+        add  r2, r2, r14
+        addi r1, r1, 1
+        b    outer
+snext:  addi r20, r20, -1
+        bnz  r20, sweep
+        b    sdone
+        ; mulp: r14 = r14 * r15 (32 msteps), clobbers r19
+mulp:   movtos md, r14
+        add  r19, r0, r0
+        .rept 32
+        mstep r19, r19, r15
+        .endr
+        mov  r14, r19
+        ret
+)", sweeps) + barrierEpilogue() + checkRegion("total", "exp", 1);
+    return w;
+}
+
+Workload
+parallelScale()
+{
+    // Store-heavy and cache-resident: out[i] = 2*arr[i] + 1, swept four
+    // times over the warm block. Half the references are stores, which
+    // makes this the write-policy stress case: copy-back keeps the
+    // dirty lines in the Ecache, write-through pushes every store over
+    // the shared bus.
+    constexpr unsigned n = 2048;
+    constexpr unsigned sweeps = 4;
+    Lcg rng(97);
+    std::vector<std::int64_t> data;
+    word_t sum = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const word_t x = rng.next();
+        data.push_back(static_cast<std::int32_t>(x));
+        sum += 2 * x + 1;
+    }
+    sum *= sweeps;
+
+    Workload w;
+    w.name = "pscale";
+    w.family = Family::Pascal;
+    w.description =
+        "parallel scale out[i]=2*a[i]+1, 4 sweeps (store-heavy)";
+    w.source = "        .data\n" + wordData("arr", data) + strformat(R"(
+out:      .space %u
+partials: .space %u
+done:     .space %u
+total:    .space 1
+exp:      .word %lld
+        .text
+)", n, maxCpus, maxCpus,
+                 static_cast<long long>(static_cast<std::int32_t>(sum))) +
+        blockPrologue(n) + strformat(R"(
+        add  r2, r0, r0
+        addi r20, r0, %u       ; sweeps
+        mov  r21, r1
+        mov  r22, r3
+sweep:  mov  r1, r21
+inner:  bge  r1, r22, snext
+        ld   r12, 0(r1)
+        add  r12, r12, r12
+        addi r12, r12, 1
+        la   r17, out
+        sub  r18, r1, r4
+        add  r17, r17, r18
+        st   r12, 0(r17)
+        add  r2, r2, r12
+        addi r1, r1, 1
+        b    inner
+snext:  addi r20, r20, -1
+        bnz  r20, sweep
+        b    sdone
+)", sweeps) + barrierEpilogue() + checkRegion("total", "exp", 1);
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+parallelWorkloads()
+{
+    return {parallelSum(), parallelPoly(), parallelScale()};
+}
+
+} // namespace mipsx::workload

@@ -1,0 +1,760 @@
+/**
+ * @file
+ * The Pascal-family workloads: structured imperative programs with the
+ * branch and memory profile of compiled Pascal (the paper's primary
+ * benchmark language).
+ */
+
+#include "workload/workload.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/wl_util.hh"
+
+namespace mipsx::workload
+{
+
+namespace
+{
+
+Workload
+bubbleSort()
+{
+    constexpr unsigned n = 40;
+    Lcg rng(7);
+    std::vector<std::int64_t> data;
+    for (unsigned i = 0; i < n; ++i)
+        data.push_back(static_cast<std::int32_t>(rng.next(20000)) - 10000);
+    auto sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+
+    Workload w;
+    w.name = "bubble";
+    w.family = Family::Pascal;
+    w.description = "bubble sort of 40 signed words";
+    w.source = "        .data\n" + wordData("arr", data) +
+        wordData("exp", sorted) + strformat(R"(
+        .text
+_start: addi r11, r0, %u      ; outer passes
+outer:  la   r1, arr
+        addi r2, r0, %u       ; inner compares
+inner:  ld   r3, 0(r1)
+        ld   r4, 1(r1)
+        bge  r4, r3, noswap
+        st   r4, 0(r1)
+        st   r3, 1(r1)
+noswap: addi r1, r1, 1
+        addi r2, r2, -1
+        bnz  r2, inner
+        addi r11, r11, -1
+        bnz  r11, outer
+)", n - 1, n - 1) + checkRegion("arr", "exp", n);
+    return w;
+}
+
+Workload
+quickSort()
+{
+    constexpr unsigned n = 64;
+    Lcg rng(11);
+    std::vector<std::int64_t> data;
+    for (unsigned i = 0; i < n; ++i)
+        data.push_back(static_cast<std::int32_t>(rng.next(100000)) - 50000);
+    auto sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+
+    Workload w;
+    w.name = "qsort";
+    w.family = Family::Pascal;
+    w.description = "recursive quicksort (Lomuto) of 64 signed words";
+    w.source = "        .data\n" + wordData("arr", data) +
+        wordData("exp", sorted) + strformat(R"(
+        .text
+_start: la   r2, arr
+        la   r3, arr+%u
+        call qsort
+        b    check
+        ; qsort(lo=r2, hi=r3): word addresses, inclusive
+qsort:  bge  r2, r3, qret
+        addi sp, sp, -4
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        st   r3, 2(sp)
+        ld   r5, 0(r3)        ; pivot = M[hi]
+        mov  r6, r2           ; i
+        mov  r7, r2           ; j
+qloop:  bge  r7, r3, qdone
+        ld   r8, 0(r7)
+        bge  r8, r5, qskip
+        ld   r9, 0(r6)
+        st   r8, 0(r6)
+        st   r9, 0(r7)
+        addi r6, r6, 1
+qskip:  addi r7, r7, 1
+        b    qloop
+qdone:  ld   r8, 0(r6)
+        ld   r9, 0(r3)
+        st   r9, 0(r6)
+        st   r8, 0(r3)
+        st   r6, 3(sp)        ; save partition point
+        addi r3, r6, -1
+        call qsort            ; left half (r2 still lo)
+        ld   r6, 3(sp)
+        ld   r3, 2(sp)
+        addi r2, r6, 1
+        call qsort            ; right half
+        ld   ra, 0(sp)
+        addi sp, sp, 4
+qret:   ret
+)", n - 1) + checkRegion("arr", "exp", n);
+    return w;
+}
+
+Workload
+matMul()
+{
+    constexpr unsigned n = 6;
+    Lcg rng(13);
+    std::vector<std::int64_t> a, b;
+    for (unsigned i = 0; i < n * n; ++i) {
+        a.push_back(static_cast<std::int32_t>(rng.next(200)) - 100);
+        b.push_back(static_cast<std::int32_t>(rng.next(200)) - 100);
+    }
+    std::vector<std::int64_t> c(n * n, 0);
+    for (unsigned i = 0; i < n; ++i)
+        for (unsigned j = 0; j < n; ++j) {
+            std::int64_t acc = 0;
+            for (unsigned k = 0; k < n; ++k) {
+                acc += static_cast<std::int32_t>(
+                    static_cast<word_t>(a[i * n + k]) *
+                    static_cast<word_t>(b[k * n + j]));
+            }
+            c[i * n + j] = static_cast<std::int32_t>(
+                static_cast<word_t>(acc));
+        }
+
+    Workload w;
+    w.name = "matmul";
+    w.family = Family::Pascal;
+    w.description =
+        "6x6 integer matrix multiply via the MD multiply-step unit";
+    w.source = "        .data\n" + wordData("ma", a) + wordData("mb", b) +
+        "mc:     .space " + strformat("%u", n * n) + "\n" +
+        wordData("exp", c) + strformat(R"(
+        .text
+_start: la   r10, ma          ; rowA
+        la   r16, mc          ; out pointer
+        addi r20, r0, %u      ; i counter
+iloop:  la   r11, mb          ; colB base
+        addi r21, r0, %u      ; j counter
+jloop:  mov  r13, r10         ; pa
+        mov  r14, r11         ; pb
+        add  r15, r0, r0      ; acc
+        addi r22, r0, %u      ; k counter
+kloop:  ld   r2, 0(r13)
+        ld   r3, 0(r14)
+        call mul32
+        add  r15, r15, r2
+        addi r13, r13, 1
+        addi r14, r14, %u
+        addi r22, r22, -1
+        bnz  r22, kloop
+        st   r15, 0(r16)
+        addi r16, r16, 1
+        addi r11, r11, 1
+        addi r21, r21, -1
+        bnz  r21, jloop
+        addi r10, r10, %u
+        addi r20, r20, -1
+        bnz  r20, iloop
+        b    check
+)", n, n, n, n, n) + mul32Routine() + checkRegion("mc", "exp", n * n);
+    return w;
+}
+
+Workload
+sieve()
+{
+    constexpr unsigned limit = 400;
+    unsigned count = 0;
+    std::vector<bool> composite(limit, false);
+    for (unsigned i = 2; i < limit; ++i) {
+        if (!composite[i]) {
+            ++count;
+            for (unsigned j = i + i; j < limit; j += i)
+                composite[j] = true;
+        }
+    }
+
+    Workload w;
+    w.name = "sieve";
+    w.family = Family::Pascal;
+    w.description = "sieve of Eratosthenes up to 400";
+    w.source = strformat(R"(
+        .data
+flags:  .space %u
+result: .space 1
+exp:    .word %u
+        .text
+_start: la   r10, flags
+        addi r1, r0, 2        ; i
+        add  r2, r0, r0       ; count
+iloop:  add  r3, r10, r1
+        ld   r4, 0(r3)
+        bnz  r4, inext
+        addi r2, r2, 1        ; a prime
+        add  r5, r1, r1       ; j = 2i
+jloop:  addi r6, r0, %u
+        bge  r5, r6, inext
+        add  r7, r10, r5
+        addi r8, r0, 1
+        st   r8, 0(r7)
+        add  r5, r5, r1
+        b    jloop
+inext:  addi r1, r1, 1
+        addi r6, r0, %u
+        blt  r1, r6, iloop
+        st   r2, result
+)", limit, count, limit, limit) + checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+fib()
+{
+    constexpr unsigned n = 44;
+    word_t a = 0, b = 1;
+    for (unsigned i = 0; i < n; ++i) {
+        const word_t t = a + b;
+        a = b;
+        b = t;
+    }
+
+    Workload w;
+    w.name = "fib";
+    w.family = Family::Pascal;
+    w.description = "iterative Fibonacci, 44 steps (mod 2^32)";
+    w.source = strformat(R"(
+        .data
+result: .space 1
+exp:    .word %lld
+        .text
+_start: add  r1, r0, r0
+        addi r2, r0, 1
+        addi r3, r0, %u
+floop:  add  r4, r1, r2
+        mov  r1, r2
+        mov  r2, r4
+        addi r3, r3, -1
+        bnz  r3, floop
+        st   r2, result
+)", static_cast<long long>(b), n) + checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+strSearch()
+{
+    // A word-per-character text with several embedded pattern copies.
+    constexpr unsigned textLen = 180;
+    Lcg rng(17);
+    std::vector<std::int64_t> text;
+    const std::vector<std::int64_t> pattern = {3, 1, 4, 1, 5};
+    for (unsigned i = 0; i < textLen; ++i)
+        text.push_back(rng.next(8));
+    for (const unsigned pos : {12u, 60u, 61u, 130u, 170u}) {
+        for (unsigned k = 0; k < pattern.size(); ++k)
+            text[pos + k] = pattern[k];
+    }
+    unsigned matches = 0;
+    for (unsigned i = 0; i + pattern.size() <= textLen; ++i) {
+        bool ok = true;
+        for (unsigned k = 0; k < pattern.size() && ok; ++k)
+            ok = text[i + k] == pattern[k];
+        if (ok)
+            ++matches;
+    }
+
+    Workload w;
+    w.name = "strsearch";
+    w.family = Family::Pascal;
+    w.description = "naive substring search over a 180-word text";
+    w.source = "        .data\n" + wordData("text", text) +
+        wordData("pat", pattern) + strformat(R"(
+result: .space 1
+exp:    .word %u
+        .text
+_start: la   r1, text         ; window start
+        addi r2, r0, %u       ; windows to try
+        add  r3, r0, r0       ; match count
+wloop:  mov  r4, r1
+        la   r5, pat
+        addi r6, r0, %u       ; pattern length
+mloop:  ld   r7, 0(r4)
+        ld   r8, 0(r5)
+        bne  r7, r8, wnext
+        addi r4, r4, 1
+        addi r5, r5, 1
+        addi r6, r6, -1
+        bnz  r6, mloop
+        addi r3, r3, 1        ; full match
+wnext:  addi r1, r1, 1
+        addi r2, r2, -1
+        bnz  r2, wloop
+        st   r3, result
+)", matches, textLen - pattern.size() + 1,
+                 static_cast<unsigned>(pattern.size())) +
+        checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+binSearch()
+{
+    constexpr unsigned tab = 128;
+    std::vector<std::int64_t> table;
+    for (unsigned i = 0; i < tab; ++i)
+        table.push_back(3 * i + 1);
+    Lcg rng(23);
+    std::vector<std::int64_t> keys;
+    std::int64_t expected = 0;
+    for (unsigned q = 0; q < 64; ++q) {
+        const std::int64_t key = rng.next(3 * tab + 4);
+        keys.push_back(key);
+        // mirror the search
+        unsigned lo = 0, hi = tab;
+        std::int64_t found = -1;
+        while (lo < hi) {
+            const unsigned mid = (lo + hi) / 2;
+            if (table[mid] == key) {
+                found = mid;
+                break;
+            }
+            if (table[mid] < key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        expected += found;
+    }
+
+    Workload w;
+    w.name = "binsearch";
+    w.family = Family::Pascal;
+    w.description = "64 binary searches over a 128-entry table";
+    w.source = "        .data\n" + wordData("tab", table) +
+        wordData("keys", keys) + strformat(R"(
+result: .space 1
+exp:    .word %lld
+        .text
+_start: la   r1, keys
+        addi r2, r0, 64       ; queries
+        add  r3, r0, r0       ; sum of found indices
+qloop:  ld   r4, 0(r1)        ; key
+        add  r5, r0, r0       ; lo
+        addi r6, r0, %u       ; hi
+        addi r9, r0, -1       ; found = -1
+bloop:  bge  r5, r6, bdone
+        add  r7, r5, r6
+        srl  r7, r7, 1        ; mid
+        la   r8, tab
+        add  r8, r8, r7
+        ld   r8, 0(r8)        ; tab[mid]
+        bne  r8, r4, bne1
+        mov  r9, r7
+        b    bdone
+bne1:   bge  r8, r4, bhi
+        addi r5, r7, 1
+        b    bloop
+bhi:    mov  r6, r7
+        b    bloop
+bdone:  add  r3, r3, r9
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bnz  r2, qloop
+        st   r3, result
+)", static_cast<long long>(expected), tab) +
+        checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+hashLoop()
+{
+    constexpr unsigned n = 128;
+    Lcg rng(29);
+    std::vector<std::int64_t> data;
+    for (unsigned i = 0; i < n; ++i)
+        data.push_back(static_cast<std::int64_t>(rng.next()));
+    word_t h = 0x12345678u;
+    for (unsigned i = 0; i < n; ++i) {
+        h ^= static_cast<word_t>(data[i]);
+        h = (h << 5) + (h >> 27); // rotate-ish
+        h += 0x9e3779b9u;
+    }
+
+    Workload w;
+    w.name = "hash";
+    w.family = Family::Pascal;
+    w.description = "xor/rotate hash over 128 words";
+    w.source = "        .data\n" + wordData("data", data) + strformat(R"(
+result: .space 1
+exp:    .word %lld
+        .text
+_start: la   r1, data
+        addi r2, r0, %u
+        li   r3, 0x12345678   ; h
+        li   r10, 0x9e3779b9
+hloop:  ld   r4, 0(r1)
+        xor  r3, r3, r4
+        sll  r5, r3, 5
+        srl  r6, r3, 27
+        add  r3, r5, r6
+        add  r3, r3, r10
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bnz  r2, hloop
+        st   r3, result
+)", static_cast<long long>(static_cast<std::int32_t>(h)), n) +
+        checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+hanoi()
+{
+    constexpr unsigned n = 10;
+    const std::int64_t moves = (1LL << n) - 1;
+
+    Workload w;
+    w.name = "hanoi";
+    w.family = Family::Pascal;
+    w.description = "towers of Hanoi (recursive), 10 discs";
+    w.source = strformat(R"(
+        .data
+result: .space 1
+exp:    .word %lld
+        .text
+_start: addi r2, r0, %u       ; discs
+        add  r10, r0, r0      ; move counter
+        call hanoi
+        st   r10, result
+        b    check
+        ; hanoi(n = r2): count moves in r10
+hanoi:  addi r3, r0, 1
+        bne  r2, r3, hrec
+        addi r10, r10, 1
+        ret
+hrec:   addi sp, sp, -2
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        addi r2, r2, -1
+        call hanoi
+        addi r10, r10, 1
+        ld   r2, 1(sp)
+        addi r2, r2, -1
+        call hanoi
+        ld   ra, 0(sp)
+        addi sp, sp, 2
+        ret
+)", static_cast<long long>(moves), n) + checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+divLoop()
+{
+    // Exercise the dstep divide path: sum of a[i] / b[i] and remainders.
+    constexpr unsigned n = 24;
+    Lcg rng(31);
+    std::vector<std::int64_t> a, b;
+    for (unsigned i = 0; i < n; ++i) {
+        a.push_back(static_cast<std::int64_t>(rng.next()));
+        b.push_back(1 + rng.next(1000));
+    }
+    word_t qsum = 0, rsum = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        qsum += static_cast<word_t>(a[i]) / static_cast<word_t>(b[i]);
+        rsum += static_cast<word_t>(a[i]) % static_cast<word_t>(b[i]);
+    }
+
+    const std::string div32 = "div32:  movtos md, r2\n"
+                              "        add r4, r0, r0\n"
+                              "        .rept 32\n"
+                              "        dstep r4, r4, r3\n"
+                              "        .endr\n"
+                              "        movfrs r2, md\n" // quotient
+                              "        ret\n"; // remainder in r4
+
+    Workload w;
+    w.name = "divide";
+    w.family = Family::Pascal;
+    w.description = "unsigned divide via 32 dsteps over 24 pairs";
+    w.source = "        .data\n" + wordData("da", a) + wordData("db", b) +
+        strformat(R"(
+result: .space 2
+exp:    .word %lld, %lld
+        .text
+_start: la   r11, da
+        la   r12, db
+        addi r13, r0, %u
+        add  r14, r0, r0      ; qsum
+        add  r15, r0, r0      ; rsum
+dloop:  ld   r2, 0(r11)
+        ld   r3, 0(r12)
+        call div32
+        add  r14, r14, r2
+        add  r15, r15, r4
+        addi r11, r11, 1
+        addi r12, r12, 1
+        addi r13, r13, -1
+        bnz  r13, dloop
+        st   r14, result
+        st   r15, result+1
+        b    check
+)", static_cast<long long>(static_cast<std::int32_t>(qsum)),
+                 static_cast<long long>(static_cast<std::int32_t>(rsum)),
+                 n) + div32 + checkRegion("result", "exp", 2);
+    return w;
+}
+
+Workload
+queens()
+{
+    // N-queens solution count via iterative backtracking with explicit
+    // column/diagonal occupancy arrays (classic Pascal benchmark).
+    constexpr int n = 7;
+    // Mirror: count solutions.
+    unsigned count = 0;
+    {
+        int pos[n];
+        bool col[n] = {}, d1[2 * n] = {}, d2[2 * n] = {};
+        int row = 0;
+        pos[0] = -1;
+        while (row >= 0) {
+            int c = pos[row] + 1;
+            for (; c < n; ++c)
+                if (!col[c] && !d1[row + c] && !d2[row - c + n])
+                    break;
+            if (c == n) {
+                pos[row] = -1;
+                --row;
+                if (row >= 0) {
+                    const int pc = pos[row];
+                    col[pc] = d1[row + pc] = d2[row - pc + n] = false;
+                }
+                continue;
+            }
+            if (pos[row] >= 0) {
+                // (never true right after descending; clear handled
+                // above on backtrack)
+            }
+            // clear the previous placement in this row, if any
+            // (pos[row] >= 0 means we are re-trying this row)
+            pos[row] = c;
+            col[c] = d1[row + c] = d2[row - c + n] = true;
+            if (row == n - 1) {
+                ++count;
+                col[c] = d1[row + c] = d2[row - c + n] = false;
+                continue;
+            }
+            ++row;
+            pos[row] = -1;
+        }
+    }
+
+    Workload w;
+    w.name = "queens";
+    w.family = Family::Pascal;
+    w.description = "7-queens solution count, recursive backtracking";
+    // The assembly uses straightforward recursion instead of the
+    // iterative mirror (same count): place(row): for c in 0..n-1 if
+    // free, mark, recurse / count, unmark.
+    w.source = strformat(R"(
+        .data
+colA:   .space %d
+d1A:    .space %d
+d2A:    .space %d
+result: .space 1
+exp:    .word %u
+        .text
+_start: add  r10, r0, r0      ; solution count
+        add  r2, r0, r0       ; row 0
+        call place
+        st   r10, result
+        b    check
+        ; place(row = r2); clobbers r3..r9
+place:  addi sp, sp, -3
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        add  r3, r0, r0       ; c
+ploop:  addi r4, r0, %d
+        bge  r3, r4, pdone
+        ; occupied?
+        la   r5, colA
+        add  r5, r5, r3
+        ld   r6, 0(r5)
+        bnz  r6, pnext
+        add  r7, r2, r3       ; row + c
+        la   r5, d1A
+        add  r5, r5, r7
+        ld   r6, 0(r5)
+        bnz  r6, pnext
+        sub  r7, r2, r3       ; row - c + n
+        addi r7, r7, %d
+        la   r5, d2A
+        add  r5, r5, r7
+        ld   r6, 0(r5)
+        bnz  r6, pnext
+        ; mark
+        addi r6, r0, 1
+        la   r5, colA
+        add  r5, r5, r3
+        st   r6, 0(r5)
+        add  r7, r2, r3
+        la   r5, d1A
+        add  r5, r5, r7
+        st   r6, 0(r5)
+        sub  r7, r2, r3
+        addi r7, r7, %d
+        la   r5, d2A
+        add  r5, r5, r7
+        st   r6, 0(r5)
+        ; last row?
+        addi r4, r0, %d
+        bne  r2, r4, precur
+        addi r10, r10, 1
+        b    punmark
+precur: st   r3, 2(sp)
+        addi r2, r2, 1
+        call place
+        ld   r2, 1(sp)
+        ld   r3, 2(sp)
+punmark:
+        ld   r2, 1(sp)        ; reload row (clobbered by recursion)
+        la   r5, colA
+        add  r5, r5, r3
+        st   r0, 0(r5)
+        add  r7, r2, r3
+        la   r5, d1A
+        add  r5, r5, r7
+        st   r0, 0(r5)
+        sub  r7, r2, r3
+        addi r7, r7, %d
+        la   r5, d2A
+        add  r5, r5, r7
+        st   r0, 0(r5)
+pnext:  addi r3, r3, 1
+        b    ploop
+pdone:  ld   ra, 0(sp)
+        addi sp, sp, 3
+        ret
+)", n, 2 * n, 2 * n, count, n, n, n, n - 1, n) +
+        checkRegion("result", "exp", 1);
+    return w;
+}
+
+Workload
+perm()
+{
+    // The Stanford "perm" benchmark: generate all permutations of
+    // n elements by recursive swapping, accumulating an order-sensitive
+    // checksum of every permutation visited.
+    constexpr unsigned n = 5;
+    std::vector<word_t> arr;
+    for (unsigned i = 0; i < n; ++i)
+        arr.push_back(i + 1);
+    word_t checksum = 0;
+    // Mirror of the recursive generator below.
+    auto rec = [&](auto &&self, unsigned k) -> void {
+        if (k == n) {
+            for (unsigned i = 0; i < n; ++i)
+                checksum = checksum * 31 + arr[i];
+            return;
+        }
+        for (unsigned i = k; i < n; ++i) {
+            std::swap(arr[k], arr[i]);
+            self(self, k + 1);
+            std::swap(arr[k], arr[i]);
+        }
+    };
+    rec(rec, 0);
+
+    Workload w;
+    w.name = "perm";
+    w.family = Family::Pascal;
+    w.description = "Stanford perm: all permutations of 5 elements";
+    w.source = strformat(R"(
+        .data
+arr:    .word 1, 2, 3, 4, 5
+result: .space 1
+exp:    .word %lld
+        .text
+_start: add  r10, r0, r0      ; checksum
+        add  r2, r0, r0       ; k = 0
+        call perm
+        st   r10, result
+        b    check
+        ; perm(k = r2); clobbers r3..r9, r11..r13
+perm:   addi r3, r0, %u
+        bne  r2, r3, prec
+        ; k == n: fold the permutation into the checksum
+        la   r4, arr
+        addi r5, r0, %u
+fold:   ld   r6, 0(r4)
+        sll  r7, r10, 5       ; checksum*31 = (c<<5) - c
+        sub  r7, r7, r10
+        add  r10, r7, r6
+        addi r4, r4, 1
+        addi r5, r5, -1
+        bnz  r5, fold
+        ret
+prec:   addi sp, sp, -3
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        mov  r8, r2           ; i = k
+ploop:  addi r3, r0, %u
+        bge  r8, r3, pdone
+        ; swap arr[k], arr[i]
+        st   r8, 2(sp)
+        la   r4, arr
+        add  r5, r4, r2       ; &arr[k]
+        add  r6, r4, r8       ; &arr[i]
+        ld   r7, 0(r5)
+        ld   r9, 0(r6)
+        st   r9, 0(r5)
+        st   r7, 0(r6)
+        addi r2, r2, 1
+        call perm
+        ld   r2, 1(sp)        ; restore k
+        ld   r8, 2(sp)        ; restore i
+        ; swap back
+        la   r4, arr
+        add  r5, r4, r2
+        add  r6, r4, r8
+        ld   r7, 0(r5)
+        ld   r9, 0(r6)
+        st   r9, 0(r5)
+        st   r7, 0(r6)
+        addi r8, r8, 1
+        b    ploop
+pdone:  ld   ra, 0(sp)
+        addi sp, sp, 3
+        ret
+)", static_cast<long long>(static_cast<std::int32_t>(checksum)), n, n,
+                 n) + checkRegion("result", "exp", 1);
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+pascalWorkloads()
+{
+    return {bubbleSort(), quickSort(), matMul(),   sieve(),  fib(),
+            strSearch(),  binSearch(), hashLoop(), hanoi(),  divLoop(),
+            queens(),     perm()};
+}
+
+} // namespace mipsx::workload

@@ -1,0 +1,119 @@
+#include "workload/workload.hh"
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::workload
+{
+
+const char *
+familyName(Family f)
+{
+    switch (f) {
+      case Family::Pascal: return "pascal";
+      case Family::Lisp: return "lisp";
+      case Family::Fp: return "fp";
+    }
+    return "?";
+}
+
+std::vector<Workload>
+fullSuite()
+{
+    std::vector<Workload> all;
+    for (auto &w : pascalWorkloads())
+        all.push_back(std::move(w));
+    for (auto &w : lispWorkloads())
+        all.push_back(std::move(w));
+    for (auto &w : fpWorkloads())
+        all.push_back(std::move(w));
+    for (auto &w : bigCodeWorkloads())
+        all.push_back(std::move(w));
+    return all;
+}
+
+std::string
+mul32Routine()
+{
+    return "mul32:  movtos md, r2\n"
+           "        add r4, r0, r0\n"
+           "        .rept 32\n"
+           "        mstep r4, r4, r3\n"
+           "        .endr\n"
+           "        mov r2, r4\n"
+           "        ret\n";
+}
+
+WorkloadRun
+runWorkload(const Workload &w, const sim::MachineConfig &machine_cfg,
+            const reorg::ReorgConfig &reorg_cfg)
+{
+    const auto prog = assembler::assemble(w.source, w.name + ".s");
+
+    // Functional validation of the sequential source first: a workload
+    // that fails here is broken regardless of the machine model.
+    {
+        memory::MainMemory mem;
+        const auto r = sim::runIss(prog, mem);
+        if (r.reason != sim::IssStop::Halt) {
+            fatal(strformat("workload '%s' failed functional validation",
+                            w.name.c_str()));
+        }
+    }
+
+    WorkloadRun out;
+    const auto reorged = reorg::reorganize(prog, reorg_cfg, &out.reorg);
+
+    sim::Machine machine(machine_cfg);
+    machine.load(reorged);
+    const auto result = machine.run();
+
+    out.reason = result.reason;
+    out.passed = result.reason == core::StopReason::Halt;
+    out.pipeline = machine.cpu().stats();
+    out.icacheMissRatio = machine.cpu().icache().missRatio();
+    out.icacheFetchCost = machine.cpu().icache().avgFetchCost();
+    out.icacheAccesses = machine.cpu().icache().accesses();
+    out.icacheMisses = machine.cpu().icache().misses();
+    out.ecacheMissRatio = machine.cpu().ecache().missRatio();
+    out.ecacheAccesses = machine.cpu().ecache().accesses();
+    return out;
+}
+
+std::map<addr_t, double>
+collectProfile(const Workload &w)
+{
+    const auto prog = assembler::assemble(w.source, w.name + ".s");
+    memory::MainMemory mem;
+    mem.loadProgram(prog);
+    sim::IssConfig cfg;
+    sim::Iss iss(cfg, mem);
+    iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+
+    struct Acc
+    {
+        std::uint64_t taken = 0;
+        std::uint64_t total = 0;
+    };
+    std::map<addr_t, Acc> acc;
+    iss.setBranchHook([&acc](const sim::BranchEvent &ev) {
+        if (!ev.conditional)
+            return;
+        auto &a = acc[ev.pc];
+        ++a.total;
+        if (ev.taken)
+            ++a.taken;
+    });
+    iss.reset(prog.entry);
+    iss.setGpr(isa::reg::sp, 0x70000);
+    if (iss.run() != sim::IssStop::Halt)
+        fatal(strformat("workload '%s' failed during profiling",
+                        w.name.c_str()));
+
+    std::map<addr_t, double> out;
+    for (const auto &[pc, a] : acc)
+        out[pc] = static_cast<double>(a.taken) / a.total;
+    return out;
+}
+
+} // namespace mipsx::workload

@@ -1,0 +1,48 @@
+#include "workload/trace_gen.hh"
+
+namespace mipsx::workload
+{
+
+TraceGenerator::TraceGenerator(const TraceConfig &config)
+    : config_(config), state_(config.seed | 1u)
+{
+    pos_ = 0;
+}
+
+std::uint32_t
+TraceGenerator::rnd()
+{
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return static_cast<std::uint32_t>((state_ * 0x2545f4914f6cdd1dull) >>
+                                      32);
+}
+
+double
+TraceGenerator::uniform()
+{
+    return rnd() / 4294967296.0;
+}
+
+TraceRef
+TraceGenerator::next()
+{
+    if (uniform() < config_.sequential) {
+        ++pos_;
+    } else if (uniform() < config_.hotBias) {
+        pos_ = rnd() % config_.hotWords;
+    } else {
+        pos_ = rnd() % config_.footprintWords;
+    }
+    if (pos_ >= config_.footprintWords)
+        pos_ = 0;
+
+    TraceRef r;
+    r.addr = pos_;
+    r.write = uniform() < config_.writeFraction;
+    return r;
+}
+
+} // namespace mipsx::workload

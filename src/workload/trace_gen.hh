@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic address-trace generator for the external-cache study.
+ *
+ * The paper notes its benchmarks "fit entirely" in the 64K-word Ecache
+ * and that ATUM traces (Agarwal/Sites/Horowitz) were used to derive the
+ * Ecache effects. Those traces are not available; this generator
+ * produces address streams with controllable spatial/temporal locality
+ * (sequential runs, a hot working set, and occasional far jumps) so the
+ * Ecache's miss/size/penalty behaviour can be swept (experiment E11).
+ */
+
+#ifndef MIPSX_WORKLOAD_TRACE_GEN_HH
+#define MIPSX_WORKLOAD_TRACE_GEN_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mipsx::workload
+{
+
+/** Locality knobs for the synthetic stream. */
+struct TraceConfig
+{
+    /** Size of the frequently revisited region, in words. */
+    addr_t hotWords = 16 * 1024;
+    /** Total footprint, in words (cold region beyond the hot set). */
+    addr_t footprintWords = 1024 * 1024;
+    /** Probability of continuing the current sequential run. */
+    double sequential = 0.75;
+    /** Probability (of the non-sequential part) of staying hot. */
+    double hotBias = 0.9;
+    /** Fraction of references that are writes. */
+    double writeFraction = 0.16; // the paper-era write mix
+    std::uint32_t seed = 12345;
+};
+
+/** One generated reference. */
+struct TraceRef
+{
+    addr_t addr = 0;
+    bool write = false;
+};
+
+/** The generator: call next() repeatedly. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const TraceConfig &config = {});
+
+    TraceRef next();
+
+  private:
+    std::uint32_t rnd();
+    double uniform();
+
+    TraceConfig config_;
+    std::uint64_t state_;
+    addr_t pos_ = 0;
+};
+
+} // namespace mipsx::workload
+
+#endif // MIPSX_WORKLOAD_TRACE_GEN_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for generating workload assembly: data emission, the
+ * self-check epilogue, and a deterministic pseudo-random source.
+ */
+
+#ifndef MIPSX_WORKLOAD_WL_UTIL_HH
+#define MIPSX_WORKLOAD_WL_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "common/types.hh"
+
+namespace mipsx::workload
+{
+
+/** Deterministic LCG so expected values are reproducible. */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint32_t seed) : state_(seed) {}
+
+    std::uint32_t
+    next()
+    {
+        state_ = state_ * 1664525u + 1013904223u;
+        return state_ >> 8;
+    }
+
+    /** Uniform in [0, n). */
+    std::uint32_t next(std::uint32_t n) { return next() % n; }
+
+  private:
+    std::uint32_t state_;
+};
+
+/** Emit "label: .word v0, v1, ..." lines (8 values per line). */
+inline std::string
+wordData(const std::string &label, const std::vector<std::int64_t> &values)
+{
+    std::string s = label + ":";
+    if (values.empty())
+        return s + " .space 0\n";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i % 8 == 0)
+            s += (i == 0 ? " .word " : "\n        .word ");
+        else
+            s += ", ";
+        s += strformat("%lld", static_cast<long long>(values[i]));
+    }
+    return s + "\n";
+}
+
+/** Emit raw 32-bit patterns (for float images). */
+inline std::string
+bitsData(const std::string &label, const std::vector<word_t> &values)
+{
+    std::string s = label + ":";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i % 8 == 0)
+            s += (i == 0 ? " .word " : "\n        .word ");
+        else
+            s += ", ";
+        s += strformat("0x%08x", values[i]);
+    }
+    return s + "\n";
+}
+
+/**
+ * Self-check epilogue: compare @p n words at @p got against @p want;
+ * halt on success, fail on the first mismatch. Clobbers r24..r28.
+ */
+inline std::string
+checkRegion(const std::string &got, const std::string &want, unsigned n)
+{
+    return strformat(R"(
+check:  la   r26, %s
+        la   r27, %s
+        addi r28, r0, %u
+ckloop: ld   r24, 0(r26)
+        ld   r25, 0(r27)
+        bne  r24, r25, ckbad
+        addi r26, r26, 1
+        addi r27, r27, 1
+        addi r28, r28, -1
+        bnz  r28, ckloop
+        halt
+ckbad:  fail
+)", got.c_str(), want.c_str(), n);
+}
+
+} // namespace mipsx::workload
+
+#endif // MIPSX_WORKLOAD_WL_UTIL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The benchmark suite standing in for the paper's workloads.
+ *
+ * The paper evaluates MIPS-X with "large Pascal and Lisp benchmarks" plus
+ * floating-point-intensive traces. Those programs (and the Stanford
+ * compiler that produced them) are not available, so the suite provides
+ * hand-written MX32 assembly programs with the same structural character:
+ *
+ *  - Pascal family: structured imperative code — sorts, matrix algebra,
+ *    sieves, searching, hashing, recursion — moderate basic blocks and
+ *    compare-driven branches;
+ *  - Lisp family: list and tree processing — car/cdr pointer chasing
+ *    (load-load interlock chains), recursion, and many jumps, the
+ *    properties the paper blames for Lisp's higher no-op fraction;
+ *  - FP family: coprocessor-1 workloads (saxpy, dot product, Horner
+ *    polynomials) exercising ldf/stf and the address-line interface.
+ *
+ * Every program is *self-checking*: it computes its result, compares it
+ * against expected values baked into the image, and executes `halt` on
+ * success or `fail` on mismatch. A workload therefore validates itself on
+ * every machine model it runs on.
+ */
+
+#ifndef MIPSX_WORKLOAD_WORKLOAD_HH
+#define MIPSX_WORKLOAD_WORKLOAD_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "reorg/scheduler.hh"
+#include "sim/machine.hh"
+
+namespace mipsx::workload
+{
+
+/** Which paper workload family a benchmark models. */
+enum class Family : std::uint8_t
+{
+    Pascal,
+    Lisp,
+    Fp,
+};
+
+const char *familyName(Family f);
+
+/** One self-checking benchmark program. */
+struct Workload
+{
+    std::string name;
+    Family family = Family::Pascal;
+    std::string description;
+    std::string source; ///< sequential-semantics MX32 assembly
+};
+
+/** The Pascal-like programs. */
+std::vector<Workload> pascalWorkloads();
+/** The Lisp-like programs. */
+std::vector<Workload> lispWorkloads();
+/** The floating-point (coprocessor) programs. */
+std::vector<Workload> fpWorkloads();
+/**
+ * Generated large-text programs (several times the I-cache size),
+ * standing in for the paper's 50-270 KByte benchmarks; these drive the
+ * instruction-cache studies.
+ */
+std::vector<Workload> bigCodeWorkloads();
+/** Everything, big-code programs included. */
+std::vector<Workload> fullSuite();
+
+/**
+ * Shared-memory multiprocessor workloads (require the MultiMachine's
+ * r25/r26 id/count convention; not part of fullSuite).
+ */
+std::vector<Workload> parallelWorkloads();
+
+/** Result of running one workload on the pipeline machine. */
+struct WorkloadRun
+{
+    bool passed = false;
+    core::StopReason reason = core::StopReason::Running;
+    core::PipelineStats pipeline;
+    double icacheMissRatio = 0;
+    double icacheFetchCost = 0;
+    double ecacheMissRatio = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t ecacheAccesses = 0;
+    reorg::ReorgStats reorg;
+};
+
+/**
+ * Assemble, validate on the sequential ISS, reorganize, and run on the
+ * pipeline machine; throws SimError if the workload fails its own check
+ * anywhere along the way.
+ */
+WorkloadRun runWorkload(const Workload &w,
+                        const sim::MachineConfig &machine_cfg = {},
+                        const reorg::ReorgConfig &reorg_cfg = {});
+
+/**
+ * Collect a per-branch taken-fraction profile by running the workload on
+ * the sequential ISS (the paper's "static prediction ... possibly with
+ * profiling").
+ */
+std::map<addr_t, double> collectProfile(const Workload &w);
+
+/** Emit the 32-mstep multiply subroutine `mul32` (r2 *= r3, uses r4). */
+std::string mul32Routine();
+
+} // namespace mipsx::workload
+
+#endif // MIPSX_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared helpers for the test suite: assemble-and-run on the ISS and on
+ * the pipeline machine.
+ */
+
+#ifndef MIPSX_TESTS_HELPERS_HH
+#define MIPSX_TESTS_HELPERS_HH
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "memory/main_memory.hh"
+#include "sim/machine.hh"
+
+namespace mipsx::test
+{
+
+/** Assemble or die with the assembler's diagnostic. */
+inline assembler::Program
+asmOrDie(const std::string &src)
+{
+    return assembler::assemble(src, "test.s");
+}
+
+/** Run a program on the sequential ISS; returns the ISS for inspection. */
+struct IssRun
+{
+    memory::MainMemory mem;
+    std::unique_ptr<sim::Iss> iss;
+    sim::IssStop reason;
+
+    word_t gpr(unsigned r) const { return iss->gpr(r); }
+    word_t
+    word(addr_t a, AddressSpace s = AddressSpace::User) const
+    {
+        return mem.read(s, a);
+    }
+};
+
+inline IssRun
+runSequential(const assembler::Program &prog, sim::IssConfig cfg = {})
+{
+    IssRun r;
+    r.mem.loadProgram(prog);
+    if (prog.entrySpace == AddressSpace::System)
+        cfg.initialPsw |= isa::psw_bits::mode;
+    r.iss = std::make_unique<sim::Iss>(cfg, r.mem);
+    r.iss->attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+    r.iss->reset(prog.entry);
+    r.iss->setGpr(isa::reg::sp, 0x70000);
+    r.reason = r.iss->run();
+    return r;
+}
+
+inline IssRun
+runDelayed(const assembler::Program &prog, unsigned delay = 2)
+{
+    sim::IssConfig cfg;
+    cfg.mode = sim::IssMode::Delayed;
+    cfg.branchDelay = delay;
+    return runSequential(prog, cfg);
+}
+
+/** Assemble source and run it on the pipeline machine. */
+struct PipelineRun
+{
+    std::unique_ptr<sim::Machine> machine;
+    assembler::Program prog;
+    core::RunResult result;
+
+    word_t gpr(unsigned r) const { return machine->cpu().gpr(r); }
+    word_t
+    word(addr_t a, AddressSpace s = AddressSpace::User) const
+    {
+        return machine->readWord(s, a);
+    }
+    const core::PipelineStats &stats() const
+    {
+        return machine->cpu().stats();
+    }
+};
+
+inline PipelineRun
+runPipeline(const std::string &src, sim::MachineConfig cfg = {})
+{
+    PipelineRun r;
+    r.prog = asmOrDie(src);
+    r.machine = std::make_unique<sim::Machine>(cfg);
+    r.machine->load(r.prog);
+    r.result = r.machine->run();
+    return r;
+}
+
+inline PipelineRun
+runPipelineProg(const assembler::Program &prog, sim::MachineConfig cfg = {})
+{
+    PipelineRun r;
+    r.prog = prog;
+    r.machine = std::make_unique<sim::Machine>(cfg);
+    r.machine->load(r.prog);
+    r.result = r.machine->run();
+    return r;
+}
+
+} // namespace mipsx::test
+
+#endif // MIPSX_TESTS_HELPERS_HH

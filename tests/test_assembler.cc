@@ -1,0 +1,376 @@
+/** @file Assembler tests: syntax, layout, symbols, diagnostics. */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "isa/encode.hh"
+
+using namespace mipsx;
+using namespace mipsx::assembler;
+using namespace mipsx::isa;
+
+TEST(Assembler, MinimalProgram)
+{
+    const auto p = assemble("start: add r1, r2, r3\n halt\n");
+    ASSERT_EQ(p.sections.size(), 1u);
+    const auto &t = p.text();
+    EXPECT_EQ(t.base, defaultTextBase);
+    ASSERT_EQ(t.words.size(), 2u);
+    EXPECT_EQ(t.words[0], encodeCompute(ComputeOp::Add, 2, 3, 1));
+    EXPECT_EQ(t.words[1], encodeTrap(trapCodeHalt));
+    EXPECT_EQ(p.entry, defaultTextBase);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const auto p = assemble("; leading comment\n\n"
+                            "  nop  # trailing\n"
+                            "  halt\n");
+    EXPECT_EQ(p.text().words.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const auto p = assemble(R"(
+start:  addi r1, r0, 10
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+)");
+    const auto &t = p.text();
+    ASSERT_EQ(t.words.size(), 4u);
+    const Instruction br = decode(t.words[2]);
+    EXPECT_EQ(br.cond, BranchCond::Ne);
+    // loop is at base+1; branch at base+2; disp = 1 - (2+1) = -2.
+    EXPECT_EQ(br.imm, -2);
+    EXPECT_EQ(p.symbol("loop"), defaultTextBase + 1);
+}
+
+TEST(Assembler, SquashSuffixes)
+{
+    const auto p = assemble(R"(
+l:      beq.sq  r1, r2, l
+        beq.sqn r1, r2, l
+        beq     r1, r2, l
+        halt
+)");
+    EXPECT_EQ(decode(p.text().words[0]).squash,
+              SquashType::SquashNotTaken);
+    EXPECT_EQ(decode(p.text().words[1]).squash, SquashType::SquashTaken);
+    EXPECT_EQ(decode(p.text().words[2]).squash, SquashType::NoSquash);
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    const auto p = assemble(R"(
+        .data
+val:    .word 7
+        .text
+        ld  r1, 8(sp)
+        ld  r2, val
+        ld  r3, val(r4)
+        ld  r4, val+1
+        st  r1, -4(fp)
+        halt
+)");
+    const auto &t = p.text();
+    const addr_t val = p.symbol("val");
+    EXPECT_EQ(val, defaultDataBase);
+    EXPECT_EQ(t.words[0], encodeMem(MemOp::Ld, reg::sp, 1, 8));
+    EXPECT_EQ(t.words[1],
+              encodeMem(MemOp::Ld, 0, 2, static_cast<std::int32_t>(val)));
+    EXPECT_EQ(t.words[2],
+              encodeMem(MemOp::Ld, 4, 3, static_cast<std::int32_t>(val)));
+    EXPECT_EQ(t.words[3],
+              encodeMem(MemOp::Ld, 0, 4,
+                        static_cast<std::int32_t>(val + 1)));
+    EXPECT_EQ(t.words[4], encodeMem(MemOp::St, reg::fp, 1, -4));
+}
+
+TEST(Assembler, LiExpandsToTwoWords)
+{
+    const auto p = assemble("li r1, 0xdeadbeef\n halt\n");
+    const auto &t = p.text();
+    ASSERT_EQ(t.words.size(), 3u);
+    // Verify reconstruction: (hi << 15) + lo == value.
+    const Instruction hi = decode(t.words[0]);
+    const Instruction lo = decode(t.words[1]);
+    EXPECT_EQ(hi.immOp, ImmOp::Lih);
+    EXPECT_EQ(lo.immOp, ImmOp::Addi);
+    const word_t v = (static_cast<word_t>(hi.imm) << 15) +
+        static_cast<word_t>(lo.imm);
+    EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST(Assembler, LiNegativeAndSmall)
+{
+    for (const long long value :
+         {0LL, -1LL, 42LL, -65536LL, 0x7fffffffLL, -0x80000000LL}) {
+        const auto p = assemble("li r1, " + std::to_string(value) +
+                                "\n halt\n");
+        const Instruction hi = decode(p.text().words[0]);
+        const Instruction lo = decode(p.text().words[1]);
+        const word_t v = (static_cast<word_t>(hi.imm) << 15) +
+            static_cast<word_t>(lo.imm);
+        EXPECT_EQ(v, static_cast<word_t>(value)) << value;
+    }
+}
+
+TEST(Assembler, PseudoOps)
+{
+    const auto p = assemble(R"(
+        nop
+        mov r1, r2
+        neg r3, r4
+        bz  r1, out
+        bnz r1, out
+        b   out
+out:    call out
+        ret
+        fail
+        halt
+)");
+    const auto &t = p.text();
+    EXPECT_EQ(t.words[0], nopWord);
+    EXPECT_EQ(t.words[1], encodeCompute(ComputeOp::Add, 2, 0, 1));
+    EXPECT_EQ(t.words[2], encodeCompute(ComputeOp::Sub, 0, 4, 3));
+    EXPECT_EQ(decode(t.words[3]).cond, BranchCond::Eq);
+    EXPECT_EQ(decode(t.words[4]).cond, BranchCond::Ne);
+    EXPECT_EQ(decode(t.words[5]).cond, BranchCond::T);
+    EXPECT_EQ(decode(t.words[6]).immOp, ImmOp::Jal);
+    EXPECT_EQ(decode(t.words[6]).destReg(), reg::ra);
+    EXPECT_EQ(t.words[7], encodeJumpReg(ImmOp::Jr, reg::ra, 0, 0));
+    EXPECT_EQ(t.words[8], encodeTrap(trapCodeFail));
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const auto p = assemble(R"(
+        .data
+a:      .word 1, 2, 3
+b:      .space 4
+c:      .word 0xffffffff
+        .text
+        halt
+)");
+    const auto &d = p.sections[0];
+    ASSERT_EQ(d.words.size(), 8u);
+    EXPECT_EQ(d.words[0], 1u);
+    EXPECT_EQ(d.words[2], 3u);
+    EXPECT_EQ(d.words[3], 0u);
+    EXPECT_EQ(d.words[7], 0xffffffffu);
+    EXPECT_EQ(p.symbol("b"), p.symbol("a") + 3);
+    EXPECT_EQ(p.symbol("c"), p.symbol("a") + 7);
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    const auto p = assemble(R"(
+        .equ N, 10
+        .equ M, N+5
+        addi r1, r0, N
+        addi r2, r0, M
+        addi r3, r0, M-N
+        halt
+)");
+    EXPECT_EQ(decode(p.text().words[0]).imm, 10);
+    EXPECT_EQ(decode(p.text().words[1]).imm, 15);
+    EXPECT_EQ(decode(p.text().words[2]).imm, 5);
+}
+
+TEST(Assembler, AlignPadsText)
+{
+    const auto p = assemble(R"(
+        nop
+        .align 16
+target: halt
+)");
+    EXPECT_EQ(p.symbol("target") % 16, 0u);
+    // Padding in text is no-ops.
+    EXPECT_EQ(p.text().words[1], nopWord);
+}
+
+TEST(Assembler, SystemTextSection)
+{
+    const auto p = assemble(R"(
+        .systext
+handler: jpc
+        .text
+_start: halt
+)");
+    ASSERT_EQ(p.sections.size(), 2u);
+    EXPECT_EQ(p.sections[0].space, AddressSpace::System);
+    EXPECT_EQ(p.sections[0].base, exceptionVector);
+    EXPECT_EQ(p.entrySpace, AddressSpace::User);
+    EXPECT_EQ(p.entry, p.symbol("_start"));
+}
+
+TEST(Assembler, SectionsResumeAfterSwitch)
+{
+    const auto p = assemble(R"(
+        .text
+        nop
+        .data
+x:      .word 1
+        .text
+second: halt
+)");
+    EXPECT_EQ(p.symbol("second"), defaultTextBase + 1);
+    EXPECT_EQ(p.text().words.size(), 2u);
+}
+
+TEST(Assembler, CoprocessorSyntax)
+{
+    const auto p = assemble(R"(
+        aluc   c2, 0x3ff
+        movfrc r5, c2, 1
+        movtoc c2, 0, r6
+        ldf    f3, 0(r1)
+        stf    f3, 4(r1)
+        halt
+)");
+    const auto &t = p.text();
+    EXPECT_EQ(decode(t.words[0]).copNum(), 2u);
+    EXPECT_EQ(decode(t.words[0]).copOp(), 0x3ffu);
+    EXPECT_EQ(decode(t.words[1]).destReg(), 5);
+    EXPECT_EQ(decode(t.words[2]).rs2, 6);
+    EXPECT_EQ(decode(t.words[3]).aux, 3);
+    EXPECT_EQ(decode(t.words[4]).memOp, MemOp::Stf);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus r1\n", "file.s");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("file.s:2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Assembler, ErrorOnRedefinedSymbol)
+{
+    EXPECT_THROW(assemble("a: nop\na: nop\n"), SimError);
+}
+
+TEST(Assembler, ErrorOnUndefinedSymbol)
+{
+    EXPECT_THROW(assemble("b missing\n"), SimError);
+}
+
+TEST(Assembler, ErrorOnRangeViolations)
+{
+    EXPECT_THROW(assemble("addi r1, r0, 200000\n"), SimError);
+    EXPECT_THROW(assemble("sll r1, r2, 32\n"), SimError);
+    EXPECT_THROW(assemble("ld r1, 70000(r0)\n"), SimError);
+}
+
+TEST(Assembler, ErrorOnDataInstructions)
+{
+    EXPECT_THROW(assemble(".data\nadd r1, r2, r3\n"), SimError);
+}
+
+TEST(Assembler, MovtosMovfrsSyntax)
+{
+    const auto p = assemble(R"(
+        movfrs r1, psw
+        movtos md, r2
+        movfrs r3, pchain1
+        halt
+)");
+    const auto &t = p.text();
+    EXPECT_EQ(t.words[0],
+              encodeMovSpecial(ComputeOp::Movfrs, SpecialReg::Psw, 1));
+    EXPECT_EQ(t.words[1],
+              encodeMovSpecial(ComputeOp::Movtos, SpecialReg::Md, 2));
+    EXPECT_EQ(t.words[2],
+              encodeMovSpecial(ComputeOp::Movfrs, SpecialReg::PcChain1,
+                               3));
+}
+
+TEST(Assembler, DisassembleRoundTripOnProgram)
+{
+    // Every assembled word must disassemble to something (and no word in
+    // a simple program may decode as invalid).
+    const auto p = assemble(R"(
+        li   r1, 123456
+        addi r2, r1, 1
+        sub  r3, r2, r1
+loop:   bne  r3, r0, loop
+        jmp  end
+end:    halt
+)");
+    for (const auto w : p.text().words) {
+        EXPECT_TRUE(isa::decode(w).valid);
+        EXPECT_FALSE(isa::disassemble(w).empty());
+    }
+}
+
+TEST(Assembler, ReptExpandsBlocks)
+{
+    const auto p = assemble(R"(
+        .rept 3
+        addi r1, r1, 1
+        .endr
+        halt
+)");
+    ASSERT_EQ(p.text().words.size(), 4u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(p.text().words[i], encodeImm(ImmOp::Addi, 1, 1, 1));
+}
+
+TEST(Assembler, ReptNests)
+{
+    const auto p = assemble(R"(
+        .rept 2
+        nop
+        .rept 3
+        addi r2, r2, 1
+        .endr
+        .endr
+        halt
+)");
+    // 2 * (1 nop + 3 addi) + halt = 9 words.
+    ASSERT_EQ(p.text().words.size(), 9u);
+    EXPECT_EQ(p.text().words[0], nopWord);
+    EXPECT_EQ(p.text().words[4], nopWord);
+}
+
+TEST(Assembler, ReptZeroEmitsNothing)
+{
+    const auto p = assemble(R"(
+        .rept 0
+        fail
+        .endr
+        halt
+)");
+    EXPECT_EQ(p.text().words.size(), 1u);
+}
+
+TEST(Assembler, ReptDiagnostics)
+{
+    EXPECT_THROW(assemble(".rept 2\nnop\n"), SimError);   // no .endr
+    EXPECT_THROW(assemble(".endr\n"), SimError);          // stray .endr
+    EXPECT_THROW(assemble(".rept -1\nnop\n.endr\n"), SimError);
+}
+
+TEST(Assembler, ReptMultiplySequence)
+{
+    // The 32-step multiply, the .rept way.
+    const auto p = assemble(R"(
+_start: addi r1, r0, 77
+        addi r2, r0, 991
+        movtos md, r1
+        add  r3, r0, r0
+        .rept 32
+        mstep r3, r3, r2
+        .endr
+        halt
+)");
+    EXPECT_EQ(p.text().words.size(), 4u + 32u + 1u);
+}

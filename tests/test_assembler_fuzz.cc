@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Assembler robustness fuzzing: arbitrary byte soup and mutated valid
+ * programs must either assemble or raise SimError with a location —
+ * never crash, hang or silently mis-assemble.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+/** Assemble and classify the outcome. */
+enum class Outcome { Ok, Diagnosed };
+
+Outcome
+tryAssemble(const std::string &src)
+{
+    try {
+        const auto p = assembler::assemble(src, "fuzz.s");
+        (void)p;
+        return Outcome::Ok;
+    } catch (const SimError &e) {
+        // Diagnostics must carry the file name (and thus a location).
+        EXPECT_NE(std::string(e.what()).find("fuzz.s"),
+                  std::string::npos)
+            << e.what();
+        return Outcome::Diagnosed;
+    }
+}
+
+} // namespace
+
+class AssemblerFuzz : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(AssemblerFuzz, RandomTokenSoupNeverCrashes)
+{
+    std::mt19937 rng(GetParam());
+    static const char *words[] = {
+        "add",  "ld",   "st",   "beq",  "jmp",  "jal",  "trap", "li",
+        "r1",   "r31",  "r99",  "sp",   "ra",   "f2",   "c3",   "md",
+        "psw",  ".text", ".data", ".word", ".space", ".equ", ".org",
+        "label", "0x10", "42",  "-7",   "65536", ",",   "(",    ")",
+        ":",    "+",    "-",    "nop",  "halt", "movfrs", "mstep",
+    };
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string src;
+        const int lines = 1 + static_cast<int>(rng() % 8);
+        for (int l = 0; l < lines; ++l) {
+            const int toks = static_cast<int>(rng() % 6);
+            for (int t = 0; t < toks; ++t) {
+                src += words[rng() % (sizeof(words) / sizeof(*words))];
+                src += rng() % 4 ? " " : "";
+            }
+            src += "\n";
+        }
+        tryAssemble(src); // must not crash or hang
+    }
+}
+
+TEST_P(AssemblerFuzz, MutatedValidProgramsAreHandled)
+{
+    // Take a real workload source and flip characters; every mutation
+    // must assemble cleanly or be diagnosed.
+    const auto base = workload::pascalWorkloads().front().source;
+    std::mt19937 rng(GetParam() * 31 + 7);
+    static const char alphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 ,():.+-#;\n";
+    for (int trial = 0; trial < 120; ++trial) {
+        std::string src = base;
+        const int flips = 1 + static_cast<int>(rng() % 4);
+        for (int f = 0; f < flips; ++f) {
+            const auto pos = rng() % src.size();
+            src[pos] = alphabet[rng() % (sizeof(alphabet) - 1)];
+        }
+        tryAssemble(src);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz,
+                         ::testing::Values(5u, 55u, 555u));

@@ -1,0 +1,90 @@
+/** @file Unit tests for the bit-field helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+
+using namespace mipsx;
+
+TEST(Bitfield, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeefu, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeefu, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffffffffu, 31, 0), 0xffffffffu);
+    EXPECT_EQ(bits(0x0u, 31, 0), 0x0u);
+}
+
+TEST(Bitfield, SingleBit)
+{
+    EXPECT_EQ(bit(0x80000000u, 31), 1u);
+    EXPECT_EQ(bit(0x80000000u, 30), 0u);
+    EXPECT_EQ(bit(0x1u, 0), 1u);
+}
+
+TEST(Bitfield, InsertBitsRoundTrips)
+{
+    const std::uint32_t w = insertBits(0, 16, 0, 0x1ffff);
+    EXPECT_EQ(bits(w, 16, 0), 0x1ffffu);
+    EXPECT_EQ(bits(w, 31, 17), 0u);
+
+    std::uint32_t v = 0xffffffffu;
+    v = insertBits(v, 15, 8, 0x00);
+    EXPECT_EQ(v, 0xffff00ffu);
+}
+
+TEST(Bitfield, InsertBitsMasksField)
+{
+    // Excess high bits of the field must not leak.
+    EXPECT_EQ(insertBits(0, 3, 0, 0xffu), 0xfu);
+}
+
+TEST(Bitfield, SextSignExtends)
+{
+    EXPECT_EQ(sext(0x1ffff, 17), -1);
+    EXPECT_EQ(sext(0x0ffff, 17), 0xffff);
+    EXPECT_EQ(sext(0x10000, 17), -65536);
+    EXPECT_EQ(sext(0x7fff, 15), -1);
+    EXPECT_EQ(sext(0x3fff, 15), 0x3fff);
+    EXPECT_EQ(sext(0xffffffffu, 32), -1);
+}
+
+TEST(Bitfield, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(65535, 17));
+    EXPECT_TRUE(fitsSigned(-65536, 17));
+    EXPECT_FALSE(fitsSigned(65536, 17));
+    EXPECT_FALSE(fitsSigned(-65537, 17));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(Bitfield, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(0x1ffff, 17));
+    EXPECT_FALSE(fitsUnsigned(0x20000, 17));
+}
+
+TEST(Bitfield, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(512), 9u);
+}
+
+TEST(Bitfield, SextInsertRoundTripProperty)
+{
+    // For every width and a spread of values: insert then sign-extend
+    // recovers the original signed value.
+    for (unsigned width = 2; width <= 17; ++width) {
+        const std::int32_t lim = 1 << (width - 1);
+        for (std::int32_t v : {-lim, -1, 0, 1, lim - 1}) {
+            const auto w = insertBits(0, width - 1, 0,
+                                      static_cast<std::uint32_t>(v));
+            EXPECT_EQ(sext(w, width), v) << "width=" << width;
+        }
+    }
+}

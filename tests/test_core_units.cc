@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Direct unit tests for the small core components: PSW, PC chain, the
+ * two control FSMs — plus the tick()/step() equivalence that the
+ * multiprocessor's lockstep interleaving depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/miss_fsm.hh"
+#include "core/pc_unit.hh"
+#include "core/psw.hh"
+#include "core/squash_fsm.hh"
+#include "helpers.hh"
+#include "mp/multi_machine.hh"
+#include "reorg/scheduler.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using namespace mipsx::core;
+using namespace mipsx::test;
+
+// ---------------------------------------------------------------------
+// Psw
+// ---------------------------------------------------------------------
+
+TEST(PswUnit, BitAccessors)
+{
+    Psw p(isa::psw_bits::mode | isa::psw_bits::ie |
+          isa::psw_bits::shiftEn);
+    EXPECT_TRUE(p.systemMode());
+    EXPECT_TRUE(p.interruptsEnabled());
+    EXPECT_FALSE(p.overflowTrapEnabled());
+    EXPECT_TRUE(p.shiftEnabled());
+    EXPECT_EQ(p.space(), AddressSpace::System);
+    EXPECT_EQ(Psw(0).space(), AddressSpace::User);
+}
+
+TEST(PswUnit, ExceptionEntryState)
+{
+    // User mode, interrupts on, overflow trap on, shifting on.
+    const Psw user(isa::psw_bits::ie | isa::psw_bits::ovfe |
+                   isa::psw_bits::shiftEn);
+    const Psw entry = Psw::exceptionEntry(user, isa::psw_bits::cTrap);
+    EXPECT_TRUE(entry.systemMode()) << "exception enters system mode";
+    EXPECT_FALSE(entry.interruptsEnabled()) << "interrupts turned off";
+    EXPECT_FALSE(entry.shiftEnabled()) << "the PC chain freezes";
+    EXPECT_TRUE(entry.overflowTrapEnabled()) << "ovfe is preserved";
+    EXPECT_TRUE(entry.bits() & isa::psw_bits::cTrap);
+}
+
+// ---------------------------------------------------------------------
+// PcChain
+// ---------------------------------------------------------------------
+
+TEST(PcChainUnit, ShiftPopAndEntries)
+{
+    PcChain c;
+    c.shift(PcChain::makeEntry(10, false), PcChain::makeEntry(11, true),
+            PcChain::makeEntry(12, false));
+    EXPECT_EQ(PcChain::entryPc(c.read(0)), 10u);
+    EXPECT_TRUE(PcChain::entrySquashed(c.read(1)));
+    EXPECT_FALSE(PcChain::entrySquashed(c.read(2)));
+
+    EXPECT_EQ(PcChain::entryPc(c.pop()), 10u);
+    EXPECT_EQ(PcChain::entryPc(c.pop()), 11u);
+    EXPECT_EQ(PcChain::entryPc(c.pop()), 12u);
+    EXPECT_EQ(c.read(0), 0u) << "consumed entries drain to zero";
+}
+
+TEST(PcChainUnit, WriteIsHandlerVisible)
+{
+    PcChain c;
+    c.write(1, PcChain::makeEntry(99, true));
+    EXPECT_EQ(PcChain::entryPc(c.read(1)), 99u);
+    EXPECT_TRUE(PcChain::entrySquashed(c.read(1)));
+}
+
+// ---------------------------------------------------------------------
+// The FSMs
+// ---------------------------------------------------------------------
+
+TEST(SquashFsmUnit, TransitionsAndOutputs)
+{
+    SquashFsm fsm;
+    auto out = fsm.tick(false, false);
+    EXPECT_EQ(fsm.state(), SquashState::Run);
+    EXPECT_FALSE(out.squashIfRf);
+    EXPECT_FALSE(out.killAluMem);
+
+    out = fsm.tick(true, false); // a mispredicted squashing branch
+    EXPECT_EQ(fsm.state(), SquashState::BranchSquash);
+    EXPECT_TRUE(out.squashIfRf);
+    EXPECT_FALSE(out.killAluMem);
+
+    out = fsm.tick(false, true); // an exception
+    EXPECT_EQ(fsm.state(), SquashState::Exception);
+    EXPECT_TRUE(out.squashIfRf);
+    EXPECT_TRUE(out.killAluMem);
+
+    // Exception wins when both fire (the paper's "single extra input").
+    out = fsm.tick(true, true);
+    EXPECT_EQ(fsm.state(), SquashState::Exception);
+
+    EXPECT_EQ(fsm.occupancy(SquashState::Run), 1u);
+    EXPECT_EQ(fsm.occupancy(SquashState::BranchSquash), 1u);
+    EXPECT_EQ(fsm.occupancy(SquashState::Exception), 2u);
+    fsm.reset();
+    EXPECT_EQ(fsm.occupancy(SquashState::Exception), 0u);
+}
+
+TEST(CacheMissFsmUnit, StallAccounting)
+{
+    CacheMissFsm fsm;
+    EXPECT_FALSE(fsm.stalled());
+    fsm.noteRun();
+    fsm.startIMiss(2);
+    EXPECT_TRUE(fsm.stalled());
+    EXPECT_EQ(fsm.state(), MissState::IMiss);
+    fsm.tick();
+    fsm.startEMiss(3); // a refill that misses the Ecache extends it
+    EXPECT_EQ(fsm.state(), MissState::EMiss);
+    unsigned stalls = 0;
+    while (fsm.stalled()) {
+        fsm.tick();
+        ++stalls;
+    }
+    EXPECT_EQ(stalls, 4u); // 1 remaining IMiss + 3 EMiss
+    EXPECT_EQ(fsm.state(), MissState::Run);
+    EXPECT_EQ(fsm.occupancy(MissState::Run), 1u);
+    EXPECT_EQ(fsm.occupancy(MissState::IMiss) +
+                  fsm.occupancy(MissState::EMiss),
+              5u);
+}
+
+// ---------------------------------------------------------------------
+// tick() == step()
+// ---------------------------------------------------------------------
+
+TEST(TickStep, CycleGranularExecutionIsIdentical)
+{
+    // The multiprocessor interleaves CPUs with tick(); a single CPU
+    // driven by tick() must match one driven by step() exactly.
+    const auto w = workload::pascalWorkloads().at(2); // matmul
+    const auto prog = asmOrDie(w.source);
+    const auto sched = reorg::reorganize(prog, {}, nullptr);
+
+    sim::Machine a{sim::MachineConfig{}};
+    a.load(sched);
+    a.cpu().reset(sched.entry);
+    a.cpu().setGpr(isa::reg::sp, 0x70000);
+    while (!a.cpu().stopped())
+        a.cpu().step();
+
+    sim::Machine b{sim::MachineConfig{}};
+    b.load(sched);
+    b.cpu().reset(sched.entry);
+    b.cpu().setGpr(isa::reg::sp, 0x70000);
+    while (!b.cpu().stopped())
+        b.cpu().tick();
+
+    EXPECT_EQ(a.cpu().stopReason(), core::StopReason::Halt);
+    EXPECT_EQ(b.cpu().stopReason(), core::StopReason::Halt);
+    EXPECT_EQ(a.cpu().stats().cycles, b.cpu().stats().cycles);
+    EXPECT_EQ(a.cpu().stats().committed, b.cpu().stats().committed);
+    for (unsigned r = 1; r < 32; ++r)
+        EXPECT_EQ(a.cpu().gpr(r), b.cpu().gpr(r)) << "r" << r;
+}
+
+TEST(TickStep, MultiMachineIsDeterministic)
+{
+    const auto w = workload::parallelWorkloads().at(0);
+    const auto prog = asmOrDie(w.source);
+    const auto sched = reorg::reorganize(prog, {}, nullptr);
+    auto once = [&sched]() {
+        mp::MultiMachineConfig mc;
+        mc.cpus = 4;
+        mp::MultiMachine m(mc);
+        m.load(sched);
+        const auto r = m.run();
+        EXPECT_TRUE(r.allHalted);
+        return std::tuple(r.cycles, r.instructions, r.busWaitCycles,
+                          r.invalidations);
+    };
+    EXPECT_EQ(once(), once());
+}

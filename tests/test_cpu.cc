@@ -1,0 +1,374 @@
+/** @file Cycle-accurate pipeline tests: bypass, delays, squash, caches. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+
+TEST(Pipeline, StraightLineArithmeticWithBypass)
+{
+    // Back-to-back dependent computes exercise the distance-1 bypass.
+    auto r = runPipeline(R"(
+        addi r1, r0, 3
+        add  r2, r1, r1   ; needs r1 via bypass
+        add  r3, r2, r1   ; needs r2 via bypass, r1 via regfile
+        add  r4, r3, r2
+        halt
+)");
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(1), 3u);
+    EXPECT_EQ(r.gpr(2), 6u);
+    EXPECT_EQ(r.gpr(3), 9u);
+    EXPECT_EQ(r.gpr(4), 15u);
+    EXPECT_EQ(r.stats().hazardViolations, 0u);
+}
+
+TEST(Pipeline, LoadDelaySlotSeesOldValue)
+{
+    auto r = runPipeline(R"(
+        .data
+v:      .word 99
+        .text
+        addi r1, r0, 5
+        ld   r1, v
+        add  r2, r1, r0   ; load delay: old r1
+        add  r3, r1, r0   ; new r1
+        halt
+)");
+    EXPECT_EQ(r.gpr(2), 5u);
+    EXPECT_EQ(r.gpr(3), 99u);
+    EXPECT_EQ(r.stats().hazardViolations, 1u);
+}
+
+TEST(Pipeline, LoadWithScheduledSlotHasNoHazard)
+{
+    auto r = runPipeline(R"(
+        .data
+v:      .word 99
+        .text
+        ld   r1, v
+        nop
+        add  r3, r1, r0
+        halt
+)");
+    EXPECT_EQ(r.gpr(3), 99u);
+    EXPECT_EQ(r.stats().hazardViolations, 0u);
+}
+
+TEST(Pipeline, StoreDataBypassesFromDistanceOne)
+{
+    auto r = runPipeline(R"(
+        .data
+out:    .space 1
+        .text
+        addi r1, r0, 7
+        st   r1, out      ; store data resolved at ALU via bypass
+        halt
+)");
+    EXPECT_EQ(r.word(r.prog.symbol("out")), 7u);
+}
+
+TEST(Pipeline, BranchHasTwoDelaySlots)
+{
+    auto r = runPipeline(R"(
+        b    target
+        addi r2, r0, 2   ; slot 1 executes
+        addi r3, r0, 3   ; slot 2 executes
+        addi r4, r0, 4   ; not reached
+target: halt
+)");
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 3u);
+    EXPECT_EQ(r.gpr(4), 0u);
+}
+
+TEST(Pipeline, SquashingBranchKillsSlotsOnWrongDirection)
+{
+    auto r = runPipeline(R"(
+        addi r1, r0, 1
+        beq.sq r1, r0, target  ; predicted taken, falls through
+        addi r2, r0, 2         ; squashed
+        addi r3, r0, 3         ; squashed
+        addi r4, r0, 4
+target: halt
+)");
+    EXPECT_EQ(r.gpr(2), 0u);
+    EXPECT_EQ(r.gpr(3), 0u);
+    EXPECT_EQ(r.gpr(4), 4u);
+    EXPECT_EQ(r.stats().squashed, 2u);
+    EXPECT_EQ(r.stats().branchSquashTriggers, 1u);
+}
+
+TEST(Pipeline, SquashTakenVariant)
+{
+    auto r = runPipeline(R"(
+        beq.sqn r0, r0, target ; predicted NOT taken, but taken: squash
+        addi r2, r0, 2         ; squashed
+        addi r3, r0, 3         ; squashed
+        addi r4, r0, 4         ; skipped (branch taken)
+target: halt
+)");
+    EXPECT_EQ(r.gpr(2), 0u);
+    EXPECT_EQ(r.gpr(3), 0u);
+    EXPECT_EQ(r.gpr(4), 0u);
+    EXPECT_EQ(r.stats().squashed, 2u);
+}
+
+TEST(Pipeline, NoSquashSlotsAlwaysExecute)
+{
+    auto r = runPipeline(R"(
+        addi r1, r0, 1
+        beq  r1, r0, target    ; not taken, no squash
+        addi r2, r0, 2         ; executes
+        addi r3, r0, 3         ; executes
+        addi r4, r0, 4
+target: halt
+)");
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 3u);
+    EXPECT_EQ(r.gpr(4), 4u);
+    EXPECT_EQ(r.stats().squashed, 0u);
+}
+
+TEST(Pipeline, LoopMatchesIss)
+{
+    const std::string src = R"(
+        addi r1, r0, 20
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        nop
+        nop
+        halt
+)";
+    auto r = runPipeline(src);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(2), 210u);
+    // 20 iterations: branch resolved 20 times, taken 19.
+    EXPECT_EQ(r.stats().branches, 20u);
+    EXPECT_EQ(r.stats().branchesTaken, 19u);
+}
+
+TEST(Pipeline, JalLinkValueIsPcPlus3)
+{
+    auto r = runPipeline(R"(
+_start: jal ra, func
+        nop
+        nop
+        addi r5, r5, 1
+        halt
+func:   movfrs r6, md    ; arbitrary
+        ret
+        nop
+        nop
+)");
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(5), 1u);
+    EXPECT_EQ(r.gpr(31), r.prog.entry + 3);
+}
+
+TEST(Pipeline, CyclesReflectPipelineFill)
+{
+    // N straight-line instructions, no misses beyond the cold Icache
+    // fill: cycles = N + pipeline drain + stalls. With the Icache off we
+    // can count exactly: every fetch costs 1 + missPenalty (+ Ecache).
+    sim::MachineConfig cfg;
+    cfg.cpu.icache.enabled = true;
+    auto r = runPipeline("nop\nnop\nnop\nhalt\n", cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.stats().committed, 4u);
+    EXPECT_GT(r.stats().cycles, 4u); // fill + cold misses
+}
+
+TEST(Pipeline, IcacheDoubleFetchHalvesColdMisses)
+{
+    // A long straight-line program: with the double fetch, cold misses
+    // touch every other word.
+    std::string src;
+    for (int i = 0; i < 64; ++i)
+        src += "addi r1, r1, 1\n";
+    src += "halt\n";
+
+    sim::MachineConfig two;
+    auto r2 = runPipelineProg(asmOrDie(src), two);
+
+    sim::MachineConfig one;
+    one.cpu.icache.fetchWords = 1;
+    auto r1 = runPipelineProg(asmOrDie(src), one);
+
+    EXPECT_EQ(r2.gpr(1), 64u);
+    EXPECT_EQ(r1.gpr(1), 64u);
+    EXPECT_NEAR(
+        static_cast<double>(r1.machine->cpu().icache().misses()),
+        2.0 * r2.machine->cpu().icache().misses(), 2.0);
+    EXPECT_LT(r2.stats().cycles, r1.stats().cycles);
+}
+
+TEST(Pipeline, IcacheDisabledStillCorrect)
+{
+    sim::MachineConfig cfg;
+    cfg.cpu.icache.enabled = false;
+    auto r = runPipeline(R"(
+        addi r1, r0, 10
+        add  r2, r1, r1
+        halt
+)", cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(2), 20u);
+    EXPECT_EQ(r.machine->cpu().icache().misses(),
+              r.machine->cpu().icache().accesses());
+}
+
+TEST(Pipeline, EcacheLateMissStallsPipeline)
+{
+    // Two configurations differing only in Ecache miss penalty: the
+    // slower one must take more cycles for a load-heavy program.
+    const std::string src = R"(
+        .data
+a:      .word 1, 2, 3, 4, 5, 6, 7, 8
+        .text
+        la   r1, a
+        ld   r2, 0(r1)
+        ld   r3, 1(r1)
+        ld   r4, 2(r1)
+        ld   r5, 3(r1)
+        halt
+)";
+    sim::MachineConfig fast;
+    fast.cpu.ecache.missPenalty = 4;
+    sim::MachineConfig slow;
+    slow.cpu.ecache.missPenalty = 40;
+    auto rf = runPipelineProg(asmOrDie(src), fast);
+    auto rs = runPipelineProg(asmOrDie(src), slow);
+    EXPECT_EQ(rf.gpr(5), 4u);
+    EXPECT_EQ(rs.gpr(5), 4u);
+    EXPECT_LT(rf.stats().cycles, rs.stats().cycles);
+}
+
+TEST(Pipeline, MdRegisterMultiplySequence)
+{
+    std::string src = R"(
+        addi r1, r0, 3000
+        addi r2, r0, 4321
+        movtos md, r1
+        add r3, r0, r0
+)";
+    for (int i = 0; i < 32; ++i)
+        src += "        mstep r3, r3, r2\n";
+    src += "        halt\n";
+    auto r = runPipeline(src);
+    EXPECT_EQ(r.gpr(3), 3000u * 4321u);
+}
+
+TEST(Pipeline, CoprocessorCounterRoundTrip)
+{
+    sim::MachineConfig cfg;
+    cfg.attachCounterCop = true;
+    auto r = runPipeline(R"(
+        aluc   c2, 0x005      ; reset to 5
+        aluc   c2, 0x403      ; add 3  (opcode 1 << 10 | 3)
+        movfrc r1, c2, 0
+        nop                   ; movfrc has a load delay
+        add    r2, r1, r0
+        addi   r3, r0, 77
+        movtoc c2, 0, r3
+        movfrc r4, c2, 0
+        nop
+        add    r5, r4, r0
+        halt
+)", cfg);
+    EXPECT_EQ(r.gpr(2), 8u);
+    EXPECT_EQ(r.gpr(5), 77u);
+}
+
+TEST(Pipeline, FpuThroughLdfStf)
+{
+    auto r = runPipeline(R"(
+        .data
+x:      .word 0x40400000   ; 3.0f
+y:      .word 0x40a00000   ; 5.0f
+out:    .space 1
+        .text
+        ldf f1, x
+        ldf f2, y
+        aluc c1, 0x0041     ; fadd f2, f1  (op 0, fd=2, fs=1)
+        stf f2, out
+        halt
+)");
+    EXPECT_EQ(r.word(r.prog.symbol("out")), 0x41000000u); // 8.0f
+}
+
+TEST(Pipeline, DelayOneMachineResolvesAtRf)
+{
+    sim::MachineConfig cfg;
+    cfg.cpu.branchDelay = 1;
+    auto r = runPipeline(R"(
+        b target
+        addi r2, r0, 2   ; the single slot executes
+        addi r3, r0, 3   ; must be skipped
+target: halt
+)", cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 0u);
+}
+
+TEST(Pipeline, DelayOneLoop)
+{
+    sim::MachineConfig cfg;
+    cfg.cpu.branchDelay = 1;
+    auto r = runPipeline(R"(
+        addi r1, r0, 10
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        nop
+        halt
+)", cfg);
+    EXPECT_EQ(r.gpr(2), 55u);
+}
+
+TEST(Pipeline, SquashFsmOccupancy)
+{
+    auto r = runPipeline(R"(
+        addi r1, r0, 1
+        beq.sq r1, r0, t   ; squashes
+        nop
+        nop
+t:      halt
+)");
+    const auto &fsm = r.machine->cpu().squashFsm();
+    EXPECT_GE(fsm.occupancy(core::SquashState::BranchSquash), 1u);
+    EXPECT_GT(fsm.occupancy(core::SquashState::Run), 0u);
+}
+
+TEST(Pipeline, MissFsmOccupancyTracksStalls)
+{
+    auto r = runPipeline("nop\nnop\nhalt\n");
+    const auto &fsm = r.machine->cpu().missFsm();
+    EXPECT_GT(fsm.occupancy(core::MissState::IMiss) +
+                  fsm.occupancy(core::MissState::EMiss),
+              0u);
+    EXPECT_EQ(fsm.occupancy(core::MissState::Run) +
+                  fsm.occupancy(core::MissState::IMiss) +
+                  fsm.occupancy(core::MissState::EMiss),
+              r.stats().cycles);
+}
+
+TEST(Pipeline, InvalidInstructionStops)
+{
+    auto r = runPipeline(".word 0xbf000000\nhalt\n");
+    // fmt=Compute(10).. opcode 63 -> invalid
+    EXPECT_EQ(r.result.reason, core::StopReason::InvalidInstruction);
+}
+
+TEST(Pipeline, FailTrapReported)
+{
+    auto r = runPipeline("addi r1, r0, 1\nfail\n");
+    EXPECT_EQ(r.result.reason, core::StopReason::Fail);
+    EXPECT_EQ(r.gpr(1), 1u);
+}

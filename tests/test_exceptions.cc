@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Pipeline exception-handling tests: the paper's halt-the-pipeline model,
+ * the frozen PC chain, PSW/PSWold, and the restart sequence of three
+ * special jumps (jpc) that reload the pipe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+
+namespace
+{
+
+/**
+ * The canonical handler: counts exceptions in system memory, optionally
+ * marks the faulting instruction's chain entry (pchain1) with the squash
+ * bit so it re-executes as a no-op, restores the PSW and restarts with
+ * three jpc jumps. Hand-scheduled for the 2-delay-slot pipeline.
+ */
+const char *kSkipHandler = R"(
+        .systext 0
+handler:
+        ld     r20, hcount(r0)
+        nop                      ; load delay
+        addi   r20, r20, 1
+        st     r20, hcount(r0)
+        movfrs r21, pchain1      ; the faulting instruction's entry
+        li     r22, 0x80000000   ; the squash flag (bit 31)
+        or     r21, r21, r22
+        movtos pchain1, r21      ; commits 4 cycles later; jpc1 pops
+        movfrs r23, pswold       ;   chain0 the same cycle it commits
+        movtos psw, r23          ; commits exactly when the first user
+        jpc                      ;   word is fetched again
+        jpc
+        jpc
+        .sysdata 0x4000
+hcount: .word 0
+)";
+
+const char *kCountHandler = R"(
+        .systext 0
+handler:
+        ld     r20, hcount(r0)
+        nop
+        addi   r20, r20, 1
+        st     r20, hcount(r0)
+        movfrs r23, pswold
+        movtos psw, r23
+        jpc
+        jpc
+        jpc
+        .sysdata 0x4000
+hcount: .word 0
+)";
+
+} // namespace
+
+TEST(Exceptions, UnhandledExceptionStopsWithDiagnostic)
+{
+    sim::MachineConfig cfg;
+    cfg.cpu.initialPsw = isa::psw_bits::shiftEn | isa::psw_bits::ovfe;
+    auto r = runPipeline(R"(
+        li  r1, 0x7fffffff
+        add r2, r1, r1
+        halt
+)", cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::UnhandledException);
+}
+
+TEST(Exceptions, OverflowTrapSkipsAndResumes)
+{
+    sim::MachineConfig cfg;
+    cfg.cpu.initialPsw = isa::psw_bits::shiftEn | isa::psw_bits::ovfe;
+    auto r = runPipeline(std::string(kSkipHandler) + R"(
+        .text
+_start: li   r1, 0x7fffffff
+        addi r2, r0, 5
+        add  r3, r1, r1     ; overflows; handler squash-skips it
+        addi r4, r2, 1
+        halt
+)", cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(3), 0u) << "faulting add must not commit";
+    EXPECT_EQ(r.gpr(4), 6u) << "execution must resume correctly";
+    EXPECT_EQ(r.word(0x4000, AddressSpace::System), 1u);
+    EXPECT_EQ(r.stats().exceptions, 1u);
+}
+
+TEST(Exceptions, TrapInstructionActsAsSyscall)
+{
+    auto r = runPipeline(std::string(kSkipHandler) + R"(
+        .text
+_start: addi r1, r0, 3
+        trap 42             ; handler counts it and skips it
+        addi r2, r1, 1
+        trap 42
+        addi r3, r2, 1
+        halt
+)");
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(2), 4u);
+    EXPECT_EQ(r.gpr(3), 5u);
+    EXPECT_EQ(r.word(0x4000, AddressSpace::System), 2u);
+    EXPECT_EQ(r.stats().exceptions, 2u);
+}
+
+TEST(Exceptions, PswCauseBitsRecorded)
+{
+    // Stop inside the handler (trap the handler's own first fetch is not
+    // possible; instead run a handler that just halts) and check cause.
+    auto r = runPipeline(R"(
+        .systext 0
+handler: movfrs r9, psw
+        movfrs r10, pswold
+        halt
+        .text
+_start: trap 9
+        nop
+        halt
+)");
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_TRUE(r.gpr(9) & isa::psw_bits::cTrap);
+    EXPECT_TRUE(r.gpr(9) & isa::psw_bits::mode) << "system mode";
+    EXPECT_FALSE(r.gpr(9) & isa::psw_bits::ie) << "interrupts off";
+    EXPECT_FALSE(r.gpr(9) & isa::psw_bits::shiftEn) << "chain frozen";
+    EXPECT_TRUE(r.gpr(10) & isa::psw_bits::shiftEn) << "old PSW saved";
+}
+
+TEST(Exceptions, InterruptResumesTransparently)
+{
+    // Deliver one interrupt mid-loop; the loop's result must be exact.
+    const std::string src = std::string(kCountHandler) + R"(
+        .text
+_start: addi r1, r0, 50
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        nop
+        nop
+        halt
+)";
+    sim::MachineConfig cfg;
+    cfg.cpu.initialPsw = isa::psw_bits::shiftEn | isa::psw_bits::ie;
+    PipelineRun r;
+    r.prog = asmOrDie(src);
+    r.machine = std::make_unique<sim::Machine>(cfg);
+    r.machine->load(r.prog);
+    auto &cpu = r.machine->cpu();
+    cpu.reset(r.prog.entry);
+    cpu.setGpr(isa::reg::sp, 0x70000);
+    bool raised = false;
+    while (!cpu.stopped()) {
+        if (!raised && cpu.stats().cycles > 60) {
+            cpu.raiseInterrupt();
+            raised = true;
+        }
+        cpu.step();
+    }
+    EXPECT_EQ(cpu.stopReason(), core::StopReason::Halt);
+    EXPECT_EQ(cpu.gpr(2), 50u * 51u / 2u);
+    EXPECT_EQ(r.machine->readWord(AddressSpace::System, 0x4000), 1u);
+    EXPECT_EQ(cpu.stats().interrupts, 1u);
+}
+
+TEST(Exceptions, NmiTakenWhileInterruptsMasked)
+{
+    const std::string src = std::string(kCountHandler) + R"(
+        .text
+_start: addi r1, r0, 30
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        nop
+        nop
+        halt
+)";
+    sim::MachineConfig cfg;
+    cfg.cpu.initialPsw = isa::psw_bits::shiftEn; // ie = 0
+    PipelineRun r;
+    r.prog = asmOrDie(src);
+    r.machine = std::make_unique<sim::Machine>(cfg);
+    r.machine->load(r.prog);
+    auto &cpu = r.machine->cpu();
+    cpu.reset(r.prog.entry);
+    bool raised = false;
+    while (!cpu.stopped()) {
+        if (!raised && cpu.stats().cycles > 40) {
+            cpu.raiseNmi();
+            raised = true;
+        }
+        cpu.step();
+    }
+    EXPECT_EQ(cpu.stopReason(), core::StopReason::Halt);
+    EXPECT_EQ(cpu.gpr(2), 30u * 31u / 2u);
+    EXPECT_TRUE(cpu.psw().bits() | isa::psw_bits::cNmi);
+    EXPECT_EQ(cpu.stats().interrupts, 1u);
+}
+
+TEST(Exceptions, InterruptStormOverSquashingLoopIsTransparent)
+{
+    // The hard case: interrupts land while squashed slot instructions
+    // are in flight. The chain's squash flags must keep the squashed
+    // slots dead across the restart (bit-31 convention, DESIGN.md).
+    const std::string src = std::string(kCountHandler) + R"(
+        .text
+_start: addi r1, r0, 40
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne.sq r1, r0, loop   ; squashes on exit
+        add  r2, r2, r1       ; slot from the taken path
+        nop
+        addi r2, r2, 1000     ; runs once after loop exit
+        halt
+)";
+    // Expected: sum over i=40..1 of (i + (i-1)) except the last
+    // iteration squashes its slots... compute via the sequential ISS
+    // reference below instead of by hand.
+    const auto prog_ref = asmOrDie(src);
+    auto ref = runDelayed(prog_ref); // delayed ISS = architectural truth
+    ASSERT_EQ(ref.reason, sim::IssStop::Halt);
+    const word_t expected = ref.gpr(2);
+
+    for (const unsigned period : {23u, 37u, 53u}) {
+        sim::MachineConfig cfg;
+        cfg.cpu.initialPsw = isa::psw_bits::shiftEn | isa::psw_bits::ie;
+        PipelineRun r;
+        r.prog = asmOrDie(src);
+        r.machine = std::make_unique<sim::Machine>(cfg);
+        r.machine->load(r.prog);
+        auto &cpu = r.machine->cpu();
+        cpu.reset(r.prog.entry);
+        cycle_t last = 0;
+        while (!cpu.stopped()) {
+            if (cpu.stats().cycles >= last + period) {
+                cpu.raiseInterrupt();
+                last = cpu.stats().cycles;
+            }
+            cpu.step();
+        }
+        EXPECT_EQ(cpu.stopReason(), core::StopReason::Halt)
+            << "period " << period;
+        EXPECT_EQ(cpu.gpr(2), expected) << "period " << period;
+        EXPECT_GT(cpu.stats().interrupts, 3u) << "period " << period;
+    }
+}
+
+TEST(Exceptions, PrivilegeViolationFromUserMode)
+{
+    auto r2 = runPipeline(R"(
+        .systext 0
+handler: movfrs r9, psw
+        halt
+        .text
+_start: movtos psw, r1
+        halt
+)");
+    EXPECT_EQ(r2.result.reason, core::StopReason::Halt);
+    EXPECT_TRUE(r2.gpr(9) & isa::psw_bits::cPriv);
+}
+
+TEST(Exceptions, ChainHoldsThreePcsAtEntry)
+{
+    // Handler inspects the frozen chain: the three entries must be the
+    // consecutive PCs of the killed MEM/ALU/RF instructions, with the
+    // trap itself in the middle (ALU) slot.
+    auto r = runPipeline(R"(
+        .systext 0
+handler: movfrs r9, pchain0
+        movfrs r10, pchain1
+        movfrs r11, pchain2
+        halt
+        .text
+_start: nop
+        nop
+        trap 1
+        nop
+        nop
+        halt
+)");
+    const addr_t trap_pc = r.prog.entry + 2;
+    EXPECT_EQ(r.gpr(10), trap_pc);
+    EXPECT_EQ(r.gpr(9), trap_pc - 1);
+    EXPECT_EQ(r.gpr(11), trap_pc + 1);
+}
+
+TEST(Exceptions, DataPageFaultRestartsTheMemoryInstruction)
+{
+    // The paper: "All instructions are restartable so MIPS-X will
+    // support a dynamic, paged virtual memory system." A fault arrives
+    // on a load's MEM cycle; the kernel (a soft-TLB-miss handler)
+    // counts it and restarts; the load re-executes and succeeds.
+    const std::string src = std::string(kCountHandler) + R"(
+        .text
+_start: addi r1, r0, 11
+        la   r2, target
+        ld   r3, 0(r2)       ; faults once, then restarts
+        nop                  ; load delay (hand-scheduled test code)
+        addi r4, r3, 1
+        halt
+        .data
+target: .word 777
+)";
+    sim::MachineConfig cfg;
+    PipelineRun r;
+    r.prog = asmOrDie(src);
+    r.machine = std::make_unique<sim::Machine>(cfg);
+    r.machine->load(r.prog);
+    auto &cpu = r.machine->cpu();
+    // Arm the fault on the target word.
+    auto cc = cpu.config();
+    (void)cc;
+    // Configs are taken at construction; rebuild the machine with the
+    // fault armed instead.
+    sim::MachineConfig armed;
+    armed.cpu.pageFaultArmed = true;
+    armed.cpu.pageFaultSpace = AddressSpace::User;
+    armed.cpu.pageFaultAddr = r.prog.symbol("target");
+    r.machine = std::make_unique<sim::Machine>(armed);
+    r.machine->load(r.prog);
+    r.result = r.machine->run();
+
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.gpr(3), 777u) << "the restarted load must succeed";
+    EXPECT_EQ(r.gpr(4), 778u);
+    EXPECT_EQ(r.word(0x4000, AddressSpace::System), 1u)
+        << "exactly one fault serviced";
+    EXPECT_EQ(r.stats().exceptions, 1u);
+}
+
+TEST(Exceptions, PageFaultOnStoreIsAlsoRestartable)
+{
+    const std::string src = std::string(kCountHandler) + R"(
+        .text
+_start: addi r1, r0, 55
+        la   r2, slot
+        st   r1, 0(r2)       ; faults once, restarts, then lands
+        ld   r3, 0(r2)
+        nop
+        addi r4, r3, 1
+        halt
+        .data
+slot:   .space 1
+)";
+    const auto prog = asmOrDie(src);
+    sim::MachineConfig armed;
+    armed.cpu.pageFaultArmed = true;
+    armed.cpu.pageFaultAddr = prog.symbol("slot");
+    auto r = runPipelineProg(prog, armed);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(r.word(prog.symbol("slot")), 55u);
+    EXPECT_EQ(r.gpr(4), 56u);
+    EXPECT_EQ(r.stats().exceptions, 1u);
+    EXPECT_TRUE(r.machine->cpu().psw().bits() | isa::psw_bits::cPage);
+}

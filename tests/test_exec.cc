@@ -1,0 +1,170 @@
+/** @file Execution-semantics tests: ALU, funnel shifter, MD steps. */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/exec.hh"
+#include "isa/decode.hh"
+#include "isa/encode.hh"
+
+using namespace mipsx;
+using namespace mipsx::core;
+using namespace mipsx::isa;
+
+namespace
+{
+
+Instruction
+mk(ComputeOp op, unsigned aux = 0)
+{
+    return decode(encodeCompute(op, 1, 2, 3, aux));
+}
+
+word_t
+run(ComputeOp op, word_t a, word_t b, unsigned aux = 0)
+{
+    return executeCompute(mk(op, aux), a, b, 0).value;
+}
+
+} // namespace
+
+TEST(Alu, AddSubOverflowDetection)
+{
+    EXPECT_FALSE(addOverflow(1, 2).overflow);
+    EXPECT_TRUE(addOverflow(0x7fffffffu, 1).overflow);
+    EXPECT_TRUE(addOverflow(0x80000000u, 0x80000000u).overflow);
+    EXPECT_FALSE(addOverflow(0x80000000u, 0x7fffffffu).overflow);
+
+    EXPECT_FALSE(subOverflow(5, 3).overflow);
+    EXPECT_TRUE(subOverflow(0x80000000u, 1).overflow);
+    EXPECT_TRUE(subOverflow(0x7fffffffu, 0xffffffffu).overflow);
+    EXPECT_FALSE(subOverflow(0, 0).overflow);
+}
+
+TEST(Alu, Logic)
+{
+    EXPECT_EQ(run(ComputeOp::And, 0xff00ff00u, 0x0ff00ff0u), 0x0f000f00u);
+    EXPECT_EQ(run(ComputeOp::Or, 0xff00ff00u, 0x0ff00ff0u), 0xfff0fff0u);
+    EXPECT_EQ(run(ComputeOp::Xor, 0xffffffffu, 0x0f0f0f0fu), 0xf0f0f0f0u);
+    EXPECT_EQ(run(ComputeOp::Bic, 0xffffffffu, 0x0f0f0f0fu), 0xf0f0f0f0u);
+}
+
+TEST(FunnelShifter, ExtractsAcrossTheBoundary)
+{
+    EXPECT_EQ(funnelShift(0x12345678u, 0x9abcdef0u, 0), 0x9abcdef0u);
+    EXPECT_EQ(funnelShift(0x12345678u, 0x9abcdef0u, 16), 0x56789abcu);
+    EXPECT_EQ(funnelShift(0x12345678u, 0x9abcdef0u, 4), 0x89abcdefu);
+}
+
+TEST(FunnelShifter, ImplementsAllShifts)
+{
+    for (unsigned n = 0; n < 32; ++n) {
+        const word_t v = 0x9abcdef1u;
+        EXPECT_EQ(run(ComputeOp::Sll, v, 0, n), v << n) << n;
+        EXPECT_EQ(run(ComputeOp::Srl, v, 0, n), v >> n) << n;
+        EXPECT_EQ(run(ComputeOp::Sra, v, 0, n),
+                  static_cast<word_t>(static_cast<sword_t>(v) >> n))
+            << n;
+    }
+}
+
+namespace
+{
+
+/** Multiply via 32 msteps, as the reorganized code sequence would. */
+word_t
+multiplyViaSteps(word_t a, word_t b)
+{
+    word_t md = a; // multiplier in MD
+    word_t acc = 0;
+    for (int i = 0; i < 32; ++i) {
+        const auto r = mstep(acc, b, md);
+        acc = r.value;
+        md = r.md;
+    }
+    return acc;
+}
+
+/** Unsigned divide via 32 dsteps: returns {quotient, remainder}. */
+std::pair<word_t, word_t>
+divideViaSteps(word_t dividend, word_t divisor)
+{
+    word_t md = dividend;
+    word_t acc = 0;
+    for (int i = 0; i < 32; ++i) {
+        const auto r = dstep(acc, divisor, md);
+        acc = r.value;
+        md = r.md;
+    }
+    return {md, acc};
+}
+
+} // namespace
+
+TEST(MdSteps, MultiplyMatchesNative)
+{
+    EXPECT_EQ(multiplyViaSteps(0, 5), 0u);
+    EXPECT_EQ(multiplyViaSteps(7, 6), 42u);
+    EXPECT_EQ(multiplyViaSteps(0xffffffffu, 0xffffffffu), 1u);
+    EXPECT_EQ(multiplyViaSteps(12345, 6789), 12345u * 6789u);
+}
+
+TEST(MdSteps, DivideMatchesNative)
+{
+    auto [q, r] = divideViaSteps(100, 7);
+    EXPECT_EQ(q, 14u);
+    EXPECT_EQ(r, 2u);
+    std::tie(q, r) = divideViaSteps(0xffffffffu, 10);
+    EXPECT_EQ(q, 0xffffffffu / 10);
+    EXPECT_EQ(r, 0xffffffffu % 10);
+}
+
+TEST(MdSteps, DivideByZeroLeavesAllOnesQuotient)
+{
+    // d == 0 never subtracts, so the quotient bits stay 0 and the
+    // remainder accumulates the dividend (defined, non-trapping).
+    auto [q, r] = divideViaSteps(5, 0);
+    EXPECT_EQ(q, 0u);
+    EXPECT_EQ(r, 5u);
+}
+
+class MdStepProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(MdStepProperty, MultiplyAgreesWithHardwareMultiplier)
+{
+    std::mt19937 rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const word_t a = rng();
+        const word_t b = rng();
+        EXPECT_EQ(multiplyViaSteps(a, b), a * b) << a << " * " << b;
+    }
+}
+
+TEST_P(MdStepProperty, DivideAgreesWithHardwareDivider)
+{
+    std::mt19937 rng(GetParam() + 1000);
+    for (int i = 0; i < 2000; ++i) {
+        const word_t a = rng();
+        const word_t b = rng() % 65536 + 1;
+        auto [q, r] = divideViaSteps(a, b);
+        EXPECT_EQ(q, a / b);
+        EXPECT_EQ(r, a % b);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdStepProperty,
+                         ::testing::Values(11u, 22u, 33u));
+
+TEST(BranchCond, AllConditions)
+{
+    EXPECT_TRUE(branchTaken(BranchCond::Eq, 5, 5));
+    EXPECT_FALSE(branchTaken(BranchCond::Eq, 5, 6));
+    EXPECT_TRUE(branchTaken(BranchCond::Ne, 5, 6));
+    EXPECT_TRUE(branchTaken(BranchCond::Lt, 0xffffffffu, 0)); // -1 < 0
+    EXPECT_FALSE(branchTaken(BranchCond::Lo, 0xffffffffu, 0)); // unsigned
+    EXPECT_TRUE(branchTaken(BranchCond::Ge, 0, 0xffffffffu));
+    EXPECT_TRUE(branchTaken(BranchCond::Hs, 0xffffffffu, 1));
+    EXPECT_TRUE(branchTaken(BranchCond::T, 0, 1));
+}

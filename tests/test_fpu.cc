@@ -1,0 +1,97 @@
+/** @file FPU coprocessor model tests. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "coproc/counter_cop.hh"
+#include "coproc/fpu.hh"
+
+using namespace mipsx;
+using namespace mipsx::coproc;
+
+TEST(Fpu, Arithmetic)
+{
+    Fpu f;
+    f.setRegFloat(1, 2.5f);
+    f.setRegFloat(2, 4.0f);
+    f.aluc(fpuAluOp(FpuOp::Fmov, 3, 1)); // f3 = 2.5
+    f.aluc(fpuAluOp(FpuOp::Fadd, 3, 2)); // f3 += 4.0
+    EXPECT_FLOAT_EQ(f.regFloat(3), 6.5f);
+    f.aluc(fpuAluOp(FpuOp::Fmul, 3, 2)); // f3 *= 4.0
+    EXPECT_FLOAT_EQ(f.regFloat(3), 26.0f);
+    f.aluc(fpuAluOp(FpuOp::Fsub, 3, 1)); // f3 -= 2.5
+    EXPECT_FLOAT_EQ(f.regFloat(3), 23.5f);
+    f.aluc(fpuAluOp(FpuOp::Fdiv, 3, 2)); // f3 /= 4.0
+    EXPECT_FLOAT_EQ(f.regFloat(3), 5.875f);
+}
+
+TEST(Fpu, NegAbs)
+{
+    Fpu f;
+    f.setRegFloat(1, -3.5f);
+    f.aluc(fpuAluOp(FpuOp::Fabs, 2, 1));
+    EXPECT_FLOAT_EQ(f.regFloat(2), 3.5f);
+    f.aluc(fpuAluOp(FpuOp::Fneg, 3, 2));
+    EXPECT_FLOAT_EQ(f.regFloat(3), -3.5f);
+}
+
+TEST(Fpu, IntFloatConversion)
+{
+    Fpu f;
+    f.setRegBits(1, static_cast<word_t>(-42));
+    f.aluc(fpuAluOp(FpuOp::CvtSW, 2, 1));
+    EXPECT_FLOAT_EQ(f.regFloat(2), -42.0f);
+    f.setRegFloat(3, 7.6f);
+    f.aluc(fpuAluOp(FpuOp::CvtWS, 4, 3));
+    EXPECT_EQ(static_cast<std::int32_t>(f.regBits(4)), 8);
+}
+
+TEST(Fpu, ComparesSetCondition)
+{
+    Fpu f;
+    f.setRegFloat(1, 1.0f);
+    f.setRegFloat(2, 2.0f);
+    f.aluc(fpuAluOp(FpuOp::CmpLt, 1, 2));
+    EXPECT_TRUE(f.condition());
+    f.aluc(fpuAluOp(FpuOp::CmpLt, 2, 1));
+    EXPECT_FALSE(f.condition());
+    f.aluc(fpuAluOp(FpuOp::CmpEq, 1, 1));
+    EXPECT_TRUE(f.condition());
+    f.aluc(fpuAluOp(FpuOp::CmpLe, 2, 1));
+    EXPECT_FALSE(f.condition());
+}
+
+TEST(Fpu, MovfrcMovtocRegisterAndStatus)
+{
+    Fpu f;
+    f.movtoc(fpuRegOp(7), 0x40490fdbu); // pi bits
+    EXPECT_NEAR(f.regFloat(7), 3.14159265f, 1e-6);
+    EXPECT_EQ(f.movfrc(fpuRegOp(7)), 0x40490fdbu);
+    f.setRegFloat(0, 0.0f);
+    f.aluc(fpuAluOp(FpuOp::CmpEq, 0, 0));
+    EXPECT_EQ(f.movfrc(fpuStatusOp()), 1u);
+}
+
+TEST(Fpu, DirectMemoryPath)
+{
+    Fpu f;
+    f.loadDirect(9, 0x3f800000u); // 1.0f
+    EXPECT_FLOAT_EQ(f.regFloat(9), 1.0f);
+    EXPECT_EQ(f.storeDirect(9), 0x3f800000u);
+}
+
+TEST(CounterCop, CountsAndConditions)
+{
+    CounterCop c;
+    c.aluc((0u << 10) | 5); // reset to 5
+    EXPECT_EQ(c.counter(), 5u);
+    c.aluc((1u << 10) | 3); // add 3
+    EXPECT_EQ(c.counter(), 8u);
+    c.aluc((2u << 10) | 8); // threshold 8
+    EXPECT_TRUE(c.condition());
+    EXPECT_EQ(c.movfrc(0), 8u);
+    EXPECT_EQ(c.movfrc(1u << 10), 1u);
+    c.movtoc(0, 100);
+    EXPECT_EQ(c.counter(), 100u);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The external interrupt-control unit: unit behaviour, and full-system
+ * dispatch — a hand-scheduled kernel reads-and-ACKs lines over the
+ * coprocessor interface while a user loop runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coproc/intr_controller.hh"
+#include "helpers.hh"
+#include "reorg/scheduler.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+using coproc::IntrController;
+
+TEST(IntrController, PostAndAck)
+{
+    unsigned raises = 0;
+    IntrController ic([&raises] { ++raises; });
+    EXPECT_FALSE(ic.anyPending());
+    ic.post(3);
+    EXPECT_TRUE(ic.anyPending());
+    EXPECT_EQ(raises, 1u);
+    EXPECT_EQ(ic.movfrc(0), 1u << 3);           // read pending
+    EXPECT_EQ(ic.movfrc(1u << 10), 3u);         // read-and-ACK
+    EXPECT_FALSE(ic.anyPending());
+    EXPECT_EQ(ic.movfrc(1u << 10), IntrController::noLine);
+}
+
+TEST(IntrController, HighestLineWinsAndReRaises)
+{
+    unsigned raises = 0;
+    IntrController ic([&raises] { ++raises; });
+    ic.post(2);
+    ic.post(9);
+    EXPECT_EQ(ic.movfrc(1u << 10), 9u); // highest first
+    EXPECT_GE(raises, 3u);              // re-raised: line 2 still queued
+    EXPECT_EQ(ic.movfrc(1u << 10), 2u);
+}
+
+TEST(IntrController, MaskBlocksLines)
+{
+    unsigned raises = 0;
+    IntrController ic([&raises] { ++raises; });
+    ic.movtoc(0, ~(1u << 5)); // mask line 5 off
+    ic.post(5);
+    EXPECT_EQ(raises, 0u);
+    EXPECT_FALSE(ic.anyPending());
+    EXPECT_EQ(ic.movfrc(1u << 10), IntrController::noLine);
+    ic.movtoc(0, 0xffffffffu);
+    EXPECT_TRUE(ic.anyPending());
+    EXPECT_EQ(ic.movfrc(1u << 10), 5u);
+}
+
+TEST(IntrController, AluCanAckWithoutReading)
+{
+    IntrController ic;
+    ic.post(4);
+    ic.aluc((2u << 10) | 4);
+    EXPECT_FALSE(ic.anyPending());
+}
+
+TEST(IntrController, FullSystemDispatch)
+{
+    // Kernel: read-and-ACK the controller (coprocessor 3) and count
+    // per-line services in system memory. Hand-scheduled delayed code.
+    const char *src = R"(
+        .systext 0
+kentry: movfrc r20, c3, 0x400   ; read-and-ACK (FpuMov-style op 1<<10)
+        nop                      ; coprocessor load delay
+        li     r21, 0x3fff
+        beq    r20, r21, spur
+        nop
+        nop
+        la     r22, counts
+        add    r22, r22, r20
+        ld     r23, 0(r22)
+        nop
+        addi   r23, r23, 1
+        st     r23, 0(r22)
+spur:   movfrs r23, pswold
+        movtos psw, r23
+        jpc
+        jpc
+        jpc
+        .sysdata 0x4100
+counts: .space 14
+        .text
+_start: addi r1, r0, 400
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bnz  r1, loop
+        halt
+)";
+    const auto prog = asmOrDie(src);
+    const auto sched = reorg::reorganize(prog, {}, nullptr);
+
+    sim::MachineConfig cfg;
+    cfg.cpu.initialPsw = isa::psw_bits::shiftEn | isa::psw_bits::ie;
+    sim::Machine machine(cfg);
+    machine.load(sched);
+    auto &cpu = machine.cpu();
+    auto ctrl = std::make_unique<IntrController>(
+        [&cpu] { cpu.raiseInterrupt(); });
+    auto *ctrlp = ctrl.get();
+    cpu.attachCoprocessor(3, std::move(ctrl));
+
+    cpu.reset(sched.entry);
+    while (!cpu.stopped()) {
+        const auto c = cpu.stats().cycles;
+        if (c == 101)
+            ctrlp->post(3);
+        if (c == 301)
+            ctrlp->post(7);
+        if (c == 501)
+            ctrlp->post(3);
+        cpu.step();
+    }
+    EXPECT_EQ(cpu.stopReason(), core::StopReason::Halt);
+    EXPECT_EQ(cpu.gpr(2), 400u * 401u / 2u);
+    EXPECT_EQ(machine.readWord(AddressSpace::System, 0x4100 + 3), 2u);
+    EXPECT_EQ(machine.readWord(AddressSpace::System, 0x4100 + 7), 1u);
+    EXPECT_EQ(cpu.stats().interrupts, 3u);
+}

@@ -1,0 +1,249 @@
+/** @file Encode/decode round trips and instruction classification. */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "isa/encode.hh"
+
+using namespace mipsx;
+using namespace mipsx::isa;
+
+TEST(IsaEncode, MemRoundTrip)
+{
+    const word_t w = encodeMem(MemOp::Ld, 3, 7, -42);
+    const Instruction in = decode(w);
+    EXPECT_EQ(in.fmt, Format::Mem);
+    EXPECT_EQ(in.memOp, MemOp::Ld);
+    EXPECT_EQ(in.rs1, 3);
+    EXPECT_EQ(in.rd, 7);
+    EXPECT_EQ(in.imm, -42);
+    EXPECT_TRUE(in.isGprLoad());
+    EXPECT_TRUE(in.accessesMemory());
+    EXPECT_FALSE(in.isCoproc());
+}
+
+TEST(IsaEncode, StoreUsesDataRegister)
+{
+    const Instruction in = decode(encodeMem(MemOp::St, 4, 9, 100));
+    EXPECT_EQ(in.rs2, 9);
+    EXPECT_EQ(in.destReg(), 0);
+    EXPECT_TRUE(in.isStore());
+    const auto src = in.srcRegs();
+    EXPECT_TRUE(src.contains(4));
+    EXPECT_TRUE(src.contains(9));
+}
+
+TEST(IsaEncode, OffsetRangeChecked)
+{
+    EXPECT_NO_THROW(encodeMem(MemOp::Ld, 0, 1, 65535));
+    EXPECT_NO_THROW(encodeMem(MemOp::Ld, 0, 1, -65536));
+    EXPECT_THROW(encodeMem(MemOp::Ld, 0, 1, 65536), SimError);
+    EXPECT_THROW(encodeMem(MemOp::Ld, 0, 1, -65537), SimError);
+}
+
+TEST(IsaEncode, BranchRoundTrip)
+{
+    const word_t w =
+        encodeBranch(BranchCond::Lt, SquashType::SquashNotTaken, 5, 6, -9);
+    const Instruction in = decode(w);
+    EXPECT_EQ(in.fmt, Format::Branch);
+    EXPECT_EQ(in.cond, BranchCond::Lt);
+    EXPECT_EQ(in.squash, SquashType::SquashNotTaken);
+    EXPECT_EQ(in.rs1, 5);
+    EXPECT_EQ(in.rs2, 6);
+    EXPECT_EQ(in.imm, -9);
+    EXPECT_TRUE(in.isBranch());
+    EXPECT_TRUE(in.isControl());
+    EXPECT_FALSE(in.writesGpr());
+}
+
+TEST(IsaEncode, ComputeRoundTrip)
+{
+    const Instruction in = decode(encodeCompute(ComputeOp::Xor, 1, 2, 3));
+    EXPECT_EQ(in.fmt, Format::Compute);
+    EXPECT_EQ(in.compOp, ComputeOp::Xor);
+    EXPECT_EQ(in.rs1, 1);
+    EXPECT_EQ(in.rs2, 2);
+    EXPECT_EQ(in.destReg(), 3);
+}
+
+TEST(IsaEncode, ShiftCarriesAmountInAux)
+{
+    const Instruction in = decode(encodeShift(ComputeOp::Sra, 8, 9, 31));
+    EXPECT_EQ(in.compOp, ComputeOp::Sra);
+    EXPECT_EQ(in.aux, 31);
+    EXPECT_EQ(in.srcRegs().count, 1u); // shifts read only rs1
+}
+
+TEST(IsaEncode, NopIsCanonical)
+{
+    EXPECT_EQ(encodeNop(), nopWord);
+    EXPECT_EQ(encodeCompute(ComputeOp::Add, 0, 0, 0), nopWord);
+    EXPECT_TRUE(decode(nopWord).isNop());
+}
+
+TEST(IsaEncode, JumpAndLink)
+{
+    const Instruction in = decode(encodeJump(ImmOp::Jal, 31, 1000));
+    EXPECT_TRUE(in.isJump());
+    EXPECT_EQ(in.destReg(), 31);
+    EXPECT_EQ(in.imm, 1000);
+}
+
+TEST(IsaEncode, TrapCarriesCode)
+{
+    const Instruction in = decode(encodeTrap(trapCodeHalt));
+    EXPECT_TRUE(in.isTrap());
+    EXPECT_TRUE(in.isControl());
+    EXPECT_EQ(in.uimm, trapCodeHalt);
+}
+
+TEST(IsaEncode, CoprocessorFields)
+{
+    const Instruction in = decode(encodeCop(MemOp::Aluc, 5, 0x123, 0));
+    EXPECT_TRUE(in.isCoproc());
+    EXPECT_EQ(in.copNum(), 5u);
+    EXPECT_EQ(in.copOp(), 0x123u);
+    EXPECT_FALSE(in.accessesMemory());
+
+    const Instruction fr = decode(encodeCop(MemOp::Movfrc, 2, 7, 12));
+    EXPECT_EQ(fr.destReg(), 12);
+    EXPECT_TRUE(fr.isGprLoad());
+
+    const Instruction to = decode(encodeCop(MemOp::Movtoc, 2, 7, 12));
+    EXPECT_EQ(to.rs2, 12);
+    EXPECT_TRUE(to.isStore());
+}
+
+TEST(IsaEncode, LdfStfAreCoprocessorOneWithMemoryAccess)
+{
+    const Instruction lf = decode(encodeMem(MemOp::Ldf, 4, 17, 8));
+    EXPECT_TRUE(lf.isCoproc());
+    EXPECT_TRUE(lf.accessesMemory());
+    EXPECT_EQ(lf.copNum(), 1u);
+    EXPECT_EQ(lf.aux, 17); // FPU register number
+    EXPECT_EQ(lf.destReg(), 0); // does not write a GPR
+
+    const Instruction sf = decode(encodeMem(MemOp::Stf, 4, 17, 8));
+    EXPECT_TRUE(sf.isStore());
+    EXPECT_EQ(sf.srcRegs().count, 1u); // only the base register
+}
+
+TEST(IsaEncode, MovSpecial)
+{
+    const Instruction fr =
+        decode(encodeMovSpecial(ComputeOp::Movfrs, SpecialReg::Psw, 4));
+    EXPECT_EQ(fr.destReg(), 4);
+    EXPECT_EQ(fr.aux, 0);
+
+    const Instruction to =
+        decode(encodeMovSpecial(ComputeOp::Movtos, SpecialReg::Md, 4));
+    EXPECT_EQ(to.rs1, 4);
+    EXPECT_TRUE(to.writesMd());
+    EXPECT_TRUE(to.writesSpecial());
+    EXPECT_EQ(to.destReg(), 0);
+}
+
+TEST(IsaDecode, ReservedEncodingsAreInvalid)
+{
+    // Reserved compute opcode 63.
+    word_t w = 0x80000000u | (63u << 24);
+    EXPECT_FALSE(decode(w).valid);
+    // Reserved branch condition 7.
+    w = 0x40000000u | (7u << 27);
+    EXPECT_FALSE(decode(w).valid);
+    // Reserved squash type 3.
+    w = 0x40000000u | (3u << 25);
+    EXPECT_FALSE(decode(w).valid);
+}
+
+TEST(IsaDecode, MstepDstepTouchMd)
+{
+    const Instruction m = decode(encodeCompute(ComputeOp::Mstep, 1, 2, 3));
+    EXPECT_TRUE(m.readsMd());
+    EXPECT_TRUE(m.writesMd());
+}
+
+// Property: encode -> decode -> re-encode is the identity for a large
+// random sample of well-formed instructions.
+class EncodeDecodeProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(EncodeDecodeProperty, RandomMemRoundTrip)
+{
+    std::mt19937 rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        const auto op = static_cast<MemOp>(rng() % 8);
+        const unsigned rs1 = rng() % 32;
+        const unsigned rsd = rng() % 32;
+        const auto off = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(rng() % 131072) - 65536);
+        const word_t w = encodeMem(op, rs1, rsd, off);
+        const Instruction in = decode(w);
+        EXPECT_EQ(in.raw, w);
+        EXPECT_EQ(in.memOp, op);
+        EXPECT_EQ(in.rs1, rs1);
+        EXPECT_EQ(in.imm, off);
+    }
+}
+
+TEST_P(EncodeDecodeProperty, RandomBranchRoundTrip)
+{
+    std::mt19937 rng(GetParam() * 7 + 1);
+    for (int i = 0; i < 500; ++i) {
+        const auto cond = static_cast<BranchCond>(rng() % 7);
+        const auto sq = static_cast<SquashType>(rng() % 3);
+        const unsigned rs1 = rng() % 32, rs2 = rng() % 32;
+        const auto disp = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(rng() % 32768) - 16384);
+        const Instruction in = decode(encodeBranch(cond, sq, rs1, rs2,
+                                                   disp));
+        EXPECT_EQ(in.cond, cond);
+        EXPECT_EQ(in.squash, sq);
+        EXPECT_EQ(in.imm, disp);
+    }
+}
+
+TEST_P(EncodeDecodeProperty, RandomComputeRoundTrip)
+{
+    std::mt19937 rng(GetParam() * 13 + 5);
+    for (int i = 0; i < 500; ++i) {
+        const auto op = static_cast<ComputeOp>(rng() % 12); // not mov*
+        const unsigned rs1 = rng() % 32, rs2 = rng() % 32, rd = rng() % 32;
+        const unsigned aux = rng() % 32;
+        const Instruction in =
+            decode(encodeCompute(op, rs1, rs2, rd, aux));
+        EXPECT_EQ(in.compOp, op);
+        EXPECT_EQ(in.rs1, rs1);
+        EXPECT_EQ(in.rs2, rs2);
+        EXPECT_EQ(in.rd, rd);
+        EXPECT_EQ(in.aux, aux);
+        EXPECT_TRUE(in.valid);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeDecodeProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u));
+
+TEST(Disasm, RendersRepresentativeInstructions)
+{
+    EXPECT_EQ(disassemble(encodeNop()), "nop");
+    EXPECT_EQ(disassemble(encodeMem(MemOp::Ld, 29, 4, 12)),
+              "ld r4, 12(sp)");
+    EXPECT_EQ(disassemble(encodeCompute(ComputeOp::Add, 1, 2, 3)),
+              "add r3, r1, r2");
+    EXPECT_EQ(disassemble(encodeBranch(BranchCond::Eq,
+                                       SquashType::SquashNotTaken, 1, 2,
+                                       5),
+                          100, true),
+              "beq.sq r1, r2, 0x6a");
+    EXPECT_EQ(disassemble(encodeTrap(trapCodeHalt)), "trap 0x1ffff");
+    EXPECT_EQ(disassemble(encodeJpc()), "jpc");
+    EXPECT_EQ(disassemble(encodeMovSpecial(ComputeOp::Movfrs,
+                                           SpecialReg::PswOld, 7)),
+              "movfrs r7, pswold");
+}

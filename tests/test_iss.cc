@@ -1,0 +1,330 @@
+/** @file Functional-simulator tests (sequential and delayed modes). */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+
+TEST(IssSequential, ArithmeticAndHalt)
+{
+    const auto p = asmOrDie(R"(
+        addi r1, r0, 21
+        add  r2, r1, r1
+        sub  r3, r2, r1
+        halt
+)");
+    auto r = runSequential(p);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(1), 21u);
+    EXPECT_EQ(r.gpr(2), 42u);
+    EXPECT_EQ(r.gpr(3), 21u);
+    EXPECT_EQ(r.iss->stats().steps, 4u);
+}
+
+TEST(IssSequential, LoadsAndStores)
+{
+    const auto p = asmOrDie(R"(
+        .data
+src:    .word 0x1234
+dst:    .space 1
+        .text
+        ld  r1, src
+        st  r1, dst
+        halt
+)");
+    auto r = runSequential(p);
+    EXPECT_EQ(r.word(p.symbol("dst")), 0x1234u);
+}
+
+TEST(IssSequential, LoopComputesSum)
+{
+    const auto p = asmOrDie(R"(
+        addi r1, r0, 10    ; i = 10
+        addi r2, r0, 0     ; sum = 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+)");
+    auto r = runSequential(p);
+    EXPECT_EQ(r.gpr(2), 55u);
+}
+
+TEST(IssSequential, CallAndReturn)
+{
+    const auto p = asmOrDie(R"(
+        addi r1, r0, 5
+        call double
+        add  r3, r2, r0
+        halt
+double: add r2, r1, r1
+        ret
+)");
+    auto r = runSequential(p);
+    EXPECT_EQ(r.gpr(3), 10u);
+}
+
+TEST(IssSequential, LiBuildsFullConstants)
+{
+    const auto p = asmOrDie("li r1, 0x89abcdef\n li r2, -123456789\nhalt\n");
+    auto r = runSequential(p);
+    EXPECT_EQ(r.gpr(1), 0x89abcdefu);
+    EXPECT_EQ(r.gpr(2), static_cast<word_t>(-123456789));
+}
+
+TEST(IssSequential, MultiplyMacro)
+{
+    // 32 msteps compute r3 = r1 * r2.
+    std::string src = R"(
+        addi r1, r0, 1234
+        addi r2, r0, 567
+        movtos md, r1
+        add r3, r0, r0
+)";
+    for (int i = 0; i < 32; ++i)
+        src += "        mstep r3, r3, r2\n";
+    src += "        halt\n";
+    auto r = runSequential(asmOrDie(src));
+    EXPECT_EQ(r.gpr(3), 1234u * 567u);
+}
+
+TEST(IssSequential, FailTrapReported)
+{
+    auto r = runSequential(asmOrDie("fail\n"));
+    EXPECT_EQ(r.reason, sim::IssStop::Fail);
+}
+
+TEST(IssSequential, OverflowTrapsWhenEnabled)
+{
+    // Run in user mode with the overflow-trap mask already set (as an OS
+    // would arrange before dispatching a user process). No handler is
+    // loaded, so the exception is reported as unhandled.
+    const auto p = asmOrDie(R"(
+        li  r2, 0x7fffffff
+        add r3, r2, r2     ; signed overflow
+        halt
+)");
+    sim::IssConfig cfg;
+    cfg.initialPsw = isa::psw_bits::shiftEn | isa::psw_bits::ovfe;
+    auto r = runSequential(p, cfg);
+    EXPECT_EQ(r.reason, sim::IssStop::UnhandledException);
+    EXPECT_TRUE(r.iss->psw().bits() & isa::psw_bits::cOvf);
+}
+
+TEST(IssSequential, OverflowIgnoredWhenMasked)
+{
+    const auto p = asmOrDie(R"(
+        li  r2, 0x7fffffff
+        add r3, r2, r2
+        halt
+)");
+    auto r = runSequential(p);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(3), 0xfffffffeu);
+}
+
+TEST(IssSequential, PrivilegeViolationIsException)
+{
+    // movtos psw from user mode must raise an (unhandled) exception.
+    auto r = runSequential(asmOrDie("movtos psw, r1\nhalt\n"));
+    EXPECT_EQ(r.reason, sim::IssStop::UnhandledException);
+    EXPECT_EQ(r.iss->stats().exceptions, 1u);
+    EXPECT_TRUE(r.iss->psw().bits() & isa::psw_bits::cPriv);
+}
+
+TEST(IssSequential, TrapWithHandlerRestarts)
+{
+    // System-space program: trap 5 vectors to the handler at 0, which
+    // skips the trap by bumping the saved chain entry, then returns.
+    const auto prog = asmOrDie(R"(
+        .systext 0
+handler:
+        movfrs r10, pchain0
+        addi   r10, r10, 1
+        movtos pchain0, r10
+        addi   r11, r11, 1
+        jpc
+        .org 0x100
+_start: addi r1, r0, 7
+        trap 5
+        addi r1, r1, 1
+        halt
+)");
+    auto r = runSequential(prog);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(1), 8u);
+    EXPECT_EQ(r.gpr(11), 1u);
+}
+
+TEST(IssDelayed, BranchDelaySlotsExecute)
+{
+    // Delayed semantics: the two instructions after a taken branch
+    // execute before the target.
+    const auto p = asmOrDie(R"(
+        addi r1, r0, 1
+        b    target
+        addi r2, r0, 2   ; slot 1: executes
+        addi r3, r0, 3   ; slot 2: executes
+        addi r4, r0, 4   ; skipped by the branch
+target: halt
+)");
+    auto r = runDelayed(p);
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 3u);
+    EXPECT_EQ(r.gpr(4), 0u);
+}
+
+TEST(IssDelayed, SquashIfNotTakenSquashesOnFallThrough)
+{
+    const auto p = asmOrDie(R"(
+        addi r1, r0, 1
+        beq.sq r1, r0, target  ; predicts taken but falls through
+        addi r2, r0, 2         ; squashed
+        addi r3, r0, 3         ; squashed
+        addi r4, r0, 4
+target: halt
+)");
+    auto r = runDelayed(p);
+    EXPECT_EQ(r.gpr(2), 0u);
+    EXPECT_EQ(r.gpr(3), 0u);
+    EXPECT_EQ(r.gpr(4), 4u);
+}
+
+TEST(IssDelayed, SquashIfNotTakenExecutesWhenTaken)
+{
+    const auto p = asmOrDie(R"(
+        beq.sq r0, r0, target
+        addi r2, r0, 2         ; slot: executes (taken)
+        addi r3, r0, 3         ; slot: executes
+        addi r4, r0, 4         ; skipped
+target: halt
+)");
+    auto r = runDelayed(p);
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 3u);
+    EXPECT_EQ(r.gpr(4), 0u);
+}
+
+TEST(IssDelayed, LoadDelaySlotSeesOldValue)
+{
+    const auto p = asmOrDie(R"(
+        .data
+v:      .word 99
+        .text
+        addi r1, r0, 5
+        ld   r1, v
+        add  r2, r1, r0   ; reads the OLD r1 (5)
+        add  r3, r1, r0   ; reads the loaded value (99)
+        halt
+)");
+    auto r = runDelayed(p);
+    EXPECT_EQ(r.gpr(2), 5u);
+    EXPECT_EQ(r.gpr(3), 99u);
+    EXPECT_EQ(r.gpr(1), 99u);
+}
+
+TEST(IssDelayed, JalLinksPastTheDelaySlots)
+{
+    const auto p = asmOrDie(R"(
+_start: jal ra, func    ; at base+0; link must be base+3
+        nop
+        nop
+        addi r5, r5, 1  ; return lands here
+        halt
+func:   addi r6, r0, 9
+        ret
+        nop
+        nop
+)");
+    auto r = runDelayed(p);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(5), 1u);
+    EXPECT_EQ(r.gpr(6), 9u);
+}
+
+TEST(IssDelayed, OneSlotMachine)
+{
+    const auto p = asmOrDie(R"(
+        b target
+        addi r2, r0, 2   ; single slot executes
+        addi r3, r0, 3   ; skipped
+target: halt
+)");
+    auto r = runDelayed(p, 1);
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 0u);
+}
+
+TEST(IssDelayed, OverlappingJumpsInterleaveLikeTheRestartSequence)
+{
+    // Three consecutive unconditional branches: each redirects exactly
+    // one fetch slot, two cycles after itself — the mechanism the
+    // three-jump exception return exploits. Expected execution order:
+    // j1 j2 j3 t1 t2 t3 (then sequentially after t3).
+    const auto p = asmOrDie(R"(
+_start: b t1
+        b t2
+        b t3
+        fail            ; never reached
+t1:     addi r1, r0, 1
+t2:     addi r2, r0, 2
+t3:     addi r3, r0, 3
+        addi r4, r0, 4  ; sequential continuation after t3
+        halt
+)");
+    auto r = runDelayed(p);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(1), 1u);
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 3u);
+    EXPECT_EQ(r.gpr(4), 4u);
+    // Each target executes exactly once; the dynamic stream is
+    // j1 j2 j3 t1 t2 t3 addi4 halt = 8 steps.
+    EXPECT_EQ(r.iss->stats().steps, 8u);
+}
+
+TEST(IssDelayed, JumpInDelaySlotRedirectsAfterItsOwnSlots)
+{
+    // A taken branch whose first slot contains another jump: the second
+    // jump's redirect lands one fetch after the first one's.
+    const auto p = asmOrDie(R"(
+_start: b a
+        b b
+        addi r1, r0, 1   ; slot 2 of the first branch: executes
+a:      addi r2, r0, 2   ; first redirect lands here (one instruction)
+b:      addi r3, r0, 3   ; second redirect lands here
+        halt
+)");
+    auto r = runDelayed(p);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(1), 1u);
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 3u);
+    // Stream: b-a, b-b, addi1, addi2(a), addi3(b), halt = 6 steps.
+    EXPECT_EQ(r.iss->stats().steps, 6u);
+}
+
+TEST(IssDelayed, PipelineAgreesOnOverlappingJumps)
+{
+    // The same programs on the cycle-accurate pipeline, lockstep.
+    const char *src = R"(
+_start: b t1
+        b t2
+        b t3
+        fail
+t1:     addi r1, r0, 1
+t2:     addi r2, r0, 2
+t3:     addi r3, r0, 3
+        addi r4, r0, 4
+        halt
+)";
+    const auto p = asmOrDie(src);
+    auto iss = runDelayed(p);
+    auto pipe = runPipelineProg(p);
+    EXPECT_EQ(pipe.result.reason, core::StopReason::Halt);
+    for (unsigned r = 1; r <= 4; ++r)
+        EXPECT_EQ(pipe.gpr(r), iss.gpr(r)) << "r" << r;
+    EXPECT_EQ(pipe.stats().committed, iss.iss->stats().steps);
+}

@@ -1,0 +1,349 @@
+/** @file Main memory, I-cache and E-cache unit tests. */
+
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "memory/ecache.hh"
+#include "memory/icache.hh"
+#include "memory/main_memory.hh"
+
+using namespace mipsx;
+using namespace mipsx::memory;
+
+// ---------------------------------------------------------------------
+// MainMemory
+// ---------------------------------------------------------------------
+
+TEST(MainMemory, ZeroFillAndReadBack)
+{
+    MainMemory m;
+    EXPECT_EQ(m.read(AddressSpace::User, 1234), 0u);
+    m.write(AddressSpace::User, 1234, 0xabcdu);
+    EXPECT_EQ(m.read(AddressSpace::User, 1234), 0xabcdu);
+}
+
+TEST(MainMemory, SpacesAreDisjoint)
+{
+    MainMemory m;
+    m.write(AddressSpace::User, 100, 1);
+    m.write(AddressSpace::System, 100, 2);
+    EXPECT_EQ(m.read(AddressSpace::User, 100), 1u);
+    EXPECT_EQ(m.read(AddressSpace::System, 100), 2u);
+}
+
+TEST(MainMemory, SnapshotListsNonZeroWords)
+{
+    MainMemory m;
+    m.write(AddressSpace::User, 5, 7);
+    m.write(AddressSpace::System, 9, 8);
+    m.write(AddressSpace::User, 6, 0); // zero: not in snapshot
+    const auto s = m.snapshot();
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.at(physKey(AddressSpace::User, 5)), 7u);
+    EXPECT_EQ(s.at(physKey(AddressSpace::System, 9)), 8u);
+}
+
+// ---------------------------------------------------------------------
+// ICache
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ICacheConfig
+smallIc()
+{
+    return ICacheConfig{}; // the paper's 4x8x16 design
+}
+
+} // namespace
+
+TEST(ICache, FirstFetchMissesThenHits)
+{
+    ICache ic(smallIc());
+    auto r = ic.fetch(AddressSpace::User, 100);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.stallCycles, 2u);
+    r = ic.fetch(AddressSpace::User, 100);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(ic.accesses(), 2u);
+    EXPECT_EQ(ic.misses(), 1u);
+}
+
+TEST(ICache, DoubleFetchValidatesTheNextWord)
+{
+    ICache ic(smallIc());
+    auto r = ic.fetch(AddressSpace::User, 100);
+    EXPECT_FALSE(r.hit);
+    ASSERT_EQ(r.numRefills, 2u);
+    EXPECT_EQ(r.refillKeys[0], physKey(AddressSpace::User, 100));
+    EXPECT_EQ(r.refillKeys[1], physKey(AddressSpace::User, 101));
+    EXPECT_TRUE(ic.fetch(AddressSpace::User, 101).hit);
+}
+
+TEST(ICache, SingleFetchLeavesNextWordInvalid)
+{
+    auto cfg = smallIc();
+    cfg.fetchWords = 1;
+    ICache ic(cfg);
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 100).hit);
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 101).hit);
+}
+
+TEST(ICache, SubBlockMissWithinValidTag)
+{
+    ICache ic(smallIc());
+    ic.fetch(AddressSpace::User, 0); // allocates block 0, words 0..1 valid
+    auto r = ic.fetch(AddressSpace::User, 5); // same block, invalid word
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(ic.tagMisses(), 1u);
+    EXPECT_EQ(ic.subBlockMisses(), 1u);
+}
+
+TEST(ICache, CrossBlockSecondWordDroppedByDefault)
+{
+    ICache ic(smallIc()); // blockWords = 16
+    // Word 15 is the last of its block; word 16 is in the next block.
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 15).hit);
+    // The second fetched word (16) was not written (tag absent).
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 16).hit);
+}
+
+TEST(ICache, CrossBlockSecondWordAllocatesWhenConfigured)
+{
+    auto cfg = smallIc();
+    cfg.allocCrossBlock = true;
+    ICache ic(cfg);
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 15).hit);
+    EXPECT_TRUE(ic.fetch(AddressSpace::User, 16).hit);
+}
+
+TEST(ICache, TagReplacementInvalidatesAllSubBlocks)
+{
+    // 4 sets x 8 ways x 16 words: addresses that differ by
+    // sets*blockWords*k map to the same set with different tags.
+    ICache ic(smallIc());
+    const unsigned stride = 4 * 16; // one set apart
+    // Fill all 8 ways of set 0.
+    for (unsigned w = 0; w < 8; ++w)
+        ic.fetch(AddressSpace::User, w * stride);
+    // A ninth tag evicts the LRU way (tag 0).
+    ic.fetch(AddressSpace::User, 8 * stride);
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 0).hit);
+}
+
+TEST(ICache, LruKeepsRecentlyUsedWays)
+{
+    ICache ic(smallIc());
+    const unsigned stride = 4 * 16;
+    for (unsigned w = 0; w < 8; ++w)
+        ic.fetch(AddressSpace::User, w * stride);
+    // Touch tag 0 so tag 1 becomes LRU.
+    ic.fetch(AddressSpace::User, 0);
+    ic.fetch(AddressSpace::User, 8 * stride); // evicts tag 1
+    EXPECT_TRUE(ic.fetch(AddressSpace::User, 0).hit);
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 1 * stride).hit);
+}
+
+TEST(ICache, DisabledCacheAlwaysMisses)
+{
+    auto cfg = smallIc();
+    cfg.enabled = false;
+    ICache ic(cfg);
+    for (int i = 0; i < 3; ++i) {
+        auto r = ic.fetch(AddressSpace::User, 7);
+        EXPECT_FALSE(r.hit);
+        EXPECT_EQ(r.numRefills, 1u);
+    }
+    EXPECT_EQ(ic.misses(), 3u);
+}
+
+TEST(ICache, NonCacheableFetchNeverFills)
+{
+    ICache ic(smallIc());
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 7, false).hit);
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 7, false).hit);
+    // A cacheable fetch of the same word still misses (nothing filled).
+    EXPECT_FALSE(ic.fetch(AddressSpace::User, 7, true).hit);
+    EXPECT_TRUE(ic.fetch(AddressSpace::User, 7, true).hit);
+}
+
+TEST(ICache, SpacesDoNotAlias)
+{
+    ICache ic(smallIc());
+    ic.fetch(AddressSpace::User, 50);
+    EXPECT_FALSE(ic.fetch(AddressSpace::System, 50).hit);
+}
+
+TEST(ICache, MissPenaltyConfigurable)
+{
+    auto cfg = smallIc();
+    cfg.missPenalty = 3;
+    ICache ic(cfg);
+    EXPECT_EQ(ic.fetch(AddressSpace::User, 0).stallCycles, 3u);
+}
+
+TEST(ICache, AvgFetchCostFormula)
+{
+    ICache ic(smallIc());
+    ic.fetch(AddressSpace::User, 0);  // miss (2 stall)
+    ic.fetch(AddressSpace::User, 0);  // hit
+    ic.fetch(AddressSpace::User, 1);  // hit (double fetch)
+    ic.fetch(AddressSpace::User, 2);  // miss
+    // 4 accesses, 4 stall cycles -> 2.0 average... no: 1 + 4/4 = 2.0
+    EXPECT_DOUBLE_EQ(ic.avgFetchCost(), 2.0);
+    EXPECT_DOUBLE_EQ(ic.missRatio(), 0.5);
+}
+
+// Property: valid bits never claim words that were not fetched.
+class ICacheRandomProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ICacheRandomProperty, HitsOnlyAfterFill)
+{
+    std::mt19937 rng(GetParam());
+    ICache ic(smallIc());
+    std::set<std::uint64_t> filled;
+    for (int i = 0; i < 20000; ++i) {
+        const addr_t a = rng() % 4096;
+        const auto key = physKey(AddressSpace::User, a);
+        const auto r = ic.fetch(AddressSpace::User, a);
+        if (r.hit) {
+            // Hit implies the word was fetched into the cache before.
+            EXPECT_TRUE(filled.count(key)) << "addr " << a;
+        } else {
+            for (unsigned j = 0; j < r.numRefills; ++j)
+                filled.insert(r.refillKeys[j]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ICacheRandomProperty,
+                         ::testing::Values(3u, 5u, 7u));
+
+// ---------------------------------------------------------------------
+// ECache
+// ---------------------------------------------------------------------
+
+TEST(ECache, MissThenHit)
+{
+    ECache ec;
+    auto r = ec.access(100, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.stallCycles, ec.config().missPenalty);
+    EXPECT_TRUE(ec.access(100, false).hit);
+    EXPECT_TRUE(ec.access(101, false).hit); // same 4-word line
+    EXPECT_FALSE(ec.access(104, false).hit);
+}
+
+TEST(ECache, DirtyVictimPaysWriteback)
+{
+    ECacheConfig cfg;
+    cfg.sizeWords = 64;
+    cfg.lineWords = 4;
+    cfg.ways = 1;
+    ECache ec(cfg);
+    ec.access(0, true); // dirty line at set 0
+    auto r = ec.access(64, false); // same set, clean fill evicting dirty
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.stallCycles, cfg.missPenalty + cfg.writebackPenalty);
+    EXPECT_EQ(ec.writebacks(), 1u);
+}
+
+TEST(ECache, CleanVictimNoWriteback)
+{
+    ECacheConfig cfg;
+    cfg.sizeWords = 64;
+    ECache ec(cfg);
+    ec.access(0, false);
+    auto r = ec.access(64, false);
+    EXPECT_EQ(r.stallCycles, cfg.missPenalty);
+}
+
+TEST(ECache, SetAssociativeLru)
+{
+    ECacheConfig cfg;
+    cfg.sizeWords = 32;
+    cfg.lineWords = 4;
+    cfg.ways = 2; // 4 sets
+    ECache ec(cfg);
+    ec.access(0, false);   // set 0, tag 0
+    ec.access(16, false);  // set 0, tag 1
+    ec.access(0, false);   // touch tag 0
+    ec.access(32, false);  // set 0, tag 2 -> evicts tag 1
+    EXPECT_TRUE(ec.access(0, false).hit);
+    EXPECT_FALSE(ec.access(16, false).hit);
+}
+
+TEST(ECache, DisabledAlwaysMisses)
+{
+    ECacheConfig cfg;
+    cfg.enabled = false;
+    ECache ec(cfg);
+    EXPECT_FALSE(ec.access(5, false).hit);
+    EXPECT_FALSE(ec.access(5, false).hit);
+}
+
+TEST(ECache, StatsAccumulate)
+{
+    ECache ec;
+    ec.access(0, false);
+    ec.access(1, false);
+    ec.access(1000, true);
+    EXPECT_EQ(ec.accesses(), 3u);
+    EXPECT_EQ(ec.misses(), 2u);
+    EXPECT_NEAR(ec.missRatio(), 2.0 / 3.0, 1e-12);
+    ec.clearStats();
+    EXPECT_EQ(ec.accesses(), 0u);
+}
+
+TEST(ECache, WriteThroughSendsEveryStoreToMemory)
+{
+    memory::ECacheConfig cfg;
+    cfg.writeThrough = true;
+    memory::ECache ec(cfg);
+    ec.access(100, false); // fill the line
+    const auto before = ec.memoryTrafficCycles();
+    for (int i = 0; i < 10; ++i) {
+        const auto r = ec.access(100, true);
+        EXPECT_TRUE(r.hit);
+        EXPECT_EQ(r.stallCycles, 0u) << "buffered: no processor stall";
+        EXPECT_EQ(r.busCycles, cfg.writeBusCycles);
+    }
+    EXPECT_EQ(ec.memoryTrafficCycles() - before,
+              10u * cfg.writeBusCycles);
+    EXPECT_EQ(ec.writebacks(), 0u) << "write-through never copies back";
+}
+
+TEST(ECache, WriteThroughStoreMissDoesNotAllocate)
+{
+    memory::ECacheConfig cfg;
+    cfg.writeThrough = true;
+    memory::ECache ec(cfg);
+    const auto r = ec.access(500, true);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.stallCycles, 0u);
+    // The line was not allocated: the next read still misses.
+    EXPECT_FALSE(ec.access(500, false).hit);
+}
+
+TEST(ECache, CopyBackTrafficBeatsWriteThroughOnStoreHeavyStreams)
+{
+    // Smith's point 1: "Copy-back almost always results in less main
+    // memory traffic since write-through requires a main memory access
+    // on every store."
+    auto traffic = [](bool wt) {
+        memory::ECacheConfig cfg;
+        cfg.writeThrough = wt;
+        memory::ECache ec(cfg);
+        // A hot 64-word region, 30% stores.
+        for (int i = 0; i < 30000; ++i) {
+            const std::uint64_t a = (i * 17) % 64;
+            ec.access(a, i % 10 < 3);
+        }
+        return ec.memoryTrafficCycles();
+    };
+    EXPECT_LT(traffic(false), traffic(true) / 4);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared-memory multiprocessor tests: the bus arbiter, snooping
+ * invalidation, the lockstep machine, and the parallel workloads across
+ * CPU counts (including the paper's 6-10 target).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+
+#include "helpers.hh"
+#include "memory/bus.hh"
+#include "mp/multi_machine.hh"
+#include "reorg/scheduler.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+
+TEST(BusArbiter, SerializesOverlappingTransactions)
+{
+    memory::BusArbiter bus;
+    EXPECT_EQ(bus.acquire(100, 10), 0u);  // bus free
+    EXPECT_EQ(bus.acquire(105, 10), 5u);  // must wait until 110
+    EXPECT_EQ(bus.acquire(200, 10), 0u);  // free again
+    EXPECT_EQ(bus.transactions(), 3u);
+    EXPECT_EQ(bus.waitCycles(), 5u);
+    EXPECT_EQ(bus.busyCycles(), 30u);
+}
+
+TEST(CoherenceHub, InvalidatesOtherCaches)
+{
+    memory::ECache a, b;
+    memory::CoherenceHub hub;
+    hub.attach(&a);
+    hub.attach(&b);
+    a.access(100, false);
+    b.access(100, false);
+    EXPECT_TRUE(b.access(100, false).hit);
+    hub.writeBroadcast(&a, 100); // a stores; b must drop the line
+    EXPECT_FALSE(b.access(100, false).hit);
+    EXPECT_TRUE(a.access(100, false).hit); // writer keeps its copy
+    EXPECT_EQ(hub.invalidations(), 1u);
+    EXPECT_EQ(b.invalidationsReceived(), 1u);
+}
+
+TEST(MultiMachine, SingleCpuMatchesMachine)
+{
+    // A uniprocessor MultiMachine must agree with the plain Machine.
+    const auto w = workload::pascalWorkloads().front();
+    const auto prog = asmOrDie(w.source);
+    const auto sched = reorg::reorganize(prog, {}, nullptr);
+
+    sim::Machine single{sim::MachineConfig{}};
+    single.load(sched);
+    const auto r1 = single.run();
+
+    mp::MultiMachineConfig mc;
+    mc.cpus = 1;
+    mp::MultiMachine multi(mc);
+    multi.load(sched);
+    const auto r2 = multi.run();
+
+    ASSERT_TRUE(r1.halted());
+    ASSERT_TRUE(r2.allHalted);
+    EXPECT_EQ(r2.instructions, r1.instructions);
+    // Cycle counts may differ slightly: the multiprocessor routes every
+    // main-memory access through the bus arbiter.
+    EXPECT_NEAR(double(r2.cycles), double(r1.cycles),
+                0.02 * double(r1.cycles));
+}
+
+class ParallelWorkloads
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>>
+{};
+
+TEST_P(ParallelWorkloads, CorrectAcrossCpuCounts)
+{
+    const auto ws = workload::parallelWorkloads();
+    const auto &w = ws.at(static_cast<std::size_t>(
+        std::get<0>(GetParam())));
+    const unsigned cpus = std::get<1>(GetParam());
+
+    const auto prog = asmOrDie(w.source);
+    const auto sched = reorg::reorganize(prog, {}, nullptr);
+
+    mp::MultiMachineConfig mc;
+    mc.cpus = cpus;
+    mp::MultiMachine machine(mc);
+    machine.load(sched);
+    const auto r = machine.run();
+
+    EXPECT_TRUE(r.allHalted) << w.name << " on " << cpus << " cpus";
+    EXPECT_EQ(machine.readWord(AddressSpace::User,
+                               sched.symbol("total")),
+              machine.readWord(AddressSpace::User, sched.symbol("exp")))
+        << w.name << " on " << cpus << " cpus";
+    if (cpus > 1) {
+        EXPECT_GT(r.invalidations, 0u) << "snooping must have fired";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelWorkloads,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(1u, 2u, 3u, 4u, 8u, 10u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, unsigned>> &info) {
+        return strformat("w%d_cpus%u", std::get<0>(info.param),
+                         std::get<1>(info.param));
+    });
+
+TEST(MultiMachine, ParallelismActuallyHelps)
+{
+    const auto w = workload::parallelWorkloads().at(1); // compute-bound
+    const auto prog = asmOrDie(w.source);
+    const auto sched = reorg::reorganize(prog, {}, nullptr);
+
+    auto cyclesFor = [&sched](unsigned cpus) {
+        mp::MultiMachineConfig mc;
+        mc.cpus = cpus;
+        mp::MultiMachine machine(mc);
+        machine.load(sched);
+        const auto r = machine.run();
+        EXPECT_TRUE(r.allHalted);
+        return r.cycles;
+    };
+    const auto c1 = cyclesFor(1);
+    const auto c4 = cyclesFor(4);
+    const auto c8 = cyclesFor(8);
+    EXPECT_LT(double(c4), 0.4 * double(c1)); // >2.5x on 4 CPUs
+    EXPECT_LT(c8, c4);
+}
+
+TEST(MultiMachine, BusContentionGrowsWithCpus)
+{
+    const auto w = workload::parallelWorkloads().at(0); // memory-bound
+    const auto prog = asmOrDie(w.source);
+    const auto sched = reorg::reorganize(prog, {}, nullptr);
+
+    auto waitFor = [&sched](unsigned cpus) {
+        mp::MultiMachineConfig mc;
+        mc.cpus = cpus;
+        mp::MultiMachine machine(mc);
+        machine.load(sched);
+        const auto r = machine.run();
+        EXPECT_TRUE(r.allHalted);
+        return r.busWaitCycles;
+    };
+    EXPECT_GT(waitFor(8), waitFor(2));
+}

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Code reorganizer tests: CFG construction, slot filling per scheme,
+ * load-delay scheduling, and the central correctness property —
+ * Sequential(P) == Delayed(reorganize(P)) == Pipeline(reorganize(P)).
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "helpers.hh"
+#include "reorg/cfg.hh"
+#include "isa/decode.hh"
+#include "reorg/predictor.hh"
+#include "reorg/scheduler.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+using namespace mipsx::reorg;
+using assembler::SlotKind;
+
+namespace
+{
+
+std::vector<addr_t>
+textSymbols(const assembler::Program &p)
+{
+    std::vector<addr_t> out;
+    const auto &t = p.text();
+    for (const auto &[name, addr] : p.symbols)
+        if (addr >= t.base && addr < t.end())
+            out.push_back(addr);
+    return out;
+}
+
+} // namespace
+
+TEST(Cfg, SplitsAtBranchesAndTargets)
+{
+    const auto p = asmOrDie(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+loop:   add  r3, r1, r2
+        bne  r3, r0, loop
+        addi r4, r0, 4
+        halt
+)");
+    Cfg cfg = Cfg::build(p.text(), textSymbols(p));
+    // Blocks: [addi,addi] [add,bne] [addi] [halt]... halt is a trap
+    // terminator ending its block.
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    EXPECT_EQ(cfg.blocks()[0].body.size(), 2u);
+    EXPECT_FALSE(cfg.blocks()[0].hasTerm());
+    EXPECT_EQ(cfg.blocks()[1].body.size(), 1u);
+    ASSERT_TRUE(cfg.blocks()[1].hasTerm());
+    EXPECT_EQ(cfg.blocks()[1].targetBlock, 1);
+    EXPECT_EQ(cfg.blocks()[1].fallBlock, 2);
+    ASSERT_TRUE(cfg.blocks()[2].hasTerm());
+    EXPECT_TRUE(cfg.blocks()[2].term->inst.isTrap());
+}
+
+TEST(Cfg, PredecessorCounts)
+{
+    const auto p = asmOrDie(R"(
+_start: bz  r1, over
+        addi r2, r0, 1
+over:   halt
+)");
+    Cfg cfg = Cfg::build(p.text(), textSymbols(p));
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    EXPECT_EQ(cfg.blocks()[0].preds, ~0u);   // entry
+    EXPECT_EQ(cfg.blocks()[1].preds, 1u);    // fall only
+    EXPECT_EQ(cfg.blocks()[2].preds, ~0u);   // labelled
+}
+
+TEST(Cfg, EmitRoundTripsUnmodifiedCode)
+{
+    const auto p = asmOrDie(R"(
+        addi r1, r0, 10
+l:      addi r1, r1, -1
+        bnz  r1, l
+        halt
+)");
+    Cfg cfg = Cfg::build(p.text(), textSymbols(p));
+    auto sec = cfg.emit(p.text(), p.text().base, nullptr);
+    ASSERT_EQ(sec.words.size(), p.text().words.size());
+    for (std::size_t i = 0; i < sec.words.size(); ++i)
+        EXPECT_EQ(sec.words[i], p.text().words[i]) << i;
+}
+
+TEST(Reorg, InsertsNopsAfterBranchesWhenNothingFits)
+{
+    // The branch's operands are produced immediately before it and the
+    // target head consumes them, so nothing can hoist or fill; both
+    // slots become no-ops.
+    const auto p = asmOrDie(R"(
+_start: addi r1, r0, 1
+        bz   r1, out
+        addi r1, r1, 2
+out:    add  r2, r1, r1
+        halt
+)");
+    ReorgConfig cfg;
+    cfg.scheme = BranchScheme::NoSquash;
+    ReorgStats st;
+    const auto q = reorganize(p, cfg, &st);
+    // bz reads r1 defined by the addi directly above: no hoist. The
+    // scheduler may still place the target's head (add r2,r1,r1) in a
+    // slot because r2 is dead on the fall path ("no effect if the
+    // branch goes the wrong way"), so at least one slot is a no-op.
+    EXPECT_GE(st.slotsNop, 1u);
+    EXPECT_LE(st.slotsNop, 2u);
+    auto r = runDelayed(q);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(2), 6u); // 1+2 doubled
+}
+
+TEST(Reorg, HoistsIndependentWork)
+{
+    const auto p = asmOrDie(R"(
+_start: addi r1, r0, 1
+        addi r5, r0, 50    ; independent of the branch
+        addi r6, r0, 60    ; independent of the branch
+        bz   r1, out
+        addi r7, r0, 70
+out:    halt
+)");
+    ReorgConfig cfg;
+    cfg.scheme = BranchScheme::NoSquash;
+    ReorgStats st;
+    const auto q = reorganize(p, cfg, &st);
+    EXPECT_EQ(st.slotsHoisted, 2u);
+    EXPECT_EQ(st.slotsNop, 0u);
+    auto r = runDelayed(q);
+    EXPECT_EQ(r.gpr(5), 50u);
+    EXPECT_EQ(r.gpr(6), 60u);
+    EXPECT_EQ(r.gpr(7), 70u); // branch not taken (r1 == 1)
+}
+
+TEST(Reorg, FillsFromTargetWithSquash)
+{
+    // A backward loop branch: squash-optional fills from the target
+    // (the loop head) and marks the branch squash-if-not-taken.
+    const auto p = asmOrDie(R"(
+_start: addi r1, r0, 5
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bnz  r1, loop
+        halt
+)");
+    ReorgConfig cfg;
+    cfg.scheme = BranchScheme::SquashOptional;
+    ReorgStats st;
+    const auto q = reorganize(p, cfg, &st);
+    EXPECT_GT(st.slotsFromTarget, 0u);
+    // Either the squashing fill or the (equally scored) no-squash
+    // wrong-path fill may win the tie; both draw from the target.
+    EXPECT_GT(st.chosenSquashNotTaken + st.chosenNoSquash, 0u);
+    auto r = runDelayed(q);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.gpr(2), 15u);
+
+    // And on the pipeline, with exact squash accounting.
+    auto pr = runPipelineProg(q);
+    EXPECT_EQ(pr.result.reason, core::StopReason::Halt);
+    EXPECT_EQ(pr.gpr(2), 15u);
+    EXPECT_EQ(pr.stats().hazardViolations, 0u);
+}
+
+TEST(Reorg, LoadDelayFilledByReordering)
+{
+    const auto p = asmOrDie(R"(
+        .data
+v:      .word 11
+w:      .word 22
+        .text
+_start: ld   r1, v
+        add  r2, r1, r1     ; hazard: reads r1 right after the load
+        addi r3, r0, 3      ; independent; should move into the shadow
+        halt
+)");
+    ReorgStats st;
+    const auto q = reorganize(p, {}, &st);
+    EXPECT_EQ(st.loadHazards, 1u);
+    EXPECT_EQ(st.loadReordered, 1u);
+    EXPECT_EQ(st.loadNops, 0u);
+    auto r = runDelayed(q);
+    EXPECT_EQ(r.gpr(2), 22u);
+    EXPECT_EQ(r.gpr(3), 3u);
+}
+
+TEST(Reorg, LoadDelayFilledByNop)
+{
+    const auto p = asmOrDie(R"(
+        .data
+v:      .word 11
+        .text
+_start: ld   r1, v
+        add  r2, r1, r1
+        halt
+)");
+    ReorgStats st;
+    const auto q = reorganize(p, {}, &st);
+    EXPECT_EQ(st.loadNops, 1u);
+    auto r = runDelayed(q);
+    EXPECT_EQ(r.gpr(2), 22u);
+
+    auto pr = runPipelineProg(q);
+    EXPECT_EQ(pr.gpr(2), 22u);
+    EXPECT_EQ(pr.stats().hazardViolations, 0u);
+    EXPECT_EQ(pr.stats().nopsForLoadDelay, 1u);
+}
+
+TEST(Reorg, LoadFeedingBranchGetsSlot)
+{
+    const auto p = asmOrDie(R"(
+        .data
+v:      .word 1
+res:    .word 123
+        .text
+_start: ld   r1, v
+        bnz  r1, out
+        addi r2, r0, 2
+        st   r2, res
+out:    halt
+)");
+    const auto q = reorganize(p, {}, nullptr);
+    auto r = runDelayed(q);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    EXPECT_EQ(r.word(p.symbol("res")), 123u); // taken: store skipped
+}
+
+TEST(Reorg, SymbolsAndEntryRemapped)
+{
+    const auto p = asmOrDie(R"(
+        .data
+v:      .word 1
+        .text
+        nop
+_start: addi r1, r0, 7
+        bz   r0, fin
+        addi r1, r1, 1
+fin:    halt
+)");
+    const auto q = reorganize(p, {}, nullptr);
+    // _start must still point at the addi instruction.
+    const auto &sec = q.text();
+    const word_t w = sec.words[q.symbol("_start") - sec.base];
+    EXPECT_EQ(isa::decode(w).imm, 7);
+    EXPECT_EQ(q.entry, q.symbol("_start"));
+    // Data symbols unchanged.
+    EXPECT_EQ(q.symbol("v"), p.symbol("v"));
+}
+
+TEST(Reorg, TrapTerminatorsGetNoSlots)
+{
+    const auto p = asmOrDie(R"(
+_start: addi r1, r0, 1
+        halt
+)");
+    const auto q = reorganize(p, {}, nullptr);
+    EXPECT_EQ(q.text().words.size(), 2u);
+}
+
+TEST(Reorg, VerifyScheduleCleanAcrossSchemes)
+{
+    const auto p = asmOrDie(R"(
+        .data
+a:      .word 5, 4, 3, 2, 1
+s:      .space 1
+        .text
+_start: la   r10, a
+        addi r1, r0, 5
+        addi r2, r0, 0
+loop:   ld   r3, 0(r10)
+        add  r2, r2, r3
+        addi r10, r10, 1
+        addi r1, r1, -1
+        bnz  r1, loop
+        st   r2, s
+        halt
+)");
+    for (const auto scheme :
+         {BranchScheme::NoSquash, BranchScheme::AlwaysSquash,
+          BranchScheme::SquashOptional}) {
+        for (const unsigned slots : {1u, 2u}) {
+            ReorgConfig cfg;
+            cfg.scheme = scheme;
+            cfg.slots = slots;
+            cfg.paperFaithful = false;
+            const auto q = reorganize(p, cfg, nullptr);
+            Cfg check = Cfg::build(q.text(), textSymbols(q));
+            // The emitted code is already scheduled; rebuilt CFG has
+            // slot instructions inside the blocks, so only run the
+            // functional equivalence here.
+            (void)check;
+            auto r = runDelayed(q, slots);
+            EXPECT_EQ(r.reason, sim::IssStop::Halt)
+                << branchSchemeName(scheme) << "/" << slots;
+            EXPECT_EQ(r.word(q.symbol("s")), 15u)
+                << branchSchemeName(scheme) << "/" << slots;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The central equivalence property, on randomized programs.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Generate a random but terminating sequential program. */
+std::string
+randomProgram(std::mt19937 &rng)
+{
+    auto pick = [&rng](int n) { return static_cast<int>(rng() % n); };
+    auto reg = [&]() { return 2 + pick(10); }; // r2..r11
+
+    std::string s = "        .data\narr:    .space 80\n        .text\n";
+    s += "_start: li r1, 60\n";
+    s += "        la r20, arr\n";
+
+    auto body = [&](int len) {
+        std::string b;
+        for (int i = 0; i < len; ++i) {
+            switch (pick(8)) {
+              case 0:
+                b += strformat("        add r%d, r%d, r%d\n", reg(),
+                               reg(), reg());
+                break;
+              case 1:
+                b += strformat("        sub r%d, r%d, r%d\n", reg(),
+                               reg(), reg());
+                break;
+              case 2:
+                b += strformat("        xor r%d, r%d, r%d\n", reg(),
+                               reg(), reg());
+                break;
+              case 3:
+                b += strformat("        addi r%d, r%d, %d\n", reg(),
+                               reg(), pick(100) - 50);
+                break;
+              case 4:
+                b += strformat("        sll r%d, r%d, %d\n", reg(),
+                               reg(), pick(5));
+                break;
+              case 5:
+                b += strformat("        ld r%d, %d(r20)\n", reg(),
+                               pick(64));
+                break;
+              case 6:
+                b += strformat("        st r%d, %d(r20)\n", reg(),
+                               pick(64));
+                break;
+              case 7:
+                b += strformat("        and r%d, r%d, r%d\n", reg(),
+                               reg(), reg());
+                break;
+            }
+        }
+        return b;
+    };
+
+    s += "loop:\n";
+    s += body(3 + pick(5));
+    static const char *conds[] = {"beq", "bne", "blt", "bge"};
+    s += strformat("        %s r%d, r%d, skip%s\n", conds[pick(4)], reg(),
+                   reg(), "1");
+    s += body(2 + pick(4));
+    s += "skip1:\n";
+    s += body(2 + pick(4));
+    s += strformat("        %s r%d, r%d, skip2\n", conds[pick(4)], reg(),
+                   reg());
+    s += body(1 + pick(3));
+    s += "skip2:\n";
+    s += "        addi r1, r1, -1\n";
+    s += "        bnz r1, loop\n";
+    s += body(2 + pick(3));
+    // Dump every working register: this makes them live at program
+    // exit, so the scheduler's wrong-path fills may not clobber them
+    // (dead registers are legitimately allowed to differ).
+    for (int r = 2; r <= 11; ++r)
+        s += strformat("        st r%d, %d(r20)\n", r, 64 + r);
+    s += "        halt\n";
+    return s;
+}
+
+} // namespace
+
+class ReorgEquivalence : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ReorgEquivalence, SequentialEqualsReorganizedOnAllMachines)
+{
+    std::mt19937 rng(GetParam());
+    for (int trial = 0; trial < 6; ++trial) {
+        const std::string src = randomProgram(rng);
+        const auto p = asmOrDie(src);
+
+        auto seq = runSequential(p);
+        ASSERT_EQ(seq.reason, sim::IssStop::Halt) << src;
+
+        for (const auto scheme :
+             {BranchScheme::NoSquash, BranchScheme::AlwaysSquash,
+              BranchScheme::SquashOptional}) {
+            for (const unsigned slots : {1u, 2u}) {
+                ReorgConfig cfg;
+                cfg.scheme = scheme;
+                cfg.slots = slots;
+                cfg.paperFaithful = false;
+                const auto q = reorganize(p, cfg, nullptr);
+
+                // Delayed-semantics ISS.
+                auto del = runDelayed(q, slots);
+                ASSERT_EQ(del.reason, sim::IssStop::Halt);
+                for (unsigned r = 2; r <= 11; ++r) {
+                    ASSERT_EQ(del.word(p.symbol("arr") + 64 + r),
+                              seq.word(p.symbol("arr") + 64 + r))
+                        << "iss r" << r << " scheme "
+                        << branchSchemeName(scheme) << " slots " << slots
+                        << "\n" << src;
+                }
+                for (addr_t a = 0; a < 64; ++a) {
+                    ASSERT_EQ(del.word(p.symbol("arr") + a),
+                              seq.word(p.symbol("arr") + a))
+                        << "mem+" << a;
+                }
+
+                // Cycle-accurate pipeline.
+                sim::MachineConfig mc;
+                mc.cpu.branchDelay = slots;
+                auto pipe = runPipelineProg(q, mc);
+                ASSERT_EQ(pipe.result.reason, core::StopReason::Halt);
+                EXPECT_EQ(pipe.stats().hazardViolations, 0u)
+                    << branchSchemeName(scheme) << "/" << slots << "\n"
+                    << src;
+                for (unsigned r = 2; r <= 11; ++r) {
+                    ASSERT_EQ(pipe.word(p.symbol("arr") + 64 + r),
+                              seq.word(p.symbol("arr") + 64 + r))
+                        << "pipe r" << r << " scheme "
+                        << branchSchemeName(scheme) << " slots " << slots
+                        << "\n" << src;
+                }
+                for (addr_t a = 0; a < 64; ++a) {
+                    ASSERT_EQ(pipe.word(p.symbol("arr") + a),
+                              seq.word(p.symbol("arr") + a))
+                        << "pipe mem+" << a;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorgEquivalence,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(Predictor, BranchCacheBasics)
+{
+    BranchCacheModel bc(16);
+    sim::BranchEvent ev;
+    ev.conditional = true;
+    ev.pc = 100;
+    ev.target = 90;
+    ev.taken = true;
+    for (int i = 0; i < 10; ++i)
+        bc.record(ev);
+    EXPECT_GT(bc.accuracy(), 0.8);
+    EXPECT_GT(bc.hitRate(), 0.8);
+}
+
+TEST(Predictor, StaticModels)
+{
+    AlwaysTakenModel at;
+    BackwardTakenModel bt;
+    sim::BranchEvent back{100, 90, true, true};
+    sim::BranchEvent fwd{100, 110, true, false};
+    for (int i = 0; i < 5; ++i) {
+        at.record(back);
+        at.record(fwd);
+        bt.record(back);
+        bt.record(fwd);
+    }
+    EXPECT_NEAR(at.accuracy(), 0.5, 1e-9);
+    EXPECT_NEAR(bt.accuracy(), 1.0, 1e-9);
+}
+
+TEST(Predictor, ProfileBeatsHeuristicOnAdversarialBranch)
+{
+    // A forward branch that is almost always taken.
+    BackwardTakenModel heur;
+    ProfileModel prof;
+    sim::BranchEvent ev{100, 200, true, true};
+    for (int i = 0; i < 20; ++i)
+        prof.addProfile(ev);
+    for (int i = 0; i < 20; ++i) {
+        heur.record(ev);
+        prof.record(ev);
+    }
+    EXPECT_LT(heur.accuracy(), 0.1);
+    EXPECT_GT(prof.accuracy(), 0.9);
+}
+
+TEST(Reorg, EdgeCasePrograms)
+{
+    // Only a halt.
+    {
+        const auto q = reorganize(asmOrDie("_start: halt\n"), {}, nullptr);
+        auto r = runDelayed(q);
+        EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    }
+    // A single unconditional self-contained jump chain.
+    {
+        const auto q = reorganize(asmOrDie(R"(
+_start: jmp a
+a:      jmp b
+b:      halt
+)"), {}, nullptr);
+        auto r = runDelayed(q);
+        EXPECT_EQ(r.reason, sim::IssStop::Halt);
+    }
+    // A branch whose target is its own fall-through.
+    {
+        const auto q = reorganize(asmOrDie(R"(
+_start: addi r1, r0, 1
+        beq  r1, r1, next
+next:   addi r2, r0, 2
+        halt
+)"), {}, nullptr);
+        auto r = runDelayed(q);
+        EXPECT_EQ(r.reason, sim::IssStop::Halt);
+        EXPECT_EQ(r.gpr(2), 2u);
+    }
+    // An empty infinite-loop-free block chain with back-to-back labels.
+    {
+        const auto q = reorganize(asmOrDie(R"(
+_start:
+l1:
+l2:     addi r1, r0, 9
+        halt
+)"), {}, nullptr);
+        auto r = runDelayed(q);
+        EXPECT_EQ(r.gpr(1), 9u);
+    }
+    // Data-only program: assembles, nothing to reorganize.
+    {
+        const auto p = asmOrDie(".data\nx: .word 1\n");
+        EXPECT_NO_THROW(reorganize(p, {}, nullptr));
+    }
+}
+
+TEST(Reorg, JpcInUserTextIsRejected)
+{
+    const auto p = asmOrDie("_start: jpc\n        halt\n");
+    EXPECT_THROW(reorganize(p, {}, nullptr), SimError);
+}
+
+TEST(Reorg, SlotCountOneAndTwoProduceDifferentLayouts)
+{
+    const auto p = asmOrDie(R"(
+_start: addi r1, r0, 3
+loop:   addi r1, r1, -1
+        bnz  r1, loop
+        halt
+)");
+    reorg::ReorgConfig one;
+    one.slots = 1;
+    const auto q1 = reorganize(p, one, nullptr);
+    const auto q2 = reorganize(p, {}, nullptr);
+    EXPECT_LT(q1.textSize(), q2.textSize());
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Workload-suite tests: every benchmark self-checks on the sequential
+ * ISS, and its reorganized form self-checks on the delayed ISS and the
+ * cycle-accurate pipeline (with hazard detection on). Also validates the
+ * CISC reference twins and the synthetic trace generator.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "reorg/scheduler.hh"
+#include "workload/cisc_ref.hh"
+#include "workload/trace_gen.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+using namespace mipsx::workload;
+
+class WorkloadSuite : public ::testing::TestWithParam<Workload>
+{};
+
+TEST_P(WorkloadSuite, PassesOnSequentialIss)
+{
+    const auto &w = GetParam();
+    const auto p = asmOrDie(w.source);
+    auto r = runSequential(p);
+    EXPECT_EQ(r.reason, sim::IssStop::Halt) << w.name;
+}
+
+TEST_P(WorkloadSuite, PassesReorganizedOnDelayedIss)
+{
+    const auto &w = GetParam();
+    const auto p = asmOrDie(w.source);
+    for (const auto scheme :
+         {reorg::BranchScheme::NoSquash,
+          reorg::BranchScheme::AlwaysSquash,
+          reorg::BranchScheme::SquashOptional}) {
+        reorg::ReorgConfig cfg;
+        cfg.scheme = scheme;
+        cfg.paperFaithful = false;
+        const auto q = reorg::reorganize(p, cfg, nullptr);
+        auto r = runDelayed(q);
+        EXPECT_EQ(r.reason, sim::IssStop::Halt)
+            << w.name << " / " << reorg::branchSchemeName(scheme);
+    }
+}
+
+TEST_P(WorkloadSuite, PassesReorganizedOnPipeline)
+{
+    const auto &w = GetParam();
+    const auto run = runWorkload(w);
+    EXPECT_TRUE(run.passed) << w.name << " stopped with "
+                            << core::stopReasonName(run.reason);
+    EXPECT_EQ(run.pipeline.hazardViolations, 0u) << w.name;
+    EXPECT_GT(run.pipeline.committed, 100u) << w.name;
+    EXPECT_GE(run.pipeline.cpi(), 1.0) << w.name;
+}
+
+TEST_P(WorkloadSuite, OneSlotMachineAlsoPasses)
+{
+    const auto &w = GetParam();
+    reorg::ReorgConfig rc;
+    rc.slots = 1;
+    sim::MachineConfig mc;
+    mc.cpu.branchDelay = 1;
+    const auto run = runWorkload(w, mc, rc);
+    EXPECT_TRUE(run.passed) << w.name;
+    EXPECT_EQ(run.pipeline.hazardViolations, 0u) << w.name;
+}
+
+namespace
+{
+std::string
+workloadName(const ::testing::TestParamInfo<Workload> &info)
+{
+    return info.param.name;
+}
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadSuite,
+                         ::testing::ValuesIn(fullSuite()), workloadName);
+
+TEST(WorkloadMeta, SuiteShape)
+{
+    const auto all = fullSuite();
+    EXPECT_GE(all.size(), 18u);
+    std::set<std::string> names;
+    unsigned pascal = 0, lisp = 0, fp = 0;
+    for (const auto &w : all) {
+        EXPECT_TRUE(names.insert(w.name).second)
+            << "duplicate " << w.name;
+        EXPECT_FALSE(w.description.empty());
+        switch (w.family) {
+          case Family::Pascal:
+            ++pascal;
+            break;
+          case Family::Lisp:
+            ++lisp;
+            break;
+          case Family::Fp:
+            ++fp;
+            break;
+        }
+    }
+    EXPECT_GE(pascal, 8u);
+    EXPECT_GE(lisp, 5u);
+    EXPECT_GE(fp, 3u);
+}
+
+TEST(WorkloadMeta, ProfilesCoverBranches)
+{
+    const auto all = pascalWorkloads();
+    const auto prof = collectProfile(all.front());
+    EXPECT_GT(prof.size(), 0u);
+    for (const auto &[pc, p] : prof) {
+        (void)pc;
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(WorkloadMeta, LispFamilyHasMoreLoadInterlocks)
+{
+    // The paper's observation: Lisp code has a higher no-op fraction
+    // because of load-load chains and extra jumps.
+    auto noopFrac = [](const std::vector<Workload> &ws) {
+        std::uint64_t nops = 0, committed = 0;
+        for (const auto &w : ws) {
+            const auto run = runWorkload(w);
+            nops += run.pipeline.committedNops +
+                run.pipeline.squashed;
+            committed += run.pipeline.committed;
+        }
+        return static_cast<double>(nops) / committed;
+    };
+    const double lisp = noopFrac(lispWorkloads());
+    const double pascal = noopFrac(pascalWorkloads());
+    EXPECT_GT(lisp, pascal);
+}
+
+TEST(CiscRef, BenchmarksProduceExpectedResults)
+{
+    for (const auto &bm : ciscBenchmarks()) {
+        CiscVm vm;
+        for (const auto &[a, v] : bm.init)
+            vm.poke(a, v);
+        const auto r = vm.run(bm.program);
+        EXPECT_TRUE(r.halted) << bm.name;
+        EXPECT_EQ(vm.peek(bm.resultAddr), bm.expected) << bm.name;
+        EXPECT_GT(r.instructions, 50u) << bm.name;
+    }
+}
+
+TEST(CiscRef, PathLengthShorterThanRisc)
+{
+    // The headline claim: the RISC executes more instructions (roughly
+    // 1.1x - 1.8x across the Stanford/Berkeley compiler range).
+    const auto suite = fullSuite();
+    for (const auto &bm : ciscBenchmarks()) {
+        CiscVm vm;
+        for (const auto &[a, v] : bm.init)
+            vm.poke(a, v);
+        const auto cisc = vm.run(bm.program);
+
+        const Workload *w = nullptr;
+        for (const auto &cand : suite)
+            if (cand.name == bm.name)
+                w = &cand;
+        ASSERT_NE(w, nullptr) << bm.name;
+        const auto p = asmOrDie(w->source);
+        auto r = runSequential(p);
+        ASSERT_EQ(r.reason, sim::IssStop::Halt);
+        const double ratio = static_cast<double>(r.iss->stats().steps) /
+            static_cast<double>(cisc.instructions);
+        EXPECT_GT(ratio, 1.0) << bm.name;
+        EXPECT_LT(ratio, 3.0) << bm.name;
+    }
+}
+
+TEST(TraceGen, LocalityKnobsWork)
+{
+    TraceConfig tight;
+    tight.hotWords = 1024;
+    tight.sequential = 0.9;
+    TraceConfig loose;
+    loose.hotWords = 512 * 1024;
+    loose.sequential = 0.2;
+    loose.hotBias = 0.2;
+
+    auto distinct = [](const TraceConfig &cfg) {
+        TraceGenerator gen(cfg);
+        std::set<addr_t> pages;
+        for (int i = 0; i < 50000; ++i)
+            pages.insert(gen.next().addr / 64);
+        return pages.size();
+    };
+    EXPECT_LT(distinct(tight), distinct(loose));
+}
+
+TEST(TraceGen, WriteFractionRespected)
+{
+    TraceGenerator gen(TraceConfig{});
+    unsigned writes = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (gen.next().write)
+            ++writes;
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.16, 0.02);
+}

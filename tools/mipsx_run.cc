@@ -1,0 +1,308 @@
+/**
+ * @file
+ * mipsx-run — the command-line driver for the toolchain.
+ *
+ *     mipsx-run [options] program.s
+ *
+ * Assembles the program, optionally runs the code reorganizer, executes
+ * it on the functional or the cycle-accurate simulator, and reports the
+ * statistics the MIPS-X evaluation is built from.
+ *
+ * Options:
+ *   --iss               run on the functional simulator (sequential)
+ *   --no-reorg          skip the reorganizer (hand-scheduled input)
+ *   --scheme S          no-squash | always-squash | squash-optional
+ *   --slots N           branch delay slots (1 or 2)
+ *   --profile           steer squashing with a profiling pre-run
+ *   --icache-off        disable the on-chip instruction cache
+ *   --trace             print every retiring instruction
+ *   --disasm            print the (scheduled) program and exit
+ *   --max-cycles N      stop after N cycles
+ *   --mp N              run on an N-CPU shared-memory multiprocessor
+ *   --stats             dump every statistic as group.key lines
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "isa/disasm.hh"
+#include "mp/multi_machine.hh"
+#include "reorg/scheduler.hh"
+#include "sim/machine.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+struct Options
+{
+    std::string file;
+    bool iss = false;
+    bool reorg = true;
+    bool profile = false;
+    bool icacheOff = false;
+    bool trace = false;
+    bool disasm = false;
+    bool stats = false;
+    unsigned slots = 2;
+    unsigned mpCpus = 0;
+    cycle_t maxCycles = 200'000'000;
+    reorg::BranchScheme scheme = reorg::BranchScheme::SquashOptional;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--iss] [--no-reorg] [--scheme S] "
+                 "[--slots N] [--profile]\n"
+                 "       [--icache-off] [--trace] [--disasm] "
+                 "[--max-cycles N] program.s\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--iss")
+            o.iss = true;
+        else if (a == "--no-reorg")
+            o.reorg = false;
+        else if (a == "--profile")
+            o.profile = true;
+        else if (a == "--icache-off")
+            o.icacheOff = true;
+        else if (a == "--trace")
+            o.trace = true;
+        else if (a == "--disasm")
+            o.disasm = true;
+        else if (a == "--stats")
+            o.stats = true;
+        else if (a == "--slots")
+            o.slots = static_cast<unsigned>(std::stoul(next()));
+        else if (a == "--max-cycles")
+            o.maxCycles = std::stoull(next());
+        else if (a == "--mp")
+            o.mpCpus = static_cast<unsigned>(std::stoul(next()));
+        else if (a == "--scheme") {
+            const auto s = next();
+            if (s == "no-squash")
+                o.scheme = reorg::BranchScheme::NoSquash;
+            else if (s == "always-squash")
+                o.scheme = reorg::BranchScheme::AlwaysSquash;
+            else if (s == "squash-optional")
+                o.scheme = reorg::BranchScheme::SquashOptional;
+            else
+                usage(argv[0]);
+        } else if (!a.empty() && a[0] == '-') {
+            usage(argv[0]);
+        } else if (o.file.empty()) {
+            o.file = a;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (o.file.empty())
+        usage(argv[0]);
+    return o;
+}
+
+std::map<addr_t, double>
+profileRun(const assembler::Program &prog)
+{
+    memory::MainMemory mem;
+    mem.loadProgram(prog);
+    sim::Iss iss({}, mem);
+    iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+    struct Acc
+    {
+        std::uint64_t taken = 0, total = 0;
+    };
+    std::map<addr_t, Acc> acc;
+    iss.setBranchHook([&acc](const sim::BranchEvent &ev) {
+        if (!ev.conditional)
+            return;
+        ++acc[ev.pc].total;
+        if (ev.taken)
+            ++acc[ev.pc].taken;
+    });
+    iss.reset(prog.entry);
+    iss.setGpr(isa::reg::sp, 0x70000);
+    if (iss.run() != sim::IssStop::Halt)
+        fatal("profiling run did not halt");
+    std::map<addr_t, double> out;
+    for (const auto &[pc, a] : acc)
+        out[pc] = static_cast<double>(a.taken) / a.total;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const Options o = parseArgs(argc, argv);
+
+    std::ifstream in(o.file);
+    if (!in)
+        fatal(strformat("cannot open '%s'", o.file.c_str()));
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    auto program = assembler::assemble(ss.str(), o.file);
+    std::printf("assembled %zu instruction words from %s\n",
+                program.textSize(), o.file.c_str());
+
+    if (o.reorg && !o.iss) {
+        reorg::ReorgConfig rc;
+        rc.scheme = o.scheme;
+        rc.slots = o.slots;
+        if (o.profile) {
+            rc.prediction = reorg::Prediction::Profile;
+            rc.profile = profileRun(program);
+        }
+        reorg::ReorgStats st;
+        program = reorg::reorganize(program, rc, &st);
+        std::printf("reorganized (%s, %u slots): %llu/%llu slots "
+                    "filled, %llu load hazards fixed\n",
+                    reorg::branchSchemeName(o.scheme), o.slots,
+                    static_cast<unsigned long long>(st.slotsTotal -
+                                                    st.slotsNop),
+                    static_cast<unsigned long long>(st.slotsTotal),
+                    static_cast<unsigned long long>(st.loadHazards));
+    }
+
+    if (o.disasm) {
+        for (const auto &sec : program.sections) {
+            if (!sec.isText)
+                continue;
+            std::printf("\nsection %s (%s space) @ 0x%x:\n",
+                        sec.name.c_str(),
+                        sec.space == AddressSpace::System ? "system"
+                                                          : "user",
+                        sec.base);
+            for (std::size_t i = 0; i < sec.words.size(); ++i) {
+                const addr_t pc = sec.base + static_cast<addr_t>(i);
+                std::string label;
+                for (const auto &[n, a] : program.symbols)
+                    if (a == pc)
+                        label = n + ":";
+                std::printf("%05x %-12s %-30s%s\n", pc, label.c_str(),
+                            isa::disassemble(sec.words[i], pc,
+                                             true).c_str(),
+                            sec.slots[i] ? " ; slot" : "");
+            }
+        }
+        return 0;
+    }
+
+    if (o.iss) {
+        memory::MainMemory mem;
+        const auto r = sim::runIss(program, mem);
+        std::printf("functional run: %s after %llu instructions "
+                    "(%llu loads, %llu stores, %llu branches)\n",
+                    r.reason == sim::IssStop::Halt ? "halted" : "FAILED",
+                    static_cast<unsigned long long>(r.stats.steps),
+                    static_cast<unsigned long long>(r.stats.loads),
+                    static_cast<unsigned long long>(r.stats.stores),
+                    static_cast<unsigned long long>(r.stats.branches));
+        return r.reason == sim::IssStop::Halt ? 0 : 1;
+    }
+
+    if (o.mpCpus > 0) {
+        mp::MultiMachineConfig mc;
+        mc.cpus = o.mpCpus;
+        mc.cpu.branchDelay = o.slots;
+        mc.cpu.icache.enabled = !o.icacheOff;
+        mc.maxCycles = o.maxCycles;
+        mp::MultiMachine machine(mc);
+        machine.load(program);
+        const auto r = machine.run();
+        std::printf("multiprocessor run (%u CPUs): %s\n", o.mpCpus,
+                    r.allHalted ? "all halted" : "FAILED");
+        std::printf("  cycles        %llu\n",
+                    static_cast<unsigned long long>(r.cycles));
+        std::printf("  instructions  %llu (aggregate %.1f MIPS at "
+                    "20 MHz)\n",
+                    static_cast<unsigned long long>(r.instructions),
+                    r.cycles ? 20.0 * double(r.instructions) /
+                            double(r.cycles)
+                             : 0.0);
+        std::printf("  bus           %llu transactions, %llu wait "
+                    "cycles; %llu invalidations\n",
+                    static_cast<unsigned long long>(r.busTransactions),
+                    static_cast<unsigned long long>(r.busWaitCycles),
+                    static_cast<unsigned long long>(r.invalidations));
+        return r.allHalted ? 0 : 1;
+    }
+
+    sim::MachineConfig cfg;
+    cfg.cpu.branchDelay = o.slots;
+    cfg.cpu.icache.enabled = !o.icacheOff;
+    cfg.cpu.maxCycles = o.maxCycles;
+    cfg.attachCounterCop = true;
+    sim::Machine machine(cfg);
+    machine.load(program);
+    if (o.trace) {
+        machine.cpu().setRetireHook([](const core::Cpu::RetireEvent &ev) {
+            std::printf("%8llu  %05x  %-30s%s\n",
+                        static_cast<unsigned long long>(ev.cycle), ev.pc,
+                        isa::disassemble(ev.raw, ev.pc, true).c_str(),
+                        ev.squashed ? "  [squashed]" : "");
+        });
+    }
+    const auto result = machine.run();
+    const auto &s = machine.cpu().stats();
+
+    std::printf("pipeline run: %s\n", core::stopReasonName(result.reason));
+    std::printf("  cycles        %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("  instructions  %llu  (CPI %.3f; %.1f MIPS at 20 MHz)\n",
+                static_cast<unsigned long long>(s.committed), s.cpi(),
+                s.cpi() > 0 ? 20.0 / s.cpi() : 0.0);
+    std::printf("  no-ops        %llu (%.1f%%), squashed %llu\n",
+                static_cast<unsigned long long>(s.committedNops),
+                100.0 * s.noopFraction(),
+                static_cast<unsigned long long>(s.squashed));
+    std::printf("  branches      %llu (%.2f cycles/branch), jumps %llu\n",
+                static_cast<unsigned long long>(s.branches),
+                s.cyclesPerBranch(),
+                static_cast<unsigned long long>(s.jumps));
+    std::printf("  icache        %.1f%% miss, fetch cost %.3f\n",
+                100.0 * machine.cpu().icache().missRatio(),
+                machine.cpu().icache().avgFetchCost());
+    std::printf("  ecache        %.1f%% miss over %llu accesses\n",
+                100.0 * machine.cpu().ecache().missRatio(),
+                static_cast<unsigned long long>(
+                    machine.cpu().ecache().accesses()));
+    std::printf("  exceptions    %llu (%llu interrupts), hazards %llu\n",
+                static_cast<unsigned long long>(s.exceptions),
+                static_cast<unsigned long long>(s.interrupts),
+                static_cast<unsigned long long>(s.hazardViolations));
+    if (o.stats) {
+        std::printf("\n");
+        std::ostringstream os;
+        machine.cpu().dumpStats(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    return result.halted() ? 0 : 1;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "mipsx-run: %s\n", e.what());
+    return 1;
+}
