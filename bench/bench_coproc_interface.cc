@@ -88,12 +88,14 @@ main()
                        {"interface", "cycles", "vs final", "extra pins",
                         "coproc insts cached?"});
 
+    BenchJson json("coproc_interface");
     cycle_t finalCycles = 0;
     {
-        const auto agg = runSuite(fp);
+        const auto agg = bench::runSuite(fp);
         if (agg.failures)
             fatal("fp suite failed under the final interface");
         finalCycles = agg.cycles;
+        json.setSuite("final", agg);
         table.addRow({"final: address-line, cached, ldf/stf",
                       strformat("%llu", (unsigned long long)agg.cycles),
                       "1.00x", "1 (memory-ignore)", "yes"});
@@ -104,6 +106,7 @@ main()
         const auto agg = runSuite(fp, mc);
         if (agg.failures)
             fatal("fp suite failed under the non-cached interface");
+        json.set("non_cached.cycles", std::uint64_t(agg.cycles));
         table.addRow({"rejected: non-cached coproc instructions",
                       strformat("%llu", (unsigned long long)agg.cycles),
                       strformat("%.2fx",
@@ -116,6 +119,7 @@ main()
         // movfrc/movtoc each become a store + load pair (one extra
         // instruction and one extra Ecache access ~ 2 cycles).
         const cycle_t modeled = finalCycles + 2 * regMoves;
+        json.set("dedicated_bus.modeled_cycles", std::uint64_t(modeled));
         table.addRow({"rejected: dedicated coprocessor bus",
                       strformat("%llu (modeled)",
                                 (unsigned long long)modeled),
@@ -123,6 +127,7 @@ main()
                       "~20 (instruction bus)", "yes"});
     }
     table.print(std::cout);
+    json.write();
 
     std::printf(
         "Expected shape: the non-cached scheme loses big on FP code "

@@ -26,13 +26,17 @@ namespace
 
 void
 reportConfig(const char *label, const sim::MachineConfig &mc,
-             stats::Table &table, bool big_code_only = false)
+             stats::Table &table, BenchJson &json, const char *key,
+             bool big_code_only = false)
 {
     const auto suite = big_code_only ? workload::bigCodeWorkloads()
                                      : workload::fullSuite();
-    const auto agg = runSuite(suite, mc);
+    SuiteTiming timing;
+    const auto agg = runSuite(suite, mc, {}, false, 0, &timing);
     if (agg.failures)
         fatal("suite failures in the CPI study");
+    json.setSuite(key, agg);
+    json.setTiming(std::string(key) + ".timing", timing);
 
     const double icachePerInstr =
         double(agg.icacheStalls) / agg.committed;
@@ -92,14 +96,17 @@ main()
                        {"configuration", "cpi", "fetch cost",
                         "icache stall/instr", "ecache stall/instr",
                         "nop frac", "MIPS@20MHz", "MIPS@16MHz"});
+    BenchJson json("cpi_breakdown");
 
     {
         sim::MachineConfig mc; // the paper's machine; suite fits Ecache
-        reportConfig("64K-word Ecache (suite fits)", mc, table);
+        reportConfig("64K-word Ecache (suite fits)", mc, table, json,
+                     "ecache_64k");
     }
     {
         sim::MachineConfig mc; // the paper's population: big programs
-        reportConfig("large-code programs only", mc, table, true);
+        reportConfig("large-code programs only", mc, table, json,
+                     "large_code", true);
     }
     {
         // Big programs whose I-cache refill traffic also pressures a
@@ -109,21 +116,24 @@ main()
         mc.cpu.ecache.sizeWords = 2048;
         mc.cpu.ecache.missPenalty = 16;
         reportConfig("large-code + pressured Ecache (2K)", mc, table,
-                     true);
+                     json, "large_code_ecache_2k", true);
     }
     {
         sim::MachineConfig mc;
         mc.cpu.ecache.sizeWords = 512;
         mc.cpu.ecache.missPenalty = 16;
-        reportConfig("large-code + tiny Ecache (512)", mc, table, true);
+        reportConfig("large-code + tiny Ecache (512)", mc, table, json,
+                     "large_code_ecache_512", true);
     }
     {
         sim::MachineConfig mc;
         mc.cpu.icache.enabled = false;
-        reportConfig("no I-cache (every fetch off-chip)", mc, table);
+        reportConfig("no I-cache (every fetch off-chip)", mc, table,
+                     json, "no_icache");
     }
 
     table.print(std::cout);
+    json.write();
 
     std::printf(
         "Shape to check: CPI sits between the I-cache-only bound and "

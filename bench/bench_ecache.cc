@@ -55,6 +55,7 @@ main()
     }
     table.print(std::cout);
 
+    BenchJson json("ecache");
     stats::Table pen("Late-miss penalty sweep (64K words, 4-word lines)",
                      {"miss penalty (cycles)", "avg stall/ref",
                       "suite cpi"});
@@ -74,6 +75,7 @@ main()
         const auto agg = runSuite(suite, mc);
         if (agg.failures)
             fatal("suite failures in the Ecache study");
+        json.set(strformat("penalty%u.cpi", penalty), agg.cpi());
         pen.addRow({strformat("%u", penalty),
                     stats::Table::num(double(ec.stallCycles()) /
                                           double(refs / 4),
@@ -81,6 +83,7 @@ main()
                     stats::Table::num(agg.cpi(), 2)});
     }
     pen.print(std::cout);
+    json.write();
 
     // Write-policy ablation (Smith 1982, which the paper builds on):
     // write-through pushes every store across the shared bus; copy-back

@@ -49,6 +49,8 @@ main()
         {"cache disabled (test feature)", 1, false, false},
     };
 
+    BenchJson json("icache_double_fetch");
+    unsigned rowIdx = 0;
     for (const auto &row : rows) {
         sim::MachineConfig mc;
         mc.cpu.icache.fetchWords = row.fetchWords;
@@ -57,6 +59,9 @@ main()
         const auto agg = runSuite(suite, mc);
         if (agg.failures)
             fatal("suite failures in the I-cache study");
+        json.set(strformat("row%u.miss_ratio", rowIdx), agg.icacheMissRatio());
+        json.set(strformat("row%u.cpi", rowIdx), agg.cpi());
+        ++rowIdx;
         table.addRow({row.name,
                       stats::Table::pct(agg.icacheMissRatio()),
                       stats::Table::num(agg.avgFetchCost(), 2),
@@ -84,8 +89,10 @@ main()
             fatal("suite failures in the replacement ablation");
         repl.addRow({name, stats::Table::pct(agg.icacheMissRatio()),
                      stats::Table::num(agg.avgFetchCost(), 2)});
+        json.set(std::string(name) + ".miss_ratio", agg.icacheMissRatio());
     }
     repl.print(std::cout);
+    json.write();
 
     std::printf("Expected shape: the 2-word fetch-back roughly halves "
                 "the 1-word miss ratio\nand pulls the average fetch "

@@ -33,6 +33,7 @@ main()
            "smaller blocks at 3 cycles");
 
     const auto suite = workload::bigCodeWorkloads();
+    BenchJson json("icache_service_time");
     stats::Table table(
         "Average fetch cost (cycles), 512 words, 8-way, large-code programs",
         {"block words", "tags", "miss ratio", "penalty=1", "penalty=2",
@@ -55,6 +56,9 @@ main()
                 fatal("suite failures in the service-time study");
             miss_ratio = agg.icacheMissRatio();
             costs.push_back(stats::Table::num(agg.avgFetchCost(), 3));
+            json.set(strformat("block%u.penalty%u.fetch_cost", block,
+                               penalty),
+                     agg.avgFetchCost());
         }
         cells.push_back(stats::Table::pct(miss_ratio));
         for (auto &c : costs)
@@ -79,8 +83,11 @@ main()
                       strformat("%u", 512 / (16 * ways)),
                       stats::Table::pct(agg.icacheMissRatio()),
                       stats::Table::num(agg.avgFetchCost(), 3)});
+        json.set(strformat("ways%u.miss_ratio", ways),
+                 agg.icacheMissRatio());
     }
     assoc.print(std::cout);
+    json.write();
 
     std::printf(
         "Reading the block table the paper's way: compare 'small blocks "

@@ -40,11 +40,15 @@ main()
     rows.push_back({"lisp", workload::lispWorkloads(), "18.3%"});
     rows.push_back({"fp", workload::fpWorkloads(), "-"});
 
+    BenchJson json("noop_fraction");
     double pascalFrac = 0, lispFrac = 0;
     for (const auto &row : rows) {
-        const auto agg = runSuite(row.ws);
+        SuiteTiming timing;
+        const auto agg = bench::runSuite(row.ws, {}, {}, false, 0, &timing);
         if (agg.failures)
             fatal("suite failures in the no-op census");
+        json.setSuite(row.name, agg);
+        json.setTiming(std::string(row.name) + ".timing", timing);
         const double frac = agg.noopFraction();
         const double wasted =
             double(agg.committedNops + agg.squashed) / agg.committed;
@@ -63,6 +67,7 @@ main()
              stats::Table::pct(wasted)});
     }
     table.print(std::cout);
+    json.write();
 
     std::printf("paper: pascal 15.6%%, lisp 18.3%%.  measured: pascal "
                 "%s, lisp %s.\nShape to check: lisp > pascal, driven by "

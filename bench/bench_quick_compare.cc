@@ -84,6 +84,7 @@ main()
     // (b) Machine-level cycles: 2-delay vs idealized 1-delay machine.
     stats::Table mach("Full-compare (2 slots) vs quick-compare (1 slot)",
                       {"machine", "cycles", "cycles/branch", "cpi"});
+    BenchJson json("quick_compare");
     for (const unsigned delay : {2u, 1u}) {
         reorg::ReorgConfig rc;
         rc.slots = delay;
@@ -93,6 +94,7 @@ main()
         const auto agg = runSuite(suite, mc, rc);
         if (agg.failures)
             fatal("suite failures in the quick-compare study");
+        json.setSuite(strformat("delay%u", delay), agg);
         mach.addRow({delay == 2 ? "full compare, 2 delay slots"
                                 : "quick compare, 1 delay slot (ideal)",
                      strformat("%llu", (unsigned long long)agg.cycles),
@@ -100,6 +102,7 @@ main()
                      stats::Table::num(agg.cpi(), 3)});
     }
     mach.print(std::cout);
+    json.write();
 
     std::printf(
         "The tradeoff the paper resolved: the 1-slot machine saves the\n"

@@ -1,16 +1,33 @@
 /**
  * @file
- * Simulator-throughput microbenchmarks (google-benchmark): how many
- * simulated cycles/instructions per second the models deliver. Not a
- * paper experiment — an engineering health check for the tool itself.
+ * Simulator-throughput benchmarks: how many simulated instructions per
+ * host second the models deliver. Not a paper experiment — an
+ * engineering health check for the tool itself.
+ *
+ * Two parts:
+ *  - google-benchmark microbenchmarks on one workload (hash), with and
+ *    without the predecoded instruction store;
+ *  - a full-suite before/after report: the suite runs once the way the
+ *    pre-optimization simulator did (one job, decode on every fetch)
+ *    and once the optimized way (worker pool, predecoded store). The
+ *    two aggregates must be identical — the optimizations change how
+ *    fast the answer arrives, never the answer — and the ratio of
+ *    host throughputs is the simulator speedup, recorded in
+ *    BENCH_simulator_speed.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
 #include "assembler/assembler.hh"
+#include "bench_util.hh"
 #include "common/sim_error.hh"
 #include "reorg/scheduler.hh"
 #include "sim/machine.hh"
+#include "workload/suite_runner.hh"
 #include "workload/workload.hh"
 
 using namespace mipsx;
@@ -29,7 +46,7 @@ hashWorkload()
 }
 
 void
-BM_PipelineSimulation(benchmark::State &state)
+pipelineSimulation(benchmark::State &state, bool predecode)
 {
     const auto prog =
         assembler::assemble(hashWorkload().source, "hash.s");
@@ -37,6 +54,7 @@ BM_PipelineSimulation(benchmark::State &state)
     std::uint64_t instructions = 0;
     for (auto _ : state) {
         sim::Machine machine{sim::MachineConfig{}};
+        machine.memory().setPredecodeEnabled(predecode);
         machine.load(reorged);
         const auto r = machine.run();
         if (!r.halted())
@@ -46,7 +64,20 @@ BM_PipelineSimulation(benchmark::State &state)
     state.counters["sim_instr/s"] = benchmark::Counter(
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    pipelineSimulation(state, true);
+}
 BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineSimulationNoPredecode(benchmark::State &state)
+{
+    pipelineSimulation(state, false);
+}
+BENCHMARK(BM_PipelineSimulationNoPredecode)->Unit(benchmark::kMillisecond);
 
 void
 BM_FunctionalSimulation(benchmark::State &state)
@@ -89,6 +120,108 @@ BM_Reorganizer(benchmark::State &state)
 }
 BENCHMARK(BM_Reorganizer)->Unit(benchmark::kMicrosecond);
 
+/** Best (fastest) of @p reps suite runs; stats checked for identity. */
+workload::SuiteResult
+bestOf(const std::vector<workload::Workload> &suite,
+       const workload::SuiteRunOptions &opts, int reps)
+{
+    workload::SuiteResult best = workload::runSuite(suite, opts);
+    for (int i = 1; i < reps; ++i) {
+        auto r = workload::runSuite(suite, opts);
+        if (!(r.stats == best.stats))
+            throw SimError("suite aggregate not reproducible across runs");
+        if (r.timing.hostSeconds < best.timing.hostSeconds)
+            best = std::move(r);
+    }
+    return best;
+}
+
+/**
+ * The simulation-phase throughput (instructions per host second spent
+ * inside Machine::run()) the pre-optimization simulator achieved on the
+ * full suite on the development host; see EXPERIMENTS.md ("Simulator
+ * performance") for the measurement. Override with MIPSX_SPEED_REF
+ * (instr/s) when benchmarking on a different machine against a locally
+ * measured pre-optimization build.
+ */
+double
+referenceThroughput()
+{
+    if (const char *env = std::getenv("MIPSX_SPEED_REF")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            return v;
+    }
+    return 16.8e6;
+}
+
+/** The full-suite before/after measurement. Returns 0 on success. */
+int
+fullSuiteReport()
+{
+    const auto suite = workload::fullSuite();
+    std::printf("\nfull suite: %zu workloads, 3 runs per mode, best kept\n",
+                suite.size());
+
+    workload::SuiteRunOptions before;
+    before.jobs = 1;
+    before.predecode = false; // decode on every fetch
+
+    workload::SuiteRunOptions after; // worker pool + predecoded store
+
+    const auto b = bestOf(suite, before, 3);
+    const auto a = bestOf(suite, after, 3);
+    bench::reportFailures(b.failures);
+
+    if (!(a.stats == b.stats)) {
+        std::fprintf(stderr,
+                     "!! optimized suite aggregate differs from baseline\n");
+        return 1;
+    }
+
+    // Simulation-phase throughput: host time inside Machine::run() only.
+    // A single pass over the suite is dominated by assemble+reorganize,
+    // so wall time would mostly measure the toolchain; both are printed.
+    std::printf("%-30s %6s %9s %9s %14s\n", "mode", "jobs", "wall s",
+                "sim s", "sim instr/s");
+    std::printf("%-30s %6u %9.3f %9.3f %14.0f\n", "decode-per-fetch, 1 job",
+                b.timing.jobs, b.timing.hostSeconds, b.timing.simSeconds,
+                b.timing.instrPerSimSecond());
+    std::printf("%-30s %6u %9.3f %9.3f %14.0f\n", "predecoded, worker pool",
+                a.timing.jobs, a.timing.hostSeconds, a.timing.simSeconds,
+                a.timing.instrPerSimSecond());
+
+    const double vsPredecode = b.timing.simSeconds > 0
+        ? b.timing.simSeconds / a.timing.simSeconds
+        : 0.0;
+    const double ref = referenceThroughput();
+    const double vsPrePr = a.timing.instrPerSimSecond() / ref;
+    std::printf("speedup from predecode alone: %.2fx"
+                " (aggregates identical)\n", vsPredecode);
+    std::printf("speedup vs pre-optimization simulator: %.2fx"
+                " (reference %.1f Minstr/s, see EXPERIMENTS.md)\n",
+                vsPrePr, ref / 1e6);
+
+    bench::BenchJson json("simulator_speed");
+    json.setSuite("suite", a.stats);
+    json.setTiming("baseline", b.timing);
+    json.setTiming("optimized", a.timing);
+    json.set("speedup_vs_no_predecode", vsPredecode);
+    json.set("reference_instr_per_second", ref);
+    json.set("speedup_vs_reference", vsPrePr);
+    json.write();
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return fullSuiteReport();
+}

@@ -70,6 +70,7 @@ main()
 
     // The paper's static prediction was compile-time, "possibly with
     // profiling"; both columns are reported.
+    BenchJson json("table1_branch_schemes");
     for (const unsigned slots : {2u, 1u}) {
         for (const auto scheme :
              {BranchScheme::NoSquash, BranchScheme::AlwaysSquash,
@@ -89,6 +90,10 @@ main()
 
             const std::string name = strformat(
                 "%u-slot %s", slots, reorg::branchSchemeName(scheme));
+            json.set(name + ".cycles_per_branch_static",
+                     aggStatic.cyclesPerBranch());
+            json.set(name + ".cycles_per_branch_profiled",
+                     aggProf.cyclesPerBranch());
             table.addRow(
                 {name,
                  stats::Table::num(aggStatic.cyclesPerBranch(), 2),
@@ -99,6 +104,7 @@ main()
     }
 
     table.print(std::cout);
+    json.write();
 
     // Static slot-fill provenance (the Gross-style reorganizer
     // statistics behind the table). The paper's a-priori worry for the

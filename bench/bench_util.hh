@@ -1,136 +1,181 @@
 /**
  * @file
  * Shared helpers for the experiment harnesses: run the whole workload
- * suite under a machine/reorganizer configuration and aggregate the
- * statistics the paper's tables report.
+ * suite under a machine/reorganizer configuration (see
+ * workload/suite_runner.hh for the parallel runner itself), report
+ * failures, and dump machine-readable BENCH_<name>.json result files.
  */
 
 #ifndef MIPSX_BENCH_BENCH_UTIL_HH
 #define MIPSX_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "assembler/assembler.hh"
 #include "common/sim_error.hh"
 #include "stats/table.hh"
+#include "workload/suite_runner.hh"
 #include "workload/workload.hh"
 
 namespace mipsx::bench
 {
 
-/** Aggregated statistics over a set of workloads. */
-struct SuiteStats
+using workload::SuiteStats;
+using workload::SuiteTiming;
+
+/**
+ * Print one line per failed workload. The parallel runner collects
+ * failure records instead of letting workers write to stderr, so the
+ * report is printed once, after the join, sorted by suite position.
+ */
+inline void
+reportFailures(const std::vector<workload::SuiteFailure> &failures)
 {
-    unsigned workloads = 0;
-    unsigned failures = 0;
-    cycle_t cycles = 0;
-    std::uint64_t committed = 0;
-    std::uint64_t committedNops = 0;
-    std::uint64_t nopsInBranchSlots = 0;
-    std::uint64_t nopsForLoadDelay = 0;
-    std::uint64_t squashed = 0;
-    std::uint64_t branches = 0;
-    std::uint64_t branchesTaken = 0;
-    std::uint64_t branchWastedSlots = 0;
-    std::uint64_t jumps = 0;
-    std::uint64_t jumpWastedSlots = 0;
-    std::uint64_t icacheAccesses = 0;
-    std::uint64_t icacheMisses = 0;
-    std::uint64_t icacheStalls = 0;
-    std::uint64_t ecacheAccesses = 0;
-    std::uint64_t ecacheMisses = 0;
-    std::uint64_t ecacheStalls = 0;
+    for (const auto &f : failures) {
+        if (!f.error.empty()) {
+            std::fprintf(stderr, "!! workload %s failed: %s\n",
+                         f.name.c_str(), f.error.c_str());
+        } else {
+            std::fprintf(stderr, "!! workload %s stopped with %s\n",
+                         f.name.c_str(), f.reason.c_str());
+        }
+    }
+}
 
-    double cpi() const
-    {
-        return committed ? double(cycles) / double(committed) : 0.0;
-    }
-    double noopFraction() const
-    {
-        return committed ? double(committedNops) / double(committed) : 0.0;
-    }
-    double cyclesPerBranch() const
-    {
-        return branches ? 1.0 + double(branchWastedSlots) / double(branches)
-                        : 0.0;
-    }
-    double cyclesPerControl() const
-    {
-        const auto n = branches + jumps;
-        return n ? 1.0 +
-                double(branchWastedSlots + jumpWastedSlots) / double(n)
-                 : 0.0;
-    }
-    double icacheMissRatio() const
-    {
-        return icacheAccesses ? double(icacheMisses) / double(icacheAccesses)
-                              : 0.0;
-    }
-    double avgFetchCost() const
-    {
-        return icacheAccesses
-            ? 1.0 + double(icacheStalls) / double(icacheAccesses)
-            : 0.0;
-    }
-    double ecacheMissRatio() const
-    {
-        return ecacheAccesses ? double(ecacheMisses) / double(ecacheAccesses)
-                              : 0.0;
-    }
-};
-
-/** Run every workload in @p ws and aggregate. */
+/**
+ * Run every workload in @p ws and aggregate. Runs on
+ * workload::defaultSuiteJobs() workers unless @p jobs says otherwise;
+ * the aggregate is identical for every job count. Host-side timing is
+ * returned through @p timing when provided.
+ */
 inline SuiteStats
 runSuite(const std::vector<workload::Workload> &ws,
          const sim::MachineConfig &machine_cfg = {},
          const reorg::ReorgConfig &reorg_cfg = {},
-         bool use_profiles = false)
+         bool use_profiles = false, unsigned jobs = 0,
+         SuiteTiming *timing = nullptr)
 {
-    SuiteStats agg;
-    for (const auto &w : ws) {
-        reorg::ReorgConfig rc = reorg_cfg;
-        if (use_profiles) {
-            rc.prediction = reorg::Prediction::Profile;
-            rc.profile = workload::collectProfile(w);
-        }
-        const auto prog = assembler::assemble(w.source, w.name + ".s");
-        reorg::ReorgStats rst;
-        const auto reorged = reorg::reorganize(prog, rc, &rst);
-        sim::Machine machine(machine_cfg);
-        machine.load(reorged);
-        const auto result = machine.run();
-
-        ++agg.workloads;
-        if (result.reason != core::StopReason::Halt) {
-            ++agg.failures;
-            std::fprintf(stderr, "!! workload %s stopped with %s\n",
-                         w.name.c_str(),
-                         core::stopReasonName(result.reason));
-            continue;
-        }
-        const auto &s = machine.cpu().stats();
-        agg.cycles += s.cycles;
-        agg.committed += s.committed;
-        agg.committedNops += s.committedNops;
-        agg.nopsInBranchSlots += s.nopsInBranchSlots;
-        agg.nopsForLoadDelay += s.nopsForLoadDelay;
-        agg.squashed += s.squashed;
-        agg.branches += s.branches;
-        agg.branchesTaken += s.branchesTaken;
-        agg.branchWastedSlots += s.branchWastedSlots;
-        agg.jumps += s.jumps;
-        agg.jumpWastedSlots += s.jumpWastedSlots;
-        agg.icacheAccesses += machine.cpu().icache().accesses();
-        agg.icacheMisses += machine.cpu().icache().misses();
-        agg.icacheStalls += machine.cpu().icache().stallCycles();
-        agg.ecacheAccesses += machine.cpu().ecache().accesses();
-        agg.ecacheMisses += machine.cpu().ecache().misses();
-        agg.ecacheStalls += machine.cpu().ecache().stallCycles();
-    }
-    return agg;
+    workload::SuiteRunOptions opts;
+    opts.machine = machine_cfg;
+    opts.reorg = reorg_cfg;
+    opts.useProfiles = use_profiles;
+    opts.jobs = jobs;
+    auto res = workload::runSuite(ws, opts);
+    reportFailures(res.failures);
+    if (timing)
+        *timing = res.timing;
+    return res.stats;
 }
+
+/**
+ * A flat-object JSON writer for benchmark results. Keys keep insertion
+ * order; write() dumps BENCH_<name>.json into the working directory so
+ * harness scripts can diff runs without scraping stdout.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+    void
+    set(const std::string &key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        entries_.emplace_back(key, buf);
+    }
+
+    void
+    set(const std::string &key, std::uint64_t v)
+    {
+        entries_.emplace_back(key, std::to_string(v));
+    }
+
+    void set(const std::string &key, unsigned v)
+    {
+        set(key, static_cast<std::uint64_t>(v));
+    }
+
+    void
+    set(const std::string &key, const std::string &v)
+    {
+        entries_.emplace_back(key, "\"" + escape(v) + "\"");
+    }
+
+    /** Record an aggregated suite under "<prefix>.": counts + ratios. */
+    void
+    setSuite(const std::string &prefix, const SuiteStats &s)
+    {
+        set(prefix + ".workloads", std::uint64_t(s.workloads));
+        set(prefix + ".failures", std::uint64_t(s.failures));
+        set(prefix + ".cycles", std::uint64_t(s.cycles));
+        set(prefix + ".instructions", s.committed);
+        set(prefix + ".cpi", s.cpi());
+        set(prefix + ".noop_fraction", s.noopFraction());
+        set(prefix + ".icache_miss_ratio", s.icacheMissRatio());
+        set(prefix + ".ecache_miss_ratio", s.ecacheMissRatio());
+    }
+
+    /** Record host-side throughput under "<prefix>.". */
+    void
+    setTiming(const std::string &prefix, const SuiteTiming &t)
+    {
+        set(prefix + ".host_seconds", t.hostSeconds);
+        set(prefix + ".sim_seconds", t.simSeconds);
+        set(prefix + ".sim_instructions", t.simInstructions);
+        set(prefix + ".jobs", std::uint64_t(t.jobs));
+        set(prefix + ".instr_per_host_second", t.instrPerHostSecond());
+        set(prefix + ".instr_per_sim_second", t.instrPerSimSecond());
+    }
+
+    /** Write BENCH_<name>.json; returns false (with a note) on error. */
+    bool
+    write() const
+    {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "!! cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n");
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            std::fprintf(f, "  \"%s\": %s%s\n", escape(entries_[i].first).c_str(),
+                         entries_[i].second.c_str(),
+                         i + 1 < entries_.size() ? "," : "");
+        }
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        return out;
+    }
+
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /** Print a standard harness header. */
 inline void

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 verification: the default build plus the full test suite, then
+# the parallel-determinism test again under ThreadSanitizer so data
+# races in the suite runner cannot slip through.
+#
+# Usage: scripts/tier1.sh [build-dir]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+
+echo "== tier-1: build + ctest ($build) =="
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j
+(cd "$build" && ctest --output-on-failure -j)
+
+echo "== tier-1: ThreadSanitizer on the parallel suite runner =="
+tsan="$repo/build-tsan"
+cmake -B "$tsan" -S "$repo" -DMIPSX_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$tsan" -j --target test_bench_parallel
+"$tsan/tests/test_bench_parallel"
+
+echo "tier-1 OK"

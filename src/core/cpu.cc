@@ -3,7 +3,6 @@
 #include "common/sim_error.hh"
 #include "stats/stats.hh"
 #include "core/exec.hh"
-#include "isa/decode.hh"
 #include "isa/disasm.hh"
 
 namespace mipsx::core
@@ -62,7 +61,13 @@ Cpu::reset(addr_t entry)
     psw_ = Psw(config_.initialPsw);
     pswOld_ = Psw(0);
     chain_ = PcChain{};
-    rf_ = alu_ = mem_ = wb_ = Latch{};
+    for (auto &l : latches_)
+        l = Latch{};
+    rf_ = &latches_[0];
+    alu_ = &latches_[1];
+    mem_ = &latches_[2];
+    wb_ = &latches_[3];
+    spare_ = &latches_[4];
     fetchPc_ = entry;
     haveRedirect_ = false;
     redirectKill_ = false;
@@ -71,6 +76,7 @@ Cpu::reset(addr_t entry)
     suppressFetch_ = false;
     halting_ = false;
     pendingIntr_ = pendingNmi_ = false;
+    chainSteady_ = false;
     pendingCost_ = {};
     squashFsm_.reset();
     missFsm_.reset();
@@ -91,8 +97,8 @@ Cpu::readOperand(unsigned r)
     // forward from its ALU-output latch; load data arrives only at the
     // very end of MEM and *cannot* be bypassed — the reader sees the old
     // register value (the load delay the reorganizer must respect).
-    if (mem_.valid && !mem_.killed && mem_.inst.destReg() == r) {
-        if (mem_.inst.isGprLoad()) {
+    if (mem_->valid && !mem_->killed && mem_->inst.destReg() == r) {
+        if (mem_->inst.isGprLoad()) {
             if (config_.detectHazards) {
                 ++stats_.hazardViolations;
                 if (config_.stopOnHazard)
@@ -100,7 +106,7 @@ Cpu::readOperand(unsigned r)
             }
             return regs_[r]; // stale: the pre-load value
         }
-        return mem_.aluOut;
+        return mem_->aluOut;
     }
     // Distance >= 2: the WB-stage instruction committed at the start of
     // this cycle (write-before-read), so the register file is current.
@@ -110,8 +116,8 @@ Cpu::readOperand(unsigned r)
 word_t
 Cpu::readMd() const
 {
-    if (mem_.valid && !mem_.killed && mem_.writesMdOut)
-        return mem_.mdOut;
+    if (mem_->valid && !mem_->killed && mem_->writesMdOut)
+        return mem_->mdOut;
     return md_;
 }
 
@@ -120,8 +126,8 @@ Cpu::readSpecial(SpecialReg sreg) const
 {
     switch (sreg) {
       case SpecialReg::Psw:
-        if (mem_.valid && !mem_.killed && mem_.writesPswOut)
-            return mem_.pswOut;
+        if (mem_->valid && !mem_->killed && mem_->writesPswOut)
+            return mem_->pswOut;
         return psw_.bits();
       case SpecialReg::PswOld:
         return pswOld_.bits();
@@ -152,7 +158,7 @@ Cpu::busTransaction(unsigned duration)
 void
 Cpu::commitWb()
 {
-    Latch &l = wb_;
+    Latch &l = *wb_;
     if (!l.valid)
         return;
 
@@ -175,9 +181,10 @@ Cpu::commitWb()
         retireHook_({stats_.cycles, l.pc, l.space, l.inst.raw, false});
     if (l.inst.isNop()) {
         ++stats_.committedNops;
-        if (l.slot == SlotKind::BrNop)
+        const SlotKind slot = slotOf(l);
+        if (slot == SlotKind::BrNop)
             ++stats_.nopsInBranchSlots;
-        else if (l.slot == SlotKind::LoadNop)
+        else if (slot == SlotKind::LoadNop)
             ++stats_.nopsForLoadDelay;
         return;
     }
@@ -188,8 +195,10 @@ Cpu::commitWb()
         md_ = l.mdOut;
     if (l.writesPswOut)
         psw_.setBits(l.pswOut);
-    if (l.chainIndex >= 0)
+    if (l.chainIndex >= 0) {
         chain_.write(static_cast<unsigned>(l.chainIndex), l.chainOut);
+        chainSteady_ = false;
+    }
 
     if (l.inst.isTrap()) {
         ++stats_.traps;
@@ -214,9 +223,9 @@ Cpu::takeException(word_t cause)
     // Exception no-ops ALU and MEM; Squash no-ops IF and RF. Nothing in
     // those stages completes. The PC chain (already holding the MEM, ALU
     // and RF PCs) freezes because the new PSW clears shiftEn.
-    mem_.killed = true;
-    alu_.killed = true;
-    rf_.killed = true;
+    mem_->killed = true;
+    alu_->killed = true;
+    rf_->killed = true;
     suppressFetch_ = true;
 
     pswOld_ = psw_;
@@ -259,10 +268,10 @@ Cpu::resolveControl(Latch &l)
 
         if (config_.branchDelay == 2) {
             // Slot 1 is in RF right now; slot 2 is fetched this cycle.
-            accountSlot(rf_, pendingCost_);
+            accountSlot(*rf_, pendingCost_);
             if (squash) {
-                rf_.killed = true;
-                rf_.squashKilled = true;
+                rf_->killed = true;
+                rf_->squashKilled = true;
             }
         }
         if (squash) {
@@ -284,7 +293,7 @@ Cpu::resolveControl(Latch &l)
     pendingCost_.taken = true;
     pendingCost_.squashed = false;
     if (config_.branchDelay == 2)
-        accountSlot(rf_, pendingCost_);
+        accountSlot(*rf_, pendingCost_);
 
     haveRedirect_ = true;
     switch (in.immOp) {
@@ -314,7 +323,7 @@ Cpu::resolveControl(Latch &l)
 void
 Cpu::evaluateAlu()
 {
-    Latch &l = alu_;
+    Latch &l = *alu_;
     if (!l.valid || l.killed)
         return;
     const auto &in = l.inst;
@@ -422,7 +431,7 @@ Cpu::evaluateAlu()
                 // Simulation control: drain older instructions, squash
                 // younger ones, and stop when the trap itself retires.
                 halting_ = true;
-                rf_.killed = true;
+                rf_->killed = true;
                 suppressFetch_ = true;
             } else {
                 fault = psw_bits::cTrap;
@@ -454,7 +463,7 @@ Cpu::evaluateAlu()
 void
 Cpu::executeMem()
 {
-    Latch &l = mem_;
+    Latch &l = *mem_;
     if (!l.valid || l.killed || l.inst.fmt != Format::Mem)
         return;
     const auto &in = l.inst;
@@ -530,22 +539,28 @@ Cpu::executeMem()
 // IF stage
 // ---------------------------------------------------------------------
 
-Cpu::Latch
+Cpu::Latch &
 Cpu::fetch()
 {
-    Latch l;
+    // Fill the spare latch in place: the pipeline shift is a pointer
+    // rotation, so nothing here is copied. Only the fields a stage reads
+    // before (re)writing them are reset; everything else is assigned
+    // below or guarded by the flags cleared here.
+    Latch &l = *spare_;
+    l.valid = false;
+    l.killed = false;
+    l.squashKilled = false;
+    l.writesMdOut = false;
+    l.writesPswOut = false;
+    l.chainIndex = -1;
+    l.pc = 0; // bubbles enter the PC chain as (0, squashed)
     if (suppressFetch_)
         return l; // bubble
 
     l.valid = true;
     l.pc = fetchPc_;
     l.space = psw_.space();
-    l.inst = isa::decode(ram_.read(l.space, l.pc));
-
-    if (prog_) {
-        if (const auto *sec = prog_->sectionAt(l.space, l.pc))
-            l.slot = sec->slotAt(l.pc);
-    }
+    l.inst = ram_.fetchDecoded(l.space, l.pc);
 
     const bool cacheable =
         !(config_.coprocNonCachedFetch && l.inst.isCoproc());
@@ -572,6 +587,21 @@ Cpu::fetch()
 // The w1-clocked cycle
 // ---------------------------------------------------------------------
 
+assembler::SlotKind
+Cpu::slotOf(const Latch &l)
+{
+    // Deferred delay-slot provenance lookup: consulted only when a nop
+    // retires or a branch/jump accounts its slots, not on every fetch.
+    // Lookups cluster within one section, so cache the last hit.
+    if (!prog_ || !l.valid)
+        return SlotKind::None;
+    if (!(slotSec_ && slotSec_->space == l.space &&
+          l.pc >= slotSec_->base && l.pc < slotSec_->end())) {
+        slotSec_ = prog_->sectionAt(l.space, l.pc);
+    }
+    return slotSec_ ? slotSec_->slotAt(l.pc) : SlotKind::None;
+}
+
 void
 Cpu::accountSlot(const Latch &slot, const PendingBranchCost &pb)
 {
@@ -579,7 +609,7 @@ Cpu::accountSlot(const Latch &slot, const PendingBranchCost &pb)
     if (pb.squashed || !slot.valid || slot.inst.isNop()) {
         wasted = true;
     } else {
-        switch (slot.slot) {
+        switch (slotOf(slot)) {
           case SlotKind::BrFromTarget:
             wasted = !pb.taken;
             break;
@@ -631,10 +661,14 @@ Cpu::stepCycle()
         return l.valid && l.inst.fmt == Format::Imm &&
             l.inst.immOp == ImmOp::Jpc;
     };
-    const bool latchesKnown = mem_.valid && alu_.valid && rf_.valid &&
-        !is_jpc(mem_) && !is_jpc(alu_) && !is_jpc(rf_);
-    if (!halting_ && latchesKnown &&
-        (pendingNmi_ || (pendingIntr_ && psw_.interruptsEnabled()))) {
+    // Test the (rare) pending flags before inspecting the latches.
+    auto latches_known = [&] {
+        return mem_->valid && alu_->valid && rf_->valid &&
+            !is_jpc(*mem_) && !is_jpc(*alu_) && !is_jpc(*rf_);
+    };
+    if (!halting_ &&
+        (pendingNmi_ || (pendingIntr_ && psw_.interruptsEnabled())) &&
+        latches_known()) {
         const word_t cause =
             pendingNmi_ ? psw_bits::cNmi : psw_bits::cIntr;
         if (pendingNmi_)
@@ -657,9 +691,9 @@ Cpu::stepCycle()
     //    MEM and becomes the oldest saved chain entry, so the restart
     //    re-executes exactly it.
     if (!exceptionThisCycle && !halting_ && config_.pageFaultArmed &&
-        mem_.valid && !mem_.killed && mem_.inst.accessesMemory() &&
-        mem_.space == config_.pageFaultSpace &&
-        mem_.aluOut == config_.pageFaultAddr) {
+        mem_->valid && !mem_->killed && mem_->inst.accessesMemory() &&
+        mem_->space == config_.pageFaultSpace &&
+        mem_->aluOut == config_.pageFaultAddr) {
         config_.pageFaultArmed = false; // "paged in" after the fault
         takeException(psw_bits::cPage);
         exceptionThisCycle = true;
@@ -669,35 +703,36 @@ Cpu::stepCycle()
     executeMem();
 
     // 6. jpc reads and pops the PC chain during its RF cycle.
-    if (rf_.valid && !rf_.killed && rf_.inst.fmt == Format::Imm &&
-        rf_.inst.immOp == ImmOp::Jpc) {
-        rf_.jpcEntry = chain_.pop();
+    if (rf_->valid && !rf_->killed && rf_->inst.fmt == Format::Imm &&
+        rf_->inst.immOp == ImmOp::Jpc) {
+        rf_->jpcEntry = chain_.pop();
+        chainSteady_ = false;
     }
 
     // 7. Quick-compare resolution at the end of RF (branchDelay == 1).
-    if (config_.branchDelay == 1 && !exceptionThisCycle && rf_.valid &&
-        !rf_.killed && (rf_.inst.isBranch() || rf_.inst.isJump())) {
+    if (config_.branchDelay == 1 && !exceptionThisCycle && rf_->valid &&
+        !rf_->killed && (rf_->inst.isBranch() || rf_->inst.isJump())) {
         // Operands resolved with the RF-stage bypass view.
         auto read_rf = [this](unsigned r) -> word_t {
             if (r == 0)
                 return 0;
-            if (alu_.valid && !alu_.killed && alu_.inst.destReg() == r &&
-                !alu_.inst.isGprLoad()) {
-                return alu_.aluOut;
+            if (alu_->valid && !alu_->killed && alu_->inst.destReg() == r &&
+                !alu_->inst.isGprLoad()) {
+                return alu_->aluOut;
             }
-            if (mem_.valid && !mem_.killed && mem_.inst.destReg() == r) {
-                return mem_.inst.isGprLoad() ? mem_.memData : mem_.aluOut;
+            if (mem_->valid && !mem_->killed && mem_->inst.destReg() == r) {
+                return mem_->inst.isGprLoad() ? mem_->memData : mem_->aluOut;
             }
             return regs_[r];
         };
-        rf_.opA = read_rf(rf_.inst.rs1);
-        rf_.opB = read_rf(rf_.inst.rs2);
-        if (rf_.inst.isJump() &&
-            (rf_.inst.immOp == ImmOp::Jal ||
-             rf_.inst.immOp == ImmOp::Jalr)) {
-            rf_.aluOut = rf_.pc + 1 + config_.branchDelay;
+        rf_->opA = read_rf(rf_->inst.rs1);
+        rf_->opB = read_rf(rf_->inst.rs2);
+        if (rf_->inst.isJump() &&
+            (rf_->inst.immOp == ImmOp::Jal ||
+             rf_->inst.immOp == ImmOp::Jalr)) {
+            rf_->aluOut = rf_->pc + 1 + config_.branchDelay;
         }
-        resolveControl(rf_);
+        resolveControl(*rf_);
     }
 
     // 8. The squash FSM observes this cycle's events.
@@ -705,26 +740,39 @@ Cpu::stepCycle()
                     exceptionThisCycle);
 
     // 9. IF stage.
-    Latch fetched = fetch();
+    Latch &fetched = fetch();
     fetchKillArmed_ = false;
     if (pendingCost_.active) {
         accountSlot(fetched, pendingCost_);
         pendingCost_ = {};
     }
 
-    // 10. Shift the pipeline (w1 rises).
+    // 10. Shift the pipeline (w1 rises) by rotating the latch pointers:
+    //     the retired WB latch becomes next cycle's fetch target.
+    Latch *retired = wb_;
     wb_ = mem_;
     mem_ = alu_;
     alu_ = rf_;
-    rf_ = fetched;
+    rf_ = &fetched;
+    spare_ = retired;
 
     // 11. The PC chain shadows the MEM/ALU/RF PCs while shifting is
     //    enabled; an exception freezes it via the PSW.
     if (psw_.shiftEnabled()) {
-        chain_.shift(
-            PcChain::makeEntry(mem_.pc, mem_.squashKilled || !mem_.valid),
-            PcChain::makeEntry(alu_.pc, alu_.squashKilled || !alu_.valid),
-            PcChain::makeEntry(rf_.pc, rf_.squashKilled || !rf_.valid));
+        const word_t alu_entry =
+            PcChain::makeEntry(alu_->pc, alu_->squashKilled || !alu_->valid);
+        const word_t rf_entry =
+            PcChain::makeEntry(rf_->pc, rf_->squashKilled || !rf_->valid);
+        if (chainSteady_) {
+            chain_.shiftSteady(alu_entry, rf_entry);
+        } else {
+            chain_.shift(PcChain::makeEntry(
+                             mem_->pc, mem_->squashKilled || !mem_->valid),
+                         alu_entry, rf_entry);
+            chainSteady_ = true;
+        }
+    } else {
+        chainSteady_ = false;
     }
 
     // 12. Advance the fetch PC. A jpc re-injecting a squashed chain
@@ -757,10 +805,11 @@ void
 Cpu::step()
 {
     stepCycle();
-    while (!stopped() && missFsm_.stalled()) {
-        missFsm_.tick();
-        ++stats_.cycles;
-    }
+    // Nothing can restart the pipeline mid-stall, so the whole service
+    // time is consumed at once. (tick() keeps the cycle-by-cycle form
+    // for lockstep multiprocessor runs.)
+    if (!stopped() && missFsm_.stalled())
+        stats_.cycles += missFsm_.drainStalls();
 }
 
 void

@@ -182,7 +182,12 @@ class Cpu
      * Provide the program image so delay-slot provenance annotations can
      * be consulted for the branch-cost statistics. Optional.
      */
-    void setProgram(const assembler::Program *prog) { prog_ = prog; }
+    void
+    setProgram(const assembler::Program *prog)
+    {
+        prog_ = prog;
+        slotSec_ = nullptr;
+    }
 
     /** Reset all pipeline state and begin fetching at @p entry. */
     void reset(addr_t entry);
@@ -229,7 +234,12 @@ class Cpu
     void setGpr(unsigned r, word_t v);
     word_t md() const { return md_; }
     const Psw &psw() const { return psw_; }
-    void setPsw(word_t bits) { psw_.setBits(bits); }
+    void
+    setPsw(word_t bits)
+    {
+        psw_.setBits(bits);
+        chainSteady_ = false; // shiftEn may have changed under us
+    }
     const PcChain &pcChain() const { return chain_; }
 
     // Component access.
@@ -266,7 +276,6 @@ class Cpu
         word_t chainOut = 0;   ///< movtos pchainN value
         int chainIndex = -1;   ///< which chain entry movtos writes
         word_t jpcEntry = 0;   ///< chain entry popped at RF by jpc
-        assembler::SlotKind slot = assembler::SlotKind::None;
     };
 
     // Per-cycle phases.
@@ -276,7 +285,7 @@ class Cpu
     void resolveControl(Latch &l); ///< branch/jump resolution
     void takeException(word_t cause);
     void executeMem();
-    Latch fetch();
+    Latch &fetch();
 
     /** Charge a main-memory transaction, arbitrating for the bus. */
     unsigned busTransaction(unsigned duration);
@@ -296,6 +305,7 @@ class Cpu
     memory::ECache ecache_;
     coproc::CoprocessorSet cops_;
     const assembler::Program *prog_ = nullptr;
+    const assembler::Section *slotSec_ = nullptr; ///< last slot lookup hit
 
     // Architectural state.
     std::array<word_t, numGprs> regs_{};
@@ -304,9 +314,16 @@ class Cpu
     Psw pswOld_;
     PcChain chain_;
 
-    // Pipeline state. rf_/alu_/mem_/wb_ hold the instruction in that
-    // stage this cycle; the IF-stage instruction is produced by fetch().
-    Latch rf_, alu_, mem_, wb_;
+    // Pipeline state. rf_/alu_/mem_/wb_ point at the latch holding the
+    // instruction in that stage this cycle; the IF-stage instruction is
+    // produced by fetch() into spare_. The per-cycle pipeline shift is a
+    // rotation of these five pointers, not a copy of the latches.
+    std::array<Latch, 5> latches_;
+    Latch *rf_ = &latches_[0];
+    Latch *alu_ = &latches_[1];
+    Latch *mem_ = &latches_[2];
+    Latch *wb_ = &latches_[3];
+    Latch *spare_ = &latches_[4];
     addr_t fetchPc_ = 0;
     bool haveRedirect_ = false;
     addr_t redirect_ = 0;
@@ -320,6 +337,13 @@ class Cpu
     bool pendingIntr_ = false;
     bool pendingNmi_ = false;
 
+    /**
+     * True when the PC chain shifted last cycle and nothing else has
+     * touched it since, so this cycle's shift can reuse the recorded
+     * oldest entry (see PcChain::shiftSteady).
+     */
+    bool chainSteady_ = false;
+
     // Pending per-branch slot accounting (slot 2 is the word fetched the
     // cycle the branch resolves).
     struct PendingBranchCost
@@ -330,6 +354,8 @@ class Cpu
         bool squashed = false;
     } pendingCost_;
     void accountSlot(const Latch &slot, const PendingBranchCost &pb);
+    /** Delay-slot provenance of the instruction in @p l (stats only). */
+    assembler::SlotKind slotOf(const Latch &l);
 
     SquashFsm squashFsm_;
     CacheMissFsm missFsm_;

@@ -70,6 +70,22 @@ class CacheMissFsm
             state_ = MissState::Run;
     }
 
+    /**
+     * Consume every outstanding stall cycle at once. Equivalent to
+     * calling tick() until stalled() clears — the state cannot change
+     * mid-drain (only stepCycle() starts new misses) — but without the
+     * per-cycle loop. Returns the number of cycles consumed.
+     */
+    unsigned
+    drainStalls()
+    {
+        const unsigned n = remaining_;
+        occupancy_[static_cast<unsigned>(state_)] += n;
+        remaining_ = 0;
+        state_ = MissState::Run;
+        return n;
+    }
+
     MissState state() const { return state_; }
 
     std::uint64_t

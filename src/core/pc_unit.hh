@@ -43,6 +43,20 @@ class PcChain
         entries_ = {mem_entry, alu_entry, rf_entry};
     }
 
+    /**
+     * The steady-state shift. The oldest entry's instruction left the RF
+     * stage long ago, so its recorded value can never change again —
+     * shift it down instead of re-deriving it from the MEM latch. The
+     * two younger entries are re-derived because a squashing branch (or
+     * a squashed fetch) may still change their flags. Equivalent to
+     * shift() whenever the chain shifted the previous cycle too.
+     */
+    void
+    shiftSteady(word_t alu_entry, word_t rf_entry)
+    {
+        entries_ = {entries_[1], alu_entry, rf_entry};
+    }
+
     /** jpc: consume the oldest entry. */
     word_t
     pop()

@@ -75,6 +75,7 @@ decode(word_t raw)
         break;
       }
     }
+    in.classify();
     return in;
 }
 

@@ -66,54 +66,67 @@ struct Instruction
 
     bool valid = true; ///< false if the encoding hit a reserved slot
 
+    // Classification computed once by classify() (decode() calls it), so
+    // the pipeline's per-cycle queries are single loads of predecoded
+    // state instead of switches. Every Instruction in the system comes
+    // from isa::decode(); code that builds one by hand must call
+    // classify() after filling the format fields.
+    std::uint8_t dest = 0; ///< cached destReg()
+    std::uint8_t cls = 0;  ///< cached cls* classification bits
+
+    static constexpr std::uint8_t clsGprLoad = 1 << 0;
+    static constexpr std::uint8_t clsMemAccess = 1 << 1;
+    static constexpr std::uint8_t clsCoproc = 1 << 2;
+    static constexpr std::uint8_t clsStore = 1 << 3;
+
     // -- Classification queries ------------------------------------------
 
     bool isMem() const { return fmt == Format::Mem; }
 
     /** True for instructions whose MEM stage accesses the memory system. */
-    bool
-    accessesMemory() const
-    {
-        if (fmt != Format::Mem)
-            return false;
-        switch (memOp) {
-          case MemOp::Ld:
-          case MemOp::St:
-          case MemOp::Ldf:
-          case MemOp::Stf:
-          case MemOp::Ldt:
-            return true;
-          default:
-            return false;
-        }
-    }
+    bool accessesMemory() const { return cls & clsMemAccess; }
 
     /** True for memory ops that address a coprocessor (memory ignores). */
-    bool
-    isCoproc() const
-    {
-        if (fmt != Format::Mem)
-            return false;
-        return memOp == MemOp::Aluc || memOp == MemOp::Movfrc ||
-            memOp == MemOp::Movtoc || memOp == MemOp::Ldf ||
-            memOp == MemOp::Stf;
-    }
+    bool isCoproc() const { return cls & clsCoproc; }
 
     /** Loads whose GPR result arrives only at the end of MEM. */
-    bool
-    isGprLoad() const
-    {
-        return fmt == Format::Mem &&
-            (memOp == MemOp::Ld || memOp == MemOp::Ldt ||
-             memOp == MemOp::Movfrc);
-    }
+    bool isGprLoad() const { return cls & clsGprLoad; }
 
-    bool
-    isStore() const
+    bool isStore() const { return cls & clsStore; }
+
+    /** Fill the cached dest/cls fields from the format fields. */
+    void
+    classify()
     {
-        return fmt == Format::Mem &&
-            (memOp == MemOp::St || memOp == MemOp::Stf ||
-             memOp == MemOp::Movtoc);
+        std::uint8_t c = 0;
+        if (fmt == Format::Mem) {
+            switch (memOp) {
+              case MemOp::Ld:
+              case MemOp::Ldt:
+                c = clsMemAccess | clsGprLoad;
+                break;
+              case MemOp::St:
+                c = clsMemAccess | clsStore;
+                break;
+              case MemOp::Ldf:
+                c = clsMemAccess | clsCoproc;
+                break;
+              case MemOp::Stf:
+                c = clsMemAccess | clsCoproc | clsStore;
+                break;
+              case MemOp::Movfrc:
+                c = clsCoproc | clsGprLoad;
+                break;
+              case MemOp::Movtoc:
+                c = clsCoproc | clsStore;
+                break;
+              case MemOp::Aluc:
+                c = clsCoproc;
+                break;
+            }
+        }
+        cls = c;
+        dest = computeDestReg();
     }
 
     bool isBranch() const { return fmt == Format::Branch; }
@@ -181,8 +194,11 @@ struct Instruction
     // -- Register dataflow ------------------------------------------------
 
     /** The GPR this instruction writes back in WB, or 0 for none. */
+    std::uint8_t destReg() const { return dest; }
+
+    /** The switch behind destReg(); classify() caches its result. */
     std::uint8_t
-    destReg() const
+    computeDestReg() const
     {
         switch (fmt) {
           case Format::Compute:

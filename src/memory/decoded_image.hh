@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The predecoded instruction store.
+ *
+ * Both simulators used to re-run isa::decode() on every fetch, exactly
+ * the cost the MIPS-X group avoided in their own instruction-level
+ * simulator by decoding programs once up front. The DecodedImage is a
+ * page-granular shadow of main memory holding one decoded Instruction
+ * per word: the first fetch of a word decodes it, every later fetch is
+ * an array index. Correctness with self-modifying code (and with the
+ * reorganizer's store-patched jump tables) comes from one rule:
+ *
+ *   every MainMemory::write() invalidates the word's cached decode, so
+ *   the next fetch re-decodes the new encoding.
+ *
+ * The store is purely functional — it never affects timing. The I-cache
+ * remains the timing model of instruction fetch; this is the data path.
+ */
+
+#ifndef MIPSX_MEMORY_DECODED_IMAGE_HH
+#define MIPSX_MEMORY_DECODED_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.hh"
+#include "isa/decode.hh"
+#include "isa/instruction.hh"
+
+namespace mipsx::memory
+{
+
+/** A decode-once cache of instruction words, keyed like MainMemory. */
+class DecodedImage
+{
+  public:
+    static constexpr unsigned pageWords = 4096;
+
+    /**
+     * The decoded instruction for the word at @p key (a physKey).
+     * @p raw is called to read the word only when no cached decode
+     * exists, so a hit touches neither main memory nor the decoder.
+     */
+    template <typename RawFn>
+    const isa::Instruction &
+    fetch(std::uint64_t key, RawFn &&raw)
+    {
+        Page &p = pageFor(key / pageWords);
+        const std::size_t idx = key % pageWords;
+        if (!p.present[idx]) {
+            ::new (&p.slot[idx].inst) isa::Instruction(isa::decode(raw()));
+            p.present[idx] = true;
+        }
+        return p.slot[idx].inst;
+    }
+
+    /** Drop the cached decode of one word (called on every store). */
+    void
+    invalidate(std::uint64_t key)
+    {
+        if (Page *p = findPage(key / pageWords))
+            p->present[key % pageWords] = false;
+    }
+
+    /** Drop everything (programs reloaded, predecode toggled). */
+    void
+    clear()
+    {
+        pages_.clear();
+        lastKey_ = noPage;
+        lastPage_ = nullptr;
+    }
+
+  private:
+    // The union leaves the Instruction payload uninitialized: a fresh
+    // page costs one 4 KiB present[] clear instead of default-building
+    // 4096 Instruction records, which would dominate short runs.
+    union Slot
+    {
+        isa::Instruction inst;
+        Slot() {}
+    };
+    static_assert(std::is_trivially_destructible_v<isa::Instruction>,
+                  "Slot union skips destruction of cached decodes");
+
+    struct Page
+    {
+        std::array<Slot, pageWords> slot;
+        std::array<bool, pageWords> present{};
+    };
+
+    static constexpr std::uint64_t noPage = ~std::uint64_t{0};
+
+    // One-entry page cache: fetch streams stay within a 4096-word page
+    // for long runs, so the common case is pointer compare + index.
+    Page &
+    pageFor(std::uint64_t page_key)
+    {
+        if (page_key == lastKey_)
+            return *lastPage_;
+        auto &p = pages_[page_key];
+        if (!p)
+            p = std::make_unique<Page>();
+        lastKey_ = page_key;
+        lastPage_ = p.get();
+        return *p;
+    }
+
+    Page *
+    findPage(std::uint64_t page_key)
+    {
+        if (page_key == lastKey_)
+            return lastPage_;
+        const auto it = pages_.find(page_key);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    std::uint64_t lastKey_ = noPage;
+    Page *lastPage_ = nullptr;
+};
+
+} // namespace mipsx::memory
+
+#endif // MIPSX_MEMORY_DECODED_IMAGE_HH

@@ -15,14 +15,26 @@ ECache::ECache(const ECacheConfig &config) : config_(config)
         fatal("ECache: ways must divide size/line");
     }
     numSets_ = config_.sizeWords / (config_.lineWords * config_.ways);
-    lines_.assign(static_cast<std::size_t>(numSets_) * config_.ways, {});
+    lineShift_ = log2i(config_.lineWords);
+    setsArePow2_ = isPowerOf2(numSets_);
+    if (setsArePow2_)
+        setShift_ = log2i(numSets_);
+    numLines_ = static_cast<std::size_t>(numSets_) * config_.ways;
+    lines_.reset(static_cast<Line *>(std::calloc(numLines_, sizeof(Line))));
+    if (!lines_)
+        fatal("ECache: line array allocation failed");
 }
 
 void
 ECache::reset()
 {
-    for (auto &l : lines_)
-        l = Line{};
+    // Bumping the epoch invalidates every line in O(1); stale lastUse
+    // and dirty bits are never read because lineValid() gates them.
+    if (++epoch_ == 0) {
+        for (std::size_t i = 0; i < numLines_; ++i)
+            lines_[i] = Line{};
+        epoch_ = 1;
+    }
     useClock_ = 0;
 }
 
@@ -40,14 +52,13 @@ ECache::invalidateWord(std::uint64_t key)
 {
     if (!config_.enabled)
         return false;
-    const std::uint64_t line_addr = key / config_.lineWords;
-    const std::uint64_t set = line_addr % numSets_;
-    const std::uint64_t tag = line_addr / numSets_;
+    std::uint64_t set, tag;
+    splitKey(key, set, tag);
     Line *base = &lines_[set * config_.ways];
     for (unsigned w = 0; w < config_.ways; ++w) {
         Line &l = base[w];
-        if (l.valid && l.tag == tag) {
-            l.valid = false;
+        if (lineValid(l) && l.tag == tag) {
+            l.epoch = 0;
             l.dirty = false;
             ++invalidationsReceived_;
             return true;
@@ -69,14 +80,13 @@ ECache::access(std::uint64_t key, bool is_write)
         return {false, config_.missPenalty, config_.missPenalty};
     }
 
-    const std::uint64_t line_addr = key / config_.lineWords;
-    const std::uint64_t set = line_addr % numSets_;
-    const std::uint64_t tag = line_addr / numSets_;
+    std::uint64_t set, tag;
+    splitKey(key, set, tag);
     Line *base = &lines_[set * config_.ways];
 
     for (unsigned w = 0; w < config_.ways; ++w) {
         Line &l = base[w];
-        if (l.valid && l.tag == tag) {
+        if (lineValid(l) && l.tag == tag) {
             l.lastUse = useClock_;
             if (is_write) {
                 if (config_.writeThrough) {
@@ -102,18 +112,18 @@ ECache::access(std::uint64_t key, bool is_write)
     // Prefer an invalid way; otherwise evict the least recently used.
     Line *victim = base;
     for (unsigned w = 1; w < config_.ways; ++w) {
-        if (!victim->valid)
+        if (!lineValid(*victim))
             break;
-        if (!base[w].valid || base[w].lastUse < victim->lastUse)
+        if (!lineValid(base[w]) || base[w].lastUse < victim->lastUse)
             victim = &base[w];
     }
 
     unsigned stall = config_.missPenalty;
-    if (victim->valid && victim->dirty) {
+    if (lineValid(*victim) && victim->dirty) {
         ++writebacks_;
         stall += config_.writebackPenalty;
     }
-    victim->valid = true;
+    victim->epoch = epoch_;
     victim->dirty = is_write && !config_.writeThrough;
     victim->tag = tag;
     victim->lastUse = useClock_;

@@ -19,7 +19,8 @@
 #define MIPSX_MEMORY_ECACHE_HH
 
 #include <cstdint>
-#include <vector>
+#include <cstdlib>
+#include <memory>
 
 #include "common/types.hh"
 #include "stats/stats.hh"
@@ -114,17 +115,54 @@ class ECache
     void clearStats();
 
   private:
+    /**
+     * Kept trivial (no default member initializers) so the line array
+     * can come from calloc: the all-zero state (epoch 0 against an
+     * epoch_ that starts at 1) is "invalid", and the OS hands out
+     * zero pages lazily, so a 64K-word cache costs only the lines a
+     * workload actually touches.
+     */
     struct Line
     {
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0; ///< LRU timestamp
+        /** Valid iff equal to the cache's current epoch_. */
+        std::uint32_t epoch;
+        bool dirty;
+        std::uint64_t tag;
+        std::uint64_t lastUse; ///< LRU timestamp
     };
 
+    bool lineValid(const Line &l) const { return l.epoch == epoch_; }
+
+    /** Split @p key into the line's set index and tag. */
+    void
+    splitKey(std::uint64_t key, std::uint64_t &set, std::uint64_t &tag) const
+    {
+        const std::uint64_t line_addr = key >> lineShift_;
+        if (setsArePow2_) {
+            set = line_addr & (numSets_ - 1);
+            tag = line_addr >> setShift_;
+        } else {
+            set = line_addr % numSets_;
+            tag = line_addr / numSets_;
+        }
+    }
+
     unsigned numSets_ = 0;
+    // lineWords is an enforced power of two; numSets_ is only a power of
+    // two when ways happens to make it one, so the set split falls back
+    // to divide/modulo in that case.
+    unsigned lineShift_ = 0;
+    bool setsArePow2_ = false;
+    unsigned setShift_ = 0;
     ECacheConfig config_;
-    std::vector<Line> lines_; ///< numSets_ x ways, row-major
+    struct FreeDeleter
+    {
+        void operator()(Line *p) const { std::free(p); }
+    };
+    /** numSets_ x ways, row-major. */
+    std::unique_ptr<Line[], FreeDeleter> lines_;
+    std::size_t numLines_ = 0;
+    std::uint32_t epoch_ = 1; ///< calloc'd lines are 0: all invalid
     std::uint64_t useClock_ = 0;
 
     stats::Counter accesses_;

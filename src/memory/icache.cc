@@ -14,10 +14,14 @@ ICache::ICache(const ICacheConfig &config) : config_(config)
         fatal("ICache: ways must be at least 1");
     if (config_.fetchWords < 1 || config_.fetchWords > 2)
         fatal("ICache: fetchWords must be 1 or 2");
+    blockShift_ = log2i(config_.blockWords);
+    blockMask_ = config_.blockWords - 1;
+    setShift_ = log2i(config_.sets);
+    setMask_ = config_.sets - 1;
     blocks_.assign(static_cast<std::size_t>(config_.sets) * config_.ways,
                    Block{});
     for (auto &b : blocks_)
-        b.valid.assign(config_.blockWords, false);
+        b.valid.assign(config_.blockWords, 0);
 }
 
 void
@@ -28,8 +32,9 @@ ICache::reset()
         b.tag = 0;
         b.lastUse = 0;
         b.allocTime = 0;
-        b.valid.assign(config_.blockWords, false);
+        b.valid.assign(config_.blockWords, 0);
     }
+    lastBlock_ = nullptr;
     useClock_ = 0;
 }
 
@@ -97,11 +102,10 @@ ICache::chooseVictim(unsigned set)
 void
 ICache::fillWord(std::uint64_t key, bool may_allocate)
 {
-    const std::uint64_t block_addr = key / config_.blockWords;
-    const unsigned offset =
-        static_cast<unsigned>(key % config_.blockWords);
-    const unsigned set = static_cast<unsigned>(block_addr % config_.sets);
-    const std::uint64_t tag = block_addr / config_.sets;
+    const std::uint64_t block_addr = key >> blockShift_;
+    const unsigned offset = static_cast<unsigned>(key & blockMask_);
+    const unsigned set = static_cast<unsigned>(block_addr & setMask_);
+    const std::uint64_t tag = block_addr >> setShift_;
 
     int way = findWay(set, tag);
     if (way < 0) {
@@ -109,31 +113,30 @@ ICache::fillWord(std::uint64_t key, bool may_allocate)
             return;
         way = static_cast<int>(chooseVictim(set));
         Block &b = blockAt(set, static_cast<unsigned>(way));
+        // The victim's tag changes: drop the last-block shortcut rather
+        // than track whether it pointed here.
+        lastBlock_ = nullptr;
         // Sub-block replacement: a fresh tag invalidates every word.
         b.anyValid = true;
         b.tag = tag;
-        b.valid.assign(config_.blockWords, false);
+        b.valid.assign(config_.blockWords, 0);
         b.allocTime = useClock_;
     }
     Block &b = blockAt(set, static_cast<unsigned>(way));
-    b.valid[offset] = true;
+    b.valid[offset] = 1;
     b.lastUse = useClock_;
 }
 
 IFetchResult
-ICache::fetch(AddressSpace space, addr_t pc, bool cacheable)
+ICache::fetchSlow(std::uint64_t key, std::uint64_t block_addr,
+                  bool cacheable)
 {
-    ++accesses_;
-    ++useClock_;
-
-    const std::uint64_t key = physKey(space, pc);
-    const std::uint64_t block_addr = key / config_.blockWords;
-    const unsigned offset =
-        static_cast<unsigned>(key % config_.blockWords);
-    const unsigned set = static_cast<unsigned>(block_addr % config_.sets);
-    const std::uint64_t tag = block_addr / config_.sets;
+    const unsigned offset = static_cast<unsigned>(key & blockMask_);
 
     IFetchResult res;
+
+    const unsigned set = static_cast<unsigned>(block_addr & setMask_);
+    const std::uint64_t tag = block_addr >> setShift_;
 
     if (config_.enabled && cacheable) {
         const int way = findWay(set, tag);
@@ -141,6 +144,8 @@ ICache::fetch(AddressSpace space, addr_t pc, bool cacheable)
             Block &b = blockAt(set, static_cast<unsigned>(way));
             if (b.valid[offset]) {
                 b.lastUse = useClock_;
+                lastBlock_ = &b;
+                lastBlockAddr_ = block_addr;
                 return res; // hit
             }
             ++subBlockMisses_;
@@ -172,8 +177,7 @@ ICache::fetch(AddressSpace space, addr_t pc, bool cacheable)
     if (config_.fetchWords == 2) {
         const std::uint64_t next = key + 1;
         res.refillKeys[res.numRefills++] = next;
-        const bool same_block =
-            next / config_.blockWords == block_addr;
+        const bool same_block = (next >> blockShift_) == block_addr;
         fillWord(next, same_block || config_.allocCrossBlock);
     }
     return res;

@@ -91,11 +91,30 @@ class ICache
     /**
      * Fetch the instruction at @p pc in @p space.
      *
+     * The common case — another fetch within the last block hit — is
+     * decided inline; everything else takes the outlined slow path.
+     *
      * @param cacheable false to model the rejected "non-cached coprocessor
      *        instruction" scheme: the access always misses and nothing is
      *        written into the cache.
      */
-    IFetchResult fetch(AddressSpace space, addr_t pc, bool cacheable = true);
+    IFetchResult
+    fetch(AddressSpace space, addr_t pc, bool cacheable = true)
+    {
+        ++accesses_;
+        ++useClock_;
+        const std::uint64_t key = physKey(space, pc);
+        const std::uint64_t block_addr = key >> blockShift_;
+        // Sequential fetch streams stay within one block for most of its
+        // words; remember the last block hit and skip the way search.
+        // lastBlock_ is only ever set while the cache is enabled.
+        if (lastBlock_ && block_addr == lastBlockAddr_ && cacheable &&
+            lastBlock_->valid[key & blockMask_]) {
+            lastBlock_->lastUse = useClock_;
+            return {};
+        }
+        return fetchSlow(key, block_addr, cacheable);
+    }
 
     /** Invalidate all blocks. */
     void reset();
@@ -124,11 +143,15 @@ class ICache
     {
         bool anyValid = false;
         std::uint64_t tag = 0;
-        std::vector<bool> valid; ///< one bit per word (sub-block scheme)
+        /// One flag per word (sub-block scheme). uint8_t, not
+        /// vector<bool>: the per-fetch valid test is on the hot path.
+        std::vector<std::uint8_t> valid;
         std::uint64_t lastUse = 0;
         std::uint64_t allocTime = 0;
     };
 
+    IFetchResult fetchSlow(std::uint64_t key, std::uint64_t block_addr,
+                           bool cacheable);
     Block &blockAt(unsigned set, unsigned way);
     /** Find the way holding @p tag in @p set, or -1. */
     int findWay(unsigned set, std::uint64_t tag) const;
@@ -138,7 +161,18 @@ class ICache
     void fillWord(std::uint64_t key, bool may_allocate);
 
     ICacheConfig config_;
+    // sets and blockWords are enforced powers of two, so the per-fetch
+    // address split is shift/mask instead of runtime divide/modulo.
+    unsigned blockShift_ = 0;
+    std::uint64_t blockMask_ = 0;
+    unsigned setShift_ = 0;
+    std::uint64_t setMask_ = 0;
     std::vector<Block> blocks_; ///< sets x ways, row-major
+    // One-entry fetch shortcut: the block (and its address) the last hit
+    // landed in. blocks_ never reallocates, so the pointer is stable;
+    // cleared whenever any block's tag is replaced.
+    Block *lastBlock_ = nullptr;
+    std::uint64_t lastBlockAddr_ = 0;
     std::uint64_t useClock_ = 0;
     std::uint32_t rng_ = 0x2545f491;
 

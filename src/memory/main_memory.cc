@@ -12,6 +12,21 @@ MainMemory::loadProgram(const assembler::Program &prog)
                   sec.words[i]);
         }
     }
+    // Decode the program once up front so the simulators' per-fetch
+    // cost is an array index (the writes above invalidated any decodes
+    // cached from a previously loaded image).
+    if (predecode_) {
+        for (const auto &sec : prog.sections) {
+            if (!sec.isText)
+                continue;
+            for (std::size_t i = 0; i < sec.words.size(); ++i) {
+                const word_t w = sec.words[i];
+                decoded_.fetch(
+                    physKey(sec.space, sec.base + static_cast<addr_t>(i)),
+                    [w] { return w; });
+            }
+        }
+    }
 }
 
 } // namespace mipsx::memory

@@ -21,6 +21,7 @@
 
 #include "assembler/program.hh"
 #include "common/types.hh"
+#include "memory/decoded_image.hh"
 
 namespace mipsx::memory
 {
@@ -54,7 +55,36 @@ class MainMemory
     write(AddressSpace space, addr_t addr, word_t value)
     {
         page(space, addr)[addr % pageWords] = value;
+        // Keep the predecoded image exact under self-modifying code:
+        // the next fetch of this word re-decodes the new encoding.
+        decoded_.invalidate(physKey(space, addr));
     }
+
+    /**
+     * The decoded instruction at @p addr. With predecode enabled (the
+     * default) the hot path is an index into the DecodedImage; disabled
+     * (perf baselines) it decodes the word on every call, the pre-fast-
+     * path behaviour. Either way the result equals decode(read(addr)).
+     */
+    const isa::Instruction &
+    fetchDecoded(AddressSpace space, addr_t addr)
+    {
+        if (!predecode_) {
+            scratch_ = isa::decode(read(space, addr));
+            return scratch_;
+        }
+        return decoded_.fetch(physKey(space, addr),
+                              [&] { return read(space, addr); });
+    }
+
+    /** Toggle the predecode fast path (drops all cached decodes). */
+    void
+    setPredecodeEnabled(bool on)
+    {
+        predecode_ = on;
+        decoded_.clear();
+    }
+    bool predecodeEnabled() const { return predecode_; }
 
     /** Load every section of @p prog at its base address. */
     void loadProgram(const assembler::Program &prog);
@@ -98,6 +128,9 @@ class MainMemory
     }
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    DecodedImage decoded_;
+    bool predecode_ = true;
+    isa::Instruction scratch_; ///< result slot for the disabled path
 };
 
 } // namespace mipsx::memory

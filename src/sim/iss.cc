@@ -2,7 +2,6 @@
 
 #include "common/sim_error.hh"
 #include "core/exec.hh"
-#include "isa/decode.hh"
 
 namespace mipsx::sim
 {
@@ -122,7 +121,9 @@ Iss::step()
 
     const addr_t cur = pc_;
     const AddressSpace space = psw_.space();
-    const isa::Instruction in = isa::decode(ram_.read(space, cur));
+    // Copy, not reference: a store executed below may invalidate the
+    // predecoded entry for this very word.
+    const isa::Instruction in = ram_.fetchDecoded(space, cur);
     ++stats_.steps;
 
     // Load-delay staleness (delayed mode): the previous instruction's

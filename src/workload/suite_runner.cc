@@ -1,0 +1,169 @@
+#include "workload/suite_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::workload
+{
+
+unsigned
+defaultSuiteJobs()
+{
+    if (const char *env = std::getenv("MIPSX_BENCH_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+namespace
+{
+
+/** One workload's contribution, kept in its suite slot until the merge. */
+struct WorkloadOutcome
+{
+    SuiteStats stats;
+    double runSeconds = 0; ///< host time inside Machine::run()
+    bool failed = false;
+    SuiteFailure failure;
+};
+
+WorkloadOutcome
+runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
+{
+    WorkloadOutcome out;
+    out.stats.workloads = 1;
+    try {
+        reorg::ReorgConfig rc = opts.reorg;
+        if (opts.useProfiles) {
+            rc.prediction = reorg::Prediction::Profile;
+            rc.profile = collectProfile(w);
+        }
+        const auto prog = assembler::assemble(w.source, w.name + ".s");
+        reorg::ReorgStats rst;
+        const auto reorged = reorg::reorganize(prog, rc, &rst);
+        sim::Machine machine(opts.machine);
+        machine.memory().setPredecodeEnabled(opts.predecode);
+        machine.load(reorged);
+        const auto run0 = std::chrono::steady_clock::now();
+        const auto result = machine.run();
+        out.runSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - run0)
+                             .count();
+
+        if (result.reason != core::StopReason::Halt) {
+            out.stats.failures = 1;
+            out.failed = true;
+            out.failure = {index, w.name,
+                           core::stopReasonName(result.reason), {}};
+            return out;
+        }
+
+        const auto &s = machine.cpu().stats();
+        out.stats.cycles = s.cycles;
+        out.stats.committed = s.committed;
+        out.stats.committedNops = s.committedNops;
+        out.stats.nopsInBranchSlots = s.nopsInBranchSlots;
+        out.stats.nopsForLoadDelay = s.nopsForLoadDelay;
+        out.stats.squashed = s.squashed;
+        out.stats.branches = s.branches;
+        out.stats.branchesTaken = s.branchesTaken;
+        out.stats.branchWastedSlots = s.branchWastedSlots;
+        out.stats.jumps = s.jumps;
+        out.stats.jumpWastedSlots = s.jumpWastedSlots;
+        out.stats.icacheAccesses = machine.cpu().icache().accesses();
+        out.stats.icacheMisses = machine.cpu().icache().misses();
+        out.stats.icacheStalls = machine.cpu().icache().stallCycles();
+        out.stats.ecacheAccesses = machine.cpu().ecache().accesses();
+        out.stats.ecacheMisses = machine.cpu().ecache().misses();
+        out.stats.ecacheStalls = machine.cpu().ecache().stallCycles();
+    } catch (const std::exception &e) {
+        out.stats = SuiteStats{};
+        out.stats.workloads = 1;
+        out.stats.failures = 1;
+        out.failed = true;
+        out.failure = {index, w.name, {}, e.what()};
+    }
+    return out;
+}
+
+void
+merge(SuiteStats &agg, const SuiteStats &s)
+{
+    agg.workloads += s.workloads;
+    agg.failures += s.failures;
+    agg.cycles += s.cycles;
+    agg.committed += s.committed;
+    agg.committedNops += s.committedNops;
+    agg.nopsInBranchSlots += s.nopsInBranchSlots;
+    agg.nopsForLoadDelay += s.nopsForLoadDelay;
+    agg.squashed += s.squashed;
+    agg.branches += s.branches;
+    agg.branchesTaken += s.branchesTaken;
+    agg.branchWastedSlots += s.branchWastedSlots;
+    agg.jumps += s.jumps;
+    agg.jumpWastedSlots += s.jumpWastedSlots;
+    agg.icacheAccesses += s.icacheAccesses;
+    agg.icacheMisses += s.icacheMisses;
+    agg.icacheStalls += s.icacheStalls;
+    agg.ecacheAccesses += s.ecacheAccesses;
+    agg.ecacheMisses += s.ecacheMisses;
+    agg.ecacheStalls += s.ecacheStalls;
+}
+
+} // namespace
+
+SuiteResult
+runSuite(const std::vector<Workload> &ws, const SuiteRunOptions &opts)
+{
+    SuiteResult res;
+    const unsigned want = opts.jobs ? opts.jobs : defaultSuiteJobs();
+    const auto cap = ws.empty() ? 1u : static_cast<unsigned>(ws.size());
+    const unsigned jobs = std::min(std::max(want, 1u), cap);
+    res.timing.jobs = jobs;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<WorkloadOutcome> slots(ws.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < ws.size(); ++i)
+            slots[i] = runOne(ws[i], static_cast<unsigned>(i), opts);
+    } else {
+        // Worker pool over an atomic index. Workers write only their own
+        // slots; aggregation happens after the join, in suite order, so
+        // the result cannot depend on scheduling.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (std::size_t i = next.fetch_add(1); i < ws.size();
+                 i = next.fetch_add(1)) {
+                slots[i] = runOne(ws[i], static_cast<unsigned>(i), opts);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+
+    for (auto &o : slots) {
+        merge(res.stats, o.stats);
+        res.timing.simSeconds += o.runSeconds;
+        if (o.failed)
+            res.failures.push_back(std::move(o.failure));
+    }
+    res.timing.hostSeconds = dt.count();
+    res.timing.simInstructions = res.stats.committed;
+    return res;
+}
+
+} // namespace mipsx::workload

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Run the whole workload suite — serially or on a worker pool — and
+ * aggregate the statistics the paper's tables report.
+ *
+ * Every workload is independent (each gets its own Machine), so the
+ * suite parallelises trivially; what must NOT change with the worker
+ * count is the output. The runner therefore keeps one result slot per
+ * workload, merges them in suite order after the join, and collects
+ * failure records instead of printing from worker threads. The
+ * aggregated SuiteStats (and the failure list) are bit-identical for
+ * any job count, which the EXPERIMENTS tables rely on.
+ */
+
+#ifndef MIPSX_WORKLOAD_SUITE_RUNNER_HH
+#define MIPSX_WORKLOAD_SUITE_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace mipsx::workload
+{
+
+/** Aggregated statistics over a set of workloads. */
+struct SuiteStats
+{
+    unsigned workloads = 0;
+    unsigned failures = 0;
+    cycle_t cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t committedNops = 0;
+    std::uint64_t nopsInBranchSlots = 0;
+    std::uint64_t nopsForLoadDelay = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchesTaken = 0;
+    std::uint64_t branchWastedSlots = 0;
+    std::uint64_t jumps = 0;
+    std::uint64_t jumpWastedSlots = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t icacheStalls = 0;
+    std::uint64_t ecacheAccesses = 0;
+    std::uint64_t ecacheMisses = 0;
+    std::uint64_t ecacheStalls = 0;
+
+    bool operator==(const SuiteStats &) const = default;
+
+    double cpi() const
+    {
+        return committed ? double(cycles) / double(committed) : 0.0;
+    }
+    double noopFraction() const
+    {
+        return committed ? double(committedNops) / double(committed) : 0.0;
+    }
+    double cyclesPerBranch() const
+    {
+        return branches ? 1.0 + double(branchWastedSlots) / double(branches)
+                        : 0.0;
+    }
+    double cyclesPerControl() const
+    {
+        const auto n = branches + jumps;
+        return n ? 1.0 +
+                double(branchWastedSlots + jumpWastedSlots) / double(n)
+                 : 0.0;
+    }
+    double icacheMissRatio() const
+    {
+        return icacheAccesses ? double(icacheMisses) / double(icacheAccesses)
+                              : 0.0;
+    }
+    double avgFetchCost() const
+    {
+        return icacheAccesses
+            ? 1.0 + double(icacheStalls) / double(icacheAccesses)
+            : 0.0;
+    }
+    double ecacheMissRatio() const
+    {
+        return ecacheAccesses ? double(ecacheMisses) / double(ecacheAccesses)
+                              : 0.0;
+    }
+};
+
+/** One workload that did not halt cleanly. */
+struct SuiteFailure
+{
+    unsigned index = 0;  ///< position in the suite (failures stay sorted)
+    std::string name;    ///< workload name
+    std::string reason;  ///< stop reason, if the machine stopped itself
+    std::string error;   ///< exception text, if the toolchain threw
+
+    bool operator==(const SuiteFailure &) const = default;
+};
+
+/** Host-side timing of one suite run. */
+struct SuiteTiming
+{
+    /** Wall time of the whole run (assemble + reorganize + simulate). */
+    double hostSeconds = 0;
+    /**
+     * Host time spent inside Machine::run() only, summed over
+     * workloads (additive across workers, so it exceeds wall time on a
+     * parallel run). This is the number to compare across simulator
+     * versions: it excludes the toolchain phases, which dominate a
+     * single pass over the suite.
+     */
+    double simSeconds = 0;
+    std::uint64_t simInstructions = 0;
+    unsigned jobs = 1;
+
+    double instrPerHostSecond() const
+    {
+        return hostSeconds > 0 ? double(simInstructions) / hostSeconds : 0.0;
+    }
+    double instrPerSimSecond() const
+    {
+        return simSeconds > 0 ? double(simInstructions) / simSeconds : 0.0;
+    }
+};
+
+/** Options for runSuite(). */
+struct SuiteRunOptions
+{
+    sim::MachineConfig machine{};
+    reorg::ReorgConfig reorg{};
+    /** Reorganize with a per-branch ISS profile (Table 1's rows). */
+    bool useProfiles = false;
+    /** Worker threads; 0 means defaultSuiteJobs(). */
+    unsigned jobs = 0;
+    /** Decode each program word once at load time (see DESIGN.md). */
+    bool predecode = true;
+};
+
+/**
+ * The worker count used when SuiteRunOptions::jobs is 0: the
+ * MIPSX_BENCH_JOBS environment variable if set to a positive integer,
+ * otherwise std::thread::hardware_concurrency(), with a floor of 1.
+ */
+unsigned defaultSuiteJobs();
+
+/** Everything one suite run produces. */
+struct SuiteResult
+{
+    SuiteStats stats;
+    std::vector<SuiteFailure> failures; ///< sorted by suite index
+    SuiteTiming timing;
+};
+
+/**
+ * Run every workload in @p ws and aggregate. Deterministic: the result
+ * (stats and failures; not timing) is identical for every job count.
+ */
+SuiteResult runSuite(const std::vector<Workload> &ws,
+                     const SuiteRunOptions &opts = {});
+
+} // namespace mipsx::workload
+
+#endif // MIPSX_WORKLOAD_SUITE_RUNNER_HH

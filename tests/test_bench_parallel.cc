@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The parallel suite runner must be invisible in the results: the
+ * aggregated SuiteStats and the failure list are bit-identical for any
+ * worker count (the EXPERIMENTS tables depend on it), and the predecode
+ * fast path never changes an aggregate either.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "workload/suite_runner.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using namespace mipsx::workload;
+
+namespace
+{
+
+SuiteResult
+runWith(const std::vector<Workload> &ws, unsigned jobs,
+        bool predecode = true)
+{
+    SuiteRunOptions opts;
+    opts.jobs = jobs;
+    opts.predecode = predecode;
+    return runSuite(ws, opts);
+}
+
+} // namespace
+
+TEST(SuiteRunner, WorkerCountDoesNotChangeTheAggregate)
+{
+    const auto suite = fullSuite();
+    const auto serial = runWith(suite, 1);
+    EXPECT_EQ(serial.stats.workloads, suite.size());
+    EXPECT_EQ(serial.stats.failures, 0u);
+    ASSERT_TRUE(serial.failures.empty());
+    for (const unsigned jobs : {2u, 4u, 8u}) {
+        const auto par = runWith(suite, jobs);
+        EXPECT_EQ(par.timing.jobs, jobs);
+        EXPECT_TRUE(par.stats == serial.stats)
+            << "aggregate differs at jobs=" << jobs;
+        EXPECT_TRUE(par.failures == serial.failures);
+    }
+}
+
+TEST(SuiteRunner, PredecodeDoesNotChangeTheAggregate)
+{
+    const auto suite = fullSuite();
+    const auto fast = runWith(suite, 2, true);
+    const auto slow = runWith(suite, 2, false);
+    EXPECT_TRUE(fast.stats == slow.stats);
+    EXPECT_TRUE(fast.failures == slow.failures);
+}
+
+TEST(SuiteRunner, FailuresAreCollectedDeterministically)
+{
+    // A suite with two crafted failures around a healthy workload: one
+    // that trips its self-check (fail trap) and one the assembler
+    // rejects. Every worker count must report the same records, sorted
+    // by suite position, and still aggregate the healthy run.
+    std::vector<Workload> suite;
+    Workload bad;
+    bad.name = "zz_selfcheck";
+    bad.source = "        .text\n_start: fail\n";
+    suite.push_back(bad);
+    suite.push_back(pascalWorkloads().front());
+    Workload broken;
+    broken.name = "aa_noasm";
+    broken.source = "        .text\n_start: frobnicate r1, r2\n";
+    suite.push_back(broken);
+
+    const auto serial = runWith(suite, 1);
+    EXPECT_EQ(serial.stats.workloads, 3u);
+    EXPECT_EQ(serial.stats.failures, 2u);
+    ASSERT_EQ(serial.failures.size(), 2u);
+    EXPECT_EQ(serial.failures[0].index, 0u);
+    EXPECT_EQ(serial.failures[0].name, "zz_selfcheck");
+    EXPECT_FALSE(serial.failures[0].reason.empty());
+    EXPECT_EQ(serial.failures[1].index, 2u);
+    EXPECT_EQ(serial.failures[1].name, "aa_noasm");
+    EXPECT_FALSE(serial.failures[1].error.empty());
+
+    for (const unsigned jobs : {2u, 3u, 8u}) {
+        const auto par = runWith(suite, jobs);
+        EXPECT_TRUE(par.stats == serial.stats);
+        EXPECT_TRUE(par.failures == serial.failures)
+            << "failure records differ at jobs=" << jobs;
+    }
+}
+
+TEST(SuiteRunner, JobsClampToSuiteSizeAndEnvOverrides)
+{
+    // More workers than workloads degrades gracefully.
+    const auto tiny = std::vector<Workload>{pascalWorkloads().front()};
+    const auto r = runWith(tiny, 64);
+    EXPECT_EQ(r.timing.jobs, 1u);
+    EXPECT_EQ(r.stats.workloads, 1u);
+
+    // MIPSX_BENCH_JOBS drives the default job count.
+    ::setenv("MIPSX_BENCH_JOBS", "3", 1);
+    EXPECT_EQ(defaultSuiteJobs(), 3u);
+    ::setenv("MIPSX_BENCH_JOBS", "garbage", 1);
+    EXPECT_GE(defaultSuiteJobs(), 1u);
+    ::unsetenv("MIPSX_BENCH_JOBS");
+    EXPECT_GE(defaultSuiteJobs(), 1u);
+}

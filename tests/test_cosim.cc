@@ -92,3 +92,104 @@ TEST(Cosim, RetireStreamsMatchInstructionByInstruction)
         }
     }
 }
+
+namespace
+{
+
+/**
+ * Self-modifying code: the program patches an instruction word it has
+ * already executed (so the predecoded store has cached its decode) and
+ * a word sitting in a branch-delay shadow, then runs both again. The
+ * branch is never taken so the shadow word executes under sequential
+ * semantics too, keeping all three models comparable. Written with
+ * explicit delay-slot nops; runs unreorganized.
+ */
+const char *const smcSource = R"(
+        .data
+ptrs:   .word patch, donor, shadow
+        .text
+_start: addi r10, r0, 0
+        addi r9, r0, 2          ; two passes over the patch site
+        la   r1, ptrs
+        ld   r2, 0(r1)          ; &patch
+        ld   r3, 1(r1)          ; &donor
+        nop                     ; load-delay slot for r3
+        ld   r4, 0(r3)          ; donor encoding: addi r10, r10, 5
+loop:
+patch:  addi r10, r10, 1        ; pass 1: +1.  pass 2 (patched): +5
+        st   r4, 0(r2)          ; rewrite the already-fetched word
+        nop
+        nop
+        nop
+        nop
+        addi r9, r9, -1
+        bnz  r9, loop
+        nop
+        nop
+        ; r10 == 6
+        ld   r5, 2(r1)          ; &shadow
+        addi r7, r0, 2          ; two passes over the branch shadow
+sloop:  bne  r0, r0, never      ; never taken
+shadow: addi r10, r10, 2        ; delay slot.  pass 1: +2, pass 2: +5
+        nop                     ; second delay slot
+        st   r4, 0(r5)          ; rewrite the delay-slot word
+        nop
+        nop
+        nop
+        nop
+        addi r7, r7, -1
+        bnz  r7, sloop
+        nop
+        nop
+never:  addi r11, r0, 13        ; 1 + 5 + 2 + 5
+        beq  r10, r11, ok
+        nop
+        nop
+        fail
+ok:     halt
+donor:  addi r10, r10, 5        ; never executed in place; data donor
+)";
+
+} // namespace
+
+TEST(Cosim, SelfModifyingCodeInvalidatesPredecodedWords)
+{
+    const auto prog = asmOrDie(smcSource);
+
+    const auto seq = runSequential(prog);
+    ASSERT_EQ(seq.reason, sim::IssStop::Halt);
+    EXPECT_EQ(seq.gpr(10), 13u);
+
+    const auto del = runDelayed(prog);
+    ASSERT_EQ(del.reason, sim::IssStop::Halt);
+    EXPECT_EQ(del.gpr(10), 13u);
+
+    const auto pipe = runPipelineProg(prog);
+    ASSERT_TRUE(pipe.result.halted());
+    EXPECT_EQ(pipe.gpr(10), 13u);
+
+    // And with the predecode fast path off, the pipeline must agree —
+    // the store invalidation is what keeps the fast path exact.
+    sim::Machine slow{sim::MachineConfig{}};
+    slow.memory().setPredecodeEnabled(false);
+    slow.load(prog);
+    const auto r = slow.run();
+    ASSERT_TRUE(r.halted());
+    EXPECT_EQ(slow.cpu().gpr(10), 13u);
+    EXPECT_EQ(r.instructions, pipe.result.instructions);
+}
+
+TEST(Cosim, SelfModifyingCodeRetireStreamsMatch)
+{
+    const auto prog = asmOrDie(smcSource);
+    constexpr std::size_t limit = 4096;
+    const auto a = issStream(prog, limit);
+    const auto b = pipeStream(prog, limit);
+    const auto n = std::min(a.size(), b.size());
+    ASSERT_GT(n, 20u);
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(a[i].pc, b[i].pc) << "diverges at step " << i;
+        ASSERT_EQ(a[i].squashed, b[i].squashed)
+            << "squash mismatch at step " << i;
+    }
+}

@@ -7,6 +7,7 @@
 
 #include "memory/ecache.hh"
 #include "memory/icache.hh"
+#include "isa/encode.hh"
 #include "memory/main_memory.hh"
 
 using namespace mipsx;
@@ -346,4 +347,84 @@ TEST(ECache, CopyBackTrafficBeatsWriteThroughOnStoreHeavyStreams)
         return ec.memoryTrafficCycles();
     };
     EXPECT_LT(traffic(false), traffic(true) / 4);
+}
+
+// ---------------------------------------------------------------------
+// DecodedImage (via MainMemory::fetchDecoded)
+// ---------------------------------------------------------------------
+
+TEST(DecodedImage, FetchDecodesOnceAndCaches)
+{
+    MainMemory m;
+    const word_t w = isa::encodeImm(isa::ImmOp::Addi, 0, 7, 42);
+    m.write(AddressSpace::User, 0x1000, w);
+    const isa::Instruction &a = m.fetchDecoded(AddressSpace::User, 0x1000);
+    EXPECT_EQ(a.imm, 42);
+    EXPECT_EQ(a.destReg(), 7u);
+    // A second fetch returns the same cached record.
+    const isa::Instruction &b = m.fetchDecoded(AddressSpace::User, 0x1000);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(DecodedImage, StoreInvalidatesTheCachedDecode)
+{
+    MainMemory m;
+    m.write(AddressSpace::User, 0x2000,
+            isa::encodeImm(isa::ImmOp::Addi, 0, 3, 1));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x2000).imm, 1);
+    // Overwrite the word: the next fetch must see the new encoding.
+    m.write(AddressSpace::User, 0x2000,
+            isa::encodeImm(isa::ImmOp::Addi, 0, 4, 9));
+    const auto &in = m.fetchDecoded(AddressSpace::User, 0x2000);
+    EXPECT_EQ(in.imm, 9);
+    EXPECT_EQ(in.destReg(), 4u);
+}
+
+TEST(DecodedImage, SpacesDoNotAlias)
+{
+    MainMemory m;
+    m.write(AddressSpace::User, 0x30,
+            isa::encodeImm(isa::ImmOp::Addi, 0, 1, 11));
+    m.write(AddressSpace::System, 0x30,
+            isa::encodeImm(isa::ImmOp::Addi, 0, 2, 22));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x30).imm, 11);
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::System, 0x30).imm, 22);
+    // Invalidating one space's word leaves the other's decode alone.
+    m.write(AddressSpace::User, 0x30,
+            isa::encodeImm(isa::ImmOp::Addi, 0, 1, 33));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x30).imm, 33);
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::System, 0x30).imm, 22);
+}
+
+TEST(DecodedImage, DisabledModeDecodesEveryFetch)
+{
+    MainMemory m;
+    m.setPredecodeEnabled(false);
+    EXPECT_FALSE(m.predecodeEnabled());
+    m.write(AddressSpace::User, 0x40,
+            isa::encodeImm(isa::ImmOp::Addi, 0, 5, 5));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x40).imm, 5);
+    m.write(AddressSpace::User, 0x40,
+            isa::encodeImm(isa::ImmOp::Addi, 0, 5, 6));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x40).imm, 6);
+    // Re-enabling drops any stale state and decodes fresh.
+    m.setPredecodeEnabled(true);
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x40).imm, 6);
+}
+
+TEST(DecodedImage, ClassificationMatchesAFreshDecode)
+{
+    // The cached dest/cls bits must agree with what classify() computes
+    // on a fresh decode for a store and a load.
+    MainMemory m;
+    m.write(AddressSpace::User, 0x50, isa::encodeMem(isa::MemOp::St, 1, 2, 3));
+    m.write(AddressSpace::User, 0x51, isa::encodeMem(isa::MemOp::Ld, 1, 2, 3));
+    const auto &st = m.fetchDecoded(AddressSpace::User, 0x50);
+    EXPECT_TRUE(st.isStore());
+    EXPECT_TRUE(st.accessesMemory());
+    EXPECT_FALSE(st.isGprLoad());
+    const auto &ld = m.fetchDecoded(AddressSpace::User, 0x51);
+    EXPECT_TRUE(ld.isGprLoad());
+    EXPECT_TRUE(ld.accessesMemory());
+    EXPECT_EQ(ld.destReg(), 2u);
 }
