@@ -27,6 +27,7 @@
 #include "common/sim_error.hh"
 #include "reorg/scheduler.hh"
 #include "sim/machine.hh"
+#include "trace/metrics.hh"
 #include "workload/suite_runner.hh"
 #include "workload/workload.hh"
 
@@ -169,13 +170,25 @@ fullSuiteReport()
 
     workload::SuiteRunOptions after; // worker pool + predecoded store
 
+    // Tracing compiled in but *enabled*: every machine records into a
+    // per-machine 4k-deep ring. The default mode above is the
+    // tracing-disabled case (traceDepth 0, null buffer pointer).
+    workload::SuiteRunOptions traced = after;
+    traced.machine.traceDepth = 4096;
+
     const auto b = bestOf(suite, before, 3);
     const auto a = bestOf(suite, after, 3);
+    const auto t = bestOf(suite, traced, 3);
     bench::reportFailures(b.failures);
 
     if (!(a.stats == b.stats)) {
         std::fprintf(stderr,
                      "!! optimized suite aggregate differs from baseline\n");
+        return 1;
+    }
+    if (!(t.stats == a.stats)) {
+        std::fprintf(stderr,
+                     "!! tracing changed the suite aggregate\n");
         return 1;
     }
 
@@ -190,6 +203,9 @@ fullSuiteReport()
     std::printf("%-30s %6u %9.3f %9.3f %14.0f\n", "predecoded, worker pool",
                 a.timing.jobs, a.timing.hostSeconds, a.timing.simSeconds,
                 a.timing.instrPerSimSecond());
+    std::printf("%-30s %6u %9.3f %9.3f %14.0f\n", "tracing enabled (4k ring)",
+                t.timing.jobs, t.timing.hostSeconds, t.timing.simSeconds,
+                t.timing.instrPerSimSecond());
 
     const double vsPredecode = b.timing.simSeconds > 0
         ? b.timing.simSeconds / a.timing.simSeconds
@@ -202,14 +218,44 @@ fullSuiteReport()
                 " (reference %.1f Minstr/s, see EXPERIMENTS.md)\n",
                 vsPrePr, ref / 1e6);
 
+    // The tracer's overhead guarantee (DESIGN.md): with tracing
+    // disabled the only cost is a null-pointer test per emission site,
+    // so the untraced run must not be measurably slower than the traced
+    // one. Allow generous noise headroom — the claim being enforced is
+    // "no systematic slowdown", not a precise ratio.
+    const double tracedRatio = t.timing.simSeconds > 0
+        ? a.timing.instrPerSimSecond() / t.timing.instrPerSimSecond()
+        : 0.0;
+    std::printf("tracing-disabled throughput is %.2fx the traced run's"
+                " (must not regress)\n", tracedRatio);
+    if (tracedRatio < 0.9) {
+        std::fprintf(stderr,
+                     "!! tracing-disabled run is >10%% slower than the "
+                     "traced run: the disabled path is not free\n");
+        return 1;
+    }
+
     bench::BenchJson json("simulator_speed");
     json.setSuite("suite", a.stats);
     json.setTiming("baseline", b.timing);
     json.setTiming("optimized", a.timing);
+    json.setTiming("traced", t.timing);
     json.set("speedup_vs_no_predecode", vsPredecode);
     json.set("reference_instr_per_second", ref);
     json.set("speedup_vs_reference", vsPrePr);
+    json.set("untraced_vs_traced", tracedRatio);
     json.write();
+
+    // The same aggregate again as a flat metrics file, through the
+    // MetricsRegistry the simulators export through — keeps the bench
+    // output and the --metrics-json CLI output one format.
+    trace::MetricsRegistry metrics;
+    workload::collectMetrics(a.stats, metrics);
+    metrics.set("timing.sim_seconds", a.timing.simSeconds);
+    metrics.set("timing.instr_per_sim_second",
+                a.timing.instrPerSimSecond());
+    if (metrics.writeJsonFile("BENCH_simulator_speed_metrics.json"))
+        std::printf("wrote BENCH_simulator_speed_metrics.json\n");
     return 0;
 }
 

@@ -14,6 +14,26 @@ cmake -B "$build" -S "$repo"
 cmake --build "$build" -j
 (cd "$build" && ctest --output-on-failure -j)
 
+echo "== tier-1: trace/metrics smoke run =="
+# A traced run of a real program must produce parseable JSON on both
+# exporter paths (Chrome trace-event file and flat metrics file).
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+"$build/tools/mipsx-run" --trace=64 --trace-out="$smoke/trace.json" \
+    --metrics-json="$smoke/metrics.json" "$repo/examples/asm/sumarray.s"
+python3 - "$smoke/trace.json" "$smoke/metrics.json" << 'PYEOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"], \
+    "empty traceEvents"
+assert any(e.get("ph") == "i" for e in trace["traceEvents"])
+metrics = json.load(open(sys.argv[2]))
+assert metrics["cpu0.pipeline.cycles"] > 0
+assert metrics["cpu0.pipeline.instructions"] > 0
+print("trace/metrics smoke OK: %d events, %d metrics"
+      % (len(trace["traceEvents"]), len(metrics)))
+PYEOF
+
 echo "== tier-1: ThreadSanitizer on the parallel suite runner =="
 tsan="$repo/build-tsan"
 cmake -B "$tsan" -S "$repo" -DMIPSX_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

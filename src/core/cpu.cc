@@ -4,6 +4,7 @@
 #include "stats/stats.hh"
 #include "core/exec.hh"
 #include "isa/disasm.hh"
+#include "trace/metrics.hh"
 
 namespace mipsx::core
 {
@@ -170,6 +171,9 @@ Cpu::commitWb()
             if (retireHook_)
                 retireHook_({stats_.cycles, l.pc, l.space, l.inst.raw,
                              true});
+            if (trace_)
+                emitTrace(trace::EventKind::Retire, l.pc, l.space,
+                          l.inst.raw, true, 1);
         }
         // Exception-killed instructions will re-execute after restart
         // and are not counted.
@@ -179,6 +183,9 @@ Cpu::commitWb()
     ++stats_.committed;
     if (retireHook_)
         retireHook_({stats_.cycles, l.pc, l.space, l.inst.raw, false});
+    if (trace_)
+        emitTrace(trace::EventKind::Retire, l.pc, l.space, l.inst.raw,
+                  true, 0);
     if (l.inst.isNop()) {
         ++stats_.committedNops;
         const SlotKind slot = slotOf(l);
@@ -219,6 +226,9 @@ Cpu::takeException(word_t cause)
     ++stats_.exceptions;
     if (cause & (psw_bits::cIntr | psw_bits::cNmi))
         ++stats_.interrupts;
+    if (trace_)
+        emitTrace(trace::EventKind::Exception, mem_->pc, mem_->space,
+                  0, false, cause);
 
     // Exception no-ops ALU and MEM; Squash no-ops IF and RF. Nothing in
     // those stages completes. The PC chain (already holding the MEM, ALU
@@ -277,6 +287,9 @@ Cpu::resolveControl(Latch &l)
         if (squash) {
             ++stats_.branchSquashTriggers;
             squashFetch_ = true;
+            if (trace_)
+                emitTrace(trace::EventKind::Squash, l.pc, l.space,
+                          in.raw, true);
         }
         if (taken) {
             haveRedirect_ = true;
@@ -314,6 +327,9 @@ Cpu::resolveControl(Latch &l)
         // chain shifting can clobber the saved entries.
         redirect_ = PcChain::entryPc(l.jpcEntry);
         redirectKill_ = PcChain::entrySquashed(l.jpcEntry);
+        if (trace_)
+            emitTrace(trace::EventKind::Restart, l.pc, l.space, in.raw,
+                      true, redirect_);
         break;
       default:
         fatal("resolveControl: not a jump");
@@ -332,6 +348,8 @@ Cpu::evaluateAlu()
         stopSim(StopReason::InvalidInstruction);
         return;
     }
+    if (trace_)
+        emitTrace(trace::EventKind::Issue, l.pc, l.space, in.raw, true);
 
     // Resolve operands at the ALU inputs through the bypass network.
     l.opA = readOperand(in.rs1);
@@ -475,9 +493,16 @@ Cpu::executeMem()
     // retry loop runs for the memory latency plus any bus arbitration.
     // Buffered write-through stores occupy the bus without stalling
     // this processor.
-    auto charge = [this](const memory::ECacheResult &r) {
+    auto charge = [this, &l](const memory::ECacheResult &r) {
         if (r.stallCycles) {
-            missFsm_.startEMiss(busTransaction(r.stallCycles));
+            const unsigned total = busTransaction(r.stallCycles);
+            missFsm_.startEMiss(total);
+            if (trace_) {
+                emitTrace(trace::EventKind::EMissLate, l.aluOut, l.space,
+                          0, false, total);
+                emitTrace(trace::EventKind::Stall, l.aluOut, l.space, 1,
+                          false, total);
+            }
         } else if (r.busCycles && config_.bus) {
             // A buffered write-through store: the 4-deep store buffer
             // (Smith's sizing) absorbs bus backlog up to its depth;
@@ -494,6 +519,24 @@ Cpu::executeMem()
             config_.coherence->writeBroadcast(&ecache_, k);
     };
 
+    if (trace_) {
+        switch (in.memOp) {
+          case MemOp::Ldf:
+          case MemOp::Stf:
+            emitTrace(trace::EventKind::Coproc, l.pc, l.space, in.raw,
+                      true, 1);
+            break;
+          case MemOp::Aluc:
+          case MemOp::Movfrc:
+          case MemOp::Movtoc:
+            emitTrace(trace::EventKind::Coproc, l.pc, l.space, in.raw,
+                      true, in.copNum());
+            break;
+          default:
+            break;
+        }
+    }
+
     switch (in.memOp) {
       case MemOp::Ld:
         l.memData = ram_.read(space, addr);
@@ -504,12 +547,20 @@ Cpu::executeMem()
         charge(ecache_.access(key, true));
         snoop(key);
         break;
-      case MemOp::Ldt:
+      case MemOp::Ldt: {
         // Load-through: an uncached access pays a full bus round trip.
         l.memData = ram_.read(space, addr);
-        missFsm_.startEMiss(
-            busTransaction(ecache_.config().missPenalty));
+        const unsigned total =
+            busTransaction(ecache_.config().missPenalty);
+        missFsm_.startEMiss(total);
+        if (trace_) {
+            emitTrace(trace::EventKind::EMissLate, addr, space, 0,
+                      false, total);
+            emitTrace(trace::EventKind::Stall, addr, space, 1, false,
+                      total);
+        }
         break;
+      }
       case MemOp::Ldf: {
         const word_t data = ram_.read(space, addr);
         cops_.at(1).loadDirect(in.aux, data);
@@ -565,14 +616,38 @@ Cpu::fetch()
     const bool cacheable =
         !(config_.coprocNonCachedFetch && l.inst.isCoproc());
     const auto r = icache_.fetch(l.space, l.pc, cacheable);
+    if (trace_)
+        emitTrace(trace::EventKind::Fetch, l.pc, l.space, l.inst.raw,
+                  true);
     if (!r.hit) {
         missFsm_.startIMiss(r.stallCycles);
+        if (trace_) {
+            emitTrace(trace::EventKind::IMiss, l.pc, l.space, 0, false,
+                      r.stallCycles);
+            emitTrace(trace::EventKind::Stall, l.pc, l.space, 0, false,
+                      r.stallCycles);
+        }
         // The fetch-back words come from the Ecache; a late miss there
         // extends the stall while main memory responds over the bus.
         for (unsigned i = 0; i < r.numRefills; ++i) {
+            const auto refill_addr =
+                static_cast<addr_t>(r.refillKeys[i]);
+            const auto refill_space =
+                static_cast<AddressSpace>(r.refillKeys[i] >> 32);
+            if (trace_)
+                emitTrace(trace::EventKind::IRefill, refill_addr,
+                          refill_space, 0, false);
             const auto e = ecache_.access(r.refillKeys[i], false);
-            if (!e.hit)
-                missFsm_.startEMiss(busTransaction(e.stallCycles));
+            if (!e.hit) {
+                const unsigned total = busTransaction(e.stallCycles);
+                missFsm_.startEMiss(total);
+                if (trace_) {
+                    emitTrace(trace::EventKind::EMissLate, refill_addr,
+                              refill_space, 0, false, total);
+                    emitTrace(trace::EventKind::Stall, refill_addr,
+                              refill_space, 1, false, total);
+                }
+            }
         }
     }
 
@@ -863,6 +938,65 @@ Cpu::dumpStats(std::ostream &os) const
     fsm.set("miss_imiss", double(missFsm_.occupancy(MissState::IMiss)));
     fsm.set("miss_emiss", double(missFsm_.occupancy(MissState::EMiss)));
     fsm.dump(os);
+}
+
+void
+Cpu::collectMetrics(trace::MetricsRegistry &m) const
+{
+    const std::string p = strformat("cpu%u.", config_.cpuId);
+    m.set(p + "pipeline.cycles", stats_.cycles);
+    m.set(p + "pipeline.instructions", stats_.committed);
+    m.set(p + "pipeline.cpi", stats_.cpi());
+    m.set(p + "pipeline.noops", stats_.committedNops);
+    m.set(p + "pipeline.noop_fraction", stats_.noopFraction());
+    m.set(p + "pipeline.noops_branch_slots", stats_.nopsInBranchSlots);
+    m.set(p + "pipeline.noops_load_delay", stats_.nopsForLoadDelay);
+    m.set(p + "pipeline.squashed", stats_.squashed);
+    m.set(p + "pipeline.branches", stats_.branches);
+    m.set(p + "pipeline.branches_taken", stats_.branchesTaken);
+    m.set(p + "pipeline.branch_squash_triggers",
+          stats_.branchSquashTriggers);
+    m.set(p + "pipeline.branch_wasted_slots", stats_.branchWastedSlots);
+    m.set(p + "pipeline.cycles_per_branch", stats_.cyclesPerBranch());
+    m.set(p + "pipeline.jumps", stats_.jumps);
+    m.set(p + "pipeline.jump_wasted_slots", stats_.jumpWastedSlots);
+    m.set(p + "pipeline.traps", stats_.traps);
+    m.set(p + "pipeline.exceptions", stats_.exceptions);
+    m.set(p + "pipeline.interrupts", stats_.interrupts);
+    m.set(p + "pipeline.hazard_violations", stats_.hazardViolations);
+
+    m.set(p + "icache.accesses", icache_.accesses());
+    m.set(p + "icache.misses", icache_.misses());
+    m.set(p + "icache.miss_ratio", icache_.missRatio());
+    m.set(p + "icache.tag_misses", icache_.tagMisses());
+    m.set(p + "icache.subblock_misses", icache_.subBlockMisses());
+    m.set(p + "icache.stall_cycles", icache_.stallCycles());
+    m.set(p + "icache.avg_fetch_cost", icache_.avgFetchCost());
+
+    m.set(p + "ecache.accesses", ecache_.accesses());
+    m.set(p + "ecache.misses", ecache_.misses());
+    m.set(p + "ecache.miss_ratio", ecache_.missRatio());
+    m.set(p + "ecache.writebacks", ecache_.writebacks());
+    m.set(p + "ecache.stall_cycles", ecache_.stallCycles());
+    m.set(p + "ecache.memory_traffic_cycles",
+          ecache_.memoryTrafficCycles());
+
+    m.set(p + "fsm.squash_run",
+          squashFsm_.occupancy(SquashState::Run));
+    m.set(p + "fsm.squash_branch",
+          squashFsm_.occupancy(SquashState::BranchSquash));
+    m.set(p + "fsm.squash_exception",
+          squashFsm_.occupancy(SquashState::Exception));
+    m.set(p + "fsm.miss_run", missFsm_.occupancy(MissState::Run));
+    m.set(p + "fsm.miss_imiss", missFsm_.occupancy(MissState::IMiss));
+    m.set(p + "fsm.miss_emiss", missFsm_.occupancy(MissState::EMiss));
+
+    if (trace_) {
+        m.set(p + "trace.capacity",
+              static_cast<std::uint64_t>(trace_->capacity()));
+        m.set(p + "trace.recorded", trace_->recorded());
+        m.set(p + "trace.dropped", trace_->dropped());
+    }
 }
 
 RunResult

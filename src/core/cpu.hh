@@ -42,6 +42,12 @@
 #include "memory/ecache.hh"
 #include "memory/icache.hh"
 #include "memory/main_memory.hh"
+#include "trace/trace.hh"
+
+namespace mipsx::trace
+{
+class MetricsRegistry;
+} // namespace mipsx::trace
 
 namespace mipsx::core
 {
@@ -229,6 +235,14 @@ class Cpu
         retireHook_ = std::move(hook);
     }
 
+    /**
+     * Attach (or detach, with nullptr) an event trace buffer. The CPU
+     * records pipeline micro-events into it; a null pointer keeps the
+     * hot path at a single test per emission site.
+     */
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
+    trace::TraceBuffer *traceBuffer() const { return trace_; }
+
     // Architectural state access (for tests, loaders and checkers).
     word_t gpr(unsigned r) const { return regs_.at(r); }
     void setGpr(unsigned r, word_t v);
@@ -254,6 +268,12 @@ class Cpu
 
     /** Dump every statistic as uniform "group.key value" lines. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Export every statistic dumpStats() prints into @p m as named
+     * counters ("cpu<N>.pipeline.cycles", "cpu<N>.icache.misses", ...).
+     */
+    void collectMetrics(trace::MetricsRegistry &m) const;
 
   private:
     /** One pipeline latch (the instruction occupying a stage). */
@@ -362,6 +382,16 @@ class Cpu
     StopReason stop_ = StopReason::Running;
     PipelineStats stats_;
     std::function<void(const RetireEvent &)> retireHook_;
+    trace::TraceBuffer *trace_ = nullptr; ///< null = tracing disabled
+
+    /** Record one trace event (no-op when tracing is disabled). */
+    void
+    emitTrace(trace::EventKind kind, addr_t pc, AddressSpace space,
+              word_t raw, bool has_inst, std::uint32_t arg = 0)
+    {
+        trace_->record({stats_.cycles, pc, raw, arg, kind, space,
+                        has_inst});
+    }
 };
 
 } // namespace mipsx::core

@@ -174,7 +174,13 @@ ICache::fetchSlow(std::uint64_t key, std::uint64_t block_addr,
     fillWord(key, true);
 
     // ... and, with the double fetch, the next word to be executed.
-    if (config_.fetchWords == 2) {
+    // "Next" must stay within the missing word's address space: a key
+    // is (space << 32) | addr, so a bare key + 1 at the last word of
+    // the space would carry into the space bits and fetch (and charge
+    // the Ecache for) an aliased word of the *other* space — there is
+    // no instruction after 0xffffffff for the fetch-back to help.
+    if (config_.fetchWords == 2 &&
+        (key & 0xffffffffull) != 0xffffffffull) {
         const std::uint64_t next = key + 1;
         res.refillKeys[res.numRefills++] = next;
         const bool same_block = (next >> blockShift_) == block_addr;

@@ -2,6 +2,7 @@
 
 #include "common/sim_error.hh"
 #include "core/exec.hh"
+#include "trace/metrics.hh"
 
 namespace mipsx::sim
 {
@@ -69,6 +70,10 @@ void
 Iss::takeException(word_t cause)
 {
     ++stats_.exceptions;
+    if (trace_)
+        trace_->record({stats_.steps, pc_, 0, cause,
+                        trace::EventKind::Exception, psw_.space(),
+                        false});
     // Sequential semantics: the faulting instruction's address fills the
     // oldest chain slot; a single jpc restarts it.
     chain_.write(0, core::PcChain::makeEntry(pc_, false));
@@ -110,6 +115,20 @@ Iss::run()
 }
 
 void
+Iss::collectMetrics(trace::MetricsRegistry &m) const
+{
+    m.set("iss.steps", stats_.steps);
+    m.set("iss.branches", stats_.branches);
+    m.set("iss.branches_taken", stats_.branchesTaken);
+    m.set("iss.jumps", stats_.jumps);
+    m.set("iss.loads", stats_.loads);
+    m.set("iss.stores", stats_.stores);
+    m.set("iss.coproc_ops", stats_.coprocOps);
+    m.set("iss.traps", stats_.traps);
+    m.set("iss.exceptions", stats_.exceptions);
+}
+
+void
 Iss::step()
 {
     if (stopped())
@@ -144,6 +163,10 @@ Iss::step()
     const bool squashed = skip_ > 0;
     if (skip_ > 0)
         --skip_;
+    if (trace_)
+        trace_->record({stats_.steps, cur, in.raw,
+                        squashed ? 1u : 0u, trace::EventKind::Retire,
+                        space, true});
 
     bool redirected_seq = false; // sequential mode changed pc_ directly
 

@@ -38,6 +38,12 @@
 #include "core/psw.hh"
 #include "isa/instruction.hh"
 #include "memory/main_memory.hh"
+#include "trace/trace.hh"
+
+namespace mipsx::trace
+{
+class MetricsRegistry;
+} // namespace mipsx::trace
 
 namespace mipsx::sim
 {
@@ -131,6 +137,17 @@ class Iss
         branchHook_ = std::move(hook);
     }
 
+    /**
+     * Attach (or detach, with nullptr) an event trace buffer: each
+     * step records a Retire event (cycle = step count), exceptions an
+     * Exception event — the functional twin of the pipeline's trace,
+     * which the cosim divergence reporter prints side by side.
+     */
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
+
+    /** Export the ISS statistics into @p m under "iss.". */
+    void collectMetrics(trace::MetricsRegistry &m) const;
+
   private:
     word_t readReg(unsigned r) const;
     void writeReg(unsigned r, word_t v);
@@ -164,6 +181,7 @@ class Iss
     IssStop stop_ = IssStop::Running;
     IssStats stats_;
     std::function<void(const BranchEvent &)> branchHook_;
+    trace::TraceBuffer *trace_ = nullptr; ///< null = tracing disabled
 };
 
 } // namespace mipsx::sim

@@ -10,6 +10,10 @@ namespace mipsx::sim
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
     cpu_ = std::make_unique<core::Cpu>(config_.cpu, mem_);
+    if (config_.traceDepth) {
+        trace_.setCapacity(config_.traceDepth);
+        cpu_->setTrace(&trace_);
+    }
     if (config_.attachFpu) {
         auto fpu = std::make_unique<coproc::Fpu>();
         fpu_ = fpu.get();
@@ -32,6 +36,7 @@ Machine::run()
 {
     if (!prog_)
         fatal("Machine::run: no program loaded");
+    trace_.clear();
     cpu_->reset(prog_->entry);
     if (prog_->entrySpace == AddressSpace::System) {
         cpu_->setPsw(cpu_->psw().bits() | isa::psw_bits::mode);

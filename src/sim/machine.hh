@@ -9,6 +9,7 @@
 #ifndef MIPSX_SIM_MACHINE_HH
 #define MIPSX_SIM_MACHINE_HH
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -17,6 +18,7 @@
 #include "coproc/fpu.hh"
 #include "memory/main_memory.hh"
 #include "sim/iss.hh"
+#include "trace/trace.hh"
 
 namespace mipsx::sim
 {
@@ -29,6 +31,13 @@ struct MachineConfig
     bool attachCounterCop = false;
     /** Initial stack pointer (r29) in the entry address space. */
     addr_t stackTop = 0x70000;
+    /**
+     * Depth of the per-machine event-trace ring buffer; 0 (the
+     * default) disables tracing entirely — the CPU's trace pointer
+     * stays null, so the hot path pays nothing. Each Machine owns its
+     * own buffer, keeping the parallel suite runner deterministic.
+     */
+    std::size_t traceDepth = 0;
 };
 
 /** A complete pipelined MIPS-X system. */
@@ -51,6 +60,10 @@ class Machine
     /** The attached FPU (requires attachFpu). */
     coproc::Fpu &fpu();
 
+    /** The event-trace ring (empty unless MachineConfig::traceDepth). */
+    const trace::TraceBuffer &trace() const { return trace_; }
+    trace::TraceBuffer &trace() { return trace_; }
+
     /** Read one memory word (post-run result checking). */
     word_t
     readWord(AddressSpace space, addr_t addr) const
@@ -64,6 +77,7 @@ class Machine
   private:
     MachineConfig config_;
     memory::MainMemory mem_;
+    trace::TraceBuffer trace_;
     std::unique_ptr<core::Cpu> cpu_;
     const assembler::Program *prog_ = nullptr;
     coproc::Fpu *fpu_ = nullptr;

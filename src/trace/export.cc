@@ -1,0 +1,202 @@
+#include "trace/export.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/sim_error.hh"
+#include "isa/disasm.hh"
+
+namespace mipsx::trace
+{
+
+namespace
+{
+
+/** Lane (Chrome tid) an event renders in. */
+unsigned
+laneOf(EventKind k)
+{
+    switch (k) {
+      case EventKind::Fetch:
+      case EventKind::Issue:
+      case EventKind::Retire:
+        return 0; // instructions
+      case EventKind::Squash:
+      case EventKind::Exception:
+      case EventKind::Restart:
+        return 1; // control
+      case EventKind::Stall:
+      case EventKind::IMiss:
+      case EventKind::IRefill:
+      case EventKind::EMissLate:
+        return 2; // memory system
+      case EventKind::Coproc:
+        return 3; // coprocessors
+    }
+    return 0;
+}
+
+const char *
+laneName(unsigned lane)
+{
+    switch (lane) {
+      case 0: return "instructions";
+      case 1: return "control";
+      case 2: return "memory";
+      case 3: return "coprocessor";
+    }
+    return "?";
+}
+
+/** Events whose arg is a duration in cycles. */
+bool
+hasDuration(EventKind k)
+{
+    return k == EventKind::Stall || k == EventKind::IMiss ||
+        k == EventKind::EMissLate;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<Event> &events,
+                 const ChromeTraceOptions &opts)
+{
+    os << "{\"traceEvents\":[\n";
+    // Metadata: name the process and the four lanes.
+    os << strformat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                    opts.pid, jsonEscape(opts.processName).c_str());
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        os << strformat(",\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                        "\"pid\":%u,\"tid\":%u,"
+                        "\"args\":{\"name\":\"%s\"}}",
+                        opts.pid, lane, laneName(lane));
+    }
+    for (const Event &e : events) {
+        const unsigned lane = laneOf(e.kind);
+        std::string args = strformat(
+            "\"pc\":\"0x%x\",\"space\":\"%s\"", e.pc,
+            e.space == AddressSpace::System ? "system" : "user");
+        if (e.hasInst) {
+            args += strformat(
+                ",\"inst\":\"%s\"",
+                jsonEscape(isa::disassemble(e.raw, e.pc, true)).c_str());
+        }
+        if (e.kind == EventKind::Retire && e.arg)
+            args += ",\"squashed\":true";
+        if (e.kind == EventKind::Exception)
+            args += strformat(",\"cause\":\"0x%x\"", e.arg);
+        if (e.kind == EventKind::Coproc)
+            args += strformat(",\"cop\":%u", e.arg);
+        if (e.kind == EventKind::Restart)
+            args += strformat(",\"target\":\"0x%x\"", e.arg);
+        if (e.kind == EventKind::Stall)
+            args += strformat(",\"source\":\"%s\"",
+                              e.raw ? "ecache" : "icache");
+
+        if (hasDuration(e.kind)) {
+            os << strformat(
+                ",\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
+                "\"dur\":%u,\"pid\":%u,\"tid\":%u,\"args\":{%s}}",
+                eventKindName(e.kind),
+                static_cast<unsigned long long>(e.cycle), e.arg, opts.pid,
+                lane, args.c_str());
+        } else {
+            os << strformat(
+                ",\n{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%llu,"
+                "\"s\":\"t\",\"pid\":%u,\"tid\":%u,\"args\":{%s}}",
+                eventKindName(e.kind),
+                static_cast<unsigned long long>(e.cycle), opts.pid, lane,
+                args.c_str());
+        }
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path,
+                     const std::vector<Event> &events,
+                     const ChromeTraceOptions &opts)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "!! cannot write %s\n", path.c_str());
+        return false;
+    }
+    writeChromeTrace(f, events, opts);
+    return true;
+}
+
+std::string
+formatEvent(const Event &e)
+{
+    std::string line = strformat(
+        "[cycle %8llu] %-9s %s%05x",
+        static_cast<unsigned long long>(e.cycle), eventKindName(e.kind),
+        e.space == AddressSpace::System ? "S:" : "", e.pc);
+    if (e.hasInst) {
+        line += "  ";
+        line += isa::disassemble(e.raw, e.pc, true);
+    }
+    switch (e.kind) {
+      case EventKind::Stall:
+        line += strformat("  %u cycles (%s)", e.arg,
+                          e.raw ? "ecache" : "icache");
+        break;
+      case EventKind::IMiss:
+      case EventKind::EMissLate:
+        line += strformat("  %u cycles", e.arg);
+        break;
+      case EventKind::Exception:
+        line += strformat("  cause=0x%x", e.arg);
+        break;
+      case EventKind::Coproc:
+        line += strformat("  cop%u", e.arg);
+        break;
+      case EventKind::Restart:
+        line += strformat("  target=%05x", e.arg);
+        break;
+      case EventKind::Retire:
+        if (e.arg)
+            line += "  [squashed]";
+        break;
+      default:
+        break;
+    }
+    return line;
+}
+
+void
+dumpTrace(std::ostream &os, const TraceBuffer &buf, std::size_t last_n)
+{
+    const auto events =
+        last_n ? buf.lastEvents(last_n) : buf.events();
+    for (const Event &e : events)
+        os << formatEvent(e) << "\n";
+    if (buf.dropped()) {
+        os << strformat("(%llu older events dropped by the %zu-deep "
+                        "ring)\n",
+                        static_cast<unsigned long long>(buf.dropped()),
+                        buf.capacity());
+    }
+}
+
+} // namespace mipsx::trace

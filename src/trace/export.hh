@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace exporters.
+ *
+ * Two consumers:
+ *  - writeChromeTrace: the Chrome trace_event JSON object format
+ *    (load into chrome://tracing or Perfetto). One simulated cycle maps
+ *    to one microsecond of trace time; events with a duration payload
+ *    (stall, imiss, emiss) become complete ("X") events, everything
+ *    else an instant ("i"). Events are grouped into four lanes (tids):
+ *    instructions, control, memory, coprocessor.
+ *  - formatEvent / dumpTrace: fixed-width text lines with disassembly,
+ *    used by --trace-out's sibling --trace printing and by the cosim
+ *    divergence reporter.
+ */
+
+#ifndef MIPSX_TRACE_EXPORT_HH
+#define MIPSX_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace mipsx::trace
+{
+
+/** Presentation knobs for the Chrome exporter. */
+struct ChromeTraceOptions
+{
+    unsigned pid = 0; ///< process id (cpu id on a multiprocessor)
+    std::string processName = "mipsx";
+};
+
+/** Write @p events as a Chrome trace_event JSON object. */
+void writeChromeTrace(std::ostream &os, const std::vector<Event> &events,
+                      const ChromeTraceOptions &opts = {});
+
+/** writeChromeTrace to @p path; false (with a stderr note) on error. */
+bool writeChromeTraceFile(const std::string &path,
+                          const std::vector<Event> &events,
+                          const ChromeTraceOptions &opts = {});
+
+/** One fixed-width text line, disassembling raw when it is a word. */
+std::string formatEvent(const Event &e);
+
+/**
+ * Print the last @p last_n events of @p buf (0 = all held events) as
+ * text lines, one per event.
+ */
+void dumpTrace(std::ostream &os, const TraceBuffer &buf,
+               std::size_t last_n = 0);
+
+} // namespace mipsx::trace
+
+#endif // MIPSX_TRACE_EXPORT_HH

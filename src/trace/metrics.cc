@@ -1,0 +1,136 @@
+#include "trace/metrics.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mipsx::trace
+{
+
+MetricsRegistry::Value &
+MetricsRegistry::slot(const std::string &name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return entries_[it->second].second;
+    index_.emplace(name, entries_.size());
+    entries_.emplace_back(name, Value{});
+    return entries_.back().second;
+}
+
+void
+MetricsRegistry::set(const std::string &name, std::uint64_t v)
+{
+    Value &val = slot(name);
+    val.integer = v;
+    val.real = 0;
+    val.isInt = true;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double v)
+{
+    Value &val = slot(name);
+    val.real = v;
+    val.integer = 0;
+    val.isInt = false;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+double
+MetricsRegistry::get(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0.0
+                              : entries_[it->second].second.asDouble();
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[name, v] : other.entries_) {
+        const auto it = index_.find(name);
+        if (it == index_.end()) {
+            index_.emplace(name, entries_.size());
+            entries_.emplace_back(name, v);
+            continue;
+        }
+        Value &mine = entries_[it->second].second;
+        if (mine.isInt && v.isInt) {
+            mine.integer += v.integer;
+        } else {
+            mine.real = mine.asDouble() + v.asDouble();
+            mine.integer = 0;
+            mine.isInt = false;
+        }
+    }
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, v] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const auto &[name, v] = entries_[i];
+        char buf[64];
+        if (v.isInt) {
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(v.integer));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", v.real);
+        }
+        os << "  \"" << jsonEscape(name) << "\": " << buf
+           << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    os << "}\n";
+}
+
+bool
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "!! cannot write %s\n", path.c_str());
+        return false;
+    }
+    writeJson(f);
+    return true;
+}
+
+} // namespace mipsx::trace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A unified, named-counter metrics registry.
+ *
+ * The simulator's statistics were grown per component: PipelineStats on
+ * the Cpu, stats::Counter members on ICache/ECache, SuiteStats on the
+ * suite runner. The registry puts them all behind one flat namespace of
+ * dotted names ("cpu0.pipeline.cycles", "cpu0.icache.misses",
+ * "suite.committed", ...) that keeps insertion order, can be merged
+ * across runs, and exports as a flat JSON object alongside the
+ * BENCH_*.json files — one schema for every consumer.
+ *
+ * Producers live with the counters they expose: Cpu::collectMetrics,
+ * Iss::collectMetrics and workload::collectMetrics fill a registry from
+ * their own statistics.
+ */
+
+#ifndef MIPSX_TRACE_METRICS_HH
+#define MIPSX_TRACE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mipsx::trace
+{
+
+/** Flat map of named numeric metrics; insertion-ordered for export. */
+class MetricsRegistry
+{
+  public:
+    /** Set (or overwrite) an integer-valued metric. */
+    void set(const std::string &name, std::uint64_t v);
+    void set(const std::string &name, unsigned v)
+    {
+        set(name, static_cast<std::uint64_t>(v));
+    }
+    /** Set (or overwrite) a real-valued metric. */
+    void set(const std::string &name, double v);
+
+    bool has(const std::string &name) const;
+    /** Value of @p name, or 0 when absent. */
+    double get(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Sum @p other into this registry. New names append; matching
+     * names add (a name integer on both sides stays integer).
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** Metric names in insertion order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Write the registry as one flat JSON object, insertion order
+     * preserved; integers print exactly, reals as %.17g.
+     */
+    void writeJson(std::ostream &os) const;
+    /** writeJson to @p path; false (with a stderr note) on error. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    struct Value
+    {
+        double real = 0;
+        std::uint64_t integer = 0;
+        bool isInt = false;
+        double asDouble() const
+        {
+            return isInt ? static_cast<double>(integer) : real;
+        }
+    };
+
+    Value &slot(const std::string &name);
+
+    std::vector<std::pair<std::string, Value>> entries_;
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace mipsx::trace
+
+#endif // MIPSX_TRACE_METRICS_HH

@@ -1,0 +1,64 @@
+#include "trace/trace.hh"
+
+namespace mipsx::trace
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Fetch: return "fetch";
+      case EventKind::Issue: return "issue";
+      case EventKind::Stall: return "stall";
+      case EventKind::Squash: return "squash";
+      case EventKind::IMiss: return "imiss";
+      case EventKind::IRefill: return "irefill";
+      case EventKind::EMissLate: return "emiss";
+      case EventKind::Coproc: return "coproc";
+      case EventKind::Exception: return "exception";
+      case EventKind::Restart: return "restart";
+      case EventKind::Retire: return "retire";
+    }
+    return "?";
+}
+
+void
+TraceBuffer::setCapacity(std::size_t n)
+{
+    buf_.assign(n, Event{});
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+}
+
+void
+TraceBuffer::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+}
+
+std::vector<Event>
+TraceBuffer::events() const
+{
+    return lastEvents(size_);
+}
+
+std::vector<Event>
+TraceBuffer::lastEvents(std::size_t n) const
+{
+    if (n > size_)
+        n = size_;
+    std::vector<Event> out;
+    out.reserve(n);
+    // head_ is one past the newest event; walk back n slots.
+    std::size_t start = (head_ + buf_.size() - n) % (buf_.empty() ? 1 : buf_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(buf_[start]);
+        start = start + 1 == buf_.size() ? 0 : start + 1;
+    }
+    return out;
+}
+
+} // namespace mipsx::trace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cycle-level event tracing.
+ *
+ * The paper's tradeoff studies are cycle-accounting arguments (miss
+ * cycles, squash cycles, wasted branch slots); aggregate counters say
+ * *how many* cycles went where but not *when* or *why*. The tracer
+ * records the pipeline's micro-events — fetch, issue, stall, squash,
+ * instruction-cache miss and refill, external-cache late miss,
+ * coprocessor handshakes, exception entry and restart, and retires —
+ * into a fixed-capacity ring buffer of POD events.
+ *
+ * Design constraints:
+ *  - Zero overhead when disabled. Emitters hold a TraceBuffer pointer
+ *    that is null when tracing is off; the only cost on the hot path is
+ *    one pointer test. bench_simulator_speed asserts the suite runs no
+ *    slower with tracing compiled in but disabled.
+ *  - Deterministic under the parallel suite runner. Every Machine owns
+ *    its own buffer; nothing is shared between workers.
+ *  - Bounded memory. The ring keeps the most recent `capacity` events
+ *    and counts what it dropped, so a 10^8-cycle run with a 64k-deep
+ *    buffer still ends with the tail that matters (e.g. the events
+ *    leading up to a cosim divergence).
+ */
+
+#ifndef MIPSX_TRACE_TRACE_HH
+#define MIPSX_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mipsx::trace
+{
+
+/** What happened. See the emitters in core/cpu.cc and sim/iss.cc. */
+enum class EventKind : std::uint8_t
+{
+    Fetch,     ///< a word entered IF; raw = instruction
+    Issue,     ///< a live instruction entered ALU; raw = instruction
+    Stall,     ///< the w1 clock is withheld; arg = cycles, pc = culprit
+    Squash,    ///< a branch squashed its slots; raw = the branch
+    IMiss,     ///< instruction-cache miss; arg = miss penalty
+    IRefill,   ///< one word fetched back into the icache; pc = its addr
+    EMissLate, ///< external-cache late miss; arg = stall cycles
+    Coproc,    ///< coprocessor handshake; arg = cop number
+    Exception, ///< exception entry; arg = PSW cause bits
+    Restart,   ///< jpc re-injected a saved PC; arg = target
+    Retire,    ///< an instruction retired in WB; arg = 1 if squashed
+};
+
+/** Printable name of an event kind ("fetch", "imiss", ...). */
+const char *eventKindName(EventKind k);
+
+/** One trace record. POD, fixed size, no owned storage. */
+struct Event
+{
+    cycle_t cycle = 0;
+    addr_t pc = 0;      ///< instruction PC, or the address involved
+    word_t raw = 0;     ///< raw instruction word when hasInst is set
+    std::uint32_t arg = 0; ///< kind-specific payload (see EventKind)
+    EventKind kind = EventKind::Fetch;
+    AddressSpace space = AddressSpace::User;
+    bool hasInst = false; ///< raw holds a disassemblable instruction
+};
+
+static_assert(std::is_trivially_copyable_v<Event>);
+
+/**
+ * A fixed-capacity ring buffer of Events. Capacity 0 (the default)
+ * means tracing is disabled: record() is a no-op and enabled() is
+ * false. Emitters should keep a TraceBuffer* that is null when
+ * disabled so the hot path pays only a pointer test.
+ */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+    explicit TraceBuffer(std::size_t capacity) { setCapacity(capacity); }
+
+    /** Resize (and clear) the ring. 0 disables tracing. */
+    void setCapacity(std::size_t n);
+
+    bool enabled() const { return !buf_.empty(); }
+    std::size_t capacity() const { return buf_.size(); }
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return size_; }
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Events ever recorded (size() + dropped()). */
+    std::uint64_t recorded() const { return size_ + dropped_; }
+
+    void
+    record(const Event &e)
+    {
+        if (buf_.empty())
+            return;
+        buf_[head_] = e;
+        head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+        if (size_ < buf_.size())
+            ++size_;
+        else
+            ++dropped_;
+    }
+
+    /** Drop all events (capacity is kept). */
+    void clear();
+
+    /** The held events, oldest first. */
+    std::vector<Event> events() const;
+    /** The last @p n held events, oldest first. */
+    std::vector<Event> lastEvents(std::size_t n) const;
+
+  private:
+    std::vector<Event> buf_;
+    std::size_t head_ = 0; ///< next write position
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace mipsx::trace
+
+#endif // MIPSX_TRACE_TRACE_HH

@@ -39,7 +39,6 @@ WorkloadOutcome
 runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
 {
     WorkloadOutcome out;
-    out.stats.workloads = 1;
     try {
         reorg::ReorgConfig rc = opts.reorg;
         if (opts.useProfiles) {
@@ -59,6 +58,11 @@ runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
                              .count();
 
         if (result.reason != core::StopReason::Halt) {
+            // A failing workload contributes nothing but the failure
+            // tick: its partial cycle/cache counts would skew every
+            // per-instruction ratio the tables derive from the
+            // aggregate, and `workloads` stays the denominator of
+            // successful runs only.
             out.stats.failures = 1;
             out.failed = true;
             out.failure = {index, w.name,
@@ -66,6 +70,7 @@ runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
             return out;
         }
 
+        out.stats.workloads = 1;
         const auto &s = machine.cpu().stats();
         out.stats.cycles = s.cycles;
         out.stats.committed = s.committed;
@@ -86,7 +91,6 @@ runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
         out.stats.ecacheStalls = machine.cpu().ecache().stallCycles();
     } catch (const std::exception &e) {
         out.stats = SuiteStats{};
-        out.stats.workloads = 1;
         out.stats.failures = 1;
         out.failed = true;
         out.failure = {index, w.name, {}, e.what()};
@@ -164,6 +168,39 @@ runSuite(const std::vector<Workload> &ws, const SuiteRunOptions &opts)
     res.timing.hostSeconds = dt.count();
     res.timing.simInstructions = res.stats.committed;
     return res;
+}
+
+void
+collectMetrics(const SuiteStats &s, trace::MetricsRegistry &m,
+               const std::string &prefix)
+{
+    const std::string p = prefix + ".";
+    m.set(p + "workloads", s.workloads);
+    m.set(p + "failures", s.failures);
+    m.set(p + "cycles", s.cycles);
+    m.set(p + "committed", s.committed);
+    m.set(p + "committed_nops", s.committedNops);
+    m.set(p + "nops_branch_slots", s.nopsInBranchSlots);
+    m.set(p + "nops_load_delay", s.nopsForLoadDelay);
+    m.set(p + "squashed", s.squashed);
+    m.set(p + "branches", s.branches);
+    m.set(p + "branches_taken", s.branchesTaken);
+    m.set(p + "branch_wasted_slots", s.branchWastedSlots);
+    m.set(p + "jumps", s.jumps);
+    m.set(p + "jump_wasted_slots", s.jumpWastedSlots);
+    m.set(p + "icache_accesses", s.icacheAccesses);
+    m.set(p + "icache_misses", s.icacheMisses);
+    m.set(p + "icache_stalls", s.icacheStalls);
+    m.set(p + "ecache_accesses", s.ecacheAccesses);
+    m.set(p + "ecache_misses", s.ecacheMisses);
+    m.set(p + "ecache_stalls", s.ecacheStalls);
+    m.set(p + "cpi", s.cpi());
+    m.set(p + "noop_fraction", s.noopFraction());
+    m.set(p + "cycles_per_branch", s.cyclesPerBranch());
+    m.set(p + "cycles_per_control", s.cyclesPerControl());
+    m.set(p + "icache_miss_ratio", s.icacheMissRatio());
+    m.set(p + "avg_fetch_cost", s.avgFetchCost());
+    m.set(p + "ecache_miss_ratio", s.ecacheMissRatio());
 }
 
 } // namespace mipsx::workload

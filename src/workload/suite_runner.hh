@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/metrics.hh"
 #include "workload/workload.hh"
 
 namespace mipsx::workload
@@ -158,6 +159,13 @@ struct SuiteResult
  */
 SuiteResult runSuite(const std::vector<Workload> &ws,
                      const SuiteRunOptions &opts = {});
+
+/**
+ * Export the aggregated suite statistics (counts plus the derived
+ * ratios the paper's tables use) into @p m under "<prefix>.".
+ */
+void collectMetrics(const SuiteStats &s, trace::MetricsRegistry &m,
+                    const std::string &prefix = "suite");
 
 } // namespace mipsx::workload
 

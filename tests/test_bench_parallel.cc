@@ -74,7 +74,9 @@ TEST(SuiteRunner, FailuresAreCollectedDeterministically)
     suite.push_back(broken);
 
     const auto serial = runWith(suite, 1);
-    EXPECT_EQ(serial.stats.workloads, 3u);
+    // Only the healthy run is counted: `workloads` is the denominator
+    // of successful runs, failures contribute nothing but their tick.
+    EXPECT_EQ(serial.stats.workloads, 1u);
     EXPECT_EQ(serial.stats.failures, 2u);
     ASSERT_EQ(serial.failures.size(), 2u);
     EXPECT_EQ(serial.failures[0].index, 0u);
@@ -90,6 +92,51 @@ TEST(SuiteRunner, FailuresAreCollectedDeterministically)
         EXPECT_TRUE(par.failures == serial.failures)
             << "failure records differ at jobs=" << jobs;
     }
+}
+
+TEST(SuiteRunner, FailingWorkloadDoesNotSkewTheAggregate)
+{
+    // Regression: a workload that dies mid-run used to tick `workloads`
+    // (and, with a partial copy, could leak its cycle/cache counts)
+    // into the aggregate, skewing every per-instruction ratio. A suite
+    // with one failure injected must aggregate exactly like the same
+    // suite without it — apart from the failure tick — at any worker
+    // count, including the MIPSX_BENCH_JOBS default path.
+    std::vector<Workload> healthy{pascalWorkloads().front(),
+                                  pascalWorkloads().back()};
+    std::vector<Workload> poisoned = healthy;
+    Workload dying;
+    dying.name = "mm_dies";
+    // Runs a few hundred instructions first so a partial-stats leak
+    // would be visible in the cycle counts, then trips the fail trap.
+    dying.source = "        .text\n"
+                   "_start: addi r1, r0, 300\n"
+                   "loop:   addi r1, r1, -1\n"
+                   "        bnz  r1, loop\n"
+                   "        nop\n"
+                   "        nop\n"
+                   "        fail\n";
+    poisoned.insert(poisoned.begin() + 1, dying);
+
+    const auto clean = runWith(healthy, 1);
+    ASSERT_EQ(clean.stats.failures, 0u);
+    for (const unsigned jobs : {1u, 2u, 4u}) {
+        auto r = runWith(poisoned, jobs);
+        EXPECT_EQ(r.stats.failures, 1u) << "jobs=" << jobs;
+        ASSERT_EQ(r.failures.size(), 1u);
+        EXPECT_EQ(r.failures[0].name, "mm_dies");
+        r.stats.failures = 0;
+        EXPECT_TRUE(r.stats == clean.stats)
+            << "failing workload leaked into the aggregate at jobs="
+            << jobs;
+    }
+
+    ::setenv("MIPSX_BENCH_JOBS", "3", 1);
+    auto r = runWith(poisoned, 0); // 0 = defaultSuiteJobs() -> env
+    ::unsetenv("MIPSX_BENCH_JOBS");
+    EXPECT_EQ(r.timing.jobs, 3u);
+    r.stats.failures = 0;
+    EXPECT_TRUE(r.stats == clean.stats);
 }
 
 TEST(SuiteRunner, JobsClampToSuiteSizeAndEnvOverrides)

@@ -247,3 +247,45 @@ TEST(Disasm, RendersRepresentativeInstructions)
                                            SpecialReg::PswOld, 7)),
               "movfrs r7, pswold");
 }
+
+TEST(IsaEncode, ImmediateSignExtensionBoundaries)
+{
+    // The MX32 memory/immediate formats carry a 17-bit signed field and
+    // the branch format a 15-bit one (DESIGN.md "Instruction formats").
+    // The decoder's sign extension and the encoder's range check must
+    // agree exactly at the boundaries: -2^16 / -2^14 are the most
+    // negative representable values and round-trip; +2^16 / +2^14 are
+    // one past the top and must be rejected, never silently wrapped.
+    for (const std::int32_t v : {-65536, -65535, -1, 0, 1, 65535}) {
+        EXPECT_EQ(decode(encodeMem(MemOp::Ld, 1, 2, v)).imm, v) << v;
+        EXPECT_EQ(decode(encodeImm(ImmOp::Addi, 1, 2, v)).imm, v) << v;
+    }
+    EXPECT_THROW(encodeMem(MemOp::Ld, 1, 2, 65536), SimError);
+    EXPECT_THROW(encodeMem(MemOp::Ld, 1, 2, -65537), SimError);
+    EXPECT_THROW(encodeImm(ImmOp::Addi, 1, 2, 65536), SimError);
+    EXPECT_THROW(encodeImm(ImmOp::Addi, 1, 2, -65537), SimError);
+
+    for (const std::int32_t v : {-16384, -16383, -1, 0, 1, 16383}) {
+        const Instruction in = decode(encodeBranch(
+            BranchCond::Eq, SquashType::NoSquash, 1, 2, v));
+        EXPECT_EQ(in.imm, v) << v;
+    }
+    EXPECT_THROW(encodeBranch(BranchCond::Eq, SquashType::NoSquash, 1, 2,
+                              16384),
+                 SimError);
+    EXPECT_THROW(encodeBranch(BranchCond::Eq, SquashType::NoSquash, 1, 2,
+                              -16385),
+                 SimError);
+}
+
+TEST(Disasm, NegativeBoundaryImmediatesRenderExactly)
+{
+    // encode -> decode -> disassemble must show the architectural value
+    // of a boundary immediate, not its unsigned field encoding.
+    const auto mem = disassemble(encodeMem(MemOp::Ld, 1, 2, -65536), 0,
+                                 true);
+    EXPECT_NE(mem.find("-65536"), std::string::npos) << mem;
+    const auto imm = disassemble(encodeImm(ImmOp::Addi, 1, 2, -65536), 0,
+                                 true);
+    EXPECT_NE(imm.find("-65536"), std::string::npos) << imm;
+}

@@ -428,3 +428,113 @@ TEST(DecodedImage, ClassificationMatchesAFreshDecode)
     EXPECT_TRUE(ld.accessesMemory());
     EXPECT_EQ(ld.destReg(), 2u);
 }
+
+TEST(ICache, DoubleFetchDoesNotWrapIntoTheOtherSpace)
+{
+    // Regression: a physKey is (space << 32) | addr, so the double
+    // fetch's bare key+1 at the last word of a space carried into the
+    // space bits and touched word 0 of the *other* space.
+    ICache ic(smallIc());
+    // Park the aliased block — user word 0's block — in the cache with
+    // its word 0 still invalid (fetching word 1 validates words 1/2).
+    auto r = ic.fetch(AddressSpace::User, 1);
+    EXPECT_FALSE(r.hit);
+    // Miss at the very last word of the system space: there is no next
+    // instruction, so only one word may be fetched back ...
+    r = ic.fetch(AddressSpace::System, 0xffffffffu);
+    EXPECT_FALSE(r.hit);
+    ASSERT_EQ(r.numRefills, 1u);
+    EXPECT_EQ(r.refillKeys[0],
+              physKey(AddressSpace::System, 0xffffffffu));
+    // ... and the aliased user word must not have been validated.
+    r = ic.fetch(AddressSpace::User, 0);
+    EXPECT_FALSE(r.hit) << "double fetch wrapped into the other space";
+}
+
+TEST(ICache, DoubleFetchStillWorksJustBeforeTheSpaceBoundary)
+{
+    // One word earlier the double fetch is legal and must still reach
+    // the boundary word itself.
+    ICache ic(smallIc());
+    auto r = ic.fetch(AddressSpace::System, 0xfffffffeu);
+    EXPECT_FALSE(r.hit);
+    ASSERT_EQ(r.numRefills, 2u);
+    EXPECT_EQ(r.refillKeys[1],
+              physKey(AddressSpace::System, 0xffffffffu));
+    EXPECT_TRUE(ic.fetch(AddressSpace::System, 0xffffffffu).hit);
+}
+
+namespace
+{
+
+assembler::Program
+imageWith(word_t w, addr_t base, AddressSpace space = AddressSpace::User)
+{
+    assembler::Program p;
+    assembler::Section text;
+    text.name = ".text";
+    text.space = space;
+    text.isText = true;
+    text.base = base;
+    text.words = {w};
+    text.slots = {0};
+    p.sections.push_back(std::move(text));
+    p.entry = base;
+    return p;
+}
+
+} // namespace
+
+TEST(DecodedImage, LoadProgramInvalidatesStaleDecodes)
+{
+    // Every loader write must behave like a store: reloading a new
+    // image over an old one may not leave the old decodes behind.
+    MainMemory m;
+    m.loadProgram(imageWith(isa::encodeImm(isa::ImmOp::Addi, 0, 3, 1),
+                            0x1000));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x1000).imm, 1);
+
+    m.loadProgram(imageWith(isa::encodeImm(isa::ImmOp::Addi, 0, 4, 9),
+                            0x1000));
+    const auto &in = m.fetchDecoded(AddressSpace::User, 0x1000);
+    EXPECT_EQ(in.imm, 9);
+    EXPECT_EQ(in.destReg(), 4u);
+}
+
+TEST(DecodedImage, LoadProgramPredecodesUpFrontAndStaysExact)
+{
+    // The up-front predecode must agree with a decode-on-fetch of the
+    // same word, and a later plain write over the predecoded word must
+    // invalidate it too (the assembler image path and the store path
+    // share one invalidation mechanism).
+    MainMemory fast;
+    MainMemory slow;
+    slow.setPredecodeEnabled(false);
+    const word_t w = isa::encodeMem(isa::MemOp::Ld, 1, 2, 3);
+    fast.loadProgram(imageWith(w, 0x2000));
+    slow.loadProgram(imageWith(w, 0x2000));
+    EXPECT_EQ(fast.fetchDecoded(AddressSpace::User, 0x2000).imm,
+              slow.fetchDecoded(AddressSpace::User, 0x2000).imm);
+    EXPECT_TRUE(fast.fetchDecoded(AddressSpace::User, 0x2000).isGprLoad());
+
+    fast.write(AddressSpace::User, 0x2000,
+               isa::encodeImm(isa::ImmOp::Addi, 0, 7, 42));
+    EXPECT_EQ(fast.fetchDecoded(AddressSpace::User, 0x2000).imm, 42);
+    EXPECT_FALSE(fast.fetchDecoded(AddressSpace::User, 0x2000).isGprLoad());
+}
+
+TEST(DecodedImage, LoadProgramInvalidatesAcrossSpacesIndependently)
+{
+    MainMemory m;
+    m.loadProgram(imageWith(isa::encodeImm(isa::ImmOp::Addi, 0, 1, 11),
+                            0x80, AddressSpace::User));
+    m.loadProgram(imageWith(isa::encodeImm(isa::ImmOp::Addi, 0, 2, 22),
+                            0x80, AddressSpace::System));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x80).imm, 11);
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::System, 0x80).imm, 22);
+    // Reloading one space leaves the other's decode alone.
+    m.loadProgram(imageWith(isa::encodeImm(isa::ImmOp::Addi, 0, 1, 33),
+                            0x80, AddressSpace::User));
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::User, 0x80).imm, 33);
+    EXPECT_EQ(m.fetchDecoded(AddressSpace::System, 0x80).imm, 22);
+}

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * The trace/metrics subsystem: ring-buffer semantics, pipeline event
+ * emission, the Chrome trace_event exporter, and the MetricsRegistry —
+ * including the determinism guarantees the parallel suite runner and
+ * the cosim divergence reporter build on.
+ */
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "trace/export.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+#include "workload/suite_runner.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+using trace::Event;
+using trace::EventKind;
+
+namespace
+{
+
+Event
+ev(cycle_t cycle, EventKind kind = EventKind::Fetch)
+{
+    Event e;
+    e.cycle = cycle;
+    e.kind = kind;
+    return e;
+}
+
+const char *const tinyProgram = R"(
+_start: addi r1, r0, 5
+loop:   addi r1, r1, -1
+        bnz  r1, loop
+        nop
+        nop
+        halt
+)";
+
+std::vector<Event>
+runTraced(const char *src, std::size_t depth)
+{
+    sim::MachineConfig cfg;
+    cfg.traceDepth = depth;
+    sim::Machine machine{cfg};
+    machine.load(asmOrDie(src));
+    EXPECT_TRUE(machine.run().halted());
+    return machine.trace().events();
+}
+
+std::size_t
+countKind(const std::vector<Event> &es, EventKind k)
+{
+    return static_cast<std::size_t>(std::count_if(
+        es.begin(), es.end(),
+        [k](const Event &e) { return e.kind == k; }));
+}
+
+} // namespace
+
+TEST(TraceBuffer, RingKeepsTheTailAndCountsDrops)
+{
+    trace::TraceBuffer buf(4);
+    EXPECT_TRUE(buf.enabled());
+    for (cycle_t c = 0; c < 6; ++c)
+        buf.record(ev(c));
+    EXPECT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf.dropped(), 2u);
+    EXPECT_EQ(buf.recorded(), 6u);
+
+    const auto es = buf.events();
+    ASSERT_EQ(es.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(es[i].cycle, i + 2) << "oldest-first order";
+
+    const auto tail = buf.lastEvents(2);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].cycle, 4u);
+    EXPECT_EQ(tail[1].cycle, 5u);
+    // Asking for more than held returns everything.
+    EXPECT_EQ(buf.lastEvents(100).size(), 4u);
+
+    buf.clear();
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.dropped(), 0u);
+    EXPECT_EQ(buf.capacity(), 4u);
+}
+
+TEST(TraceBuffer, ZeroCapacityIsDisabledAndRecordsNothing)
+{
+    trace::TraceBuffer buf;
+    EXPECT_FALSE(buf.enabled());
+    buf.record(ev(1));
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.recorded(), 0u);
+    EXPECT_TRUE(buf.events().empty());
+
+    buf.setCapacity(2);
+    EXPECT_TRUE(buf.enabled());
+    buf.setCapacity(0);
+    EXPECT_FALSE(buf.enabled());
+}
+
+TEST(Trace, PipelineEmitsTheExpectedEventMix)
+{
+    const auto es = runTraced(tinyProgram, 4096);
+    ASSERT_FALSE(es.empty());
+
+    // Every committed instruction retires exactly one Retire event.
+    sim::Machine plain{sim::MachineConfig{}};
+    plain.load(asmOrDie(tinyProgram));
+    ASSERT_TRUE(plain.run().halted());
+    EXPECT_EQ(countKind(es, EventKind::Retire),
+              plain.cpu().stats().committed);
+
+    // A cold icache on a loop: fetches, misses and their refills.
+    EXPECT_GT(countKind(es, EventKind::Fetch), 0u);
+    EXPECT_GT(countKind(es, EventKind::IMiss), 0u);
+    EXPECT_GT(countKind(es, EventKind::IRefill), 0u);
+    EXPECT_GT(countKind(es, EventKind::Issue), 0u);
+    // Every stall is attributed: one Stall per IMiss or late Ecache miss.
+    EXPECT_EQ(countKind(es, EventKind::Stall),
+              countKind(es, EventKind::IMiss) +
+                  countKind(es, EventKind::EMissLate));
+
+    // Events are recorded in nondecreasing cycle order.
+    for (std::size_t i = 1; i < es.size(); ++i)
+        EXPECT_LE(es[i - 1].cycle, es[i].cycle);
+
+    // The taken bnz squashes nothing (plain branch, slots execute) but
+    // retire events carry the squash flag; none here are squashed.
+    for (const auto &e : es) {
+        if (e.kind == EventKind::Retire) {
+            EXPECT_TRUE(e.hasInst);
+        }
+    }
+}
+
+TEST(Trace, TracingDoesNotChangeTheSimulation)
+{
+    sim::MachineConfig plain;
+    sim::Machine a{plain};
+    a.load(asmOrDie(tinyProgram));
+    const auto ra = a.run();
+
+    sim::MachineConfig traced;
+    traced.traceDepth = 64; // deliberately small: drops must be benign
+    sim::Machine b{traced};
+    b.load(asmOrDie(tinyProgram));
+    const auto rb = b.run();
+
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(a.cpu().stats().squashed, b.cpu().stats().squashed);
+    EXPECT_EQ(a.cpu().icache().misses(), b.cpu().icache().misses());
+}
+
+TEST(Trace, IdenticalRunsProduceIdenticalEventStreams)
+{
+    const auto a = runTraced(tinyProgram, 4096);
+    const auto b = runTraced(tinyProgram, 4096);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].raw, b[i].raw);
+        EXPECT_EQ(a[i].arg, b[i].arg);
+    }
+}
+
+TEST(Trace, MachineRunClearsTheBufferBetweenRuns)
+{
+    sim::MachineConfig cfg;
+    cfg.traceDepth = 4096;
+    sim::Machine machine{cfg};
+    machine.load(asmOrDie(tinyProgram));
+    ASSERT_TRUE(machine.run().halted());
+    const auto committed = machine.cpu().stats().committed;
+    EXPECT_EQ(countKind(machine.trace().events(), EventKind::Retire),
+              committed);
+    // A second run retires the same instructions (the caches stay warm,
+    // so *miss* events differ) — its retire events must replace the
+    // first run's, not pile on top of them.
+    ASSERT_TRUE(machine.run().halted());
+    EXPECT_EQ(machine.cpu().stats().committed, committed);
+    EXPECT_EQ(countKind(machine.trace().events(), EventKind::Retire),
+              committed)
+        << "second run appended to the first run's events";
+}
+
+TEST(Trace, ChromeExportIsStructurallyValidJson)
+{
+    const auto es = runTraced(tinyProgram, 4096);
+    std::ostringstream os;
+    trace::writeChromeTrace(os, es);
+    const auto json = os.str();
+
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos)
+        << "process/thread metadata records";
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos)
+        << "instant events";
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos)
+        << "duration events for stalls";
+    EXPECT_NE(json.find("\"name\":\"retire\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    // Balanced and properly terminated.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_NE(json.find("],\"displayTimeUnit\":\"ms\"}"),
+              std::string::npos);
+    // One record per event plus the metadata lines.
+    EXPECT_GE(static_cast<std::size_t>(
+                  std::count(json.begin(), json.end(), '\n')),
+              es.size());
+}
+
+TEST(Trace, FormatEventDisassemblesInstructions)
+{
+    const auto es = runTraced(tinyProgram, 4096);
+    bool sawRetireDisasm = false;
+    for (const auto &e : es) {
+        const auto line = trace::formatEvent(e);
+        EXPECT_NE(line.find(trace::eventKindName(e.kind)),
+                  std::string::npos);
+        if (e.kind == EventKind::Retire &&
+            line.find("addi") != std::string::npos)
+            sawRetireDisasm = true;
+    }
+    EXPECT_TRUE(sawRetireDisasm);
+}
+
+TEST(Metrics, SetGetMergeAndTypes)
+{
+    trace::MetricsRegistry m;
+    EXPECT_FALSE(m.has("a"));
+    EXPECT_EQ(m.get("a"), 0.0);
+    m.set("a", std::uint64_t{3});
+    m.set("b", 0.5);
+    EXPECT_TRUE(m.has("a"));
+    EXPECT_EQ(m.get("a"), 3.0);
+    EXPECT_EQ(m.get("b"), 0.5);
+    m.set("a", std::uint64_t{7}); // overwrite, no duplicate entry
+    EXPECT_EQ(m.get("a"), 7.0);
+    ASSERT_EQ(m.names().size(), 2u);
+    EXPECT_EQ(m.names()[0], "a");
+    EXPECT_EQ(m.names()[1], "b");
+
+    trace::MetricsRegistry other;
+    other.set("a", std::uint64_t{5});
+    other.set("b", 1.5);
+    other.set("c", std::uint64_t{1});
+    m.merge(other);
+    EXPECT_EQ(m.get("a"), 12.0);
+    EXPECT_EQ(m.get("b"), 2.0);
+    EXPECT_EQ(m.get("c"), 1.0);
+}
+
+TEST(Metrics, JsonExportQuotesAndTypes)
+{
+    trace::MetricsRegistry m;
+    m.set("pipeline.cycles", std::uint64_t{12345});
+    m.set("pipeline.cpi", 1.25);
+    std::ostringstream os;
+    m.writeJson(os);
+    const auto json = os.str();
+    EXPECT_NE(json.find("\"pipeline.cycles\": 12345"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"pipeline.cpi\": 1.25"), std::string::npos)
+        << json;
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Metrics, CpuCollectMatchesItsStats)
+{
+    sim::MachineConfig cfg;
+    cfg.traceDepth = 256;
+    sim::Machine machine{cfg};
+    machine.load(asmOrDie(tinyProgram));
+    ASSERT_TRUE(machine.run().halted());
+
+    trace::MetricsRegistry m;
+    machine.cpu().collectMetrics(m);
+    const auto &s = machine.cpu().stats();
+    EXPECT_EQ(m.get("cpu0.pipeline.cycles"), double(s.cycles));
+    EXPECT_EQ(m.get("cpu0.pipeline.instructions"), double(s.committed));
+    EXPECT_EQ(m.get("cpu0.pipeline.branches"), double(s.branches));
+    EXPECT_EQ(m.get("cpu0.icache.accesses"),
+              double(machine.cpu().icache().accesses()));
+    EXPECT_EQ(m.get("cpu0.icache.misses"),
+              double(machine.cpu().icache().misses()));
+    EXPECT_EQ(m.get("cpu0.pipeline.cpi"),
+              double(s.cycles) / double(s.committed));
+    EXPECT_EQ(m.get("cpu0.trace.recorded"),
+              double(machine.trace().recorded()));
+}
+
+TEST(Metrics, SuiteCollectExportsAggregatesAndRatios)
+{
+    const std::vector<workload::Workload> suite{
+        workload::pascalWorkloads().front()};
+    const auto r = workload::runSuite(suite, {});
+    ASSERT_EQ(r.stats.failures, 0u);
+
+    trace::MetricsRegistry m;
+    workload::collectMetrics(r.stats, m);
+    EXPECT_EQ(m.get("suite.workloads"), 1.0);
+    EXPECT_EQ(m.get("suite.cycles"), double(r.stats.cycles));
+    EXPECT_EQ(m.get("suite.cpi"), r.stats.cpi());
+    EXPECT_EQ(m.get("suite.icache_miss_ratio"),
+              r.stats.icacheMissRatio());
+}

@@ -16,6 +16,10 @@
  *   --profile           steer squashing with a profiling pre-run
  *   --icache-off        disable the on-chip instruction cache
  *   --trace             print every retiring instruction
+ *   --trace=N           record the last N pipeline events in a ring
+ *   --trace-out FILE    write the recorded events as Chrome
+ *                       trace_event JSON (implies --trace=65536)
+ *   --metrics-json FILE write every statistic as one flat JSON object
  *   --disasm            print the (scheduled) program and exit
  *   --max-cycles N      stop after N cycles
  *   --mp N              run on an N-CPU shared-memory multiprocessor
@@ -32,9 +36,12 @@
 #include "assembler/assembler.hh"
 #include "common/sim_error.hh"
 #include "isa/disasm.hh"
+#include "isa/isa.hh"
 #include "mp/multi_machine.hh"
 #include "reorg/scheduler.hh"
 #include "sim/machine.hh"
+#include "trace/export.hh"
+#include "trace/metrics.hh"
 
 using namespace mipsx;
 
@@ -51,6 +58,9 @@ struct Options
     bool trace = false;
     bool disasm = false;
     bool stats = false;
+    std::size_t traceDepth = 0;
+    std::string traceOut;
+    std::string metricsJson;
     unsigned slots = 2;
     unsigned mpCpus = 0;
     cycle_t maxCycles = 200'000'000;
@@ -63,8 +73,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--iss] [--no-reorg] [--scheme S] "
                  "[--slots N] [--profile]\n"
-                 "       [--icache-off] [--trace] [--disasm] "
-                 "[--max-cycles N] program.s\n",
+                 "       [--icache-off] [--trace[=N]] [--trace-out F] "
+                 "[--metrics-json F]\n"
+                 "       [--disasm] [--max-cycles N] program.s\n",
                  argv0);
     std::exit(2);
 }
@@ -90,6 +101,16 @@ parseArgs(int argc, char **argv)
             o.icacheOff = true;
         else if (a == "--trace")
             o.trace = true;
+        else if (a.rfind("--trace=", 0) == 0)
+            o.traceDepth = std::stoul(a.substr(8));
+        else if (a == "--trace-out")
+            o.traceOut = next();
+        else if (a.rfind("--trace-out=", 0) == 0)
+            o.traceOut = a.substr(12);
+        else if (a == "--metrics-json")
+            o.metricsJson = next();
+        else if (a.rfind("--metrics-json=", 0) == 0)
+            o.metricsJson = a.substr(15);
         else if (a == "--disasm")
             o.disasm = true;
         else if (a == "--stats")
@@ -257,6 +278,10 @@ try {
     cfg.cpu.icache.enabled = !o.icacheOff;
     cfg.cpu.maxCycles = o.maxCycles;
     cfg.attachCounterCop = true;
+    // --trace-out without an explicit --trace=N still needs a ring.
+    cfg.traceDepth = o.traceDepth;
+    if (!o.traceOut.empty() && cfg.traceDepth == 0)
+        cfg.traceDepth = 65536;
     sim::Machine machine(cfg);
     machine.load(program);
     if (o.trace) {
@@ -295,6 +320,29 @@ try {
                 static_cast<unsigned long long>(s.exceptions),
                 static_cast<unsigned long long>(s.interrupts),
                 static_cast<unsigned long long>(s.hazardViolations));
+    if (cfg.traceDepth && o.traceDepth && o.traceOut.empty()) {
+        // Ring requested but no file: dump the tail to stdout.
+        std::ostringstream os;
+        trace::dumpTrace(os, machine.trace());
+        std::fputs(os.str().c_str(), stdout);
+    }
+    if (!o.traceOut.empty()) {
+        if (!trace::writeChromeTraceFile(o.traceOut,
+                                         machine.trace().events()))
+            fatal(strformat("cannot write '%s'", o.traceOut.c_str()));
+        std::printf("  trace         %zu events -> %s (%llu dropped)\n",
+                    machine.trace().size(), o.traceOut.c_str(),
+                    static_cast<unsigned long long>(
+                        machine.trace().dropped()));
+    }
+    if (!o.metricsJson.empty()) {
+        trace::MetricsRegistry m;
+        machine.cpu().collectMetrics(m);
+        if (!m.writeJsonFile(o.metricsJson))
+            fatal(strformat("cannot write '%s'", o.metricsJson.c_str()));
+        std::printf("  metrics       %zu counters -> %s\n",
+                    m.names().size(), o.metricsJson.c_str());
+    }
     if (o.stats) {
         std::printf("\n");
         std::ostringstream os;
