@@ -8,14 +8,38 @@
  * driving down the cost of an instruction fetch to that of a single-cycle
  * miss". Final result with the large benchmarks: 12% miss rate, an
  * average instruction fetch of 1.24 cycles.
+ *
+ * Thin wrapper over the explore engine: the study is three small grids
+ * (fetch-back width x cross-block allocation, the cache-off ablation,
+ * and the replacement-policy ablation); the same sweeps are a single
+ * `mipsx-explore` invocation each — see EXPERIMENTS.md "Running a
+ * sweep".
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "explore/explore.hh"
 
 using namespace mipsx;
 using namespace mipsx::bench;
+
+namespace
+{
+
+const workload::SuiteStats &
+pointStats(const explore::SweepResult &sweep,
+           std::vector<std::pair<std::string, std::string>> bindings)
+{
+    const auto *p = sweep.find(bindings);
+    if (!p)
+        fatal("double-fetch study: grid point missing");
+    if (p->stats.failures)
+        fatal("suite failures in the I-cache study");
+    return p->stats;
+}
+
+} // namespace
 
 int
 main()
@@ -29,37 +53,46 @@ main()
     // population; the small algorithmic workloads live in the cache
     // (their aggregate miss ratio is ~1%) and are reported separately
     // in bench_cpi_breakdown.
-    const auto suite = workload::bigCodeWorkloads();
-    stats::Table table(
-        "Instruction cache fetch-back study (large-code programs)",
-                       {"configuration", "miss ratio", "fetch cost",
-                        "icache stalls/instr", "cpi"});
+    explore::SweepConfig cfg;
+    cfg.suite = "big-code";
+    cfg.grid.axes = {{"icache.fetchWords", {"1", "2"}},
+                     {"icache.allocCrossBlock", {"0", "1"}}};
+    const auto fetch = explore::runSweep(cfg);
+
+    explore::SweepConfig offCfg;
+    offCfg.suite = "big-code";
+    offCfg.grid.axes = {{"icache.enabled", {"0"}}};
+    const auto off = explore::runSweep(offCfg);
 
     struct Row
     {
         const char *name;
-        unsigned fetchWords;
-        bool allocCross;
-        bool enabled;
+        const workload::SuiteStats &agg;
     };
     const Row rows[] = {
-        {"1-word fetch-back", 1, false, true},
-        {"2-word fetch-back (the design)", 2, false, true},
-        {"2-word + cross-block allocate", 2, true, true},
-        {"cache disabled (test feature)", 1, false, false},
+        {"1-word fetch-back",
+         pointStats(fetch, {{"icache.fetchWords", "1"},
+                            {"icache.allocCrossBlock", "0"}})},
+        {"2-word fetch-back (the design)",
+         pointStats(fetch, {{"icache.fetchWords", "2"},
+                            {"icache.allocCrossBlock", "0"}})},
+        {"2-word + cross-block allocate",
+         pointStats(fetch, {{"icache.fetchWords", "2"},
+                            {"icache.allocCrossBlock", "1"}})},
+        {"cache disabled (test feature)",
+         pointStats(off, {{"icache.enabled", "0"}})},
     };
 
+    stats::Table table(
+        "Instruction cache fetch-back study (large-code programs)",
+                       {"configuration", "miss ratio", "fetch cost",
+                        "icache stalls/instr", "cpi"});
     BenchJson json("icache_double_fetch");
     unsigned rowIdx = 0;
     for (const auto &row : rows) {
-        sim::MachineConfig mc;
-        mc.cpu.icache.fetchWords = row.fetchWords;
-        mc.cpu.icache.allocCrossBlock = row.allocCross;
-        mc.cpu.icache.enabled = row.enabled;
-        const auto agg = runSuite(suite, mc);
-        if (agg.failures)
-            fatal("suite failures in the I-cache study");
-        json.set(strformat("row%u.miss_ratio", rowIdx), agg.icacheMissRatio());
+        const auto &agg = row.agg;
+        json.set(strformat("row%u.miss_ratio", rowIdx),
+                 agg.icacheMissRatio());
         json.set(strformat("row%u.cpi", rowIdx), agg.cpi());
         ++rowIdx;
         table.addRow({row.name,
@@ -74,28 +107,31 @@ main()
 
     // Replacement-policy ablation (the paper fixed the organisation but
     // the model exposes the remaining design freedom).
-    stats::Table repl("Replacement-policy ablation (2-word fetch-back)",
-                      {"policy", "miss ratio", "fetch cost"});
-    const std::pair<const char *, memory::IReplPolicy> policies[] = {
-        {"LRU", memory::IReplPolicy::Lru},
-        {"FIFO", memory::IReplPolicy::Fifo},
-        {"random", memory::IReplPolicy::Random},
-    };
-    for (const auto &[name, pol] : policies) {
-        sim::MachineConfig mc;
-        mc.cpu.icache.repl = pol;
-        const auto agg = runSuite(suite, mc);
-        if (agg.failures)
-            fatal("suite failures in the replacement ablation");
-        repl.addRow({name, stats::Table::pct(agg.icacheMissRatio()),
-                     stats::Table::num(agg.avgFetchCost(), 2)});
-        json.set(std::string(name) + ".miss_ratio", agg.icacheMissRatio());
+    explore::SweepConfig replCfg;
+    replCfg.suite = "big-code";
+    replCfg.grid.axes = {{"icache.repl", {"lru", "fifo", "random"}}};
+    const auto repl = explore::runSweep(replCfg);
+
+    stats::Table replTable(
+        "Replacement-policy ablation (2-word fetch-back)",
+        {"policy", "miss ratio", "fetch cost"});
+    const std::pair<const char *, const char *> policies[] = {
+        {"LRU", "lru"}, {"FIFO", "fifo"}, {"random", "random"}};
+    for (const auto &[name, value] : policies) {
+        const auto &agg = pointStats(repl, {{"icache.repl", value}});
+        replTable.addRow({name, stats::Table::pct(agg.icacheMissRatio()),
+                          stats::Table::num(agg.avgFetchCost(), 2)});
+        json.set(std::string(name) + ".miss_ratio",
+                 agg.icacheMissRatio());
     }
-    repl.print(std::cout);
+    replTable.print(std::cout);
     json.write();
 
     std::printf("Expected shape: the 2-word fetch-back roughly halves "
                 "the 1-word miss ratio\nand pulls the average fetch "
-                "cost toward the single-cycle-miss ideal.\n");
+                "cost toward the single-cycle-miss ideal.\n"
+                "Reproduce as one sweep:\n  mipsx-explore --suite "
+                "big-code --axis icache.fetchWords=1,2 \\\n      "
+                "--axis icache.allocCrossBlock=0,1 --csv -\n");
     return 0;
 }

@@ -10,20 +10,36 @@
  * benefits of having fewer cache miss cycles far outweighed the slightly
  * lower miss rates achievable by having smaller blocks."
  *
- * The sweep crosses block size (smaller blocks -> more tags -> the tags
- * no longer fit in the datapath -> a 3-cycle miss) with the miss service
- * time, holding the 512-word capacity and 8-way associativity constant.
- * The paper's tradeoff is the comparison between:
- *   - small blocks + 3-cycle miss (tags far away), and
- *   - 16-word blocks + 2-cycle miss (the design point).
+ * Thin wrapper over the explore engine. Block size and set count move
+ * together (capacity is held at 512 words, 8 ways), which is exactly
+ * what the compound `icache.geometry` axis encodes; crossing it with
+ * `icache.missPenalty` is the paper's whole tradeoff as one grid.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "explore/explore.hh"
 
 using namespace mipsx;
 using namespace mipsx::bench;
+
+namespace
+{
+
+const workload::SuiteStats &
+pointStats(const explore::SweepResult &sweep,
+           std::vector<std::pair<std::string, std::string>> bindings)
+{
+    const auto *p = sweep.find(bindings);
+    if (!p)
+        fatal("service-time study: grid point missing");
+    if (p->stats.failures)
+        fatal("suite failures in the service-time study");
+    return p->stats;
+}
+
+} // namespace
 
 int
 main()
@@ -32,14 +48,24 @@ main()
            "2-cycle miss with 16-word blocks beats lower-miss-rate "
            "smaller blocks at 3 cycles");
 
-    const auto suite = workload::bigCodeWorkloads();
+    // 512 words, 8 ways throughout: sets = 512 / (8 * blockWords).
+    const std::pair<unsigned, const char *> geometries[] = {
+        {4, "16x8x4"}, {8, "8x8x8"}, {16, "4x8x16"}, {32, "2x8x32"}};
+
+    explore::SweepConfig cfg;
+    cfg.suite = "big-code";
+    cfg.grid.axes = {{"icache.geometry",
+                      {"16x8x4", "8x8x8", "4x8x16", "2x8x32"}},
+                     {"icache.missPenalty", {"1", "2", "3"}}};
+    const auto sweep = explore::runSweep(cfg);
+
     BenchJson json("icache_service_time");
     stats::Table table(
         "Average fetch cost (cycles), 512 words, 8-way, large-code programs",
         {"block words", "tags", "miss ratio", "penalty=1", "penalty=2",
          "penalty=3"});
 
-    for (const unsigned block : {4u, 8u, 16u, 32u}) {
+    for (const auto &[block, geometry] : geometries) {
         const unsigned sets = 512 / (8 * block);
         std::vector<std::string> cells;
         cells.push_back(strformat("%u", block));
@@ -47,13 +73,9 @@ main()
         double miss_ratio = 0;
         std::vector<std::string> costs;
         for (const unsigned penalty : {1u, 2u, 3u}) {
-            sim::MachineConfig mc;
-            mc.cpu.icache.blockWords = block;
-            mc.cpu.icache.sets = sets;
-            mc.cpu.icache.missPenalty = penalty;
-            const auto agg = runSuite(suite, mc);
-            if (agg.failures)
-                fatal("suite failures in the service-time study");
+            const auto &agg = pointStats(
+                sweep, {{"icache.geometry", geometry},
+                        {"icache.missPenalty", strformat("%u", penalty)}});
             miss_ratio = agg.icacheMissRatio();
             costs.push_back(stats::Table::num(agg.avgFetchCost(), 3));
             json.set(strformat("block%u.penalty%u.fetch_cost", block,
@@ -69,18 +91,21 @@ main()
 
     // Associativity sweep at the design's 16-word blocks (the axis the
     // companion I-cache paper explores; the chip chose 8-way x 4 sets).
+    explore::SweepConfig assocCfg;
+    assocCfg.suite = "big-code";
+    assocCfg.grid.axes = {{"icache.geometry",
+                           {"32x1x16", "16x2x16", "8x4x16", "4x8x16"}}};
+    const auto assocSweep = explore::runSweep(assocCfg);
+
     stats::Table assoc("Associativity sweep (512 words, 16-word blocks, "
                        "penalty 2)",
                        {"ways", "sets", "miss ratio", "fetch cost"});
     for (const unsigned ways : {1u, 2u, 4u, 8u}) {
-        sim::MachineConfig mc;
-        mc.cpu.icache.ways = ways;
-        mc.cpu.icache.sets = 512 / (16 * ways);
-        const auto agg = runSuite(suite, mc);
-        if (agg.failures)
-            fatal("suite failures in the associativity sweep");
-        assoc.addRow({strformat("%u", ways),
-                      strformat("%u", 512 / (16 * ways)),
+        const unsigned sets = 512 / (16 * ways);
+        const auto &agg = pointStats(
+            assocSweep,
+            {{"icache.geometry", strformat("%ux%ux16", sets, ways)}});
+        assoc.addRow({strformat("%u", ways), strformat("%u", sets),
                       stats::Table::pct(agg.icacheMissRatio()),
                       stats::Table::num(agg.avgFetchCost(), 3)});
         json.set(strformat("ways%u.miss_ratio", ways),
@@ -93,6 +118,9 @@ main()
         "Reading the block table the paper's way: compare 'small blocks "
         "@ penalty 3'\n(tags pushed out of the datapath) against "
         "'16-word blocks @ penalty 2'\n(the design): the service-time "
-        "advantage dominates the miss-ratio advantage.\n");
+        "advantage dominates the miss-ratio advantage.\n"
+        "Reproduce as one sweep:\n  mipsx-explore --suite big-code "
+        "--axis icache.geometry=16x8x4,8x8x8,4x8x16,2x8x32 \\\n      "
+        "--axis icache.missPenalty=1,2,3 --csv -\n");
     return 0;
 }

@@ -21,11 +21,17 @@
  * 2). Cost accounting follows the paper's footnote: a branch costs 1
  * cycle plus every delay slot that was a no-op, was squashed, or
  * executed uselessly (filled from the path the branch did not take).
+ *
+ * Thin wrapper over the explore engine: the whole table is the single
+ * grid slots x scheme x profiling (12 points), with always-squash's
+ * both-direction squashing enabled through the fixed
+ * `reorg.paperFaithful=0` base binding.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "explore/explore.hh"
 #include "reorg/scheduler.hh"
 
 using namespace mipsx;
@@ -53,6 +59,20 @@ paperValue(BranchScheme s, unsigned slots)
     return 0;
 }
 
+const workload::SuiteStats &
+pointStats(const explore::SweepResult &sweep, const char *slots,
+           const char *scheme, const char *profile)
+{
+    const auto *p = sweep.find({{"branch.slots", slots},
+                                {"branch.scheme", scheme},
+                                {"branch.profile", profile}});
+    if (!p)
+        fatal("Table 1 study: grid point missing");
+    if (p->stats.failures)
+        fatal("suite failures under a Table-1 configuration");
+    return p->stats;
+}
+
 } // namespace
 
 int
@@ -62,34 +82,38 @@ main()
            "2.0 / 1.5 / 1.3 (2-slot), 1.4 / 1.3 / 1.1 (1-slot); "
            "refined squash-optional result: 1.27");
 
-    const auto suite = workload::fullSuite();
+    // The paper's static prediction was compile-time, "possibly with
+    // profiling"; both columns are reported. always-squash needs both
+    // squash directions, hence the paperFaithful base binding.
+    explore::SweepConfig cfg;
+    cfg.suite = "full";
+    cfg.base = {{"reorg.paperFaithful", "0"}};
+    cfg.grid.axes = {
+        {"branch.slots", {"2", "1"}},
+        {"branch.scheme",
+         {"no-squash", "always-squash", "squash-optional"}},
+        {"branch.profile", {"0", "1"}},
+    };
+    const auto sweep = explore::runSweep(cfg);
+
     stats::Table table(
         "Table 1: Average Cycles per Branch Instruction",
         {"branch scheme", "static pred", "profiled pred", "paper",
          "ctl-xfer (prof)"});
-
-    // The paper's static prediction was compile-time, "possibly with
-    // profiling"; both columns are reported.
     BenchJson json("table1_branch_schemes");
     for (const unsigned slots : {2u, 1u}) {
         for (const auto scheme :
              {BranchScheme::NoSquash, BranchScheme::AlwaysSquash,
               BranchScheme::SquashOptional}) {
-            reorg::ReorgConfig rc;
-            rc.scheme = scheme;
-            rc.slots = slots;
-            rc.paperFaithful = false; // always-squash needs both types
-            sim::MachineConfig mc;
-            mc.cpu.branchDelay = slots;
+            const auto slotsStr = strformat("%u", slots);
+            const char *schemeStr = reorg::branchSchemeName(scheme);
+            const auto &aggStatic =
+                pointStats(sweep, slotsStr.c_str(), schemeStr, "0");
+            const auto &aggProf =
+                pointStats(sweep, slotsStr.c_str(), schemeStr, "1");
 
-            const auto aggStatic = runSuite(suite, mc, rc);
-            const auto aggProf =
-                runSuite(suite, mc, rc, /*use_profiles=*/true);
-            if (aggStatic.failures || aggProf.failures)
-                fatal("suite failures under a Table-1 configuration");
-
-            const std::string name = strformat(
-                "%u-slot %s", slots, reorg::branchSchemeName(scheme));
+            const std::string name =
+                strformat("%u-slot %s", slots, schemeStr);
             json.set(name + ".cycles_per_branch_static",
                      aggStatic.cyclesPerBranch());
             json.set(name + ".cycles_per_branch_profiled",
@@ -113,6 +137,7 @@ main()
     // (Unconditional jumps always use hoist/target fills, so every
     // scheme shows some of each; the scheme governs the conditional
     // branches.)
+    const auto suite = workload::fullSuite();
     stats::Table fills("Static slot filling by source (2 slots)",
                        {"scheme", "hoisted", "from target", "from fall",
                         "empty (no-op)"});
@@ -140,6 +165,11 @@ main()
                 "beats always;\n1-slot schemes beat their 2-slot "
                 "counterparts; profiling helps squash-optional.\n"
                 "The no-squash 'empty slots' row is the paper's "
-                "expected >50%%.\n");
+                "expected >50%%.\n"
+                "Reproduce as one sweep:\n  mipsx-explore --set "
+                "reorg.paperFaithful=0 --axis branch.slots=2,1 \\\n"
+                "      --axis branch.scheme=no-squash,always-squash,"
+                "squash-optional \\\n      --axis branch.profile=0,1 "
+                "--csv -\n");
     return 0;
 }

@@ -34,6 +34,34 @@ print("trace/metrics smoke OK: %d events, %d metrics"
       % (len(trace["traceEvents"]), len(metrics)))
 PYEOF
 
+echo "== tier-1: mipsx-explore sweep smoke run =="
+# A tiny 2x2 sweep must emit a well-formed long-form CSV and schema-
+# tagged JSON, bit-identically at different worker counts.
+"$build/tools/mipsx-explore" --quiet --suite fp \
+    --axis icache.missPenalty=2,3 --axis icache.fetchWords=1,2 \
+    --jobs 1 --csv "$smoke/sweep1.csv" --json "$smoke/sweep1.json"
+"$build/tools/mipsx-explore" --quiet --suite fp \
+    --axis icache.missPenalty=2,3 --axis icache.fetchWords=1,2 \
+    --jobs 4 --csv "$smoke/sweep4.csv" --json "$smoke/sweep4.json"
+cmp "$smoke/sweep1.csv" "$smoke/sweep4.csv"
+cmp "$smoke/sweep1.json" "$smoke/sweep4.json"
+python3 - "$smoke/sweep1.csv" "$smoke/sweep1.json" << 'PYEOF'
+import json, sys
+header = open(sys.argv[1]).readline().rstrip("\n")
+assert header == "point,icache.missPenalty,icache.fetchWords,metric,value", \
+    "bad CSV header: %r" % header
+sweep = json.load(open(sys.argv[2]))
+assert sweep["schema"] == "mipsx-explore-v1"
+assert [a["param"] for a in sweep["grid"]["axes"]] == \
+    ["icache.missPenalty", "icache.fetchWords"]
+assert len(sweep["points"]) == 4
+for p in sweep["points"]:
+    assert p["failures"] == []
+    assert p["metrics"]["suite.cpi"] > 0
+print("explore sweep smoke OK: %d points, %d metrics each"
+      % (len(sweep["points"]), len(sweep["points"][0]["metrics"])))
+PYEOF
+
 echo "== tier-1: ThreadSanitizer on the parallel suite runner =="
 tsan="$repo/build-tsan"
 cmake -B "$tsan" -S "$repo" -DMIPSX_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

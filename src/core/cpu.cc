@@ -32,12 +32,22 @@ stopReasonName(StopReason r)
     return "?";
 }
 
+void
+CpuConfig::validate() const
+{
+    icache.validate();
+    ecache.validate();
+    if (branchDelay < 1 || branchDelay > 2)
+        fatal("Cpu: branchDelay must be 1 or 2");
+    if (maxCycles == 0)
+        fatal("Cpu: maxCycles must be non-zero");
+}
+
 Cpu::Cpu(const CpuConfig &config, memory::MainMemory &mem)
     : config_(config), ram_(mem), icache_(config.icache),
       ecache_(config.ecache)
 {
-    if (config_.branchDelay < 1 || config_.branchDelay > 2)
-        fatal("Cpu: branchDelay must be 1 or 2");
+    config_.validate();
 }
 
 void

@@ -98,6 +98,13 @@ struct CpuConfig
     memory::BusArbiter *bus = nullptr;
     memory::CoherenceHub *coherence = nullptr;
     unsigned cpuId = 0;
+
+    /**
+     * Reject ill-formed configurations (branchDelay outside 1..2, a
+     * zero cycle budget, bad cache geometries) with a SimError. The
+     * Cpu constructor calls this; config builders call it directly.
+     */
+    void validate() const;
 };
 
 /** Why a run stopped. */

@@ -1,0 +1,308 @@
+#include "explore/explore.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "explore/json.hh"
+
+namespace mipsx::explore
+{
+
+unsigned
+SweepResult::totalFailures() const
+{
+    unsigned n = 0;
+    for (const auto &p : points)
+        n += p.stats.failures;
+    return n;
+}
+
+const SweepPointResult *
+SweepResult::find(
+    const std::vector<std::pair<std::string, std::string>> &bindings) const
+{
+    for (const auto &p : points) {
+        bool all = true;
+        for (const auto &[param, value] : bindings) {
+            const std::string *bound = p.point.valueOf(param);
+            if (!bound || *bound != value) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            return &p;
+    }
+    return nullptr;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "full", "big-code", "pascal", "lisp", "fp"};
+    return names;
+}
+
+std::vector<workload::Workload>
+suiteByName(const std::string &name)
+{
+    if (name == "full")
+        return workload::fullSuite();
+    if (name == "big-code")
+        return workload::bigCodeWorkloads();
+    if (name == "pascal")
+        return workload::pascalWorkloads();
+    if (name == "lisp")
+        return workload::lispWorkloads();
+    if (name == "fp")
+        return workload::fpWorkloads();
+    fatal(strformat("explore: unknown suite '%s' (want full, big-code, "
+                    "pascal, lisp or fp)",
+                    name.c_str()));
+}
+
+SweepResult
+runSweep(const SweepConfig &config,
+         const std::vector<workload::Workload> &suite,
+         const PointCallback &progress)
+{
+    config.grid.validate();
+    const auto points = expandGrid(config.grid);
+
+    // Validate every point's bindings (and the base bindings) before
+    // simulating anything: a typo in value 7 of axis 3 must not cost a
+    // partial sweep.
+    for (const auto &pt : points) {
+        workload::SuiteRunOptions probe = config.runner;
+        for (const auto &[param, value] : config.base)
+            applyParam(probe, param, value);
+        applyPoint(probe, pt);
+    }
+
+    SweepResult res;
+    res.grid = config.grid;
+    res.suite = config.suite;
+    res.base = config.base;
+    res.workloads = static_cast<unsigned>(suite.size());
+    res.points.reserve(points.size());
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        workload::SuiteRunOptions opts = config.runner;
+        for (const auto &[param, value] : config.base)
+            applyParam(opts, param, value);
+        applyPoint(opts, points[i]);
+
+        auto sr = workload::runSuite(suite, opts);
+        SweepPointResult pr;
+        pr.point = points[i];
+        pr.stats = sr.stats;
+        pr.failures = std::move(sr.failures);
+        workload::collectMetrics(pr.stats, pr.metrics, "suite");
+        if (progress)
+            progress(i, points.size(), pr);
+        res.points.push_back(std::move(pr));
+    }
+    return res;
+}
+
+SweepResult
+runSweep(const SweepConfig &config, const PointCallback &progress)
+{
+    return runSweep(config, suiteByName(config.suite), progress);
+}
+
+namespace
+{
+
+/** Quote a CSV cell only when it contains a delimiter or quote. */
+std::string
+csvCell(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeCsv(std::ostream &os, const SweepResult &r)
+{
+    os << "point";
+    for (const auto &a : r.grid.axes)
+        os << ',' << csvCell(a.param);
+    os << ",metric,value\n";
+    for (std::size_t i = 0; i < r.points.size(); ++i) {
+        const auto &p = r.points[i];
+        std::string prefix = std::to_string(i);
+        for (const auto &[param, value] : p.point.bindings) {
+            prefix += ',';
+            prefix += csvCell(value);
+        }
+        for (const auto &[name, value] : p.metrics.formatted())
+            os << prefix << ',' << csvCell(name) << ',' << value << '\n';
+    }
+}
+
+void
+writeJson(std::ostream &os, const SweepResult &r)
+{
+    os << "{\n";
+    os << "  \"schema\": \"mipsx-explore-v1\",\n";
+    os << "  \"suite\": \"" << jsonEscape(r.suite) << "\",\n";
+    os << "  \"workloads\": " << r.workloads << ",\n";
+    os << "  \"base\": {";
+    for (std::size_t i = 0; i < r.base.size(); ++i) {
+        os << (i ? ", " : "") << '"' << jsonEscape(r.base[i].first)
+           << "\": \"" << jsonEscape(r.base[i].second) << '"';
+    }
+    os << "},\n";
+    os << "  \"grid\": {\"axes\": [";
+    for (std::size_t a = 0; a < r.grid.axes.size(); ++a) {
+        const auto &axis = r.grid.axes[a];
+        os << (a ? ", " : "") << "{\"param\": \""
+           << jsonEscape(axis.param) << "\", \"values\": [";
+        for (std::size_t v = 0; v < axis.values.size(); ++v)
+            os << (v ? ", " : "") << '"' << jsonEscape(axis.values[v])
+               << '"';
+        os << "]}";
+    }
+    os << "]},\n";
+    os << "  \"points\": [\n";
+    for (std::size_t i = 0; i < r.points.size(); ++i) {
+        const auto &p = r.points[i];
+        os << "    {\"bindings\": {";
+        for (std::size_t b = 0; b < p.point.bindings.size(); ++b) {
+            const auto &[param, value] = p.point.bindings[b];
+            os << (b ? ", " : "") << '"' << jsonEscape(param)
+               << "\": \"" << jsonEscape(value) << '"';
+        }
+        os << "},\n     \"failures\": [";
+        for (std::size_t f = 0; f < p.failures.size(); ++f)
+            os << (f ? ", " : "") << '"'
+               << jsonEscape(p.failures[f].name) << '"';
+        os << "],\n     \"metrics\": {";
+        const auto rows = p.metrics.formatted();
+        for (std::size_t m = 0; m < rows.size(); ++m) {
+            os << (m ? ", " : "") << '"' << jsonEscape(rows[m].first)
+               << "\": " << rows[m].second;
+        }
+        os << "}}" << (i + 1 < r.points.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+namespace
+{
+
+bool
+writeFile(const std::string &path, const SweepResult &r,
+          void (*writer)(std::ostream &, const SweepResult &))
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "!! cannot write %s\n", path.c_str());
+        return false;
+    }
+    writer(f, r);
+    return true;
+}
+
+} // namespace
+
+bool
+writeCsvFile(const std::string &path, const SweepResult &r)
+{
+    return writeFile(path, r, writeCsv);
+}
+
+bool
+writeJsonFile(const std::string &path, const SweepResult &r)
+{
+    return writeFile(path, r, writeJson);
+}
+
+SweepConfig
+sweepFromJson(const std::string &text)
+{
+    const Json doc = Json::parse(text);
+    if (!doc.isObject())
+        fatal("sweep spec: the document must be a JSON object");
+
+    SweepConfig cfg;
+    for (const auto &[key, value] : doc.object()) {
+        if (key == "suite") {
+            cfg.suite = value.str();
+        } else if (key == "base") {
+            for (const auto &[param, v] : value.object())
+                cfg.base.emplace_back(param, v.scalarString());
+        } else if (key == "axes") {
+            for (const auto &[param, vals] : value.object()) {
+                GridAxis axis;
+                axis.param = param;
+                if (vals.isArray()) {
+                    for (const auto &v : vals.array())
+                        axis.values.push_back(v.scalarString());
+                } else {
+                    // A bare scalar is a one-value axis.
+                    axis.values.push_back(vals.scalarString());
+                }
+                cfg.grid.axes.push_back(std::move(axis));
+            }
+        } else {
+            fatal(strformat("sweep spec: unknown key \"%s\" (want "
+                            "suite, base or axes)",
+                            key.c_str()));
+        }
+    }
+    if (cfg.grid.axes.empty())
+        fatal("sweep spec: no axes (zero-depth grid)");
+    cfg.grid.validate();
+    // Surface bad base bindings at parse time too.
+    workload::SuiteRunOptions probe;
+    for (const auto &[param, value] : cfg.base)
+        applyParam(probe, param, value);
+    suiteByName(cfg.suite);
+    return cfg;
+}
+
+SweepConfig
+sweepFromJsonFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(strformat("cannot open sweep spec '%s'", path.c_str()));
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return sweepFromJson(ss.str());
+}
+
+} // namespace mipsx::explore

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The design-space exploration engine.
+ *
+ * runSweep() expands a GridSpec to its cartesian point set, runs the
+ * selected workload suite at every point through the deterministic
+ * parallel suite runner, and snapshots each point's aggregate into a
+ * MetricsRegistry. The emitters write the whole sweep as long-form CSV
+ * (one row per point x metric — the shape plotting tools melt into
+ * anyway) and as nested JSON (grid spec + per-point suite aggregate).
+ *
+ * Both outputs are bit-identical for any worker count and across
+ * repeated runs: every number in them descends from the suite runner's
+ * deterministic integer aggregate, and nothing host-dependent (timing,
+ * job counts) is emitted. The golden-reproduction tests and
+ * scripts/tier1.sh rely on this.
+ */
+
+#ifndef MIPSX_EXPLORE_EXPLORE_HH
+#define MIPSX_EXPLORE_EXPLORE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "explore/grid.hh"
+#include "trace/metrics.hh"
+#include "workload/suite_runner.hh"
+#include "workload/workload.hh"
+
+namespace mipsx::explore
+{
+
+/** Everything one sweep needs. */
+struct SweepConfig
+{
+    GridSpec grid;
+    /** Suite name: full | big-code | pascal | lisp | fp. */
+    std::string suite = "full";
+    /**
+     * Fixed (param, value) bindings applied to every point before its
+     * axis bindings — the non-swept part of the spec ("base" in a grid
+     * file). Echoed into the JSON output for reproducibility.
+     */
+    std::vector<std::pair<std::string, std::string>> base;
+    /** Runner options under the bindings (jobs, predecode, ...). */
+    workload::SuiteRunOptions runner{};
+};
+
+/** One grid point's run: its bindings and the suite aggregate. */
+struct SweepPointResult
+{
+    GridPoint point;
+    workload::SuiteStats stats;
+    /** The "suite.*" snapshot of @ref stats (counts plus ratios). */
+    trace::MetricsRegistry metrics;
+    std::vector<workload::SuiteFailure> failures;
+};
+
+/** A completed sweep. */
+struct SweepResult
+{
+    GridSpec grid;
+    std::string suite;
+    std::vector<std::pair<std::string, std::string>> base;
+    unsigned workloads = 0; ///< workloads run per point
+    std::vector<SweepPointResult> points;
+
+    unsigned totalFailures() const;
+
+    /**
+     * The first point whose bindings include every given (param,
+     * value) pair, or nullptr. Lets thin bench wrappers pull named
+     * rows out of a sweep.
+     */
+    const SweepPointResult *
+    find(const std::vector<std::pair<std::string, std::string>> &bindings)
+        const;
+};
+
+/** Resolve a suite name; throws SimError for unknown names. */
+std::vector<workload::Workload> suiteByName(const std::string &name);
+/** The names suiteByName() accepts. */
+const std::vector<std::string> &suiteNames();
+
+/** Called after each point completes (progress reporting). */
+using PointCallback = std::function<void(
+    std::size_t index, std::size_t total, const SweepPointResult &)>;
+
+/**
+ * Run the sweep over an explicit workload list (tests use slices).
+ * Validates the grid and every point's bindings before running
+ * anything, so a bad spec costs zero simulated cycles.
+ */
+SweepResult runSweep(const SweepConfig &config,
+                     const std::vector<workload::Workload> &suite,
+                     const PointCallback &progress = {});
+
+/** Run the sweep over config.suite resolved by suiteByName(). */
+SweepResult runSweep(const SweepConfig &config,
+                     const PointCallback &progress = {});
+
+/**
+ * Long-form CSV: header "point,<axis params...>,metric,value", one row
+ * per point x metric. Cells are quoted only when they need it.
+ */
+void writeCsv(std::ostream &os, const SweepResult &r);
+
+/**
+ * Nested JSON: schema tag, suite, base bindings, the grid spec, and
+ * per point its bindings, failure names and metrics snapshot.
+ */
+void writeJson(std::ostream &os, const SweepResult &r);
+
+/** File variants; false (with a stderr note) on open failure. */
+bool writeCsvFile(const std::string &path, const SweepResult &r);
+bool writeJsonFile(const std::string &path, const SweepResult &r);
+
+/**
+ * Parse a sweep spec from JSON text:
+ *
+ *     {
+ *       "suite": "big-code",              // optional, default "full"
+ *       "base":  { "reorg.paperFaithful": false },   // optional
+ *       "axes":  { "icache.fetchWords": [1, 2],
+ *                  "icache.missPenalty": [1, 2, 3] } // required
+ *     }
+ *
+ * Axis order in the file is sweep order. Scalars may be numbers,
+ * strings or booleans; they become grid value strings verbatim.
+ */
+SweepConfig sweepFromJson(const std::string &text);
+/** sweepFromJson over a file's contents; throws SimError on IO. */
+SweepConfig sweepFromJsonFile(const std::string &path);
+
+} // namespace mipsx::explore
+
+#endif // MIPSX_EXPLORE_EXPLORE_HH

@@ -1,0 +1,377 @@
+#include "explore/grid.hh"
+
+#include <cstdlib>
+
+#include "common/bitfield.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::explore
+{
+
+namespace
+{
+
+[[noreturn]] void
+badValue(const std::string &param, const std::string &value,
+         const char *want)
+{
+    fatal(strformat("grid: parameter '%s': bad value '%s' (want %s)",
+                    param.c_str(), value.c_str(), want));
+}
+
+unsigned
+parseU(const std::string &param, const std::string &value)
+{
+    if (value.empty())
+        badValue(param, value, "an unsigned integer");
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (*end != '\0' || value[0] == '-' || v > 0xfffffffful)
+        badValue(param, value, "an unsigned integer");
+    return static_cast<unsigned>(v);
+}
+
+unsigned
+parsePow2(const std::string &param, const std::string &value)
+{
+    const unsigned v = parseU(param, value);
+    if (!isPowerOf2(v))
+        badValue(param, value, "a non-zero power of two");
+    return v;
+}
+
+bool
+parseBool(const std::string &param, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on" || value == "yes")
+        return true;
+    if (value == "0" || value == "false" || value == "off" || value == "no")
+        return false;
+    badValue(param, value, "a boolean (0/1/true/false/on/off)");
+}
+
+using Applier = void (*)(workload::SuiteRunOptions &, const std::string &,
+                         const std::string &);
+
+struct Param
+{
+    ParamInfo info;
+    Applier apply;
+};
+
+/*
+ * The registry. Geometry parameters re-check the ICache/ECache
+ * constructor rules so a bad grid value fails at applyParam() time
+ * with the parameter named, instead of surfacing later as a
+ * per-workload SimError swallowed into the suite failure list.
+ */
+const Param paramTable[] = {
+    {{"icache.sets", "power of two",
+      "instruction-cache rows (paper: 4)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) { o.machine.cpu.icache.sets = parsePow2(p, v); }},
+    {{"icache.ways", "integer >= 1",
+      "instruction-cache associativity (paper: 8)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         const unsigned ways = parseU(p, v);
+         if (ways == 0)
+             badValue(p, v, "at least 1 way");
+         o.machine.cpu.icache.ways = ways;
+     }},
+    {{"icache.blockWords", "power of two",
+      "words per instruction-cache block (paper: 16)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.icache.blockWords = parsePow2(p, v);
+     }},
+    {{"icache.geometry", "SETSxWAYSxBLOCK, e.g. 4x8x16",
+      "sets, ways and block words in one compound value, for sweeps "
+      "that hold capacity constant while the shape varies"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         const auto first = v.find('x');
+         const auto second =
+             first == std::string::npos ? first : v.find('x', first + 1);
+         if (first == std::string::npos || second == std::string::npos ||
+             v.find('x', second + 1) != std::string::npos)
+             badValue(p, v, "SETSxWAYSxBLOCK");
+         auto &ic = o.machine.cpu.icache;
+         ic.sets = parsePow2(p, v.substr(0, first));
+         const unsigned ways =
+             parseU(p, v.substr(first + 1, second - first - 1));
+         if (ways == 0)
+             badValue(p, v, "at least 1 way");
+         ic.ways = ways;
+         ic.blockWords = parsePow2(p, v.substr(second + 1));
+     }},
+    {{"icache.missPenalty", "integer",
+      "stall cycles per instruction-cache miss (paper: 2; 3 models the "
+      "far-tag-store alternative)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.icache.missPenalty = parseU(p, v);
+     }},
+    {{"icache.fetchWords", "1 or 2",
+      "words fetched back per miss (2 = the double fetch)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         const unsigned w = parseU(p, v);
+         if (w < 1 || w > 2)
+             badValue(p, v, "1 or 2");
+         o.machine.cpu.icache.fetchWords = w;
+     }},
+    {{"icache.allocCrossBlock", "boolean",
+      "allocate the double-fetched word's block when it crosses a "
+      "block boundary"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.icache.allocCrossBlock = parseBool(p, v);
+     }},
+    {{"icache.repl", "lru | fifo | random",
+      "instruction-cache replacement policy"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         auto &r = o.machine.cpu.icache.repl;
+         if (v == "lru")
+             r = memory::IReplPolicy::Lru;
+         else if (v == "fifo")
+             r = memory::IReplPolicy::Fifo;
+         else if (v == "random")
+             r = memory::IReplPolicy::Random;
+         else
+             badValue(p, v, "lru, fifo or random");
+     }},
+    {{"icache.enabled", "boolean",
+      "run with the instruction cache on or off (the instruction-"
+      "register test feature)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.icache.enabled = parseBool(p, v);
+     }},
+    {{"ecache.sizeWords", "power of two",
+      "external-cache capacity in words (paper: 64K)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.ecache.sizeWords = parsePow2(p, v);
+     }},
+    {{"ecache.lineWords", "power of two", "external-cache line words"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.ecache.lineWords = parsePow2(p, v);
+     }},
+    {{"ecache.ways", "integer >= 1", "external-cache associativity"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         const unsigned ways = parseU(p, v);
+         if (ways == 0)
+             badValue(p, v, "at least 1 way");
+         o.machine.cpu.ecache.ways = ways;
+     }},
+    {{"ecache.missPenalty", "integer",
+      "main-memory latency: cycles the pipeline re-executes MEM while "
+      "a miss is serviced"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.ecache.missPenalty = parseU(p, v);
+     }},
+    {{"ecache.writebackPenalty", "integer",
+      "extra cycles to copy a dirty victim back to memory"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.ecache.writebackPenalty = parseU(p, v);
+     }},
+    {{"ecache.writeThrough", "boolean",
+      "write-through with a buffered store path instead of copy-back"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.ecache.writeThrough = parseBool(p, v);
+     }},
+    {{"ecache.enabled", "boolean",
+      "every access misses when off (no-Ecache ablation)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.ecache.enabled = parseBool(p, v);
+     }},
+    {{"branch.scheme", "no-squash | always-squash | squash-optional",
+      "Table 1's branch scheme, applied by the reorganizer"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         auto &s = o.reorg.scheme;
+         if (v == "no-squash")
+             s = reorg::BranchScheme::NoSquash;
+         else if (v == "always-squash")
+             s = reorg::BranchScheme::AlwaysSquash;
+         else if (v == "squash-optional")
+             s = reorg::BranchScheme::SquashOptional;
+         else
+             badValue(p, v, "no-squash, always-squash or squash-optional");
+     }},
+    {{"branch.slots", "1 or 2",
+      "branch delay slots; sets both the reorganizer's slot count and "
+      "the pipeline's branch delay (1 models the quick compare)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         const unsigned slots = parseU(p, v);
+         if (slots < 1 || slots > 2)
+             badValue(p, v, "1 or 2");
+         o.reorg.slots = slots;
+         o.machine.cpu.branchDelay = slots;
+     }},
+    {{"branch.profile", "boolean",
+      "steer squash filling with a per-branch ISS profile (the paper's "
+      "\"possibly with profiling\")"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) { o.useProfiles = parseBool(p, v); }},
+    {{"branch.prediction", "backward-taken | always-taken",
+      "static prediction heuristic when not profiling"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         if (v == "backward-taken")
+             o.reorg.prediction = reorg::Prediction::BackwardTaken;
+         else if (v == "always-taken")
+             o.reorg.prediction = reorg::Prediction::AlwaysTaken;
+         else
+             badValue(p, v, "backward-taken or always-taken");
+     }},
+    {{"reorg.paperFaithful", "boolean",
+      "restrict squashing to the directions the real chip encodes "
+      "(Table 1's always-squash row needs this off)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.reorg.paperFaithful = parseBool(p, v);
+     }},
+    {{"reorg.fillLoadDelay", "boolean",
+      "schedule the one-cycle load delay (off leaves explicit no-ops)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.reorg.fillLoadDelay = parseBool(p, v);
+     }},
+    {{"coproc.nonCachedFetch", "boolean",
+      "the rejected coprocessor interface: coprocessor instructions "
+      "always miss the instruction cache"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.coprocNonCachedFetch = parseBool(p, v);
+     }},
+    {{"predecode", "boolean",
+      "decode each program word once at load time (perf baseline knob)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) { o.predecode = parseBool(p, v); }},
+};
+
+const Param *
+findParam(const std::string &name)
+{
+    for (const auto &p : paramTable)
+        if (name == p.info.name)
+            return &p;
+    return nullptr;
+}
+
+} // namespace
+
+std::size_t
+GridSpec::points() const
+{
+    std::size_t n = 1;
+    for (const auto &a : axes)
+        n *= a.values.size();
+    return n;
+}
+
+void
+GridSpec::validate() const
+{
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        const auto &a = axes[i];
+        if (!isKnownParam(a.param))
+            fatal(strformat("grid: unknown parameter '%s' (see "
+                            "--list-params)",
+                            a.param.c_str()));
+        if (a.values.empty())
+            fatal(strformat("grid: axis '%s' has no values (zero-depth "
+                            "grid)",
+                            a.param.c_str()));
+        for (std::size_t j = 0; j < i; ++j)
+            if (axes[j].param == a.param)
+                fatal(strformat("grid: duplicate axis '%s'",
+                                a.param.c_str()));
+    }
+}
+
+const std::string *
+GridPoint::valueOf(const std::string &param) const
+{
+    for (const auto &[p, v] : bindings)
+        if (p == param)
+            return &v;
+    return nullptr;
+}
+
+std::vector<GridPoint>
+expandGrid(const GridSpec &grid)
+{
+    grid.validate();
+    std::vector<GridPoint> out;
+    out.reserve(grid.points());
+    std::vector<std::size_t> idx(grid.axes.size(), 0);
+    for (;;) {
+        GridPoint pt;
+        pt.bindings.reserve(grid.axes.size());
+        for (std::size_t a = 0; a < grid.axes.size(); ++a)
+            pt.bindings.emplace_back(grid.axes[a].param,
+                                     grid.axes[a].values[idx[a]]);
+        out.push_back(std::move(pt));
+        // Odometer increment, last axis fastest.
+        std::size_t a = grid.axes.size();
+        while (a > 0) {
+            --a;
+            if (++idx[a] < grid.axes[a].values.size())
+                break;
+            idx[a] = 0;
+            if (a == 0)
+                return out;
+        }
+        if (grid.axes.empty())
+            return out;
+    }
+}
+
+const std::vector<ParamInfo> &
+knownParams()
+{
+    static const std::vector<ParamInfo> infos = [] {
+        std::vector<ParamInfo> v;
+        for (const auto &p : paramTable)
+            v.push_back(p.info);
+        return v;
+    }();
+    return infos;
+}
+
+bool
+isKnownParam(const std::string &param)
+{
+    return findParam(param) != nullptr;
+}
+
+void
+applyParam(workload::SuiteRunOptions &opts, const std::string &param,
+           const std::string &value)
+{
+    const Param *p = findParam(param);
+    if (!p)
+        fatal(strformat("grid: unknown parameter '%s' (see --list-params)",
+                        param.c_str()));
+    p->apply(opts, param, value);
+}
+
+void
+applyPoint(workload::SuiteRunOptions &opts, const GridPoint &point)
+{
+    for (const auto &[param, value] : point.bindings)
+        applyParam(opts, param, value);
+}
+
+} // namespace mipsx::explore

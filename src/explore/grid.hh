@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The declarative parameter grid behind the design-space explorer.
+ *
+ * A GridSpec names the swept parameters (axes) and the values each one
+ * takes; expandGrid() produces the cartesian point set, and applyPoint()
+ * lowers one point onto the SuiteRunOptions the deterministic suite
+ * runner consumes. Every knob the paper's tradeoff studies turn is a
+ * named parameter here — icache geometry, miss penalty, fetch-back
+ * width and replacement policy; branch scheme, delay-slot count and
+ * profiling; the external cache and its memory latencies — so the
+ * studies (Table 1, the double-fetch and service-time figures) are
+ * plain grid files instead of hand-rolled loops (the gem5
+ * configuration-script idea applied to this simulator).
+ *
+ * All values are carried as strings: that keeps grid files, CLI flags,
+ * CSV columns and JSON bindings one representation, with the per-
+ * parameter parsers doing the validation at applyParam() time — a typo
+ * fails the sweep up front, not as a mysterious per-workload failure
+ * inside a worker thread.
+ */
+
+#ifndef MIPSX_EXPLORE_GRID_HH
+#define MIPSX_EXPLORE_GRID_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/suite_runner.hh"
+
+namespace mipsx::explore
+{
+
+/** One swept parameter and the values it takes, in sweep order. */
+struct GridAxis
+{
+    std::string param;
+    std::vector<std::string> values;
+};
+
+/** A cartesian parameter grid. An empty grid is the single base point. */
+struct GridSpec
+{
+    std::vector<GridAxis> axes;
+
+    /** Number of points the grid expands to (1 for no axes). */
+    std::size_t points() const;
+
+    /**
+     * Reject malformed grids up front: unknown parameter names,
+     * duplicate axes, and zero-depth axes (an axis with no values
+     * would silently expand to an empty sweep).
+     */
+    void validate() const;
+};
+
+/** One expanded point: a (param, value) binding per axis, axis order. */
+struct GridPoint
+{
+    std::vector<std::pair<std::string, std::string>> bindings;
+
+    /** Value bound for @p param, or nullptr when not an axis. */
+    const std::string *valueOf(const std::string &param) const;
+};
+
+/**
+ * Expand @p grid to its cartesian point set. The last axis varies
+ * fastest, so points enumerate in row-major (odometer) order.
+ */
+std::vector<GridPoint> expandGrid(const GridSpec &grid);
+
+/** One sweepable parameter, for --list-params and the docs. */
+struct ParamInfo
+{
+    const char *name;
+    const char *values; ///< accepted value forms, human-readable
+    const char *doc;
+};
+
+/** Every parameter applyParam() accepts. */
+const std::vector<ParamInfo> &knownParams();
+bool isKnownParam(const std::string &param);
+
+/**
+ * Apply one (param, value) binding to @p opts. Throws SimError naming
+ * the parameter for unknown names and unparseable or out-of-range
+ * values (including the cache-geometry power-of-two rules, checked
+ * here so errors surface before any workload runs).
+ */
+void applyParam(workload::SuiteRunOptions &opts, const std::string &param,
+                const std::string &value);
+
+/** Apply every binding of @p point in axis order. */
+void applyPoint(workload::SuiteRunOptions &opts, const GridPoint &point);
+
+} // namespace mipsx::explore
+
+#endif // MIPSX_EXPLORE_GRID_HH

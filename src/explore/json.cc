@@ -1,0 +1,288 @@
+#include "explore/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/sim_error.hh"
+
+namespace mipsx::explore
+{
+
+bool
+Json::boolean() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("json: value is not a boolean");
+    return bool_;
+}
+
+double
+Json::number() const
+{
+    if (kind_ != Kind::Number)
+        fatal("json: value is not a number");
+    return num_;
+}
+
+const std::string &
+Json::str() const
+{
+    if (kind_ != Kind::String)
+        fatal("json: value is not a string");
+    return text_;
+}
+
+const std::vector<Json> &
+Json::array() const
+{
+    if (kind_ != Kind::Array)
+        fatal("json: value is not an array");
+    return elems_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::object() const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: value is not an object");
+    return members_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (const auto &[k, v] : object())
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+Json::scalarString() const
+{
+    switch (kind_) {
+      case Kind::Bool: return bool_ ? "1" : "0";
+      case Kind::Number: return text_;
+      case Kind::String: return text_;
+      default: fatal("json: value is not a scalar");
+    }
+}
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after the document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        fatal(strformat("json: %s at offset %zu", what.c_str(), pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strformat("expected '%c'", c));
+        ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    value()
+    {
+        const char c = peek();
+        switch (c) {
+          case '{': return objectValue();
+          case '[': return arrayValue();
+          case '"': return stringValue();
+          case 't':
+          case 'f':
+          case 'n': {
+            Json v;
+            if (literal("true")) {
+                v.kind_ = Json::Kind::Bool;
+                v.bool_ = true;
+            } else if (literal("false")) {
+                v.kind_ = Json::Kind::Bool;
+                v.bool_ = false;
+            } else if (literal("null")) {
+                v.kind_ = Json::Kind::Null;
+            } else {
+                fail("unknown literal");
+            }
+            return v;
+          }
+          default: return numberValue();
+        }
+    }
+
+    Json
+    objectValue()
+    {
+        expect('{');
+        Json v;
+        v.kind_ = Json::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            const Json key = stringValue();
+            expect(':');
+            for (const auto &[k, old] : v.members_)
+                if (k == key.text_)
+                    fail(strformat("duplicate key \"%s\"",
+                                   key.text_.c_str()));
+            v.members_.emplace_back(key.text_, value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    Json
+    arrayValue()
+    {
+        expect('[');
+        Json v;
+        v.kind_ = Json::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.elems_.push_back(value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    Json
+    stringValue()
+    {
+        expect('"');
+        Json v;
+        v.kind_ = Json::Kind::String;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.text_ += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': v.text_ += '"'; break;
+              case '\\': v.text_ += '\\'; break;
+              case '/': v.text_ += '/'; break;
+              case 'n': v.text_ += '\n'; break;
+              case 't': v.text_ += '\t'; break;
+              case 'r': v.text_ += '\r'; break;
+              case 'b': v.text_ += '\b'; break;
+              case 'f': v.text_ += '\f'; break;
+              default:
+                // \uXXXX and friends are not needed for grid specs.
+                fail(strformat("unsupported escape '\\%c'", e));
+            }
+        }
+        fail("unterminated string");
+    }
+
+    Json
+    numberValue()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        auto eatDigits = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eatDigits();
+        }
+        if (digits && pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '-' || text_[pos_] == '+'))
+                ++pos_;
+            eatDigits();
+        }
+        if (!digits)
+            fail("invalid number");
+        Json v;
+        v.kind_ = Json::Kind::Number;
+        v.text_ = text_.substr(start, pos_ - start);
+        v.num_ = std::strtod(v.text_.c_str(), nullptr);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Json
+Json::parse(const std::string &text)
+{
+    JsonParser p(text);
+    return p.parse();
+}
+
+} // namespace mipsx::explore

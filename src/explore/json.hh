@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A minimal JSON reader for the explore engine's grid-spec files.
+ *
+ * The writers elsewhere in the tree (trace/export, MetricsRegistry,
+ * BenchJson) only ever *emit* JSON; sweep specs are the first input the
+ * toolchain reads in JSON form, so this is a small self-contained
+ * recursive-descent parser — objects keep member order (axis order is
+ * meaningful in a grid), numbers keep their source lexeme so "1" round-
+ * trips as "1" and not "1.000000" when a spec value becomes a grid
+ * binding string.
+ */
+
+#ifndef MIPSX_EXPLORE_JSON_HH
+#define MIPSX_EXPLORE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mipsx::explore
+{
+
+/** One parsed JSON value. Accessors throw SimError on kind mismatch. */
+class Json
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Parse one JSON document; throws SimError with an offset. */
+    static Json parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isScalar() const
+    {
+        return kind_ == Kind::Bool || kind_ == Kind::Number ||
+               kind_ == Kind::String;
+    }
+
+    bool boolean() const;
+    double number() const;
+    const std::string &str() const;
+    const std::vector<Json> &array() const;
+    /** Object members in source order. */
+    const std::vector<std::pair<std::string, Json>> &object() const;
+
+    /** Member @p key of an object, or nullptr. */
+    const Json *find(const std::string &key) const;
+
+    /**
+     * A scalar rendered as the grid's canonical string form: numbers
+     * keep their source spelling, booleans become "1"/"0" (the form
+     * the boolean grid parameters accept), strings pass through.
+     */
+    std::string scalarString() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string text_; ///< string value, or a number's source lexeme
+    std::vector<Json> elems_;
+    std::vector<std::pair<std::string, Json>> members_;
+
+    friend class JsonParser;
+};
+
+} // namespace mipsx::explore
+
+#endif // MIPSX_EXPLORE_JSON_HH

@@ -6,14 +6,18 @@
 namespace mipsx::memory
 {
 
+void
+ECacheConfig::validate() const
+{
+    if (!isPowerOf2(sizeWords) || !isPowerOf2(lineWords))
+        fatal("ECache: size and line must be powers of two");
+    if (ways == 0 || sizeWords % (lineWords * ways) != 0)
+        fatal("ECache: ways must divide size/line");
+}
+
 ECache::ECache(const ECacheConfig &config) : config_(config)
 {
-    if (!isPowerOf2(config_.sizeWords) || !isPowerOf2(config_.lineWords))
-        fatal("ECache: size and line must be powers of two");
-    if (config_.ways == 0 ||
-        config_.sizeWords % (config_.lineWords * config_.ways) != 0) {
-        fatal("ECache: ways must divide size/line");
-    }
+    config_.validate();
     numSets_ = config_.sizeWords / (config_.lineWords * config_.ways);
     lineShift_ = log2i(config_.lineWords);
     setsArePow2_ = isPowerOf2(numSets_);

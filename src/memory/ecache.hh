@@ -55,6 +55,9 @@ struct ECacheConfig
     unsigned writeBusCycles = 2;
     /** If false, every access misses (for no-Ecache ablations). */
     bool enabled = true;
+
+    /** Reject ill-formed geometries with a SimError (see ICacheConfig). */
+    void validate() const;
 };
 
 /** Result of one Ecache access. */

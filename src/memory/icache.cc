@@ -6,14 +6,22 @@
 namespace mipsx::memory
 {
 
+void
+ICacheConfig::validate() const
+{
+    if (!isPowerOf2(sets))
+        fatal("ICache: sets must be a non-zero power of two");
+    if (!isPowerOf2(blockWords))
+        fatal("ICache: blockWords must be a non-zero power of two");
+    if (ways == 0)
+        fatal("ICache: ways must be at least 1");
+    if (fetchWords < 1 || fetchWords > 2)
+        fatal("ICache: fetchWords must be 1 or 2");
+}
+
 ICache::ICache(const ICacheConfig &config) : config_(config)
 {
-    if (!isPowerOf2(config_.sets) || !isPowerOf2(config_.blockWords))
-        fatal("ICache: sets and blockWords must be powers of two");
-    if (config_.ways == 0)
-        fatal("ICache: ways must be at least 1");
-    if (config_.fetchWords < 1 || config_.fetchWords > 2)
-        fatal("ICache: fetchWords must be 1 or 2");
+    config_.validate();
     blockShift_ = log2i(config_.blockWords);
     blockMask_ = config_.blockWords - 1;
     setShift_ = log2i(config_.sets);

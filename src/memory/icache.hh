@@ -71,6 +71,15 @@ struct ICacheConfig
     bool enabled = true;
 
     unsigned totalWords() const { return sets * ways * blockWords; }
+
+    /**
+     * Reject ill-formed geometries (zero or non-power-of-two sets or
+     * blockWords, zero ways, fetchWords outside 1..2) with a SimError.
+     * The ICache constructor calls this; config builders (MachineConfig
+     * validation, the explore engine) call it directly so errors
+     * surface before any machine is built.
+     */
+    void validate() const;
 };
 
 /** Result of one instruction fetch. */

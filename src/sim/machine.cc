@@ -9,6 +9,7 @@ namespace mipsx::sim
 
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
+    config_.validate();
     cpu_ = std::make_unique<core::Cpu>(config_.cpu, mem_);
     if (config_.traceDepth) {
         trace_.setCapacity(config_.traceDepth);

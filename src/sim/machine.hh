@@ -38,6 +38,13 @@ struct MachineConfig
      * own buffer, keeping the parallel suite runner deterministic.
      */
     std::size_t traceDepth = 0;
+
+    /**
+     * Reject ill-formed configurations with a SimError before any
+     * component is built (delegates to CpuConfig::validate). The
+     * Machine constructor calls this.
+     */
+    void validate() const { cpu.validate(); }
 };
 
 /** A complete pipelined MIPS-X system. */

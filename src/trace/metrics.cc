@@ -80,6 +80,24 @@ MetricsRegistry::names() const
     return out;
 }
 
+std::vector<std::pair<std::string, std::string>>
+MetricsRegistry::formatted() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, v] : entries_) {
+        char buf[64];
+        if (v.isInt) {
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(v.integer));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", v.real);
+        }
+        out.emplace_back(name, buf);
+    }
+    return out;
+}
+
 namespace
 {
 
@@ -105,18 +123,12 @@ jsonEscape(const std::string &s)
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
+    const auto rows = formatted();
     os << "{\n";
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const auto &[name, v] = entries_[i];
-        char buf[64];
-        if (v.isInt) {
-            std::snprintf(buf, sizeof(buf), "%llu",
-                          static_cast<unsigned long long>(v.integer));
-        } else {
-            std::snprintf(buf, sizeof(buf), "%.17g", v.real);
-        }
-        os << "  \"" << jsonEscape(name) << "\": " << buf
-           << (i + 1 < entries_.size() ? ",\n" : "\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << "  \"" << jsonEscape(rows[i].first)
+           << "\": " << rows[i].second
+           << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     os << "}\n";
 }

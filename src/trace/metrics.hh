@@ -56,6 +56,14 @@ class MetricsRegistry
     std::vector<std::string> names() const;
 
     /**
+     * Every metric as (name, printed value) in insertion order, using
+     * exactly the writeJson() encoding (integers exact, reals %.17g).
+     * Emitters that must stay bit-identical with the JSON export (the
+     * explore engine's CSV) format through this instead of get().
+     */
+    std::vector<std::pair<std::string, std::string>> formatted() const;
+
+    /**
      * Write the registry as one flat JSON object, insertion order
      * preserved; integers print exactly, reals as %.17g.
      */

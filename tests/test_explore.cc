@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Tests for the design-space exploration engine: grid expansion and
+ * validation, the sweep-spec JSON reader, parameter application error
+ * paths, the machine-configuration validators behind them, and the
+ * engine's central determinism contract — a sweep's CSV and JSON
+ * outputs are bit-identical for any worker count and across runs.
+ */
+
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "core/cpu.hh"
+#include "explore/explore.hh"
+#include "explore/json.hh"
+#include "memory/ecache.hh"
+#include "memory/icache.hh"
+#include "sim/machine.hh"
+
+using namespace mipsx;
+using namespace mipsx::explore;
+
+// ---------------------------------------------------------------------
+// Grid expansion.
+
+TEST(Grid, EmptyGridIsOneBasePoint)
+{
+    GridSpec g;
+    EXPECT_EQ(g.points(), 1u);
+    const auto pts = expandGrid(g);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_TRUE(pts[0].bindings.empty());
+}
+
+TEST(Grid, ExpandsRowMajorLastAxisFastest)
+{
+    GridSpec g;
+    g.axes = {{"icache.fetchWords", {"1", "2"}},
+              {"icache.missPenalty", {"1", "2", "3"}}};
+    EXPECT_EQ(g.points(), 6u);
+    const auto pts = expandGrid(g);
+    ASSERT_EQ(pts.size(), 6u);
+    // The last axis (missPenalty) varies fastest — odometer order.
+    const char *want[][2] = {{"1", "1"}, {"1", "2"}, {"1", "3"},
+                             {"2", "1"}, {"2", "2"}, {"2", "3"}};
+    for (std::size_t i = 0; i < 6; ++i) {
+        ASSERT_EQ(pts[i].bindings.size(), 2u);
+        EXPECT_EQ(pts[i].bindings[0].first, "icache.fetchWords");
+        EXPECT_EQ(pts[i].bindings[0].second, want[i][0]);
+        EXPECT_EQ(pts[i].bindings[1].first, "icache.missPenalty");
+        EXPECT_EQ(pts[i].bindings[1].second, want[i][1]);
+    }
+}
+
+TEST(Grid, ValueOf)
+{
+    GridPoint p;
+    p.bindings = {{"a", "1"}, {"b", "2"}};
+    ASSERT_NE(p.valueOf("a"), nullptr);
+    EXPECT_EQ(*p.valueOf("a"), "1");
+    EXPECT_EQ(p.valueOf("zzz"), nullptr);
+}
+
+TEST(Grid, ValidateRejectsUnknownParam)
+{
+    GridSpec g;
+    g.axes = {{"icache.nonsense", {"1"}}};
+    EXPECT_THROW(g.validate(), SimError);
+}
+
+TEST(Grid, ValidateRejectsZeroDepthAxis)
+{
+    // An axis with no values would silently expand to an empty sweep.
+    GridSpec g;
+    g.axes = {{"icache.sets", {}}};
+    EXPECT_THROW(g.validate(), SimError);
+    EXPECT_EQ(g.points(), 0u);
+}
+
+TEST(Grid, ValidateRejectsDuplicateAxis)
+{
+    GridSpec g;
+    g.axes = {{"icache.sets", {"4"}}, {"icache.sets", {"8"}}};
+    EXPECT_THROW(g.validate(), SimError);
+}
+
+TEST(Grid, KnownParams)
+{
+    EXPECT_TRUE(isKnownParam("icache.geometry"));
+    EXPECT_TRUE(isKnownParam("branch.scheme"));
+    EXPECT_TRUE(isKnownParam("predecode"));
+    EXPECT_FALSE(isKnownParam("icache"));
+    EXPECT_FALSE(isKnownParam(""));
+    EXPECT_FALSE(knownParams().empty());
+}
+
+// ---------------------------------------------------------------------
+// Parameter application: values are validated eagerly, before any
+// workload runs, so a typo fails the sweep up front.
+
+TEST(ApplyParam, AppliesValues)
+{
+    workload::SuiteRunOptions o;
+    applyParam(o, "icache.geometry", "8x4x16");
+    EXPECT_EQ(o.machine.cpu.icache.sets, 8u);
+    EXPECT_EQ(o.machine.cpu.icache.ways, 4u);
+    EXPECT_EQ(o.machine.cpu.icache.blockWords, 16u);
+
+    applyParam(o, "branch.slots", "1");
+    EXPECT_EQ(o.reorg.slots, 1u);
+    EXPECT_EQ(o.machine.cpu.branchDelay, 1u);
+
+    applyParam(o, "branch.scheme", "always-squash");
+    EXPECT_EQ(o.reorg.scheme, reorg::BranchScheme::AlwaysSquash);
+
+    applyParam(o, "icache.repl", "fifo");
+    EXPECT_EQ(o.machine.cpu.icache.repl, memory::IReplPolicy::Fifo);
+}
+
+TEST(ApplyParam, RejectsBadValues)
+{
+    workload::SuiteRunOptions o;
+    EXPECT_THROW(applyParam(o, "no.such.param", "1"), SimError);
+    EXPECT_THROW(applyParam(o, "icache.sets", "3"), SimError);    // !pow2
+    EXPECT_THROW(applyParam(o, "icache.sets", "0"), SimError);
+    EXPECT_THROW(applyParam(o, "icache.ways", "0"), SimError);
+    EXPECT_THROW(applyParam(o, "icache.ways", "eight"), SimError);
+    EXPECT_THROW(applyParam(o, "icache.fetchWords", "3"), SimError);
+    EXPECT_THROW(applyParam(o, "icache.repl", "plru"), SimError);
+    EXPECT_THROW(applyParam(o, "icache.geometry", "4x8"), SimError);
+    EXPECT_THROW(applyParam(o, "branch.slots", "3"), SimError);
+    EXPECT_THROW(applyParam(o, "branch.scheme", "sometimes"), SimError);
+    EXPECT_THROW(applyParam(o, "branch.profile", "maybe"), SimError);
+}
+
+// ---------------------------------------------------------------------
+// Construction-time configuration validation (the machinery applyParam
+// leans on — a config assembled by hand fails just as early).
+
+TEST(ConfigValidate, ICacheGeometry)
+{
+    memory::ICacheConfig c;
+    EXPECT_NO_THROW(c.validate()); // the paper's design is valid
+
+    c = {}; c.ways = 0;
+    EXPECT_THROW(memory::ICache{c}, SimError);
+    c = {}; c.sets = 3;
+    EXPECT_THROW(memory::ICache{c}, SimError);
+    c = {}; c.sets = 0;
+    EXPECT_THROW(memory::ICache{c}, SimError);
+    c = {}; c.blockWords = 0;
+    EXPECT_THROW(memory::ICache{c}, SimError);
+    c = {}; c.blockWords = 12;
+    EXPECT_THROW(memory::ICache{c}, SimError);
+    c = {}; c.fetchWords = 0;
+    EXPECT_THROW(memory::ICache{c}, SimError);
+    c = {}; c.fetchWords = 3;
+    EXPECT_THROW(memory::ICache{c}, SimError);
+}
+
+TEST(ConfigValidate, ECacheGeometry)
+{
+    memory::ECacheConfig c;
+    EXPECT_NO_THROW(c.validate());
+
+    c = {}; c.sizeWords = 3000;
+    EXPECT_THROW(memory::ECache{c}, SimError);
+    c = {}; c.lineWords = 3;
+    EXPECT_THROW(memory::ECache{c}, SimError);
+}
+
+TEST(ConfigValidate, MachineConfig)
+{
+    sim::MachineConfig c;
+    EXPECT_NO_THROW(c.validate());
+
+    c = {}; c.cpu.branchDelay = 0;
+    EXPECT_THROW(c.validate(), SimError);
+    c = {}; c.cpu.branchDelay = 3;
+    EXPECT_THROW(c.validate(), SimError);
+    c = {}; c.cpu.maxCycles = 0;
+    EXPECT_THROW(c.validate(), SimError);
+    c = {}; c.cpu.icache.sets = 5;
+    EXPECT_THROW(c.validate(), SimError);
+}
+
+// ---------------------------------------------------------------------
+// The sweep-spec JSON reader.
+
+TEST(Json, ScalarsKeepTheirSourceForm)
+{
+    const auto j = Json::parse(R"({"a": 1, "b": 2.50, "c": "x",
+                                   "d": true, "e": false})");
+    ASSERT_TRUE(j.isObject());
+    // Numbers keep their lexeme: 2.50 stays "2.50", not "2.5".
+    EXPECT_EQ(j.find("a")->scalarString(), "1");
+    EXPECT_EQ(j.find("b")->scalarString(), "2.50");
+    EXPECT_EQ(j.find("c")->scalarString(), "x");
+    // Booleans become the "1"/"0" the boolean grid parameters accept.
+    EXPECT_EQ(j.find("d")->scalarString(), "1");
+    EXPECT_EQ(j.find("e")->scalarString(), "0");
+    EXPECT_EQ(j.find("zzz"), nullptr);
+}
+
+TEST(Json, ObjectsKeepMemberOrder)
+{
+    const auto j = Json::parse(R"({"z": 1, "a": 2, "m": 3})");
+    const auto &m = j.object();
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_EQ(m[0].first, "z");
+    EXPECT_EQ(m[1].first, "a");
+    EXPECT_EQ(m[2].first, "m");
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(Json::parse(""), SimError);
+    EXPECT_THROW(Json::parse("{"), SimError);
+    EXPECT_THROW(Json::parse("[1,]"), SimError);
+    EXPECT_THROW(Json::parse("{\"a\": 1} trailing"), SimError);
+    EXPECT_THROW(Json::parse("{\"a\": 1, \"a\": 2}"), SimError);
+    EXPECT_THROW(Json::parse("nope"), SimError);
+}
+
+TEST(SweepFromJson, ParsesSuiteBaseAndAxes)
+{
+    const auto cfg = sweepFromJson(R"({
+        "suite": "big-code",
+        "base": {"reorg.paperFaithful": false},
+        "axes": {"icache.fetchWords": [1, 2],
+                 "icache.missPenalty": 3}
+    })");
+    EXPECT_EQ(cfg.suite, "big-code");
+    ASSERT_EQ(cfg.base.size(), 1u);
+    EXPECT_EQ(cfg.base[0].first, "reorg.paperFaithful");
+    EXPECT_EQ(cfg.base[0].second, "0");
+    ASSERT_EQ(cfg.grid.axes.size(), 2u);
+    EXPECT_EQ(cfg.grid.axes[0].param, "icache.fetchWords");
+    EXPECT_EQ(cfg.grid.axes[0].values,
+              (std::vector<std::string>{"1", "2"}));
+    // A bare scalar is a one-value axis.
+    EXPECT_EQ(cfg.grid.axes[1].values,
+              (std::vector<std::string>{"3"}));
+}
+
+TEST(SweepFromJson, RejectsBadSpecs)
+{
+    EXPECT_THROW(sweepFromJson(R"({"axes": {}})"), SimError);
+    EXPECT_THROW(sweepFromJson(R"({"suite": "tiny",
+                                   "axes": {"predecode": [0, 1]}})"),
+                 SimError); // unknown suite
+    EXPECT_THROW(sweepFromJson(R"({"axes": {"no.such": [1]}})"),
+                 SimError);
+    EXPECT_THROW(sweepFromJson(R"({"axes": {"icache.sets": []}})"),
+                 SimError); // zero-depth axis
+    EXPECT_THROW(sweepFromJson(R"({"base": {"icache.sets": 3},
+                                   "axes": {"predecode": [0, 1]}})"),
+                 SimError); // bad base value, caught at parse time
+    EXPECT_THROW(sweepFromJson(R"({"axis": {"predecode": [0, 1]}})"),
+                 SimError); // unknown top-level key ("axes" misspelled)
+}
+
+TEST(SuiteByName, Names)
+{
+    EXPECT_FALSE(suiteByName("full").empty());
+    EXPECT_FALSE(suiteByName("big-code").empty());
+    EXPECT_THROW(suiteByName("everything"), SimError);
+    EXPECT_THROW(suiteByName(""), SimError);
+}
+
+// ---------------------------------------------------------------------
+// Running sweeps.
+
+namespace
+{
+
+/** A 2x2 sweep over a two-workload slice — cheap enough to run often. */
+SweepConfig
+tinyConfig()
+{
+    SweepConfig cfg;
+    cfg.grid.axes = {{"icache.missPenalty", {"2", "3"}},
+                     {"icache.fetchWords", {"1", "2"}}};
+    return cfg;
+}
+
+std::vector<workload::Workload>
+tinySuite()
+{
+    auto ws = workload::fpWorkloads();
+    ws.resize(2);
+    return ws;
+}
+
+} // namespace
+
+TEST(RunSweep, PointsCarryBindingsAndMetrics)
+{
+    const auto r = runSweep(tinyConfig(), tinySuite());
+    EXPECT_EQ(r.workloads, 2u);
+    ASSERT_EQ(r.points.size(), 4u);
+    EXPECT_EQ(r.totalFailures(), 0u);
+    for (const auto &p : r.points) {
+        EXPECT_EQ(p.point.bindings.size(), 2u);
+        EXPECT_GT(p.stats.committed, 0u);
+        // The metrics snapshot mirrors the aggregate.
+        const auto rows = p.metrics.formatted();
+        EXPECT_FALSE(rows.empty());
+    }
+    // find() pulls a named row out.
+    const auto *p = r.find({{"icache.missPenalty", "3"},
+                            {"icache.fetchWords", "1"}});
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(r.find({{"icache.missPenalty", "4"}}), nullptr);
+    // A higher miss penalty can only cost cycles.
+    const auto *cheap = r.find({{"icache.missPenalty", "2"},
+                                {"icache.fetchWords", "1"}});
+    ASSERT_NE(cheap, nullptr);
+    EXPECT_GE(p->stats.cycles, cheap->stats.cycles);
+}
+
+TEST(RunSweep, BadPointFailsBeforeAnythingRuns)
+{
+    SweepConfig cfg;
+    cfg.grid.axes = {{"icache.sets", {"4", "5"}}}; // 5 is not pow2
+    unsigned calls = 0;
+    const auto progress = [&](std::size_t, std::size_t,
+                              const SweepPointResult &) { ++calls; };
+    EXPECT_THROW(runSweep(cfg, tinySuite(), progress), SimError);
+    EXPECT_EQ(calls, 0u); // validation precedes simulation
+}
+
+TEST(RunSweep, BadBaseBindingFails)
+{
+    auto cfg = tinyConfig();
+    cfg.base = {{"branch.scheme", "bogus"}};
+    EXPECT_THROW(runSweep(cfg, tinySuite()), SimError);
+}
+
+TEST(WriteCsv, HeaderAndShape)
+{
+    const auto r = runSweep(tinyConfig(), tinySuite());
+    std::ostringstream os;
+    writeCsv(os, r);
+    const auto text = os.str();
+    std::istringstream is(text);
+    std::string header;
+    ASSERT_TRUE(std::getline(is, header));
+    EXPECT_EQ(header,
+              "point,icache.missPenalty,icache.fetchWords,metric,value");
+    std::size_t rows = 0;
+    std::string line;
+    while (std::getline(is, line))
+        ++rows;
+    // One row per point x metric, the same metric set at every point.
+    ASSERT_EQ(r.points.size(), 4u);
+    const std::size_t metrics = r.points[0].metrics.formatted().size();
+    EXPECT_EQ(rows, 4u * metrics);
+    EXPECT_NE(text.find("suite.cpi"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the sweep's CSV and JSON are bit-identical for any
+// worker count (MIPSX_BENCH_JOBS 1 / 2 / 8) and across repeated runs.
+// This is the property scripts/tier1.sh smoke-checks and every golden
+// test relies on.
+
+namespace
+{
+
+struct SweepOutputs
+{
+    std::string csv, json;
+    bool operator==(const SweepOutputs &) const = default;
+};
+
+SweepOutputs
+renderTinySweep()
+{
+    auto cfg = tinyConfig();
+    cfg.runner.jobs = 0; // defer to MIPSX_BENCH_JOBS
+    const auto r = runSweep(cfg, tinySuite());
+    std::ostringstream csv, json;
+    writeCsv(csv, r);
+    writeJson(json, r);
+    return {csv.str(), json.str()};
+}
+
+} // namespace
+
+TEST(Determinism, OutputsIdenticalAcrossJobCountsAndRuns)
+{
+    SweepOutputs baseline;
+    bool first = true;
+    for (const char *jobs : {"1", "2", "8", "2"}) {
+        ASSERT_EQ(setenv("MIPSX_BENCH_JOBS", jobs, 1), 0);
+        const auto out = renderTinySweep();
+        if (first) {
+            baseline = out;
+            first = false;
+        } else {
+            EXPECT_EQ(out.csv, baseline.csv) << "jobs=" << jobs;
+            EXPECT_EQ(out.json, baseline.json) << "jobs=" << jobs;
+        }
+    }
+    unsetenv("MIPSX_BENCH_JOBS");
+    // And nothing host-dependent leaks into the outputs.
+    EXPECT_EQ(baseline.json.find("seconds"), std::string::npos);
+    EXPECT_EQ(baseline.json.find("jobs"), std::string::npos);
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Golden reproduction of the paper's tradeoff tables through the
+ * design-space exploration engine.
+ *
+ * Two layers of assertion:
+ *
+ *  1. *Ordering* — the qualitative claims of the paper (squashing beats
+ *     no-squash, optional squashing beats always-squash, one delay slot
+ *     beats two, the double fetch almost halves the miss ratio) must
+ *     hold exactly. These never have tolerances.
+ *
+ *  2. *Values* — each cell is pinned to the value this simulator
+ *     produced when the studies were first brought up, with a small
+ *     tolerance for intentional workload/toolchain evolution. A failure
+ *     here means the performance model changed; either fix the
+ *     regression or re-baseline deliberately and note it in CHANGES.md.
+ *
+ * The sweeps are exactly the grids the benches and EXPERIMENTS.md
+ * describe, so these tests also pin the engine end to end: grid
+ * expansion, parameter application, the deterministic suite runner and
+ * the aggregate arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "explore/explore.hh"
+
+using namespace mipsx;
+using namespace mipsx::explore;
+
+namespace
+{
+
+const workload::SuiteStats &
+statsAt(const SweepResult &r,
+        const std::vector<std::pair<std::string, std::string>> &bindings)
+{
+    const auto *p = r.find(bindings);
+    if (!p)
+        throw SimError("golden test: grid point missing");
+    EXPECT_EQ(p->stats.failures, 0u);
+    return p->stats;
+}
+
+/** The Table 1 sweep: slots x scheme x profiling over the full suite. */
+const SweepResult &
+table1Sweep()
+{
+    static const SweepResult r = [] {
+        SweepConfig cfg;
+        cfg.suite = "full";
+        // always-squash needs both squash directions (the paper's
+        // scheme), which the paper-faithful reorganizer restriction
+        // disables.
+        cfg.base = {{"reorg.paperFaithful", "0"}};
+        cfg.grid.axes = {
+            {"branch.slots", {"2", "1"}},
+            {"branch.scheme",
+             {"no-squash", "always-squash", "squash-optional"}},
+            {"branch.profile", {"0", "1"}},
+        };
+        return runSweep(cfg);
+    }();
+    return r;
+}
+
+double
+cyclesPerBranch(const char *slots, const char *scheme, const char *prof)
+{
+    return statsAt(table1Sweep(), {{"branch.slots", slots},
+                                   {"branch.scheme", scheme},
+                                   {"branch.profile", prof}})
+        .cyclesPerBranch();
+}
+
+/** The double-fetch sweep over the large-code programs. */
+const SweepResult &
+doubleFetchSweep()
+{
+    static const SweepResult r = [] {
+        SweepConfig cfg;
+        cfg.suite = "big-code";
+        cfg.grid.axes = {{"icache.fetchWords", {"1", "2"}}};
+        return runSweep(cfg);
+    }();
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Table 1: "Average Cycles per Branch Instruction for Various Branch
+// Schemes" (paper: 2.0 / 1.5 / 1.3 with two delay slots, 1.4 / 1.3 /
+// 1.1 with one, static prediction).
+
+TEST(GoldenTable1, SchemeOrdering)
+{
+    for (const char *slots : {"2", "1"}) {
+        for (const char *prof : {"0", "1"}) {
+            const double ns = cyclesPerBranch(slots, "no-squash", prof);
+            const double as =
+                cyclesPerBranch(slots, "always-squash", prof);
+            const double so =
+                cyclesPerBranch(slots, "squash-optional", prof);
+            // Squashing beats no-squash; making the squash optional
+            // (the MIPS-X design) beats squashing every branch.
+            EXPECT_LT(as, ns) << slots << "-slot, profile=" << prof;
+            EXPECT_LT(so, as) << slots << "-slot, profile=" << prof;
+        }
+    }
+}
+
+TEST(GoldenTable1, OneSlotBeatsTwo)
+{
+    // The paper's Table 1 column comparison: fewer delay slots cost
+    // fewer cycles per branch under every scheme (the 2-slot pipeline
+    // was chosen for cycle-time reasons, not branch cost).
+    for (const char *scheme :
+         {"no-squash", "always-squash", "squash-optional"}) {
+        for (const char *prof : {"0", "1"}) {
+            EXPECT_LT(cyclesPerBranch("1", scheme, prof),
+                      cyclesPerBranch("2", scheme, prof))
+                << scheme << ", profile=" << prof;
+        }
+    }
+}
+
+TEST(GoldenTable1, ProfilingHelpsSquashSchemes)
+{
+    // Profiled prediction can only improve slot filling for the
+    // squashing schemes; no-squash does not predict, so it is
+    // essentially unchanged.
+    EXPECT_LT(cyclesPerBranch("2", "always-squash", "1"),
+              cyclesPerBranch("2", "always-squash", "0"));
+    EXPECT_LT(cyclesPerBranch("2", "squash-optional", "1"),
+              cyclesPerBranch("2", "squash-optional", "0"));
+    EXPECT_NEAR(cyclesPerBranch("2", "no-squash", "1"),
+                cyclesPerBranch("2", "no-squash", "0"), 0.01);
+}
+
+TEST(GoldenTable1, PinnedValues)
+{
+    // Golden values measured from this simulator's workload suite
+    // (paper's Table 1 in parentheses). The simulator tracks the
+    // paper's ordering and spacing, not its absolute numbers — its
+    // benchmark set is long gone.
+    const struct
+    {
+        const char *slots, *scheme, *prof;
+        double golden;
+    } rows[] = {
+        {"2", "no-squash", "0", 2.404},       // (2.0)
+        {"2", "always-squash", "0", 2.026},   // (1.5)
+        {"2", "squash-optional", "0", 1.954}, // (1.3)
+        {"1", "no-squash", "0", 1.613},       // (1.4)
+        {"1", "always-squash", "0", 1.395},   // (1.3)
+        {"1", "squash-optional", "0", 1.365}, // (1.1)
+        // Profiled squash-optional is the paper's refined 1.27 result.
+        {"2", "squash-optional", "1", 1.798},
+        {"1", "squash-optional", "1", 1.294},
+    };
+    for (const auto &row : rows)
+        EXPECT_NEAR(cyclesPerBranch(row.slots, row.scheme, row.prof),
+                    row.golden, 0.05)
+            << row.slots << "-slot " << row.scheme
+            << " profile=" << row.prof;
+}
+
+// ---------------------------------------------------------------------
+// The instruction cache headline numbers ("The Instruction Cache"):
+// one-word fetch-back misses "over 20%"; fetching back two words
+// "almost halves the miss ratio"; the final design sees a 12% miss
+// rate and an average instruction fetch of 1.24 cycles.
+
+TEST(GoldenICache, SingleFetchMissesOverTwentyPercent)
+{
+    const auto &one =
+        statsAt(doubleFetchSweep(), {{"icache.fetchWords", "1"}});
+    EXPECT_GT(one.icacheMissRatio(), 0.20);
+    EXPECT_NEAR(one.icacheMissRatio(), 0.238, 0.03); // measured golden
+}
+
+TEST(GoldenICache, DoubleFetchAlmostHalvesTheMissRatio)
+{
+    const auto &one =
+        statsAt(doubleFetchSweep(), {{"icache.fetchWords", "1"}});
+    const auto &two =
+        statsAt(doubleFetchSweep(), {{"icache.fetchWords", "2"}});
+    EXPECT_LT(two.icacheMissRatio(), 0.65 * one.icacheMissRatio());
+}
+
+TEST(GoldenICache, DesignPointHeadlineNumbers)
+{
+    // The shipped geometry (4 sets x 8 ways x 16-word blocks, 2-cycle
+    // miss, double fetch) on the large-code programs. Paper: "a miss
+    // rate of 12%" and "an average instruction fetch takes 1.24
+    // cycles"; this workload suite measures 12.5% and 1.249.
+    const auto &design =
+        statsAt(doubleFetchSweep(), {{"icache.fetchWords", "2"}});
+    EXPECT_NEAR(design.icacheMissRatio(), 0.12, 0.02);
+    EXPECT_NEAR(design.avgFetchCost(), 1.24, 0.03);
+}
+
+TEST(GoldenICache, TwoCycleMissBeatsSmallBlocksAtThreeCycles)
+{
+    // The paper's service-time argument: tags in the datapath force
+    // 16-word blocks but buy a 2-cycle miss; small blocks with the tag
+    // store out of the datapath (3-cycle miss) lose despite their
+    // lower miss ratio.
+    SweepConfig cfg;
+    cfg.suite = "big-code";
+    cfg.grid.axes = {{"icache.geometry", {"16x8x4", "4x8x16"}},
+                     {"icache.missPenalty", {"2", "3"}}};
+    const auto r = runSweep(cfg);
+    const auto &design = statsAt(r, {{"icache.geometry", "4x8x16"},
+                                     {"icache.missPenalty", "2"}});
+    const auto &farTags = statsAt(r, {{"icache.geometry", "16x8x4"},
+                                      {"icache.missPenalty", "3"}});
+    // The block sizes are nearly tied on miss ratio (the sub-block
+    // scheme fills word by word, so block size barely changes what is
+    // resident; this suite measures 12.5% vs 13.5%, the small blocks
+    // in fact slightly *worse* because the second fetched-back word
+    // crosses a small block's boundary more often and is dropped)...
+    EXPECT_NEAR(farTags.icacheMissRatio(), design.icacheMissRatio(),
+                0.02);
+    // ...so the extra miss cycle decides it, by a wide margin
+    // (measured 1.249 vs 1.405 cycles per fetch).
+    EXPECT_LT(design.avgFetchCost() + 0.1, farTags.avgFetchCost());
+}

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Differential test: the timing ICache against a naive functional
+ * reference model.
+ *
+ * The production ICache earns its speed with a last-block fetch
+ * shortcut, shift/mask address splitting and pointer-stable block
+ * storage. The reference below has none of that: it is a direct
+ * transliteration of the cache's *specification* — per-set way lists
+ * searched linearly, division-free only by accident, no fast path.
+ * Every fetch must produce an identical IFetchResult (hit/miss, stall
+ * cycles, and the exact refill-word list) from both models, across
+ * randomized geometries, replacement policies, fetch-back widths and
+ * address streams. Any divergence means one of the two models
+ * mis-implements the sub-block scheme the paper describes.
+ */
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "memory/icache.hh"
+#include "memory/main_memory.hh"
+
+using namespace mipsx;
+using memory::ICache;
+using memory::ICacheConfig;
+using memory::IFetchResult;
+using memory::IReplPolicy;
+
+namespace
+{
+
+/**
+ * The reference model. State and transitions mirror the documented
+ * behaviour word for word:
+ *
+ *  - one use clock, incremented at the start of every fetch;
+ *  - a hit requires a way with a matching tag AND the word's valid bit;
+ *    it bumps the block's lastUse;
+ *  - a miss stalls for missPenalty and refills the missed word, plus —
+ *    with the double fetch — the next word of the same address space;
+ *  - the second word allocates a block only when it lands in the missed
+ *    word's block or allocCrossBlock is set;
+ *  - a new tag invalidates every word of the block (sub-block scheme);
+ *  - victims: any invalid way first (lowest index), else LRU / FIFO by
+ *    strict-minimum scan, or the xorshift32 sequence for Random;
+ *  - a disabled cache (or non-cacheable fetch) always misses, refills
+ *    one word over the data bus, and writes nothing into the array.
+ */
+class RefICache
+{
+  public:
+    explicit RefICache(const ICacheConfig &cfg) : cfg_(cfg)
+    {
+        ways_.assign(cfg_.sets, std::vector<Way>(cfg_.ways));
+        for (auto &set : ways_)
+            for (auto &w : set)
+                w.valid.assign(cfg_.blockWords, false);
+    }
+
+    IFetchResult
+    fetch(AddressSpace space, addr_t pc, bool cacheable)
+    {
+        ++clock_;
+        const std::uint64_t key = memory::physKey(space, pc);
+        const std::uint64_t blockAddr = key / cfg_.blockWords;
+        const unsigned offset = unsigned(key % cfg_.blockWords);
+        const unsigned set = unsigned(blockAddr % cfg_.sets);
+        const std::uint64_t tag = blockAddr / cfg_.sets;
+
+        IFetchResult res;
+        if (cfg_.enabled && cacheable) {
+            if (Way *w = lookup(set, tag); w && w->valid[offset]) {
+                w->lastUse = clock_;
+                return res; // hit
+            }
+        }
+
+        res.hit = false;
+        res.stallCycles = cfg_.missPenalty;
+        res.numRefills = 1;
+        res.refillKeys[0] = key;
+        if (!cfg_.enabled || !cacheable)
+            return res; // instruction-register path: no array write
+
+        fill(key, true);
+        if (cfg_.fetchWords == 2 &&
+            (key & 0xffffffffull) != 0xffffffffull) {
+            const std::uint64_t next = key + 1;
+            res.refillKeys[res.numRefills++] = next;
+            const bool sameBlock = next / cfg_.blockWords == blockAddr;
+            fill(next, sameBlock || cfg_.allocCrossBlock);
+        }
+        return res;
+    }
+
+  private:
+    struct Way
+    {
+        bool anyValid = false;
+        std::uint64_t tag = 0;
+        std::vector<bool> valid;
+        std::uint64_t lastUse = 0;
+        std::uint64_t allocTime = 0;
+    };
+
+    Way *
+    lookup(unsigned set, std::uint64_t tag)
+    {
+        for (auto &w : ways_[set])
+            if (w.anyValid && w.tag == tag)
+                return &w;
+        return nullptr;
+    }
+
+    unsigned
+    victim(unsigned set)
+    {
+        const auto &ws = ways_[set];
+        for (unsigned i = 0; i < ws.size(); ++i)
+            if (!ws[i].anyValid)
+                return i;
+        switch (cfg_.repl) {
+          case IReplPolicy::Lru: {
+            unsigned v = 0;
+            for (unsigned i = 1; i < ws.size(); ++i)
+                if (ws[i].lastUse < ws[v].lastUse)
+                    v = i;
+            return v;
+          }
+          case IReplPolicy::Fifo: {
+            unsigned v = 0;
+            for (unsigned i = 1; i < ws.size(); ++i)
+                if (ws[i].allocTime < ws[v].allocTime)
+                    v = i;
+            return v;
+          }
+          case IReplPolicy::Random:
+            rng_ ^= rng_ << 13;
+            rng_ ^= rng_ >> 17;
+            rng_ ^= rng_ << 5;
+            return rng_ % cfg_.ways;
+        }
+        return 0;
+    }
+
+    void
+    fill(std::uint64_t key, bool mayAllocate)
+    {
+        const std::uint64_t blockAddr = key / cfg_.blockWords;
+        const unsigned offset = unsigned(key % cfg_.blockWords);
+        const unsigned set = unsigned(blockAddr % cfg_.sets);
+        const std::uint64_t tag = blockAddr / cfg_.sets;
+
+        Way *w = lookup(set, tag);
+        if (!w) {
+            if (!mayAllocate)
+                return;
+            w = &ways_[set][victim(set)];
+            w->anyValid = true;
+            w->tag = tag;
+            w->valid.assign(cfg_.blockWords, false);
+            w->allocTime = clock_;
+        }
+        w->valid[offset] = true;
+        w->lastUse = clock_;
+    }
+
+    ICacheConfig cfg_;
+    std::vector<std::vector<Way>> ways_;
+    std::uint64_t clock_ = 0;
+    // Random replacement replays the production model's fixed-seed
+    // xorshift32, so even that policy diffs deterministically.
+    std::uint32_t rng_ = 0x2545f491;
+};
+
+/** One access of a generated stream. */
+struct Access
+{
+    AddressSpace space;
+    addr_t pc;
+    bool cacheable;
+};
+
+/**
+ * A stream mixing the shapes real fetch streams have: sequential runs
+ * (the fast path), short loops (hits and LRU traffic), far jumps
+ * (conflict misses in a tiny cache), a sprinkle of system-space and
+ * non-cacheable fetches, and runs at the very top of the address space
+ * (the double-fetch wrap guard).
+ */
+std::vector<Access>
+makeStream(std::mt19937 &rng, std::size_t n)
+{
+    std::vector<Access> out;
+    out.reserve(n);
+    // A small region so tiny geometries see plenty of conflicts.
+    std::uniform_int_distribution<addr_t> region(0, 1024);
+    std::uniform_int_distribution<int> kind(0, 99);
+    std::uniform_int_distribution<int> runLen(1, 40);
+    addr_t pc = region(rng);
+    AddressSpace space = AddressSpace::User;
+    while (out.size() < n) {
+        const int k = kind(rng);
+        if (k < 50) { // sequential run
+            for (int i = runLen(rng); i-- && out.size() < n; ++pc)
+                out.push_back({space, pc, true});
+        } else if (k < 75) { // loop: revisit a recent window twice
+            const addr_t top = pc;
+            const addr_t lo = top > 24u ? top - 24u : 0u;
+            for (int pass = 0; pass < 2; ++pass)
+                for (addr_t a = lo; a <= top && out.size() < n; ++a)
+                    out.push_back({space, a, true});
+        } else if (k < 90) { // far jump
+            pc = region(rng);
+            out.push_back({space, pc, true});
+        } else if (k < 94) { // space switch
+            space = space == AddressSpace::User ? AddressSpace::System
+                                                : AddressSpace::User;
+            out.push_back({space, pc, true});
+        } else if (k < 97) { // non-cacheable (coprocessor IR path)
+            out.push_back({space, pc, false});
+        } else { // top of the address space: the wrap guard
+            for (addr_t a = 0xfffffff8u; a != 0 && out.size() < n; ++a)
+                out.push_back({space, a, true});
+        }
+    }
+    return out;
+}
+
+void
+diffOneConfig(const ICacheConfig &cfg, std::mt19937 &rng, std::size_t n)
+{
+    ICache dut(cfg);
+    RefICache ref(cfg);
+    const auto stream = makeStream(rng, n);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const auto &a = stream[i];
+        const IFetchResult got = dut.fetch(a.space, a.pc, a.cacheable);
+        const IFetchResult want = ref.fetch(a.space, a.pc, a.cacheable);
+        ASSERT_EQ(got.hit, want.hit)
+            << "access " << i << " pc=0x" << std::hex << a.pc
+            << " sets=" << std::dec << cfg.sets << " ways=" << cfg.ways
+            << " block=" << cfg.blockWords;
+        ASSERT_EQ(got.stallCycles, want.stallCycles) << "access " << i;
+        ASSERT_EQ(got.numRefills, want.numRefills) << "access " << i;
+        for (unsigned w = 0; w < want.numRefills; ++w)
+            ASSERT_EQ(got.refillKeys[w], want.refillKeys[w])
+                << "access " << i << " refill " << w;
+    }
+}
+
+} // namespace
+
+TEST(ICacheDiff, PaperGeometry)
+{
+    std::mt19937 rng(0xC0FFEE);
+    diffOneConfig(ICacheConfig{}, rng, 20000);
+}
+
+TEST(ICacheDiff, RandomizedGeometries)
+{
+    std::mt19937 rng(12345);
+    const unsigned setsChoices[] = {1, 2, 4, 8};
+    const unsigned waysChoices[] = {1, 2, 3, 8};
+    const unsigned blockChoices[] = {1, 2, 4, 16};
+    const IReplPolicy repls[] = {IReplPolicy::Lru, IReplPolicy::Fifo,
+                                 IReplPolicy::Random};
+    std::uniform_int_distribution<int> pick4(0, 3);
+    std::uniform_int_distribution<int> pick3(0, 2);
+    std::uniform_int_distribution<int> coin(0, 1);
+
+    for (int trial = 0; trial < 60; ++trial) {
+        ICacheConfig cfg;
+        cfg.sets = setsChoices[pick4(rng)];
+        cfg.ways = waysChoices[pick4(rng)];
+        cfg.blockWords = blockChoices[pick4(rng)];
+        cfg.missPenalty = 1 + unsigned(pick3(rng));
+        cfg.fetchWords = 1 + unsigned(coin(rng));
+        cfg.allocCrossBlock = coin(rng) != 0;
+        cfg.repl = repls[pick3(rng)];
+        SCOPED_TRACE(::testing::Message()
+                     << "trial " << trial << ": " << cfg.sets << "x"
+                     << cfg.ways << "x" << cfg.blockWords << " fetch="
+                     << cfg.fetchWords << " cross="
+                     << cfg.allocCrossBlock << " repl="
+                     << int(cfg.repl));
+        diffOneConfig(cfg, rng, 4000);
+    }
+}
+
+TEST(ICacheDiff, DisabledCacheAlwaysMissesAndNeverFills)
+{
+    ICacheConfig cfg;
+    cfg.enabled = false;
+    std::mt19937 rng(7);
+    diffOneConfig(cfg, rng, 3000);
+
+    // Directly: every access misses with one bus refill.
+    ICache c(cfg);
+    for (addr_t pc = 0; pc < 64; ++pc) {
+        const auto r = c.fetch(AddressSpace::User, pc);
+        EXPECT_FALSE(r.hit);
+        EXPECT_EQ(r.numRefills, 1u);
+    }
+    EXPECT_EQ(c.misses(), 64u);
+}
+
+TEST(ICacheDiff, CrossBlockSecondWordPolicy)
+{
+    // Deterministic corner: a miss on a block's last word. The second
+    // fetched-back word falls in the NEXT block; without
+    // allocCrossBlock it must not allocate, with it it must.
+    for (const bool cross : {false, true}) {
+        ICacheConfig cfg;
+        cfg.allocCrossBlock = cross;
+        ICache c(cfg);
+        const addr_t lastWord = cfg.blockWords - 1;
+        auto r = c.fetch(AddressSpace::User, lastWord);
+        EXPECT_FALSE(r.hit);
+        ASSERT_EQ(r.numRefills, 2u);
+        EXPECT_EQ(r.refillKeys[1],
+                  memory::physKey(AddressSpace::User, lastWord + 1));
+        // Was word blockWords (first of block 1) actually cached?
+        r = c.fetch(AddressSpace::User, lastWord + 1);
+        EXPECT_EQ(r.hit, cross);
+    }
+}
+
+TEST(ICacheDiff, NoDoubleFetchPastEndOfSpace)
+{
+    // The wrap guard: at 0xffffffff there is no next instruction, and
+    // key+1 would alias word 0 of the other address space.
+    ICacheConfig cfg;
+    ICache c(cfg);
+    const auto r = c.fetch(AddressSpace::User, 0xffffffffu);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.numRefills, 1u);
+    EXPECT_EQ(r.refillKeys[0],
+              memory::physKey(AddressSpace::User, 0xffffffffu));
+}

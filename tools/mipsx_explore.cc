@@ -1,0 +1,250 @@
+/**
+ * @file
+ * mipsx-explore — the design-space exploration driver.
+ *
+ *     mipsx-explore --axis PARAM=V1,V2,... [--axis ...] [options]
+ *     mipsx-explore --grid sweep.json [options]
+ *
+ * Expands a declarative parameter grid over the machine configuration
+ * to its cartesian point set, runs the workload suite at every point
+ * through the deterministic worker pool, and writes the sweep as
+ * long-form CSV and/or nested JSON. The paper's tradeoff studies
+ * (Table 1, the icache double-fetch and service-time figures) are
+ * single invocations of this tool; see EXPERIMENTS.md "Running a
+ * sweep".
+ *
+ * Options:
+ *   --axis PARAM=V1,V2,...  add one grid axis (repeatable; order is
+ *                           sweep order, last axis varies fastest)
+ *   --set PARAM=VALUE       fix a parameter for every point (repeatable)
+ *   --grid FILE             read the sweep spec (suite/base/axes) from
+ *                           a JSON file; --axis/--set add to it
+ *   --suite NAME            full | big-code | pascal | lisp | fp
+ *   --jobs N                worker threads per point (default:
+ *                           MIPSX_BENCH_JOBS or hardware concurrency)
+ *   --csv FILE              write long-form CSV ("-" for stdout)
+ *   --json FILE             write nested JSON ("-" for stdout)
+ *   --quiet                 no per-point progress or summary table
+ *   --list-params           print every sweepable parameter and exit
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "explore/explore.hh"
+#include "stats/table.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--grid FILE] [--axis PARAM=V1,V2,...]... "
+        "[--set PARAM=V]...\n"
+        "       [--suite NAME] [--jobs N] [--csv FILE] [--json FILE]\n"
+        "       [--quiet] [--list-params]\n",
+        argv0);
+    std::exit(2);
+}
+
+void
+listParams()
+{
+    std::printf("sweepable parameters (--axis PARAM=V1,V2,...):\n\n");
+    for (const auto &p : explore::knownParams())
+        std::printf("  %-24s %s\n  %24s   values: %s\n", p.name, p.doc,
+                    "", p.values);
+    std::printf("\nsuites: ");
+    for (const auto &s : explore::suiteNames())
+        std::printf("%s ", s.c_str());
+    std::printf("\n");
+}
+
+/** Split "PARAM=V1,V2,..." into an axis. */
+explore::GridAxis
+parseAxisFlag(const std::string &arg)
+{
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal(strformat("--axis: want PARAM=V1,V2,... got '%s'",
+                        arg.c_str()));
+    explore::GridAxis axis;
+    axis.param = arg.substr(0, eq);
+    std::size_t start = eq + 1;
+    while (start <= arg.size()) {
+        const auto comma = arg.find(',', start);
+        const auto end = comma == std::string::npos ? arg.size() : comma;
+        axis.values.push_back(arg.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return axis;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    explore::SweepConfig cfg;
+    bool haveGrid = false;
+    bool suiteSet = false;
+    bool quiet = false;
+    std::string csvOut, jsonOut;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        auto flagValue = [&](const char *flag) -> std::string {
+            // --flag VALUE or --flag=VALUE
+            const std::string pfx = std::string(flag) + "=";
+            if (a == flag)
+                return next();
+            return a.substr(pfx.size());
+        };
+        auto matches = [&](const char *flag) {
+            return a == flag ||
+                   a.rfind(std::string(flag) + "=", 0) == 0;
+        };
+        if (a == "--list-params") {
+            listParams();
+            return 0;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (matches("--grid")) {
+            const explore::SweepConfig fileCfg =
+                explore::sweepFromJsonFile(flagValue("--grid"));
+            cfg.suite = fileCfg.suite;
+            cfg.base = fileCfg.base;
+            // Flags given before --grid stay; file axes append after.
+            for (const auto &ax : fileCfg.grid.axes)
+                cfg.grid.axes.push_back(ax);
+            haveGrid = true;
+        } else if (matches("--axis")) {
+            cfg.grid.axes.push_back(parseAxisFlag(flagValue("--axis")));
+            haveGrid = true;
+        } else if (matches("--set")) {
+            const auto kv = flagValue("--set");
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal(strformat("--set: want PARAM=VALUE, got '%s'",
+                                kv.c_str()));
+            cfg.base.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+        } else if (matches("--suite")) {
+            cfg.suite = flagValue("--suite");
+            suiteSet = true;
+        } else if (matches("--jobs")) {
+            cfg.runner.jobs = static_cast<unsigned>(
+                std::stoul(flagValue("--jobs")));
+        } else if (matches("--csv")) {
+            csvOut = flagValue("--csv");
+        } else if (matches("--json")) {
+            jsonOut = flagValue("--json");
+        } else {
+            usage(argv[0]);
+        }
+    }
+    (void)suiteSet;
+    if (!haveGrid) {
+        std::fprintf(stderr, "%s: no grid (use --axis or --grid)\n",
+                     argv[0]);
+        usage(argv[0]);
+    }
+    cfg.grid.validate();
+
+    const std::size_t npoints = cfg.grid.points();
+    const auto suite = explore::suiteByName(cfg.suite);
+    if (!quiet)
+        std::printf("sweep: %zu point%s x %zu workloads (suite "
+                    "'%s')\n",
+                    npoints, npoints == 1 ? "" : "s", suite.size(),
+                    cfg.suite.c_str());
+
+    const auto progress = [&](std::size_t idx, std::size_t total,
+                              const explore::SweepPointResult &p) {
+        if (quiet)
+            return;
+        std::string bindings;
+        for (const auto &[param, value] : p.point.bindings) {
+            if (!bindings.empty())
+                bindings += ' ';
+            bindings += param + "=" + value;
+        }
+        std::printf("  [%zu/%zu] %s: cpi %.3f, icache miss %.1f%%, "
+                    "%u failure%s\n",
+                    idx + 1, total, bindings.c_str(), p.stats.cpi(),
+                    100.0 * p.stats.icacheMissRatio(),
+                    p.stats.failures, p.stats.failures == 1 ? "" : "s");
+    };
+
+    const auto result = explore::runSweep(cfg, suite, progress);
+
+    if (!quiet) {
+        std::vector<std::string> header{"point"};
+        for (const auto &ax : result.grid.axes)
+            header.push_back(ax.param);
+        for (const char *m : {"cpi", "icache miss", "fetch cost",
+                              "cycles/branch"})
+            header.push_back(m);
+        stats::Table table("Sweep summary", header);
+        for (std::size_t i = 0; i < result.points.size(); ++i) {
+            const auto &p = result.points[i];
+            std::vector<std::string> row{std::to_string(i)};
+            for (const auto &[param, value] : p.point.bindings)
+                row.push_back(value);
+            row.push_back(stats::Table::num(p.stats.cpi(), 3));
+            row.push_back(stats::Table::pct(p.stats.icacheMissRatio()));
+            row.push_back(stats::Table::num(p.stats.avgFetchCost(), 3));
+            row.push_back(stats::Table::num(p.stats.cyclesPerBranch(), 3));
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+    }
+
+    if (!csvOut.empty()) {
+        if (csvOut == "-") {
+            explore::writeCsv(std::cout, result);
+        } else if (explore::writeCsvFile(csvOut, result)) {
+            if (!quiet)
+                std::printf("wrote %s\n", csvOut.c_str());
+        } else {
+            return 1;
+        }
+    }
+    if (!jsonOut.empty()) {
+        if (jsonOut == "-") {
+            explore::writeJson(std::cout, result);
+        } else if (explore::writeJsonFile(jsonOut, result)) {
+            if (!quiet)
+                std::printf("wrote %s\n", jsonOut.c_str());
+        } else {
+            return 1;
+        }
+    }
+
+    const unsigned failures = result.totalFailures();
+    if (failures) {
+        std::fprintf(stderr, "mipsx-explore: %u workload failure%s "
+                     "across the sweep\n",
+                     failures, failures == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "mipsx-explore: %s\n", e.what());
+    return 1;
+}
