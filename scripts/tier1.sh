@@ -1,16 +1,29 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Tier-1 verification: the default build plus the full test suite, then
-# the parallel-determinism test again under ThreadSanitizer so data
-# races in the suite runner cannot slip through.
+# smoke runs of every CLI tool (trace/metrics export, an explore sweep,
+# a fuzz session — each checked for worker-count determinism), then the
+# parallel-determinism test again under ThreadSanitizer so data races
+# in the suite runner cannot slip through.
+#
+# This script is the single entry point CI calls (.github/workflows),
+# so local and CI verification cannot drift. Knobs, all via env:
+#   MIPSX_BUILD_TYPE    CMake build type (default RelWithDebInfo)
+#   MIPSX_CMAKE_FLAGS   extra -D flags for the main build
+#   MIPSX_SKIP_TSAN=1   skip the ThreadSanitizer stage (the sanitizer
+#                       CI jobs build with ASan/UBSan, which cannot be
+#                       combined with TSan in one process)
 #
 # Usage: scripts/tier1.sh [build-dir]
-set -eu
+set -euo pipefail
 
-repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+repo=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-"$repo/build"}
+build_type=${MIPSX_BUILD_TYPE:-RelWithDebInfo}
 
-echo "== tier-1: build + ctest ($build) =="
-cmake -B "$build" -S "$repo"
+echo "== tier-1: build + ctest ($build, $build_type) =="
+# shellcheck disable=SC2086  # MIPSX_CMAKE_FLAGS is intentionally split
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE="$build_type" \
+    ${MIPSX_CMAKE_FLAGS:-}
 cmake --build "$build" -j
 (cd "$build" && ctest --output-on-failure -j)
 
@@ -62,10 +75,33 @@ print("explore sweep smoke OK: %d points, %d metrics each"
       % (len(sweep["points"]), len(sweep["points"][0]["metrics"])))
 PYEOF
 
-echo "== tier-1: ThreadSanitizer on the parallel suite runner =="
-tsan="$repo/build-tsan"
-cmake -B "$tsan" -S "$repo" -DMIPSX_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$tsan" -j --target test_bench_parallel
-"$tsan/tests/test_bench_parallel"
+echo "== tier-1: mipsx-fuzz determinism smoke run =="
+# A short fuzz session must pass clean (any divergence is a real bug:
+# the exit status is nonzero) and reproduce byte-identically at
+# different worker counts — .repro files, metrics and logs alike.
+mkdir "$smoke/fuzz1" "$smoke/fuzz4"
+(cd "$smoke/fuzz1" && MIPSX_BENCH_JOBS=1 "$build/tools/mipsx-fuzz" \
+    --seed 2026 --runs 300 --metrics fuzz-metrics.json > fuzz.log)
+(cd "$smoke/fuzz4" && MIPSX_BENCH_JOBS=4 "$build/tools/mipsx-fuzz" \
+    --seed 2026 --runs 300 --metrics fuzz-metrics.json > fuzz.log)
+diff -r "$smoke/fuzz1" "$smoke/fuzz4"
+python3 - "$smoke/fuzz1/fuzz-metrics.json" << 'PYEOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["fuzz.programs"] == 300
+assert m["fuzz.divergences"] == 0, "fuzz divergences: %r" % m
+assert m["fuzz.retires"] > 0
+print("fuzz smoke OK: %d programs, %d retires compared"
+      % (m["fuzz.programs"], m["fuzz.retires"]))
+PYEOF
+
+if [ "${MIPSX_SKIP_TSAN:-0}" != "1" ]; then
+    echo "== tier-1: ThreadSanitizer on the parallel suite runner =="
+    tsan="$repo/build-tsan"
+    cmake -B "$tsan" -S "$repo" -DMIPSX_TSAN=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$tsan" -j --target test_bench_parallel
+    "$tsan/tests/test_bench_parallel"
+fi
 
 echo "tier-1 OK"

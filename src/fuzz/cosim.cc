@@ -1,0 +1,279 @@
+#include "fuzz/cosim.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "coproc/fpu.hh"
+#include "isa/disasm.hh"
+#include "trace/export.hh"
+
+namespace mipsx::fuzz
+{
+
+namespace
+{
+
+struct Step
+{
+    addr_t pc = 0;
+    bool squashed = false;
+    word_t raw = 0;    ///< diagnostic only, not compared
+    cycle_t cycle = 0; ///< retire cycle (pipeline side only)
+
+    bool
+    operator==(const Step &o) const
+    {
+        return pc == o.pc && squashed == o.squashed;
+    }
+};
+
+std::string
+stepLine(const Step &s)
+{
+    return strformat("pc=%05x  %-30s%s", s.pc,
+                     isa::disassemble(s.raw, s.pc, true).c_str(),
+                     s.squashed ? "  [squashed]" : "");
+}
+
+/** ISS side: fresh memory, delayed semantics, FPU attached. */
+struct IssRun
+{
+    memory::MainMemory mem;
+    std::vector<Step> stream;
+    sim::IssStop reason = sim::IssStop::Running;
+    coproc::Fpu *fpu = nullptr;
+    std::array<word_t, numGprs> gprs{};
+    word_t md = 0;
+    std::unique_ptr<sim::Iss> iss;
+};
+
+void
+runIssSide(const assembler::Program &prog, const CosimOptions &opts,
+           IssRun &out)
+{
+    out.mem.loadProgram(prog);
+    sim::IssConfig cfg;
+    cfg.mode = sim::IssMode::Delayed;
+    cfg.branchDelay = opts.issBranchDelayOverride
+        ? opts.issBranchDelayOverride
+        : opts.machine.cpu.branchDelay;
+    cfg.maxSteps = opts.retireLimit + 1;
+    out.iss = std::make_unique<sim::Iss>(cfg, out.mem);
+    auto fpu = std::make_unique<coproc::Fpu>();
+    out.fpu = fpu.get();
+    out.iss->attachCoprocessor(1, std::move(fpu));
+    out.iss->reset(prog.entry);
+    out.iss->setGpr(isa::reg::sp, opts.machine.stackTop);
+    while (!out.iss->stopped() && out.stream.size() < opts.retireLimit) {
+        out.stream.push_back({out.iss->pc(), out.iss->nextIsSquashed(),
+                              out.mem.read(AddressSpace::User,
+                                           out.iss->pc()),
+                              0});
+        out.iss->step();
+    }
+    out.reason = out.iss->stopReason();
+    for (unsigned r = 0; r < numGprs; ++r)
+        out.gprs[r] = out.iss->gpr(r);
+    out.md = out.iss->md();
+}
+
+/** Pipeline side: a Machine under the configured point. */
+struct PipeRun
+{
+    std::unique_ptr<sim::Machine> machine;
+    std::vector<Step> stream;
+    core::RunResult result;
+};
+
+void
+runPipeSide(const assembler::Program &prog, const CosimOptions &opts,
+            PipeRun &out)
+{
+    sim::MachineConfig cfg = opts.machine;
+    cfg.cpu.maxCycles = opts.maxCycles;
+    out.machine = std::make_unique<sim::Machine>(cfg);
+    out.machine->memory().setPredecodeEnabled(opts.predecode);
+    out.machine->load(prog);
+    const std::size_t limit = opts.retireLimit;
+    auto &stream = out.stream;
+    out.machine->cpu().setRetireHook(
+        [&stream, limit](const core::Cpu::RetireEvent &ev) {
+            if (stream.size() < limit)
+                stream.push_back({ev.pc, ev.squashed, ev.raw, ev.cycle});
+        });
+    out.result = out.machine->run();
+}
+
+/**
+ * Re-run the pipeline with tracing on, stopping at the diverging
+ * retire's cycle, so the event ring holds what led to the divergence
+ * (same recipe as the cosim test's reporter).
+ */
+std::string
+divergenceReport(const assembler::Program &prog, const CosimOptions &opts,
+                 const std::vector<Step> &iss,
+                 const std::vector<Step> &pipe, std::size_t i)
+{
+    std::ostringstream os;
+    os << "retire streams diverge at step " << i << "\n"
+       << "  iss      : " << stepLine(iss[i]) << "\n"
+       << "  pipeline : " << stepLine(pipe[i]) << "\n";
+    if (!opts.buildReport)
+        return os.str();
+    try {
+        sim::MachineConfig cfg = opts.machine;
+        cfg.traceDepth = 48;
+        cfg.cpu.maxCycles = pipe[i].cycle + 1;
+        sim::Machine machine{cfg};
+        machine.memory().setPredecodeEnabled(opts.predecode);
+        machine.load(prog);
+        machine.run();
+        os << "  pipeline events leading up to the divergence:\n";
+        for (const auto &e : machine.trace().events())
+            os << "    " << trace::formatEvent(e) << "\n";
+    } catch (const SimError &e) {
+        os << "  (trace re-run failed: " << e.what() << ")\n";
+    }
+    return os.str();
+}
+
+/** Compare final architectural state; empty string when equal. */
+std::string
+compareFinalState(const assembler::Program &prog, const IssRun &issr,
+                  const PipeRun &piper)
+{
+    std::ostringstream os;
+    const auto &cpu = piper.machine->cpu();
+    for (unsigned r = 1; r < numGprs; ++r) {
+        if (issr.gprs[r] != cpu.gpr(r))
+            os << strformat("  %s: iss %08x pipeline %08x\n",
+                            isa::regName(r).c_str(), issr.gprs[r],
+                            cpu.gpr(r));
+    }
+    if (issr.md != cpu.md())
+        os << strformat("  md: iss %08x pipeline %08x\n", issr.md,
+                        cpu.md());
+    auto &issFpu = *issr.fpu;
+    auto &pipeFpu = piper.machine->fpu();
+    for (unsigned f = 0; f < 32; ++f) {
+        if (issFpu.regBits(f) != pipeFpu.regBits(f))
+            os << strformat("  f%u: iss %08x pipeline %08x\n", f,
+                            issFpu.regBits(f), pipeFpu.regBits(f));
+    }
+    if (issFpu.status() != pipeFpu.status())
+        os << strformat("  fpu status: iss %x pipeline %x\n",
+                        issFpu.status(), pipeFpu.status());
+    for (const auto &sec : prog.sections) {
+        for (addr_t a = sec.base; a < sec.end(); ++a) {
+            const word_t iw = issr.mem.read(sec.space, a);
+            const word_t pw = piper.machine->readWord(sec.space, a);
+            if (iw != pw)
+                os << strformat("  [%s:%05x]: iss %08x pipeline %08x\n",
+                                sec.name.c_str(), a, iw, pw);
+        }
+    }
+    if (os.str().empty())
+        return {};
+    return "final architectural state differs:\n" + os.str();
+}
+
+} // namespace
+
+const char *
+cosimOutcomeName(CosimOutcome o)
+{
+    switch (o) {
+      case CosimOutcome::Match:
+        return "match";
+      case CosimOutcome::Divergence:
+        return "divergence";
+      case CosimOutcome::Inconclusive:
+        return "inconclusive";
+    }
+    return "?";
+}
+
+CosimResult
+runCosim(const assembler::Program &prog, const CosimOptions &opts)
+{
+    CosimResult res;
+
+    IssRun issr;
+    PipeRun piper;
+    try {
+        runIssSide(prog, opts, issr);
+        runPipeSide(prog, opts, piper);
+    } catch (const SimError &e) {
+        res.outcome = CosimOutcome::Inconclusive;
+        res.report = strformat("model fatal: %s", e.what());
+        return res;
+    }
+
+    const auto &iss = issr.stream;
+    const auto &pipe = piper.stream;
+    const std::size_t n = std::min(iss.size(), pipe.size());
+    std::size_t i = 0;
+    while (i < n && iss[i] == pipe[i])
+        ++i;
+    res.retires = i;
+
+    if (i < n) {
+        res.outcome = CosimOutcome::Divergence;
+        res.divergeStep = i;
+        res.report = divergenceReport(prog, opts, iss, pipe, i);
+        return res;
+    }
+
+    const bool issHalted = issr.reason == sim::IssStop::Halt;
+    const bool pipeHalted = piper.result.halted();
+    if (!issHalted || !pipeHalted) {
+        // Neither stream disagreed where both retired; if either side
+        // ran out of budget the program is not comparable. A non-halt
+        // stop (fail trap, invalid instruction, exception) on just one
+        // side *with* a clean halt on the other is a real divergence.
+        const bool issBudget = issr.reason == sim::IssStop::MaxSteps ||
+            iss.size() >= opts.retireLimit;
+        const bool pipeBudget =
+            piper.result.reason == core::StopReason::MaxCycles ||
+            pipe.size() >= opts.retireLimit;
+        if (issBudget || pipeBudget) {
+            res.outcome = CosimOutcome::Inconclusive;
+            res.report = strformat(
+                "budget exhausted (iss: %u retires, pipeline: %u)",
+                static_cast<unsigned>(iss.size()),
+                static_cast<unsigned>(pipe.size()));
+            return res;
+        }
+        res.outcome = CosimOutcome::Divergence;
+        res.divergeStep = i;
+        res.report = strformat("stop reasons differ: iss %u, pipeline %s",
+                               static_cast<unsigned>(issr.reason),
+                               core::stopReasonName(piper.result.reason));
+        return res;
+    }
+
+    if (iss.size() != pipe.size()) {
+        res.outcome = CosimOutcome::Divergence;
+        res.divergeStep = n;
+        res.report = strformat(
+            "both halted but retire counts differ: iss %u, pipeline %u",
+            static_cast<unsigned>(iss.size()),
+            static_cast<unsigned>(pipe.size()));
+        return res;
+    }
+
+    auto stateDiff = compareFinalState(prog, issr, piper);
+    if (!stateDiff.empty()) {
+        res.outcome = CosimOutcome::Divergence;
+        res.divergeStep = n;
+        res.report = std::move(stateDiff);
+        return res;
+    }
+
+    res.outcome = CosimOutcome::Match;
+    return res;
+}
+
+} // namespace mipsx::fuzz

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Differential co-simulation harness for the fuzzer: run one program on
+ * the delayed-semantics ISS (golden) and the cycle-accurate pipeline in
+ * lockstep, compare the retire streams (pc + squash decision, the same
+ * check tests/test_cosim.cc established) and then the final
+ * architectural state (GPRs, MD, FPU registers, every loaded section's
+ * memory words).
+ *
+ * Outcomes are three-valued on purpose: shrinking replaces instructions
+ * with nops, which can produce programs that no longer terminate inside
+ * the budget (e.g. a nopped loop-counter init) or that trip a model
+ * fatal; those are Inconclusive — neither a pass nor a reproduction —
+ * and the shrinker rejects such candidates.
+ */
+
+#ifndef MIPSX_FUZZ_COSIM_HH
+#define MIPSX_FUZZ_COSIM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "assembler/program.hh"
+#include "sim/machine.hh"
+
+namespace mipsx::fuzz
+{
+
+/** Cosim configuration. */
+struct CosimOptions
+{
+    /** Timing-side machine configuration (explore params apply here). */
+    sim::MachineConfig machine{};
+    /** Predecode fast path on the timing side (SMC invalidation test). */
+    bool predecode = true;
+    /** Retire-stream comparison budget per side. */
+    std::size_t retireLimit = 100'000;
+    /** Pipeline cycle budget (overrides machine.cpu.maxCycles). */
+    cycle_t maxCycles = 2'000'000;
+    /**
+     * Testing hook: force the ISS branch delay instead of mirroring the
+     * machine's. A planted mismatch (1 vs the machine's 2) makes every
+     * taken branch diverge — how the shrinker tests plant a known bug.
+     * 0 = mirror the machine configuration.
+     */
+    unsigned issBranchDelayOverride = 0;
+    /**
+     * Build the full divergence report (which re-runs the pipeline
+     * with tracing on). The shrinker turns this off for candidate
+     * runs — only the outcome matters there — and back on for the
+     * final reproducer.
+     */
+    bool buildReport = true;
+};
+
+/** What a cosim run concluded. */
+enum class CosimOutcome : std::uint8_t
+{
+    Match = 0,    ///< both halted; streams and final state agree
+    Divergence,   ///< a reproducible disagreement
+    Inconclusive, ///< budget exhausted or model fatal; not comparable
+};
+
+const char *cosimOutcomeName(CosimOutcome o);
+
+/** Result of one differential run. */
+struct CosimResult
+{
+    CosimOutcome outcome = CosimOutcome::Inconclusive;
+    /** First diverging retire index (stream divergences only). */
+    std::size_t divergeStep = 0;
+    /** Retires compared on the common prefix. */
+    std::uint64_t retires = 0;
+    /** Human-readable explanation for Divergence / Inconclusive. */
+    std::string report;
+};
+
+/** Run @p prog on both models and compare. Never throws SimError. */
+CosimResult runCosim(const assembler::Program &prog,
+                     const CosimOptions &opts);
+
+} // namespace mipsx::fuzz
+
+#endif // MIPSX_FUZZ_COSIM_HH

@@ -1,0 +1,466 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "coproc/fpu.hh"
+#include "isa/encode.hh"
+
+namespace mipsx::fuzz
+{
+
+namespace
+{
+
+// Register conventions the generator reserves for itself. Bodies may
+// read any register but only ever write the dest pool, so the base
+// registers and the loop counter stay exact by construction.
+constexpr unsigned rScratch = 26; ///< data/scratch base address
+constexpr unsigned rText = 27;    ///< text base address (SMC stores)
+constexpr unsigned rDonor = 28;   ///< donor instruction word
+constexpr unsigned rCounter = 20; ///< loop counter
+
+constexpr unsigned destPool[] = {1,  2,  3,  4,  5,  6,  7,  8, 9,
+                                 10, 11, 12, 13, 14, 15, 24, 25};
+constexpr unsigned srcPool[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,
+                                9,  10, 11, 12, 13, 14, 15, 24, 25,
+                                rScratch, rText, rDonor};
+
+/** First scratch word offset inside the data section (0..7 = donors). */
+constexpr unsigned scratchFirst = 8;
+constexpr unsigned scratchWords = 56;
+
+using namespace isa;
+
+class Generator
+{
+  public:
+    Generator(const GeneratorConfig &config)
+        : cfg_(config), rng_(config.seed),
+          loopBudget_(config.loopIterations)
+    {}
+
+    assembler::Program run();
+
+  private:
+    unsigned dest() { return destPool[rng_.below(std::size(destPool))]; }
+    unsigned src() { return srcPool[rng_.below(std::size(srcPool))]; }
+    unsigned scratchOff()
+    {
+        return scratchFirst + rng_.below(scratchWords);
+    }
+
+    void emit(word_t w) { text_.push_back(w); }
+
+    void emitSimple();
+    void emitAlu();
+    void emitMem();
+    void emitCoproc();
+    void emitBranchBlock();
+    void emitJumpBlock();
+    void emitLoopBlock();
+    void emitSmcBlock();
+    SquashType pickSquash();
+
+    const GeneratorConfig &cfg_;
+    Rng rng_;
+    unsigned loopBudget_;
+    std::vector<word_t> text_;
+};
+
+SquashType
+Generator::pickSquash()
+{
+    if (!rng_.chance(cfg_.weights.squash, 100))
+        return SquashType::NoSquash;
+    return rng_.below(2) ? SquashType::SquashTaken
+                         : SquashType::SquashNotTaken;
+}
+
+void
+Generator::emitAlu()
+{
+    switch (rng_.below(16)) {
+      case 0:
+        emit(encodeImm(ImmOp::Addi, src(), dest(),
+                       static_cast<std::int32_t>(rng_.below(60001)) -
+                           30000));
+        break;
+      case 1:
+        emit(encodeImm(ImmOp::Lih, 0, dest(),
+                       static_cast<std::int32_t>(rng_.below(120001)) -
+                           60000));
+        break;
+      case 2:
+        emit(encodeCompute(ComputeOp::Add, src(), src(), dest()));
+        break;
+      case 3:
+        emit(encodeCompute(ComputeOp::Sub, src(), src(), dest()));
+        break;
+      case 4:
+        emit(encodeCompute(ComputeOp::And, src(), src(), dest()));
+        break;
+      case 5:
+        emit(encodeCompute(ComputeOp::Or, src(), src(), dest()));
+        break;
+      case 6:
+        emit(encodeCompute(ComputeOp::Xor, src(), src(), dest()));
+        break;
+      case 7:
+        emit(encodeCompute(ComputeOp::Bic, src(), src(), dest()));
+        break;
+      case 8:
+        emit(encodeShift(ComputeOp::Sll, src(), dest(), rng_.below(32)));
+        break;
+      case 9:
+        emit(encodeShift(ComputeOp::Srl, src(), dest(), rng_.below(32)));
+        break;
+      case 10:
+        emit(encodeShift(ComputeOp::Sra, src(), dest(), rng_.below(32)));
+        break;
+      case 11:
+        emit(encodeCompute(ComputeOp::Fsh, src(), src(), dest(),
+                           rng_.below(32)));
+        break;
+      case 12:
+        emit(encodeCompute(ComputeOp::Mstep, src(), src(), dest()));
+        break;
+      case 13:
+        emit(encodeCompute(ComputeOp::Dstep, src(), src(), dest()));
+        break;
+      case 14:
+        emit(encodeMovSpecial(ComputeOp::Movtos, SpecialReg::Md, src()));
+        break;
+      default:
+        emit(encodeMovSpecial(ComputeOp::Movfrs, SpecialReg::Md, dest()));
+        break;
+    }
+}
+
+void
+Generator::emitMem()
+{
+    switch (rng_.below(5)) {
+      case 0:
+        emit(encodeMem(MemOp::Ld, rScratch, dest(), scratchOff()));
+        break;
+      case 1:
+        emit(encodeMem(MemOp::Ldt, rScratch, dest(), scratchOff()));
+        break;
+      case 2:
+        emit(encodeMem(MemOp::St, rScratch, src(), scratchOff()));
+        break;
+      case 3:
+        emit(encodeMem(MemOp::Ldf, rScratch, rng_.below(8), scratchOff()));
+        break;
+      default:
+        emit(encodeMem(MemOp::Stf, rScratch, rng_.below(8), scratchOff()));
+        break;
+    }
+}
+
+void
+Generator::emitCoproc()
+{
+    switch (rng_.below(4)) {
+      case 0:
+        emit(encodeCop(MemOp::Aluc, 1,
+                       coproc::fpuAluOp(
+                           static_cast<coproc::FpuOp>(rng_.below(12)),
+                           rng_.below(8), rng_.below(8)),
+                       0));
+        break;
+      case 1:
+        emit(encodeCop(MemOp::Movfrc, 1, coproc::fpuRegOp(rng_.below(8)),
+                       dest()));
+        break;
+      case 2:
+        emit(encodeCop(MemOp::Movfrc, 1, coproc::fpuStatusOp(), dest()));
+        break;
+      default:
+        emit(encodeCop(MemOp::Movtoc, 1, coproc::fpuRegOp(rng_.below(8)),
+                       src()));
+        break;
+    }
+}
+
+/** One straight-line instruction: never control flow, never SMC. */
+void
+Generator::emitSimple()
+{
+    const auto &w = cfg_.weights;
+    const unsigned alu = std::max(w.alu, 1u);
+    const unsigned total = alu + w.mem + w.coproc;
+    const unsigned pick = rng_.below(total);
+    if (pick < alu)
+        emitAlu();
+    else if (pick < alu + w.mem)
+        emitMem();
+    else
+        emitCoproc();
+}
+
+/**
+ * A forward compare-and-branch: two delay slots, then a short
+ * fall-through region the taken path skips. Target = PC + 1 + disp.
+ */
+void
+Generator::emitBranchBlock()
+{
+    const unsigned k = 1 + rng_.below(5);
+    const auto cond = static_cast<BranchCond>(rng_.below(7));
+    emit(encodeBranch(cond, pickSquash(), src(), src(),
+                      static_cast<std::int32_t>(2 + k)));
+    emitSimple();
+    emitSimple();
+    for (unsigned i = 0; i < k; ++i)
+        emitSimple();
+}
+
+void
+Generator::emitJumpBlock()
+{
+    const unsigned k = rng_.below(4);
+    if (rng_.below(2)) {
+        emit(encodeJump(ImmOp::Jmp, 0, static_cast<std::int32_t>(2 + k)));
+    } else {
+        const unsigned rd = rng_.below(3) ? dest() : reg::ra;
+        emit(encodeJump(ImmOp::Jal, rd, static_cast<std::int32_t>(2 + k)));
+    }
+    emitSimple();
+    emitSimple();
+    for (unsigned i = 0; i < k; ++i)
+        emitSimple();
+}
+
+/**
+ * A counted loop: the only backward edges in generated code. The
+ * counter register is outside every write pool, its initial value is
+ * drawn from the global iteration budget, and the body is pure
+ * straight-line code (plus at most one self-modifying patch), so the
+ * loop always terminates. The back-edge branch may squash.
+ */
+void
+Generator::emitLoopBlock()
+{
+    if (loopBudget_ < 1)
+        return;
+    const unsigned n = 1 + rng_.below(std::min(6u, loopBudget_));
+    loopBudget_ -= n;
+    emit(encodeImm(ImmOp::Addi, 0, rCounter,
+                   static_cast<std::int32_t>(n)));
+    const std::size_t loopStart = text_.size();
+
+    // Optional in-loop SMC: a nop patch site at the loop head, a store
+    // later in the body that rewrites it with the donor word. The first
+    // iteration executes the nop, later iterations the donor — only
+    // correct if both models invalidate the predecoded word.
+    const bool smc = cfg_.weights.smc > 0 && rng_.chance(1, 3);
+    std::size_t siteIdx = 0;
+    if (smc) {
+        siteIdx = text_.size();
+        emit(encodeNop());
+    }
+    const unsigned m1 = 1 + rng_.below(4);
+    for (unsigned i = 0; i < m1; ++i)
+        emitSimple();
+    if (smc)
+        emit(encodeMem(MemOp::St, rText, rDonor,
+                       static_cast<std::int32_t>(siteIdx)));
+    const unsigned m2 = rng_.below(4);
+    for (unsigned i = 0; i < m2; ++i)
+        emitSimple();
+
+    emit(encodeImm(ImmOp::Addi, rCounter, rCounter, -1));
+    const std::int32_t disp = static_cast<std::int32_t>(loopStart) -
+        static_cast<std::int32_t>(text_.size() + 1);
+    emit(encodeBranch(BranchCond::Ne, pickSquash(), rCounter, 0, disp));
+    emitSimple();
+    emitSimple();
+}
+
+/**
+ * Straight-line SMC: store the donor word over a nop site far enough
+ * ahead that the write's MEM cycle completes before the site's fetch
+ * (the pipeline gives no closer coherence window — neither did the
+ * real machine).
+ */
+void
+Generator::emitSmcBlock()
+{
+    const unsigned gap = 5 + rng_.below(4);
+    const std::size_t siteIdx = text_.size() + 1 + gap;
+    emit(encodeMem(MemOp::St, rText, rDonor,
+                   static_cast<std::int32_t>(siteIdx)));
+    for (unsigned i = 0; i < gap; ++i)
+        emitSimple();
+    emit(encodeNop()); // the patch site, at siteIdx
+}
+
+assembler::Program
+Generator::run()
+{
+    const addr_t textBase = assembler::defaultTextBase;
+    const addr_t dataBase = assembler::defaultDataBase;
+
+    // Prologue: base registers, the donor word, FPU and GPR seeds.
+    emit(encodeImm(ImmOp::Addi, 0, rScratch,
+                   static_cast<std::int32_t>(dataBase)));
+    emit(encodeImm(ImmOp::Addi, 0, rText,
+                   static_cast<std::int32_t>(textBase)));
+    emit(encodeMem(MemOp::Ld, rScratch, rDonor, 0));
+    for (unsigned f = 0; f < 4; ++f)
+        emit(encodeMem(MemOp::Ldf, rScratch, f,
+                       static_cast<std::int32_t>(scratchFirst + f)));
+    for (unsigned r = 1; r <= 8; ++r) {
+        emit(encodeImm(ImmOp::Lih, 0, r,
+                       static_cast<std::int32_t>(rng_.below(120001)) -
+                           60000));
+        emit(encodeImm(ImmOp::Addi, r, r,
+                       static_cast<std::int32_t>(rng_.below(60001)) -
+                           30000));
+    }
+
+    // Body: weighted blocks until the static budget runs out.
+    const auto &w = cfg_.weights;
+    const unsigned total = std::max(
+        w.alu + w.mem + w.coproc + w.branch + w.jump + w.smc + w.loop, 1u);
+    while (text_.size() < cfg_.maxInsns) {
+        const unsigned pick = rng_.below(total);
+        if (pick < w.alu + w.mem + w.coproc)
+            emitSimple();
+        else if (pick < w.alu + w.mem + w.coproc + w.branch)
+            emitBranchBlock();
+        else if (pick < w.alu + w.mem + w.coproc + w.branch + w.jump)
+            emitJumpBlock();
+        else if (pick <
+                 w.alu + w.mem + w.coproc + w.branch + w.jump + w.smc)
+            emitSmcBlock();
+        else
+            emitLoopBlock();
+    }
+    emit(encodeTrap(trapCodeHalt));
+
+    // Data: donor words first, then the randomized scratch region.
+    std::vector<word_t> data(scratchFirst + scratchWords, 0);
+    data[0] = encodeImm(ImmOp::Addi, 24, 24, 1); // the donor
+    for (unsigned i = 1; i < scratchFirst; ++i)
+        data[i] = encodeImm(ImmOp::Addi, 1 + i, 1 + i,
+                            static_cast<std::int32_t>(i));
+    for (unsigned i = 0; i < scratchWords; ++i)
+        data[scratchFirst + i] = static_cast<word_t>(rng_.next());
+
+    assembler::Program prog;
+    assembler::Section textSec;
+    textSec.name = ".text";
+    textSec.space = AddressSpace::User;
+    textSec.base = textBase;
+    textSec.isText = true;
+    textSec.words = std::move(text_);
+    textSec.slots.assign(textSec.words.size(), 0);
+    assembler::Section dataSec;
+    dataSec.name = ".data";
+    dataSec.space = AddressSpace::User;
+    dataSec.base = dataBase;
+    dataSec.words = std::move(data);
+    prog.sections.push_back(std::move(textSec));
+    prog.sections.push_back(std::move(dataSec));
+    prog.entry = textBase;
+    prog.entrySpace = AddressSpace::User;
+    prog.symbols["_start"] = textBase;
+    return prog;
+}
+
+} // namespace
+
+std::uint64_t
+deriveSeed(std::uint64_t session, std::uint64_t index)
+{
+    Rng r(session + (index + 1) * 0xd1342543de82ef95ull);
+    return r.next();
+}
+
+GenWeights
+parseWeights(const std::string &spec)
+{
+    GenWeights w;
+    std::size_t start = 0;
+    while (start < spec.size()) {
+        const auto comma = spec.find(',', start);
+        const auto end = comma == std::string::npos ? spec.size() : comma;
+        const std::string item = spec.substr(start, end - start);
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal(strformat("weights: want KEY=N, got '%s'",
+                            item.c_str()));
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        char *endp = nullptr;
+        const unsigned long v = std::strtoul(val.c_str(), &endp, 10);
+        if (val.empty() || *endp != '\0' || val[0] == '-' || v > 1000)
+            fatal(strformat("weights: bad value '%s' for '%s' "
+                            "(want 0..1000)",
+                            val.c_str(), key.c_str()));
+        const unsigned u = static_cast<unsigned>(v);
+        if (key == "alu")
+            w.alu = u;
+        else if (key == "mem")
+            w.mem = u;
+        else if (key == "branch")
+            w.branch = u;
+        else if (key == "jump")
+            w.jump = u;
+        else if (key == "coproc")
+            w.coproc = u;
+        else if (key == "smc")
+            w.smc = u;
+        else if (key == "loop")
+            w.loop = u;
+        else if (key == "squash") {
+            if (u > 100)
+                fatal("weights: squash is a percentage (0..100)");
+            w.squash = u;
+        } else {
+            fatal(strformat("weights: unknown key '%s' (alu, mem, "
+                            "branch, jump, coproc, smc, loop, squash)",
+                            key.c_str()));
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return w;
+}
+
+std::string
+formatWeights(const GenWeights &w)
+{
+    return strformat("alu=%u,mem=%u,branch=%u,jump=%u,coproc=%u,smc=%u,"
+                     "loop=%u,squash=%u",
+                     w.alu, w.mem, w.branch, w.jump, w.coproc, w.smc,
+                     w.loop, w.squash);
+}
+
+assembler::Program
+generate(const GeneratorConfig &config)
+{
+    return Generator(config).run();
+}
+
+unsigned
+nonNopTextWords(const assembler::Program &prog)
+{
+    unsigned n = 0;
+    for (const auto &sec : prog.sections) {
+        if (!sec.isText)
+            continue;
+        for (const word_t w : sec.words)
+            if (w != isa::nopWord)
+                ++n;
+    }
+    return n;
+}
+
+} // namespace mipsx::fuzz

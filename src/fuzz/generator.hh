@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Seeded random MIPS-X program generator for differential fuzzing.
+ *
+ * Programs are *valid-by-construction*: every emitted word is produced
+ * by the isa encoders (so it decodes, disassembles and round-trips),
+ * every memory operation stays inside a dedicated scratch region, the
+ * only backward control transfers are counted loops whose counters are
+ * never touched by loop bodies, and the total loop-iteration count is
+ * drawn from a fixed budget — so every generated program terminates
+ * under the delayed-semantics ISS and the pipeline alike, within a
+ * dynamic-instruction bound derivable from the configuration.
+ *
+ * The opcode mix is weighted over the corners the paper's correctness
+ * story rests on: ALU traffic (including mstep/dstep through MD and the
+ * funnel shifter), loads/stores/load-through, branches with both delay
+ * slots and all three squash variants, forward jumps, coprocessor
+ * operations on the FPU (aluc/movfrc/movtoc/ldf/stf), and
+ * self-modifying stores that rewrite already-executed words inside
+ * loops to exercise the predecode invalidation path.
+ *
+ * Determinism: the generator uses its own splitmix64 PRNG (never libc
+ * or libstdc++ distributions), so one seed produces bit-identical
+ * programs on every host, forever.
+ */
+
+#ifndef MIPSX_FUZZ_GENERATOR_HH
+#define MIPSX_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "assembler/program.hh"
+#include "common/types.hh"
+
+namespace mipsx::fuzz
+{
+
+/**
+ * splitmix64: tiny, fast, and — unlike std::uniform_int_distribution —
+ * specified output, so fuzz runs reproduce bit-for-bit across
+ * toolchains. Used by the generator and for per-run seed derivation.
+ */
+struct Rng
+{
+    std::uint64_t state = 0;
+
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform-ish value in [0, n); 0 when n == 0. */
+    std::uint32_t
+    below(std::uint32_t n)
+    {
+        return n ? static_cast<std::uint32_t>(next() % n) : 0;
+    }
+
+    /** True with probability num/den. */
+    bool
+    chance(unsigned num, unsigned den)
+    {
+        return below(den) < num;
+    }
+};
+
+/** Derive the PRNG seed for run @p index of a session (order-free). */
+std::uint64_t deriveSeed(std::uint64_t session, std::uint64_t index);
+
+/**
+ * Relative weights of the generator's instruction classes, plus the
+ * probability (percent) that a branch uses a squash variant. Zero
+ * disables a class entirely.
+ */
+struct GenWeights
+{
+    unsigned alu = 40;    ///< compute / immediate ops (incl. MD traffic)
+    unsigned mem = 18;    ///< ld/ldt/st/ldf/stf on the scratch region
+    unsigned branch = 14; ///< forward compare-and-branch blocks
+    unsigned jump = 5;    ///< forward jmp/jal blocks
+    unsigned coproc = 8;  ///< aluc/movfrc/movtoc on the FPU
+    unsigned smc = 5;     ///< self-modifying store blocks
+    unsigned loop = 10;   ///< counted backward-edge loops
+    unsigned squash = 60; ///< % of branches with a squash variant
+
+    bool operator==(const GenWeights &) const = default;
+};
+
+/**
+ * Parse "alu=40,mem=18,squash=0" into weights over the defaults.
+ * Throws SimError naming the key for unknown keys or bad values.
+ */
+GenWeights parseWeights(const std::string &spec);
+
+/** Render weights back to the parseWeights() form (for .repro echo). */
+std::string formatWeights(const GenWeights &w);
+
+/** Generator configuration. */
+struct GeneratorConfig
+{
+    std::uint64_t seed = 1;
+    /** Static text-body budget, in instruction words. */
+    unsigned maxInsns = 192;
+    /** Total loop-iteration budget across the whole program. */
+    unsigned loopIterations = 48;
+    GenWeights weights{};
+};
+
+/**
+ * Generate one program. The image has a text section at the default
+ * text base (entry at its first word, final word a halt trap) and a
+ * data section holding the SMC donor words plus a randomized scratch
+ * region all memory operations stay inside.
+ */
+assembler::Program generate(const GeneratorConfig &config);
+
+/** Number of non-nop words across the program's text sections. */
+unsigned nonNopTextWords(const assembler::Program &prog);
+
+} // namespace mipsx::fuzz
+
+#endif // MIPSX_FUZZ_GENERATOR_HH

@@ -1,0 +1,205 @@
+#include "fuzz/session.hh"
+
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+#include "workload/suite_runner.hh"
+
+namespace mipsx::fuzz
+{
+
+namespace
+{
+
+/** Everything one run produces; workers write only their own slot. */
+struct RunSlot
+{
+    CosimOutcome outcome = CosimOutcome::Inconclusive;
+    std::uint64_t retires = 0;
+    std::uint64_t shrinkIterations = 0;
+    bool diverged = false;
+    FuzzDivergence divergence;
+    std::string error; ///< SimError text, when the run itself blew up
+};
+
+void
+runOne(const FuzzOptions &opts, std::uint64_t index, RunSlot &slot)
+{
+    GeneratorConfig gc;
+    gc.seed = deriveSeed(opts.seed, index);
+    gc.maxInsns = opts.maxInsns;
+    gc.weights = opts.weights;
+    const auto prog = generate(gc);
+
+    auto result = runCosim(prog, opts.cosim);
+    slot.outcome = result.outcome;
+    slot.retires = result.retires;
+    if (result.outcome != CosimOutcome::Divergence)
+        return;
+
+    slot.diverged = true;
+    auto &d = slot.divergence;
+    d.runIndex = index;
+    d.runSeed = gc.seed;
+
+    const assembler::Program *repro = &prog;
+    ShrinkResult shrunk;
+    if (opts.shrinkDivergences) {
+        ShrinkOptions so;
+        so.cosim = opts.cosim;
+        so.maxAttempts = opts.shrinkMaxAttempts;
+        shrunk = shrink(prog, so);
+        slot.shrinkIterations = shrunk.iterations;
+        d.shrinkIterations = shrunk.iterations;
+        repro = &shrunk.program;
+        result = shrunk.divergence;
+    }
+    d.shrunkTo = nonNopTextWords(*repro);
+    d.reproText = formatRepro(opts, d, *repro, result);
+}
+
+} // namespace
+
+void
+FuzzResult::collectMetrics(trace::MetricsRegistry &m) const
+{
+    m.set("fuzz.programs", programs);
+    m.set("fuzz.matches", matches);
+    m.set("fuzz.divergences",
+          static_cast<std::uint64_t>(divergences.size()));
+    m.set("fuzz.inconclusive", inconclusive);
+    m.set("fuzz.retires", retires);
+    m.set("fuzz.shrink_iterations", shrinkIterations);
+}
+
+std::string
+formatRepro(const FuzzOptions &opts, const FuzzDivergence &d,
+            const assembler::Program &prog, const CosimResult &divergence)
+{
+    std::ostringstream os;
+    os << "# mipsx-fuzz reproducer\n";
+    os << strformat("# session-seed: %llu\n",
+                    static_cast<unsigned long long>(opts.seed));
+    os << strformat("# run-index: %llu\n",
+                    static_cast<unsigned long long>(d.runIndex));
+    os << strformat("# run-seed: 0x%016llx\n",
+                    static_cast<unsigned long long>(d.runSeed));
+    os << "# weights: " << formatWeights(opts.weights) << "\n";
+    os << strformat("# max-insns: %u\n", opts.maxInsns);
+    os << strformat("# rerun: mipsx-fuzz --seed %llu --runs %llu "
+                    "--max-insns %u --weights %s (plus your --config "
+                    "flags)\n",
+                    static_cast<unsigned long long>(opts.seed),
+                    static_cast<unsigned long long>(d.runIndex + 1),
+                    opts.maxInsns, formatWeights(opts.weights).c_str());
+    if (d.shrinkIterations)
+        os << strformat("# shrunk to %u instructions in %u candidate "
+                        "runs\n",
+                        d.shrunkTo, d.shrinkIterations);
+    os << "# divergence:\n";
+    {
+        std::istringstream lines(divergence.report);
+        std::string line;
+        while (std::getline(lines, line))
+            os << "#   " << line << "\n";
+    }
+    for (const auto &sec : prog.sections) {
+        os << strformat("# section %s (base %05x, %u words)\n",
+                        sec.name.c_str(), sec.base,
+                        static_cast<unsigned>(sec.words.size()));
+        for (std::size_t i = 0; i < sec.words.size(); ++i) {
+            const addr_t pc = sec.base + static_cast<addr_t>(i);
+            if (sec.isText) {
+                os << strformat(
+                    "%05x: %08x  %s\n", pc, sec.words[i],
+                    isa::disassemble(sec.words[i], pc, true).c_str());
+            } else {
+                os << strformat("%05x: %08x\n", pc, sec.words[i]);
+            }
+        }
+    }
+    return os.str();
+}
+
+FuzzResult
+runFuzz(const FuzzOptions &opts)
+{
+    std::vector<RunSlot> slots(opts.runs);
+
+    const unsigned jobs = std::max(
+        1u, std::min(opts.jobs ? opts.jobs
+                               : workload::defaultSuiteJobs(),
+                     static_cast<unsigned>(
+                         std::min<std::uint64_t>(opts.runs, 1u << 16))));
+    auto runSlot = [&](std::uint64_t i) {
+        try {
+            runOne(opts, i, slots[i]);
+        } catch (const SimError &e) {
+            slots[i].outcome = CosimOutcome::Inconclusive;
+            slots[i].error = e.what();
+        }
+    };
+    if (jobs <= 1 || opts.runs <= 1) {
+        for (std::uint64_t i = 0; i < opts.runs; ++i)
+            runSlot(i);
+    } else {
+        // Worker pool over an atomic index; workers write only their
+        // own slots, so the merged result is order-independent.
+        std::atomic<std::uint64_t> next{0};
+        auto worker = [&] {
+            for (std::uint64_t i = next.fetch_add(1); i < opts.runs;
+                 i = next.fetch_add(1))
+                runSlot(i);
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    FuzzResult res;
+    res.programs = opts.runs;
+    for (auto &s : slots) {
+        res.retires += s.retires;
+        res.shrinkIterations += s.shrinkIterations;
+        switch (s.outcome) {
+          case CosimOutcome::Match:
+            ++res.matches;
+            break;
+          case CosimOutcome::Inconclusive:
+            ++res.inconclusive;
+            break;
+          case CosimOutcome::Divergence:
+            break;
+        }
+        if (s.diverged)
+            res.divergences.push_back(std::move(s.divergence));
+    }
+
+    if (!opts.reproDir.empty()) {
+        for (auto &d : res.divergences) {
+            d.reproPath = strformat(
+                "%s/repro-seed%llu-run%llu.repro", opts.reproDir.c_str(),
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(d.runIndex));
+            std::ofstream out(d.reproPath, std::ios::binary);
+            if (!out) {
+                fatal(strformat("fuzz: cannot write '%s'",
+                                d.reproPath.c_str()));
+            }
+            out << d.reproText;
+        }
+    }
+    return res;
+}
+
+} // namespace mipsx::fuzz

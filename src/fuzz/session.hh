@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fuzzing sessions: generate N programs from one session seed, cosim
+ * each against the configured machine point, shrink every divergence
+ * and dump it as a disassembled .repro file.
+ *
+ * Determinism contract (an acceptance criterion, tested): the result —
+ * divergence count, per-run outcomes, every .repro byte — depends only
+ * on (seed, runs, maxInsns, weights, machine config). Each run's PRNG
+ * seed comes from deriveSeed(session, index), so runs are independent
+ * of scheduling order; workers fill per-run slots that are merged in
+ * index order after the join, exactly the suite runner's recipe.
+ */
+
+#ifndef MIPSX_FUZZ_SESSION_HH
+#define MIPSX_FUZZ_SESSION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/cosim.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/shrink.hh"
+#include "trace/metrics.hh"
+
+namespace mipsx::fuzz
+{
+
+/** Options for one fuzzing session. */
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;      ///< session seed
+    std::uint64_t runs = 100;    ///< programs to generate and compare
+    unsigned maxInsns = 192;     ///< generator static budget per program
+    GenWeights weights{};
+    CosimOptions cosim{};
+    /** Worker threads; 0 means workload::defaultSuiteJobs(). */
+    unsigned jobs = 0;
+    /** Shrink divergences to minimal reproducers (else keep as-is). */
+    bool shrinkDivergences = true;
+    unsigned shrinkMaxAttempts = 4000;
+    /**
+     * Directory for .repro files; empty disables writing (the repro
+     * text still lands in FuzzDivergence::reproText).
+     */
+    std::string reproDir;
+};
+
+/** One found (and possibly shrunk) divergence. */
+struct FuzzDivergence
+{
+    std::uint64_t runIndex = 0;
+    std::uint64_t runSeed = 0;
+    unsigned shrunkTo = 0;        ///< non-nop insns in the reproducer
+    unsigned shrinkIterations = 0;
+    std::string reproText;        ///< full .repro contents
+    std::string reproPath;        ///< where it was written ("" if not)
+};
+
+/** Aggregated results of a session. */
+struct FuzzResult
+{
+    std::uint64_t programs = 0;     ///< programs generated and run
+    std::uint64_t matches = 0;
+    std::uint64_t inconclusive = 0; ///< budget-exhausted originals
+    std::uint64_t retires = 0;      ///< retires compared across runs
+    std::uint64_t shrinkIterations = 0;
+    std::vector<FuzzDivergence> divergences; ///< sorted by runIndex
+
+    /** Export under "fuzz." (programs, divergences, shrink iters...). */
+    void collectMetrics(trace::MetricsRegistry &m) const;
+};
+
+/** Render one divergence as the .repro file format. */
+std::string formatRepro(const FuzzOptions &opts, const FuzzDivergence &d,
+                        const assembler::Program &prog,
+                        const CosimResult &divergence);
+
+/** Run a fuzzing session. */
+FuzzResult runFuzz(const FuzzOptions &opts);
+
+} // namespace mipsx::fuzz
+
+#endif // MIPSX_FUZZ_SESSION_HH

@@ -1,0 +1,98 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "fuzz/generator.hh"
+#include "isa/encode.hh"
+
+namespace mipsx::fuzz
+{
+
+namespace
+{
+
+/**
+ * Indices of removable words in the text section: everything that is
+ * not already a nop, except the final word (the halt trap — nopping it
+ * would turn every candidate Inconclusive, so don't bother trying).
+ */
+std::vector<std::size_t>
+removable(const assembler::Section &text)
+{
+    std::vector<std::size_t> out;
+    const std::size_t n = text.words.size();
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        if (text.words[i] != isa::nopWord)
+            out.push_back(i);
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const assembler::Program &prog, const ShrinkOptions &opts)
+{
+    ShrinkResult res;
+    res.program = prog;
+    // Candidate runs skip the (expensive, trace-replaying) report;
+    // only the final reproducer's divergence gets the full treatment.
+    CosimOptions quick = opts.cosim;
+    quick.buildReport = false;
+    quick.retireLimit = std::min(quick.retireLimit,
+                                 opts.candidateRetireLimit);
+    quick.maxCycles = std::min(quick.maxCycles, opts.candidateMaxCycles);
+    res.divergence = runCosim(res.program, quick);
+    ++res.iterations;
+    if (res.divergence.outcome != CosimOutcome::Divergence)
+        fatal("shrink: program does not diverge under these options");
+
+    auto &text = res.program.text();
+    auto live = removable(text);
+    std::size_t window = std::max<std::size_t>(live.size() / 2, 1);
+
+    while (window >= 1 && res.iterations < opts.maxAttempts) {
+        bool progress = false;
+        for (std::size_t start = 0;
+             start < live.size() && res.iterations < opts.maxAttempts;
+             start += window) {
+            const std::size_t end = std::min(start + window, live.size());
+
+            // Candidate: nop out live[start..end).
+            std::vector<word_t> saved;
+            saved.reserve(end - start);
+            for (std::size_t k = start; k < end; ++k) {
+                saved.push_back(text.words[live[k]]);
+                text.words[live[k]] = isa::nopWord;
+            }
+
+            const auto cand = runCosim(res.program, quick);
+            ++res.iterations;
+            if (cand.outcome == CosimOutcome::Divergence) {
+                res.divergence = cand;
+                live.erase(live.begin() +
+                               static_cast<std::ptrdiff_t>(start),
+                           live.begin() + static_cast<std::ptrdiff_t>(end));
+                start -= window; // stay in place; erase shifted the rest
+                progress = true;
+            } else {
+                for (std::size_t k = start; k < end; ++k)
+                    text.words[live[k]] = saved[k - start];
+            }
+        }
+        if (window == 1 && !progress)
+            break;
+        if (!progress)
+            window = std::max<std::size_t>(window / 2, 1);
+        else
+            window = std::min(window,
+                              std::max<std::size_t>(live.size() / 2, 1));
+    }
+
+    res.divergence = runCosim(res.program, opts.cosim);
+    res.kept = nonNopTextWords(res.program);
+    return res;
+}
+
+} // namespace mipsx::fuzz

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Delta-debugging shrinker: reduce a diverging program to a minimal
+ * reproducer by replacing instruction windows with nops.
+ *
+ * Nop replacement (rather than deletion) is the whole trick: it keeps
+ * every address, branch displacement and SMC store offset intact, so no
+ * relocation pass is needed and every candidate is still a well-formed
+ * program. The classic ddmin window schedule applies — try to nop out
+ * windows of half the remaining instructions, halve the window on a
+ * fixed point, down to single instructions — accepting a candidate only
+ * when it still *diverges* (Inconclusive candidates, e.g. a loop whose
+ * counter init got nopped away, are rejected).
+ */
+
+#ifndef MIPSX_FUZZ_SHRINK_HH
+#define MIPSX_FUZZ_SHRINK_HH
+
+#include "assembler/program.hh"
+#include "fuzz/cosim.hh"
+
+namespace mipsx::fuzz
+{
+
+/** Shrinker configuration. */
+struct ShrinkOptions
+{
+    /** The configuration the divergence was found under. */
+    CosimOptions cosim{};
+    /** Cap on candidate cosim runs (the shrink is best-effort). */
+    unsigned maxAttempts = 4000;
+    /**
+     * Tightened budgets for candidate runs. Nopping a loop-counter
+     * init turns a 50-iteration loop into a 2^32 one; such candidates
+     * must hit the budget (becoming Inconclusive, hence rejected), so
+     * the budget size is pure wasted time — keep it just above any
+     * honest generated program's dynamic length.
+     */
+    std::size_t candidateRetireLimit = 16'384;
+    cycle_t candidateMaxCycles = 262'144;
+};
+
+/** Result of a shrink. */
+struct ShrinkResult
+{
+    /** The minimized program (still diverges under the options). */
+    assembler::Program program;
+    /** The minimized program's divergence (for the .repro report). */
+    CosimResult divergence;
+    /** Candidate cosim runs performed. */
+    unsigned iterations = 0;
+    /** Non-nop text words remaining. */
+    unsigned kept = 0;
+};
+
+/**
+ * Shrink @p prog, which must diverge under @p opts.cosim (throws
+ * SimError if it does not — a shrink on a passing program is a caller
+ * bug). Deterministic: same program + options, same result.
+ */
+ShrinkResult shrink(const assembler::Program &prog,
+                    const ShrinkOptions &opts);
+
+} // namespace mipsx::fuzz
+
+#endif // MIPSX_FUZZ_SHRINK_HH

@@ -168,4 +168,43 @@ encodeTrap(std::uint32_t code)
     return w;
 }
 
+word_t
+reencode(const Instruction &in)
+{
+    if (!in.valid)
+        fatal("reencode: instruction is not a valid encoding");
+    switch (in.fmt) {
+      case Format::Mem:
+        switch (in.memOp) {
+          case MemOp::Ld:
+          case MemOp::Ldt:
+          case MemOp::Movfrc:
+            return encodeMem(in.memOp, in.rs1, in.rd, in.imm);
+          case MemOp::St:
+          case MemOp::Movtoc:
+            return encodeMem(in.memOp, in.rs1, in.rs2, in.imm);
+          case MemOp::Ldf:
+          case MemOp::Stf:
+            return encodeMem(in.memOp, in.rs1, in.aux, in.imm);
+          case MemOp::Aluc:
+            return encodeMem(in.memOp, in.rs1, 0, in.imm);
+        }
+        break;
+      case Format::Branch:
+        return encodeBranch(in.cond, in.squash, in.rs1, in.rs2, in.imm);
+      case Format::Compute:
+        return encodeCompute(in.compOp, in.rs1, in.rs2, in.rd, in.aux);
+      case Format::Imm: {
+        word_t w = fmtBits(Format::Imm);
+        w = insertBits(w, 29, 27, static_cast<word_t>(in.immOp));
+        w = insertBits(w, 26, 22, in.rs1);
+        w = insertBits(w, 21, 17, in.rd);
+        checkSigned(in.imm, 17, "immediate");
+        w = insertBits(w, 16, 0, static_cast<word_t>(in.imm));
+        return w;
+      }
+    }
+    fatal("reencode: unreachable format");
+}
+
 } // namespace mipsx::isa

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "isa/instruction.hh"
 #include "isa/isa.hh"
 
 namespace mipsx::isa
@@ -56,6 +57,17 @@ word_t encodeTrap(std::uint32_t code);
 
 /** The canonical no-op. */
 inline word_t encodeNop() { return nopWord; }
+
+/**
+ * Re-encode a decoded instruction back to its raw word.
+ *
+ * The round-trip law the fuzzing subsystem leans on:
+ * reencode(decode(w)) == w for every valid encoding w, and
+ * decode(reencode(in)) reproduces in field-for-field for every valid
+ * Instruction. Throws SimError for instructions whose fields do not
+ * name a representable encoding (in.valid == false included).
+ */
+word_t reencode(const Instruction &in);
 
 } // namespace mipsx::isa
 

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * mipsx-fuzz — the differential fuzzing driver.
+ *
+ *     mipsx-fuzz --seed S --runs N [options]
+ *
+ * Generates N seeded random MIPS-X programs (valid-by-construction,
+ * guaranteed-terminating), runs each through the delayed-semantics ISS
+ * and the cycle-accurate pipeline in lockstep, shrinks every divergence
+ * to a minimal reproducer and writes it as a disassembled .repro file.
+ * Deterministic: the same flags produce the same divergence count and
+ * byte-identical .repro files, for any --jobs value.
+ *
+ * Options:
+ *   --seed N                session seed (default 1)
+ *   --runs N                programs to generate (default 100)
+ *   --max-insns N           generator static budget per program
+ *   --weights K=V,...       instruction-mix weights (alu, mem, branch,
+ *                           jump, coproc, smc, loop, squash)
+ *   --config PARAM=VALUE    machine-config point (repeatable; the same
+ *                           parameters mipsx-explore sweeps)
+ *   --jobs N                worker threads (default: MIPSX_BENCH_JOBS
+ *                           or hardware concurrency)
+ *   --repro-dir DIR         where .repro files go (default ".";
+ *                           "none" disables writing)
+ *   --metrics FILE          write fuzz.* counters as flat JSON
+ *   --no-shrink             keep divergences full-size
+ *   --quiet                 only the final summary line
+ *   --list-params           print every --config parameter and exit
+ *
+ * Exit status: 0 clean, 1 on any divergence (or a usage error).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/sim_error.hh"
+#include "explore/grid.hh"
+#include "fuzz/session.hh"
+#include "trace/metrics.hh"
+#include "workload/suite_runner.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N] [--runs N] [--max-insns N]\n"
+        "       [--weights K=V,...] [--config PARAM=VALUE]... [--jobs N]\n"
+        "       [--repro-dir DIR] [--metrics FILE] [--no-shrink]\n"
+        "       [--quiet] [--list-params]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    fuzz::FuzzOptions opts;
+    opts.reproDir = ".";
+    // --config reuses the explore grid's parameter table; the fuzzer
+    // takes the machine config and predecode toggle from the result.
+    workload::SuiteRunOptions point;
+    std::string metricsOut;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        auto flagValue = [&](const char *flag) -> std::string {
+            // --flag VALUE or --flag=VALUE
+            const std::string pfx = std::string(flag) + "=";
+            if (a == flag)
+                return next();
+            return a.substr(pfx.size());
+        };
+        auto matches = [&](const char *flag) {
+            return a == flag || a.rfind(std::string(flag) + "=", 0) == 0;
+        };
+        if (a == "--list-params") {
+            std::printf("machine parameters (--config PARAM=VALUE):\n\n");
+            for (const auto &p : explore::knownParams())
+                std::printf("  %-24s %s\n  %24s   values: %s\n", p.name,
+                            p.doc, "", p.values);
+            return 0;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--no-shrink") {
+            opts.shrinkDivergences = false;
+        } else if (matches("--seed")) {
+            opts.seed = std::stoull(flagValue("--seed"));
+        } else if (matches("--runs")) {
+            opts.runs = std::stoull(flagValue("--runs"));
+        } else if (matches("--max-insns")) {
+            opts.maxInsns = static_cast<unsigned>(
+                std::stoul(flagValue("--max-insns")));
+            if (opts.maxInsns < 16 || opts.maxInsns > 100'000)
+                fatal("--max-insns: want 16..100000");
+        } else if (matches("--weights")) {
+            opts.weights = fuzz::parseWeights(flagValue("--weights"));
+        } else if (matches("--config")) {
+            const auto kv = flagValue("--config");
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal(strformat("--config: want PARAM=VALUE, got '%s'",
+                                kv.c_str()));
+            explore::applyParam(point, kv.substr(0, eq),
+                                kv.substr(eq + 1));
+        } else if (matches("--jobs")) {
+            opts.jobs = static_cast<unsigned>(
+                std::stoul(flagValue("--jobs")));
+        } else if (matches("--repro-dir")) {
+            opts.reproDir = flagValue("--repro-dir");
+            if (opts.reproDir == "none")
+                opts.reproDir.clear();
+        } else if (matches("--metrics")) {
+            metricsOut = flagValue("--metrics");
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    opts.cosim.machine = point.machine;
+    opts.cosim.predecode = point.predecode;
+
+    if (!quiet)
+        std::printf("fuzz: seed %llu, %llu run%s, %u insns/program, "
+                    "weights %s\n",
+                    static_cast<unsigned long long>(opts.seed),
+                    static_cast<unsigned long long>(opts.runs),
+                    opts.runs == 1 ? "" : "s", opts.maxInsns,
+                    fuzz::formatWeights(opts.weights).c_str());
+
+    const auto result = fuzz::runFuzz(opts);
+
+    if (!quiet) {
+        for (const auto &d : result.divergences) {
+            std::printf("  divergence at run %llu (seed 0x%016llx), "
+                        "reproducer %u insns%s%s\n",
+                        static_cast<unsigned long long>(d.runIndex),
+                        static_cast<unsigned long long>(d.runSeed),
+                        d.shrunkTo, d.reproPath.empty() ? "" : ": ",
+                        d.reproPath.c_str());
+        }
+    }
+    std::printf("fuzz: %llu programs, %llu matched, %zu diverged, "
+                "%llu inconclusive, %llu retires compared\n",
+                static_cast<unsigned long long>(result.programs),
+                static_cast<unsigned long long>(result.matches),
+                result.divergences.size(),
+                static_cast<unsigned long long>(result.inconclusive),
+                static_cast<unsigned long long>(result.retires));
+
+    if (!metricsOut.empty()) {
+        trace::MetricsRegistry m;
+        result.collectMetrics(m);
+        if (!m.writeJsonFile(metricsOut))
+            return 1;
+        if (!quiet)
+            std::printf("wrote %s\n", metricsOut.c_str());
+    }
+
+    return result.divergences.empty() ? 0 : 1;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "mipsx-fuzz: %s\n", e.what());
+    return 1;
+}
