@@ -7,12 +7,14 @@
  * Two parts:
  *  - google-benchmark microbenchmarks on one workload (hash), with and
  *    without the predecoded instruction store;
- *  - a full-suite before/after report: the suite runs once the way the
- *    pre-optimization simulator did (one job, decode on every fetch)
- *    and once the optimized way (worker pool, predecoded store). The
- *    two aggregates must be identical — the optimizations change how
- *    fast the answer arrives, never the answer — and the ratio of
- *    host throughputs is the simulator speedup, recorded in
+ *  - a full-suite before/after report: the suite runs the way the
+ *    pre-optimization simulator did (one job, decode on every fetch),
+ *    the optimized way without the prepared-image cache (toolchain
+ *    rebuilt per run), and the fully optimized way (worker pool,
+ *    prepared cache). All aggregates must be identical — the
+ *    optimizations change how fast the answer arrives, never the
+ *    answer — and the timing rows are phase-split into prepare
+ *    (toolchain) and simulate (Machine::run) seconds, recorded in
  *    BENCH_simulator_speed.json.
  */
 
@@ -164,11 +166,18 @@ fullSuiteReport()
     std::printf("\nfull suite: %zu workloads, 3 runs per mode, best kept\n",
                 suite.size());
 
+    // The before/uncached modes must bypass the process-wide prepared
+    // cache: it persists across modes in this one process, and a warm
+    // hit would make the "rebuild everything" rows measure nothing.
     workload::SuiteRunOptions before;
     before.jobs = 1;
     before.predecode = false; // decode on every fetch
+    before.preparedCache = false;
 
-    workload::SuiteRunOptions after; // worker pool + predecoded store
+    workload::SuiteRunOptions uncached; // fast core, toolchain per run
+    uncached.preparedCache = false;
+
+    workload::SuiteRunOptions after; // worker pool + prepared cache
 
     // Tracing compiled in but *enabled*: every machine records into a
     // per-machine 4k-deep ring. The default mode above is the
@@ -177,11 +186,12 @@ fullSuiteReport()
     traced.machine.traceDepth = 4096;
 
     const auto b = bestOf(suite, before, 3);
+    const auto u = bestOf(suite, uncached, 3);
     const auto a = bestOf(suite, after, 3);
     const auto t = bestOf(suite, traced, 3);
     bench::reportFailures(b.failures);
 
-    if (!(a.stats == b.stats)) {
+    if (!(a.stats == b.stats) || !(u.stats == b.stats)) {
         std::fprintf(stderr,
                      "!! optimized suite aggregate differs from baseline\n");
         return 1;
@@ -194,26 +204,35 @@ fullSuiteReport()
 
     // Simulation-phase throughput: host time inside Machine::run() only.
     // A single pass over the suite is dominated by assemble+reorganize,
-    // so wall time would mostly measure the toolchain; both are printed.
-    std::printf("%-30s %6s %9s %9s %14s\n", "mode", "jobs", "wall s",
-                "sim s", "sim instr/s");
-    std::printf("%-30s %6u %9.3f %9.3f %14.0f\n", "decode-per-fetch, 1 job",
-                b.timing.jobs, b.timing.hostSeconds, b.timing.simSeconds,
-                b.timing.instrPerSimSecond());
-    std::printf("%-30s %6u %9.3f %9.3f %14.0f\n", "predecoded, worker pool",
-                a.timing.jobs, a.timing.hostSeconds, a.timing.simSeconds,
-                a.timing.instrPerSimSecond());
-    std::printf("%-30s %6u %9.3f %9.3f %14.0f\n", "tracing enabled (4k ring)",
-                t.timing.jobs, t.timing.hostSeconds, t.timing.simSeconds,
-                t.timing.instrPerSimSecond());
+    // so wall time would mostly measure the toolchain; the prepare
+    // column shows exactly that phase (near zero on cache hits).
+    std::printf("%-30s %6s %9s %9s %9s %14s\n", "mode", "jobs", "wall s",
+                "prep s", "sim s", "sim instr/s");
+    const auto row = [](const char *mode, const workload::SuiteTiming &tm) {
+        std::printf("%-30s %6u %9.3f %9.3f %9.3f %14.0f\n", mode, tm.jobs,
+                    tm.hostSeconds, tm.prepareSeconds, tm.simSeconds,
+                    tm.instrPerSimSecond());
+    };
+    row("decode-per-fetch, 1 job", b.timing);
+    row("uncached, worker pool", u.timing);
+    row("prepared cache, worker pool", a.timing);
+    row("tracing enabled (4k ring)", t.timing);
 
     const double vsPredecode = b.timing.simSeconds > 0
         ? b.timing.simSeconds / a.timing.simSeconds
+        : 0.0;
+    const double cacheSpeedup = a.timing.hostSeconds > 0
+        ? u.timing.hostSeconds / a.timing.hostSeconds
+        : 0.0;
+    const double prepSpeedup = a.timing.prepareSeconds > 0
+        ? u.timing.prepareSeconds / a.timing.prepareSeconds
         : 0.0;
     const double ref = referenceThroughput();
     const double vsPrePr = a.timing.instrPerSimSecond() / ref;
     std::printf("speedup from predecode alone: %.2fx"
                 " (aggregates identical)\n", vsPredecode);
+    std::printf("prepared cache: %.2fx wall, %.2fx prepare phase"
+                " (warm vs rebuild-per-run)\n", cacheSpeedup, prepSpeedup);
     std::printf("speedup vs pre-optimization simulator: %.2fx"
                 " (reference %.1f Minstr/s, see EXPERIMENTS.md)\n",
                 vsPrePr, ref / 1e6);
@@ -238,9 +257,12 @@ fullSuiteReport()
     bench::BenchJson json("simulator_speed");
     json.setSuite("suite", a.stats);
     json.setTiming("baseline", b.timing);
+    json.setTiming("uncached", u.timing);
     json.setTiming("optimized", a.timing);
     json.setTiming("traced", t.timing);
     json.set("speedup_vs_no_predecode", vsPredecode);
+    json.set("prepared_cache_wall_speedup", cacheSpeedup);
+    json.set("prepared_cache_prepare_speedup", prepSpeedup);
     json.set("reference_instr_per_second", ref);
     json.set("speedup_vs_reference", vsPrePr);
     json.set("untraced_vs_traced", tracedRatio);
@@ -251,9 +273,7 @@ fullSuiteReport()
     // output and the --metrics-json CLI output one format.
     trace::MetricsRegistry metrics;
     workload::collectMetrics(a.stats, metrics);
-    metrics.set("timing.sim_seconds", a.timing.simSeconds);
-    metrics.set("timing.instr_per_sim_second",
-                a.timing.instrPerSimSecond());
+    workload::collectTiming(a.timing, metrics, "timing");
     if (metrics.writeJsonFile("BENCH_simulator_speed_metrics.json"))
         std::printf("wrote BENCH_simulator_speed_metrics.json\n");
     return 0;

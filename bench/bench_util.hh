@@ -121,11 +121,12 @@ class BenchJson
         set(prefix + ".ecache_miss_ratio", s.ecacheMissRatio());
     }
 
-    /** Record host-side throughput under "<prefix>.". */
+    /** Record host-side throughput under "<prefix>." (phase-split). */
     void
     setTiming(const std::string &prefix, const SuiteTiming &t)
     {
         set(prefix + ".host_seconds", t.hostSeconds);
+        set(prefix + ".prepare_seconds", t.prepareSeconds);
         set(prefix + ".sim_seconds", t.simSeconds);
         set(prefix + ".sim_instructions", t.simInstructions);
         set(prefix + ".jobs", std::uint64_t(t.jobs));

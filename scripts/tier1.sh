@@ -75,6 +75,25 @@ print("explore sweep smoke OK: %d points, %d metrics each"
       % (len(sweep["points"]), len(sweep["points"][0]["metrics"])))
 PYEOF
 
+echo "== tier-1: prepared-cache determinism smoke run =="
+# The same sweep with the prepared-image cache bypassed must emit
+# byte-identical CSV/JSON: the cache may only change when toolchain
+# work happens, never any output.
+"$build/tools/mipsx-explore" --quiet --suite fp --no-cache \
+    --axis icache.missPenalty=2,3 --axis icache.fetchWords=1,2 \
+    --jobs 4 --csv "$smoke/sweep-nocache.csv" \
+    --json "$smoke/sweep-nocache.json"
+cmp "$smoke/sweep1.csv" "$smoke/sweep-nocache.csv"
+cmp "$smoke/sweep1.json" "$smoke/sweep-nocache.json"
+echo "prepared-cache determinism smoke OK"
+
+# Persist the smoke outputs so CI can upload them next to the BENCH
+# artifacts (and a human can diff sweeps across revisions).
+mkdir -p "$build/tier1-artifacts"
+cp "$smoke/sweep1.csv" "$smoke/sweep1.json" \
+   "$smoke/sweep-nocache.csv" "$smoke/sweep-nocache.json" \
+   "$build/tier1-artifacts/"
+
 echo "== tier-1: mipsx-fuzz determinism smoke run =="
 # A short fuzz session must pass clean (any divergence is a real bug:
 # the exit status is nonzero) and reproduce byte-identically at

@@ -5,61 +5,79 @@
 namespace mipsx::core
 {
 
-ComputeResult
-addOverflow(word_t a, word_t b)
+namespace
 {
-    ComputeResult r;
-    r.value = a + b;
-    // Overflow iff the operands agree in sign and the result does not.
-    r.overflow = (~(a ^ b) & (a ^ r.value)) >> 31;
-    return r;
+
+// The table entries behind computeDispatch: each wraps one computeFor
+// instantiation, so the table and any handler that names the opcode at
+// compile time share one semantic definition. The table replaces the
+// reference switch's compare chain with one indexed load.
+template <isa::ComputeOp Op>
+ComputeResult
+opEntry(const isa::Instruction &in, word_t a, word_t b, word_t md)
+{
+    return computeFor<Op>(in, a, b, md);
+}
+
+constexpr std::array<ComputeFn, 64>
+buildComputeDispatch()
+{
+    std::array<ComputeFn, 64> t{}; // null = no pure-execute semantics
+    using isa::ComputeOp;
+    const auto at = [&t](ComputeOp op) -> ComputeFn & {
+        return t[static_cast<std::size_t>(op)];
+    };
+    at(ComputeOp::Add) = opEntry<ComputeOp::Add>;
+    at(ComputeOp::Sub) = opEntry<ComputeOp::Sub>;
+    at(ComputeOp::And) = opEntry<ComputeOp::And>;
+    at(ComputeOp::Or) = opEntry<ComputeOp::Or>;
+    at(ComputeOp::Xor) = opEntry<ComputeOp::Xor>;
+    at(ComputeOp::Bic) = opEntry<ComputeOp::Bic>;
+    at(ComputeOp::Sll) = opEntry<ComputeOp::Sll>;
+    at(ComputeOp::Srl) = opEntry<ComputeOp::Srl>;
+    at(ComputeOp::Sra) = opEntry<ComputeOp::Sra>;
+    at(ComputeOp::Fsh) = opEntry<ComputeOp::Fsh>;
+    at(ComputeOp::Mstep) = opEntry<ComputeOp::Mstep>;
+    at(ComputeOp::Dstep) = opEntry<ComputeOp::Dstep>;
+    // Movfrs/Movtos stay null: they touch machine state the caller owns.
+    return t;
+}
+
+template <isa::BranchCond Cond>
+bool
+condEntry(word_t a, word_t b)
+{
+    return branchCondFor<Cond>(a, b);
+}
+
+} // namespace
+
+const std::array<ComputeFn, 64> computeDispatch = buildComputeDispatch();
+
+const std::array<BranchCondFn, 8> branchCondDispatch = {
+    condEntry<isa::BranchCond::Eq>, condEntry<isa::BranchCond::Ne>,
+    condEntry<isa::BranchCond::Lt>, condEntry<isa::BranchCond::Ge>,
+    condEntry<isa::BranchCond::Hs>, condEntry<isa::BranchCond::Lo>,
+    condEntry<isa::BranchCond::T>,  nullptr, // 7 reserved
+};
+
+void
+computeUnhandled(const isa::Instruction &in)
+{
+    using isa::ComputeOp;
+    if (in.compOp == ComputeOp::Movfrs || in.compOp == ComputeOp::Movtos)
+        fatal("executeCompute: movfrs/movtos handled by the caller");
+    fatal("executeCompute: reserved compute opcode");
+}
+
+void
+branchCondUnhandled(isa::BranchCond)
+{
+    fatal("branchTaken: reserved condition");
 }
 
 ComputeResult
-subOverflow(word_t a, word_t b)
-{
-    ComputeResult r;
-    r.value = a - b;
-    r.overflow = ((a ^ b) & (a ^ r.value)) >> 31;
-    return r;
-}
-
-word_t
-funnelShift(word_t hi, word_t lo, unsigned pos)
-{
-    const std::uint64_t both =
-        (static_cast<std::uint64_t>(hi) << 32) | lo;
-    return static_cast<word_t>(both >> (pos & 31));
-}
-
-ComputeResult
-mstep(word_t acc, word_t b, word_t md)
-{
-    ComputeResult r;
-    r.value = (acc << 1) + ((md >> 31) ? b : 0u);
-    r.md = md << 1;
-    r.writesMd = true;
-    return r;
-}
-
-ComputeResult
-dstep(word_t acc, word_t d, word_t md)
-{
-    ComputeResult r;
-    word_t t = (acc << 1) | (md >> 31);
-    word_t q = md << 1;
-    if (t >= d && d != 0) {
-        t -= d;
-        q |= 1;
-    }
-    r.value = t;
-    r.md = q;
-    r.writesMd = true;
-    return r;
-}
-
-ComputeResult
-executeCompute(const isa::Instruction &in, word_t a, word_t b, word_t md)
+executeComputeRef(const isa::Instruction &in, word_t a, word_t b, word_t md)
 {
     using isa::ComputeOp;
     switch (in.compOp) {
@@ -102,7 +120,7 @@ executeCompute(const isa::Instruction &in, word_t a, word_t b, word_t md)
 }
 
 bool
-branchTaken(isa::BranchCond cond, word_t a, word_t b)
+branchTakenRef(isa::BranchCond cond, word_t a, word_t b)
 {
     using isa::BranchCond;
     switch (cond) {

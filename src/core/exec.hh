@@ -8,6 +8,8 @@
 #ifndef MIPSX_CORE_EXEC_HH
 #define MIPSX_CORE_EXEC_HH
 
+#include <array>
+
 #include "common/types.hh"
 #include "isa/instruction.hh"
 
@@ -24,16 +26,36 @@ struct ComputeResult
 };
 
 /** 32-bit add with signed-overflow detection. */
-ComputeResult addOverflow(word_t a, word_t b);
+inline ComputeResult
+addOverflow(word_t a, word_t b)
+{
+    ComputeResult r;
+    r.value = a + b;
+    // Overflow iff the operands agree in sign and the result does not.
+    r.overflow = (~(a ^ b) & (a ^ r.value)) >> 31;
+    return r;
+}
 
 /** 32-bit subtract with signed-overflow detection. */
-ComputeResult subOverflow(word_t a, word_t b);
+inline ComputeResult
+subOverflow(word_t a, word_t b)
+{
+    ComputeResult r;
+    r.value = a - b;
+    r.overflow = ((a ^ b) & (a ^ r.value)) >> 31;
+    return r;
+}
 
 /**
  * The 64-bit-to-32-bit funnel shifter: extract 32 bits of {hi:lo}
  * starting @p pos bits up from the bottom of lo.
  */
-word_t funnelShift(word_t hi, word_t lo, unsigned pos);
+inline word_t
+funnelShift(word_t hi, word_t lo, unsigned pos)
+{
+    const std::uint64_t both = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return static_cast<word_t>(both >> (pos & 31));
+}
 
 /**
  * One multiply step through the MD register (MSB-first shift-and-add).
@@ -43,7 +65,15 @@ word_t funnelShift(word_t hi, word_t lo, unsigned pos);
  *
  *     result = (acc << 1) + (MD[31] ? b : 0);   MD <<= 1
  */
-ComputeResult mstep(word_t acc, word_t b, word_t md);
+inline ComputeResult
+mstep(word_t acc, word_t b, word_t md)
+{
+    ComputeResult r;
+    r.value = (acc << 1) + ((md >> 31) ? b : 0u);
+    r.md = md << 1;
+    r.writesMd = true;
+    return r;
+}
 
 /**
  * One restoring-division step through the MD register.
@@ -56,22 +86,185 @@ ComputeResult mstep(word_t acc, word_t b, word_t md);
  *     if (t >= d) { t -= d; MD |= 1 }
  *     result = t
  */
-ComputeResult dstep(word_t acc, word_t d, word_t md);
+inline ComputeResult
+dstep(word_t acc, word_t d, word_t md)
+{
+    ComputeResult r;
+    word_t t = (acc << 1) | (md >> 31);
+    word_t q = md << 1;
+    if (t >= d && d != 0) {
+        t -= d;
+        q |= 1;
+    }
+    r.value = t;
+    r.md = q;
+    r.writesMd = true;
+    return r;
+}
+
+/**
+ * Compute semantics with the opcode resolved at compile time: the one
+ * inline definition behind both the computeDispatch table entries and
+ * any per-op threaded handler, so an execute loop that already knows
+ * the opcode (its dispatch key names it) pays no second dispatch —
+ * the operation folds into the handler body.
+ */
+template <isa::ComputeOp Op>
+inline ComputeResult
+computeFor(const isa::Instruction &in, word_t a, word_t b, word_t md)
+{
+    using isa::ComputeOp;
+    if constexpr (Op == ComputeOp::Add)
+        return addOverflow(a, b);
+    else if constexpr (Op == ComputeOp::Sub)
+        return subOverflow(a, b);
+    else if constexpr (Op == ComputeOp::And)
+        return {a & b, 0, false, false};
+    else if constexpr (Op == ComputeOp::Or)
+        return {a | b, 0, false, false};
+    else if constexpr (Op == ComputeOp::Xor)
+        return {a ^ b, 0, false, false};
+    else if constexpr (Op == ComputeOp::Bic)
+        return {a & ~b, 0, false, false};
+    // All shifts run through the funnel shifter, as in the real
+    // datapath (a 64-to-32-bit funnel shifter plus the ALU).
+    else if constexpr (Op == ComputeOp::Sll) {
+        if (in.aux == 0)
+            return {a, 0, false, false};
+        return {funnelShift(a, 0, 32 - in.aux), 0, false, false};
+    } else if constexpr (Op == ComputeOp::Srl)
+        return {funnelShift(0, a, in.aux), 0, false, false};
+    else if constexpr (Op == ComputeOp::Sra) {
+        const word_t sign = (a >> 31) ? 0xffffffffu : 0u;
+        return {funnelShift(sign, a, in.aux), 0, false, false};
+    } else if constexpr (Op == ComputeOp::Fsh)
+        return {funnelShift(a, b, in.aux), 0, false, false};
+    else if constexpr (Op == ComputeOp::Mstep)
+        return mstep(a, b, md);
+    else if constexpr (Op == ComputeOp::Dstep)
+        return dstep(a, b, md);
+    else
+        static_assert(Op == ComputeOp::Add,
+                      "computeFor: opcode has no pure-execute semantics");
+}
+
+/** Branch-condition semantics with the condition resolved at compile
+    time (same role as computeFor, for the 3-bit condition field). */
+template <isa::BranchCond Cond>
+inline bool
+branchCondFor(word_t a, word_t b)
+{
+    using isa::BranchCond;
+    if constexpr (Cond == BranchCond::Eq)
+        return a == b;
+    else if constexpr (Cond == BranchCond::Ne)
+        return a != b;
+    else if constexpr (Cond == BranchCond::Lt)
+        return static_cast<sword_t>(a) < static_cast<sword_t>(b);
+    else if constexpr (Cond == BranchCond::Ge)
+        return static_cast<sword_t>(a) >= static_cast<sword_t>(b);
+    else if constexpr (Cond == BranchCond::Hs)
+        return a >= b;
+    else if constexpr (Cond == BranchCond::Lo)
+        return a < b;
+    else if constexpr (Cond == BranchCond::T)
+        return true;
+    else
+        static_assert(Cond == BranchCond::Eq,
+                      "branchCondFor: reserved condition");
+}
+
+/** One entry of the compute dispatch table. */
+using ComputeFn = ComputeResult (*)(const isa::Instruction &in, word_t a,
+                                    word_t b, word_t md);
+
+/** One entry of the branch-condition dispatch table. */
+using BranchCondFn = bool (*)(word_t a, word_t b);
+
+/**
+ * Function-pointer dispatch tables, indexed by the raw ComputeOp /
+ * BranchCond field (6 and 3 bits wide respectively). Null entries mark
+ * opcodes with no pure-execute semantics: reserved encodings, and
+ * movfrs/movtos, which touch machine state the caller owns.
+ */
+extern const std::array<ComputeFn, 64> computeDispatch;
+extern const std::array<BranchCondFn, 8> branchCondDispatch;
+
+/** Cold path behind executeCompute(): reports the unhandled opcode. */
+[[noreturn]] void computeUnhandled(const isa::Instruction &in);
+
+/** Cold path behind branchTaken(): reports the reserved condition. */
+[[noreturn]] void branchCondUnhandled(isa::BranchCond cond);
 
 /**
  * Execute a compute-format operation (excluding movfrs/movtos, which
- * touch machine state the caller owns).
+ * touch machine state the caller owns). A single indexed call through
+ * computeDispatch — the switch it replaced is kept as
+ * executeComputeRef() for differential tests.
  *
  * @param in decoded instruction (fmt == Compute)
  * @param a first operand (R[rs1])
  * @param b second operand (R[rs2])
  * @param md current MD register value
  */
-ComputeResult executeCompute(const isa::Instruction &in, word_t a, word_t b,
-                             word_t md);
+inline ComputeResult
+executeCompute(const isa::Instruction &in, word_t a, word_t b, word_t md)
+{
+    const ComputeFn fn =
+        computeDispatch[static_cast<std::size_t>(in.compOp)];
+    if (fn) [[likely]]
+        return fn(in, a, b, md);
+    computeUnhandled(in);
+}
 
-/** Evaluate a branch condition on two register values. */
-bool branchTaken(isa::BranchCond cond, word_t a, word_t b);
+/** Evaluate a branch condition on two register values (table dispatch). */
+inline bool
+branchTaken(isa::BranchCond cond, word_t a, word_t b)
+{
+    const BranchCondFn fn =
+        branchCondDispatch[static_cast<std::size_t>(cond) & 7];
+    if (fn) [[likely]]
+        return fn(a, b);
+    branchCondUnhandled(cond);
+}
+
+/**
+ * Branch-condition evaluation that inlines at the call site: a dense
+ * switch over branchCondFor<>. For execute loops that dispatch on an
+ * opcode class coarser than the condition (the ISS has one branch
+ * handler for all seven conditions), where the table's indirect call
+ * would be a second dispatch on an already-paid-for path.
+ */
+inline bool
+branchTakenInline(isa::BranchCond cond, word_t a, word_t b)
+{
+    using isa::BranchCond;
+    switch (cond) {
+      case BranchCond::Eq:
+        return branchCondFor<BranchCond::Eq>(a, b);
+      case BranchCond::Ne:
+        return branchCondFor<BranchCond::Ne>(a, b);
+      case BranchCond::Lt:
+        return branchCondFor<BranchCond::Lt>(a, b);
+      case BranchCond::Ge:
+        return branchCondFor<BranchCond::Ge>(a, b);
+      case BranchCond::Hs:
+        return branchCondFor<BranchCond::Hs>(a, b);
+      case BranchCond::Lo:
+        return branchCondFor<BranchCond::Lo>(a, b);
+      case BranchCond::T:
+        return branchCondFor<BranchCond::T>(a, b);
+      default:
+        branchCondUnhandled(cond);
+    }
+}
+
+/** Reference implementation of executeCompute() as the original switch. */
+ComputeResult executeComputeRef(const isa::Instruction &in, word_t a,
+                                word_t b, word_t md);
+
+/** Reference implementation of branchTaken() as the original switch. */
+bool branchTakenRef(isa::BranchCond cond, word_t a, word_t b);
 
 } // namespace mipsx::core
 

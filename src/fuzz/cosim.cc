@@ -7,6 +7,7 @@
 #include "common/sim_error.hh"
 #include "coproc/fpu.hh"
 #include "isa/disasm.hh"
+#include "memory/decoded_image.hh"
 #include "trace/export.hh"
 
 namespace mipsx::fuzz
@@ -50,16 +51,18 @@ struct IssRun
 };
 
 void
-runIssSide(const assembler::Program &prog, const CosimOptions &opts,
-           IssRun &out)
+runIssSide(const assembler::Program &prog,
+           const memory::DecodedImage::Snapshot &snap,
+           const CosimOptions &opts, IssRun &out)
 {
-    out.mem.loadProgram(prog);
+    out.mem.loadProgram(prog, &snap);
     sim::IssConfig cfg;
     cfg.mode = sim::IssMode::Delayed;
     cfg.branchDelay = opts.issBranchDelayOverride
         ? opts.issBranchDelayOverride
         : opts.machine.cpu.branchDelay;
     cfg.maxSteps = opts.retireLimit + 1;
+    cfg.dispatch = opts.issDispatch;
     out.iss = std::make_unique<sim::Iss>(cfg, out.mem);
     auto fpu = std::make_unique<coproc::Fpu>();
     out.fpu = fpu.get();
@@ -88,14 +91,15 @@ struct PipeRun
 };
 
 void
-runPipeSide(const assembler::Program &prog, const CosimOptions &opts,
-            PipeRun &out)
+runPipeSide(const assembler::Program &prog,
+            const memory::DecodedImage::Snapshot &snap,
+            const CosimOptions &opts, PipeRun &out)
 {
     sim::MachineConfig cfg = opts.machine;
     cfg.cpu.maxCycles = opts.maxCycles;
     out.machine = std::make_unique<sim::Machine>(cfg);
     out.machine->memory().setPredecodeEnabled(opts.predecode);
-    out.machine->load(prog);
+    out.machine->load(prog, opts.predecode ? &snap : nullptr);
     const std::size_t limit = opts.retireLimit;
     auto &stream = out.stream;
     out.machine->cpu().setRetireHook(
@@ -112,8 +116,9 @@ runPipeSide(const assembler::Program &prog, const CosimOptions &opts,
  * (same recipe as the cosim test's reporter).
  */
 std::string
-divergenceReport(const assembler::Program &prog, const CosimOptions &opts,
-                 const std::vector<Step> &iss,
+divergenceReport(const assembler::Program &prog,
+                 const memory::DecodedImage::Snapshot &snap,
+                 const CosimOptions &opts, const std::vector<Step> &iss,
                  const std::vector<Step> &pipe, std::size_t i)
 {
     std::ostringstream os;
@@ -128,7 +133,7 @@ divergenceReport(const assembler::Program &prog, const CosimOptions &opts,
         cfg.cpu.maxCycles = pipe[i].cycle + 1;
         sim::Machine machine{cfg};
         machine.memory().setPredecodeEnabled(opts.predecode);
-        machine.load(prog);
+        machine.load(prog, opts.predecode ? &snap : nullptr);
         machine.run();
         os << "  pipeline events leading up to the divergence:\n";
         for (const auto &e : machine.trace().events())
@@ -200,11 +205,17 @@ runCosim(const assembler::Program &prog, const CosimOptions &opts)
 {
     CosimResult res;
 
+    // One predecode of the program, shared by every leg below. The
+    // legs adopt the same snapshot copy-on-write, so an SMC program
+    // clones its pages privately per leg and the legs stay independent.
+    const memory::DecodedImage::Snapshot snap =
+        memory::DecodedImage::snapshotProgram(prog);
+
     IssRun issr;
     PipeRun piper;
     try {
-        runIssSide(prog, opts, issr);
-        runPipeSide(prog, opts, piper);
+        runIssSide(prog, snap, opts, issr);
+        runPipeSide(prog, snap, opts, piper);
     } catch (const SimError &e) {
         res.outcome = CosimOutcome::Inconclusive;
         res.report = strformat("model fatal: %s", e.what());
@@ -222,7 +233,7 @@ runCosim(const assembler::Program &prog, const CosimOptions &opts)
     if (i < n) {
         res.outcome = CosimOutcome::Divergence;
         res.divergeStep = i;
-        res.report = divergenceReport(prog, opts, iss, pipe, i);
+        res.report = divergenceReport(prog, snap, opts, iss, pipe, i);
         return res;
     }
 

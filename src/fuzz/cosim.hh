@@ -21,6 +21,7 @@
 #include <string>
 
 #include "assembler/program.hh"
+#include "sim/iss.hh"
 #include "sim/machine.hh"
 
 namespace mipsx::fuzz
@@ -33,6 +34,13 @@ struct CosimOptions
     sim::MachineConfig machine{};
     /** Predecode fast path on the timing side (SMC invalidation test). */
     bool predecode = true;
+    /**
+     * ISS execute dispatch. Threaded (the default) runs the predecoded
+     * handler table; Switch keeps the reference nested-switch path so
+     * the fuzzer can differentially test the dispatch mechanisms
+     * themselves.
+     */
+    sim::IssDispatch issDispatch = sim::IssDispatch::Threaded;
     /** Retire-stream comparison budget per side. */
     std::size_t retireLimit = 100'000;
     /** Pipeline cycle budget (overrides machine.cpu.maxCycles). */

@@ -20,6 +20,16 @@
 namespace mipsx::isa
 {
 
+// Dense semantic-operation index (Instruction::op): every executable
+// operation of the ISA gets one slot, so an execute loop can dispatch
+// through a flat handler table instead of nested format/opcode switches.
+// Compute ops keep their ComputeOp values; the other formats follow.
+inline constexpr std::uint8_t opImmBase = 14;  ///< + ImmOp (Addi..Trap)
+inline constexpr std::uint8_t opMemBase = 22;  ///< + MemOp (Ld..Ldt)
+inline constexpr std::uint8_t opBranch = 30;   ///< all branch conditions
+inline constexpr std::uint8_t opInvalid = 31;  ///< reserved encodings
+inline constexpr std::uint8_t opCount = 32;
+
 /** Up to two general-purpose source registers. */
 struct SourceRegs
 {
@@ -73,6 +83,7 @@ struct Instruction
     // classify() after filling the format fields.
     std::uint8_t dest = 0; ///< cached destReg()
     std::uint8_t cls = 0;  ///< cached cls* classification bits
+    std::uint8_t op = 0;   ///< cached semantic-op index (op* constants)
 
     static constexpr std::uint8_t clsGprLoad = 1 << 0;
     static constexpr std::uint8_t clsMemAccess = 1 << 1;
@@ -127,6 +138,26 @@ struct Instruction
         }
         cls = c;
         dest = computeDestReg();
+        op = computeOpIndex();
+    }
+
+    /** The switch behind the cached op field; classify() caches it. */
+    std::uint8_t
+    computeOpIndex() const
+    {
+        if (!valid)
+            return opInvalid;
+        switch (fmt) {
+          case Format::Compute:
+            return static_cast<std::uint8_t>(compOp); // 0..13 when valid
+          case Format::Imm:
+            return opImmBase + static_cast<std::uint8_t>(immOp);
+          case Format::Mem:
+            return opMemBase + static_cast<std::uint8_t>(memOp);
+          case Format::Branch:
+            return opBranch;
+        }
+        return opInvalid;
     }
 
     bool isBranch() const { return fmt == Format::Branch; }

@@ -1,0 +1,87 @@
+#include "memory/decoded_image.hh"
+
+#include "assembler/program.hh"
+#include "memory/main_memory.hh"
+
+namespace mipsx::memory
+{
+
+DecodedImage::Snapshot
+DecodedImage::snapshotProgram(const assembler::Program &prog)
+{
+    std::unordered_map<std::uint64_t, std::shared_ptr<Page>> building;
+    for (const auto &sec : prog.sections) {
+        if (!sec.isText)
+            continue;
+        for (std::size_t i = 0; i < sec.words.size(); ++i) {
+            const std::uint64_t key =
+                physKey(sec.space, sec.base + static_cast<addr_t>(i));
+            auto &p = building[key / pageWords];
+            if (!p)
+                p = std::make_shared<Page>();
+            const std::size_t idx = key % pageWords;
+            ::new (&p->slot[idx].inst)
+                isa::Instruction(isa::decode(sec.words[i]));
+            p->present[idx] = true;
+        }
+    }
+    // Fetch-ahead margin: the pipeline's fetch unit runs ahead of
+    // retire, so nearly every run fetches a few words past the end of
+    // text before its halt retires. In a freshly loaded image those
+    // words read as zero; predecoding them here lets that prefetch hit
+    // the shared page instead of forcing a full private clone of it.
+    // Words owned by a data section are skipped (their raw content is
+    // the section's, not zero), as are pages the snapshot doesn't hold
+    // (a clean page miss builds an owned page — no clone either way).
+    static constexpr addr_t prefetchMargin = 32;
+    const isa::Instruction zeroInst = isa::decode(0);
+    for (const auto &sec : prog.sections) {
+        if (!sec.isText)
+            continue;
+        const addr_t end =
+            sec.base + static_cast<addr_t>(sec.words.size());
+        for (addr_t a = end; a < end + prefetchMargin; ++a) {
+            const std::uint64_t key = physKey(sec.space, a);
+            const auto it = building.find(key / pageWords);
+            if (it == building.end())
+                continue;
+            Page &p = *it->second;
+            const std::size_t idx = key % pageWords;
+            if (p.present[idx])
+                continue; // another text section's code
+            bool data = false;
+            for (const auto &other : prog.sections)
+                if (!other.isText && other.space == sec.space &&
+                    a >= other.base && a < other.end())
+                    data = true;
+            if (data)
+                continue;
+            ::new (&p.slot[idx].inst) isa::Instruction(zeroInst);
+            p.present[idx] = true;
+        }
+    }
+    Snapshot snap;
+    snap.reserve(building.size());
+    for (auto &[key, page] : building)
+        snap.emplace(key, std::move(page));
+    return snap;
+}
+
+void
+DecodedImage::adopt(const Snapshot &snap)
+{
+    for (const auto &[key, page] : snap) {
+        Entry &e = pages_[key];
+        // The shared page travels through the same pointer type as an
+        // owned one; owned=false gates every mutation path through
+        // writablePage(), which clones first, so constness is honoured
+        // in practice even though the cast discards it.
+        e.page = std::const_pointer_cast<Page>(page);
+        e.owned = false;
+    }
+    lastKey_ = noPage;
+    lastEntry_ = nullptr;
+    lastPage_ = nullptr;
+}
+
+} // namespace mipsx::memory

@@ -13,6 +13,15 @@
  *   every MainMemory::write() invalidates the word's cached decode, so
  *   the next fetch re-decodes the new encoding.
  *
+ * Pages can additionally be *shared*: snapshotProgram() predecodes a
+ * program's text sections into immutable pages that adopt() installs
+ * into any number of DecodedImages (the prepared-workload cache hands
+ * one snapshot to every suite run, sweep point and cosim leg). Shared
+ * pages are copy-on-write — the first invalidation or decode miss on a
+ * shared page clones it privately — so self-modifying code in one run
+ * can never leak a patched decode into another run, and the
+ * invalidation rule above stays exact.
+ *
  * The store is purely functional — it never affects timing. The I-cache
  * remains the timing model of instruction fetch; this is the data path.
  */
@@ -32,14 +41,63 @@
 #include "isa/decode.hh"
 #include "isa/instruction.hh"
 
+namespace mipsx::assembler
+{
+struct Program;
+} // namespace mipsx::assembler
+
 namespace mipsx::memory
 {
 
 /** A decode-once cache of instruction words, keyed like MainMemory. */
 class DecodedImage
 {
+    // The union leaves the Instruction payload uninitialized: a fresh
+    // page costs one present[] clear instead of default-building
+    // pageWords Instruction records, which would dominate short runs.
+    union Slot
+    {
+        isa::Instruction inst;
+        Slot() {}
+    };
+    static_assert(std::is_trivially_destructible_v<isa::Instruction>,
+                  "Slot union skips destruction of cached decodes");
+
   public:
-    static constexpr unsigned pageWords = 4096;
+    // 2048 words (a 66 KB Page) keeps sizeof(Page) under glibc's
+    // 128 KB mmap threshold, so per-run page allocations recycle
+    // through the heap instead of paying mmap + first-touch faults —
+    // measurably the dominant cost of short runs at 4096 words.
+    static constexpr unsigned pageWords = 2048;
+
+    struct Page
+    {
+        std::array<Slot, pageWords> slot;
+        std::array<bool, pageWords> present{};
+    };
+
+    /**
+     * Immutable predecoded pages, shared between DecodedImages by
+     * shared_ptr; the map key is physKey / pageWords.
+     */
+    using Snapshot =
+        std::unordered_map<std::uint64_t, std::shared_ptr<const Page>>;
+
+    /**
+     * Predecode every text-section word of @p prog into shareable
+     * pages. Data sections are excluded on purpose: they are never
+     * fetched as instructions, and leaving their pages absent keeps
+     * data stores on the cheap no-page path of invalidate().
+     */
+    static Snapshot snapshotProgram(const assembler::Program &prog);
+
+    /**
+     * Install the pages of @p snap as shared (copy-on-write) entries.
+     * Call after the program image is loaded; a later invalidate() or
+     * decode miss on a shared page clones it privately first, so the
+     * snapshot itself is never modified.
+     */
+    void adopt(const Snapshot &snap);
 
     /**
      * The decoded instruction for the word at @p key (a physKey).
@@ -50,21 +108,34 @@ class DecodedImage
     const isa::Instruction &
     fetch(std::uint64_t key, RawFn &&raw)
     {
-        Page &p = pageFor(key / pageWords);
+        // Hot path reads through lastPage_ (a raw Page*) so a hit costs
+        // the same one dependent load it did before pages could be
+        // shared; entryFor()/writablePage() keep the pointer current.
+        Entry &e = entryFor(key / pageWords);
         const std::size_t idx = key % pageWords;
-        if (!p.present[idx]) {
+        if (!lastPage_->present[idx]) {
+            Page &p = writablePage(e);
             ::new (&p.slot[idx].inst) isa::Instruction(isa::decode(raw()));
             p.present[idx] = true;
+            return p.slot[idx].inst;
         }
-        return p.slot[idx].inst;
+        return lastPage_->slot[idx].inst;
     }
 
     /** Drop the cached decode of one word (called on every store). */
     void
     invalidate(std::uint64_t key)
     {
-        if (Page *p = findPage(key / pageWords))
-            p->present[key % pageWords] = false;
+        Entry *e = findEntry(key / pageWords);
+        if (!e)
+            return;
+        const std::size_t idx = key % pageWords;
+        // Nothing cached for this word: no clone, no clear. This keeps
+        // ordinary data stores free even when a data word shares a page
+        // with adopted text.
+        if (!e->page->present[idx])
+            return;
+        writablePage(*e).present[idx] = false;
     }
 
     /** Drop everything (programs reloaded, predecode toggled). */
@@ -73,55 +144,78 @@ class DecodedImage
     {
         pages_.clear();
         lastKey_ = noPage;
+        lastEntry_ = nullptr;
         lastPage_ = nullptr;
     }
 
   private:
-    // The union leaves the Instruction payload uninitialized: a fresh
-    // page costs one 4 KiB present[] clear instead of default-building
-    // 4096 Instruction records, which would dominate short runs.
-    union Slot
+    struct Entry
     {
-        isa::Instruction inst;
-        Slot() {}
-    };
-    static_assert(std::is_trivially_destructible_v<isa::Instruction>,
-                  "Slot union skips destruction of cached decodes");
-
-    struct Page
-    {
-        std::array<Slot, pageWords> slot;
-        std::array<bool, pageWords> present{};
+        // Shared (adopted) pages are stored through the same pointer as
+        // owned ones and distinguished by the flag; writablePage() is
+        // the only mutation gate, so a shared page is never written.
+        std::shared_ptr<Page> page;
+        bool owned = true;
     };
 
     static constexpr std::uint64_t noPage = ~std::uint64_t{0};
 
-    // One-entry page cache: fetch streams stay within a 4096-word page
-    // for long runs, so the common case is pointer compare + index.
+    /** Clone-on-write: a private copy of @p e's page if it is shared. */
     Page &
-    pageFor(std::uint64_t page_key)
+    writablePage(Entry &e)
+    {
+        if (!e.owned) {
+            // Sparse copy: snapshot pages are mostly absent slots (a
+            // typical program fills a few hundred of pageWords), so
+            // copying only the present decodes moves a fraction of the
+            // page. SMC under a shared snapshot pays this once per
+            // page per run, so short SMC-heavy programs feel it most.
+            const Page &src = *e.page;
+            auto p = std::make_shared<Page>();
+            p->present = src.present;
+            for (std::size_t i = 0; i < pageWords; ++i)
+                if (src.present[i])
+                    ::new (&p->slot[i].inst)
+                        isa::Instruction(src.slot[i].inst);
+            e.page = std::move(p);
+            e.owned = true;
+            if (&e == lastEntry_)
+                lastPage_ = e.page.get();
+        }
+        return *e.page;
+    }
+
+    // One-entry page cache: fetch streams stay within one page for
+    // long stretches, so the common case is pointer compare + index.
+    // Entry pointers are stable (unordered_map never moves nodes), and
+    // lastPage_ mirrors lastEntry_->page.get() so hot fetches skip the
+    // Entry -> shared_ptr indirection entirely.
+    Entry &
+    entryFor(std::uint64_t page_key)
     {
         if (page_key == lastKey_)
-            return *lastPage_;
-        auto &p = pages_[page_key];
-        if (!p)
-            p = std::make_unique<Page>();
+            return *lastEntry_;
+        auto &e = pages_[page_key];
+        if (!e.page)
+            e.page = std::make_shared<Page>();
         lastKey_ = page_key;
-        lastPage_ = p.get();
-        return *p;
+        lastEntry_ = &e;
+        lastPage_ = e.page.get();
+        return e;
     }
 
-    Page *
-    findPage(std::uint64_t page_key)
+    Entry *
+    findEntry(std::uint64_t page_key)
     {
         if (page_key == lastKey_)
-            return lastPage_;
+            return lastEntry_;
         const auto it = pages_.find(page_key);
-        return it == pages_.end() ? nullptr : it->second.get();
+        return it == pages_.end() ? nullptr : &it->second;
     }
 
-    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    std::unordered_map<std::uint64_t, Entry> pages_;
     std::uint64_t lastKey_ = noPage;
+    Entry *lastEntry_ = nullptr;
     Page *lastPage_ = nullptr;
 };
 

@@ -4,7 +4,8 @@ namespace mipsx::memory
 {
 
 void
-MainMemory::loadProgram(const assembler::Program &prog)
+MainMemory::loadProgram(const assembler::Program &prog,
+                        const DecodedImage::Snapshot *decoded)
 {
     for (const auto &sec : prog.sections) {
         for (std::size_t i = 0; i < sec.words.size(); ++i) {
@@ -12,19 +13,24 @@ MainMemory::loadProgram(const assembler::Program &prog)
                   sec.words[i]);
         }
     }
+    if (!predecode_)
+        return;
     // Decode the program once up front so the simulators' per-fetch
     // cost is an array index (the writes above invalidated any decodes
-    // cached from a previously loaded image).
-    if (predecode_) {
-        for (const auto &sec : prog.sections) {
-            if (!sec.isText)
-                continue;
-            for (std::size_t i = 0; i < sec.words.size(); ++i) {
-                const word_t w = sec.words[i];
-                decoded_.fetch(
-                    physKey(sec.space, sec.base + static_cast<addr_t>(i)),
-                    [w] { return w; });
-            }
+    // cached from a previously loaded image). A prepared snapshot makes
+    // this a hand-over of shared pages instead of a decode pass.
+    if (decoded) {
+        decoded_.adopt(*decoded);
+        return;
+    }
+    for (const auto &sec : prog.sections) {
+        if (!sec.isText)
+            continue;
+        for (std::size_t i = 0; i < sec.words.size(); ++i) {
+            const word_t w = sec.words[i];
+            decoded_.fetch(
+                physKey(sec.space, sec.base + static_cast<addr_t>(i)),
+                [w] { return w; });
         }
     }
 }

@@ -86,8 +86,16 @@ class MainMemory
     }
     bool predecodeEnabled() const { return predecode_; }
 
-    /** Load every section of @p prog at its base address. */
-    void loadProgram(const assembler::Program &prog);
+    /**
+     * Load every section of @p prog at its base address. With
+     * predecode enabled, the text is decoded up front: from scratch
+     * when @p decoded is null, or — the prepared-workload fast path —
+     * by adopting @p decoded's shared copy-on-write pages, which skips
+     * the per-load decode pass entirely. @p decoded must be a snapshot
+     * of exactly @p prog (DecodedImage::snapshotProgram).
+     */
+    void loadProgram(const assembler::Program &prog,
+                     const DecodedImage::Snapshot *decoded = nullptr);
 
     /** Number of resident pages (for tests). */
     std::size_t residentPages() const { return pages_.size(); }

@@ -109,8 +109,16 @@ Iss::emitBranch(addr_t pc, addr_t target, bool cond, bool taken)
 IssStop
 Iss::run()
 {
-    while (!stopped())
-        step();
+    // Resolve the trace hook once, out here: the untraced loop runs the
+    // Traced=false instantiation of stepImpl, which contains no trace
+    // code at all — not even a null-pointer test per step.
+    if (trace_) {
+        while (!stopped())
+            stepImpl<true>();
+    } else {
+        while (!stopped())
+            stepImpl<false>();
+    }
     return stop_;
 }
 
@@ -128,8 +136,479 @@ Iss::collectMetrics(trace::MetricsRegistry &m) const
     m.set("iss.exceptions", stats_.exceptions);
 }
 
+/** Per-step context shared between the dispatch paths and the epilogue. */
+struct Iss::StepCtx
+{
+    addr_t pc = 0;  ///< address of the executing instruction
+    AddressSpace space = AddressSpace::User;
+    word_t a = 0;   ///< R[rs1], load-delay staleness applied
+    word_t b = 0;   ///< R[rs2], load-delay staleness applied
+    bool user = false;
+    bool redirectedSeq = false; ///< sequential mode changed pc_ directly
+    bool done = false; ///< exception/stop consumed the PC update
+};
+
+/**
+ * The semantic-op handlers: one static function per Instruction::op
+ * slot, each the body of one case of the switch they replaced. The
+ * threaded path reaches them through stepTable in a single indexed
+ * call; the Switch reference path reaches the same functions through
+ * Iss::stepOps, so the two dispatch mechanisms cannot drift apart —
+ * only the table's keying is new, and the differential test covers it.
+ */
+struct IssOps
+{
+    using Ctx = Iss::StepCtx;
+    using StepFn = void (*)(Iss &, const isa::Instruction &, Ctx &);
+
+    static addr_t
+    memAddr(word_t base, const isa::Instruction &in)
+    {
+        return static_cast<addr_t>(static_cast<std::int64_t>(base) +
+                                   in.imm);
+    }
+
+    static void
+    compute(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        const core::ComputeResult r =
+            core::executeCompute(in, c.a, c.b, s.md_);
+        if (r.overflow && s.psw_.overflowTrapEnabled()) {
+            s.takeException(psw_bits::cOvf);
+            c.done = true;
+            return;
+        }
+        s.writeReg(in.rd, r.value);
+        if (r.writesMd)
+            s.md_ = r.md;
+    }
+
+    /**
+     * Per-opcode compute handler for the threaded table. The flat op
+     * index already names the ALU operation, so each table slot gets
+     * the semantics inlined via computeFor<Op> — no second dispatch
+     * through computeDispatch, and the overflow/MD epilogue folds away
+     * for opcodes that can produce neither. The generic compute()
+     * above stays as the Switch reference path, which keeps the
+     * dispatch-table route independently exercised.
+     */
+    template <ComputeOp Op>
+    static void
+    computeOp(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        const core::ComputeResult r =
+            core::computeFor<Op>(in, c.a, c.b, s.md_);
+        if (r.overflow && s.psw_.overflowTrapEnabled()) {
+            s.takeException(psw_bits::cOvf);
+            c.done = true;
+            return;
+        }
+        s.writeReg(in.rd, r.value);
+        if (r.writesMd)
+            s.md_ = r.md;
+    }
+
+    static void
+    movfrs(Iss &s, const isa::Instruction &in, Ctx &)
+    {
+        switch (static_cast<SpecialReg>(in.aux)) {
+          case SpecialReg::Psw:
+            s.writeReg(in.rd, s.psw_.bits());
+            break;
+          case SpecialReg::PswOld:
+            s.writeReg(in.rd, s.pswOld_.bits());
+            break;
+          case SpecialReg::Md:
+            s.writeReg(in.rd, s.md_);
+            break;
+          case SpecialReg::PcChain0:
+          case SpecialReg::PcChain1:
+          case SpecialReg::PcChain2:
+            s.writeReg(in.rd,
+                       s.chain_.read(in.aux - static_cast<unsigned>(
+                           SpecialReg::PcChain0)));
+            break;
+        }
+    }
+
+    static void
+    movtos(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        const auto sreg = static_cast<SpecialReg>(in.aux);
+        if (sreg != SpecialReg::Md && c.user) {
+            s.takeException(psw_bits::cPriv);
+            c.done = true;
+            return;
+        }
+        switch (sreg) {
+          case SpecialReg::Md:
+            s.md_ = c.a;
+            break;
+          case SpecialReg::Psw:
+            s.psw_.setBits(c.a);
+            break;
+          case SpecialReg::PswOld:
+            break; // hardware-loaded only
+          case SpecialReg::PcChain0:
+          case SpecialReg::PcChain1:
+          case SpecialReg::PcChain2:
+            s.chain_.write(in.aux - static_cast<unsigned>(
+                               SpecialReg::PcChain0),
+                           c.a);
+            break;
+        }
+    }
+
+    static void
+    addi(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        const auto r =
+            core::addOverflow(c.a, static_cast<word_t>(in.imm));
+        if (r.overflow && s.psw_.overflowTrapEnabled()) {
+            s.takeException(psw_bits::cOvf);
+            c.done = true;
+            return;
+        }
+        s.writeReg(in.rd, r.value);
+    }
+
+    static void
+    lih(Iss &s, const isa::Instruction &in, Ctx &)
+    {
+        s.writeReg(in.rd, static_cast<word_t>(in.imm) << 15);
+    }
+
+    static void
+    jumpTo(Iss &s, const isa::Instruction &in, Ctx &c, addr_t target,
+           bool link)
+    {
+        ++s.stats_.jumps;
+        s.emitBranch(c.pc, target, false, true);
+        if (link) {
+            const unsigned delay = s.config_.mode == IssMode::Delayed
+                ? s.config_.branchDelay
+                : 0;
+            s.writeReg(in.rd, c.pc + 1 + delay);
+        }
+        s.scheduleRedirect(target);
+        c.redirectedSeq = s.config_.mode == IssMode::Sequential;
+    }
+
+    static void
+    jmp(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        jumpTo(s, in, c,
+               static_cast<addr_t>(static_cast<std::int64_t>(c.pc) + 1 +
+                                   in.imm),
+               false);
+    }
+
+    static void
+    jal(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        jumpTo(s, in, c,
+               static_cast<addr_t>(static_cast<std::int64_t>(c.pc) + 1 +
+                                   in.imm),
+               true);
+    }
+
+    static void
+    jr(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        jumpTo(s, in, c, memAddr(c.a, in), false);
+    }
+
+    static void
+    jalr(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        jumpTo(s, in, c, memAddr(c.a, in), true);
+    }
+
+    static void
+    jpc(Iss &s, const isa::Instruction &, Ctx &c)
+    {
+        if (c.user) {
+            s.takeException(psw_bits::cPriv);
+            c.done = true;
+            return;
+        }
+        const word_t entry = s.chain_.pop();
+        const addr_t target = core::PcChain::entryPc(entry);
+        if (s.config_.mode == IssMode::Sequential) {
+            s.pc_ = target;
+            c.redirectedSeq = true;
+        } else {
+            s.redirects_.push_back({s.config_.branchDelay + 1, target});
+            // A squashed entry re-executes as a no-op: skip the single
+            // instruction the redirect injects.
+            if (core::PcChain::entrySquashed(entry))
+                s.redirects_.back().target |= core::chainSquashBit;
+        }
+    }
+
+    static void
+    trap(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        ++s.stats_.traps;
+        c.done = true;
+        if (in.uimm == isa::trapCodeHalt) {
+            s.stop_ = IssStop::Halt;
+            return;
+        }
+        if (in.uimm == isa::trapCodeFail) {
+            s.stop_ = IssStop::Fail;
+            return;
+        }
+        s.takeException(psw_bits::cTrap);
+    }
+
+    static void
+    ld(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        ++s.stats_.loads;
+        const word_t old = s.readReg(in.rd);
+        const word_t v = s.ram_.read(c.space, memAddr(c.a, in));
+        s.writeReg(in.rd, v);
+        if (s.config_.mode == IssMode::Delayed && in.rd != 0) {
+            s.stalePending_ = true;
+            s.staleReg_ = in.rd;
+            s.staleValue_ = old;
+        }
+    }
+
+    static void
+    st(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        ++s.stats_.stores;
+        s.ram_.write(c.space, memAddr(c.a, in), c.b);
+    }
+
+    static void
+    ldf(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        ++s.stats_.loads;
+        ++s.stats_.coprocOps;
+        s.cops_.at(1).loadDirect(in.aux,
+                                 s.ram_.read(c.space, memAddr(c.a, in)));
+    }
+
+    static void
+    stf(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        ++s.stats_.stores;
+        ++s.stats_.coprocOps;
+        s.ram_.write(c.space, memAddr(c.a, in),
+                     s.cops_.at(1).storeDirect(in.aux));
+    }
+
+    static void
+    aluc(Iss &s, const isa::Instruction &in, Ctx &)
+    {
+        ++s.stats_.coprocOps;
+        s.cops_.at(in.copNum()).aluc(in.copOp());
+    }
+
+    static void
+    movfrc(Iss &s, const isa::Instruction &in, Ctx &)
+    {
+        ++s.stats_.coprocOps;
+        const word_t old = s.readReg(in.rd);
+        s.writeReg(in.rd, s.cops_.at(in.copNum()).movfrc(in.copOp()));
+        if (s.config_.mode == IssMode::Delayed && in.rd != 0) {
+            s.stalePending_ = true;
+            s.staleReg_ = in.rd;
+            s.staleValue_ = old;
+        }
+    }
+
+    static void
+    movtoc(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        ++s.stats_.coprocOps;
+        s.cops_.at(in.copNum()).movtoc(in.copOp(), c.b);
+    }
+
+    static void
+    branch(Iss &s, const isa::Instruction &in, Ctx &c)
+    {
+        const bool taken = core::branchTakenInline(in.cond, c.a, c.b);
+        ++s.stats_.branches;
+        if (taken)
+            ++s.stats_.branchesTaken;
+        const addr_t target = static_cast<addr_t>(
+            static_cast<std::int64_t>(c.pc) + 1 + in.imm);
+        s.emitBranch(c.pc, target, true, taken);
+        if (s.config_.mode == IssMode::Sequential) {
+            if (taken) {
+                s.pc_ = target;
+                c.redirectedSeq = true;
+            }
+        } else {
+            if (taken)
+                s.redirects_.push_back(
+                    {s.config_.branchDelay + 1, target});
+            const bool squash =
+                (in.squash == isa::SquashType::SquashNotTaken &&
+                 !taken) ||
+                (in.squash == isa::SquashType::SquashTaken && taken);
+            if (squash)
+                s.skip_ = s.config_.branchDelay;
+        }
+    }
+
+    static void
+    invalid(Iss &s, const isa::Instruction &, Ctx &c)
+    {
+        // Unreachable through step() (validity is checked before
+        // dispatch) but present so the table is total over op indices.
+        s.stop_ = IssStop::InvalidInstruction;
+        c.done = true;
+    }
+};
+
+namespace
+{
+
+using StepFn = IssOps::StepFn;
+
+constexpr std::array<StepFn, isa::opCount>
+buildStepTable()
+{
+    std::array<StepFn, isa::opCount> t{};
+    const auto alu = [&t](ComputeOp op, StepFn fn) {
+        t[static_cast<std::size_t>(op)] = fn;
+    };
+    alu(ComputeOp::Add, IssOps::computeOp<ComputeOp::Add>);
+    alu(ComputeOp::Sub, IssOps::computeOp<ComputeOp::Sub>);
+    alu(ComputeOp::And, IssOps::computeOp<ComputeOp::And>);
+    alu(ComputeOp::Or, IssOps::computeOp<ComputeOp::Or>);
+    alu(ComputeOp::Xor, IssOps::computeOp<ComputeOp::Xor>);
+    alu(ComputeOp::Bic, IssOps::computeOp<ComputeOp::Bic>);
+    alu(ComputeOp::Sll, IssOps::computeOp<ComputeOp::Sll>);
+    alu(ComputeOp::Srl, IssOps::computeOp<ComputeOp::Srl>);
+    alu(ComputeOp::Sra, IssOps::computeOp<ComputeOp::Sra>);
+    alu(ComputeOp::Fsh, IssOps::computeOp<ComputeOp::Fsh>);
+    alu(ComputeOp::Mstep, IssOps::computeOp<ComputeOp::Mstep>);
+    alu(ComputeOp::Dstep, IssOps::computeOp<ComputeOp::Dstep>);
+    t[static_cast<std::size_t>(ComputeOp::Movfrs)] = IssOps::movfrs;
+    t[static_cast<std::size_t>(ComputeOp::Movtos)] = IssOps::movtos;
+    const auto imm = [&t](ImmOp op) -> StepFn & {
+        return t[isa::opImmBase + static_cast<std::size_t>(op)];
+    };
+    imm(ImmOp::Addi) = IssOps::addi;
+    imm(ImmOp::Lih) = IssOps::lih;
+    imm(ImmOp::Jmp) = IssOps::jmp;
+    imm(ImmOp::Jal) = IssOps::jal;
+    imm(ImmOp::Jr) = IssOps::jr;
+    imm(ImmOp::Jalr) = IssOps::jalr;
+    imm(ImmOp::Jpc) = IssOps::jpc;
+    imm(ImmOp::Trap) = IssOps::trap;
+    const auto mem = [&t](MemOp op) -> StepFn & {
+        return t[isa::opMemBase + static_cast<std::size_t>(op)];
+    };
+    mem(MemOp::Ld) = IssOps::ld;
+    mem(MemOp::Ldt) = IssOps::ld;
+    mem(MemOp::St) = IssOps::st;
+    mem(MemOp::Ldf) = IssOps::ldf;
+    mem(MemOp::Stf) = IssOps::stf;
+    mem(MemOp::Aluc) = IssOps::aluc;
+    mem(MemOp::Movfrc) = IssOps::movfrc;
+    mem(MemOp::Movtoc) = IssOps::movtoc;
+    t[isa::opBranch] = IssOps::branch;
+    t[isa::opInvalid] = IssOps::invalid;
+    return t;
+}
+
+constexpr std::array<StepFn, isa::opCount> stepTable = buildStepTable();
+
+} // namespace
+
+bool
+Iss::hasHandler(std::uint8_t op)
+{
+    return op < isa::opCount && stepTable[op] != nullptr;
+}
+
 void
-Iss::step()
+Iss::stepOps(const isa::Instruction &in, StepCtx &ctx)
+{
+    switch (in.fmt) {
+      case Format::Compute:
+        switch (in.compOp) {
+          case ComputeOp::Movfrs:
+            IssOps::movfrs(*this, in, ctx);
+            break;
+          case ComputeOp::Movtos:
+            IssOps::movtos(*this, in, ctx);
+            break;
+          default:
+            IssOps::compute(*this, in, ctx);
+            break;
+        }
+        break;
+      case Format::Imm:
+        switch (in.immOp) {
+          case ImmOp::Addi:
+            IssOps::addi(*this, in, ctx);
+            break;
+          case ImmOp::Lih:
+            IssOps::lih(*this, in, ctx);
+            break;
+          case ImmOp::Jmp:
+            IssOps::jmp(*this, in, ctx);
+            break;
+          case ImmOp::Jal:
+            IssOps::jal(*this, in, ctx);
+            break;
+          case ImmOp::Jr:
+            IssOps::jr(*this, in, ctx);
+            break;
+          case ImmOp::Jalr:
+            IssOps::jalr(*this, in, ctx);
+            break;
+          case ImmOp::Jpc:
+            IssOps::jpc(*this, in, ctx);
+            break;
+          case ImmOp::Trap:
+            IssOps::trap(*this, in, ctx);
+            break;
+        }
+        break;
+      case Format::Mem:
+        switch (in.memOp) {
+          case MemOp::Ld:
+          case MemOp::Ldt:
+            IssOps::ld(*this, in, ctx);
+            break;
+          case MemOp::St:
+            IssOps::st(*this, in, ctx);
+            break;
+          case MemOp::Ldf:
+            IssOps::ldf(*this, in, ctx);
+            break;
+          case MemOp::Stf:
+            IssOps::stf(*this, in, ctx);
+            break;
+          case MemOp::Aluc:
+            IssOps::aluc(*this, in, ctx);
+            break;
+          case MemOp::Movfrc:
+            IssOps::movfrc(*this, in, ctx);
+            break;
+          case MemOp::Movtoc:
+            IssOps::movtoc(*this, in, ctx);
+            break;
+        }
+        break;
+      case Format::Branch:
+        IssOps::branch(*this, in, ctx);
+        break;
+    }
+}
+
+template <bool Traced>
+void
+Iss::stepImpl()
 {
     if (stopped())
         return;
@@ -152,268 +631,46 @@ Iss::step()
     const word_t stale_value = staleValue_;
     stalePending_ = false;
 
-    auto read = [&](unsigned r) -> word_t {
-        if (r == 0)
-            return 0;
-        if (stale_active && r == stale_reg)
-            return stale_value;
-        return regs_[r];
-    };
-
     const bool squashed = skip_ > 0;
     if (skip_ > 0)
         --skip_;
-    if (trace_)
+    if constexpr (Traced)
         trace_->record({stats_.steps, cur, in.raw,
                         squashed ? 1u : 0u, trace::EventKind::Retire,
                         space, true});
 
-    bool redirected_seq = false; // sequential mode changed pc_ directly
+    StepCtx ctx;
+    ctx.pc = cur;
+    ctx.space = space;
 
     if (!squashed) {
         if (!in.valid) {
             stop_ = IssStop::InvalidInstruction;
             return;
         }
-        const bool user = !psw_.systemMode();
-        const word_t a = read(in.rs1);
-        const word_t b = read(in.rs2);
+        ctx.user = !psw_.systemMode();
+        auto read = [&](unsigned r) -> word_t {
+            if (r == 0)
+                return 0;
+            if (stale_active && r == stale_reg)
+                return stale_value;
+            return regs_[r];
+        };
+        ctx.a = read(in.rs1);
+        ctx.b = read(in.rs2);
 
-        switch (in.fmt) {
-          case Format::Compute:
-            switch (in.compOp) {
-              case ComputeOp::Movfrs:
-                switch (static_cast<SpecialReg>(in.aux)) {
-                  case SpecialReg::Psw:
-                    writeReg(in.rd, psw_.bits());
-                    break;
-                  case SpecialReg::PswOld:
-                    writeReg(in.rd, pswOld_.bits());
-                    break;
-                  case SpecialReg::Md:
-                    writeReg(in.rd, md_);
-                    break;
-                  case SpecialReg::PcChain0:
-                  case SpecialReg::PcChain1:
-                  case SpecialReg::PcChain2:
-                    writeReg(in.rd,
-                             chain_.read(in.aux - static_cast<unsigned>(
-                                 SpecialReg::PcChain0)));
-                    break;
-                }
-                break;
-              case ComputeOp::Movtos: {
-                const auto sreg = static_cast<SpecialReg>(in.aux);
-                if (sreg != SpecialReg::Md && user) {
-                    takeException(psw_bits::cPriv);
-                    return;
-                }
-                switch (sreg) {
-                  case SpecialReg::Md:
-                    md_ = a;
-                    break;
-                  case SpecialReg::Psw:
-                    psw_.setBits(a);
-                    break;
-                  case SpecialReg::PswOld:
-                    break; // hardware-loaded only
-                  case SpecialReg::PcChain0:
-                  case SpecialReg::PcChain1:
-                  case SpecialReg::PcChain2:
-                    chain_.write(in.aux - static_cast<unsigned>(
-                                     SpecialReg::PcChain0),
-                                 a);
-                    break;
-                }
-                break;
-              }
-              default: {
-                const core::ComputeResult r =
-                    core::executeCompute(in, a, b, md_);
-                if (r.overflow && psw_.overflowTrapEnabled()) {
-                    takeException(psw_bits::cOvf);
-                    return;
-                }
-                writeReg(in.rd, r.value);
-                if (r.writesMd)
-                    md_ = r.md;
-                break;
-              }
-            }
-            break;
+        if (config_.dispatch == IssDispatch::Threaded)
+            stepTable[in.op](*this, in, ctx);
+        else
+            stepOps(in, ctx);
 
-          case Format::Imm:
-            switch (in.immOp) {
-              case ImmOp::Addi: {
-                const auto r =
-                    core::addOverflow(a, static_cast<word_t>(in.imm));
-                if (r.overflow && psw_.overflowTrapEnabled()) {
-                    takeException(psw_bits::cOvf);
-                    return;
-                }
-                writeReg(in.rd, r.value);
-                break;
-              }
-              case ImmOp::Lih:
-                writeReg(in.rd, static_cast<word_t>(in.imm) << 15);
-                break;
-              case ImmOp::Jmp:
-              case ImmOp::Jal: {
-                const addr_t target = static_cast<addr_t>(
-                    static_cast<std::int64_t>(cur) + 1 + in.imm);
-                ++stats_.jumps;
-                emitBranch(cur, target, false, true);
-                if (in.immOp == ImmOp::Jal) {
-                    const unsigned delay =
-                        config_.mode == IssMode::Delayed
-                            ? config_.branchDelay
-                            : 0;
-                    writeReg(in.rd, cur + 1 + delay);
-                }
-                scheduleRedirect(target);
-                redirected_seq = config_.mode == IssMode::Sequential;
-                break;
-              }
-              case ImmOp::Jr:
-              case ImmOp::Jalr: {
-                const addr_t target = static_cast<addr_t>(
-                    static_cast<std::int64_t>(a) + in.imm);
-                ++stats_.jumps;
-                emitBranch(cur, target, false, true);
-                if (in.immOp == ImmOp::Jalr) {
-                    const unsigned delay =
-                        config_.mode == IssMode::Delayed
-                            ? config_.branchDelay
-                            : 0;
-                    writeReg(in.rd, cur + 1 + delay);
-                }
-                scheduleRedirect(target);
-                redirected_seq = config_.mode == IssMode::Sequential;
-                break;
-              }
-              case ImmOp::Jpc: {
-                if (user) {
-                    takeException(psw_bits::cPriv);
-                    return;
-                }
-                const word_t entry = chain_.pop();
-                const addr_t target = core::PcChain::entryPc(entry);
-                if (config_.mode == IssMode::Sequential) {
-                    pc_ = target;
-                    redirected_seq = true;
-                } else {
-                    redirects_.push_back(
-                        {config_.branchDelay + 1, target});
-                    // A squashed entry re-executes as a no-op: skip the
-                    // single instruction the redirect injects.
-                    if (core::PcChain::entrySquashed(entry))
-                        redirects_.back().target |= core::chainSquashBit;
-                }
-                break;
-              }
-              case ImmOp::Trap:
-                ++stats_.traps;
-                if (in.uimm == isa::trapCodeHalt) {
-                    stop_ = IssStop::Halt;
-                    return;
-                }
-                if (in.uimm == isa::trapCodeFail) {
-                    stop_ = IssStop::Fail;
-                    return;
-                }
-                takeException(psw_bits::cTrap);
-                return;
-            }
-            break;
-
-          case Format::Mem: {
-            const addr_t addr = static_cast<addr_t>(
-                static_cast<std::int64_t>(a) + in.imm);
-            switch (in.memOp) {
-              case MemOp::Ld:
-              case MemOp::Ldt: {
-                ++stats_.loads;
-                const word_t old = readReg(in.rd);
-                const word_t v = ram_.read(space, addr);
-                writeReg(in.rd, v);
-                if (config_.mode == IssMode::Delayed && in.rd != 0) {
-                    stalePending_ = true;
-                    staleReg_ = in.rd;
-                    staleValue_ = old;
-                }
-                break;
-              }
-              case MemOp::St:
-                ++stats_.stores;
-                ram_.write(space, addr, b);
-                break;
-              case MemOp::Ldf:
-                ++stats_.loads;
-                ++stats_.coprocOps;
-                cops_.at(1).loadDirect(in.aux, ram_.read(space, addr));
-                break;
-              case MemOp::Stf:
-                ++stats_.stores;
-                ++stats_.coprocOps;
-                ram_.write(space, addr, cops_.at(1).storeDirect(in.aux));
-                break;
-              case MemOp::Aluc:
-                ++stats_.coprocOps;
-                cops_.at(in.copNum()).aluc(in.copOp());
-                break;
-              case MemOp::Movfrc: {
-                ++stats_.coprocOps;
-                const word_t old = readReg(in.rd);
-                writeReg(in.rd, cops_.at(in.copNum()).movfrc(in.copOp()));
-                if (config_.mode == IssMode::Delayed && in.rd != 0) {
-                    stalePending_ = true;
-                    staleReg_ = in.rd;
-                    staleValue_ = old;
-                }
-                break;
-              }
-              case MemOp::Movtoc:
-                ++stats_.coprocOps;
-                cops_.at(in.copNum()).movtoc(in.copOp(), b);
-                break;
-            }
-            break;
-          }
-
-          case Format::Branch: {
-            const bool taken = core::branchTaken(in.cond, a, b);
-            ++stats_.branches;
-            if (taken)
-                ++stats_.branchesTaken;
-            const addr_t target = static_cast<addr_t>(
-                static_cast<std::int64_t>(cur) + 1 + in.imm);
-            emitBranch(cur, target, true, taken);
-            if (config_.mode == IssMode::Sequential) {
-                if (taken) {
-                    pc_ = target;
-                    redirected_seq = true;
-                }
-            } else {
-                if (taken)
-                    redirects_.push_back({config_.branchDelay + 1, target});
-                const bool squash =
-                    (in.squash == isa::SquashType::SquashNotTaken &&
-                     !taken) ||
-                    (in.squash == isa::SquashType::SquashTaken && taken);
-                if (squash)
-                    skip_ = config_.branchDelay;
-            }
-            break;
-          }
-        }
+        if (ctx.done || stopped())
+            return;
     }
-
-    if (stopped())
-        return;
 
     // Advance the PC.
     if (config_.mode == IssMode::Sequential) {
-        if (!redirected_seq)
+        if (!ctx.redirectedSeq)
             pc_ = cur + 1;
         return;
     }
@@ -430,6 +687,15 @@ Iss::step()
         }
     }
     pc_ = next;
+}
+
+void
+Iss::step()
+{
+    if (trace_)
+        stepImpl<true>();
+    else
+        stepImpl<false>();
 }
 
 } // namespace mipsx::sim

@@ -55,6 +55,18 @@ enum class IssMode : std::uint8_t
     Delayed,
 };
 
+/**
+ * How the execute loop finds an instruction's semantics: Threaded is a
+ * single indexed call through a handler table keyed by the predecoded
+ * Instruction::op; Switch is the original nested format/opcode switch,
+ * kept as the reference path for differential testing.
+ */
+enum class IssDispatch : std::uint8_t
+{
+    Threaded,
+    Switch,
+};
+
 /** ISS configuration. */
 struct IssConfig
 {
@@ -62,6 +74,7 @@ struct IssConfig
     unsigned branchDelay = 2; ///< used in Delayed mode
     std::uint64_t maxSteps = 500'000'000;
     word_t initialPsw = isa::psw_bits::shiftEn;
+    IssDispatch dispatch = IssDispatch::Threaded;
 };
 
 /** Why the ISS stopped. */
@@ -148,7 +161,27 @@ class Iss
     /** Export the ISS statistics into @p m under "iss.". */
     void collectMetrics(trace::MetricsRegistry &m) const;
 
+    /**
+     * True if the threaded-dispatch table has a handler for semantic-op
+     * index @p op (every op a valid decode can produce must have one;
+     * the completeness test enforces this against isa::decode()).
+     */
+    static bool hasHandler(std::uint8_t op);
+
   private:
+    struct StepCtx;
+    friend struct IssOps;
+
+    /**
+     * One instruction, with the trace hook resolved at compile time:
+     * the Traced=false instantiation contains no trace code at all, so
+     * the tracing-off run loop pays nothing per step.
+     */
+    template <bool Traced> void stepImpl();
+
+    /** The original nested switch (IssDispatch::Switch reference path). */
+    void stepOps(const isa::Instruction &in, StepCtx &ctx);
+
     word_t readReg(unsigned r) const;
     void writeReg(unsigned r, word_t v);
     void takeException(word_t cause);

@@ -25,9 +25,10 @@ Machine::Machine(const MachineConfig &config) : config_(config)
 }
 
 void
-Machine::load(const assembler::Program &prog)
+Machine::load(const assembler::Program &prog,
+              const memory::DecodedImage::Snapshot *decoded)
 {
-    mem_.loadProgram(prog);
+    mem_.loadProgram(prog, decoded);
     prog_ = &prog;
     cpu_->setProgram(prog_);
 }

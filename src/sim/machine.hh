@@ -53,8 +53,14 @@ class Machine
   public:
     explicit Machine(const MachineConfig &config = {});
 
-    /** Load a program image; remembers it for slot annotations. */
-    void load(const assembler::Program &prog);
+    /**
+     * Load a program image; remembers it for slot annotations. An
+     * optional predecode snapshot of exactly @p prog (the prepared-
+     * workload fast path) is adopted copy-on-write instead of decoding
+     * the text from scratch.
+     */
+    void load(const assembler::Program &prog,
+              const memory::DecodedImage::Snapshot *decoded = nullptr);
 
     /** Reset and run the loaded program to completion. */
     core::RunResult run();

@@ -1,0 +1,130 @@
+#include "workload/prepared.hh"
+
+#include <cstdio>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+
+namespace mipsx::workload
+{
+
+PreparedPtr
+prepareWorkload(const Workload &w, const reorg::ReorgConfig &rc,
+                bool useProfiles)
+{
+    auto prep = std::make_shared<PreparedWorkload>();
+    prep->name = w.name;
+    reorg::ReorgConfig cfg = rc;
+    if (useProfiles) {
+        cfg.prediction = reorg::Prediction::Profile;
+        cfg.profile = collectProfile(w);
+    }
+    const auto prog = assembler::assemble(w.source, w.name + ".s");
+    prep->image = reorg::reorganize(prog, cfg, &prep->reorgStats);
+    prep->decoded = memory::DecodedImage::snapshotProgram(prep->image);
+    return prep;
+}
+
+std::uint64_t
+sourceFingerprint(const std::string &source)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const unsigned char c : source) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+reorgFingerprint(const reorg::ReorgConfig &rc)
+{
+    std::string fp;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "s%u/d%u/l%u/f%u/p%u",
+                  static_cast<unsigned>(rc.scheme), rc.slots,
+                  rc.fillLoadDelay ? 1u : 0u, rc.paperFaithful ? 1u : 0u,
+                  static_cast<unsigned>(rc.prediction));
+    fp = buf;
+    for (const auto &[addr, frac] : rc.profile) {
+        // Hex-float so the serialization is exact and locale-free.
+        std::snprintf(buf, sizeof buf, "/%x:%a", addr, frac);
+        fp += buf;
+    }
+    return fp;
+}
+
+namespace
+{
+
+std::string
+cacheKey(const Workload &w, const reorg::ReorgConfig &rc,
+         bool useProfiles)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "|%016llx|%zu|%c|",
+                  static_cast<unsigned long long>(
+                      sourceFingerprint(w.source)),
+                  w.source.size(), useProfiles ? 'P' : '-');
+    return w.name + buf + reorgFingerprint(rc);
+}
+
+} // namespace
+
+PreparedPtr
+PreparedCache::get(const Workload &w, const reorg::ReorgConfig &rc,
+                   bool useProfiles)
+{
+    const std::string key = cacheKey(w, rc, useProfiles);
+    std::promise<PreparedPtr> promise;
+    std::shared_future<PreparedPtr> fut;
+    bool builder = false;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            fut = it->second;
+        } else {
+            ++misses_;
+            fut = promise.get_future().share();
+            entries_.emplace(key, fut);
+            builder = true;
+        }
+    }
+    if (builder) {
+        // Build outside the lock: other keys prepare concurrently, and
+        // same-key requesters block on the future, not the mutex.
+        try {
+            promise.set_value(prepareWorkload(w, rc, useProfiles));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return fut.get();
+}
+
+void
+PreparedCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+PreparedCacheStats
+PreparedCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {hits_, misses_, entries_.size()};
+}
+
+PreparedCache &
+PreparedCache::global()
+{
+    static PreparedCache cache;
+    return cache;
+}
+
+} // namespace mipsx::workload

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The content-addressed prepared-workload image cache.
+ *
+ * A full suite pass is dominated by the toolchain — assemble, profile
+ * (optionally), reorganize, predecode — yet the result depends only on
+ * the workload source and the ReorgConfig, both of which repeat
+ * endlessly across suite runs, explore sweep points and benchmark
+ * repetitions. The cache builds each (workload, config) preparation
+ * exactly once, keyed by a fingerprint of the source text and the
+ * canonical ReorgConfig serialization, and hands out one immutable
+ * PreparedWorkload that every run shares:
+ *
+ *  - the reorganized Program is loaded read-only by each Machine (the
+ *    Machine keeps a pointer into it, which the shared_ptr keeps
+ *    alive for as long as any cache entry or caller holds it);
+ *  - the DecodedImage::Snapshot is adopted copy-on-write, so a run
+ *    whose program patches its own text clones the affected decode
+ *    page privately and can never contaminate a concurrent run.
+ *
+ * Thread safety: entries are shared_futures created under the cache
+ * mutex, so concurrent requests for the same key deduplicate — one
+ * thread builds, the rest wait on the future — while requests for
+ * different keys build in parallel. By construction the cache cannot
+ * change results, only when the preparation work happens; the
+ * cache-on-vs-off determinism tests assert exactly that.
+ */
+
+#ifndef MIPSX_WORKLOAD_PREPARED_HH
+#define MIPSX_WORKLOAD_PREPARED_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "assembler/program.hh"
+#include "memory/decoded_image.hh"
+#include "reorg/scheduler.hh"
+#include "workload/workload.hh"
+
+namespace mipsx::workload
+{
+
+/** One workload, fully prepared to load into a Machine or Iss. */
+struct PreparedWorkload
+{
+    std::string name;
+    assembler::Program image; ///< reorganized, pipeline-ready
+    reorg::ReorgStats reorgStats;
+    /** Shared predecode of image's text (copy-on-write on adoption). */
+    memory::DecodedImage::Snapshot decoded;
+};
+
+using PreparedPtr = std::shared_ptr<const PreparedWorkload>;
+
+/**
+ * Assemble + (optionally) profile + reorganize + predecode @p w from
+ * scratch — the cache-off path, and the builder the cache runs on a
+ * miss. @p useProfiles mirrors SuiteRunOptions::useProfiles.
+ */
+PreparedPtr prepareWorkload(const Workload &w,
+                            const reorg::ReorgConfig &rc,
+                            bool useProfiles);
+
+/**
+ * Canonical serialization of every ReorgConfig field (profile map
+ * included, as hex-float entries) — the config component of the cache
+ * key. Two configs fingerprint equal iff reorganize() cannot tell them
+ * apart.
+ */
+std::string reorgFingerprint(const reorg::ReorgConfig &rc);
+
+/** FNV-1a 64-bit hash of the workload source text. */
+std::uint64_t sourceFingerprint(const std::string &source);
+
+/** Cache observability (tests, tool summaries). */
+struct PreparedCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+};
+
+/** The thread-safe content-addressed cache of PreparedWorkloads. */
+class PreparedCache
+{
+  public:
+    /**
+     * The prepared image for (@p w, @p rc, @p useProfiles), building it
+     * on first request. A build failure (e.g. an assembler error) is
+     * cached too and rethrown to every requester — preparation is
+     * deterministic, so retrying cannot change the answer.
+     */
+    PreparedPtr get(const Workload &w, const reorg::ReorgConfig &rc,
+                    bool useProfiles);
+
+    /** Drop every entry (tests; frees the images once runs finish). */
+    void clear();
+
+    PreparedCacheStats stats() const;
+
+    /** The process-wide cache used by runSuite and the cosim loop. */
+    static PreparedCache &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_future<PreparedPtr>>
+        entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace mipsx::workload
+
+#endif // MIPSX_WORKLOAD_PREPARED_HH

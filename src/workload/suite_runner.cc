@@ -5,8 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
-#include "assembler/assembler.hh"
 #include "common/sim_error.hh"
+#include "workload/prepared.hh"
 
 namespace mipsx::workload
 {
@@ -30,7 +30,8 @@ namespace
 struct WorkloadOutcome
 {
     SuiteStats stats;
-    double runSeconds = 0; ///< host time inside Machine::run()
+    double prepareSeconds = 0; ///< host time obtaining the prepared image
+    double runSeconds = 0;     ///< host time inside Machine::run()
     bool failed = false;
     SuiteFailure failure;
 };
@@ -40,18 +41,19 @@ runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
 {
     WorkloadOutcome out;
     try {
-        reorg::ReorgConfig rc = opts.reorg;
-        if (opts.useProfiles) {
-            rc.prediction = reorg::Prediction::Profile;
-            rc.profile = collectProfile(w);
-        }
-        const auto prog = assembler::assemble(w.source, w.name + ".s");
-        reorg::ReorgStats rst;
-        const auto reorged = reorg::reorganize(prog, rc, &rst);
+        const auto prep0 = std::chrono::steady_clock::now();
+        const PreparedPtr prep = opts.preparedCache
+            ? PreparedCache::global().get(w, opts.reorg, opts.useProfiles)
+            : prepareWorkload(w, opts.reorg, opts.useProfiles);
         sim::Machine machine(opts.machine);
         machine.memory().setPredecodeEnabled(opts.predecode);
-        machine.load(reorged);
+        // The snapshot's pages are adopted copy-on-write, so a self-
+        // modifying run clones privately and cannot touch the cache.
+        machine.load(prep->image,
+                     opts.predecode ? &prep->decoded : nullptr);
         const auto run0 = std::chrono::steady_clock::now();
+        out.prepareSeconds =
+            std::chrono::duration<double>(run0 - prep0).count();
         const auto result = machine.run();
         out.runSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - run0)
@@ -161,6 +163,7 @@ runSuite(const std::vector<Workload> &ws, const SuiteRunOptions &opts)
 
     for (auto &o : slots) {
         merge(res.stats, o.stats);
+        res.timing.prepareSeconds += o.prepareSeconds;
         res.timing.simSeconds += o.runSeconds;
         if (o.failed)
             res.failures.push_back(std::move(o.failure));
@@ -201,6 +204,20 @@ collectMetrics(const SuiteStats &s, trace::MetricsRegistry &m,
     m.set(p + "icache_miss_ratio", s.icacheMissRatio());
     m.set(p + "avg_fetch_cost", s.avgFetchCost());
     m.set(p + "ecache_miss_ratio", s.ecacheMissRatio());
+}
+
+void
+collectTiming(const SuiteTiming &t, trace::MetricsRegistry &m,
+              const std::string &prefix)
+{
+    const std::string p = prefix + ".";
+    m.set(p + "host_seconds", t.hostSeconds);
+    m.set(p + "prepare_seconds", t.prepareSeconds);
+    m.set(p + "simulate_seconds", t.simSeconds);
+    m.set(p + "sim_instructions", t.simInstructions);
+    m.set(p + "jobs", t.jobs);
+    m.set(p + "instr_per_host_second", t.instrPerHostSecond());
+    m.set(p + "instr_per_sim_second", t.instrPerSimSecond());
 }
 
 } // namespace mipsx::workload

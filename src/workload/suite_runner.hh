@@ -99,17 +99,24 @@ struct SuiteFailure
     bool operator==(const SuiteFailure &) const = default;
 };
 
-/** Host-side timing of one suite run. */
+/**
+ * Host-side timing of one suite run, split into the two phases the
+ * prepared-workload cache separates: prepare (assemble + profile +
+ * reorganize + predecode — cache hits make this near zero) and
+ * simulate (inside Machine::run()). Both phase times are summed over
+ * workloads, so they are additive across workers and exceed wall time
+ * on a parallel run.
+ */
 struct SuiteTiming
 {
-    /** Wall time of the whole run (assemble + reorganize + simulate). */
+    /** Wall time of the whole run (prepare + simulate, all workers). */
     double hostSeconds = 0;
+    /** Host time obtaining each workload's prepared image. */
+    double prepareSeconds = 0;
     /**
-     * Host time spent inside Machine::run() only, summed over
-     * workloads (additive across workers, so it exceeds wall time on a
-     * parallel run). This is the number to compare across simulator
-     * versions: it excludes the toolchain phases, which dominate a
-     * single pass over the suite.
+     * Host time spent inside Machine::run() only. This is the number
+     * to compare across simulator versions: it excludes the toolchain
+     * phases, which dominate an uncached single pass over the suite.
      */
     double simSeconds = 0;
     std::uint64_t simInstructions = 0;
@@ -136,6 +143,13 @@ struct SuiteRunOptions
     unsigned jobs = 0;
     /** Decode each program word once at load time (see DESIGN.md). */
     bool predecode = true;
+    /**
+     * Serve prepared images (assembled + reorganized + predecoded)
+     * from the process-wide PreparedCache; off rebuilds every workload
+     * from source on each run. Purely a when-the-work-happens switch:
+     * stats, failures and sweep outputs are bit-identical either way.
+     */
+    bool preparedCache = true;
 };
 
 /**
@@ -166,6 +180,15 @@ SuiteResult runSuite(const std::vector<Workload> &ws,
  */
 void collectMetrics(const SuiteStats &s, trace::MetricsRegistry &m,
                     const std::string &prefix = "suite");
+
+/**
+ * Export the phase-split run timing (host/prepare/simulate seconds and
+ * the derived throughputs) into @p m under "<prefix>.". Kept separate
+ * from collectMetrics so deterministic outputs (sweep CSV/JSON) never
+ * ingest host-dependent values.
+ */
+void collectTiming(const SuiteTiming &t, trace::MetricsRegistry &m,
+                   const std::string &prefix = "suite.timing");
 
 } // namespace mipsx::workload
 

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/prepared.hh"
 #include "workload/suite_runner.hh"
 #include "workload/workload.hh"
 
@@ -45,6 +46,32 @@ TEST(SuiteRunner, WorkerCountDoesNotChangeTheAggregate)
             << "aggregate differs at jobs=" << jobs;
         EXPECT_TRUE(par.failures == serial.failures);
     }
+}
+
+TEST(SuiteRunner, SharedPreparedCacheUnderTheWorkerPool)
+{
+    // This binary is the one the ThreadSanitizer stage runs, so this
+    // test is the race detector for the prepared cache: a cold cache
+    // hammered by 8 workers (concurrent same-key first touches resolve
+    // through one shared future), then a warm pass sharing the cached
+    // images and decode snapshots across all workers at once.
+    PreparedCache::global().clear();
+    const auto suite = fullSuite();
+    SuiteRunOptions opts;
+    opts.jobs = 8;
+    const auto cold = runSuite(suite, opts);
+    EXPECT_EQ(cold.stats.failures, 0u);
+    const auto coldStats = PreparedCache::global().stats();
+    EXPECT_EQ(coldStats.misses, suite.size());
+    const auto warm = runSuite(suite, opts);
+    EXPECT_TRUE(warm.stats == cold.stats);
+    EXPECT_GE(PreparedCache::global().stats().hits, suite.size());
+    // The serial uncached run is the reference the shared runs must
+    // reproduce exactly.
+    SuiteRunOptions uncached;
+    uncached.jobs = 1;
+    uncached.preparedCache = false;
+    EXPECT_TRUE(runSuite(suite, uncached).stats == cold.stats);
 }
 
 TEST(SuiteRunner, PredecodeDoesNotChangeTheAggregate)

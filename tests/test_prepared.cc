@@ -1,0 +1,303 @@
+/**
+ * @file
+ * The prepared-workload image cache must be invisible in every result:
+ * suite aggregates, failure lists and sweep CSV/JSON are bit-identical
+ * with the cache on or off at any worker count. The cache itself must
+ * deduplicate builds (hit/miss accounting), cache failures, and — the
+ * sharp edge — hand out copy-on-write decode pages, so self-modifying
+ * runs sharing one cached image can never contaminate each other.
+ */
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "explore/explore.hh"
+#include "isa/encode.hh"
+#include "memory/main_memory.hh"
+#include "sim/machine.hh"
+#include "workload/prepared.hh"
+#include "workload/suite_runner.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using namespace mipsx::workload;
+
+namespace
+{
+
+/** A fresh cache per test: the global one is warm from other tests. */
+PreparedCache &
+freshCache()
+{
+    static PreparedCache cache;
+    cache.clear();
+    return cache;
+}
+
+} // namespace
+
+TEST(PreparedCache, DeduplicatesBuildsAndCountsHits)
+{
+    auto &cache = freshCache();
+    const Workload w = pascalWorkloads().front();
+    const reorg::ReorgConfig rc{};
+
+    const auto a = cache.get(w, rc, false);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+
+    // Same key: the same immutable object, not a rebuild.
+    const auto b = cache.get(w, rc, false);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // Any config difference is a different key.
+    reorg::ReorgConfig other = rc;
+    other.slots = 1;
+    const auto c = cache.get(w, other, false);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    // So is profiling, which changes the reorganizer's input.
+    const auto d = cache.get(w, rc, true);
+    EXPECT_NE(a.get(), d.get());
+    EXPECT_EQ(cache.stats().misses, 3u);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(PreparedCache, CachedPreparationMatchesAFreshOne)
+{
+    auto &cache = freshCache();
+    const Workload w = pascalWorkloads().front();
+    const auto cached = cache.get(w, {}, false);
+    const auto fresh = prepareWorkload(w, {}, false);
+    ASSERT_EQ(cached->image.sections.size(),
+              fresh->image.sections.size());
+    EXPECT_EQ(cached->image.entry, fresh->image.entry);
+    for (std::size_t s = 0; s < fresh->image.sections.size(); ++s)
+        EXPECT_EQ(cached->image.sections[s].words,
+                  fresh->image.sections[s].words);
+    EXPECT_EQ(cached->decoded.size(), fresh->decoded.size());
+}
+
+TEST(PreparedCache, BuildFailuresAreCachedAndRethrown)
+{
+    auto &cache = freshCache();
+    Workload broken;
+    broken.name = "zz_noasm";
+    broken.source = "        .text\n_start: frobnicate r1, r2\n";
+    EXPECT_THROW(cache.get(broken, {}, false), SimError);
+    // The failure is cached: the second request rethrows from the
+    // entry instead of rebuilding.
+    EXPECT_THROW(cache.get(broken, {}, false), SimError);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PreparedCache, FingerprintSeparatesConfigsAndSources)
+{
+    reorg::ReorgConfig a{};
+    reorg::ReorgConfig b = a;
+    EXPECT_EQ(reorgFingerprint(a), reorgFingerprint(b));
+    b.slots = a.slots + 1;
+    EXPECT_NE(reorgFingerprint(a), reorgFingerprint(b));
+    reorg::ReorgConfig c{};
+    c.profile[0x100] = 0.25;
+    EXPECT_NE(reorgFingerprint(a), reorgFingerprint(c));
+    reorg::ReorgConfig d{};
+    d.profile[0x100] = 0.75;
+    EXPECT_NE(reorgFingerprint(c), reorgFingerprint(d));
+
+    EXPECT_NE(sourceFingerprint("addi r1, r0, 1"),
+              sourceFingerprint("addi r1, r0, 2"));
+}
+
+TEST(PreparedCache, CacheOnAndOffAggregatesAreIdenticalAcrossJobs)
+{
+    // The determinism contract from the issue: cache on vs off, at
+    // jobs 1/2/8, all six runs bit-identical. The global cache starts
+    // cold here, so the first cached run also covers concurrent
+    // first-touch misses under the worker pool.
+    PreparedCache::global().clear();
+    const auto suite = fpWorkloads();
+    SuiteResult ref;
+    bool first = true;
+    for (const bool cached : {true, false}) {
+        for (const unsigned jobs : {1u, 2u, 8u}) {
+            SuiteRunOptions opts;
+            opts.jobs = jobs;
+            opts.preparedCache = cached;
+            const auto r = runSuite(suite, opts);
+            EXPECT_EQ(r.stats.failures, 0u);
+            if (first) {
+                ref = r;
+                first = false;
+                continue;
+            }
+            EXPECT_TRUE(r.stats == ref.stats)
+                << "cache=" << cached << " jobs=" << jobs;
+            EXPECT_TRUE(r.failures == ref.failures);
+        }
+    }
+    EXPECT_GT(PreparedCache::global().stats().hits, 0u);
+}
+
+TEST(PreparedCache, SweepOutputsAreByteIdenticalCacheOnAndOff)
+{
+    // The same guarantee one level up: an explore sweep's CSV and JSON
+    // emissions must be string-identical with the cache bypassed.
+    const auto sweep = [](bool cached, unsigned jobs) {
+        explore::SweepConfig cfg;
+        cfg.suite = "fp";
+        cfg.grid.axes.push_back({"icache.missPenalty", {"2", "3"}});
+        cfg.grid.axes.push_back({"icache.fetchWords", {"1", "2"}});
+        cfg.runner.preparedCache = cached;
+        cfg.runner.jobs = jobs;
+        const auto res = explore::runSweep(cfg);
+        std::ostringstream csv, json;
+        explore::writeCsv(csv, res);
+        explore::writeJson(json, res);
+        return std::pair<std::string, std::string>{csv.str(),
+                                                   json.str()};
+    };
+    const auto on = sweep(true, 8);
+    const auto off = sweep(false, 2);
+    EXPECT_EQ(on.first, off.first);
+    EXPECT_EQ(on.second, off.second);
+}
+
+namespace
+{
+
+/**
+ * Self-modifying program in delayed (pipeline) semantics: patches an
+ * instruction word it has already executed — so the shared predecode
+ * holds its decode — then re-executes it, self-checking r10 == 6.
+ * Assembled directly (no reorganization): what's under test is decode-
+ * page sharing, and this source is already schedule-correct.
+ */
+const char *const smcSource = R"(
+        .data
+ptrs:   .word patch, donor
+        .text
+_start: addi r10, r0, 0
+        addi r9, r0, 2          ; two passes over the patch site
+        la   r1, ptrs
+        ld   r2, 0(r1)          ; &patch
+        ld   r3, 1(r1)          ; &donor
+        nop                     ; load-delay slot for r3
+        ld   r4, 0(r3)          ; donor encoding: addi r10, r10, 5
+loop:
+patch:  addi r10, r10, 1        ; pass 1: +1.  pass 2 (patched): +5
+        st   r4, 0(r2)          ; rewrite the already-fetched word
+        nop
+        nop
+        nop
+        nop
+        addi r9, r9, -1
+        bnz  r9, loop
+        nop
+        nop
+        addi r11, r0, 6         ; 1 + 5
+        beq  r10, r11, ok
+        nop
+        nop
+        fail
+ok:     halt
+donor:  addi r10, r10, 5        ; never executed in place; data donor
+)";
+
+/** Run @p prog on a machine sharing @p snap; true iff self-check. */
+bool
+runShared(const assembler::Program &prog,
+          const memory::DecodedImage::Snapshot &snap)
+{
+    sim::Machine machine{sim::MachineConfig{}};
+    machine.load(prog, &snap);
+    const auto r = machine.run();
+    return r.halted() && machine.cpu().gpr(10) == 6;
+}
+
+} // namespace
+
+TEST(PreparedCache, ConcurrentSmcRunsFromOneSnapshotStayIndependent)
+{
+    // Two runs race over the same shared decode pages; each patches
+    // its own text. Copy-on-write must keep them (and any later run)
+    // fully independent — a leaked patched decode would make the
+    // second pass add 5 twice and trip the self-check.
+    const auto prog = assembler::assemble(smcSource, "smc.s");
+    const auto snap = memory::DecodedImage::snapshotProgram(prog);
+
+    bool ok[2] = {false, false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t)
+        threads.emplace_back(
+            [&, t] { ok[t] = runShared(prog, snap); });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_TRUE(ok[0]);
+    EXPECT_TRUE(ok[1]);
+
+    // A third, later run must still see the pristine decode.
+    EXPECT_TRUE(runShared(prog, snap));
+
+    // And the snapshot itself still holds the original decode of the
+    // patch site (addi r10, r10, 1), not the donor's +5.
+    const addr_t patch = prog.symbol("patch");
+    const auto key = memory::physKey(AddressSpace::User, patch);
+    const auto it = snap.find(key / memory::DecodedImage::pageWords);
+    ASSERT_NE(it, snap.end());
+    const auto &page = *it->second;
+    const auto idx = key % memory::DecodedImage::pageWords;
+    ASSERT_TRUE(page.present[idx]);
+    EXPECT_EQ(page.slot[idx].inst.imm, 1);
+}
+
+TEST(DecodedImage, AdoptedPagesAreCopyOnWrite)
+{
+    // Unit-level version of the same property: two memories adopt one
+    // snapshot; a store through one re-decodes privately and leaves
+    // the other memory and the snapshot untouched.
+    assembler::Program p;
+    assembler::Section text;
+    text.name = ".text";
+    text.space = AddressSpace::User;
+    text.isText = true;
+    text.base = 0x1000;
+    text.words = {isa::encodeImm(isa::ImmOp::Addi, 0, 3, 1)};
+    text.slots = {0};
+    p.sections.push_back(std::move(text));
+    p.entry = 0x1000;
+
+    const auto snap = memory::DecodedImage::snapshotProgram(p);
+    memory::MainMemory m1, m2;
+    m1.loadProgram(p, &snap);
+    m2.loadProgram(p, &snap);
+    EXPECT_EQ(m1.fetchDecoded(AddressSpace::User, 0x1000).imm, 1);
+    EXPECT_EQ(m2.fetchDecoded(AddressSpace::User, 0x1000).imm, 1);
+
+    m1.write(AddressSpace::User, 0x1000,
+             isa::encodeImm(isa::ImmOp::Addi, 0, 4, 9));
+    EXPECT_EQ(m1.fetchDecoded(AddressSpace::User, 0x1000).imm, 9);
+    EXPECT_EQ(m2.fetchDecoded(AddressSpace::User, 0x1000).imm, 1);
+
+    const auto key = memory::physKey(AddressSpace::User, 0x1000);
+    const auto &page =
+        *snap.at(key / memory::DecodedImage::pageWords);
+    const auto idx = key % memory::DecodedImage::pageWords;
+    ASSERT_TRUE(page.present[idx]);
+    EXPECT_EQ(page.slot[idx].inst.imm, 1);
+}

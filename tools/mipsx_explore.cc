@@ -24,6 +24,10 @@
  *                           MIPSX_BENCH_JOBS or hardware concurrency)
  *   --csv FILE              write long-form CSV ("-" for stdout)
  *   --json FILE             write nested JSON ("-" for stdout)
+ *   --no-cache              rebuild every workload from source at every
+ *                           point instead of using the process-wide
+ *                           prepared-image cache (outputs identical;
+ *                           the tier-1 determinism smoke diffs them)
  *   --quiet                 no per-point progress or summary table
  *   --list-params           print every sweepable parameter and exit
  */
@@ -51,7 +55,7 @@ usage(const char *argv0)
         "usage: %s [--grid FILE] [--axis PARAM=V1,V2,...]... "
         "[--set PARAM=V]...\n"
         "       [--suite NAME] [--jobs N] [--csv FILE] [--json FILE]\n"
-        "       [--quiet] [--list-params]\n",
+        "       [--no-cache] [--quiet] [--list-params]\n",
         argv0);
     std::exit(2);
 }
@@ -125,6 +129,8 @@ try {
             return 0;
         } else if (a == "--quiet") {
             quiet = true;
+        } else if (a == "--no-cache") {
+            cfg.runner.preparedCache = false;
         } else if (matches("--grid")) {
             const explore::SweepConfig fileCfg =
                 explore::sweepFromJsonFile(flagValue("--grid"));
