@@ -21,8 +21,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "assembler/assembler.hh"
 #include "bench_util.hh"
@@ -82,15 +84,95 @@ BM_PipelineSimulationNoPredecode(benchmark::State &state)
 }
 BENCHMARK(BM_PipelineSimulationNoPredecode)->Unit(benchmark::kMillisecond);
 
-void
-BM_FunctionalSimulation(benchmark::State &state)
+/**
+ * A long-running straight-line ALU kernel: ~20 block-safe instructions
+ * per loop iteration, tens of thousands of iterations. One run executes
+ * ~0.5M instructions, so load/decode setup is noise and the measurement
+ * is the execute loop itself — the quantity the superblock engine
+ * changes. The short hash workload above stays as the whole-run number
+ * (where setup and the stepping fallback dilute the ratio).
+ */
+const char *hotKernelSource = R"(
+        .text
+_start: addi r1, r0, 25000
+        addi r2, r0, 7
+        addi r3, r0, 13
+loop:   add  r4, r2, r3
+        xor  r5, r4, r2
+        sll  r6, r5, 3
+        sub  r7, r6, r3
+        or   r8, r7, r2
+        and  r9, r8, r5
+        srl  r10, r9, 2
+        add  r11, r10, r4
+        xor  r12, r11, r6
+        and  r2, r12, r10
+        add  r13, r2, r3
+        sub  r14, r13, r4
+        or   r15, r14, r5
+        and  r16, r15, r6
+        xor  r17, r16, r7
+        sll  r18, r17, 1
+        srl  r19, r18, 1
+        add  r20, r19, r8
+        and  r21, r20, r9
+        or   r3, r21, r2
+        addi r1, r1, -1
+        bnz  r1, loop
+        halt
+)";
+
+const assembler::Program &
+hotKernel()
 {
-    const auto prog =
-        assembler::assemble(hashWorkload().source, "hash.s");
+    static const auto prog =
+        assembler::assemble(hotKernelSource, "hot_alu.s");
+    return prog;
+}
+
+void
+functionalSimulationHot(benchmark::State &state, sim::IssExec exec)
+{
+    const auto &prog = hotKernel();
+    sim::IssConfig cfg;
+    cfg.exec = exec;
     std::uint64_t instructions = 0;
     for (auto _ : state) {
         memory::MainMemory mem;
-        const auto r = sim::runIss(prog, mem);
+        const auto r = sim::runIss(prog, mem, cfg);
+        if (r.reason != sim::IssStop::Halt)
+            state.SkipWithError("hot kernel failed");
+        instructions += r.stats.steps;
+    }
+    state.counters["sim_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void
+BM_FunctionalSimulationHot(benchmark::State &state)
+{
+    functionalSimulationHot(state, sim::IssExec::Step);
+}
+BENCHMARK(BM_FunctionalSimulationHot)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalSimulationHotBlock(benchmark::State &state)
+{
+    functionalSimulationHot(state, sim::IssExec::Block);
+}
+BENCHMARK(BM_FunctionalSimulationHotBlock)->Unit(benchmark::kMillisecond);
+
+void
+functionalSimulation(benchmark::State &state, sim::IssExec exec)
+{
+    const auto prog =
+        assembler::assemble(hashWorkload().source, "hash.s");
+    sim::IssConfig cfg;
+    cfg.exec = exec;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        memory::MainMemory mem;
+        const auto r = sim::runIss(prog, mem, cfg);
         if (r.reason != sim::IssStop::Halt)
             state.SkipWithError("workload failed");
         instructions += r.stats.steps;
@@ -98,7 +180,20 @@ BM_FunctionalSimulation(benchmark::State &state)
     state.counters["sim_instr/s"] = benchmark::Counter(
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
+
+void
+BM_FunctionalSimulation(benchmark::State &state)
+{
+    functionalSimulation(state, sim::IssExec::Step);
+}
 BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalSimulationBlock(benchmark::State &state)
+{
+    functionalSimulation(state, sim::IssExec::Block);
+}
+BENCHMARK(BM_FunctionalSimulationBlock)->Unit(benchmark::kMillisecond);
 
 void
 BM_Assembler(benchmark::State &state)
@@ -254,6 +349,131 @@ fullSuiteReport()
         return 1;
     }
 
+    // ISS throughput, step vs superblock execution: every workload run
+    // on the functional simulator through both execute loops, best of 3
+    // timed passes each. The per-workload stop reason and statistics
+    // must be identical — the block engine changes how fast the ISS
+    // answers, never the answer (the differential tests and the
+    // fuzzer's --iss-mode=both leg check the full state; this check
+    // keeps the bench honest about what it compares).
+    struct IssOutcome
+    {
+        sim::IssStop reason;
+        sim::IssStats stats;
+    };
+    std::vector<assembler::Program> issProgs;
+    issProgs.reserve(suite.size());
+    for (const auto &w : suite)
+        issProgs.push_back(assembler::assemble(w.source, w.name + ".s"));
+    const auto issPass = [&issProgs](sim::IssExec exec,
+                                     std::vector<IssOutcome> &outcomes) {
+        sim::IssConfig cfg;
+        cfg.exec = exec;
+        outcomes.clear();
+        const auto start = std::chrono::steady_clock::now();
+        for (const auto &prog : issProgs) {
+            memory::MainMemory mem;
+            const auto r = sim::runIss(prog, mem, cfg);
+            outcomes.push_back({r.reason, r.stats});
+        }
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        return dt.count();
+    };
+    const auto sameStats = [](const sim::IssStats &x,
+                              const sim::IssStats &y) {
+        return x.steps == y.steps && x.branches == y.branches &&
+            x.branchesTaken == y.branchesTaken && x.jumps == y.jumps &&
+            x.loads == y.loads && x.stores == y.stores &&
+            x.coprocOps == y.coprocOps && x.traps == y.traps &&
+            x.exceptions == y.exceptions && x.interrupts == y.interrupts;
+    };
+    std::vector<IssOutcome> stepOut, blockOut, scratch;
+    double stepSec = issPass(sim::IssExec::Step, stepOut);
+    double blockSec = issPass(sim::IssExec::Block, blockOut);
+    for (int i = 1; i < 3; ++i) {
+        stepSec = std::min(stepSec, issPass(sim::IssExec::Step, scratch));
+        blockSec =
+            std::min(blockSec, issPass(sim::IssExec::Block, scratch));
+    }
+    std::uint64_t issInstr = 0;
+    for (std::size_t i = 0; i < stepOut.size(); ++i) {
+        if (stepOut[i].reason != blockOut[i].reason ||
+            !sameStats(stepOut[i].stats, blockOut[i].stats)) {
+            std::fprintf(stderr,
+                         "!! block-mode ISS statistics differ from "
+                         "step mode on workload %zu\n",
+                         i);
+            return 1;
+        }
+        issInstr += stepOut[i].stats.steps;
+    }
+    const double issSuiteStepRate =
+        stepSec > 0 ? issInstr / stepSec : 0.0;
+    const double issSuiteBlockRate =
+        blockSec > 0 ? issInstr / blockSec : 0.0;
+    const double issSuiteSpeedup = issSuiteStepRate > 0
+        ? issSuiteBlockRate / issSuiteStepRate
+        : 0.0;
+    std::printf("\niss execute loops (full suite, %llu instructions):\n",
+                static_cast<unsigned long long>(issInstr));
+    std::printf("%-30s %9s %14s\n", "mode", "sim s", "sim instr/s");
+    std::printf("%-30s %9.3f %14.0f\n", "step (reference loop)", stepSec,
+                issSuiteStepRate);
+    std::printf("%-30s %9.3f %14.0f\n", "block (superblock loop)",
+                blockSec, issSuiteBlockRate);
+    std::printf("superblock speedup: %.2fx (statistics identical)\n",
+                issSuiteSpeedup);
+
+    // Headline ISS rates come from the hot ALU kernel (~0.5M executed
+    // instructions per run) where load/assemble setup is noise and the
+    // measurement is the execute loop itself — the quantity the
+    // superblock engine changes. The full-suite pass above stays as the
+    // workload-mix number (short programs, setup included).
+    const auto hotPass = [](sim::IssExec exec, IssOutcome &out) {
+        sim::IssConfig cfg;
+        cfg.exec = exec;
+        const auto start = std::chrono::steady_clock::now();
+        memory::MainMemory mem;
+        const auto r = sim::runIss(hotKernel(), mem, cfg);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        out = {r.reason, r.stats};
+        return dt.count();
+    };
+    IssOutcome hotStep{}, hotBlock{}, hotScratch{};
+    double hotStepSec = hotPass(sim::IssExec::Step, hotStep);
+    double hotBlockSec = hotPass(sim::IssExec::Block, hotBlock);
+    for (int i = 1; i < 3; ++i) {
+        hotStepSec =
+            std::min(hotStepSec, hotPass(sim::IssExec::Step, hotScratch));
+        hotBlockSec = std::min(hotBlockSec,
+                               hotPass(sim::IssExec::Block, hotScratch));
+    }
+    if (hotStep.reason != sim::IssStop::Halt ||
+        hotBlock.reason != hotStep.reason ||
+        !sameStats(hotStep.stats, hotBlock.stats)) {
+        std::fprintf(stderr, "!! block-mode ISS statistics differ from "
+                             "step mode on the hot kernel\n");
+        return 1;
+    }
+    const std::uint64_t hotInstr = hotStep.stats.steps;
+    const double issStepRate =
+        hotStepSec > 0 ? hotInstr / hotStepSec : 0.0;
+    const double issBlockRate =
+        hotBlockSec > 0 ? hotInstr / hotBlockSec : 0.0;
+    const double issBlockSpeedup =
+        issStepRate > 0 ? issBlockRate / issStepRate : 0.0;
+    std::printf("\niss execute loops (hot kernel, %llu instructions):\n",
+                static_cast<unsigned long long>(hotInstr));
+    std::printf("%-30s %9s %14s\n", "mode", "sim s", "sim instr/s");
+    std::printf("%-30s %9.3f %14.0f\n", "step (reference loop)",
+                hotStepSec, issStepRate);
+    std::printf("%-30s %9.3f %14.0f\n", "block (superblock loop)",
+                hotBlockSec, issBlockRate);
+    std::printf("superblock speedup: %.2fx (statistics identical)\n",
+                issBlockSpeedup);
+
     bench::BenchJson json("simulator_speed");
     json.setSuite("suite", a.stats);
     json.setTiming("baseline", b.timing);
@@ -266,6 +486,12 @@ fullSuiteReport()
     json.set("reference_instr_per_second", ref);
     json.set("speedup_vs_reference", vsPrePr);
     json.set("untraced_vs_traced", tracedRatio);
+    json.set("iss_step_instr_per_s", issStepRate);
+    json.set("iss_block_instr_per_s", issBlockRate);
+    json.set("iss_block_speedup", issBlockSpeedup);
+    json.set("iss_suite_step_instr_per_s", issSuiteStepRate);
+    json.set("iss_suite_block_instr_per_s", issSuiteBlockRate);
+    json.set("iss_suite_block_speedup", issSuiteSpeedup);
     json.write();
 
     // The same aggregate again as a flat metrics file, through the

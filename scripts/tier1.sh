@@ -114,6 +114,18 @@ print("fuzz smoke OK: %d programs, %d retires compared"
       % (m["fuzz.programs"], m["fuzz.retires"]))
 PYEOF
 
+echo "== tier-1: superblock ISS cosim leg smoke run =="
+# The same session with the block-mode ISS added as a third cosim leg
+# (--iss-mode both) must pass clean and produce byte-identical outputs
+# to the step-only session: the superblock engine may only change how
+# fast the ISS answers, never any answer.
+mkdir "$smoke/fuzz-both"
+(cd "$smoke/fuzz-both" && MIPSX_BENCH_JOBS=4 "$build/tools/mipsx-fuzz" \
+    --seed 2026 --runs 300 --iss-mode both \
+    --metrics fuzz-metrics.json > fuzz.log)
+diff -r "$smoke/fuzz4" "$smoke/fuzz-both"
+echo "superblock cosim smoke OK: both-mode session byte-identical"
+
 if [ "${MIPSX_SKIP_TSAN:-0}" != "1" ]; then
     echo "== tier-1: ThreadSanitizer on the parallel suite runner =="
     tsan="$repo/build-tsan"

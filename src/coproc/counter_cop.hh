@@ -64,6 +64,10 @@ class CounterCop : public Coprocessor
     const char *name() const override { return "counter"; }
 
     word_t counter() const { return counter_; }
+    word_t threshold() const { return threshold_; }
+    // Fast-forward state transfer.
+    void setCounter(word_t v) { counter_ = v; }
+    void setThreshold(word_t v) { threshold_ = v; }
 
   private:
     word_t counter_ = 0;

@@ -98,6 +98,8 @@ class Fpu : public Coprocessor
 
     /** Status register: bit 0 = condition flag. */
     word_t status() const { return cond_ ? 1u : 0u; }
+    /** Fast-forward state transfer (the status register is derived). */
+    void setCondition(bool c) { cond_ = c; }
 
     std::uint64_t opsExecuted() const { return ops_.value(); }
 

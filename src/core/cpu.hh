@@ -263,6 +263,12 @@ class Cpu
     }
     const PcChain &pcChain() const { return chain_; }
 
+    // Fast-forward state transfer (Machine hands the ISS's architectural
+    // state to a freshly reset pipeline; see MachineConfig::fastForward).
+    void setMd(word_t v) { md_ = v; }
+    void setPswOld(word_t bits) { pswOld_.setBits(bits); }
+    void setPcChainEntry(unsigned i, word_t v) { chain_.write(i, v); }
+
     // Component access.
     const memory::ICache &icache() const { return icache_; }
     memory::ICache &icache() { return icache_; }

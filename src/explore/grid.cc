@@ -258,6 +258,13 @@ const Param paramTable[] = {
       "decode each program word once at load time (perf baseline knob)"},
      [](workload::SuiteRunOptions &o, const std::string &p,
         const std::string &v) { o.predecode = parseBool(p, v); }},
+    {{"machine.fastForward", "instruction count (0 = off)",
+      "ISS-execute the first N instructions of every workload, then go "
+      "cycle-accurate (warm-up skipping; caches start cold at handoff)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.fastForward.instructions = parseU(p, v);
+     }},
 };
 
 const Param *

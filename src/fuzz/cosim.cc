@@ -53,7 +53,7 @@ struct IssRun
 void
 runIssSide(const assembler::Program &prog,
            const memory::DecodedImage::Snapshot &snap,
-           const CosimOptions &opts, IssRun &out)
+           const CosimOptions &opts, IssRun &out, bool block = false)
 {
     out.mem.loadProgram(prog, &snap);
     sim::IssConfig cfg;
@@ -61,20 +61,30 @@ runIssSide(const assembler::Program &prog,
     cfg.branchDelay = opts.issBranchDelayOverride
         ? opts.issBranchDelayOverride
         : opts.machine.cpu.branchDelay;
-    cfg.maxSteps = opts.retireLimit + 1;
+    // The step leg caps itself on the recorded stream length, so its
+    // maxSteps never fires; the block leg records no stream and uses
+    // maxSteps itself as the budget, at the same point.
+    cfg.maxSteps = block ? opts.retireLimit : opts.retireLimit + 1;
     cfg.dispatch = opts.issDispatch;
+    cfg.exec = block ? sim::IssExec::Block : sim::IssExec::Step;
     out.iss = std::make_unique<sim::Iss>(cfg, out.mem);
     auto fpu = std::make_unique<coproc::Fpu>();
     out.fpu = fpu.get();
     out.iss->attachCoprocessor(1, std::move(fpu));
     out.iss->reset(prog.entry);
     out.iss->setGpr(isa::reg::sp, opts.machine.stackTop);
-    while (!out.iss->stopped() && out.stream.size() < opts.retireLimit) {
-        out.stream.push_back({out.iss->pc(), out.iss->nextIsSquashed(),
-                              out.mem.read(AddressSpace::User,
-                                           out.iss->pc()),
-                              0});
-        out.iss->step();
+    if (block) {
+        out.iss->run();
+    } else {
+        while (!out.iss->stopped() &&
+               out.stream.size() < opts.retireLimit) {
+            out.stream.push_back({out.iss->pc(),
+                                  out.iss->nextIsSquashed(),
+                                  out.mem.read(AddressSpace::User,
+                                               out.iss->pc()),
+                                  0});
+            out.iss->step();
+        }
     }
     out.reason = out.iss->stopReason();
     for (unsigned r = 0; r < numGprs; ++r)
@@ -97,6 +107,10 @@ runPipeSide(const assembler::Program &prog,
 {
     sim::MachineConfig cfg = opts.machine;
     cfg.cpu.maxCycles = opts.maxCycles;
+    // The differential needs the pipeline's own retire stream from the
+    // first instruction; an inherited fast-forward config (an explore
+    // sweep point) would skip exactly the region under test.
+    cfg.fastForward = {};
     out.machine = std::make_unique<sim::Machine>(cfg);
     out.machine->memory().setPredecodeEnabled(opts.predecode);
     out.machine->load(prog, opts.predecode ? &snap : nullptr);
@@ -131,6 +145,7 @@ divergenceReport(const assembler::Program &prog,
         sim::MachineConfig cfg = opts.machine;
         cfg.traceDepth = 48;
         cfg.cpu.maxCycles = pipe[i].cycle + 1;
+        cfg.fastForward = {};
         sim::Machine machine{cfg};
         machine.memory().setPredecodeEnabled(opts.predecode);
         machine.load(prog, opts.predecode ? &snap : nullptr);
@@ -184,7 +199,65 @@ compareFinalState(const assembler::Program &prog, const IssRun &issr,
     return "final architectural state differs:\n" + os.str();
 }
 
+/**
+ * Compare the block-mode ISS leg against the step-mode leg field by
+ * field (the Both-mode differential). Empty string when identical. The
+ * two are the same machine semantics through two execute loops, so any
+ * difference at all is a block-engine bug.
+ */
+std::string
+compareIssLegs(const IssRun &step, const IssRun &block)
+{
+    std::ostringstream os;
+    if (step.reason != block.reason)
+        os << strformat("  stop reason: step %u block %u\n",
+                        static_cast<unsigned>(step.reason),
+                        static_cast<unsigned>(block.reason));
+    if (step.iss->stats().steps != block.iss->stats().steps)
+        os << strformat("  steps executed: step %llu block %llu\n",
+                        static_cast<unsigned long long>(
+                            step.iss->stats().steps),
+                        static_cast<unsigned long long>(
+                            block.iss->stats().steps));
+    for (unsigned r = 1; r < numGprs; ++r) {
+        if (step.gprs[r] != block.gprs[r])
+            os << strformat("  %s: step %08x block %08x\n",
+                            isa::regName(r).c_str(), step.gprs[r],
+                            block.gprs[r]);
+    }
+    if (step.md != block.md)
+        os << strformat("  md: step %08x block %08x\n", step.md,
+                        block.md);
+    for (unsigned f = 0; f < 32; ++f) {
+        if (step.fpu->regBits(f) != block.fpu->regBits(f))
+            os << strformat("  f%u: step %08x block %08x\n", f,
+                            step.fpu->regBits(f), block.fpu->regBits(f));
+    }
+    if (step.fpu->status() != block.fpu->status())
+        os << strformat("  fpu status: step %x block %x\n",
+                        step.fpu->status(), block.fpu->status());
+    if (step.mem.snapshot() != block.mem.snapshot())
+        os << "  memory snapshots differ\n";
+    if (os.str().empty())
+        return {};
+    return "block-mode ISS diverges from step-mode ISS:\n" + os.str();
+}
+
 } // namespace
+
+const char *
+cosimIssModeName(CosimIssMode m)
+{
+    switch (m) {
+      case CosimIssMode::Step:
+        return "step";
+      case CosimIssMode::Block:
+        return "block";
+      case CosimIssMode::Both:
+        return "both";
+    }
+    return "?";
+}
 
 const char *
 cosimOutcomeName(CosimOutcome o)
@@ -211,14 +284,74 @@ runCosim(const assembler::Program &prog, const CosimOptions &opts)
     const memory::DecodedImage::Snapshot snap =
         memory::DecodedImage::snapshotProgram(prog);
 
+    const bool wantStep = opts.issMode != CosimIssMode::Block;
+    const bool wantBlock = opts.issMode != CosimIssMode::Step;
     IssRun issr;
+    IssRun blockr;
     PipeRun piper;
     try {
-        runIssSide(prog, snap, opts, issr);
+        if (wantStep)
+            runIssSide(prog, snap, opts, issr);
+        if (wantBlock)
+            runIssSide(prog, snap, opts, blockr, /*block=*/true);
         runPipeSide(prog, snap, opts, piper);
     } catch (const SimError &e) {
         res.outcome = CosimOutcome::Inconclusive;
         res.report = strformat("model fatal: %s", e.what());
+        return res;
+    }
+
+    if (opts.issMode == CosimIssMode::Block) {
+        // No per-instruction stream in block mode: compare stop reason,
+        // executed count and final architectural state. The counts line
+        // up with step mode (ISS steps count every retire, squashed
+        // included, exactly like the pipeline's stream), so outcomes —
+        // and the budget/divergence report strings — stay byte-
+        // identical to step mode on clean corpora.
+        const auto &pipe = piper.stream;
+        const std::uint64_t issRetires = std::min<std::uint64_t>(
+            blockr.iss->stats().steps, opts.retireLimit);
+        res.retires = std::min<std::uint64_t>(issRetires, pipe.size());
+        const bool issHalted = blockr.reason == sim::IssStop::Halt;
+        const bool pipeHalted = piper.result.halted();
+        if (!issHalted || !pipeHalted) {
+            const bool issBudget =
+                blockr.reason == sim::IssStop::MaxSteps;
+            const bool pipeBudget =
+                piper.result.reason == core::StopReason::MaxCycles ||
+                pipe.size() >= opts.retireLimit;
+            if (issBudget || pipeBudget) {
+                res.outcome = CosimOutcome::Inconclusive;
+                res.report = strformat(
+                    "budget exhausted (iss: %u retires, pipeline: %u)",
+                    static_cast<unsigned>(issRetires),
+                    static_cast<unsigned>(pipe.size()));
+                return res;
+            }
+            res.outcome = CosimOutcome::Divergence;
+            res.report =
+                strformat("stop reasons differ: iss %u, pipeline %s",
+                          static_cast<unsigned>(blockr.reason),
+                          core::stopReasonName(piper.result.reason));
+            return res;
+        }
+        if (issRetires != pipe.size()) {
+            res.outcome = CosimOutcome::Divergence;
+            res.divergeStep = res.retires;
+            res.report = strformat("both halted but retire counts "
+                                   "differ: iss %u, pipeline %u",
+                                   static_cast<unsigned>(issRetires),
+                                   static_cast<unsigned>(pipe.size()));
+            return res;
+        }
+        auto stateDiff = compareFinalState(prog, blockr, piper);
+        if (!stateDiff.empty()) {
+            res.outcome = CosimOutcome::Divergence;
+            res.divergeStep = res.retires;
+            res.report = std::move(stateDiff);
+            return res;
+        }
+        res.outcome = CosimOutcome::Match;
         return res;
     }
 
@@ -281,6 +414,20 @@ runCosim(const assembler::Program &prog, const CosimOptions &opts)
         res.divergeStep = n;
         res.report = std::move(stateDiff);
         return res;
+    }
+
+    // Both mode: the step leg matched the pipeline; now hold the block
+    // leg against the step leg. Checked last so that every report the
+    // step-vs-pipeline comparison can produce is identical to Step
+    // mode's — this leg only adds a new way to diverge.
+    if (opts.issMode == CosimIssMode::Both) {
+        auto legDiff = compareIssLegs(issr, blockr);
+        if (!legDiff.empty()) {
+            res.outcome = CosimOutcome::Divergence;
+            res.divergeStep = n;
+            res.report = std::move(legDiff);
+            return res;
+        }
     }
 
     res.outcome = CosimOutcome::Match;

@@ -27,6 +27,28 @@
 namespace mipsx::fuzz
 {
 
+/**
+ * Which ISS execute loop(s) the differential runs against the pipeline.
+ *
+ *  - Step: the per-instruction reference loop (the original harness).
+ *  - Block: the superblock loop (sim::IssExec::Block). Retire streams
+ *    cannot be recorded instruction-by-instruction in this mode, so the
+ *    comparison is stop reason + executed count + final architectural
+ *    state.
+ *  - Both: the step leg runs against the pipeline exactly as in Step
+ *    mode (reports stay byte-identical on clean runs), and a block-mode
+ *    ISS run is additionally compared field-by-field against the step
+ *    leg — the fuzzer's third leg, targeting the block engine itself.
+ */
+enum class CosimIssMode : std::uint8_t
+{
+    Step = 0,
+    Block,
+    Both,
+};
+
+const char *cosimIssModeName(CosimIssMode m);
+
 /** Cosim configuration. */
 struct CosimOptions
 {
@@ -41,6 +63,8 @@ struct CosimOptions
      * themselves.
      */
     sim::IssDispatch issDispatch = sim::IssDispatch::Threaded;
+    /** ISS execute-loop leg(s); see CosimIssMode. */
+    CosimIssMode issMode = CosimIssMode::Step;
     /** Retire-stream comparison budget per side. */
     std::size_t retireLimit = 100'000;
     /** Pipeline cycle budget (overrides machine.cpu.maxCycles). */

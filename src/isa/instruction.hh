@@ -30,6 +30,48 @@ inline constexpr std::uint8_t opBranch = 30;   ///< all branch conditions
 inline constexpr std::uint8_t opInvalid = 31;  ///< reserved encodings
 inline constexpr std::uint8_t opCount = 32;
 
+/**
+ * The semantic ops a superblock may contain (see DecodedImage::fetchBlock
+ * and the ISS block execution loop). An op is block-safe when executing
+ * it can neither transfer control nor change the execution environment
+ * the block's entry checks were hoisted over:
+ *
+ *  - control transfers (branches, jumps, traps) end a block by
+ *    definition;
+ *  - movtos can rewrite the PSW (mode, address space, interrupt enable),
+ *    all of which the block loop samples once at block entry;
+ *  - coprocessor ops are excluded: ldf/stf/aluc/movtoc reach externally
+ *    attached models, and movfrc has a load-delay slot like ld — the
+ *    conservative choice keeps every coprocessor interaction on the
+ *    single-step path that the interface tests pin down;
+ *  - invalid encodings stop the simulator.
+ *
+ * Exceptions inside a block (overflow from add/sub/addi) and stores that
+ * invalidate predecoded text are allowed: the executor aborts the block
+ * when they happen, which is why st is in the set.
+ */
+inline constexpr std::uint32_t blockSafeOpMask = [] {
+    std::uint32_t m = 0;
+    for (ComputeOp c : {ComputeOp::Add, ComputeOp::Sub, ComputeOp::And,
+                        ComputeOp::Or, ComputeOp::Xor, ComputeOp::Bic,
+                        ComputeOp::Sll, ComputeOp::Srl, ComputeOp::Sra,
+                        ComputeOp::Fsh, ComputeOp::Mstep, ComputeOp::Dstep,
+                        ComputeOp::Movfrs})
+        m |= 1u << static_cast<unsigned>(c);
+    for (ImmOp i : {ImmOp::Addi, ImmOp::Lih})
+        m |= 1u << (opImmBase + static_cast<unsigned>(i));
+    for (MemOp o : {MemOp::Ld, MemOp::Ldt, MemOp::St})
+        m |= 1u << (opMemBase + static_cast<unsigned>(o));
+    return m;
+}();
+
+/** True if semantic-op index @p op may appear inside a superblock. */
+constexpr bool
+opBlockSafe(std::uint8_t op)
+{
+    return (blockSafeOpMask >> op) & 1u;
+}
+
 /** Up to two general-purpose source registers. */
 struct SourceRegs
 {

@@ -1,5 +1,7 @@
 #include "memory/decoded_image.hh"
 
+#include <algorithm>
+
 #include "assembler/program.hh"
 #include "memory/main_memory.hh"
 
@@ -23,6 +25,7 @@ DecodedImage::snapshotProgram(const assembler::Program &prog)
             ::new (&p->slot[idx].inst)
                 isa::Instruction(isa::decode(sec.words[i]));
             p->present[idx] = true;
+            p->chainable[idx] = true;
         }
     }
     // Fetch-ahead margin: the pipeline's fetch unit runs ahead of
@@ -58,6 +61,35 @@ DecodedImage::snapshotProgram(const assembler::Program &prog)
                 continue;
             ::new (&p.slot[idx].inst) isa::Instruction(zeroInst);
             p.present[idx] = true;
+            // Margin nops are a fetch-side convenience only: they stay
+            // non-chainable so superblock discovery stops at the last
+            // real text word instead of running on into words the
+            // program never assembled (the executor would happily run
+            // a block of nops the pipeline never fetches).
+            p.chainable[idx] = false;
+        }
+    }
+    // Precompute every block length while the pages are still private:
+    // adopted snapshot pages are immutable, so a run could otherwise
+    // never cache a discovery on them. One backward pass per page gives
+    // blockLen[i] = 1 + blockLen[i+1] (capped) wherever word i+1
+    // qualifies, which is exactly what discoverBlock() walks forward.
+    for (auto &[key, page] : building) {
+        Page &p = *page;
+        for (std::size_t i = pageWords; i-- > 0;) {
+            if (!p.present[i])
+                continue; // stays 0: absent words never start blocks
+            if (!p.chainable[i] ||
+                !isa::opBlockSafe(p.slot[i].inst.op)) {
+                p.blockLen[i] = noBlock;
+                continue;
+            }
+            std::uint16_t next = 0;
+            if (i + 1 < pageWords && p.present[i + 1] &&
+                p.chainable[i + 1] && p.blockLen[i + 1] != noBlock)
+                next = p.blockLen[i + 1];
+            p.blockLen[i] = static_cast<std::uint16_t>(
+                std::min<unsigned>(1u + next, maxBlockWords));
         }
     }
     Snapshot snap;
@@ -82,6 +114,20 @@ DecodedImage::adopt(const Snapshot &snap)
     lastKey_ = noPage;
     lastEntry_ = nullptr;
     lastPage_ = nullptr;
+}
+
+std::uint16_t
+DecodedImage::discoverBlock(const Page &p, std::size_t idx)
+{
+    if (!isa::opBlockSafe(p.slot[idx].inst.op))
+        return noBlock;
+    const std::size_t lim =
+        std::min<std::size_t>(pageWords, idx + maxBlockWords);
+    std::size_t i = idx + 1;
+    while (i < lim && p.present[i] && p.chainable[i] &&
+           isa::opBlockSafe(p.slot[i].inst.op))
+        ++i;
+    return static_cast<std::uint16_t>(i - idx);
 }
 
 } // namespace mipsx::memory

@@ -30,6 +30,7 @@
 #define MIPSX_MEMORY_DECODED_IMAGE_HH
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <new>
@@ -64,16 +65,38 @@ class DecodedImage
                   "Slot union skips destruction of cached decodes");
 
   public:
-    // 2048 words (a 66 KB Page) keeps sizeof(Page) under glibc's
-    // 128 KB mmap threshold, so per-run page allocations recycle
-    // through the heap instead of paying mmap + first-touch faults —
-    // measurably the dominant cost of short runs at 4096 words.
+    // 2048 words (a ~72 KB Page with the superblock metadata) keeps
+    // sizeof(Page) under glibc's 128 KB mmap threshold, so per-run page
+    // allocations recycle through the heap instead of paying mmap +
+    // first-touch faults — measurably the dominant cost of short runs
+    // at 4096 words.
     static constexpr unsigned pageWords = 2048;
+
+    /** blockLen value: this word cannot start a superblock. */
+    static constexpr std::uint16_t noBlock = 0xffff;
+    /**
+     * Superblock length cap. Bounds the executor's worst-case interrupt
+     * delivery latency (interrupts are only sampled at block
+     * boundaries) and the cost of rediscovering lengths after an
+     * invalidation cleared them.
+     */
+    static constexpr unsigned maxBlockWords = 256;
 
     struct Page
     {
         std::array<Slot, pageWords> slot;
         std::array<bool, pageWords> present{};
+        // Superblock metadata, invalidated exactly with the decodes
+        // above (invalidate() clears both, COW clones copy both):
+        //  - blockLen[i] caches the length of the straight-line block
+        //    starting at word i: 0 = not yet computed, noBlock = word i
+        //    cannot start a block, else 1..maxBlockWords;
+        //  - chainable[i] marks decodes of words that are real program
+        //    text (or were genuinely fetched at run time), as opposed
+        //    to the speculative fetch-ahead margin nops past the end of
+        //    text, which blocks must never chain into.
+        std::array<std::uint16_t, pageWords> blockLen{};
+        std::array<bool, pageWords> chainable{};
     };
 
     /**
@@ -117,10 +140,80 @@ class DecodedImage
             Page &p = writablePage(e);
             ::new (&p.slot[idx].inst) isa::Instruction(isa::decode(raw()));
             p.present[idx] = true;
+            // A genuine fetch: superblocks may chain through this word
+            // (unlike the snapshot's speculative fetch-ahead nops).
+            p.chainable[idx] = true;
             return p.slot[idx].inst;
         }
         return lastPage_->slot[idx].inst;
     }
+
+    /**
+     * The superblock starting at @p key: a straight-line run of
+     * already-decoded, block-safe instructions (isa::opBlockSafe) that
+     * ends at the first control transfer / coprocessor op / PSW write,
+     * at the first absent or non-chainable decode, at the page
+     * boundary, or at maxBlockWords — whichever comes first.
+     *
+     * Returns the run length and points @p insts at the first cached
+     * decode (the run is contiguous in the page); 0 means "no block
+     * here, single-step instead". @p hold keeps the page alive for the
+     * duration of the block's execution: an in-block store may clone or
+     * replace the page under us, and the executor detects that via
+     * generation() and aborts, but the decodes it already points at
+     * must stay valid. The hold is only reassigned when the page
+     * changes, so consecutive blocks in one page don't touch the
+     * refcount.
+     *
+     * Never decodes new words — discovery is a pure function of what
+     * fetch()/snapshotProgram() already cached, so a cold word falls
+     * back to the stepping path (which decodes it) and forms blocks
+     * from the next visit on.
+     */
+    unsigned
+    fetchBlock(std::uint64_t key, const isa::Instruction *&insts,
+               std::shared_ptr<const Page> &hold)
+    {
+        Entry *e = findEntry(key / pageWords);
+        if (!e)
+            return 0;
+        const Page &p = *e->page;
+        const std::size_t idx = key % pageWords;
+        if (!p.present[idx] || !p.chainable[idx])
+            return 0;
+        std::uint16_t len = p.blockLen[idx];
+        if (len == 0) {
+            len = discoverBlock(p, idx);
+            // Cache the discovery on owned pages. Shared snapshot pages
+            // arrive fully precomputed (snapshotProgram), so a zero
+            // there cannot happen; not writing through keeps them
+            // immutable regardless.
+            if (e->owned)
+                e->page->blockLen[idx] = len;
+        }
+        if (len == noBlock)
+            return 0;
+#ifndef NDEBUG
+        // The fetch-ahead margin audit: a block must never chain into
+        // the speculative nops past real text (they are non-chainable
+        // by construction, as is anything discovery walked over).
+        for (unsigned k = 0; k < len; ++k)
+            assert(p.present[idx + k] && p.chainable[idx + k]);
+#endif
+        if (hold.get() != e->page.get())
+            hold = e->page;
+        insts = &p.slot[idx].inst;
+        return len;
+    }
+
+    /**
+     * Bumped whenever a cached decode is actually dropped (a store hit
+     * predecoded text, or the image was cleared). The block executor
+     * samples it at block entry and after every in-block store: a
+     * change means the rest of the block's decodes may be stale, so it
+     * aborts back to the stepping path.
+     */
+    std::uint64_t generation() const { return generation_; }
 
     /** Drop the cached decode of one word (called on every store). */
     void
@@ -135,7 +228,14 @@ class DecodedImage
         // with adopted text.
         if (!e->page->present[idx])
             return;
-        writablePage(*e).present[idx] = false;
+        Page &p = writablePage(*e);
+        p.present[idx] = false;
+        p.chainable[idx] = false;
+        // Every cached block length in the page could run through the
+        // invalidated word; dropping them all (recomputed lazily) keeps
+        // the metadata exact without back-scanning for affected starts.
+        p.blockLen.fill(0);
+        ++generation_;
     }
 
     /** Drop everything (programs reloaded, predecode toggled). */
@@ -146,6 +246,7 @@ class DecodedImage
         lastKey_ = noPage;
         lastEntry_ = nullptr;
         lastPage_ = nullptr;
+        ++generation_;
     }
 
   private:
@@ -173,6 +274,8 @@ class DecodedImage
             const Page &src = *e.page;
             auto p = std::make_shared<Page>();
             p->present = src.present;
+            p->blockLen = src.blockLen;
+            p->chainable = src.chainable;
             for (std::size_t i = 0; i < pageWords; ++i)
                 if (src.present[i])
                     ::new (&p->slot[i].inst)
@@ -213,10 +316,14 @@ class DecodedImage
         return it == pages_.end() ? nullptr : &it->second;
     }
 
+    /** Forward walk behind fetchBlock's cold path (and the tests). */
+    static std::uint16_t discoverBlock(const Page &p, std::size_t idx);
+
     std::unordered_map<std::uint64_t, Entry> pages_;
     std::uint64_t lastKey_ = noPage;
     Entry *lastEntry_ = nullptr;
     Page *lastPage_ = nullptr;
+    std::uint64_t generation_ = 0;
 };
 
 } // namespace mipsx::memory

@@ -77,6 +77,25 @@ class MainMemory
                               [&] { return read(space, addr); });
     }
 
+    /**
+     * The superblock starting at @p addr (see DecodedImage::fetchBlock).
+     * Returns 0 — "single-step instead" — when predecode is disabled:
+     * without the decode-once store there is no cached straight-line
+     * run to execute from.
+     */
+    unsigned
+    fetchBlock(AddressSpace space, addr_t addr,
+               const isa::Instruction *&insts,
+               std::shared_ptr<const DecodedImage::Page> &hold)
+    {
+        if (!predecode_)
+            return 0;
+        return decoded_.fetchBlock(physKey(space, addr), insts, hold);
+    }
+
+    /** The decode-invalidation generation (DecodedImage::generation). */
+    std::uint64_t decodeGeneration() const { return decoded_.generation(); }
+
     /** Toggle the predecode fast path (drops all cached decodes). */
     void
     setPredecodeEnabled(bool on)

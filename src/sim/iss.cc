@@ -40,6 +40,8 @@ Iss::reset(addr_t entry)
     redirects_.clear();
     skip_ = 0;
     stalePending_ = false;
+    intrPending_ = false;
+    blockHold_.reset();
     stop_ = IssStop::Running;
     stats_ = IssStats{};
 }
@@ -109,6 +111,12 @@ Iss::emitBranch(addr_t pc, addr_t target, bool cond, bool taken)
 IssStop
 Iss::run()
 {
+    // Block mode hands the whole run to the superblock loop — except
+    // under tracing, which needs the per-step Retire records only the
+    // stepping path emits. That fallback is part of the contract: a
+    // traced run is bit-identical in either exec mode.
+    if (config_.exec == IssExec::Block && !trace_)
+        return runBlocks(nullptr);
     // Resolve the trace hook once, out here: the untraced loop runs the
     // Traced=false instantiation of stepImpl, which contains no trace
     // code at all — not even a null-pointer test per step.
@@ -119,6 +127,30 @@ Iss::run()
         while (!stopped())
             stepImpl<false>();
     }
+    return stop_;
+}
+
+bool
+Iss::atCheckpoint(const IssCheckpoint &cp) const
+{
+    // Only a clean boundary counts: redirects, squashes and load-delay
+    // staleness are loop-internal bookkeeping that a state handoff
+    // cannot represent, so the run continues (a handful of steps at
+    // most, barring back-to-back control transfers) until they drain.
+    if (!redirects_.empty() || skip_ != 0 || stalePending_)
+        return false;
+    if (cp.hasPc && pc_ == cp.pc)
+        return true;
+    return cp.steps != 0 && stats_.steps >= cp.steps;
+}
+
+IssStop
+Iss::runUntil(const IssCheckpoint &cp)
+{
+    if (config_.exec == IssExec::Block && !trace_)
+        return runBlocks(&cp);
+    while (!stopped() && !atCheckpoint(cp))
+        step();
     return stop_;
 }
 
@@ -134,6 +166,7 @@ Iss::collectMetrics(trace::MetricsRegistry &m) const
     m.set("iss.coproc_ops", stats_.coprocOps);
     m.set("iss.traps", stats_.traps);
     m.set("iss.exceptions", stats_.exceptions);
+    m.set("iss.interrupts", stats_.interrupts);
 }
 
 /** Per-step context shared between the dispatch paths and the epilogue. */
@@ -616,6 +649,18 @@ Iss::stepImpl()
         stop_ = IssStop::MaxSteps;
         return;
     }
+    // External interrupt: delivered between instructions, but only at a
+    // clean boundary (no redirects or squashes in flight) — the same
+    // gate the pipeline's latches_known() delivery applies, and the
+    // same boundary the block loop samples, so the delivery point is
+    // identical in both exec modes.
+    if (intrPending_ && psw_.interruptsEnabled() && redirects_.empty() &&
+        skip_ == 0) {
+        intrPending_ = false;
+        ++stats_.interrupts;
+        takeException(psw_bits::cIntr);
+        return;
+    }
 
     const addr_t cur = pc_;
     const AddressSpace space = psw_.space();
@@ -696,6 +741,180 @@ Iss::step()
         stepImpl<true>();
     else
         stepImpl<false>();
+}
+
+/**
+ * Execute @p n chained instructions from the cached decodes at @p insts
+ * (a superblock: runBlocks established pc_ is at its first word, no
+ * redirects or squashes are in flight, and every op is block-safe).
+ * The per-step checks stepImpl pays — stop/budget tests, the squash
+ * path, fetch, validity — are gone; what remains per instruction is
+ * the load-delay bookkeeping, operand reads and one indirect call.
+ *
+ * Exceptions (overflow traps) abort the block through ctx.done with
+ * pc_ already vectored; a store that invalidates predecoded text
+ * (observed through the decode generation) aborts it after the store's
+ * own PC advance, so the stale decodes after it are never executed.
+ */
+void
+Iss::executeBlock(const isa::Instruction *insts, unsigned n)
+{
+    // Hoisted once per block: in-block ops cannot write the PSW, so
+    // the address space and privilege level are loop constants.
+    const AddressSpace space = psw_.space();
+    const bool user = !psw_.systemMode();
+    const std::uint64_t gen = ram_.decodeGeneration();
+    const addr_t pc0 = pc_;
+    unsigned k = 0;
+    for (; k < n; ++k) {
+        const isa::Instruction &in = insts[k];
+        StepCtx ctx;
+        ctx.pc = pc0 + k;
+        ctx.space = space;
+        ctx.user = user;
+        // regs_[0] is invariantly zero and a load never marks r0 stale,
+        // so the r == 0 special case of readReg() folds into the plain
+        // array read on both legs. Staleness is rare (only the
+        // instruction after an in-block load), so the common arm skips
+        // the compares and the flag store entirely.
+        if (stalePending_) {
+            stalePending_ = false;
+            ctx.a = in.rs1 == staleReg_ ? staleValue_ : regs_[in.rs1];
+            ctx.b = in.rs2 == staleReg_ ? staleValue_ : regs_[in.rs2];
+        } else {
+            ctx.a = regs_[in.rs1];
+            ctx.b = regs_[in.rs2];
+        }
+        // Dispatch over the block-safe subset by inline switch, calling
+        // the *same* handler functions the step path's table points at
+        // — the compiler inlines them here (ctx lives in registers, no
+        // call/return per instruction), while the semantics stay the
+        // single shared definition, so the two loops cannot drift.
+        // pc_ is materialized only where a handler can consume it (the
+        // overflow-trapping arithmetic arms call takeException, which
+        // reads pc_); every other arm leaves it to the loop exits. The
+        // default arm covers nothing discovery admits (opBlockSafe is
+        // the block-building filter) but keeps the loop total over op
+        // indices.
+        switch (in.op) {
+          case static_cast<std::size_t>(ComputeOp::Add):
+            pc_ = pc0 + k;
+            IssOps::computeOp<ComputeOp::Add>(*this, in, ctx);
+            break;
+          case static_cast<std::size_t>(ComputeOp::Sub):
+            pc_ = pc0 + k;
+            IssOps::computeOp<ComputeOp::Sub>(*this, in, ctx);
+            break;
+#define MIPSX_BLOCK_ALU(OP)                                                \
+  case static_cast<std::size_t>(ComputeOp::OP):                            \
+    IssOps::computeOp<ComputeOp::OP>(*this, in, ctx);                      \
+    break;
+            MIPSX_BLOCK_ALU(And)
+            MIPSX_BLOCK_ALU(Or)
+            MIPSX_BLOCK_ALU(Xor)
+            MIPSX_BLOCK_ALU(Bic)
+            MIPSX_BLOCK_ALU(Sll)
+            MIPSX_BLOCK_ALU(Srl)
+            MIPSX_BLOCK_ALU(Sra)
+            MIPSX_BLOCK_ALU(Fsh)
+            MIPSX_BLOCK_ALU(Mstep)
+            MIPSX_BLOCK_ALU(Dstep)
+#undef MIPSX_BLOCK_ALU
+          case static_cast<std::size_t>(ComputeOp::Movfrs):
+            IssOps::movfrs(*this, in, ctx);
+            break;
+          case isa::opImmBase + static_cast<std::size_t>(ImmOp::Addi):
+            pc_ = pc0 + k;
+            IssOps::addi(*this, in, ctx);
+            break;
+          case isa::opImmBase + static_cast<std::size_t>(ImmOp::Lih):
+            IssOps::lih(*this, in, ctx);
+            break;
+          case isa::opMemBase + static_cast<std::size_t>(MemOp::Ld):
+          case isa::opMemBase + static_cast<std::size_t>(MemOp::Ldt):
+            IssOps::ld(*this, in, ctx);
+            break;
+          case isa::opMemBase + static_cast<std::size_t>(MemOp::St):
+            IssOps::st(*this, in, ctx);
+            if (ram_.decodeGeneration() != gen) {
+                // SMC hit predecoded text: the rest of the block's
+                // decodes may be stale. The store itself completed.
+                stats_.steps += k + 1;
+                pc_ = pc0 + k + 1;
+                return;
+            }
+            break;
+          default:
+            pc_ = pc0 + k;
+            stepTable[in.op](*this, in, ctx);
+            break;
+        }
+        if (ctx.done || stop_ != IssStop::Running) {
+            // Exception/stop consumed the PC update; the aborting
+            // instruction still counts as executed (as in stepImpl).
+            stats_.steps += k + 1;
+            return;
+        }
+    }
+    stats_.steps += n;
+    pc_ = pc0 + n;
+}
+
+IssStop
+Iss::runBlocks(const IssCheckpoint *cp)
+{
+    const isa::Instruction *insts = nullptr;
+    for (;;) {
+        if (stopped())
+            return stop_;
+        if (cp && atCheckpoint(*cp))
+            return stop_; // Running: the checkpoint won
+        if (stats_.steps >= config_.maxSteps) {
+            stop_ = IssStop::MaxSteps;
+            return stop_;
+        }
+        // The boundary checks stepImpl runs per instruction, hoisted
+        // here to once per block (same order, same gates).
+        if (intrPending_ && psw_.interruptsEnabled() &&
+            redirects_.empty() && skip_ == 0) {
+            intrPending_ = false;
+            ++stats_.interrupts;
+            takeException(psw_bits::cIntr);
+            continue;
+        }
+        // Delay slots or squashes in flight: their per-step redirect
+        // bookkeeping lives in stepImpl, so run them there.
+        if (!redirects_.empty() || skip_ != 0) {
+            stepImpl<false>();
+            continue;
+        }
+        unsigned n = ram_.fetchBlock(psw_.space(), pc_, insts, blockHold_);
+        if (n != 0) {
+            // Clamp to the step budget and to the caller's checkpoint
+            // so a block never overshoots either.
+            const std::uint64_t budget = config_.maxSteps - stats_.steps;
+            if (budget < n)
+                n = static_cast<unsigned>(budget);
+            if (cp) {
+                if (cp->steps != 0 && cp->steps > stats_.steps) {
+                    const std::uint64_t left = cp->steps - stats_.steps;
+                    if (left < n)
+                        n = static_cast<unsigned>(left);
+                }
+                if (cp->hasPc && cp->pc > pc_ && cp->pc - pc_ < n)
+                    n = cp->pc - pc_;
+            }
+        }
+        if (n == 0) {
+            // Cold decode, a block-ending op, or a checkpoint zero
+            // instructions away from a non-clean boundary: one step of
+            // the reference path handles all of them (and re-decodes
+            // the word, making the next visit block-eligible).
+            stepImpl<false>();
+            continue;
+        }
+        executeBlock(insts, n);
+    }
 }
 
 } // namespace mipsx::sim

@@ -67,6 +67,22 @@ enum class IssDispatch : std::uint8_t
     Switch,
 };
 
+/**
+ * How the run loop advances: Step executes one instruction per
+ * iteration (the reference path); Block executes whole predecoded
+ * superblocks (DecodedImage::fetchBlock) with the stop/interrupt/
+ * checkpoint checks hoisted to block boundaries, falling back to
+ * stepping for delay slots in flight, traced runs, cold decodes and
+ * blocks invalidated under self-modifying code. The two must be
+ * architecturally indistinguishable — the block-vs-step differential
+ * test and the fuzzer's --iss-mode=both leg enforce it.
+ */
+enum class IssExec : std::uint8_t
+{
+    Step,
+    Block,
+};
+
 /** ISS configuration. */
 struct IssConfig
 {
@@ -75,6 +91,22 @@ struct IssConfig
     std::uint64_t maxSteps = 500'000'000;
     word_t initialPsw = isa::psw_bits::shiftEn;
     IssDispatch dispatch = IssDispatch::Threaded;
+    IssExec exec = IssExec::Step;
+};
+
+/**
+ * A stopping point for Iss::runUntil (the fast-forward handoff): at
+ * least @p steps instructions executed, or the next visit of @p pc.
+ * The ISS continues to a *clean boundary* past the checkpoint — no
+ * redirects in flight, no pending squash, no load-delay staleness — so
+ * the architectural state it hands over is fully described by
+ * (registers, PSW/PSWold, PC chain, PC).
+ */
+struct IssCheckpoint
+{
+    std::uint64_t steps = 0; ///< 0 = no instruction-count checkpoint
+    bool hasPc = false;
+    addr_t pc = 0;
 };
 
 /** Why the ISS stopped. */
@@ -109,6 +141,7 @@ struct IssStats
     std::uint64_t coprocOps = 0;
     std::uint64_t traps = 0;
     std::uint64_t exceptions = 0;
+    std::uint64_t interrupts = 0; ///< external interrupts delivered
 };
 
 /** The functional simulator. */
@@ -129,8 +162,27 @@ class Iss
     /** Run until halt/fail or a stop condition; returns the reason. */
     IssStop run();
 
+    /**
+     * Run until halt/fail/stop or until @p cp is reached at a clean
+     * boundary; returns IssStop::Running when the checkpoint won.
+     */
+    IssStop runUntil(const IssCheckpoint &cp);
+
     /** Execute one instruction. */
     void step();
+
+    /**
+     * Raise the external interrupt line (the functional twin of
+     * Cpu::raiseInterrupt). The interrupt stays pending until the PSW
+     * has interrupts enabled and no delayed-control bookkeeping is in
+     * flight, then vectors through takeException with cause cIntr. The
+     * stepping loop samples the line before every instruction; the
+     * block loop samples it at block boundaries only, so delivery
+     * latency is bounded by the block length cap
+     * (memory::DecodedImage::maxBlockWords).
+     */
+    void requestInterrupt() { intrPending_ = true; }
+    bool interruptPending() const { return intrPending_; }
 
     bool stopped() const { return stop_ != IssStop::Running; }
     IssStop stopReason() const { return stop_; }
@@ -141,6 +193,8 @@ class Iss
     void setGpr(unsigned r, word_t v);
     word_t md() const { return md_; }
     const core::Psw &psw() const { return psw_; }
+    const core::Psw &pswOld() const { return pswOld_; }
+    const core::PcChain &pcChain() const { return chain_; }
     addr_t pc() const { return pc_; }
     const IssStats &stats() const { return stats_; }
 
@@ -182,6 +236,12 @@ class Iss
     /** The original nested switch (IssDispatch::Switch reference path). */
     void stepOps(const isa::Instruction &in, StepCtx &ctx);
 
+    /** The superblock run loop (IssExec::Block, untraced). */
+    IssStop runBlocks(const IssCheckpoint *cp);
+    /** Execute @p n chained instructions starting at pc_. */
+    void executeBlock(const isa::Instruction *insts, unsigned n);
+    bool atCheckpoint(const IssCheckpoint &cp) const;
+
     word_t readReg(unsigned r) const;
     void writeReg(unsigned r, word_t v);
     void takeException(word_t cause);
@@ -210,6 +270,15 @@ class Iss
     bool stalePending_ = false;
     unsigned staleReg_ = 0;
     word_t staleValue_ = 0;
+    bool intrPending_ = false; ///< external interrupt line raised
+
+    /**
+     * Keeps the page the current/last superblock executes from alive:
+     * an in-block store may clone the page copy-on-write underneath
+     * the executor (detected via the decode generation), but the
+     * decodes it already points at must outlive the block.
+     */
+    std::shared_ptr<const memory::DecodedImage::Page> blockHold_;
 
     IssStop stop_ = IssStop::Running;
     IssStats stats_;

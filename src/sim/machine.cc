@@ -39,12 +39,89 @@ Machine::run()
     if (!prog_)
         fatal("Machine::run: no program loaded");
     trace_.clear();
-    cpu_->reset(prog_->entry);
-    if (prog_->entrySpace == AddressSpace::System) {
-        cpu_->setPsw(cpu_->psw().bits() | isa::psw_bits::mode);
+    ff_ = {};
+    if (config_.fastForward.enabled()) {
+        if (auto early = fastForwardPhase())
+            return *early;
+    } else {
+        cpu_->reset(prog_->entry);
+        if (prog_->entrySpace == AddressSpace::System) {
+            cpu_->setPsw(cpu_->psw().bits() | isa::psw_bits::mode);
+        }
+        cpu_->setGpr(isa::reg::sp, config_.stackTop);
     }
-    cpu_->setGpr(isa::reg::sp, config_.stackTop);
     return cpu_->run();
+}
+
+std::optional<core::RunResult>
+Machine::fastForwardPhase()
+{
+    // The ISS runs on the machine's own memory (already loaded), so its
+    // stores are exactly the stores the pipeline would have done — the
+    // handoff transfers registers only. It must start from the same
+    // architectural initial state Cpu::reset establishes below.
+    IssConfig cfg;
+    cfg.mode = IssMode::Delayed;
+    cfg.branchDelay = config_.cpu.branchDelay;
+    cfg.exec = IssExec::Block;
+    cfg.initialPsw = config_.cpu.initialPsw;
+    if (prog_->entrySpace == AddressSpace::System)
+        cfg.initialPsw |= isa::psw_bits::mode;
+    Iss iss(cfg, mem_);
+    if (config_.attachFpu)
+        iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+    if (config_.attachCounterCop)
+        iss.attachCoprocessor(2, std::make_unique<coproc::CounterCop>());
+    iss.reset(prog_->entry);
+    iss.setGpr(isa::reg::sp, config_.stackTop);
+
+    IssCheckpoint cp;
+    cp.steps = config_.fastForward.instructions;
+    cp.hasPc = config_.fastForward.hasPc;
+    cp.pc = config_.fastForward.pc;
+    const IssStop st = iss.runUntil(cp);
+
+    ff_.ran = true;
+    ff_.issSteps = iss.stats().steps;
+    ff_.issStop = st;
+    ff_.handoffPc = iss.pc();
+
+    // The ISS already vectored through an exception nothing handles;
+    // replaying from the vectored state would just fault again.
+    if (st == IssStop::UnhandledException) {
+        core::RunResult r;
+        r.reason = core::StopReason::UnhandledException;
+        return r;
+    }
+
+    // Any other early stop (halt/fail/invalid before the checkpoint)
+    // left pc_ at the stopping instruction: hand over anyway and let
+    // the pipeline re-execute it, so the RunResult is the pipeline's
+    // own verdict either way.
+    cpu_->reset(iss.pc());
+    for (unsigned r = 1; r < numGprs; ++r)
+        cpu_->setGpr(r, iss.gpr(r));
+    cpu_->setMd(iss.md());
+    cpu_->setPsw(iss.psw().bits());
+    cpu_->setPswOld(iss.pswOld().bits());
+    for (unsigned i = 0; i < pcChainDepth; ++i)
+        cpu_->setPcChainEntry(i, iss.pcChain().read(i));
+    if (config_.attachFpu) {
+        const auto &src =
+            static_cast<const coproc::Fpu &>(iss.coprocessor(1));
+        for (unsigned r = 0; r < 32; ++r)
+            fpu_->setRegBits(r, src.regBits(r));
+        fpu_->setCondition(src.condition());
+    }
+    if (config_.attachCounterCop) {
+        const auto &src =
+            static_cast<const coproc::CounterCop &>(iss.coprocessor(2));
+        auto &dst =
+            static_cast<coproc::CounterCop &>(cpu_->coprocessor(2));
+        dst.setCounter(src.counter());
+        dst.setThreshold(src.threshold());
+    }
+    return std::nullopt;
 }
 
 coproc::Fpu &

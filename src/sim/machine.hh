@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "assembler/program.hh"
@@ -40,11 +41,43 @@ struct MachineConfig
     std::size_t traceDepth = 0;
 
     /**
+     * ISS-powered fast-forward: run the functional simulator (in its
+     * superblock mode) on the machine's own memory up to a checkpoint —
+     * @p instructions executed, or the next visit of @p pc — then
+     * transfer the architectural state (GPRs, MD, PSW/PSWold, PC chain,
+     * coprocessor state) into a freshly reset pipeline and go
+     * cycle-accurate from there. Skips the simulation cost of warm-up
+     * phases the study doesn't measure. Two caveats, both inherent:
+     * the pipeline's caches start cold at the handoff (the ISS models
+     * no timing), and cycle counts measure only the cycle-accurate
+     * region. Architectural results are unchanged — the handoff happens
+     * at a clean boundary (Iss::runUntil), and the ISS is the golden
+     * model the pipeline is cross-checked against.
+     */
+    struct FastForward
+    {
+        std::uint64_t instructions = 0; ///< 0 = no step checkpoint
+        bool hasPc = false;
+        addr_t pc = 0; ///< used when hasPc
+        bool enabled() const { return instructions != 0 || hasPc; }
+    };
+    FastForward fastForward{};
+
+    /**
      * Reject ill-formed configurations with a SimError before any
      * component is built (delegates to CpuConfig::validate). The
      * Machine constructor calls this.
      */
     void validate() const { cpu.validate(); }
+};
+
+/** What the fast-forward phase of a run did (Machine::fastForwarded). */
+struct FastForwardInfo
+{
+    bool ran = false;           ///< a fast-forward phase executed
+    std::uint64_t issSteps = 0; ///< instructions the ISS executed
+    IssStop issStop = IssStop::Running; ///< Running = checkpoint reached
+    addr_t handoffPc = 0;       ///< where the pipeline took over
 };
 
 /** A complete pipelined MIPS-X system. */
@@ -64,6 +97,9 @@ class Machine
 
     /** Reset and run the loaded program to completion. */
     core::RunResult run();
+
+    /** The fast-forward phase of the last run() (ran=false if none). */
+    const FastForwardInfo &fastForwarded() const { return ff_; }
 
     core::Cpu &cpu() { return *cpu_; }
     const core::Cpu &cpu() const { return *cpu_; }
@@ -88,12 +124,23 @@ class Machine
     word_t readSymbol(const std::string &symbol, addr_t offset = 0) const;
 
   private:
+    /**
+     * The fast-forward phase: ISS-execute to the configured checkpoint
+     * on this machine's memory, then seed the (already reset) pipeline
+     * with the ISS's architectural state. Returns a RunResult when the
+     * ISS ended the run outright (unhandled exception — re-execution
+     * from the vectored state would double-fault), otherwise the
+     * pipeline continues from the handoff point.
+     */
+    std::optional<core::RunResult> fastForwardPhase();
+
     MachineConfig config_;
     memory::MainMemory mem_;
     trace::TraceBuffer trace_;
     std::unique_ptr<core::Cpu> cpu_;
     const assembler::Program *prog_ = nullptr;
     coproc::Fpu *fpu_ = nullptr;
+    FastForwardInfo ff_;
 };
 
 /** Result of a functional (ISS) run. */

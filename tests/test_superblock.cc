@@ -1,0 +1,517 @@
+/**
+ * @file
+ * The superblock engine is a pure speedup: decode-time block discovery
+ * must stop exactly at control transfers, page boundaries, the length
+ * cap, cold words and the fetch-ahead margin; invalidation must track
+ * DecodedImage invalidation exactly (direct stores, reloads, and
+ * copy-on-write clones of shared snapshot pages); and the block-mode
+ * ISS must be architecturally indistinguishable from the stepping
+ * reference over a large fuzz sweep, including interrupt delivery and
+ * the ISS-powered fast-forward handoff into the pipeline.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coproc/counter_cop.hh"
+#include "coproc/fpu.hh"
+#include "fuzz/generator.hh"
+#include "isa/encode.hh"
+#include "isa/isa.hh"
+#include "memory/decoded_image.hh"
+#include "memory/main_memory.hh"
+#include "sim/machine.hh"
+
+#include "helpers.hh"
+
+using namespace mipsx;
+using memory::DecodedImage;
+
+namespace
+{
+
+word_t aluWord()
+{
+    return isa::encodeCompute(isa::ComputeOp::Add, 1, 2, 3);
+}
+
+word_t branchWord()
+{
+    return isa::encodeBranch(isa::BranchCond::Eq, isa::SquashType::NoSquash,
+                             1, 2, 8);
+}
+
+/** Decode @p words into @p img at consecutive keys starting at @p key. */
+void
+fill(DecodedImage &img, std::uint64_t key, const std::vector<word_t> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const word_t w = words[i];
+        img.fetch(key + i, [w] { return w; });
+    }
+}
+
+unsigned
+blockAt(DecodedImage &img, std::uint64_t key)
+{
+    const isa::Instruction *insts = nullptr;
+    std::shared_ptr<const DecodedImage::Page> hold;
+    return img.fetchBlock(key, insts, hold);
+}
+
+} // namespace
+
+TEST(SuperblockDiscovery, EndsAtControlTransfer)
+{
+    DecodedImage img;
+    fill(img, 100, {aluWord(), aluWord(), branchWord(), aluWord()});
+    EXPECT_EQ(blockAt(img, 100), 2u); // two adds, branch excluded
+    EXPECT_EQ(blockAt(img, 101), 1u);
+    EXPECT_EQ(blockAt(img, 102), 0u); // a branch cannot start a block
+    EXPECT_EQ(blockAt(img, 103), 1u); // next word is cold
+}
+
+TEST(SuperblockDiscovery, ColdWordsFormNoBlock)
+{
+    DecodedImage img;
+    EXPECT_EQ(blockAt(img, 0), 0u); // nothing decoded at all
+    fill(img, 10, {aluWord()});
+    EXPECT_EQ(blockAt(img, 11), 0u); // present word, cold neighbour key
+}
+
+TEST(SuperblockDiscovery, CappedAtMaxBlockWords)
+{
+    DecodedImage img;
+    std::vector<word_t> run(DecodedImage::maxBlockWords + 50, aluWord());
+    fill(img, 0, run);
+    EXPECT_EQ(blockAt(img, 0), DecodedImage::maxBlockWords);
+    // A start past the cap still sees the full remaining run.
+    EXPECT_EQ(blockAt(img, DecodedImage::maxBlockWords), 50u);
+}
+
+TEST(SuperblockDiscovery, StopsAtPageBoundary)
+{
+    DecodedImage img;
+    const std::uint64_t edge = DecodedImage::pageWords;
+    fill(img, edge - 4, std::vector<word_t>(8, aluWord()));
+    EXPECT_EQ(blockAt(img, edge - 4), 4u); // never chains across pages
+    EXPECT_EQ(blockAt(img, edge), 4u);
+}
+
+TEST(SuperblockDiscovery, SnapshotMarginIsNotChainable)
+{
+    // Text ends with straight-line words the program never reaches; the
+    // snapshot predecodes a fetch-ahead margin of nop decodes past the
+    // end of text, and a block starting in real text must stop exactly
+    // at the text end instead of chaining into the margin (decode(0) is
+    // itself a block-safe add, so only the chainable[] marking stops
+    // it).
+    const auto prog = test::asmOrDie("        .text\n"
+                                     "_start: halt\n"
+                                     "        add r1, r2, r3\n"
+                                     "        add r4, r5, r6\n"
+                                     "        add r7, r8, r9\n");
+    const auto snap = DecodedImage::snapshotProgram(prog);
+    DecodedImage img;
+    img.adopt(snap);
+    const std::uint64_t base =
+        memory::physKey(prog.entrySpace, prog.entry);
+    EXPECT_EQ(blockAt(img, base), 0u);     // halt cannot start a block
+    EXPECT_EQ(blockAt(img, base + 1), 3u); // ends at end of text
+    EXPECT_EQ(blockAt(img, base + 3), 1u);
+    // The margin words themselves are decoded (that is their point) but
+    // can never start a block.
+    for (std::uint64_t a = base + 4; a < base + 4 + 8; ++a)
+        EXPECT_EQ(blockAt(img, a), 0u) << "margin word " << (a - base);
+}
+
+namespace
+{
+
+/** A straight-line workload whose text layout the SMC tests control. */
+const char *straightLineSource = "        .text\n"
+                                 "_start: addi r1, r0, 1\n"
+                                 "        addi r2, r0, 2\n"
+                                 "        add  r3, r1, r2\n"
+                                 "        add  r4, r3, r2\n"
+                                 "        add  r5, r4, r3\n"
+                                 "        add  r6, r5, r4\n"
+                                 "        halt\n";
+
+unsigned
+memBlockAt(memory::MainMemory &mem, AddressSpace space, addr_t addr)
+{
+    const isa::Instruction *insts = nullptr;
+    std::shared_ptr<const DecodedImage::Page> hold;
+    return mem.fetchBlock(space, addr, insts, hold);
+}
+
+} // namespace
+
+TEST(SuperblockInvalidation, StoreInsidePredecodedTextShortensBlock)
+{
+    const auto prog = test::asmOrDie(straightLineSource);
+    memory::MainMemory mem;
+    mem.loadProgram(prog);
+    const auto space = prog.entrySpace;
+    EXPECT_EQ(memBlockAt(mem, space, prog.entry), 6u);
+
+    const auto gen0 = mem.decodeGeneration();
+    mem.write(space, prog.entry + 2, branchWord());
+    EXPECT_GT(mem.decodeGeneration(), gen0);
+    // The stored word's decode is dropped, so discovery stops there.
+    EXPECT_EQ(memBlockAt(mem, space, prog.entry), 2u);
+    // Refetching decodes the new encoding: a branch, so the block stays
+    // short — and the words beyond it form their own block again.
+    mem.fetchDecoded(space, prog.entry + 2);
+    EXPECT_EQ(memBlockAt(mem, space, prog.entry), 2u);
+    EXPECT_EQ(memBlockAt(mem, space, prog.entry + 3), 3u);
+}
+
+TEST(SuperblockInvalidation, DataStoresDoNotInvalidate)
+{
+    const auto prog = test::asmOrDie(straightLineSource);
+    memory::MainMemory mem;
+    mem.loadProgram(prog);
+    const auto gen0 = mem.decodeGeneration();
+    mem.write(prog.entrySpace, 0x40000, 0xdeadbeef); // plain data
+    EXPECT_EQ(mem.decodeGeneration(), gen0);
+    EXPECT_EQ(memBlockAt(mem, prog.entrySpace, prog.entry), 6u);
+}
+
+TEST(SuperblockInvalidation, ReloadInvalidatesAndRedecodes)
+{
+    const auto prog = test::asmOrDie(straightLineSource);
+    memory::MainMemory mem;
+    mem.loadProgram(prog);
+    const auto gen0 = mem.decodeGeneration();
+    mem.loadProgram(prog); // the loader's writes invalidate, then decode
+    EXPECT_GT(mem.decodeGeneration(), gen0);
+    EXPECT_EQ(memBlockAt(mem, prog.entrySpace, prog.entry), 6u);
+}
+
+TEST(SuperblockInvalidation, CowCloneKeepsRunsIndependent)
+{
+    // Two runs adopt the same shared snapshot; SMC in one must clone
+    // its page copy-on-write and leave the other run's blocks (and the
+    // snapshot itself) untouched.
+    const auto prog = test::asmOrDie(straightLineSource);
+    const auto snap = DecodedImage::snapshotProgram(prog);
+    memory::MainMemory a, b;
+    a.loadProgram(prog, &snap);
+    b.loadProgram(prog, &snap);
+    const auto space = prog.entrySpace;
+    EXPECT_EQ(memBlockAt(a, space, prog.entry), 6u);
+    EXPECT_EQ(memBlockAt(b, space, prog.entry), 6u);
+
+    a.write(space, prog.entry + 3, branchWord());
+    EXPECT_EQ(memBlockAt(a, space, prog.entry), 3u);
+    EXPECT_EQ(memBlockAt(b, space, prog.entry), 6u);
+
+    // A third adoption of the same snapshot still sees the full block:
+    // the shared pages were never written through.
+    memory::MainMemory c;
+    c.loadProgram(prog, &snap);
+    EXPECT_EQ(memBlockAt(c, space, prog.entry), 6u);
+}
+
+namespace
+{
+
+/** Final architectural state of one ISS run under @p exec. */
+struct IssFinal
+{
+    sim::IssStop reason = sim::IssStop::Running;
+    std::array<word_t, numGprs> gprs{};
+    word_t md = 0;
+    word_t pswBits = 0;
+    sim::IssStats stats;
+    std::map<std::uint64_t, word_t> memWords;
+};
+
+bool
+sameStats(const sim::IssStats &x, const sim::IssStats &y)
+{
+    return x.steps == y.steps && x.branches == y.branches &&
+        x.branchesTaken == y.branchesTaken && x.jumps == y.jumps &&
+        x.loads == y.loads && x.stores == y.stores &&
+        x.coprocOps == y.coprocOps && x.traps == y.traps &&
+        x.exceptions == y.exceptions && x.interrupts == y.interrupts;
+}
+
+IssFinal
+runWithExec(const assembler::Program &prog, sim::IssExec exec,
+            sim::IssMode mode)
+{
+    memory::MainMemory mem;
+    mem.loadProgram(prog);
+    sim::IssConfig cfg;
+    cfg.mode = mode;
+    cfg.exec = exec;
+    cfg.maxSteps = 60'000;
+    sim::Iss iss(cfg, mem);
+    iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+    iss.attachCoprocessor(2, std::make_unique<coproc::CounterCop>());
+    iss.reset(prog.entry);
+    iss.setGpr(isa::reg::sp, 0x70000);
+    IssFinal out;
+    out.reason = iss.run();
+    for (unsigned r = 0; r < numGprs; ++r)
+        out.gprs[r] = iss.gpr(r);
+    out.md = iss.md();
+    out.pswBits = iss.psw().bits();
+    out.stats = iss.stats();
+    out.memWords = mem.snapshot();
+    return out;
+}
+
+} // namespace
+
+TEST(SuperblockDifferential, BlockAndStepAgreeOn1000FuzzSeeds)
+{
+    // The differential the engine is judged by: the same generated
+    // program (branches, loads, stores, self-modifying code, squash
+    // variants), run once through the superblock loop and once through
+    // the stepping reference, must finish in the same state with the
+    // same statistics. 1000 seeds in delayed mode (the cosim
+    // semantics), a slice in sequential mode too.
+    for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+        fuzz::GeneratorConfig gc;
+        gc.seed = seed;
+        const auto prog = fuzz::generate(gc);
+        const auto b =
+            runWithExec(prog, sim::IssExec::Block, sim::IssMode::Delayed);
+        const auto s =
+            runWithExec(prog, sim::IssExec::Step, sim::IssMode::Delayed);
+        ASSERT_EQ(b.reason, s.reason) << "seed " << seed;
+        ASSERT_TRUE(sameStats(b.stats, s.stats)) << "seed " << seed;
+        ASSERT_EQ(b.gprs, s.gprs) << "seed " << seed;
+        ASSERT_EQ(b.md, s.md) << "seed " << seed;
+        ASSERT_EQ(b.pswBits, s.pswBits) << "seed " << seed;
+        ASSERT_EQ(b.memWords, s.memWords) << "seed " << seed;
+        if (seed <= 100) {
+            const auto c = runWithExec(prog, sim::IssExec::Block,
+                                       sim::IssMode::Sequential);
+            const auto d = runWithExec(prog, sim::IssExec::Step,
+                                       sim::IssMode::Sequential);
+            ASSERT_EQ(c.reason, d.reason) << "seed " << seed;
+            ASSERT_TRUE(sameStats(c.stats, d.stats)) << "seed " << seed;
+            ASSERT_EQ(c.gprs, d.gprs) << "seed " << seed;
+            ASSERT_EQ(c.memWords, d.memWords) << "seed " << seed;
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * A loop whose decrement and compare sit before the branch and whose
+ * delay slots do useful straight-line work, so the source runs
+ * correctly under both sequential and delayed semantics.
+ */
+const char *loopSource = "        .text\n"
+                         "_start: addi r1, r0, 40\n"
+                         "        addi r2, r0, 3\n"
+                         "loop:   add  r2, r2, r1\n"
+                         "        xor  r3, r2, r1\n"
+                         "        sub  r4, r3, r1\n"
+                         "        or   r5, r4, r2\n"
+                         "        and  r6, r5, r3\n"
+                         "        addi r1, r1, -1\n"
+                         "        bnz  r1, loop\n"
+                         "        add  r7, r6, r4\n"
+                         "        xor  r8, r7, r5\n"
+                         "        halt\n";
+
+struct IntrRun
+{
+    IssFinal fin;
+    std::uint64_t requestStep = 0;
+    bool requested = false;
+};
+
+IntrRun
+runWithInterrupt(const assembler::Program &prog, sim::IssExec exec,
+                 unsigned atBranch)
+{
+    memory::MainMemory mem;
+    mem.loadProgram(prog);
+    sim::IssConfig cfg;
+    cfg.mode = sim::IssMode::Delayed;
+    cfg.exec = exec;
+    cfg.initialPsw = isa::psw_bits::shiftEn | isa::psw_bits::ie;
+    cfg.maxSteps = 60'000;
+    sim::Iss iss(cfg, mem);
+    iss.reset(prog.entry);
+    IntrRun out;
+    unsigned branches = 0;
+    // Branches end superblocks, so the hook fires at the same
+    // architectural points in both exec modes — the only way a test can
+    // raise the line "mid-run" deterministically.
+    iss.setBranchHook([&](const sim::BranchEvent &) {
+        if (++branches == atBranch) {
+            iss.requestInterrupt();
+            out.requestStep = iss.stats().steps;
+            out.requested = true;
+        }
+    });
+    if (atBranch == 0)
+        iss.requestInterrupt();
+    out.fin.reason = iss.run();
+    for (unsigned r = 0; r < numGprs; ++r)
+        out.fin.gprs[r] = iss.gpr(r);
+    out.fin.md = iss.md();
+    out.fin.pswBits = iss.psw().bits();
+    out.fin.stats = iss.stats();
+    return out;
+}
+
+} // namespace
+
+TEST(SuperblockInterrupts, RequestBeforeRunDeliversBeforeFirstInstruction)
+{
+    // Both run loops sample the interrupt line before executing
+    // anything; with no handler loaded at the vector, delivery stops
+    // the run with zero instructions executed.
+    const auto prog = test::asmOrDie(loopSource);
+    for (const auto exec : {sim::IssExec::Step, sim::IssExec::Block}) {
+        const auto r = runWithInterrupt(prog, exec, 0);
+        EXPECT_EQ(r.fin.reason, sim::IssStop::UnhandledException);
+        EXPECT_EQ(r.fin.stats.steps, 0u);
+        EXPECT_EQ(r.fin.stats.interrupts, 1u);
+        EXPECT_EQ(r.fin.stats.exceptions, 1u);
+    }
+}
+
+TEST(SuperblockInterrupts, DeliveryMatchesStepModeAndIsPrompt)
+{
+    const auto prog = test::asmOrDie(loopSource);
+    for (const unsigned atBranch : {1u, 3u, 17u}) {
+        const auto b =
+            runWithInterrupt(prog, sim::IssExec::Block, atBranch);
+        const auto s =
+            runWithInterrupt(prog, sim::IssExec::Step, atBranch);
+        ASSERT_TRUE(b.requested);
+        ASSERT_TRUE(s.requested);
+        // Delivery is at the identical instruction in both modes...
+        EXPECT_EQ(b.fin.reason, sim::IssStop::UnhandledException);
+        EXPECT_EQ(s.fin.reason, b.fin.reason);
+        EXPECT_EQ(b.fin.stats.interrupts, 1u);
+        EXPECT_TRUE(sameStats(b.fin.stats, s.fin.stats));
+        EXPECT_EQ(b.fin.gprs, s.fin.gprs);
+        EXPECT_EQ(b.fin.pswBits, s.fin.pswBits);
+        EXPECT_EQ(b.requestStep, s.requestStep);
+        // ...and the latency from request to delivery is bounded by the
+        // superblock length cap (plus the branch shadow in flight when
+        // the hook fired), the block loop's sampling guarantee.
+        ASSERT_GE(b.fin.stats.steps, b.requestStep);
+        EXPECT_LE(b.fin.stats.steps - b.requestStep,
+                  DecodedImage::maxBlockWords + 4);
+    }
+}
+
+namespace
+{
+
+struct MachineFinal
+{
+    core::StopReason reason = core::StopReason::Running;
+    std::array<word_t, numGprs> gprs{};
+    std::map<std::uint64_t, word_t> memWords;
+    cycle_t cycles = 0;
+    sim::FastForwardInfo ff;
+};
+
+MachineFinal
+runMachine(const assembler::Program &prog, const sim::MachineConfig &cfg)
+{
+    sim::Machine m(cfg);
+    m.load(prog);
+    const auto res = m.run();
+    MachineFinal out;
+    out.reason = res.reason;
+    for (unsigned r = 0; r < numGprs; ++r)
+        out.gprs[r] = m.cpu().gpr(r);
+    out.memWords = m.memory().snapshot();
+    out.cycles = res.cycles;
+    out.ff = m.fastForwarded();
+    return out;
+}
+
+} // namespace
+
+TEST(FastForward, HandoffMatchesFullRunOnLoopWorkload)
+{
+    const auto prog = test::asmOrDie(loopSource);
+    const auto full = runMachine(prog, {});
+    ASSERT_EQ(full.reason, core::StopReason::Halt);
+    EXPECT_FALSE(full.ff.ran);
+
+    sim::MachineConfig cfg;
+    cfg.fastForward.instructions = 150;
+    const auto ff = runMachine(prog, cfg);
+    EXPECT_TRUE(ff.ff.ran);
+    EXPECT_GE(ff.ff.issSteps, 150u);
+    EXPECT_EQ(ff.reason, full.reason);
+    EXPECT_EQ(ff.gprs, full.gprs);
+    EXPECT_EQ(ff.memWords, full.memWords);
+    // The cycle count covers only the cycle-accurate region.
+    EXPECT_LT(ff.cycles, full.cycles);
+}
+
+TEST(FastForward, OvershootRunsTheIssToTheStopAndAgrees)
+{
+    // A checkpoint past the program's end: the ISS halts first, the
+    // pipeline re-executes the stopping instruction and owns the
+    // result.
+    const auto prog = test::asmOrDie(loopSource);
+    const auto full = runMachine(prog, {});
+    sim::MachineConfig cfg;
+    cfg.fastForward.instructions = 10'000'000;
+    const auto ff = runMachine(prog, cfg);
+    EXPECT_TRUE(ff.ff.ran);
+    EXPECT_EQ(ff.ff.issStop, sim::IssStop::Halt);
+    EXPECT_EQ(ff.reason, core::StopReason::Halt);
+    EXPECT_EQ(ff.gprs, full.gprs);
+    EXPECT_EQ(ff.memWords, full.memWords);
+}
+
+TEST(FastForward, PcCheckpointStopsExactlyAtTheAddress)
+{
+    const auto prog = test::asmOrDie(loopSource);
+    const auto full = runMachine(prog, {});
+    sim::MachineConfig cfg;
+    cfg.fastForward.hasPc = true;
+    cfg.fastForward.pc = prog.entry + 5; // inside the first block
+    const auto ff = runMachine(prog, cfg);
+    EXPECT_TRUE(ff.ff.ran);
+    EXPECT_EQ(ff.ff.issSteps, 5u);
+    EXPECT_EQ(ff.ff.handoffPc, prog.entry + 5);
+    EXPECT_EQ(ff.reason, full.reason);
+    EXPECT_EQ(ff.gprs, full.gprs);
+    EXPECT_EQ(ff.memWords, full.memWords);
+}
+
+TEST(FastForward, AgreesWithFullRunOn40FuzzSeeds)
+{
+    // Generated programs bring branches, loads/stores and SMC into the
+    // fast-forwarded region; the architectural result must not depend
+    // on where the ISS→pipeline handoff lands.
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        fuzz::GeneratorConfig gc;
+        gc.seed = seed;
+        const auto prog = fuzz::generate(gc);
+        const auto full = runMachine(prog, {});
+        sim::MachineConfig cfg;
+        cfg.fastForward.instructions = 50;
+        const auto ff = runMachine(prog, cfg);
+        ASSERT_TRUE(ff.ff.ran) << "seed " << seed;
+        ASSERT_EQ(ff.reason, full.reason) << "seed " << seed;
+        ASSERT_EQ(ff.gprs, full.gprs) << "seed " << seed;
+        ASSERT_EQ(ff.memWords, full.memWords) << "seed " << seed;
+    }
+}

@@ -19,6 +19,9 @@
  *                           jump, coproc, smc, loop, squash)
  *   --config PARAM=VALUE    machine-config point (repeatable; the same
  *                           parameters mipsx-explore sweeps)
+ *   --iss-mode M            step | block | both — which ISS execute
+ *                           loop(s) to run against the pipeline (both
+ *                           adds the block-vs-step leg)
  *   --jobs N                worker threads (default: MIPSX_BENCH_JOBS
  *                           or hardware concurrency)
  *   --repro-dir DIR         where .repro files go (default ".";
@@ -52,6 +55,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N] [--runs N] [--max-insns N]\n"
         "       [--weights K=V,...] [--config PARAM=VALUE]... [--jobs N]\n"
+        "       [--iss-mode step|block|both]\n"
         "       [--repro-dir DIR] [--metrics FILE] [--no-shrink]\n"
         "       [--quiet] [--list-params]\n",
         argv0);
@@ -117,6 +121,18 @@ try {
                                 kv.c_str()));
             explore::applyParam(point, kv.substr(0, eq),
                                 kv.substr(eq + 1));
+        } else if (matches("--iss-mode")) {
+            const auto m = flagValue("--iss-mode");
+            if (m == "step")
+                opts.cosim.issMode = fuzz::CosimIssMode::Step;
+            else if (m == "block")
+                opts.cosim.issMode = fuzz::CosimIssMode::Block;
+            else if (m == "both")
+                opts.cosim.issMode = fuzz::CosimIssMode::Both;
+            else
+                fatal(strformat("--iss-mode: want step, block or both, "
+                                "got '%s'",
+                                m.c_str()));
         } else if (matches("--jobs")) {
             opts.jobs = static_cast<unsigned>(
                 std::stoul(flagValue("--jobs")));

@@ -24,6 +24,10 @@
  *   --max-cycles N      stop after N cycles
  *   --mp N              run on an N-CPU shared-memory multiprocessor
  *   --stats             dump every statistic as group.key lines
+ *   --fast-forward N    ISS-execute the first N instructions, then go
+ *                       cycle-accurate (caches start cold at handoff)
+ *   --fast-forward-pc A like --fast-forward, to the next visit of
+ *                       address A (hex ok)
  */
 
 #include <cstdio>
@@ -64,6 +68,9 @@ struct Options
     unsigned slots = 2;
     unsigned mpCpus = 0;
     cycle_t maxCycles = 200'000'000;
+    std::uint64_t fastForward = 0;
+    bool ffHasPc = false;
+    addr_t ffPc = 0;
     reorg::BranchScheme scheme = reorg::BranchScheme::SquashOptional;
 };
 
@@ -75,7 +82,8 @@ usage(const char *argv0)
                  "[--slots N] [--profile]\n"
                  "       [--icache-off] [--trace[=N]] [--trace-out F] "
                  "[--metrics-json F]\n"
-                 "       [--disasm] [--max-cycles N] program.s\n",
+                 "       [--disasm] [--max-cycles N] [--fast-forward N]\n"
+                 "       [--fast-forward-pc A] program.s\n",
                  argv0);
     std::exit(2);
 }
@@ -119,6 +127,18 @@ parseArgs(int argc, char **argv)
             o.slots = static_cast<unsigned>(std::stoul(next()));
         else if (a == "--max-cycles")
             o.maxCycles = std::stoull(next());
+        else if (a == "--fast-forward")
+            o.fastForward = std::stoull(next());
+        else if (a.rfind("--fast-forward=", 0) == 0)
+            o.fastForward = std::stoull(a.substr(15));
+        else if (a == "--fast-forward-pc") {
+            o.ffHasPc = true;
+            o.ffPc = static_cast<addr_t>(std::stoul(next(), nullptr, 0));
+        } else if (a.rfind("--fast-forward-pc=", 0) == 0) {
+            o.ffHasPc = true;
+            o.ffPc =
+                static_cast<addr_t>(std::stoul(a.substr(18), nullptr, 0));
+        }
         else if (a == "--mp")
             o.mpCpus = static_cast<unsigned>(std::stoul(next()));
         else if (a == "--scheme") {
@@ -278,6 +298,9 @@ try {
     cfg.cpu.icache.enabled = !o.icacheOff;
     cfg.cpu.maxCycles = o.maxCycles;
     cfg.attachCounterCop = true;
+    cfg.fastForward.instructions = o.fastForward;
+    cfg.fastForward.hasPc = o.ffHasPc;
+    cfg.fastForward.pc = o.ffPc;
     // --trace-out without an explicit --trace=N still needs a ring.
     cfg.traceDepth = o.traceDepth;
     if (!o.traceOut.empty() && cfg.traceDepth == 0)
@@ -296,6 +319,13 @@ try {
     const auto &s = machine.cpu().stats();
 
     std::printf("pipeline run: %s\n", core::stopReasonName(result.reason));
+    if (machine.fastForwarded().ran) {
+        const auto &ff = machine.fastForwarded();
+        std::printf("  fast-forward  %llu instructions on the ISS, "
+                    "handoff at %05x\n",
+                    static_cast<unsigned long long>(ff.issSteps),
+                    ff.handoffPc);
+    }
     std::printf("  cycles        %llu\n",
                 static_cast<unsigned long long>(s.cycles));
     std::printf("  instructions  %llu  (CPI %.3f; %.1f MIPS at 20 MHz)\n",
