@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the default build plus the full test suite, then
 # smoke runs of every CLI tool (trace/metrics export, an explore sweep,
-# a fuzz session — each checked for worker-count determinism), then the
-# parallel-determinism test again under ThreadSanitizer so data races
-# in the suite runner cannot slip through.
+# a fuzz session, a serve batch + load-generator bench — each checked
+# for worker-count determinism), malformed-flag usage-error checks for
+# all four tools, then the parallel-determinism test again under
+# ThreadSanitizer so data races in the suite runner cannot slip through.
 #
 # This script is the single entry point CI calls (.github/workflows),
 # so local and CI verification cannot drift. Knobs, all via env:
@@ -125,6 +126,96 @@ mkdir "$smoke/fuzz-both"
     --metrics fuzz-metrics.json > fuzz.log)
 diff -r "$smoke/fuzz4" "$smoke/fuzz-both"
 echo "superblock cosim smoke OK: both-mode session byte-identical"
+
+echo "== tier-1: malformed-flag usage errors =="
+# Every tool must reject malformed numeric flags with a clean usage
+# error on stderr and exit status 2 — never an uncaught exception
+# (which would abort) and never the run-failure status 1.
+expect_usage() {
+    local rc=0
+    "$@" > /dev/null 2> "$smoke/usage.err" || rc=$?
+    if [ "$rc" != 2 ]; then
+        echo "expected exit 2 from: $*  (got $rc)" >&2
+        cat "$smoke/usage.err" >&2
+        exit 1
+    fi
+}
+expect_usage "$build/tools/mipsx-run" --trace=abc /dev/null
+expect_usage "$build/tools/mipsx-run" --max-cycles 0 /dev/null
+expect_usage "$build/tools/mipsx-run" --fast-forward-pc=0xZZ /dev/null
+expect_usage "$build/tools/mipsx-fuzz" --runs=12x
+expect_usage "$build/tools/mipsx-fuzz" --seed 99999999999999999999
+expect_usage "$build/tools/mipsx-explore" --jobs -4
+expect_usage "$build/tools/mipsx-serve" --queue 0
+echo "usage-error smoke OK: all four tools exit 2"
+
+echo "== tier-1: mipsx-serve batch smoke run =="
+# A daemon session over a small NDJSON batch must answer every request
+# in submission order, survive a malformed line and a cycle-capped job
+# with structured replies, return job metrics identical to a direct
+# mipsx-run of the same file, and shut down cleanly on request.
+python3 - "$repo/examples/asm/sumarray.s" > "$smoke/batch.ndjson" << 'PYEOF'
+import json, sys
+print(json.dumps({"op": "ping", "id": "hello"}))
+print(json.dumps({"op": "run", "id": "file", "file": sys.argv[1]}))
+print(json.dumps({"op": "run", "id": "wl", "workload": "fib"}))
+print("{this is not json")
+print(json.dumps({"op": "run", "id": "capped",
+                  "program": "_start: beq r0, r0, _start\n",
+                  "max_cycles": 100}))
+print(json.dumps({"op": "shutdown", "id": "bye"}))
+PYEOF
+"$build/tools/mipsx-serve" --quiet --jobs 2 < "$smoke/batch.ndjson" \
+    > "$smoke/serve-j2.ndjson"
+"$build/tools/mipsx-run" --metrics-json="$smoke/direct.json" \
+    "$repo/examples/asm/sumarray.s" > /dev/null
+python3 - "$smoke/serve-j2.ndjson" "$smoke/direct.json" << 'PYEOF'
+import json, sys
+replies = [json.loads(line) for line in open(sys.argv[1])]
+assert [r["id"] for r in replies] == \
+    ["hello", "file", "wl", None, "capped", "bye"], replies
+assert replies[0]["result"]["pong"] is True
+assert replies[1]["result"]["passed"] is True
+assert not replies[3]["ok"] and replies[3]["error"]["code"] == "parse"
+assert replies[4]["ok"] and replies[4]["result"]["stop"] == "max-cycles"
+assert replies[5]["result"]["shutdown"] is True
+direct = json.load(open(sys.argv[2]))
+assert replies[1]["result"]["metrics"] == direct, \
+    "serve job metrics diverge from the direct mipsx-run"
+print("serve smoke OK: %d replies, job metrics identical to mipsx-run"
+      % len(replies))
+PYEOF
+
+echo "== tier-1: mipsx-serve determinism smoke run =="
+# The reply stream must be byte-identical at any worker count: replies
+# are sequenced in submission order and carry no host-dependent data.
+"$build/tools/mipsx-serve" --quiet --jobs 1 < "$smoke/batch.ndjson" \
+    > "$smoke/serve-j1.ndjson"
+"$build/tools/mipsx-serve" --quiet --jobs 4 < "$smoke/batch.ndjson" \
+    > "$smoke/serve-j4.ndjson"
+cmp "$smoke/serve-j1.ndjson" "$smoke/serve-j4.ndjson"
+cmp "$smoke/serve-j1.ndjson" "$smoke/serve-j2.ndjson"
+echo "serve determinism smoke OK: --jobs 1/2/4 byte-identical"
+
+echo "== tier-1: mipsx-serve load-generator bench =="
+# The load generator must push >=1000 jobs through an in-process
+# server and record throughput/latency stats in BENCH_serve.json.
+"$build/tools/mipsx-serve" --bench --quiet --bench-jobs 1000 \
+    --bench-clients 4 --suite fp --bench-out "$smoke/BENCH_serve.json"
+python3 - "$smoke/BENCH_serve.json" << 'PYEOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+assert b["serve.bench.jobs"] >= 1000
+assert b["serve.bench.ok"] == b["serve.bench.jobs"]
+assert b["serve.bench.passed"] == b["serve.bench.jobs"]
+assert b["serve.bench.jobs_per_second"] > 0
+assert b["serve.latency_p99_ms"] >= b["serve.latency_p50_ms"] >= 0
+assert b["serve.cache_hits"] > b["serve.cache_misses"]
+print("serve bench OK: %d jobs at %.0f jobs/s, p99 %.2f ms"
+      % (b["serve.bench.jobs"], b["serve.bench.jobs_per_second"],
+         b["serve.latency_p99_ms"]))
+PYEOF
+cp "$smoke/BENCH_serve.json" "$build/tier1-artifacts/"
 
 if [ "${MIPSX_SKIP_TSAN:-0}" != "1" ]; then
     echo "== tier-1: ThreadSanitizer on the parallel suite runner =="

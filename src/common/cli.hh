@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flag values.
+ *
+ * The tools used to feed flag values straight into std::stoull and
+ * friends, which throw std::invalid_argument / std::out_of_range on
+ * junk ("--runs=abc") or overflow — exceptions no top-level handler
+ * caught, so a typo killed the process with an unhandled-exception
+ * abort instead of a usage message. These helpers accept a value only
+ * when the whole string is a number inside the stated range, and
+ * report violations as UsageError, which every tool's main() turns
+ * into a clean diagnostic and exit status 2 (the usage-error exit, as
+ * distinct from 1 = the run itself failed).
+ */
+
+#ifndef MIPSX_COMMON_CLI_HH
+#define MIPSX_COMMON_CLI_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/sim_error.hh"
+
+namespace mipsx::cli
+{
+
+/** A malformed command line: caught in main(), reported, exit 2. */
+class UsageError : public std::runtime_error
+{
+  public:
+    explicit UsageError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** Raise a UsageError with a printf-style message. */
+[[noreturn]] inline void
+usageError(const std::string &message)
+{
+    throw UsageError(message);
+}
+
+/**
+ * Parse @p value as an unsigned integer in [@p min, @p max]. @p base
+ * 10 for plain decimal flags; 0 enables the strtoull prefix rules
+ * (0x... hex, 0... octal) for address-valued flags. The whole string
+ * must be consumed: empty values, leading signs, trailing junk and
+ * out-of-range magnitudes all raise UsageError naming @p flag.
+ */
+inline std::uint64_t
+parseU64(const char *flag, const std::string &value,
+         std::uint64_t min = 0,
+         std::uint64_t max = std::numeric_limits<std::uint64_t>::max(),
+         int base = 10)
+{
+    // strtoull accepts leading whitespace and a sign (negatives wrap
+    // modulo 2^64); neither is a sane flag value, so reject up front.
+    if (value.empty() ||
+        std::isspace(static_cast<unsigned char>(value[0])) ||
+        value[0] == '-' || value[0] == '+')
+        usageError(strformat("%s: want a number, got '%s'", flag,
+                             value.c_str()));
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, base);
+    if (end != value.c_str() + value.size() || end == value.c_str())
+        usageError(strformat("%s: want a number, got '%s'", flag,
+                             value.c_str()));
+    if (errno == ERANGE || v < min || v > max) {
+        if (min != 0 ||
+            max != std::numeric_limits<std::uint64_t>::max())
+            usageError(strformat(
+                "%s: value '%s' out of range (want %llu..%llu)", flag,
+                value.c_str(), static_cast<unsigned long long>(min),
+                static_cast<unsigned long long>(max)));
+        usageError(strformat("%s: value '%s' out of range", flag,
+                             value.c_str()));
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/** parseU64 narrowed to unsigned (the thread/slot-count flags). */
+inline unsigned
+parseUnsigned(const char *flag, const std::string &value,
+              unsigned min = 0,
+              unsigned max = std::numeric_limits<unsigned>::max())
+{
+    return static_cast<unsigned>(parseU64(flag, value, min, max));
+}
+
+/** An address-valued flag: hex (0x...), octal (0...) or decimal. */
+inline std::uint32_t
+parseAddr(const char *flag, const std::string &value)
+{
+    return static_cast<std::uint32_t>(parseU64(
+        flag, value, 0, std::numeric_limits<std::uint32_t>::max(), 0));
+}
+
+} // namespace mipsx::cli
+
+#endif // MIPSX_COMMON_CLI_HH

@@ -85,10 +85,26 @@ class JsonParser
     }
 
   private:
+    /**
+     * Report @p what with line:column context. Grid files are written
+     * by hand and job requests arrive over a wire, so "line 3 column
+     * 17" beats a byte offset; the offset is kept for single-line
+     * documents fed from tests and pipes.
+     */
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        fatal(strformat("json: %s at offset %zu", what.c_str(), pos_));
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        fatal(strformat("json: %s at line %zu column %zu (offset %zu)",
+                        what.c_str(), line, col, pos_));
     }
 
     void
@@ -229,12 +245,81 @@ class JsonParser
               case 'r': v.text_ += '\r'; break;
               case 'b': v.text_ += '\b'; break;
               case 'f': v.text_ += '\f'; break;
+              case 'u': v.text_ += unicodeEscape(); break;
               default:
-                // \uXXXX and friends are not needed for grid specs.
+                // Anything else is a hard error, never a silent
+                // pass-through: the serve job API feeds attacker-ish
+                // input (arbitrary program text) through this parser,
+                // and mangling an escape would corrupt the program
+                // rather than reject the request.
                 fail(strformat("unsupported escape '\\%c'", e));
             }
         }
         fail("unterminated string");
+    }
+
+    /** The four hex digits of a \uXXXX escape (pos_ is past the 'u'). */
+    unsigned
+    hexQuad()
+    {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                fail("truncated \\u escape");
+            const char c = text_[pos_];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                fail(strformat("bad hex digit '%c' in \\u escape", c));
+            cp = cp * 16 + digit;
+            ++pos_;
+        }
+        return cp;
+    }
+
+    /**
+     * Decode one \uXXXX escape (pos_ is past the 'u'), combining a
+     * surrogate pair into its supplementary code point, and return the
+     * UTF-8 encoding. Lone or out-of-order surrogates are parse
+     * errors — there is no sensible byte sequence to substitute.
+     */
+    std::string
+    unicodeEscape()
+    {
+        unsigned cp = hexQuad();
+        if (cp >= 0xDC00 && cp <= 0xDFFF)
+            fail("unpaired low surrogate in \\u escape");
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (text_.compare(pos_, 2, "\\u") != 0)
+                fail("unpaired high surrogate in \\u escape");
+            pos_ += 2;
+            const unsigned lo = hexQuad();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+                fail("invalid low surrogate in \\u escape");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        }
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        return out;
     }
 
     Json

@@ -36,7 +36,11 @@ class Json
         Object,
     };
 
-    /** Parse one JSON document; throws SimError with an offset. */
+    /**
+     * Parse one JSON document; throws SimError with line/column (and
+     * byte offset) context on any malformation, unsupported string
+     * escapes included.
+     */
     static Json parse(const std::string &text);
 
     Kind kind() const { return kind_; }

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The serve load generator (mipsx-serve --bench): drive thousands of
+ * concurrent run-jobs through an in-process Server and record the
+ * "millions of users" numbers — throughput (jobs/s, simulated
+ * instructions/s) and queue latency percentiles — as
+ * BENCH_serve.json. In-process rather than over a pipe so the numbers
+ * measure the service core (queueing, cache sharing, worker
+ * scheduling), not stdio formatting.
+ */
+
+#include "serve/serve.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/sim_error.hh"
+#include "explore/explore.hh"
+#include "workload/suite_runner.hh"
+
+namespace mipsx::serve
+{
+
+int
+runServeBench(const BenchOptions &opts)
+{
+    const auto suite = explore::suiteByName(opts.suite);
+    if (suite.empty())
+        fatal("serve bench: empty suite");
+
+    ServeConfig sc = opts.server;
+    Server server(sc);
+    const unsigned workers =
+        sc.workers ? sc.workers : workload::defaultSuiteJobs();
+
+    std::atomic<std::uint64_t> issued{0};
+    std::atomic<std::uint64_t> okJobs{0};
+    std::atomic<std::uint64_t> passedJobs{0};
+    std::atomic<std::uint64_t> simInstructions{0};
+
+    // Clients draw jobs round-robin over the suite; every other job
+    // adds a machine-config binding so the request mix is not
+    // homogeneous (same prepared image, different machine).
+    auto client = [&] {
+        for (;;) {
+            const std::uint64_t i = issued.fetch_add(1);
+            if (i >= opts.jobs)
+                return;
+            JobRequest req;
+            req.op = Op::Run;
+            req.id = strformat("bench-%llu",
+                               static_cast<unsigned long long>(i));
+            req.workload = suite[i % suite.size()].name;
+            if (i % 2)
+                req.config.emplace_back("icache.fetchWords", "2");
+            server.submit(
+                std::move(req),
+                [&](std::uint64_t, const JobOutcome &o) {
+                    if (o.ok)
+                        okJobs.fetch_add(1);
+                    if (o.passed)
+                        passedJobs.fetch_add(1);
+                    // "\"instructions\":N," — cheap scrape instead of
+                    // re-parsing the reply JSON.
+                    const auto pos =
+                        o.resultJson.find("\"instructions\":");
+                    if (pos != std::string::npos)
+                        simInstructions.fetch_add(std::strtoull(
+                            o.resultJson.c_str() + pos + 15, nullptr,
+                            10));
+                });
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    const unsigned nclients = std::max(1u, opts.clients);
+    clients.reserve(nclients);
+    for (unsigned c = 0; c < nclients; ++c)
+        clients.emplace_back(client);
+    for (auto &c : clients)
+        c.join();
+    server.drain();
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    const ServeStats st = server.stats();
+    const double jobsPerSecond =
+        seconds > 0 ? double(st.completed) / seconds : 0.0;
+    const double instrPerSecond =
+        seconds > 0 ? double(simInstructions.load()) / seconds : 0.0;
+
+    if (!opts.quiet) {
+        std::printf("serve bench: %llu jobs (%u clients -> %u "
+                    "workers, suite '%s') in %.3f s\n",
+                    static_cast<unsigned long long>(st.completed),
+                    nclients, workers, opts.suite.c_str(), seconds);
+        std::printf("  throughput    %.0f jobs/s, %.1f M simulated "
+                    "instr/s\n",
+                    jobsPerSecond, instrPerSecond / 1e6);
+        std::printf("  latency       p50 %.2f ms, p90 %.2f ms, p99 "
+                    "%.2f ms, max %.2f ms\n",
+                    st.p50Ms, st.p90Ms, st.p99Ms, st.maxMs);
+        std::printf("  queue         peak %llu of %zu\n",
+                    static_cast<unsigned long long>(st.queuePeak),
+                    sc.maxQueue);
+        std::printf("  cache         %llu hits, %llu misses\n",
+                    static_cast<unsigned long long>(st.cacheHits),
+                    static_cast<unsigned long long>(st.cacheMisses));
+    }
+
+    trace::MetricsRegistry m;
+    m.set("serve.bench.jobs", st.completed);
+    m.set("serve.bench.ok", okJobs.load());
+    m.set("serve.bench.passed", passedJobs.load());
+    m.set("serve.bench.clients", nclients);
+    m.set("serve.bench.workers", workers);
+    m.set("serve.bench.seconds", seconds);
+    m.set("serve.bench.jobs_per_second", jobsPerSecond);
+    m.set("serve.bench.sim_instructions", simInstructions.load());
+    m.set("serve.bench.sim_instr_per_second", instrPerSecond);
+    collectMetrics(st, m);
+    if (!opts.out.empty()) {
+        if (!m.writeJsonFile(opts.out))
+            return 1;
+        if (!opts.quiet)
+            std::printf("wrote %s\n", opts.out.c_str());
+    }
+
+    return passedJobs.load() == opts.jobs ? 0 : 1;
+}
+
+} // namespace mipsx::serve

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The serve protocol's parse and render layer: one request line in,
+ * one reply line out. Parsing is strict — unknown ops and unknown
+ * keys are errors, not warnings — because this is the edge where
+ * arbitrary client bytes meet the simulator, and a silently ignored
+ * typo ("max_cycle") would run the wrong experiment.
+ */
+
+#include "serve/serve.hh"
+
+#include <cstdio>
+
+#include "common/sim_error.hh"
+#include "explore/json.hh"
+
+namespace mipsx::serve
+{
+
+namespace
+{
+
+std::uint64_t
+u64Field(const explore::Json &v, const char *key)
+{
+    if (v.kind() != explore::Json::Kind::Number)
+        fatal(strformat("request: \"%s\" must be a number", key));
+    const double d = v.number();
+    if (d < 0 || d != d || d > 18446744073709549568.0 ||
+        d != static_cast<double>(static_cast<std::uint64_t>(d)))
+        fatal(strformat("request: \"%s\" must be a non-negative "
+                        "integer",
+                        key));
+    return static_cast<std::uint64_t>(d);
+}
+
+} // namespace
+
+JobRequest
+parseJobRequest(const std::string &line)
+{
+    const explore::Json doc = explore::Json::parse(line);
+    if (!doc.isObject())
+        fatal("request: want one JSON object per line");
+
+    JobRequest req;
+    bool haveOp = false;
+    for (const auto &[key, value] : doc.object()) {
+        if (key == "op") {
+            const std::string op = value.str();
+            if (op == "run")
+                req.op = Op::Run;
+            else if (op == "suite")
+                req.op = Op::Suite;
+            else if (op == "ping")
+                req.op = Op::Ping;
+            else if (op == "stats")
+                req.op = Op::Stats;
+            else if (op == "shutdown")
+                req.op = Op::Shutdown;
+            else
+                fatal(strformat("request: unknown op \"%s\"",
+                                op.c_str()));
+            haveOp = true;
+        } else if (key == "id") {
+            if (!value.isScalar())
+                fatal("request: \"id\" must be a scalar");
+            req.id = value.scalarString();
+        } else if (key == "program") {
+            req.program = value.str();
+        } else if (key == "file") {
+            req.file = value.str();
+        } else if (key == "workload") {
+            req.workload = value.str();
+        } else if (key == "suite") {
+            req.suite = value.str();
+        } else if (key == "config") {
+            if (!value.isObject())
+                fatal("request: \"config\" must be an object");
+            for (const auto &[param, val] : value.object()) {
+                if (!val.isScalar())
+                    fatal(strformat("request: config \"%s\" must be "
+                                    "a scalar",
+                                    param.c_str()));
+                req.config.emplace_back(param, val.scalarString());
+            }
+        } else if (key == "max_cycles") {
+            req.maxCycles = u64Field(value, "max_cycles");
+            if (req.maxCycles == 0)
+                fatal("request: \"max_cycles\" must be positive");
+        } else if (key == "fast_forward") {
+            req.fastForward = u64Field(value, "fast_forward");
+        } else if (key == "jobs") {
+            req.jobs = static_cast<unsigned>(u64Field(value, "jobs"));
+        } else {
+            fatal(strformat("request: unknown key \"%s\"",
+                            key.c_str()));
+        }
+    }
+    if (!haveOp)
+        fatal("request: missing \"op\"");
+
+    if (req.op == Op::Run) {
+        const int sources = (req.program.empty() ? 0 : 1) +
+                            (req.file.empty() ? 0 : 1) +
+                            (req.workload.empty() ? 0 : 1);
+        if (sources != 1)
+            fatal("request: a run job needs exactly one of "
+                  "\"program\", \"file\", \"workload\"");
+    } else if (!req.program.empty() || !req.file.empty() ||
+               !req.workload.empty()) {
+        fatal("request: \"program\"/\"file\"/\"workload\" only apply "
+              "to op \"run\"");
+    }
+    if (req.op != Op::Suite && !req.suite.empty())
+        fatal("request: \"suite\" only applies to op \"suite\"");
+    return req;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char raw : s) {
+        const unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+formatReply(const std::string &id, std::uint64_t seq,
+            const JobOutcome &out)
+{
+    std::string line = "{\"id\":";
+    line += id.empty() ? std::string("null") : jsonQuote(id);
+    line += strformat(",\"seq\":%llu",
+                      static_cast<unsigned long long>(seq));
+    if (out.ok) {
+        line += ",\"ok\":true,\"result\":";
+        line += out.resultJson.empty() ? "{}" : out.resultJson;
+    } else {
+        line += ",\"ok\":false,\"error\":{\"code\":";
+        line += jsonQuote(out.errorCode);
+        line += ",\"message\":";
+        line += jsonQuote(out.errorMessage);
+        line += "}";
+    }
+    line += "}";
+    return line;
+}
+
+} // namespace mipsx::serve

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * mipsx-serve — batch simulation as a service.
+ *
+ * A persistent multi-threaded daemon wrapping the pieces the repo
+ * already has: the content-addressed PreparedCache amortizes toolchain
+ * work (assemble + reorganize + predecode) across requests, a worker
+ * pool executes one Machine per job, and MetricsRegistry is the result
+ * payload. The protocol is newline-delimited JSON over stdin/stdout
+ * (one request object per line, one reply object per line), so the
+ * daemon composes with pipes, sockets via socat, and test harnesses
+ * alike.
+ *
+ * Requests ("op" selects the kind; "id" is echoed back verbatim):
+ *
+ *     {"op":"run","id":"j1","program":"<MX32 source>",
+ *      "config":{"icache.missPenalty":2},"max_cycles":1000000,
+ *      "fast_forward":0}
+ *     {"op":"run","id":"j2","workload":"sort"}      // suite program
+ *     {"op":"run","id":"j3","file":"examples/asm/gcd.s"}
+ *     {"op":"suite","id":"s1","suite":"fp","config":{...}}
+ *     {"op":"ping","id":"p1"}
+ *     {"op":"stats","id":"st"}                      // serve.* counters
+ *     {"op":"shutdown"}                             // drain, then exit
+ *
+ * Replies carry the id, a server-assigned sequence number, and either
+ * a result or a structured error — never a dead process:
+ *
+ *     {"id":"j1","seq":0,"ok":true,"result":{"stop":"halt",
+ *      "passed":true,"metrics":{...cpu0.* counters...}}}
+ *     {"id":"j9","seq":1,"ok":false,
+ *      "error":{"code":"config","message":"..."}}
+ *
+ * Error codes: "parse" (malformed JSON), "request" (bad or missing
+ * fields), "config" (unknown/invalid machine parameter), "io" (a
+ * "file" job's path), "toolchain" (assembler/reorganizer rejected the
+ * program). A program that runs but stops badly (its own fail trap,
+ * the cycle cap, an invalid instruction) is NOT an error: the reply is
+ * ok:true with result.passed=false and result.stop naming the reason,
+ * and later jobs are unaffected.
+ *
+ * Determinism: replies are emitted in submission order (a reorder
+ * buffer holds results completed out of order), every field of a job
+ * reply descends from the deterministic simulator, and host-dependent
+ * numbers (latency, queue depth) only ever appear in "stats" replies
+ * and the bench output. The same request batch therefore produces
+ * byte-identical reply streams at any --jobs count — scripts/tier1.sh
+ * diffs exactly that.
+ *
+ * Isolation: jobs share PreparedCache entries copy-on-write (a
+ * self-modifying program clones its decode pages privately), and each
+ * job gets a fresh Machine, so no request can observe another.
+ */
+
+#ifndef MIPSX_SERVE_SERVE_HH
+#define MIPSX_SERVE_SERVE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "trace/metrics.hh"
+
+namespace mipsx::serve
+{
+
+/** What a request asks for. */
+enum class Op : std::uint8_t
+{
+    Run,      ///< one program on the cycle-accurate machine
+    Suite,    ///< a whole named suite, aggregate payload
+    Ping,     ///< liveness probe
+    Stats,    ///< serve.* counters (host-dependent; not deterministic)
+    Shutdown, ///< stop accepting, drain the queue, exit
+};
+
+/** One parsed request. */
+struct JobRequest
+{
+    Op op = Op::Run;
+    std::string id;       ///< echoed into the reply ("" -> null)
+    std::string program;  ///< inline MX32 source ("run")
+    std::string file;     ///< path to a .s file ("run")
+    std::string workload; ///< suite workload name ("run")
+    std::string suite;    ///< suite name ("suite"), default "full"
+    /** (param, value) machine bindings, explore's parameter names. */
+    std::vector<std::pair<std::string, std::string>> config;
+    std::uint64_t maxCycles = 0;   ///< 0 = server default (clamped)
+    std::uint64_t fastForward = 0; ///< ISS fast-forward checkpoint
+    unsigned jobs = 0;             ///< suite-op worker count
+};
+
+/**
+ * Parse one request line. Throws SimError (with the JSON parser's
+ * line/column context where applicable) on malformed JSON, unknown
+ * ops, unknown keys — strict by design, this is the service edge.
+ */
+JobRequest parseJobRequest(const std::string &line);
+
+/** One finished job, rendered and ready to emit. */
+struct JobOutcome
+{
+    bool ok = false;
+    std::string errorCode;    ///< when !ok
+    std::string errorMessage; ///< when !ok
+    /** The reply's "result" object as compact JSON (when ok). */
+    std::string resultJson;
+    /** The program ran and halted through its own success check. */
+    bool passed = false;
+};
+
+/** JSON string escaping for reply fields (control chars as \uXXXX). */
+std::string jsonQuote(const std::string &s);
+
+/** Render the full reply line (no trailing newline). */
+std::string formatReply(const std::string &id, std::uint64_t seq,
+                        const JobOutcome &out);
+
+/** Server tuning. */
+struct ServeConfig
+{
+    /** Worker threads; 0 = workload::defaultSuiteJobs(). */
+    unsigned workers = 0;
+    /** Submission blocks when this many jobs are queued (backpressure
+     *  instead of an unbounded queue or a nondeterministic error). */
+    std::size_t maxQueue = 1024;
+    /** Cycle cap applied to every job; a job's own max_cycles may
+     *  lower but never raise it. The cap is the per-job timeout: it is
+     *  deterministic where a wall-clock timer would not be. */
+    std::uint64_t maxCycles = 200'000'000;
+    /** Serve prepared images from the process-wide PreparedCache. */
+    bool preparedCache = true;
+};
+
+/** Service counters (the "stats" reply and the --metrics file). */
+struct ServeStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t errors = 0; ///< replies with ok:false
+    std::uint64_t failed = 0; ///< ok:true but passed:false
+    std::uint64_t queuePeak = 0;
+    std::uint64_t queueDepth = 0; ///< at sampling time
+    std::uint64_t cacheHits = 0;  ///< PreparedCache, process-wide
+    std::uint64_t cacheMisses = 0;
+    double p50Ms = 0, p90Ms = 0, p99Ms = 0, maxMs = 0;
+};
+
+/** Export @p s into @p m under "<prefix>.". */
+void collectMetrics(const ServeStats &s, trace::MetricsRegistry &m,
+                    const std::string &prefix = "serve");
+
+/**
+ * The daemon core: a bounded job queue feeding a worker pool, with a
+ * completion callback per job. Transport-agnostic — the stdio loop and
+ * the in-process bench driver both sit on top of this class.
+ */
+class Server
+{
+  public:
+    /** Called on job completion, from a worker thread. */
+    using Completion =
+        std::function<void(std::uint64_t seq, const JobOutcome &)>;
+
+    explicit Server(const ServeConfig &config = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Enqueue @p req; returns its sequence number (submission order).
+     * Blocks while the queue is at ServeConfig::maxQueue. @p done runs
+     * on the worker that executed the job.
+     */
+    std::uint64_t submit(JobRequest req, Completion done);
+
+    /** Wait until every submitted job has completed. */
+    void drain();
+
+    /** drain(), then stop and join the workers. Idempotent. */
+    void shutdown();
+
+    ServeStats stats() const;
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    struct Pending
+    {
+        std::uint64_t seq = 0;
+        JobRequest req;
+        Completion done;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void workerLoop();
+
+    ServeConfig config_;
+    mutable std::mutex mu_;
+    std::condition_variable cvSubmit_;  ///< queue has room
+    std::condition_variable cvWork_;    ///< queue has work
+    std::condition_variable cvDrained_; ///< everything completed
+    std::deque<Pending> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t inFlight_ = 0;
+    ServeStats stats_;
+    std::vector<double> latenciesMs_;
+    std::uint64_t cacheHits0_ = 0; ///< PreparedCache baseline at start
+    std::uint64_t cacheMisses0_ = 0;
+};
+
+/**
+ * Execute one request synchronously (the worker body; tests call it
+ * directly). Never throws: every failure becomes a structured
+ * JobOutcome. @p server supplies the stats for Op::Stats and may be
+ * null for the pure-compute ops.
+ */
+JobOutcome runJob(const JobRequest &req, const ServeConfig &config,
+                  const Server *server = nullptr);
+
+/**
+ * The stdio transport: read one request per line from @p in, emit one
+ * reply per line to @p out (flushed per line, submission order), drain
+ * on EOF or {"op":"shutdown"}. Malformed lines get error replies;
+ * nothing kills the daemon but a closed input. Returns the exit
+ * status (0), and the final counters through @p statsOut when set.
+ */
+int runStdioServer(std::istream &in, std::ostream &out,
+                   const ServeConfig &config,
+                   ServeStats *statsOut = nullptr);
+
+/** Load-generator options (mipsx-serve --bench). */
+struct BenchOptions
+{
+    std::uint64_t jobs = 1000;  ///< total jobs to push through
+    unsigned clients = 4;       ///< concurrent submitting threads
+    std::string suite = "full"; ///< workloads the jobs draw from
+    ServeConfig server{};
+    std::string out = "BENCH_serve.json";
+    bool quiet = false;
+};
+
+/**
+ * Drive @p opts.jobs run-jobs through an in-process Server from
+ * concurrent client threads, print a summary, and write throughput +
+ * latency percentiles (serve.bench.*) to @p opts.out. Returns 0 when
+ * every job passed.
+ */
+int runServeBench(const BenchOptions &opts);
+
+} // namespace mipsx::serve
+
+#endif // MIPSX_SERVE_SERVE_HH

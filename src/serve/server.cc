@@ -1,0 +1,479 @@
+/**
+ * @file
+ * The daemon core: job execution on the existing simulator stack, the
+ * bounded-queue worker pool, and the stdio transport.
+ *
+ * Execution reuses exactly the pieces a direct mipsx-run invocation
+ * uses — PreparedCache (COW snapshots give per-job isolation for
+ * free), one fresh Machine per job, Cpu::collectMetrics as the result
+ * payload — so a job's metrics are identical to running the same
+ * program/config through mipsx-run, which the tier-1 serve smoke
+ * diffs. The per-job "timeout" is the cycle cap: deterministic where a
+ * wall clock is not, and exactly what MachineConfig already enforces.
+ */
+
+#include "serve/serve.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "explore/explore.hh"
+#include "explore/grid.hh"
+#include "sim/machine.hh"
+#include "workload/prepared.hh"
+#include "workload/suite_runner.hh"
+
+namespace mipsx::serve
+{
+
+namespace
+{
+
+/** "{\"a\": 1,\"b\": 2}" — writeJson's encoding, one line. */
+std::string
+compactMetricsJson(const trace::MetricsRegistry &m)
+{
+    const auto rows = m.formatted();
+    std::string out = "{";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i)
+            out += ',';
+        out += jsonQuote(rows[i].first);
+        out += ": ";
+        out += rows[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+/** Suite workloads by name (what a {"workload":...} job draws from). */
+const workload::Workload *
+findWorkload(const std::string &name)
+{
+    static const std::vector<workload::Workload> all =
+        workload::fullSuite();
+    for (const auto &w : all)
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+JobOutcome
+errorOutcome(const char *code, const std::string &message)
+{
+    JobOutcome out;
+    out.ok = false;
+    out.errorCode = code;
+    out.errorMessage = message;
+    return out;
+}
+
+/**
+ * Lower the request's config bindings + caps onto SuiteRunOptions.
+ * Mirrors mipsx-run's machine setup (counter coprocessor attached) so
+ * a serve job and a direct run produce identical metrics.
+ */
+workload::SuiteRunOptions
+jobOptions(const JobRequest &req, const ServeConfig &config)
+{
+    workload::SuiteRunOptions point;
+    point.preparedCache = config.preparedCache;
+    for (const auto &[param, value] : req.config)
+        explore::applyParam(point, param, value);
+    point.machine.attachCounterCop = true;
+    point.machine.cpu.maxCycles =
+        req.maxCycles ? std::min<std::uint64_t>(req.maxCycles,
+                                                config.maxCycles)
+                      : config.maxCycles;
+    if (req.fastForward)
+        point.machine.fastForward.instructions = req.fastForward;
+    return point;
+}
+
+JobOutcome
+runOneProgram(const JobRequest &req, const ServeConfig &config)
+{
+    workload::SuiteRunOptions point;
+    try {
+        point = jobOptions(req, config);
+    } catch (const SimError &e) {
+        return errorOutcome("config", e.what());
+    }
+
+    workload::Workload w;
+    if (!req.workload.empty()) {
+        const workload::Workload *found = findWorkload(req.workload);
+        if (!found)
+            return errorOutcome(
+                "request", strformat("unknown workload '%s'",
+                                     req.workload.c_str()));
+        w = *found;
+    } else if (!req.file.empty()) {
+        std::ifstream in(req.file);
+        if (!in)
+            return errorOutcome("io", strformat("cannot open '%s'",
+                                                req.file.c_str()));
+        std::stringstream ss;
+        ss << in.rdbuf();
+        w.name = req.file;
+        w.source = ss.str();
+    } else {
+        w.name = "inline";
+        w.source = req.program;
+    }
+
+    workload::PreparedPtr prep;
+    try {
+        prep = point.preparedCache
+            ? workload::PreparedCache::global().get(w, point.reorg,
+                                                    point.useProfiles)
+            : workload::prepareWorkload(w, point.reorg,
+                                        point.useProfiles);
+    } catch (const SimError &e) {
+        return errorOutcome("toolchain", e.what());
+    }
+
+    try {
+        sim::Machine machine(point.machine);
+        machine.memory().setPredecodeEnabled(point.predecode);
+        machine.load(prep->image,
+                     point.predecode ? &prep->decoded : nullptr);
+        const auto result = machine.run();
+
+        trace::MetricsRegistry m;
+        machine.cpu().collectMetrics(m);
+
+        JobOutcome out;
+        out.ok = true;
+        out.passed = result.halted();
+        out.resultJson = strformat(
+            "{\"stop\":%s,\"passed\":%s,\"cycles\":%llu,"
+            "\"instructions\":%llu,",
+            jsonQuote(core::stopReasonName(result.reason)).c_str(),
+            out.passed ? "true" : "false",
+            static_cast<unsigned long long>(
+                machine.cpu().stats().cycles),
+            static_cast<unsigned long long>(
+                machine.cpu().stats().committed));
+        if (machine.fastForwarded().ran)
+            out.resultJson += strformat(
+                "\"fast_forward_steps\":%llu,",
+                static_cast<unsigned long long>(
+                    machine.fastForwarded().issSteps));
+        out.resultJson += "\"metrics\":";
+        out.resultJson += compactMetricsJson(m);
+        out.resultJson += "}";
+        return out;
+    } catch (const std::exception &e) {
+        // A run that throws (toolchain bug, invalid machine state) is
+        // reported, never allowed to take the daemon down.
+        return errorOutcome("internal", e.what());
+    }
+}
+
+JobOutcome
+runOneSuite(const JobRequest &req, const ServeConfig &config)
+{
+    std::vector<workload::Workload> suite;
+    workload::SuiteRunOptions opts;
+    try {
+        suite = explore::suiteByName(req.suite.empty() ? "full"
+                                                       : req.suite);
+        opts = jobOptions(req, config);
+    } catch (const SimError &e) {
+        return errorOutcome("request", e.what());
+    }
+    opts.jobs = req.jobs;
+    try {
+        const auto res = workload::runSuite(suite, opts);
+        trace::MetricsRegistry m;
+        workload::collectMetrics(res.stats, m);
+
+        JobOutcome out;
+        out.ok = true;
+        out.passed = res.stats.failures == 0;
+        out.resultJson = strformat(
+            "{\"workloads\":%u,\"failures\":%u,\"passed\":%s,",
+            res.stats.workloads, res.stats.failures,
+            out.passed ? "true" : "false");
+        out.resultJson += "\"metrics\":";
+        out.resultJson += compactMetricsJson(m);
+        out.resultJson += "}";
+        return out;
+    } catch (const std::exception &e) {
+        return errorOutcome("internal", e.what());
+    }
+}
+
+} // namespace
+
+void
+collectMetrics(const ServeStats &s, trace::MetricsRegistry &m,
+               const std::string &prefix)
+{
+    const std::string p = prefix + ".";
+    m.set(p + "submitted", s.submitted);
+    m.set(p + "completed", s.completed);
+    m.set(p + "errors", s.errors);
+    m.set(p + "failed", s.failed);
+    m.set(p + "queue_depth", s.queueDepth);
+    m.set(p + "queue_peak", s.queuePeak);
+    m.set(p + "cache_hits", s.cacheHits);
+    m.set(p + "cache_misses", s.cacheMisses);
+    m.set(p + "latency_p50_ms", s.p50Ms);
+    m.set(p + "latency_p90_ms", s.p90Ms);
+    m.set(p + "latency_p99_ms", s.p99Ms);
+    m.set(p + "latency_max_ms", s.maxMs);
+}
+
+JobOutcome
+runJob(const JobRequest &req, const ServeConfig &config,
+       const Server *server)
+{
+    switch (req.op) {
+      case Op::Run: return runOneProgram(req, config);
+      case Op::Suite: return runOneSuite(req, config);
+      case Op::Ping: {
+        JobOutcome out;
+        out.ok = true;
+        out.passed = true;
+        out.resultJson = "{\"pong\":true}";
+        return out;
+      }
+      case Op::Stats: {
+        JobOutcome out;
+        out.ok = true;
+        out.passed = true;
+        trace::MetricsRegistry m;
+        collectMetrics(server ? server->stats() : ServeStats{}, m);
+        out.resultJson = compactMetricsJson(m);
+        return out;
+      }
+      case Op::Shutdown: {
+        JobOutcome out;
+        out.ok = true;
+        out.passed = true;
+        out.resultJson = "{\"shutdown\":true}";
+        return out;
+      }
+    }
+    return errorOutcome("internal", "unreachable op");
+}
+
+Server::Server(const ServeConfig &config) : config_(config)
+{
+    const auto cache = workload::PreparedCache::global().stats();
+    cacheHits0_ = cache.hits;
+    cacheMisses0_ = cache.misses;
+    const unsigned n = config_.workers ? config_.workers
+                                       : workload::defaultSuiteJobs();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+std::uint64_t
+Server::submit(JobRequest req, Completion done)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cvSubmit_.wait(lock, [this] {
+        return queue_.size() < config_.maxQueue || stopping_;
+    });
+    const std::uint64_t seq = nextSeq_++;
+    ++stats_.submitted;
+    if (stopping_) {
+        // Late submission after shutdown: run inline rather than
+        // silently dropping the job (the transports never do this,
+        // but the API should not have a black hole).
+        lock.unlock();
+        const JobOutcome out = runJob(req, config_, this);
+        if (done)
+            done(seq, out);
+        lock.lock();
+        ++stats_.completed;
+        if (!out.ok)
+            ++stats_.errors;
+        else if (!out.passed)
+            ++stats_.failed;
+        return seq;
+    }
+    Pending p;
+    p.seq = seq;
+    p.req = std::move(req);
+    p.done = std::move(done);
+    p.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(p));
+    stats_.queuePeak =
+        std::max<std::uint64_t>(stats_.queuePeak, queue_.size());
+    cvWork_.notify_one();
+    return seq;
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        Pending p;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvWork_.wait(lock, [this] {
+                return !queue_.empty() || stopping_;
+            });
+            if (queue_.empty())
+                return; // stopping, nothing left
+            p = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+            cvSubmit_.notify_one();
+        }
+        const JobOutcome out = runJob(p.req, config_, this);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - p.enqueued)
+                .count();
+        if (p.done)
+            p.done(p.seq, out);
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            --inFlight_;
+            ++stats_.completed;
+            if (!out.ok)
+                ++stats_.errors;
+            else if (!out.passed)
+                ++stats_.failed;
+            latenciesMs_.push_back(ms);
+            if (queue_.empty() && inFlight_ == 0)
+                cvDrained_.notify_all();
+        }
+    }
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cvDrained_.wait(lock,
+                    [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+Server::shutdown()
+{
+    drain();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cvWork_.notify_all();
+    cvSubmit_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
+}
+
+ServeStats
+Server::stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    ServeStats s = stats_;
+    s.queueDepth = queue_.size();
+    const auto cache = workload::PreparedCache::global().stats();
+    s.cacheHits = cache.hits - cacheHits0_;
+    s.cacheMisses = cache.misses - cacheMisses0_;
+    if (!latenciesMs_.empty()) {
+        std::vector<double> sorted = latenciesMs_;
+        std::sort(sorted.begin(), sorted.end());
+        const auto at = [&](double q) {
+            const std::size_t n = sorted.size();
+            std::size_t i = static_cast<std::size_t>(q * double(n));
+            return sorted[std::min(i, n - 1)];
+        };
+        s.p50Ms = at(0.50);
+        s.p90Ms = at(0.90);
+        s.p99Ms = at(0.99);
+        s.maxMs = sorted.back();
+    }
+    return s;
+}
+
+int
+runStdioServer(std::istream &in, std::ostream &out,
+               const ServeConfig &config, ServeStats *statsOut)
+{
+    Server server(config);
+
+    // Submission-order reply sequencer. Every non-blank request line
+    // gets the next sequence number; a reply is held until all lower
+    // sequence numbers have been emitted, so the reply stream is
+    // byte-identical for any worker count.
+    std::mutex emitMu;
+    std::map<std::uint64_t, std::string> held;
+    std::uint64_t nextEmit = 0;
+    const auto emit = [&](std::uint64_t seq, std::string line) {
+        const std::lock_guard<std::mutex> lock(emitMu);
+        held.emplace(seq, std::move(line));
+        while (true) {
+            const auto it = held.find(nextEmit);
+            if (it == held.end())
+                break;
+            out << it->second << '\n';
+            out.flush();
+            held.erase(it);
+            ++nextEmit;
+        }
+    };
+
+    std::uint64_t seq = 0;
+    std::string line;
+    bool shutdownSeen = false;
+    std::string shutdownId;
+    while (!shutdownSeen && std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        const std::uint64_t mySeq = seq++;
+        JobRequest req;
+        try {
+            req = parseJobRequest(line);
+        } catch (const SimError &e) {
+            JobOutcome bad;
+            bad.ok = false;
+            bad.errorCode = "parse";
+            bad.errorMessage = e.what();
+            emit(mySeq, formatReply("", mySeq, bad));
+            continue;
+        }
+        if (req.op == Op::Shutdown) {
+            // Stop reading; the reply goes out last, after the drain.
+            shutdownSeen = true;
+            shutdownId = req.id;
+            server.drain();
+            emit(mySeq,
+                 formatReply(shutdownId, mySeq,
+                             runJob(req, config, &server)));
+            break;
+        }
+        const std::string id = req.id;
+        server.submit(std::move(req),
+                      [&emit, id, mySeq](std::uint64_t,
+                                         const JobOutcome &o) {
+                          emit(mySeq, formatReply(id, mySeq, o));
+                      });
+    }
+
+    server.drain();
+    if (statsOut)
+        *statsOut = server.stats();
+    server.shutdown();
+    return 0;
+}
+
+} // namespace mipsx::serve

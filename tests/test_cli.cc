@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The hardened input edges: strict numeric flag parsing (common/cli)
+ * and the JSON parser's escape handling + line/column diagnostics.
+ * These are the layers the serve daemon exposes to arbitrary client
+ * bytes, so every rejection path is pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/sim_error.hh"
+#include "explore/json.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+TEST(CliParse, AcceptsPlainNumbers)
+{
+    EXPECT_EQ(cli::parseU64("--n", "0"), 0u);
+    EXPECT_EQ(cli::parseU64("--n", "123"), 123u);
+    EXPECT_EQ(cli::parseU64("--n", "18446744073709551615"),
+              18446744073709551615ull);
+    EXPECT_EQ(cli::parseUnsigned("--n", "42"), 42u);
+}
+
+TEST(CliParse, RejectsJunk)
+{
+    EXPECT_THROW(cli::parseU64("--runs", "abc"), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", ""), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", "12x"), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", "x12"), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", "1.5"), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", " 5"), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", "5 "), cli::UsageError);
+}
+
+TEST(CliParse, RejectsSigns)
+{
+    // strtoull would happily wrap "-1" to 2^64-1; the helper must not.
+    EXPECT_THROW(cli::parseU64("--runs", "-1"), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", "+5"), cli::UsageError);
+}
+
+TEST(CliParse, RejectsOverflow)
+{
+    EXPECT_THROW(cli::parseU64("--runs", "18446744073709551616"),
+                 cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--runs", "999999999999999999999999"),
+                 cli::UsageError);
+}
+
+TEST(CliParse, EnforcesRange)
+{
+    EXPECT_EQ(cli::parseU64("--n", "16", 16, 100), 16u);
+    EXPECT_EQ(cli::parseU64("--n", "100", 16, 100), 100u);
+    EXPECT_THROW(cli::parseU64("--n", "15", 16, 100), cli::UsageError);
+    EXPECT_THROW(cli::parseU64("--n", "101", 16, 100), cli::UsageError);
+    try {
+        cli::parseU64("--slots", "7", 1, 2);
+        FAIL() << "expected UsageError";
+    } catch (const cli::UsageError &e) {
+        EXPECT_NE(std::string(e.what()).find("--slots"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("1..2"),
+                  std::string::npos);
+    }
+}
+
+TEST(CliParse, AddressesTakeHexOctalDecimal)
+{
+    EXPECT_EQ(cli::parseAddr("--pc", "0x1F"), 0x1Fu);
+    EXPECT_EQ(cli::parseAddr("--pc", "017"), 15u);
+    EXPECT_EQ(cli::parseAddr("--pc", "31"), 31u);
+    EXPECT_THROW(cli::parseAddr("--pc", "0xZZ"), cli::UsageError);
+    EXPECT_THROW(cli::parseAddr("--pc", "4294967296"),
+                 cli::UsageError);
+}
+
+TEST(CliParse, UsageErrorIsNotSimError)
+{
+    // Tools map UsageError to exit 2 and SimError to exit 1; the
+    // types must stay distinct for that to work.
+    try {
+        cli::parseU64("--n", "junk");
+        FAIL() << "expected UsageError";
+    } catch (const SimError &) {
+        FAIL() << "UsageError must not derive from SimError";
+    } catch (const cli::UsageError &) {
+    }
+}
+
+// --- JSON string escapes ------------------------------------------------
+
+std::string
+parsedString(const std::string &doc)
+{
+    return explore::Json::parse(doc).str();
+}
+
+TEST(JsonEscapes, SimpleEscapesStillWork)
+{
+    EXPECT_EQ(parsedString("\"a\\n\\tb\\\\\\\"\""), "a\n\tb\\\"");
+}
+
+TEST(JsonEscapes, UnicodeBasicPlane)
+{
+    EXPECT_EQ(parsedString("\"\\u0041\""), "A");
+    EXPECT_EQ(parsedString("\"\\u00e9\""), "\xc3\xa9");   // é
+    EXPECT_EQ(parsedString("\"\\u20AC\""), "\xe2\x82\xac"); // €
+    EXPECT_EQ(parsedString("\"\\u0000x\""), std::string("\0x", 2));
+}
+
+TEST(JsonEscapes, SurrogatePairs)
+{
+    EXPECT_EQ(parsedString("\"\\ud83d\\ude00\""),
+              "\xf0\x9f\x98\x80"); // 😀
+}
+
+TEST(JsonEscapes, LoneSurrogatesAreHardErrors)
+{
+    EXPECT_THROW(parsedString("\"\\ud83d\""), SimError);
+    EXPECT_THROW(parsedString("\"\\ud83dx\""), SimError);
+    EXPECT_THROW(parsedString("\"\\ude00\""), SimError);
+    EXPECT_THROW(parsedString("\"\\ud83d\\u0041\""), SimError);
+}
+
+TEST(JsonEscapes, MalformedUnicodeEscapes)
+{
+    EXPECT_THROW(parsedString("\"\\u12\""), SimError);
+    EXPECT_THROW(parsedString("\"\\u12g4\""), SimError);
+    EXPECT_THROW(parsedString("\"\\u\""), SimError);
+}
+
+TEST(JsonEscapes, UnknownEscapesAreHardErrors)
+{
+    try {
+        parsedString("\"\\x41\"");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("unsupported escape"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("line 1"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonErrors, ReportLineAndColumn)
+{
+    // The bad escape sits on line 3.
+    const std::string doc = "{\n  \"a\": 1,\n  \"b\": \"\\q\"\n}";
+    try {
+        explore::Json::parse(doc);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("column"), std::string::npos) << what;
+    }
+}
+
+TEST(JsonErrors, StructuralErrorsKeepContext)
+{
+    try {
+        explore::Json::parse("{\"a\": [1,\n 2\n");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace

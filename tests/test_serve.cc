@@ -1,0 +1,414 @@
+/**
+ * @file
+ * The batch simulation service: request parsing, structured error
+ * replies, per-job cycle caps and isolation, fast-forward edge
+ * values, reply-stream determinism across worker counts, and metric
+ * parity with a direct Machine run of the same program/config.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "common/sim_error.hh"
+#include "reorg/scheduler.hh"
+#include "serve/serve.hh"
+#include "sim/machine.hh"
+#include "trace/metrics.hh"
+#include "workload/prepared.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using namespace mipsx::serve;
+
+namespace
+{
+
+/** A two-instruction success. */
+const char *kHaltProgram = "        .text\n"
+                           "_start: add r1, r0, r0\n"
+                           "        halt\n";
+
+/** Spins forever: only the cycle cap can stop it. */
+const char *kSpinProgram = "        .text\n"
+                           "_start: add r1, r0, r0\n"
+                           "loop:   beq r0, r0, loop\n";
+
+/** Trips its own self-check trap. */
+const char *kFailProgram = "        .text\n"
+                           "_start: fail\n";
+
+JobRequest
+runReq(const std::string &id, const char *program)
+{
+    JobRequest req;
+    req.op = Op::Run;
+    req.id = id;
+    req.program = program;
+    return req;
+}
+
+// --- request parsing ----------------------------------------------------
+
+TEST(ServeParse, AcceptsFullRunRequest)
+{
+    const auto req = parseJobRequest(
+        "{\"op\":\"run\",\"id\":\"j1\",\"program\":\"halt\","
+        "\"config\":{\"icache.fetchWords\":2,\"predecode\":true},"
+        "\"max_cycles\":5000,\"fast_forward\":7}");
+    EXPECT_EQ(req.op, Op::Run);
+    EXPECT_EQ(req.id, "j1");
+    EXPECT_EQ(req.program, "halt");
+    ASSERT_EQ(req.config.size(), 2u);
+    EXPECT_EQ(req.config[0].first, "icache.fetchWords");
+    EXPECT_EQ(req.config[0].second, "2");
+    EXPECT_EQ(req.config[1].second, "1"); // booleans canonicalize
+    EXPECT_EQ(req.maxCycles, 5000u);
+    EXPECT_EQ(req.fastForward, 7u);
+}
+
+TEST(ServeParse, NumericIdsAreEchoedAsStrings)
+{
+    EXPECT_EQ(parseJobRequest("{\"op\":\"ping\",\"id\":17}").id, "17");
+}
+
+TEST(ServeParse, RejectsMalformedRequests)
+{
+    // Not JSON at all.
+    EXPECT_THROW(parseJobRequest("nope"), SimError);
+    // An array, not an object.
+    EXPECT_THROW(parseJobRequest("[1,2]"), SimError);
+    // Missing op.
+    EXPECT_THROW(parseJobRequest("{\"id\":\"x\"}"), SimError);
+    // Unknown op.
+    EXPECT_THROW(parseJobRequest("{\"op\":\"frobnicate\"}"), SimError);
+    // Unknown key (strict: a typo must not silently change the job).
+    EXPECT_THROW(
+        parseJobRequest("{\"op\":\"run\",\"program\":\"halt\","
+                        "\"max_cycle\":5}"),
+        SimError);
+    // Zero or both sources.
+    EXPECT_THROW(parseJobRequest("{\"op\":\"run\"}"), SimError);
+    EXPECT_THROW(
+        parseJobRequest("{\"op\":\"run\",\"program\":\"halt\","
+                        "\"workload\":\"fib\"}"),
+        SimError);
+    // Bad field types.
+    EXPECT_THROW(
+        parseJobRequest("{\"op\":\"run\",\"program\":\"halt\","
+                        "\"max_cycles\":\"many\"}"),
+        SimError);
+    EXPECT_THROW(
+        parseJobRequest("{\"op\":\"run\",\"program\":\"halt\","
+                        "\"max_cycles\":-1}"),
+        SimError);
+    EXPECT_THROW(
+        parseJobRequest("{\"op\":\"run\",\"program\":\"halt\","
+                        "\"config\":[1]}"),
+        SimError);
+    // Run-only keys on other ops.
+    EXPECT_THROW(
+        parseJobRequest("{\"op\":\"ping\",\"program\":\"halt\"}"),
+        SimError);
+}
+
+// --- single-job execution ----------------------------------------------
+
+TEST(ServeJob, InlineProgramRunsAndPasses)
+{
+    const JobOutcome out = runJob(runReq("a", kHaltProgram), {});
+    ASSERT_TRUE(out.ok) << out.errorMessage;
+    EXPECT_TRUE(out.passed);
+    EXPECT_NE(out.resultJson.find("\"stop\":\"halt\""),
+              std::string::npos);
+    EXPECT_NE(out.resultJson.find("\"cpu0.pipeline.cycles\": "),
+              std::string::npos);
+}
+
+TEST(ServeJob, CycleCapReturnsFailurePayloadNotError)
+{
+    JobRequest req = runReq("cap", kSpinProgram);
+    req.maxCycles = 500;
+    const JobOutcome out = runJob(req, {});
+    ASSERT_TRUE(out.ok) << out.errorMessage;
+    EXPECT_FALSE(out.passed);
+    EXPECT_NE(out.resultJson.find("\"stop\":\"max-cycles\""),
+              std::string::npos);
+}
+
+TEST(ServeJob, JobMayLowerButNotRaiseTheServerCap)
+{
+    ServeConfig config;
+    config.maxCycles = 300;
+    JobRequest req = runReq("cap", kSpinProgram);
+    req.maxCycles = 100'000'000;
+    const JobOutcome out = runJob(req, config);
+    ASSERT_TRUE(out.ok);
+    // The spin would run 100M cycles if the request could override
+    // the server's cap; the reply must show the clamped budget.
+    EXPECT_NE(out.resultJson.find("\"cycles\":3"), std::string::npos)
+        << out.resultJson;
+}
+
+TEST(ServeJob, FailTrapIsAFailurePayload)
+{
+    const JobOutcome out = runJob(runReq("f", kFailProgram), {});
+    ASSERT_TRUE(out.ok);
+    EXPECT_FALSE(out.passed);
+    EXPECT_NE(out.resultJson.find("\"stop\":\"fail\""),
+              std::string::npos);
+}
+
+TEST(ServeJob, ToolchainErrorsAreStructured)
+{
+    const JobOutcome out =
+        runJob(runReq("bad", "_start: frobnicate r1, r2\n"), {});
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.errorCode, "toolchain");
+    EXPECT_FALSE(out.errorMessage.empty());
+}
+
+TEST(ServeJob, UnknownWorkloadAndBadConfigAreStructured)
+{
+    JobRequest req;
+    req.op = Op::Run;
+    req.workload = "no-such-workload";
+    EXPECT_EQ(runJob(req, {}).errorCode, "request");
+
+    JobRequest bad = runReq("c", kHaltProgram);
+    bad.config.emplace_back("icache.lines", "7"); // not a power of two
+    const JobOutcome out = runJob(bad, {});
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.errorCode, "config");
+}
+
+TEST(ServeJob, MissingFileIsIoError)
+{
+    JobRequest req;
+    req.op = Op::Run;
+    req.file = "/nonexistent/path.s";
+    EXPECT_EQ(runJob(req, {}).errorCode, "io");
+}
+
+TEST(ServeJob, SuiteJobAggregates)
+{
+    JobRequest req;
+    req.op = Op::Suite;
+    req.suite = "fp";
+    const JobOutcome out = runJob(req, {});
+    ASSERT_TRUE(out.ok) << out.errorMessage;
+    EXPECT_TRUE(out.passed);
+    EXPECT_NE(out.resultJson.find("\"failures\":0"),
+              std::string::npos);
+    EXPECT_NE(out.resultJson.find("\"suite.cpi\": "),
+              std::string::npos);
+}
+
+// --- fast-forward edges -------------------------------------------------
+
+TEST(ServeJob, FastForwardZeroIsIdenticalToNoFastForward)
+{
+    JobRequest plain = runReq("p", kHaltProgram);
+    JobRequest ffZero = runReq("p", kHaltProgram);
+    ffZero.fastForward = 0;
+    EXPECT_EQ(runJob(plain, {}).resultJson,
+              runJob(ffZero, {}).resultJson);
+}
+
+TEST(ServeJob, FastForwardPastEndOfProgramStillPasses)
+{
+    JobRequest req = runReq("ff", kHaltProgram);
+    req.fastForward = 1'000'000; // far past the program's ~2 steps
+    const JobOutcome out = runJob(req, {});
+    ASSERT_TRUE(out.ok) << out.errorMessage;
+    EXPECT_TRUE(out.passed);
+    // The ISS ran to the halt; the pipeline re-executes it, so the
+    // reply reports the fast-forward phase and a tiny pipeline run.
+    EXPECT_NE(out.resultJson.find("\"fast_forward_steps\":"),
+              std::string::npos);
+    EXPECT_NE(out.resultJson.find("\"stop\":\"halt\""),
+              std::string::npos);
+}
+
+// --- metric parity with a direct run -----------------------------------
+
+TEST(ServeJob, MetricsMatchADirectMachineRun)
+{
+    // The same config mipsx-run uses for examples/asm/*.s runs.
+    const auto prog =
+        assembler::assemble(kHaltProgram, "inline.s");
+    sim::MachineConfig cfg;
+    cfg.attachCounterCop = true;
+    sim::Machine machine(cfg);
+    reorg::ReorgStats st;
+    const auto scheduled = reorg::reorganize(prog, {}, &st);
+    machine.load(scheduled);
+    const auto result = machine.run();
+    ASSERT_TRUE(result.halted());
+
+    const JobOutcome out = runJob(runReq("m", kHaltProgram), {});
+    ASSERT_TRUE(out.ok);
+    const std::string cycles = strformat(
+        "\"cpu0.pipeline.cycles\": %llu",
+        static_cast<unsigned long long>(machine.cpu().stats().cycles));
+    const std::string instrs =
+        strformat("\"cpu0.pipeline.instructions\": %llu",
+                  static_cast<unsigned long long>(
+                      machine.cpu().stats().committed));
+    EXPECT_NE(out.resultJson.find(cycles), std::string::npos)
+        << out.resultJson;
+    EXPECT_NE(out.resultJson.find(instrs), std::string::npos)
+        << out.resultJson;
+}
+
+// --- the server: queueing, isolation, determinism ----------------------
+
+std::string
+runBatch(const std::string &batch, unsigned workers)
+{
+    std::istringstream in(batch);
+    std::ostringstream out;
+    ServeConfig config;
+    config.workers = workers;
+    EXPECT_EQ(runStdioServer(in, out, config), 0);
+    return out.str();
+}
+
+TEST(ServeServer, BadJobDoesNotAffectLaterJobs)
+{
+    const std::string batch =
+        "{\"op\":\"run\",\"id\":\"spin\",\"program\":\"_start: beq "
+        "r0, r0, _start\\n\",\"max_cycles\":200}\n"
+        "this line is not json\n"
+        "{\"op\":\"run\",\"id\":\"after\",\"program\":\"_start: "
+        "halt\\n\"}\n";
+    const std::string replies = runBatch(batch, 2);
+    std::istringstream lines(replies);
+    std::string l0, l1, l2;
+    ASSERT_TRUE(std::getline(lines, l0));
+    ASSERT_TRUE(std::getline(lines, l1));
+    ASSERT_TRUE(std::getline(lines, l2));
+    // Submission order is reply order.
+    EXPECT_NE(l0.find("\"id\":\"spin\""), std::string::npos);
+    EXPECT_NE(l0.find("\"stop\":\"max-cycles\""), std::string::npos);
+    EXPECT_NE(l1.find("\"code\":\"parse\""), std::string::npos);
+    EXPECT_NE(l1.find("\"id\":null"), std::string::npos);
+    EXPECT_NE(l2.find("\"id\":\"after\""), std::string::npos);
+    EXPECT_NE(l2.find("\"passed\":true"), std::string::npos);
+}
+
+TEST(ServeServer, ShutdownRepliesLastAfterDraining)
+{
+    const std::string batch =
+        "{\"op\":\"run\",\"id\":\"j\",\"program\":\"_start: "
+        "halt\\n\"}\n"
+        "{\"op\":\"shutdown\",\"id\":\"bye\"}\n"
+        "{\"op\":\"run\",\"id\":\"ignored\",\"program\":\"_start: "
+        "halt\\n\"}\n";
+    const std::string replies = runBatch(batch, 2);
+    std::istringstream lines(replies);
+    std::string l0, l1, extra;
+    ASSERT_TRUE(std::getline(lines, l0));
+    ASSERT_TRUE(std::getline(lines, l1));
+    EXPECT_FALSE(std::getline(lines, extra)) << extra;
+    EXPECT_NE(l0.find("\"id\":\"j\""), std::string::npos);
+    EXPECT_NE(l1.find("\"shutdown\":true"), std::string::npos);
+}
+
+TEST(ServeServer, ReplyStreamIsByteIdenticalAcrossWorkerCounts)
+{
+    std::string batch;
+    for (int i = 0; i < 12; ++i) {
+        batch += strformat(
+            "{\"op\":\"run\",\"id\":\"j%d\",\"program\":\"_start: "
+            "add r1, r0, r0\\n        halt\\n\"}\n",
+            i);
+        if (i % 3 == 0)
+            batch += strformat("{\"op\":\"ping\",\"id\":\"p%d\"}\n", i);
+    }
+    batch += "{\"op\":\"run\",\"id\":\"w\",\"workload\":\"fib\"}\n";
+    batch += "{\"op\":\"suite\",\"id\":\"s\",\"suite\":\"fp\"}\n";
+    const std::string one = runBatch(batch, 1);
+    const std::string four = runBatch(batch, 4);
+    EXPECT_EQ(one, four);
+    EXPECT_FALSE(one.empty());
+}
+
+TEST(ServeServer, StatsCountersAddUp)
+{
+    ServeConfig config;
+    config.workers = 2;
+    Server server(config);
+    for (int i = 0; i < 6; ++i)
+        server.submit(runReq(strformat("j%d", i), kHaltProgram), {});
+    JobRequest bad = runReq("bad", "_start: bogus\n");
+    server.submit(std::move(bad), {});
+    JobRequest spin = runReq("spin", kSpinProgram);
+    spin.maxCycles = 200;
+    server.submit(std::move(spin), {});
+    server.drain();
+
+    const ServeStats st = server.stats();
+    EXPECT_EQ(st.submitted, 8u);
+    EXPECT_EQ(st.completed, 8u);
+    EXPECT_EQ(st.errors, 1u);
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.queueDepth, 0u);
+    EXPECT_GE(st.queuePeak, 1u);
+    // Six identical programs share one PreparedCache entry.
+    EXPECT_GE(st.cacheHits, 5u);
+    EXPECT_LE(st.p50Ms, st.p99Ms);
+    EXPECT_LE(st.p99Ms, st.maxMs);
+
+    trace::MetricsRegistry m;
+    collectMetrics(st, m);
+    EXPECT_EQ(m.get("serve.completed"), 8.0);
+    EXPECT_EQ(m.get("serve.errors"), 1.0);
+}
+
+TEST(ServeServer, JobsAreIsolated)
+{
+    // A self-modifying or failing job must not contaminate a
+    // concurrent identical-source job: COW snapshots isolate decode
+    // pages, fresh Machines isolate memory.
+    ServeConfig config;
+    config.workers = 4;
+    Server server(config);
+    std::mutex mu;
+    std::vector<std::pair<std::string, bool>> done;
+    for (int i = 0; i < 16; ++i) {
+        const bool spin = i % 2;
+        JobRequest req =
+            runReq(strformat("j%d", i), spin ? kSpinProgram
+                                             : kHaltProgram);
+        if (spin)
+            req.maxCycles = 300;
+        server.submit(std::move(req),
+                      [&mu, &done, spin](std::uint64_t,
+                                         const JobOutcome &o) {
+                          const std::lock_guard<std::mutex> lock(mu);
+                          done.emplace_back(o.resultJson, spin);
+                      });
+    }
+    server.drain();
+    ASSERT_EQ(done.size(), 16u);
+    for (const auto &[json, spin] : done) {
+        if (spin)
+            EXPECT_NE(json.find("\"stop\":\"max-cycles\""),
+                      std::string::npos);
+        else
+            EXPECT_NE(json.find("\"passed\":true"),
+                      std::string::npos);
+    }
+}
+
+TEST(ServeFormat, JsonQuoteEscapesControlCharacters)
+{
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonQuote("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(jsonQuote(std::string("a\x01z", 3)), "\"a\\u0001z\"");
+}
+
+} // namespace

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/sim_error.hh"
 #include "explore/explore.hh"
 #include "stats/table.hh"
@@ -154,8 +155,8 @@ try {
             cfg.suite = flagValue("--suite");
             suiteSet = true;
         } else if (matches("--jobs")) {
-            cfg.runner.jobs = static_cast<unsigned>(
-                std::stoul(flagValue("--jobs")));
+            cfg.runner.jobs =
+                cli::parseUnsigned("--jobs", flagValue("--jobs"), 1);
         } else if (matches("--csv")) {
             csvOut = flagValue("--csv");
         } else if (matches("--json")) {
@@ -250,6 +251,9 @@ try {
         return 1;
     }
     return 0;
+} catch (const cli::UsageError &e) {
+    std::fprintf(stderr, "mipsx-explore: %s\n", e.what());
+    return 2;
 } catch (const SimError &e) {
     std::fprintf(stderr, "mipsx-explore: %s\n", e.what());
     return 1;

@@ -31,12 +31,14 @@
  *   --quiet                 only the final summary line
  *   --list-params           print every --config parameter and exit
  *
- * Exit status: 0 clean, 1 on any divergence (or a usage error).
+ * Exit status: 0 clean, 1 on any divergence, 2 on a usage error
+ * (unknown flags and malformed flag values alike).
  */
 
 #include <cstdio>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/sim_error.hh"
 #include "explore/grid.hh"
 #include "fuzz/session.hh"
@@ -103,14 +105,12 @@ try {
         } else if (a == "--no-shrink") {
             opts.shrinkDivergences = false;
         } else if (matches("--seed")) {
-            opts.seed = std::stoull(flagValue("--seed"));
+            opts.seed = cli::parseU64("--seed", flagValue("--seed"));
         } else if (matches("--runs")) {
-            opts.runs = std::stoull(flagValue("--runs"));
+            opts.runs = cli::parseU64("--runs", flagValue("--runs"));
         } else if (matches("--max-insns")) {
-            opts.maxInsns = static_cast<unsigned>(
-                std::stoul(flagValue("--max-insns")));
-            if (opts.maxInsns < 16 || opts.maxInsns > 100'000)
-                fatal("--max-insns: want 16..100000");
+            opts.maxInsns = cli::parseUnsigned(
+                "--max-insns", flagValue("--max-insns"), 16, 100'000);
         } else if (matches("--weights")) {
             opts.weights = fuzz::parseWeights(flagValue("--weights"));
         } else if (matches("--config")) {
@@ -134,8 +134,8 @@ try {
                                 "got '%s'",
                                 m.c_str()));
         } else if (matches("--jobs")) {
-            opts.jobs = static_cast<unsigned>(
-                std::stoul(flagValue("--jobs")));
+            opts.jobs =
+                cli::parseUnsigned("--jobs", flagValue("--jobs"), 1);
         } else if (matches("--repro-dir")) {
             opts.reproDir = flagValue("--repro-dir");
             if (opts.reproDir == "none")
@@ -188,6 +188,9 @@ try {
     }
 
     return result.divergences.empty() ? 0 : 1;
+} catch (const cli::UsageError &e) {
+    std::fprintf(stderr, "mipsx-fuzz: %s\n", e.what());
+    return 2;
 } catch (const SimError &e) {
     std::fprintf(stderr, "mipsx-fuzz: %s\n", e.what());
     return 1;

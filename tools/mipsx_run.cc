@@ -38,6 +38,7 @@
 #include <string>
 
 #include "assembler/assembler.hh"
+#include "common/cli.hh"
 #include "common/sim_error.hh"
 #include "isa/disasm.hh"
 #include "isa/isa.hh"
@@ -110,7 +111,7 @@ parseArgs(int argc, char **argv)
         else if (a == "--trace")
             o.trace = true;
         else if (a.rfind("--trace=", 0) == 0)
-            o.traceDepth = std::stoul(a.substr(8));
+            o.traceDepth = cli::parseU64("--trace", a.substr(8));
         else if (a == "--trace-out")
             o.traceOut = next();
         else if (a.rfind("--trace-out=", 0) == 0)
@@ -124,23 +125,23 @@ parseArgs(int argc, char **argv)
         else if (a == "--stats")
             o.stats = true;
         else if (a == "--slots")
-            o.slots = static_cast<unsigned>(std::stoul(next()));
+            o.slots = cli::parseUnsigned("--slots", next(), 1, 2);
         else if (a == "--max-cycles")
-            o.maxCycles = std::stoull(next());
+            o.maxCycles = cli::parseU64("--max-cycles", next(), 1);
         else if (a == "--fast-forward")
-            o.fastForward = std::stoull(next());
+            o.fastForward = cli::parseU64("--fast-forward", next());
         else if (a.rfind("--fast-forward=", 0) == 0)
-            o.fastForward = std::stoull(a.substr(15));
+            o.fastForward =
+                cli::parseU64("--fast-forward", a.substr(15));
         else if (a == "--fast-forward-pc") {
             o.ffHasPc = true;
-            o.ffPc = static_cast<addr_t>(std::stoul(next(), nullptr, 0));
+            o.ffPc = cli::parseAddr("--fast-forward-pc", next());
         } else if (a.rfind("--fast-forward-pc=", 0) == 0) {
             o.ffHasPc = true;
-            o.ffPc =
-                static_cast<addr_t>(std::stoul(a.substr(18), nullptr, 0));
+            o.ffPc = cli::parseAddr("--fast-forward-pc", a.substr(18));
         }
         else if (a == "--mp")
-            o.mpCpus = static_cast<unsigned>(std::stoul(next()));
+            o.mpCpus = cli::parseUnsigned("--mp", next(), 1, 64);
         else if (a == "--scheme") {
             const auto s = next();
             if (s == "no-squash")
@@ -380,6 +381,9 @@ try {
         std::fputs(os.str().c_str(), stdout);
     }
     return result.halted() ? 0 : 1;
+} catch (const cli::UsageError &e) {
+    std::fprintf(stderr, "mipsx-run: %s\n", e.what());
+    return 2;
 } catch (const SimError &e) {
     std::fprintf(stderr, "mipsx-run: %s\n", e.what());
     return 1;

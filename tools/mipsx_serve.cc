@@ -1,0 +1,165 @@
+/**
+ * @file
+ * mipsx-serve — the batch simulation service.
+ *
+ *     mipsx-serve [options]                 # daemon on stdin/stdout
+ *     mipsx-serve --bench [options]         # load generator
+ *
+ * Daemon mode reads one JSON request per line from stdin and writes
+ * one JSON reply per line to stdout, in submission order (see
+ * src/serve/serve.hh for the protocol). It exits cleanly on EOF or a
+ * {"op":"shutdown"} request, after draining the queue; malformed
+ * requests get structured error replies, never a dead process.
+ *
+ * Options (daemon):
+ *   --jobs N            worker threads (default: MIPSX_BENCH_JOBS or
+ *                       hardware concurrency)
+ *   --max-cycles N      per-job cycle cap; a job's own max_cycles may
+ *                       lower but not raise it (default 200000000)
+ *   --queue N           queue bound; submission blocks when full
+ *   --no-cache          bypass the prepared-workload cache
+ *   --metrics FILE      write the serve.* counters on exit
+ *
+ * Options (--bench):
+ *   --bench-jobs N      total jobs to push through (default 1000)
+ *   --bench-clients N   concurrent submitting threads (default 4)
+ *   --suite NAME        full | big-code | pascal | lisp | fp
+ *   --bench-out FILE    result file (default BENCH_serve.json)
+ *   --quiet             only the result file
+ *
+ * Exit status: 0 clean, 1 on a failed bench or unwritable output,
+ * 2 on a usage error.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/sim_error.hh"
+#include "explore/grid.hh"
+#include "serve/serve.hh"
+#include "trace/metrics.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--jobs N] [--max-cycles N] [--queue N] "
+        "[--no-cache]\n"
+        "       [--metrics FILE] [--list-params]\n"
+        "       %s --bench [--bench-jobs N] [--bench-clients N]\n"
+        "       [--suite NAME] [--bench-out FILE] [--quiet]\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    serve::ServeConfig config;
+    serve::BenchOptions bench;
+    bool benchMode = false;
+    bool quiet = false;
+    std::string metricsOut;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        auto flagValue = [&](const char *flag) -> std::string {
+            // --flag VALUE or --flag=VALUE
+            const std::string pfx = std::string(flag) + "=";
+            if (a == flag)
+                return next();
+            return a.substr(pfx.size());
+        };
+        auto matches = [&](const char *flag) {
+            return a == flag || a.rfind(std::string(flag) + "=", 0) == 0;
+        };
+        if (a == "--list-params") {
+            std::printf("job config parameters (\"config\" object "
+                        "keys):\n\n");
+            for (const auto &p : explore::knownParams())
+                std::printf("  %-24s %s\n  %24s   values: %s\n", p.name,
+                            p.doc, "", p.values);
+            return 0;
+        } else if (a == "--bench") {
+            benchMode = true;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--no-cache") {
+            config.preparedCache = false;
+        } else if (matches("--jobs")) {
+            config.workers =
+                cli::parseUnsigned("--jobs", flagValue("--jobs"), 1);
+        } else if (matches("--max-cycles")) {
+            config.maxCycles =
+                cli::parseU64("--max-cycles", flagValue("--max-cycles"),
+                              1);
+        } else if (matches("--queue")) {
+            config.maxQueue = cli::parseU64(
+                "--queue", flagValue("--queue"), 1, 1'000'000);
+        } else if (matches("--metrics")) {
+            metricsOut = flagValue("--metrics");
+        } else if (matches("--bench-jobs")) {
+            bench.jobs = cli::parseU64("--bench-jobs",
+                                       flagValue("--bench-jobs"), 1);
+        } else if (matches("--bench-clients")) {
+            bench.clients = cli::parseUnsigned(
+                "--bench-clients", flagValue("--bench-clients"), 1,
+                1024);
+        } else if (matches("--suite")) {
+            bench.suite = flagValue("--suite");
+        } else if (matches("--bench-out")) {
+            bench.out = flagValue("--bench-out");
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (benchMode) {
+        bench.server = config;
+        bench.quiet = quiet;
+        return serve::runServeBench(bench);
+    }
+
+    serve::ServeStats stats;
+    const int rc =
+        serve::runStdioServer(std::cin, std::cout, config, &stats);
+    if (!quiet)
+        std::fprintf(stderr,
+                     "mipsx-serve: %llu jobs (%llu errors, %llu "
+                     "failed), queue peak %llu, cache %llu/%llu\n",
+                     static_cast<unsigned long long>(stats.completed),
+                     static_cast<unsigned long long>(stats.errors),
+                     static_cast<unsigned long long>(stats.failed),
+                     static_cast<unsigned long long>(stats.queuePeak),
+                     static_cast<unsigned long long>(stats.cacheHits),
+                     static_cast<unsigned long long>(
+                         stats.cacheHits + stats.cacheMisses));
+    if (!metricsOut.empty()) {
+        trace::MetricsRegistry m;
+        serve::collectMetrics(stats, m);
+        if (!m.writeJsonFile(metricsOut))
+            return 1;
+    }
+    return rc;
+} catch (const cli::UsageError &e) {
+    std::fprintf(stderr, "mipsx-serve: %s\n", e.what());
+    return 2;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "mipsx-serve: %s\n", e.what());
+    return 1;
+}
