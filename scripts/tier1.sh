@@ -88,11 +88,61 @@ cmp "$smoke/sweep1.csv" "$smoke/sweep-nocache.csv"
 cmp "$smoke/sweep1.json" "$smoke/sweep-nocache.json"
 echo "prepared-cache determinism smoke OK"
 
+echo "== tier-1: scheduler-sweep smoke run =="
+# The reorganizer's scheduling backends swept against the branch scheme
+# must run the suite clean and bit-identically at different worker
+# counts (schedules are deterministic and carry no host-dependent data).
+"$build/tools/mipsx-explore" --quiet --suite fp \
+    --axis reorg.scheduler=heuristic,optimal \
+    --axis branch.scheme=no-squash,squash-optional \
+    --jobs 1 --csv "$smoke/sched1.csv" --json "$smoke/sched1.json"
+"$build/tools/mipsx-explore" --quiet --suite fp \
+    --axis reorg.scheduler=heuristic,optimal \
+    --axis branch.scheme=no-squash,squash-optional \
+    --jobs 4 --csv "$smoke/sched4.csv" --json "$smoke/sched4.json"
+cmp "$smoke/sched1.csv" "$smoke/sched4.csv"
+cmp "$smoke/sched1.json" "$smoke/sched4.json"
+python3 - "$smoke/sched1.json" << 'PYEOF'
+import json, sys
+sweep = json.load(open(sys.argv[1]))
+assert [a["param"] for a in sweep["grid"]["axes"]] == \
+    ["reorg.scheduler", "branch.scheme"]
+assert len(sweep["points"]) == 4
+for p in sweep["points"]:
+    assert p["failures"] == []
+    assert p["metrics"]["suite.cpi"] > 0
+print("scheduler sweep smoke OK: %d points, --jobs 1/4 byte-identical"
+      % len(sweep["points"]))
+PYEOF
+
+echo "== tier-1: scheduler semantics gate (fourth fuzz leg) =="
+# Every scheduling backend (heuristic, list, optimal) must preserve
+# the semantics of 200 random sequential programs, byte-identically at
+# any worker count.
+mkdir "$smoke/sched-fuzz1" "$smoke/sched-fuzz4"
+(cd "$smoke/sched-fuzz1" && MIPSX_BENCH_JOBS=1 "$build/tools/mipsx-fuzz" \
+    --seed 2027 --runs 200 --sched-check \
+    --metrics fuzz-metrics.json > fuzz.log)
+(cd "$smoke/sched-fuzz4" && MIPSX_BENCH_JOBS=4 "$build/tools/mipsx-fuzz" \
+    --seed 2027 --runs 200 --sched-check \
+    --metrics fuzz-metrics.json > fuzz.log)
+diff -r "$smoke/sched-fuzz1" "$smoke/sched-fuzz4"
+python3 - "$smoke/sched-fuzz1/fuzz-metrics.json" << 'PYEOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["fuzz.sched_checks"] == 200
+assert m["fuzz.sched_matches"] == 200, "sched-check mismatches: %r" % m
+assert m["fuzz.divergences"] == 0
+print("sched-check smoke OK: %d programs preserved by every backend"
+      % m["fuzz.sched_checks"])
+PYEOF
+
 # Persist the smoke outputs so CI can upload them next to the BENCH
 # artifacts (and a human can diff sweeps across revisions).
 mkdir -p "$build/tier1-artifacts"
 cp "$smoke/sweep1.csv" "$smoke/sweep1.json" \
    "$smoke/sweep-nocache.csv" "$smoke/sweep-nocache.json" \
+   "$smoke/sched1.csv" "$smoke/sched1.json" \
    "$build/tier1-artifacts/"
 
 echo "== tier-1: mipsx-fuzz determinism smoke run =="

@@ -247,6 +247,42 @@ const Param paramTable[] = {
         const std::string &v) {
          o.reorg.fillLoadDelay = parseBool(p, v);
      }},
+    {{"reorg.scheduler", "heuristic | list | optimal",
+      "body-scheduling backend: the original pull/push heuristic, DAG "
+      "list scheduling, or the branch-and-bound oracle for small blocks"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         auto &s = o.reorg.scheduler;
+         if (v == "heuristic")
+             s = reorg::SchedulerKind::Heuristic;
+         else if (v == "list")
+             s = reorg::SchedulerKind::List;
+         else if (v == "optimal")
+             s = reorg::SchedulerKind::Optimal;
+         else
+             badValue(p, v, "heuristic, list or optimal");
+     }},
+    {{"reorg.priority", "critical-path | slack | register-pressure",
+      "ready-set priority function for the list scheduler"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         auto &pr = o.reorg.priority;
+         if (v == "critical-path")
+             pr = reorg::SchedPriority::CriticalPath;
+         else if (v == "slack")
+             pr = reorg::SchedPriority::Slack;
+         else if (v == "register-pressure")
+             pr = reorg::SchedPriority::RegPressure;
+         else
+             badValue(p, v, "critical-path, slack or register-pressure");
+     }},
+    {{"reorg.optimalMaxNodes", "integer",
+      "largest block the optimal backend searches exhaustively before "
+      "falling back to list scheduling"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.reorg.optimalMaxNodes = parseU(p, v);
+     }},
     {{"coproc.nonCachedFetch", "boolean",
       "the rejected coprocessor interface: coprocessor instructions "
       "always miss the instruction cache"},

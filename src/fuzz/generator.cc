@@ -73,7 +73,7 @@ class Generator
 SquashType
 Generator::pickSquash()
 {
-    if (!rng_.chance(cfg_.weights.squash, 100))
+    if (cfg_.sequential || !rng_.chance(cfg_.weights.squash, 100))
         return SquashType::NoSquash;
     return rng_.below(2) ? SquashType::SquashTaken
                          : SquashType::SquashNotTaken;
@@ -211,11 +211,10 @@ Generator::emitBranchBlock()
 {
     const unsigned k = 1 + rng_.below(5);
     const auto cond = static_cast<BranchCond>(rng_.below(7));
+    const unsigned slots = cfg_.sequential ? 0 : 2;
     emit(encodeBranch(cond, pickSquash(), src(), src(),
-                      static_cast<std::int32_t>(2 + k)));
-    emitSimple();
-    emitSimple();
-    for (unsigned i = 0; i < k; ++i)
+                      static_cast<std::int32_t>(slots + k)));
+    for (unsigned i = 0; i < slots + k; ++i)
         emitSimple();
 }
 
@@ -223,15 +222,19 @@ void
 Generator::emitJumpBlock()
 {
     const unsigned k = rng_.below(4);
-    if (rng_.below(2)) {
-        emit(encodeJump(ImmOp::Jmp, 0, static_cast<std::int32_t>(2 + k)));
+    const unsigned slots = cfg_.sequential ? 0 : 2;
+    // jal's link value is a text address, and the reorganizer moves
+    // text — a dumped link register would differ between the original
+    // and scheduled layouts by design, so sequential programs only jmp.
+    if (cfg_.sequential || rng_.below(2)) {
+        emit(encodeJump(ImmOp::Jmp, 0,
+                        static_cast<std::int32_t>(slots + k)));
     } else {
         const unsigned rd = rng_.below(3) ? dest() : reg::ra;
-        emit(encodeJump(ImmOp::Jal, rd, static_cast<std::int32_t>(2 + k)));
+        emit(encodeJump(ImmOp::Jal, rd,
+                        static_cast<std::int32_t>(slots + k)));
     }
-    emitSimple();
-    emitSimple();
-    for (unsigned i = 0; i < k; ++i)
+    for (unsigned i = 0; i < slots + k; ++i)
         emitSimple();
 }
 
@@ -257,7 +260,8 @@ Generator::emitLoopBlock()
     // later in the body that rewrites it with the donor word. The first
     // iteration executes the nop, later iterations the donor — only
     // correct if both models invalidate the predecoded word.
-    const bool smc = cfg_.weights.smc > 0 && rng_.chance(1, 3);
+    const bool smc =
+        !cfg_.sequential && cfg_.weights.smc > 0 && rng_.chance(1, 3);
     std::size_t siteIdx = 0;
     if (smc) {
         siteIdx = text_.size();
@@ -277,8 +281,10 @@ Generator::emitLoopBlock()
     const std::int32_t disp = static_cast<std::int32_t>(loopStart) -
         static_cast<std::int32_t>(text_.size() + 1);
     emit(encodeBranch(BranchCond::Ne, pickSquash(), rCounter, 0, disp));
-    emitSimple();
-    emitSimple();
+    if (!cfg_.sequential) {
+        emitSimple();
+        emitSimple();
+    }
 }
 
 /**
@@ -325,8 +331,11 @@ Generator::run()
 
     // Body: weighted blocks until the static budget runs out.
     const auto &w = cfg_.weights;
+    // SMC patch offsets are computed against the generated layout; the
+    // reorganizer moves code, so sequential programs never self-modify.
+    const unsigned smcW = cfg_.sequential ? 0u : w.smc;
     const unsigned total = std::max(
-        w.alu + w.mem + w.coproc + w.branch + w.jump + w.smc + w.loop, 1u);
+        w.alu + w.mem + w.coproc + w.branch + w.jump + smcW + w.loop, 1u);
     while (text_.size() < cfg_.maxInsns) {
         const unsigned pick = rng_.below(total);
         if (pick < w.alu + w.mem + w.coproc)
@@ -336,15 +345,37 @@ Generator::run()
         else if (pick < w.alu + w.mem + w.coproc + w.branch + w.jump)
             emitJumpBlock();
         else if (pick <
-                 w.alu + w.mem + w.coproc + w.branch + w.jump + w.smc)
+                 w.alu + w.mem + w.coproc + w.branch + w.jump + smcW)
             emitSmcBlock();
         else
             emitLoopBlock();
     }
+
+    // Sequential programs end with a full register/MD/FPU dump so a
+    // data-memory compare observes everything the body computed.
+    unsigned dumpWords = 0;
+    if (cfg_.sequential) {
+        unsigned off = scratchFirst + scratchWords;
+        for (const unsigned r : destPool)
+            emit(encodeMem(MemOp::St, rScratch, r,
+                           static_cast<std::int32_t>(off++)));
+        emit(encodeMem(MemOp::St, rScratch, rCounter,
+                       static_cast<std::int32_t>(off++)));
+        emit(encodeMovSpecial(ComputeOp::Movfrs, SpecialReg::Md, 1));
+        emit(encodeMem(MemOp::St, rScratch, 1,
+                       static_cast<std::int32_t>(off++)));
+        emit(encodeCop(MemOp::Movfrc, 1, coproc::fpuStatusOp(), 1));
+        emit(encodeMem(MemOp::St, rScratch, 1,
+                       static_cast<std::int32_t>(off++)));
+        for (unsigned f = 0; f < 8; ++f)
+            emit(encodeMem(MemOp::Stf, rScratch, f,
+                           static_cast<std::int32_t>(off++)));
+        dumpWords = off - (scratchFirst + scratchWords);
+    }
     emit(encodeTrap(trapCodeHalt));
 
     // Data: donor words first, then the randomized scratch region.
-    std::vector<word_t> data(scratchFirst + scratchWords, 0);
+    std::vector<word_t> data(scratchFirst + scratchWords + dumpWords, 0);
     data[0] = encodeImm(ImmOp::Addi, 24, 24, 1); // the donor
     for (unsigned i = 1; i < scratchFirst; ++i)
         data[i] = encodeImm(ImmOp::Addi, 1 + i, 1 + i,

@@ -111,6 +111,17 @@ struct GeneratorConfig
     /** Total loop-iteration budget across the whole program. */
     unsigned loopIterations = 48;
     GenWeights weights{};
+    /**
+     * Emit a sequential-semantics program: branches carry no delay
+     * slots or squash variants and self-modifying code is disabled, so
+     * the result is valid reorganize() input. The body is followed by
+     * an epilogue that stores every generator-writable register, MD,
+     * and the FPU state into a dump area appended to the data section,
+     * making the whole architectural outcome observable through a
+     * memory compare (slot fills may clobber dead registers, so raw
+     * GPR compares would misfire).
+     */
+    bool sequential = false;
 };
 
 /**

@@ -1,0 +1,225 @@
+#include "fuzz/schedcheck.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "coproc/fpu.hh"
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+
+namespace mipsx::fuzz
+{
+
+namespace
+{
+
+/** One ISS run to completion; the memory holds the final state. */
+struct IssLeg
+{
+    memory::MainMemory mem;
+    sim::IssStop reason = sim::IssStop::Running;
+};
+
+void
+runIssLeg(const assembler::Program &prog, sim::IssMode mode,
+          const SchedCheckOptions &opts, IssLeg &out)
+{
+    out.mem.loadProgram(prog);
+    sim::IssConfig cfg;
+    cfg.mode = mode;
+    cfg.branchDelay = opts.machine.cpu.branchDelay;
+    cfg.maxSteps = opts.retireLimit;
+    sim::Iss iss(cfg, out.mem);
+    iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+    iss.reset(prog.entry);
+    iss.setGpr(isa::reg::sp, opts.machine.stackTop);
+    iss.run();
+    out.reason = iss.stopReason();
+}
+
+/**
+ * Compare every non-text section word (the observable outcome: the
+ * dump epilogue plus the scratch region). Text differs by construction
+ * — the schedulers moved it. Empty string when equal.
+ */
+std::string
+compareDataSections(const assembler::Program &prog, const IssLeg &spec,
+                    const IssLeg &got)
+{
+    std::ostringstream os;
+    for (const auto &sec : prog.sections) {
+        if (sec.isText)
+            continue;
+        for (addr_t a = sec.base; a < sec.end(); ++a) {
+            const word_t sw = spec.mem.read(sec.space, a);
+            const word_t gw = got.mem.read(sec.space, a);
+            if (sw != gw)
+                os << strformat("  [%s:%05x]: sequential %08x "
+                                "scheduled %08x\n",
+                                sec.name.c_str(), a, sw, gw);
+        }
+    }
+    if (os.str().empty())
+        return {};
+    return "final data memory differs from the sequential spec:\n" +
+        os.str();
+}
+
+std::string
+dumpProgram(const assembler::Program &prog)
+{
+    std::ostringstream os;
+    for (const auto &sec : prog.sections) {
+        os << strformat("# section %s (base %05x, %u words)\n",
+                        sec.name.c_str(), sec.base,
+                        static_cast<unsigned>(sec.words.size()));
+        for (std::size_t i = 0; i < sec.words.size(); ++i) {
+            const addr_t pc = sec.base + static_cast<addr_t>(i);
+            if (sec.isText) {
+                os << strformat(
+                    "%05x: %08x  %s\n", pc, sec.words[i],
+                    isa::disassemble(sec.words[i], pc, true).c_str());
+            } else {
+                os << strformat("%05x: %08x\n", pc, sec.words[i]);
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string
+reproText(std::uint64_t seed, const SchedCheckOptions &opts,
+          const assembler::Program &prog, const std::string &report)
+{
+    std::ostringstream os;
+    os << "# mipsx-fuzz scheduler-preservation reproducer\n";
+    os << strformat("# run-seed: 0x%016llx\n",
+                    static_cast<unsigned long long>(seed));
+    os << "# weights: " << formatWeights(opts.weights) << "\n";
+    os << strformat("# max-insns: %u\n", opts.maxInsns);
+    os << "# divergence:\n";
+    std::istringstream lines(report);
+    std::string line;
+    while (std::getline(lines, line))
+        os << "#   " << line << "\n";
+    os << dumpProgram(prog);
+    return os.str();
+}
+
+} // namespace
+
+SchedCheckResult
+runSchedCheck(std::uint64_t seed, const SchedCheckOptions &opts)
+{
+    SchedCheckResult res;
+
+    GeneratorConfig gc;
+    gc.seed = seed;
+    gc.maxInsns = opts.maxInsns;
+    gc.loopIterations = opts.loopIterations;
+    gc.weights = opts.weights;
+    gc.sequential = true;
+    const auto prog = generate(gc);
+
+    // The specification: the unscheduled program under sequential
+    // semantics. Generated programs terminate by construction, so a
+    // non-halt here is a budget problem, never a scheduler bug.
+    IssLeg spec;
+    try {
+        runIssLeg(prog, sim::IssMode::Sequential, opts, spec);
+    } catch (const SimError &e) {
+        res.report = strformat("sequential spec run: model fatal: %s",
+                               e.what());
+        return res;
+    }
+    if (spec.reason != sim::IssStop::Halt) {
+        res.report = strformat("sequential spec run stopped with %u "
+                               "instead of halting",
+                               static_cast<unsigned>(spec.reason));
+        return res;
+    }
+
+    constexpr reorg::SchedulerKind kinds[] = {
+        reorg::SchedulerKind::Heuristic,
+        reorg::SchedulerKind::List,
+        reorg::SchedulerKind::Optimal,
+    };
+    for (const auto kind : kinds) {
+        const char *name = reorg::schedulerKindName(kind);
+        reorg::ReorgConfig rc = opts.reorg;
+        rc.scheduler = kind;
+        assembler::Program sched;
+        try {
+            sched = reorg::reorganize(prog, rc);
+        } catch (const SimError &e) {
+            res.outcome = CosimOutcome::Divergence;
+            res.report = strformat("scheduler %s: reorganize failed: %s",
+                                   name, e.what());
+            res.reproText = reproText(seed, opts, prog, res.report);
+            return res;
+        }
+
+        CosimOptions co;
+        co.machine = opts.machine;
+        co.predecode = opts.predecode;
+        co.retireLimit = opts.retireLimit;
+        co.maxCycles = opts.maxCycles;
+        const auto cr = runCosim(sched, co);
+        res.retires += cr.retires;
+        if (cr.outcome == CosimOutcome::Inconclusive) {
+            res.report = strformat("scheduler %s: cosim inconclusive: ",
+                                   name) +
+                cr.report;
+            return res;
+        }
+        if (cr.outcome == CosimOutcome::Divergence) {
+            res.outcome = CosimOutcome::Divergence;
+            res.report = strformat("scheduler %s: iss/pipeline cosim "
+                                   "diverged:\n",
+                                   name) +
+                cr.report;
+            res.reproText = reproText(seed, opts, prog, res.report);
+            return res;
+        }
+
+        // The cosim proved delayed-ISS == pipeline on the scheduled
+        // program; now hold that outcome against the sequential spec.
+        IssLeg leg;
+        try {
+            runIssLeg(sched, sim::IssMode::Delayed, opts, leg);
+        } catch (const SimError &e) {
+            res.report = strformat("scheduler %s: delayed run: model "
+                                   "fatal: %s",
+                                   name, e.what());
+            return res;
+        }
+        if (leg.reason != sim::IssStop::Halt) {
+            if (leg.reason == sim::IssStop::MaxSteps) {
+                res.report = strformat("scheduler %s: delayed run "
+                                       "exhausted the step budget",
+                                       name);
+                return res;
+            }
+            res.outcome = CosimOutcome::Divergence;
+            res.report = strformat("scheduler %s: delayed run stopped "
+                                   "with %u instead of halting",
+                                   name,
+                                   static_cast<unsigned>(leg.reason));
+            res.reproText = reproText(seed, opts, prog, res.report);
+            return res;
+        }
+        auto diff = compareDataSections(prog, spec, leg);
+        if (!diff.empty()) {
+            res.outcome = CosimOutcome::Divergence;
+            res.report = strformat("scheduler %s: ", name) + diff;
+            res.reproText = reproText(seed, opts, prog, res.report);
+            return res;
+        }
+    }
+
+    res.outcome = CosimOutcome::Match;
+    return res;
+}
+
+} // namespace mipsx::fuzz

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Semantic-preservation check for the reorganizer's scheduling
+ * backends — the fuzzer's fourth leg.
+ *
+ * One seed produces one *sequential-semantics* program (no delay
+ * slots, no squash variants, no SMC — valid reorganize() input, with a
+ * register/MD/FPU dump epilogue). Its sequential-ISS outcome is the
+ * specification. Each scheduling backend (heuristic, list, optimal)
+ * then reorganizes the program, and the result must
+ *
+ *  - pass the full delayed-ISS-vs-pipeline cosim (retire streams and
+ *    final state identical), and
+ *  - reproduce the specification's data memory exactly on the delayed
+ *    ISS (slot fills may clobber dead registers, so the observable
+ *    outcome is the dump area plus the scratch region, not raw GPRs).
+ *
+ * Any violation is a Divergence naming the scheduler; budget
+ * exhaustion anywhere makes the whole check Inconclusive.
+ */
+
+#ifndef MIPSX_FUZZ_SCHEDCHECK_HH
+#define MIPSX_FUZZ_SCHEDCHECK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/cosim.hh"
+#include "fuzz/generator.hh"
+#include "reorg/scheduler.hh"
+
+namespace mipsx::fuzz
+{
+
+/** Options for one scheduler-preservation check. */
+struct SchedCheckOptions
+{
+    /** Timing-side machine configuration for the cosim legs. */
+    sim::MachineConfig machine{};
+    bool predecode = true;
+    /**
+     * Base reorganizer configuration; the scheduler field is
+     * overridden per leg. slots must match machine.cpu.branchDelay.
+     */
+    reorg::ReorgConfig reorg{};
+    unsigned maxInsns = 64;      ///< generator static budget
+    unsigned loopIterations = 24;
+    GenWeights weights{};
+    std::size_t retireLimit = 100'000;
+    cycle_t maxCycles = 2'000'000;
+};
+
+/** Result of one check (three schedulers against one program). */
+struct SchedCheckResult
+{
+    CosimOutcome outcome = CosimOutcome::Inconclusive;
+    /** Retires compared, summed over the per-scheduler cosim legs. */
+    std::uint64_t retires = 0;
+    /** Which scheduler failed and how (Divergence / Inconclusive). */
+    std::string report;
+    /** Reproducer text (the sequential program) on divergence. */
+    std::string reproText;
+};
+
+/** Generate the program for @p seed and check every backend. */
+SchedCheckResult runSchedCheck(std::uint64_t seed,
+                               const SchedCheckOptions &opts);
+
+} // namespace mipsx::fuzz
+
+#endif // MIPSX_FUZZ_SCHEDCHECK_HH

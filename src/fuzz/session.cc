@@ -26,8 +26,41 @@ struct RunSlot
     std::uint64_t shrinkIterations = 0;
     bool diverged = false;
     FuzzDivergence divergence;
+    bool schedRan = false;
+    CosimOutcome schedOutcome = CosimOutcome::Inconclusive;
     std::string error; ///< SimError text, when the run itself blew up
 };
+
+/**
+ * The scheduler-preservation leg: same run seed, its own sequential
+ * program. Runs after the main cosim so a main-leg divergence (already
+ * a reproducer) is never shadowed by a scheduler one.
+ */
+void
+runSchedLeg(const FuzzOptions &opts, std::uint64_t index,
+            std::uint64_t runSeed, RunSlot &slot)
+{
+    SchedCheckOptions so;
+    so.machine = opts.cosim.machine;
+    so.predecode = opts.cosim.predecode;
+    so.reorg = opts.reorg;
+    so.maxInsns = opts.maxInsns;
+    so.weights = opts.weights;
+    so.retireLimit = opts.cosim.retireLimit;
+    so.maxCycles = opts.cosim.maxCycles;
+    const auto sr = runSchedCheck(runSeed, so);
+    slot.schedRan = true;
+    slot.schedOutcome = sr.outcome;
+    slot.retires += sr.retires;
+    if (sr.outcome != CosimOutcome::Divergence)
+        return;
+    slot.diverged = true;
+    auto &d = slot.divergence;
+    d.runIndex = index;
+    d.runSeed = runSeed;
+    d.sched = true;
+    d.reproText = sr.reproText;
+}
 
 void
 runOne(const FuzzOptions &opts, std::uint64_t index, RunSlot &slot)
@@ -41,8 +74,11 @@ runOne(const FuzzOptions &opts, std::uint64_t index, RunSlot &slot)
     auto result = runCosim(prog, opts.cosim);
     slot.outcome = result.outcome;
     slot.retires = result.retires;
-    if (result.outcome != CosimOutcome::Divergence)
+    if (result.outcome != CosimOutcome::Divergence) {
+        if (opts.schedCheck)
+            runSchedLeg(opts, index, gc.seed, slot);
         return;
+    }
 
     slot.diverged = true;
     auto &d = slot.divergence;
@@ -77,6 +113,9 @@ FuzzResult::collectMetrics(trace::MetricsRegistry &m) const
     m.set("fuzz.inconclusive", inconclusive);
     m.set("fuzz.retires", retires);
     m.set("fuzz.shrink_iterations", shrinkIterations);
+    m.set("fuzz.sched_checks", schedChecks);
+    m.set("fuzz.sched_matches", schedMatches);
+    m.set("fuzz.sched_inconclusive", schedInconclusive);
 }
 
 std::string
@@ -171,6 +210,13 @@ runFuzz(const FuzzOptions &opts)
     for (auto &s : slots) {
         res.retires += s.retires;
         res.shrinkIterations += s.shrinkIterations;
+        if (s.schedRan) {
+            ++res.schedChecks;
+            if (s.schedOutcome == CosimOutcome::Match)
+                ++res.schedMatches;
+            else if (s.schedOutcome == CosimOutcome::Inconclusive)
+                ++res.schedInconclusive;
+        }
         switch (s.outcome) {
           case CosimOutcome::Match:
             ++res.matches;
@@ -188,9 +234,11 @@ runFuzz(const FuzzOptions &opts)
     if (!opts.reproDir.empty()) {
         for (auto &d : res.divergences) {
             d.reproPath = strformat(
-                "%s/repro-seed%llu-run%llu.repro", opts.reproDir.c_str(),
+                "%s/repro-seed%llu-run%llu%s.repro",
+                opts.reproDir.c_str(),
                 static_cast<unsigned long long>(opts.seed),
-                static_cast<unsigned long long>(d.runIndex));
+                static_cast<unsigned long long>(d.runIndex),
+                d.sched ? "-sched" : "");
             std::ofstream out(d.reproPath, std::ios::binary);
             if (!out) {
                 fatal(strformat("fuzz: cannot write '%s'",

@@ -21,6 +21,7 @@
 
 #include "fuzz/cosim.hh"
 #include "fuzz/generator.hh"
+#include "fuzz/schedcheck.hh"
 #include "fuzz/shrink.hh"
 #include "trace/metrics.hh"
 
@@ -41,6 +42,16 @@ struct FuzzOptions
     bool shrinkDivergences = true;
     unsigned shrinkMaxAttempts = 4000;
     /**
+     * Fourth leg: per run, additionally generate a sequential-
+     * semantics program from the same run seed and check that every
+     * scheduling backend's reorganization preserves it (see
+     * fuzz/schedcheck.hh). Scheduler divergences produce .repro files
+     * like cosim ones, but are never shrunk.
+     */
+    bool schedCheck = false;
+    /** Reorganizer base config for the sched-check leg. */
+    reorg::ReorgConfig reorg{};
+    /**
      * Directory for .repro files; empty disables writing (the repro
      * text still lands in FuzzDivergence::reproText).
      */
@@ -52,6 +63,7 @@ struct FuzzDivergence
 {
     std::uint64_t runIndex = 0;
     std::uint64_t runSeed = 0;
+    bool sched = false;           ///< from the scheduler-check leg
     unsigned shrunkTo = 0;        ///< non-nop insns in the reproducer
     unsigned shrinkIterations = 0;
     std::string reproText;        ///< full .repro contents
@@ -66,6 +78,9 @@ struct FuzzResult
     std::uint64_t inconclusive = 0; ///< budget-exhausted originals
     std::uint64_t retires = 0;      ///< retires compared across runs
     std::uint64_t shrinkIterations = 0;
+    std::uint64_t schedChecks = 0;  ///< sched-check legs run
+    std::uint64_t schedMatches = 0;
+    std::uint64_t schedInconclusive = 0;
     std::vector<FuzzDivergence> divergences; ///< sorted by runIndex
 
     /** Export under "fuzz." (programs, divergences, shrink iters...). */

@@ -98,13 +98,13 @@ class Cfg
                             std::vector<std::pair<addr_t, addr_t>>
                                 *addr_map) const;
 
-  private:
     /**
      * The node a control transfer to (block, skip) lands on: walks past
      * skipped body instructions, falling through empty blocks.
      */
     NodeId landingNode(int block, unsigned skip) const;
 
+  private:
     std::vector<BasicBlock> blocks_;
     NodeId nextId_ = 0;
 };

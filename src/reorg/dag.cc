@@ -1,0 +1,480 @@
+#include "reorg/dag.hh"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "isa/encode.hh"
+
+namespace mipsx::reorg
+{
+
+using isa::ComputeOp;
+using isa::Format;
+using isa::Instruction;
+using isa::SpecialReg;
+
+// ---------------------------------------------------------------------
+// Dependence analysis
+// ---------------------------------------------------------------------
+
+ResSet
+defsOf(const Instruction &in)
+{
+    ResSet s;
+    s.addGpr(in.destReg());
+    if (in.writesMd())
+        s.addMd();
+    if (in.isCoproc())
+        s.addCop();
+    return s;
+}
+
+ResSet
+usesOf(const Instruction &in)
+{
+    ResSet s;
+    const auto src = in.srcRegs();
+    for (unsigned i = 0; i < src.count; ++i)
+        s.addGpr(src.reg[i]);
+    if (in.readsMd())
+        s.addMd();
+    if (in.isCoproc())
+        s.addCop();
+    return s;
+}
+
+bool
+isLoadOp(const Instruction &in)
+{
+    return in.accessesMemory() && !in.isStore();
+}
+
+bool
+isStoreOp(const Instruction &in)
+{
+    return in.accessesMemory() && in.isStore();
+}
+
+bool
+memConflict(const Instruction &a, const Instruction &b)
+{
+    const bool a_mem = a.accessesMemory();
+    const bool b_mem = b.accessesMemory();
+    if (!a_mem || !b_mem)
+        return false;
+    return isStoreOp(a) || isStoreOp(b); // only load/load commutes
+}
+
+bool
+movable(const Instruction &in)
+{
+    if (in.isControl() || !in.valid)
+        return false;
+    if (in.fmt == Format::Compute &&
+        (in.compOp == ComputeOp::Movfrs ||
+         in.compOp == ComputeOp::Movtos)) {
+        // MD moves are ordinary dataflow; PSW/chain moves are control
+        // state and stay put.
+        return in.aux == static_cast<std::uint16_t>(SpecialReg::Md);
+    }
+    return true;
+}
+
+bool
+independent(const Instruction &x, const Instruction &y)
+{
+    const ResSet dx = defsOf(x), ux = usesOf(x);
+    const ResSet dy = defsOf(y), uy = usesOf(y);
+    if (dx.intersects(uy) || ux.intersects(dy) || dx.intersects(dy))
+        return false;
+    return !memConflict(x, y);
+}
+
+InstrNode
+makeNop(NodeId id, assembler::SlotKind kind)
+{
+    InstrNode n;
+    n.id = id;
+    n.inst = isa::decode(isa::encodeNop());
+    n.origAddr = ~addr_t{0};
+    n.slot = kind;
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Names
+// ---------------------------------------------------------------------
+
+const char *
+schedulerKindName(SchedulerKind k)
+{
+    switch (k) {
+      case SchedulerKind::Heuristic: return "heuristic";
+      case SchedulerKind::List: return "list";
+      case SchedulerKind::Optimal: return "optimal";
+    }
+    return "?";
+}
+
+const char *
+schedPriorityName(SchedPriority p)
+{
+    switch (p) {
+      case SchedPriority::CriticalPath: return "critical-path";
+      case SchedPriority::Slack: return "slack";
+      case SchedPriority::RegPressure: return "register-pressure";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char *
+depKindName(DepKind k)
+{
+    switch (k) {
+      case DepKind::Raw: return "raw";
+      case DepKind::Waw: return "waw";
+      case DepKind::War: return "war";
+      case DepKind::Mem: return "mem";
+      case DepKind::Order: return "order";
+    }
+    return "?";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Dag
+// ---------------------------------------------------------------------
+
+Dag
+Dag::build(const std::vector<InstrNode> &body,
+           const std::vector<char> &pinned)
+{
+    Dag dag;
+    const unsigned n = static_cast<unsigned>(body.size());
+    dag.nodes_.reserve(n);
+    for (const auto &node : body)
+        dag.nodes_.push_back(&node);
+    dag.pinned_.assign(n, 0);
+    for (unsigned i = 0; i < n && i < pinned.size(); ++i)
+        dag.pinned_[i] = pinned[i];
+    dag.preds_.assign(n, {});
+    dag.succs_.assign(n, {});
+
+    // A fence keeps its position relative to *everything*: pinned
+    // landing nodes (a retargeted branch enters there) and instructions
+    // the heuristic would also never relocate (PSW/chain moves).
+    auto fence = [&](unsigned i) {
+        return dag.pinned_[i] || !movable(dag.inst(i));
+    };
+
+    for (unsigned i = 0; i < n; ++i) {
+        const Instruction &a = dag.inst(i);
+        const ResSet da = defsOf(a), ua = usesOf(a);
+        for (unsigned j = i + 1; j < n; ++j) {
+            const Instruction &b = dag.inst(j);
+            DepKind kind;
+            if (da.intersects(usesOf(b)))
+                kind = DepKind::Raw;
+            else if (da.intersects(defsOf(b)))
+                kind = DepKind::Waw;
+            else if (ua.intersects(defsOf(b)))
+                kind = DepKind::War;
+            else if (memConflict(a, b))
+                kind = DepKind::Mem;
+            else if (fence(i) || fence(j))
+                kind = DepKind::Order;
+            else
+                continue;
+            dag.edges_.push_back({i, j, kind});
+            dag.succs_[i].push_back(j);
+            dag.preds_[j].push_back(i);
+        }
+    }
+    return dag;
+}
+
+unsigned
+Dag::latency(unsigned from, unsigned to) const
+{
+    return loadHazard(from, to) ? 2 : 1;
+}
+
+bool
+Dag::loadHazard(unsigned a, unsigned b) const
+{
+    const Instruction &la = inst(a);
+    return la.isGprLoad() && la.destReg() != 0 &&
+        usesOf(inst(b)).hasGpr(la.destReg());
+}
+
+bool
+Dag::exitHazard(unsigned i) const
+{
+    const Instruction &in = inst(i);
+    return in.isGprLoad() && in.destReg() != 0 &&
+        (exitUses_ & (1u << in.destReg())) != 0;
+}
+
+std::vector<unsigned>
+Dag::criticalPaths() const
+{
+    const unsigned n = size();
+    std::vector<unsigned> cp(n, 0);
+    for (unsigned i = n; i-- > 0;) {
+        cp[i] = 1 + (exitHazard(i) ? 1u : 0u);
+        for (const unsigned j : succs_[i])
+            cp[i] = std::max(cp[i], latency(i, j) + cp[j]);
+    }
+    return cp;
+}
+
+bool
+Dag::validOrder(const std::vector<unsigned> &order) const
+{
+    const unsigned n = size();
+    if (order.size() != n)
+        return false;
+    std::vector<unsigned> pos(n, ~0u);
+    for (unsigned k = 0; k < n; ++k) {
+        if (order[k] >= n || pos[order[k]] != ~0u)
+            return false;
+        pos[order[k]] = k;
+    }
+    for (const auto &e : edges_) {
+        if (pos[e.from] >= pos[e.to])
+            return false;
+    }
+    return true;
+}
+
+unsigned
+Dag::scheduleCost(const std::vector<unsigned> &order) const
+{
+    if (!validOrder(order))
+        fatal("dag: scheduleCost on an invalid order");
+    unsigned cost = size();
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+        if (loadHazard(order[k], order[k + 1]))
+            ++cost;
+    }
+    if (!order.empty() && exitHazard(order.back()))
+        ++cost;
+    return cost;
+}
+
+unsigned
+Dag::originalCost() const
+{
+    std::vector<unsigned> identity(size());
+    for (unsigned i = 0; i < size(); ++i)
+        identity[i] = i;
+    return scheduleCost(identity);
+}
+
+std::string
+Dag::dot(const std::string &title) const
+{
+    std::ostringstream os;
+    os << "digraph \"" << title << "\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+    for (unsigned i = 0; i < size(); ++i) {
+        os << strformat("  n%u [label=\"%u: %s%s\"];\n", i, i,
+                        isa::disassemble(inst(i).raw, node(i).origAddr,
+                                         true)
+                            .c_str(),
+                        pinned_[i] ? " [pinned]" : "");
+    }
+    for (const auto &e : edges_) {
+        os << strformat("  n%u -> n%u [label=\"%s\"%s];\n", e.from, e.to,
+                        depKindName(e.kind),
+                        e.kind == DepKind::Order ? ", style=dashed" : "");
+    }
+    os << strformat("  label=\"%s (exit uses %08x)\";\n", title.c_str(),
+                    exitUses_);
+    os << "}\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// List scheduling
+// ---------------------------------------------------------------------
+
+std::vector<unsigned>
+scheduleList(const Dag &dag, SchedPriority priority)
+{
+    const unsigned n = dag.size();
+    std::vector<unsigned> order;
+    if (n == 0)
+        return order;
+    order.reserve(n);
+
+    const std::vector<unsigned> cp = dag.criticalPaths();
+
+    // ASAP/ALAP for the slack priority. ASAP in latency-weighted start
+    // cycles; ALAP = T - cp (cp already includes the node's own cycle).
+    std::vector<unsigned> asap(n, 0);
+    for (unsigned i = 0; i < n; ++i) {
+        for (const unsigned p : dag.preds(i))
+            asap[i] = std::max(asap[i], asap[p] + dag.latency(p, i));
+    }
+    unsigned total = 0;
+    for (unsigned i = 0; i < n; ++i)
+        total = std::max(total, asap[i] + cp[i]);
+    auto slack = [&](unsigned i) { return (total - cp[i]) - asap[i]; };
+
+    std::vector<unsigned> remainingPreds(n, 0);
+    for (unsigned i = 0; i < n; ++i)
+        remainingPreds[i] = static_cast<unsigned>(dag.preds(i).size());
+    std::vector<char> scheduled(n, 0);
+
+    // Per-GPR count of unscheduled readers, for the register-pressure
+    // priority: an operand whose last reader issues "dies" there.
+    std::array<unsigned, 32> readers{};
+    for (unsigned i = 0; i < n; ++i) {
+        const ResSet u = usesOf(dag.inst(i));
+        for (unsigned r = 1; r < 32; ++r)
+            if (u.hasGpr(r))
+                ++readers[r];
+    }
+    auto pressureScore = [&](unsigned i) -> int {
+        const Instruction &in = dag.inst(i);
+        const ResSet u = usesOf(in);
+        int dying = 0;
+        for (unsigned r = 1; r < 32; ++r)
+            if (u.hasGpr(r) && readers[r] == 1)
+                ++dying;
+        return dying - (in.destReg() != 0 ? 1 : 0);
+    };
+
+    int last = -1;
+    for (unsigned step = 0; step < n; ++step) {
+        // Candidates whose placement does not cost a load no-op, when
+        // any exist; otherwise every ready node.
+        int bestAny = -1, bestClean = -1;
+        auto better = [&](unsigned i, int best) {
+            if (best < 0)
+                return true;
+            const unsigned b = static_cast<unsigned>(best);
+            switch (priority) {
+              case SchedPriority::CriticalPath:
+                return cp[i] > cp[b];
+              case SchedPriority::Slack:
+                return slack(i) < slack(b);
+              case SchedPriority::RegPressure:
+                return pressureScore(i) > pressureScore(b);
+            }
+            return false;
+        };
+        for (unsigned i = 0; i < n; ++i) {
+            if (scheduled[i] || remainingPreds[i] != 0)
+                continue;
+            if (better(i, bestAny))
+                bestAny = static_cast<int>(i);
+            const bool clean =
+                last < 0 || !dag.loadHazard(static_cast<unsigned>(last), i);
+            if (clean && better(i, bestClean))
+                bestClean = static_cast<int>(i);
+        }
+        const unsigned pick =
+            static_cast<unsigned>(bestClean >= 0 ? bestClean : bestAny);
+        order.push_back(pick);
+        scheduled[pick] = 1;
+        const ResSet u = usesOf(dag.inst(pick));
+        for (unsigned r = 1; r < 32; ++r)
+            if (u.hasGpr(r) && readers[r] > 0)
+                --readers[r];
+        for (const unsigned s : dag.succs(pick))
+            --remainingPreds[s];
+        last = static_cast<int>(pick);
+    }
+    return order;
+}
+
+// ---------------------------------------------------------------------
+// Branch-and-bound optimal scheduling
+// ---------------------------------------------------------------------
+
+std::vector<unsigned>
+scheduleOptimal(const Dag &dag, const std::vector<unsigned> &seed)
+{
+    const unsigned n = dag.size();
+    if (n == 0)
+        return {};
+    if (n > 20)
+        fatal("dag: scheduleOptimal called on a block too large for "
+              "exhaustive search");
+
+    std::vector<std::uint32_t> predMask(n, 0);
+    for (const auto &e : dag.edges())
+        predMask[e.to] |= std::uint32_t{1} << e.from;
+
+    // Prime the bound with a known-good schedule; the search then only
+    // has to find strict improvements, and ties keep the seed (which
+    // makes the result deterministic and never worse than the list
+    // scheduler).
+    std::vector<unsigned> best =
+        seed.empty() ? scheduleList(dag, SchedPriority::CriticalPath)
+                     : seed;
+    unsigned bestCost = dag.scheduleCost(best);
+
+    const std::uint32_t full = (n == 32) ? ~std::uint32_t{0}
+                                         : ((std::uint32_t{1} << n) - 1);
+    // memo[mask * (n+1) + last+1]: fewest no-ops seen entering that
+    // state; a revisit at >= no-ops cannot lead anywhere new.
+    std::vector<std::uint8_t> memo(
+        (std::size_t{1} << n) * (n + 1), 0xff);
+
+    std::vector<unsigned> order;
+    order.reserve(n);
+    std::function<void(std::uint32_t, int, unsigned)> dfs =
+        [&](std::uint32_t mask, int last, unsigned nops) {
+            if (n + nops >= bestCost)
+                return; // cannot strictly beat the incumbent
+            const std::size_t key =
+                std::size_t{mask} * (n + 1) +
+                static_cast<std::size_t>(last + 1);
+            if (memo[key] <= nops)
+                return;
+            memo[key] = static_cast<std::uint8_t>(nops);
+            if (mask == full) {
+                const unsigned cost = n + nops +
+                    ((last >= 0 &&
+                      dag.exitHazard(static_cast<unsigned>(last)))
+                         ? 1u
+                         : 0u);
+                if (cost < bestCost) {
+                    bestCost = cost;
+                    best = order;
+                }
+                return;
+            }
+            for (unsigned i = 0; i < n; ++i) {
+                if (mask & (std::uint32_t{1} << i))
+                    continue;
+                if ((predMask[i] & mask) != predMask[i])
+                    continue;
+                const unsigned extra =
+                    (last >= 0 &&
+                     dag.loadHazard(static_cast<unsigned>(last), i))
+                        ? 1u
+                        : 0u;
+                order.push_back(i);
+                dfs(mask | (std::uint32_t{1} << i),
+                    static_cast<int>(i), nops + extra);
+                order.pop_back();
+            }
+        };
+    dfs(0, -1, 0);
+    return best;
+}
+
+} // namespace mipsx::reorg

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The dependence-DAG IR the reorganizer's scheduling backends share.
+ *
+ * Nodes are the instructions of one basic-block body (after branch-slot
+ * scheduling removed the hoisted/moved ones); edges are the constraints
+ * any legal reordering must respect:
+ *
+ *  - Raw/War/Waw over the register resources (GPRs, MD, the coprocessor
+ *    interface — the same ResSet the heuristic's independence test uses);
+ *  - Mem between memory operations that do not commute (only load/load
+ *    does, matching the conservative memConflict rule);
+ *  - Order fences around instructions the scheduler must not relocate:
+ *    PSW/chain special-register moves and pinned landing nodes (a
+ *    retargeted branch enters the block there; moving code across that
+ *    point would change what the branch path executes).
+ *
+ * The cost model mirrors exactly what the load-delay fixup pass will
+ * emit for a given order: one cycle per instruction, plus one no-op for
+ * every load whose destination the next-executed instruction reads —
+ * including the block's exit reader (terminator or fall-through
+ * landing), provided via setExitUses(). That makes "minimize cost over
+ * all topological orders" the same thing as "minimize emitted no-ops",
+ * which is what the branch-and-bound oracle proves lower bounds for.
+ */
+
+#ifndef MIPSX_REORG_DAG_HH
+#define MIPSX_REORG_DAG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "reorg/cfg.hh"
+
+namespace mipsx::reorg
+{
+
+// ---------------------------------------------------------------------
+// Dependence analysis (shared by every backend and the verifier)
+// ---------------------------------------------------------------------
+
+/** Register/resource sets: GPR bits 0..31, MD bit 32, coproc bit 33. */
+struct ResSet
+{
+    std::uint64_t bits = 0;
+
+    void addGpr(unsigned r)
+    {
+        if (r != 0)
+            bits |= std::uint64_t{1} << r;
+    }
+    void addMd() { bits |= std::uint64_t{1} << 32; }
+    void addCop() { bits |= std::uint64_t{1} << 33; }
+
+    bool intersects(const ResSet &o) const { return (bits & o.bits) != 0; }
+    bool hasGpr(unsigned r) const
+    {
+        return r != 0 && (bits & (std::uint64_t{1} << r));
+    }
+};
+
+ResSet defsOf(const isa::Instruction &in);
+ResSet usesOf(const isa::Instruction &in);
+
+bool isLoadOp(const isa::Instruction &in);
+bool isStoreOp(const isa::Instruction &in);
+
+/** Conservative memory-dependence test between two instructions. */
+bool memConflict(const isa::Instruction &a, const isa::Instruction &b);
+
+/** Instructions the scheduler may relocate or execute speculatively. */
+bool movable(const isa::Instruction &in);
+
+/**
+ * True if @p x may move across @p y (in either direction) without
+ * changing dataflow.
+ */
+bool independent(const isa::Instruction &x, const isa::Instruction &y);
+
+InstrNode makeNop(NodeId id, assembler::SlotKind kind);
+
+// ---------------------------------------------------------------------
+// The scheduling framework
+// ---------------------------------------------------------------------
+
+/** Which body-scheduling backend reorganize() runs. */
+enum class SchedulerKind : std::uint8_t
+{
+    Heuristic = 0, ///< the original hand-rolled pull/push load pass
+    List = 1,      ///< DAG list scheduling with a priority function
+    Optimal = 2,   ///< branch-and-bound oracle for small blocks
+};
+
+const char *schedulerKindName(SchedulerKind k);
+
+/** Priority function for the list scheduler's ready set. */
+enum class SchedPriority : std::uint8_t
+{
+    CriticalPath = 0, ///< longest latency-weighted path to the exit
+    Slack = 1,        ///< ALAP - ASAP; least slack first
+    RegPressure = 2,  ///< free dying operands before defining new ones
+};
+
+const char *schedPriorityName(SchedPriority p);
+
+/** Why an edge exists (the strongest reason, for the DOT dump). */
+enum class DepKind : std::uint8_t
+{
+    Raw = 0,
+    Waw,
+    War,
+    Mem,
+    Order, ///< fence: immovable instruction or pinned landing node
+};
+
+struct DagEdge
+{
+    unsigned from = 0;
+    unsigned to = 0;
+    DepKind kind = DepKind::Raw;
+};
+
+/** The dependence DAG of one block body. Nodes keep body-index order. */
+class Dag
+{
+  public:
+    /**
+     * Build the DAG for @p body. @p pinned flags (parallel to the body,
+     * may be empty for "none") mark landing nodes, which become full
+     * fences: nothing may cross them in either direction.
+     */
+    static Dag build(const std::vector<InstrNode> &body,
+                     const std::vector<char> &pinned = {});
+
+    unsigned size() const { return static_cast<unsigned>(nodes_.size()); }
+    const InstrNode &node(unsigned i) const { return *nodes_[i]; }
+    const isa::Instruction &inst(unsigned i) const
+    {
+        return nodes_[i]->inst;
+    }
+    const std::vector<DagEdge> &edges() const { return edges_; }
+    const std::vector<unsigned> &preds(unsigned i) const
+    {
+        return preds_[i];
+    }
+    const std::vector<unsigned> &succs(unsigned i) const
+    {
+        return succs_[i];
+    }
+
+    /**
+     * GPR mask the first instruction executed *after* the block reads
+     * (the terminator, or the fall-through landing when there is none).
+     * A load scheduled last whose destination is in this mask costs one
+     * no-op, exactly as the fixup pass will emit one.
+     */
+    void setExitUses(std::uint32_t mask) { exitUses_ = mask; }
+    std::uint32_t exitUses() const { return exitUses_; }
+
+    /**
+     * Edge latency: 2 when @p from is a GPR load whose destination
+     * @p to reads (the consumer needs a one-cycle gap), else 1.
+     */
+    unsigned latency(unsigned from, unsigned to) const;
+
+    /** True when placing @p b directly after @p a costs a load no-op. */
+    bool loadHazard(unsigned a, unsigned b) const;
+
+    /** True when @p i placed last costs an exit no-op. */
+    bool exitHazard(unsigned i) const;
+
+    /**
+     * Latency-weighted longest path from each node to the block exit
+     * (each node contributes at least its own cycle).
+     */
+    std::vector<unsigned> criticalPaths() const;
+
+    /** True iff @p order is a permutation respecting every edge. */
+    bool validOrder(const std::vector<unsigned> &order) const;
+
+    /**
+     * Cycles the fixup pass will emit for @p order: node count plus one
+     * per load-use adjacency plus the exit hazard. Fatals on an invalid
+     * order — cost only means anything for legal schedules.
+     */
+    unsigned scheduleCost(const std::vector<unsigned> &order) const;
+
+    /** The identity (original program order) cost. */
+    unsigned originalCost() const;
+
+    /** Graphviz dump for debugging oracle-bound violations. */
+    std::string dot(const std::string &title) const;
+
+  private:
+    std::vector<const InstrNode *> nodes_;
+    std::vector<char> pinned_;
+    std::vector<DagEdge> edges_;
+    std::vector<std::vector<unsigned>> preds_;
+    std::vector<std::vector<unsigned>> succs_;
+    std::uint32_t exitUses_ = 0;
+};
+
+/**
+ * List-schedule @p dag: repeatedly pick, from the ready set, a node
+ * that avoids the previous node's load shadow when any candidate can,
+ * then the best by @p priority, ties broken by original body index —
+ * so the result is deterministic for a given (dag, priority).
+ */
+std::vector<unsigned> scheduleList(const Dag &dag, SchedPriority priority);
+
+/**
+ * Exhaustive branch-and-bound over all topological orders, memoized on
+ * (scheduled-set, last-node); minimizes scheduleCost(). Only legal for
+ * dag.size() <= 20 or so in principle; reorganize() caps it at
+ * ReorgConfig::optimalMaxNodes and falls back to the critical-path list
+ * scheduler above that. Returns the first minimal-cost order found in
+ * index-order DFS (deterministic). @p seed, when non-empty, must be a
+ * valid order and primes the upper bound.
+ */
+std::vector<unsigned> scheduleOptimal(const Dag &dag,
+                                      const std::vector<unsigned> &seed = {});
+
+} // namespace mipsx::reorg
+
+#endif // MIPSX_REORG_DAG_HH

@@ -36,119 +36,9 @@ branchSchemeName(BranchScheme s)
 namespace
 {
 
-// ---------------------------------------------------------------------
-// Dependence analysis
-// ---------------------------------------------------------------------
-
-/** Register/resource sets: GPR bits 0..31, MD bit 32, coproc bit 33. */
-struct ResSet
-{
-    std::uint64_t bits = 0;
-
-    void addGpr(unsigned r)
-    {
-        if (r != 0)
-            bits |= std::uint64_t{1} << r;
-    }
-    void addMd() { bits |= std::uint64_t{1} << 32; }
-    void addCop() { bits |= std::uint64_t{1} << 33; }
-
-    bool intersects(const ResSet &o) const { return (bits & o.bits) != 0; }
-    bool hasGpr(unsigned r) const
-    {
-        return r != 0 && (bits & (std::uint64_t{1} << r));
-    }
-};
-
-ResSet
-defsOf(const Instruction &in)
-{
-    ResSet s;
-    s.addGpr(in.destReg());
-    if (in.writesMd())
-        s.addMd();
-    if (in.isCoproc())
-        s.addCop();
-    return s;
-}
-
-ResSet
-usesOf(const Instruction &in)
-{
-    ResSet s;
-    const auto src = in.srcRegs();
-    for (unsigned i = 0; i < src.count; ++i)
-        s.addGpr(src.reg[i]);
-    if (in.readsMd())
-        s.addMd();
-    if (in.isCoproc())
-        s.addCop();
-    return s;
-}
-
-bool
-isLoadOp(const Instruction &in)
-{
-    return in.accessesMemory() && !in.isStore();
-}
-
-bool
-isStoreOp(const Instruction &in)
-{
-    return in.accessesMemory() && in.isStore();
-}
-
-/** Conservative memory-dependence test between two instructions. */
-bool
-memConflict(const Instruction &a, const Instruction &b)
-{
-    const bool a_mem = a.accessesMemory();
-    const bool b_mem = b.accessesMemory();
-    if (!a_mem || !b_mem)
-        return false;
-    return isStoreOp(a) || isStoreOp(b); // only load/load commutes
-}
-
-/** Instructions the scheduler may relocate or execute speculatively. */
-bool
-movable(const Instruction &in)
-{
-    if (in.isControl() || !in.valid)
-        return false;
-    if (in.fmt == Format::Compute &&
-        (in.compOp == ComputeOp::Movfrs ||
-         in.compOp == ComputeOp::Movtos)) {
-        // MD moves are ordinary dataflow; PSW/chain moves are control
-        // state and stay put.
-        return in.aux == static_cast<std::uint16_t>(SpecialReg::Md);
-    }
-    return true;
-}
-
-/**
- * True if @p x may move across @p y (in either direction) without
- * changing dataflow.
- */
-bool
-independent(const Instruction &x, const Instruction &y)
-{
-    const ResSet dx = defsOf(x), ux = usesOf(x);
-    const ResSet dy = defsOf(y), uy = usesOf(y);
-    if (dx.intersects(uy) || ux.intersects(dy) || dx.intersects(dy))
-        return false;
-    return !memConflict(x, y);
-}
-
-InstrNode
-makeNop(NodeId id, SlotKind kind)
-{
-    InstrNode n;
-    n.id = id;
-    n.inst = isa::decode(isa::encodeNop());
-    n.origAddr = ~addr_t{0};
-    n.slot = kind;
-    return n;
-}
+// Dependence analysis (ResSet, defsOf/usesOf, movable, independent,
+// memConflict) lives in reorg/dag.{hh,cc} now, shared with the DAG
+// scheduling backends and the tests.
 
 // ---------------------------------------------------------------------
 // The scheduler proper
@@ -168,10 +58,25 @@ class Scheduler
         computeLiveness();
         for (std::size_t b = 0; b < cfg_.blocks().size(); ++b)
             scheduleTerminator(static_cast<int>(b));
-        if (config_.fillLoadDelay) {
+        if (!config_.fillLoadDelay)
+            return;
+        if (config_.scheduler == SchedulerKind::Heuristic) {
             for (std::size_t b = 0; b < cfg_.blocks().size(); ++b)
                 loadPass(static_cast<int>(b));
+        } else {
+            // DAG backends: reorder every block body first, then insert
+            // no-ops for whatever load hazards the orders left behind.
+            for (std::size_t b = 0; b < cfg_.blocks().size(); ++b)
+                dagReorder(static_cast<int>(b));
+            for (std::size_t b = 0; b < cfg_.blocks().size(); ++b)
+                fixupLoads(static_cast<int>(b));
         }
+        // Cross-block seams (a load as a block's last executed
+        // instruction feeding the first instruction of an exit path)
+        // are invisible to the per-block passes above; repair them
+        // everywhere, mirroring verifySchedule's exit-edge checks.
+        for (std::size_t b = 0; b < cfg_.blocks().size(); ++b)
+            fixupSeams(static_cast<int>(b));
     }
 
   private:
@@ -933,6 +838,206 @@ class Scheduler
                 break; // indices moved; rescan the block
             }
         }
+    }
+
+    // -- DAG backends (List / Optimal) -----------------------------------
+
+    /**
+     * Rebuild block @p b's body in the order the configured DAG backend
+     * chooses. Pinned landing nodes become fences, so branch entries
+     * into the middle of the block keep their validated adjacencies.
+     */
+    void
+    dagReorder(int b)
+    {
+        BasicBlock &blk = this->blk(b);
+        if (blk.body.empty())
+            return;
+        ++stats_.dagBlocks;
+        if (blk.body.size() < 2)
+            return;
+
+        std::vector<char> pins(blk.body.size(), 0);
+        for (std::size_t i = 0; i < blk.body.size(); ++i)
+            pins[i] = pinned_.count(blk.body[i].id) ? 1 : 0;
+        Dag dag = Dag::build(blk.body, pins);
+
+        // The instruction executed right after the body: terminator if
+        // present, else the fall-through landing. A load placed last
+        // that feeds it will cost a no-op.
+        std::uint32_t exitUses = 0;
+        if (blk.hasTerm())
+            exitUses = gprMask(usesOf(blk.term->inst));
+        else if (const auto *land = landing(blk.fallBlock, 0))
+            exitUses = gprMask(usesOf(land->inst));
+        dag.setExitUses(exitUses);
+
+        std::vector<unsigned> order;
+        if (config_.scheduler == SchedulerKind::Optimal) {
+            if (dag.size() <= config_.optimalMaxNodes) {
+                ++stats_.dagOptimalExact;
+                order = scheduleOptimal(dag);
+            } else {
+                ++stats_.dagOptimalFallback;
+                order = scheduleList(dag, SchedPriority::CriticalPath);
+            }
+        } else {
+            order = scheduleList(dag, config_.priority);
+        }
+
+        std::vector<InstrNode> newBody;
+        newBody.reserve(blk.body.size());
+        for (const unsigned i : order)
+            newBody.push_back(blk.body[i]);
+        blk.body = std::move(newBody);
+    }
+
+    /**
+     * Insert LoadNops for every hazard the chosen orders left: interior
+     * load-use adjacencies and the body-to-terminator edge. Exit seams
+     * into other blocks are fixupSeams()'s job. Insertion is monotone:
+     * a no-op never creates a hazard.
+     */
+    void
+    fixupLoads(int b)
+    {
+        BasicBlock &blk = this->blk(b);
+        for (std::size_t i = 0; i < blk.body.size(); ++i) {
+            const Instruction &ld = blk.body[i].inst;
+            if (!ld.isGprLoad() || ld.destReg() == 0)
+                continue;
+            const unsigned rd = ld.destReg();
+            const Instruction *reader = nullptr;
+            if (i + 1 < blk.body.size())
+                reader = &blk.body[i + 1].inst;
+            else if (blk.hasTerm())
+                reader = &blk.term->inst;
+            else if (const auto *land = landing(blk.fallBlock, 0))
+                reader = &land->inst;
+            if (!reader || !usesOf(*reader).hasGpr(rd))
+                continue;
+            ++stats_.loadHazards;
+            ++stats_.loadNops;
+            blk.body.insert(blk.body.begin() + static_cast<long>(i) + 1,
+                            makeNop(cfg_.newNode(), SlotKind::LoadNop));
+            ++i; // the inserted no-op needs no rescan
+        }
+    }
+
+    /**
+     * Repair cross-block load-delay seams, the exact edges
+     * verifySchedule() checks: when a block's last *executed*
+     * instruction (last slot, else terminator, else last body
+     * instruction) is a GPR load, the first instruction of every path
+     * out of the block must not read its destination. The per-block
+     * passes cannot see these — the reader lives in another block, and
+     * the slot fillers validated against heads that later passes (or
+     * other blocks' fall fills) may have changed since.
+     *
+     * Repairs insert a LoadNop *on the offending path*:
+     *
+     *  - fall path: at the head of the fall block (executed by every
+     *    entry into it — a no-op is always harmless);
+     *  - taken path: immediately before the landing node in whatever
+     *    block it lives in, retargeting this branch's landingId at the
+     *    no-op so the taken entry runs it (other predecessors of the
+     *    old landing keep their entry point and simply skip it).
+     */
+    void
+    fixupSeams(int b)
+    {
+        BasicBlock &blk = this->blk(b);
+        const Instruction *lastSeq = nullptr;
+        if (!blk.slots.empty())
+            lastSeq = &blk.slots.back().inst;
+        else if (blk.hasTerm())
+            lastSeq = &blk.term->inst;
+        else if (!blk.body.empty())
+            lastSeq = &blk.body.back().inst;
+        if (!lastSeq || !lastSeq->isGprLoad() || lastSeq->destReg() == 0)
+            return;
+        const unsigned rd = lastSeq->destReg();
+
+        auto fixFallSeam = [&] {
+            const auto *land = landing(blk.fallBlock, 0);
+            if (!land || !usesOf(land->inst).hasGpr(rd))
+                return;
+            ++stats_.loadHazards;
+            ++stats_.loadNops;
+            BasicBlock &fall = this->blk(blk.fallBlock);
+            fall.body.insert(fall.body.begin(),
+                             makeNop(cfg_.newNode(), SlotKind::LoadNop));
+        };
+
+        if (!blk.hasTerm()) {
+            if (blk.fallBlock >= 0)
+                fixFallSeam();
+            return;
+        }
+
+        const Instruction &t = blk.term->inst;
+        if (t.squash != SquashType::SquashTaken && blk.targetBlock >= 0)
+            fixTakenSeam(b, rd);
+        if (t.squash != SquashType::SquashNotTaken && t.isBranch() &&
+            blk.fallBlock >= 0) {
+            fixFallSeam();
+        }
+    }
+
+    /** The taken-path half of fixupSeams(); @p rd is the load's dest. */
+    void
+    fixTakenSeam(int b, unsigned rd)
+    {
+        BasicBlock &blk = this->blk(b);
+        // Resolve the taken-path landing the way the verifier does.
+        int landBlock = -1;
+        std::size_t landIdx = 0;
+        bool landIsTerm = false;
+        const Instruction *landInst = nullptr;
+        if (blk.landingId != invalidNode) {
+            for (std::size_t x = 0;
+                 x < cfg_.blocks().size() && !landInst; ++x) {
+                BasicBlock &cand = cfg_.blocks()[x];
+                for (std::size_t k = 0; k < cand.body.size(); ++k) {
+                    if (cand.body[k].id == blk.landingId) {
+                        landBlock = static_cast<int>(x);
+                        landIdx = k;
+                        landInst = &cand.body[k].inst;
+                        break;
+                    }
+                }
+                if (!landInst && cand.hasTerm() &&
+                    cand.term->id == blk.landingId) {
+                    landBlock = static_cast<int>(x);
+                    landIdx = cand.body.size();
+                    landIsTerm = true;
+                    landInst = &cand.term->inst;
+                }
+            }
+        } else if (const auto *land = landing(blk.targetBlock, 0)) {
+            // The branch enters at the target block's head; a no-op
+            // prepended there is on every entry path and needs no
+            // retargeting.
+            if (usesOf(land->inst).hasGpr(rd)) {
+                ++stats_.loadHazards;
+                ++stats_.loadNops;
+                BasicBlock &tgt = this->blk(blk.targetBlock);
+                tgt.body.insert(
+                    tgt.body.begin(),
+                    makeNop(cfg_.newNode(), SlotKind::LoadNop));
+            }
+            return;
+        }
+        if (!landInst || !usesOf(*landInst).hasGpr(rd))
+            return;
+        ++stats_.loadHazards;
+        ++stats_.loadNops;
+        (void)landIsTerm;
+        BasicBlock &home = this->blk(landBlock);
+        const InstrNode nop = makeNop(cfg_.newNode(), SlotKind::LoadNop);
+        home.body.insert(home.body.begin() + static_cast<long>(landIdx),
+                         nop);
+        blk.landingId = nop.id;
     }
 
     /**

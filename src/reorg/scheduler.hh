@@ -29,6 +29,7 @@
 
 #include "assembler/program.hh"
 #include "reorg/cfg.hh"
+#include "reorg/dag.hh"
 
 namespace mipsx::reorg
 {
@@ -64,6 +65,21 @@ struct ReorgConfig
      */
     bool paperFaithful = true;
     Prediction prediction = Prediction::BackwardTaken;
+    /**
+     * Which body-scheduling backend fills the load delay. Heuristic is
+     * the original pull/push pass and the byte-identical default; List
+     * and Optimal reorder each block body over the dependence DAG
+     * (reorg/dag.hh) and then insert no-ops for whatever hazards remain.
+     */
+    SchedulerKind scheduler = SchedulerKind::Heuristic;
+    /** Ready-set priority for the list scheduler. */
+    SchedPriority priority = SchedPriority::CriticalPath;
+    /**
+     * Largest block (in body instructions) the Optimal backend searches
+     * exhaustively; bigger blocks fall back to critical-path list
+     * scheduling. 12 keeps the memoized state space around 50k entries.
+     */
+    unsigned optimalMaxNodes = 12;
     /** Per-branch taken fraction from a profiling run (original addrs). */
     std::map<addr_t, double> profile;
 };
@@ -84,6 +100,9 @@ struct ReorgStats
     std::uint64_t loadHazards = 0;   ///< load-use pairs needing action
     std::uint64_t loadReordered = 0; ///< fixed by moving an instruction
     std::uint64_t loadNops = 0;      ///< fixed by inserting a no-op
+    std::uint64_t dagBlocks = 0;     ///< blocks scheduled via the DAG
+    std::uint64_t dagOptimalExact = 0;    ///< blocks the oracle solved
+    std::uint64_t dagOptimalFallback = 0; ///< too big; list fallback
 
     double
     slotFillRatio() const

@@ -41,10 +41,12 @@ reorgFingerprint(const reorg::ReorgConfig &rc)
 {
     std::string fp;
     char buf[64];
-    std::snprintf(buf, sizeof buf, "s%u/d%u/l%u/f%u/p%u",
+    std::snprintf(buf, sizeof buf, "s%u/d%u/l%u/f%u/p%u/k%u/q%u/o%u",
                   static_cast<unsigned>(rc.scheme), rc.slots,
                   rc.fillLoadDelay ? 1u : 0u, rc.paperFaithful ? 1u : 0u,
-                  static_cast<unsigned>(rc.prediction));
+                  static_cast<unsigned>(rc.prediction),
+                  static_cast<unsigned>(rc.scheduler),
+                  static_cast<unsigned>(rc.priority), rc.optimalMaxNodes);
     fp = buf;
     for (const auto &[addr, frac] : rc.profile) {
         // Hex-float so the serialization is exact and locale-free.

@@ -229,3 +229,128 @@ TEST(GoldenICache, TwoCycleMissBeatsSmallBlocksAtThreeCycles)
     // (measured 1.249 vs 1.405 cycles per fetch).
     EXPECT_LT(design.avgFetchCost() + 0.1, farTags.avgFetchCost());
 }
+
+// ---------------------------------------------------------------------
+// Scheduler-quality goldens. Table 1 above is pinned under the default
+// (heuristic) backend — the DAG refactor must not move those cells at
+// all — and each scheduling backend gets its own pinned slot-fill /
+// no-op-fraction goldens here.
+
+#include "assembler/assembler.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+const SweepResult &
+schedulerSweep()
+{
+    static const SweepResult r = [] {
+        SweepConfig cfg;
+        cfg.suite = "full";
+        cfg.grid.axes = {
+            {"reorg.scheduler", {"heuristic", "list", "optimal"}}};
+        return runSweep(cfg);
+    }();
+    return r;
+}
+
+/** Aggregate static reorganizer stats over the workload suite. */
+reorg::ReorgStats
+staticStatsFor(reorg::SchedulerKind kind)
+{
+    reorg::ReorgConfig rc;
+    rc.scheduler = kind;
+    reorg::ReorgStats agg;
+    for (const auto &w : workload::fullSuite()) {
+        const auto p = assembler::assemble(w.source, w.name);
+        reorg::ReorgStats st;
+        reorg::reorganize(p, rc, &st);
+        agg.slotsTotal += st.slotsTotal;
+        agg.slotsNop += st.slotsNop;
+        agg.loadHazards += st.loadHazards;
+        agg.loadNops += st.loadNops;
+        agg.dagBlocks += st.dagBlocks;
+        agg.dagOptimalExact += st.dagOptimalExact;
+        agg.dagOptimalFallback += st.dagOptimalFallback;
+    }
+    return agg;
+}
+
+} // namespace
+
+TEST(GoldenScheduler, HeuristicAxisPointEqualsTheDefaultSweep)
+{
+    // Behavior preservation, exactly: selecting the heuristic backend
+    // through the explore axis must reproduce the default full-suite
+    // run bit for bit (every counter, not just the headline numbers).
+    SweepConfig cfg;
+    cfg.suite = "full";
+    const auto base = runSweep(cfg);
+    const auto &def = statsAt(base, {});
+    const auto &h =
+        statsAt(schedulerSweep(), {{"reorg.scheduler", "heuristic"}});
+    EXPECT_EQ(h, def);
+}
+
+TEST(GoldenScheduler, PinnedDynamicNoopFractions)
+{
+    const struct
+    {
+        const char *sched;
+        double golden;
+    } rows[] = {
+        {"heuristic", 0.1346},
+        {"list", 0.1345},
+        {"optimal", 0.1345},
+    };
+    for (const auto &row : rows) {
+        const auto &s =
+            statsAt(schedulerSweep(), {{"reorg.scheduler", row.sched}});
+        EXPECT_NEAR(s.noopFraction(), row.golden, 0.01) << row.sched;
+    }
+}
+
+TEST(GoldenScheduler, PinnedStaticSlotFillAndLoadNops)
+{
+    // Static scheduling is deterministic, so these pins are exact.
+    // Branch-slot filling is shared by every backend (same slotsNop);
+    // the backends differ in the load no-ops their body schedules
+    // leave behind, and the oracle-backed backend must be the floor.
+    const struct
+    {
+        reorg::SchedulerKind kind;
+        std::uint64_t slotsNop;
+        std::uint64_t loadNops;
+    } rows[] = {
+        {reorg::SchedulerKind::Heuristic, 209, 47},
+        {reorg::SchedulerKind::List, 209, 46},
+        {reorg::SchedulerKind::Optimal, 209, 46},
+    };
+    std::uint64_t optimalNops = 0, heuristicNops = 0, listNops = 0;
+    for (const auto &row : rows) {
+        const auto st = staticStatsFor(row.kind);
+        EXPECT_EQ(st.slotsNop, row.slotsNop)
+            << reorg::schedulerKindName(row.kind);
+        EXPECT_EQ(st.loadNops, row.loadNops)
+            << reorg::schedulerKindName(row.kind);
+        EXPECT_GT(st.slotFillRatio(), 0.0);
+        if (row.kind == reorg::SchedulerKind::Heuristic) {
+            EXPECT_EQ(st.dagBlocks, 0u);
+            heuristicNops = st.loadNops;
+        } else {
+            EXPECT_GT(st.dagBlocks, 0u);
+            if (row.kind == reorg::SchedulerKind::Optimal) {
+                EXPECT_GT(st.dagOptimalExact, 0u);
+                optimalNops = st.loadNops;
+            } else {
+                listNops = st.loadNops;
+            }
+        }
+    }
+    // The suite's blocks are nearly all within the oracle's exhaustive
+    // range, so the optimal backend cannot emit more load no-ops than
+    // either rival.
+    EXPECT_LE(optimalNops, heuristicNops);
+    EXPECT_LE(optimalNops, listNops);
+}

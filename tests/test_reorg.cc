@@ -572,3 +572,142 @@ loop:   addi r1, r1, -1
     const auto q2 = reorganize(p, {}, nullptr);
     EXPECT_LT(q1.textSize(), q2.textSize());
 }
+
+// ---------------------------------------------------------------------
+// CFG edge cases: empty-body blocks, back-to-back branches, fallthrough
+// chains, and a block ending exactly at a decoded-image page boundary.
+
+TEST(Cfg, BackToBackBranchesMakeEmptyBodyBlocks)
+{
+    // The store keeps r4 live into the join, so no backend may fill a
+    // slot with the fall-path addi (it would be observable).
+    const auto p = asmOrDie(R"(
+        .data
+res:    .word 7
+        .text
+_start: addi r1, r0, 1
+        bnz  r1, a
+a:      bz   r2, b
+        addi r4, r0, 98
+b:      st   r4, res
+        halt
+)");
+    Cfg cfg = Cfg::build(p.text(), textSymbols(p));
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    // The second branch is its own block with an empty body: the first
+    // branch both targets and falls into it.
+    EXPECT_TRUE(cfg.blocks()[1].body.empty());
+    ASSERT_TRUE(cfg.blocks()[1].hasTerm());
+    EXPECT_EQ(cfg.blocks()[0].targetBlock, 1);
+    EXPECT_EQ(cfg.blocks()[0].fallBlock, 1);
+    EXPECT_EQ(cfg.blocks()[1].targetBlock, 3);
+    EXPECT_EQ(cfg.blocks()[1].fallBlock, 2);
+
+    // Every scheme x scheduler combination must still verify and
+    // preserve the path (r2 == 0 takes the bz, skipping the addi).
+    for (const auto scheme : {BranchScheme::NoSquash,
+                              BranchScheme::AlwaysSquash,
+                              BranchScheme::SquashOptional}) {
+        for (const auto kind : {SchedulerKind::Heuristic,
+                                SchedulerKind::List,
+                                SchedulerKind::Optimal}) {
+            ReorgConfig rc;
+            rc.scheme = scheme;
+            rc.scheduler = kind;
+            rc.paperFaithful = false;
+            const auto q = reorganize(p, rc, nullptr);
+            auto r = runDelayed(q);
+            ASSERT_EQ(r.reason, sim::IssStop::Halt)
+                << branchSchemeName(scheme);
+            EXPECT_EQ(r.gpr(1), 1u);
+            EXPECT_EQ(r.word(p.symbol("res")), 0u)
+                << branchSchemeName(scheme);
+            auto pr = runPipelineProg(q);
+            EXPECT_EQ(pr.word(p.symbol("res")), 0u);
+            EXPECT_EQ(pr.stats().hazardViolations, 0u);
+        }
+    }
+}
+
+TEST(Cfg, FallthroughChainsSplitByLabels)
+{
+    const auto p = asmOrDie(R"(
+_start: addi r1, r0, 1
+l1:     addi r2, r0, 2
+l2:     addi r3, r0, 3
+l3:     halt
+)");
+    Cfg cfg = Cfg::build(p.text(), textSymbols(p));
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    for (int b = 0; b < 3; ++b) {
+        EXPECT_EQ(cfg.blocks()[b].body.size(), 1u);
+        EXPECT_FALSE(cfg.blocks()[b].hasTerm());
+        EXPECT_EQ(cfg.blocks()[b].fallBlock, b + 1);
+        EXPECT_EQ(cfg.blocks()[b].preds, ~0u); // labelled or entry
+    }
+    // landingNode walks the fallthrough chain: skipping past a
+    // one-instruction block lands in the next, and skipping the whole
+    // chain lands on the final terminator.
+    EXPECT_EQ(cfg.landingNode(0, 0), cfg.blocks()[0].body[0].id);
+    EXPECT_EQ(cfg.landingNode(0, 1), cfg.blocks()[1].body[0].id);
+    EXPECT_EQ(cfg.landingNode(0, 3), cfg.blocks()[3].term->id);
+    EXPECT_EQ(cfg.landingNode(1, 1), cfg.blocks()[2].body[0].id);
+
+    // The chain re-emits byte-identically when nothing is scheduled.
+    const auto out = cfg.emit(p.text(), p.text().base, nullptr);
+    EXPECT_EQ(out.words, p.text().words);
+
+    const auto q = reorganize(p, {}, nullptr);
+    auto r = runDelayed(q);
+    EXPECT_EQ(r.gpr(1), 1u);
+    EXPECT_EQ(r.gpr(2), 2u);
+    EXPECT_EQ(r.gpr(3), 3u);
+}
+
+TEST(Cfg, BlockEndingExactlyAtAPageBoundary)
+{
+    // The text base (0x4000) is page-aligned for the decoded image
+    // (2048 words per page), so a branch at text index 2047 is the
+    // last word of its page and its block ends exactly on the
+    // boundary, with the branch target in the next page.
+    std::string src = "_start: addi r1, r0, 1\n";
+    for (unsigned i = 0; i < 2046; ++i)
+        src += "        addi r3, r3, 1\n";
+    src += "        bnz  r1, over\n"
+           "        addi r4, r0, 4\n"
+           "over:   halt\n";
+    const auto p = asmOrDie(src);
+    ASSERT_EQ(p.text().words.size(), 2050u);
+
+    Cfg cfg = Cfg::build(p.text(), textSymbols(p));
+    ASSERT_GE(cfg.blocks().size(), 3u);
+    const auto &first = cfg.blocks()[0];
+    ASSERT_TRUE(first.hasTerm());
+    EXPECT_EQ(first.term->origAddr, p.text().base + 2047u);
+    EXPECT_EQ((first.term->origAddr + 1) % 2048u, 0u);
+
+    for (const auto kind : {SchedulerKind::Heuristic,
+                            SchedulerKind::List,
+                            SchedulerKind::Optimal}) {
+        ReorgConfig rc;
+        rc.scheduler = kind;
+        const auto q = reorganize(p, rc, nullptr);
+        auto r = runDelayed(q);
+        ASSERT_EQ(r.reason, sim::IssStop::Halt);
+        EXPECT_EQ(r.gpr(3), 2046u);
+        EXPECT_EQ(r.gpr(4), 0u); // the branch was taken
+        auto pr = runPipelineProg(q);
+        EXPECT_EQ(pr.gpr(3), 2046u);
+        EXPECT_EQ(pr.stats().hazardViolations, 0u);
+    }
+}
+
+TEST(Cfg, EmptyTextSectionBuildsAnEmptyCfg)
+{
+    assembler::Section text;
+    text.isText = true;
+    text.base = 0x4000;
+    const Cfg cfg = Cfg::build(text, {});
+    EXPECT_TRUE(cfg.blocks().empty());
+    EXPECT_EQ(cfg.size(), 0u);
+}

@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Dependence-DAG IR and scheduling-backend tests.
+ *
+ * Three layers:
+ *
+ *  1. The DAG itself — edge kinds on hand-built bodies, fences around
+ *     pinned/immovable nodes, the validOrder/scheduleCost model.
+ *  2. The backends through the public Dag API — list schedules are
+ *     valid and deterministic for every priority; the branch-and-bound
+ *     oracle matches an independent brute-force minimum.
+ *  3. The oracle bound, differentially — over exhaustively enumerated
+ *     template sequences and fuzz-sampled straight-line bodies (<= 12
+ *     nodes), optimal cost <= original cost and optimal cost <= list
+ *     cost for every priority. Violations dump the DAG in DOT form.
+ *
+ * Plus end-to-end: single-block programs reorganized under each
+ * SchedulerKind preserve semantics, and the heuristic/list backends
+ * never beat the oracle on emitted load no-ops.
+ */
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "helpers.hh"
+#include "isa/decode.hh"
+#include "reorg/dag.hh"
+#include "reorg/scheduler.hh"
+
+using namespace mipsx;
+using namespace mipsx::test;
+using namespace mipsx::reorg;
+
+namespace
+{
+
+/**
+ * Assemble a straight-line body (data labels v/w/x in scope) and
+ * return it as decoded InstrNodes, dropping the trailing halt.
+ */
+std::vector<InstrNode>
+bodyOf(const std::string &body_src)
+{
+    const auto p = asmOrDie(std::string(R"(
+        .data
+v:      .word 11
+w:      .word 22
+x:      .word 33
+        .text
+_start:
+)") + body_src + "\n        halt\n");
+    const auto &t = p.text();
+    std::vector<InstrNode> body;
+    for (std::size_t i = 0; i + 1 < t.words.size(); ++i) {
+        InstrNode n;
+        n.id = static_cast<NodeId>(i);
+        n.inst = isa::decode(t.words[i]);
+        n.origAddr = t.base + static_cast<addr_t>(i);
+        body.push_back(n);
+    }
+    return body;
+}
+
+bool
+hasEdge(const Dag &d, unsigned from, unsigned to, DepKind kind)
+{
+    for (const auto &e : d.edges())
+        if (e.from == from && e.to == to && e.kind == kind)
+            return true;
+    return false;
+}
+
+bool
+hasAnyEdge(const Dag &d, unsigned from, unsigned to)
+{
+    for (const auto &e : d.edges())
+        if (e.from == from && e.to == to)
+            return true;
+    return false;
+}
+
+/** Brute-force minimum scheduleCost over every valid permutation. */
+unsigned
+bruteForceMinCost(const Dag &dag)
+{
+    const unsigned n = dag.size();
+    std::vector<unsigned> perm(n);
+    for (unsigned i = 0; i < n; ++i)
+        perm[i] = i;
+    unsigned best = ~0u;
+    do {
+        if (dag.validOrder(perm))
+            best = std::min(best, dag.scheduleCost(perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+}
+
+constexpr SchedPriority kPriorities[] = {SchedPriority::CriticalPath,
+                                         SchedPriority::Slack,
+                                         SchedPriority::RegPressure};
+
+/**
+ * Check the oracle bound on one body: optimal <= original, and
+ * optimal <= list for every priority. Dumps DOT on violation.
+ */
+void
+expectOracleBound(const std::vector<InstrNode> &body, std::uint32_t exit_uses,
+                  const std::string &what)
+{
+    Dag dag = Dag::build(body);
+    dag.setExitUses(exit_uses);
+    const auto opt = scheduleOptimal(dag);
+    ASSERT_TRUE(dag.validOrder(opt)) << what << "\n" << dag.dot(what);
+    const unsigned opt_cost = dag.scheduleCost(opt);
+    EXPECT_LE(opt_cost, dag.originalCost())
+        << what << "\n" << dag.dot(what);
+    for (const auto pr : kPriorities) {
+        const auto list = scheduleList(dag, pr);
+        ASSERT_TRUE(dag.validOrder(list))
+            << what << " (" << schedPriorityName(pr) << ")\n"
+            << dag.dot(what);
+        EXPECT_LE(opt_cost, dag.scheduleCost(list))
+            << what << " (" << schedPriorityName(pr) << ")\n"
+            << dag.dot(what);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Layer 1: the DAG itself
+// ---------------------------------------------------------------------
+
+TEST(Dag, EdgeKindsOnAHandBuiltBody)
+{
+    const auto body = bodyOf(R"(
+        ld   r1, v
+        add  r2, r1, r1
+        addi r1, r0, 5
+        st   r2, w
+        ld   r3, w
+)");
+    ASSERT_EQ(body.size(), 5u);
+    const Dag dag = Dag::build(body);
+    EXPECT_TRUE(hasEdge(dag, 0, 1, DepKind::Raw));  // r1: ld -> add
+    EXPECT_TRUE(hasEdge(dag, 0, 2, DepKind::Waw));  // r1 redefined
+    EXPECT_TRUE(hasEdge(dag, 1, 2, DepKind::War));  // read r1 then write
+    EXPECT_TRUE(hasEdge(dag, 1, 3, DepKind::Raw));  // r2: add -> st
+    EXPECT_TRUE(hasEdge(dag, 0, 3, DepKind::Mem));  // ld vs st
+    EXPECT_TRUE(hasEdge(dag, 3, 4, DepKind::Mem));  // st vs ld
+    // Loads commute: no edge between the two loads, and the addi is
+    // independent of both memory ops it does not touch.
+    EXPECT_FALSE(hasAnyEdge(dag, 0, 4));
+    EXPECT_FALSE(hasAnyEdge(dag, 2, 3));
+    EXPECT_FALSE(hasAnyEdge(dag, 2, 4));
+}
+
+TEST(Dag, PinnedLandingNodeIsAFullFence)
+{
+    const auto body = bodyOf(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+)");
+    const Dag dag = Dag::build(body, {0, 1, 0});
+    EXPECT_TRUE(hasEdge(dag, 0, 1, DepKind::Order));
+    EXPECT_TRUE(hasEdge(dag, 1, 2, DepKind::Order));
+    EXPECT_FALSE(dag.validOrder({1, 0, 2})); // crosses the fence
+    EXPECT_FALSE(dag.validOrder({0, 2, 1}));
+    EXPECT_TRUE(dag.validOrder({0, 1, 2}));
+    // Without the pin the three are mutually independent.
+    const Dag free = Dag::build(body);
+    EXPECT_TRUE(free.validOrder({2, 0, 1}));
+}
+
+TEST(Dag, PswMoveIsImmovableButMdMoveIsNot)
+{
+    const auto body = bodyOf(R"(
+        addi r1, r0, 1
+        movtos psw, r0
+        addi r2, r0, 2
+)");
+    const Dag dag = Dag::build(body);
+    EXPECT_TRUE(hasEdge(dag, 0, 1, DepKind::Order));
+    EXPECT_TRUE(hasEdge(dag, 1, 2, DepKind::Order));
+
+    const auto md = bodyOf(R"(
+        movtos md, r1
+        addi   r2, r0, 2
+        movfrs r3, md
+)");
+    const Dag mdag = Dag::build(md);
+    // The MD moves are ordinary dataflow (Raw through MD), and the
+    // unrelated addi may move around them.
+    EXPECT_TRUE(hasEdge(mdag, 0, 2, DepKind::Raw));
+    EXPECT_TRUE(mdag.validOrder({1, 0, 2}));
+    EXPECT_TRUE(mdag.validOrder({0, 2, 1}));
+}
+
+TEST(Dag, CostModelCountsLoadUseAndExitNops)
+{
+    const auto body = bodyOf(R"(
+        ld   r1, v
+        add  r2, r1, r1
+        addi r3, r0, 3
+)");
+    Dag dag = Dag::build(body);
+    // Identity: the add reads r1 right in the shadow -> one no-op.
+    EXPECT_EQ(dag.originalCost(), 4u);
+    // Filling the shadow with the independent addi removes it.
+    EXPECT_TRUE(dag.validOrder({0, 2, 1}));
+    EXPECT_EQ(dag.scheduleCost({0, 2, 1}), 3u);
+    EXPECT_FALSE(dag.validOrder({1, 0, 2})); // Raw violated
+    EXPECT_FALSE(dag.validOrder({0, 1}));    // not a permutation
+
+    // A load scheduled last whose destination the exit reads costs one
+    // no-op too; any other final node avoids it.
+    const auto tail = bodyOf(R"(
+        addi r3, r0, 3
+        ld   r1, v
+)");
+    Dag exit_dag = Dag::build(tail);
+    exit_dag.setExitUses(1u << 1);
+    EXPECT_TRUE(exit_dag.exitHazard(1));
+    EXPECT_FALSE(exit_dag.exitHazard(0));
+    EXPECT_EQ(exit_dag.originalCost(), 3u);
+    EXPECT_EQ(exit_dag.scheduleCost({1, 0}), 2u);
+}
+
+TEST(Dag, CriticalPathsWeightLoadConsumers)
+{
+    const auto body = bodyOf(R"(
+        ld   r1, v
+        add  r2, r1, r1
+        addi r3, r0, 3
+)");
+    const Dag dag = Dag::build(body);
+    const auto cp = dag.criticalPaths();
+    ASSERT_EQ(cp.size(), 3u);
+    EXPECT_EQ(cp[0], 3u); // load: 2-cycle edge to its consumer + 1
+    EXPECT_EQ(cp[1], 1u);
+    EXPECT_EQ(cp[2], 1u);
+    EXPECT_TRUE(dag.loadHazard(0, 1));
+    EXPECT_FALSE(dag.loadHazard(0, 2));
+    EXPECT_EQ(dag.latency(0, 1), 2u);
+    EXPECT_EQ(dag.latency(0, 2), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: the backends through the public API
+// ---------------------------------------------------------------------
+
+TEST(ListScheduler, ValidDeterministicAndFillsTheShadow)
+{
+    const auto body = bodyOf(R"(
+        ld   r1, v
+        add  r2, r1, r1
+        addi r3, r0, 3
+        ld   r4, w
+        add  r5, r4, r4
+)");
+    const Dag dag = Dag::build(body);
+    for (const auto pr : kPriorities) {
+        const auto order = scheduleList(dag, pr);
+        ASSERT_TRUE(dag.validOrder(order)) << schedPriorityName(pr);
+        EXPECT_EQ(order, scheduleList(dag, pr)) << "non-deterministic";
+        EXPECT_LE(dag.scheduleCost(order), dag.originalCost())
+            << schedPriorityName(pr);
+    }
+    // The latency-aware priorities have enough independent work here
+    // to hide both load shadows entirely (register-pressure trades
+    // that for live-range length, so it only gets the bound above).
+    for (const auto pr :
+         {SchedPriority::CriticalPath, SchedPriority::Slack}) {
+        EXPECT_EQ(dag.scheduleCost(scheduleList(dag, pr)), dag.size())
+            << schedPriorityName(pr);
+    }
+}
+
+TEST(OptimalScheduler, MatchesBruteForceOnSmallBlocks)
+{
+    const char *bodies[] = {
+        // Two hazards, one filler: only one no-op is removable.
+        "ld r1, v\n add r2, r1, r1\n ld r3, w\n add r4, r3, r3\n"
+        " addi r5, r0, 5\n",
+        // A WAW/War tangle.
+        "ld r1, v\n addi r1, r1, 1\n st r1, w\n ld r2, w\n"
+        " add r3, r2, r1\n",
+        // Nothing to do: already hazard-free.
+        "addi r1, r0, 1\n addi r2, r0, 2\n addi r3, r0, 3\n",
+    };
+    for (const char *src : bodies) {
+        const auto body = bodyOf(src);
+        Dag dag = Dag::build(body);
+        const auto opt = scheduleOptimal(dag);
+        ASSERT_TRUE(dag.validOrder(opt)) << src;
+        EXPECT_EQ(dag.scheduleCost(opt), bruteForceMinCost(dag)) << src;
+        EXPECT_EQ(opt, scheduleOptimal(dag)) << "non-deterministic";
+    }
+}
+
+TEST(OptimalScheduler, SeedPrimesTheBoundAndIsNeverWorse)
+{
+    const auto body = bodyOf(R"(
+        ld   r1, v
+        add  r2, r1, r1
+        addi r3, r0, 3
+)");
+    const Dag dag = Dag::build(body);
+    for (const auto pr : kPriorities) {
+        const auto seed = scheduleList(dag, pr);
+        const auto opt = scheduleOptimal(dag, seed);
+        ASSERT_TRUE(dag.validOrder(opt));
+        EXPECT_LE(dag.scheduleCost(opt), dag.scheduleCost(seed));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer 3: the oracle bound, differentially
+// ---------------------------------------------------------------------
+
+TEST(OracleBound, ExhaustiveTemplateSequences)
+{
+    // Every sequence of length 1..4 over these templates (and thus
+    // every combination of Raw/War/Waw/Mem structure they can form).
+    const std::vector<std::string> templates = {
+        "ld   r1, v",
+        "add  r2, r1, r1",
+        "addi r1, r0, 7",
+        "st   r2, w",
+        "ld   r3, w",
+        "add  r4, r3, r2",
+    };
+    std::vector<unsigned> pick;
+    unsigned checked = 0;
+    const auto expand = [&](const auto &self, unsigned depth) -> void {
+        if (!pick.empty()) {
+            std::string src, what;
+            for (const unsigned t : pick) {
+                src += templates[t] + "\n";
+                what += (what.empty() ? "" : "; ") + templates[t];
+            }
+            expectOracleBound(bodyOf(src), 0, what);
+            ++checked;
+        }
+        if (depth == 4)
+            return;
+        for (unsigned t = 0; t < templates.size(); ++t) {
+            pick.push_back(t);
+            self(self, depth + 1);
+            pick.pop_back();
+        }
+    };
+    expand(expand, 0);
+    // 6 + 6^2 + 6^3 + 6^4
+    EXPECT_EQ(checked, 1554u);
+}
+
+TEST(OracleBound, FuzzSampledBodiesUpToTwelveNodes)
+{
+    std::mt19937 rng(0xda65eedu);
+    const auto reg = [&](unsigned lo, unsigned hi) {
+        return std::uniform_int_distribution<unsigned>(lo, hi)(rng);
+    };
+    const char *labels[] = {"v", "w", "x"};
+    for (unsigned iter = 0; iter < 150; ++iter) {
+        const unsigned len = 2 + reg(0, 10); // 2..12 nodes
+        std::string src;
+        for (unsigned i = 0; i < len; ++i) {
+            switch (reg(0, 4)) {
+              case 0:
+                src += strformat("ld r%u, %s\n", reg(1, 6),
+                                 labels[reg(0, 2)]);
+                break;
+              case 1:
+                src += strformat("st r%u, %s\n", reg(1, 6),
+                                 labels[reg(0, 2)]);
+                break;
+              case 2:
+                src += strformat("add r%u, r%u, r%u\n", reg(1, 6),
+                                 reg(1, 6), reg(1, 6));
+                break;
+              case 3:
+                src += strformat("addi r%u, r%u, %u\n", reg(1, 6),
+                                 reg(1, 6), reg(0, 100));
+                break;
+              default:
+                src += strformat("sub r%u, r%u, r%u\n", reg(1, 6),
+                                 reg(1, 6), reg(1, 6));
+                break;
+            }
+        }
+        // Random exit-reader mask over the same register pool.
+        std::uint32_t exit_uses = 0;
+        for (unsigned r = 1; r <= 6; ++r)
+            if (reg(0, 1))
+                exit_uses |= 1u << r;
+        expectOracleBound(bodyOf(src), exit_uses,
+                          strformat("fuzz body %u:\n%s", iter,
+                                    src.c_str()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// End to end: reorganize() under each backend
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct BackendRun
+{
+    ReorgStats stats;
+    assembler::Program prog;
+};
+
+BackendRun
+runBackend(const assembler::Program &p, SchedulerKind kind)
+{
+    ReorgConfig rc;
+    rc.scheduler = kind;
+    BackendRun r;
+    r.prog = reorganize(p, rc, &r.stats);
+    return r;
+}
+
+} // namespace
+
+TEST(SchedulerEndToEnd, BackendsPreserveSemanticsAndRespectTheOracle)
+{
+    // Single-block straight-line programs (<= 12 body nodes), so the
+    // oracle solves them exactly and the static no-op counts are
+    // directly comparable.
+    const char *programs[] = {
+        // Load-use chains with fillable independent work.
+        R"(
+        .data
+a:      .word 5
+b:      .word 7
+        .text
+_start: ld   r1, a
+        add  r2, r1, r1
+        ld   r3, b
+        add  r4, r3, r3
+        addi r5, r0, 50
+        addi r6, r0, 60
+        st   r2, a
+        st   r4, b
+        halt
+)",
+        // A lone load-use pair: the no-op is unavoidable for every
+        // backend, so all three tie at one.
+        R"(
+        .data
+p:      .word 21
+        .text
+_start: ld   r1, p
+        add  r2, r1, r1
+        halt
+)",
+    };
+    for (const char *src : programs) {
+        SCOPED_TRACE(src);
+        assembler::Program p;
+        try {
+            p = asmOrDie(src);
+        } catch (const SimError &e) {
+            FAIL() << e.what();
+        }
+        const auto seq = runSequential(p);
+        ASSERT_EQ(seq.reason, sim::IssStop::Halt);
+
+        const auto heur = runBackend(p, SchedulerKind::Heuristic);
+        const auto list = runBackend(p, SchedulerKind::List);
+        const auto opt = runBackend(p, SchedulerKind::Optimal);
+
+        // The oracle is a lower bound on emitted load no-ops.
+        EXPECT_GE(heur.stats.loadNops, opt.stats.loadNops);
+        EXPECT_GE(list.stats.loadNops, opt.stats.loadNops);
+
+        // Backend accounting: only the DAG backends schedule blocks
+        // through the DAG, and these blocks are small enough for the
+        // exact search.
+        EXPECT_EQ(heur.stats.dagBlocks, 0u);
+        EXPECT_GT(list.stats.dagBlocks, 0u);
+        EXPECT_GT(opt.stats.dagBlocks, 0u);
+        EXPECT_GT(opt.stats.dagOptimalExact, 0u);
+        EXPECT_EQ(opt.stats.dagOptimalFallback, 0u);
+
+        // Straight-line code has no branch slots, so every GPR write
+        // survives reordering: full register-state equivalence holds.
+        for (const auto *run : {&heur, &list, &opt}) {
+            const auto got = runDelayed(run->prog);
+            ASSERT_EQ(got.reason, sim::IssStop::Halt);
+            for (unsigned r = 1; r < 31; ++r)
+                EXPECT_EQ(got.gpr(r), seq.gpr(r)) << "r" << r;
+            auto pr = runPipelineProg(run->prog);
+            EXPECT_EQ(pr.result.reason, core::StopReason::Halt);
+            EXPECT_EQ(pr.stats().hazardViolations, 0u);
+        }
+    }
+}
+
+TEST(SchedulerEndToEnd, OptimalFallsBackOnOversizedBlocks)
+{
+    // 16 chained loads/adds in one block: beyond optimalMaxNodes=12,
+    // so the Optimal backend must fall back to list scheduling (and
+    // still verify + run correctly).
+    std::string src = "        .data\nq:      .word 3\n        .text\n"
+                      "_start: ld   r1, q\n";
+    for (unsigned i = 2; i <= 16; ++i)
+        src += strformat("        addi r%u, r%u, 1\n", (i % 6) + 1,
+                         ((i - 1) % 6) + 1);
+    src += "        halt\n";
+    const auto p = asmOrDie(src);
+    ReorgConfig rc;
+    rc.scheduler = SchedulerKind::Optimal;
+    ReorgStats st;
+    const auto q = reorganize(p, rc, &st);
+    EXPECT_GT(st.dagOptimalFallback, 0u);
+    const auto seq = runSequential(p);
+    const auto got = runDelayed(q);
+    ASSERT_EQ(got.reason, sim::IssStop::Halt);
+    for (unsigned r = 1; r < 31; ++r)
+        EXPECT_EQ(got.gpr(r), seq.gpr(r)) << "r" << r;
+
+    // Raising the cap back above the block size restores exact search.
+    rc.optimalMaxNodes = 20;
+    ReorgStats exact;
+    reorganize(p, rc, &exact);
+    EXPECT_EQ(exact.dagOptimalFallback, 0u);
+    EXPECT_GT(exact.dagOptimalExact, 0u);
+}

@@ -22,6 +22,10 @@
  *   --iss-mode M            step | block | both — which ISS execute
  *                           loop(s) to run against the pipeline (both
  *                           adds the block-vs-step leg)
+ *   --sched-check           fourth leg: per run, also generate a
+ *                           sequential program and check that every
+ *                           reorg scheduling backend preserves its
+ *                           semantics (reorg.* --config params apply)
  *   --jobs N                worker threads (default: MIPSX_BENCH_JOBS
  *                           or hardware concurrency)
  *   --repro-dir DIR         where .repro files go (default ".";
@@ -57,7 +61,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N] [--runs N] [--max-insns N]\n"
         "       [--weights K=V,...] [--config PARAM=VALUE]... [--jobs N]\n"
-        "       [--iss-mode step|block|both]\n"
+        "       [--iss-mode step|block|both] [--sched-check]\n"
         "       [--repro-dir DIR] [--metrics FILE] [--no-shrink]\n"
         "       [--quiet] [--list-params]\n",
         argv0);
@@ -104,6 +108,8 @@ try {
             quiet = true;
         } else if (a == "--no-shrink") {
             opts.shrinkDivergences = false;
+        } else if (a == "--sched-check") {
+            opts.schedCheck = true;
         } else if (matches("--seed")) {
             opts.seed = cli::parseU64("--seed", flagValue("--seed"));
         } else if (matches("--runs")) {
@@ -149,6 +155,7 @@ try {
 
     opts.cosim.machine = point.machine;
     opts.cosim.predecode = point.predecode;
+    opts.reorg = point.reorg;
 
     if (!quiet)
         std::printf("fuzz: seed %llu, %llu run%s, %u insns/program, "
@@ -177,6 +184,13 @@ try {
                 result.divergences.size(),
                 static_cast<unsigned long long>(result.inconclusive),
                 static_cast<unsigned long long>(result.retires));
+    if (opts.schedCheck)
+        std::printf("fuzz: sched-check: %llu programs, %llu matched, "
+                    "%llu inconclusive\n",
+                    static_cast<unsigned long long>(result.schedChecks),
+                    static_cast<unsigned long long>(result.schedMatches),
+                    static_cast<unsigned long long>(
+                        result.schedInconclusive));
 
     if (!metricsOut.empty()) {
         trace::MetricsRegistry m;

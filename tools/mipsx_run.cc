@@ -13,6 +13,8 @@
  *   --no-reorg          skip the reorganizer (hand-scheduled input)
  *   --scheme S          no-squash | always-squash | squash-optional
  *   --slots N           branch delay slots (1 or 2)
+ *   --scheduler S       heuristic | list | optimal (body scheduling)
+ *   --priority P        critical-path | slack | register-pressure
  *   --profile           steer squashing with a profiling pre-run
  *   --icache-off        disable the on-chip instruction cache
  *   --trace             print every retiring instruction
@@ -73,6 +75,8 @@ struct Options
     bool ffHasPc = false;
     addr_t ffPc = 0;
     reorg::BranchScheme scheme = reorg::BranchScheme::SquashOptional;
+    reorg::SchedulerKind scheduler = reorg::SchedulerKind::Heuristic;
+    reorg::SchedPriority priority = reorg::SchedPriority::CriticalPath;
 };
 
 [[noreturn]] void
@@ -81,6 +85,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--iss] [--no-reorg] [--scheme S] "
                  "[--slots N] [--profile]\n"
+                 "       [--scheduler S] [--priority P]\n"
                  "       [--icache-off] [--trace[=N]] [--trace-out F] "
                  "[--metrics-json F]\n"
                  "       [--disasm] [--max-cycles N] [--fast-forward N]\n"
@@ -152,6 +157,26 @@ parseArgs(int argc, char **argv)
                 o.scheme = reorg::BranchScheme::SquashOptional;
             else
                 usage(argv[0]);
+        } else if (a == "--scheduler") {
+            const auto s = next();
+            if (s == "heuristic")
+                o.scheduler = reorg::SchedulerKind::Heuristic;
+            else if (s == "list")
+                o.scheduler = reorg::SchedulerKind::List;
+            else if (s == "optimal")
+                o.scheduler = reorg::SchedulerKind::Optimal;
+            else
+                usage(argv[0]);
+        } else if (a == "--priority") {
+            const auto s = next();
+            if (s == "critical-path")
+                o.priority = reorg::SchedPriority::CriticalPath;
+            else if (s == "slack")
+                o.priority = reorg::SchedPriority::Slack;
+            else if (s == "register-pressure")
+                o.priority = reorg::SchedPriority::RegPressure;
+            else
+                usage(argv[0]);
         } else if (!a.empty() && a[0] == '-') {
             usage(argv[0]);
         } else if (o.file.empty()) {
@@ -215,15 +240,18 @@ try {
         reorg::ReorgConfig rc;
         rc.scheme = o.scheme;
         rc.slots = o.slots;
+        rc.scheduler = o.scheduler;
+        rc.priority = o.priority;
         if (o.profile) {
             rc.prediction = reorg::Prediction::Profile;
             rc.profile = profileRun(program);
         }
         reorg::ReorgStats st;
         program = reorg::reorganize(program, rc, &st);
-        std::printf("reorganized (%s, %u slots): %llu/%llu slots "
+        std::printf("reorganized (%s, %u slots, %s): %llu/%llu slots "
                     "filled, %llu load hazards fixed\n",
                     reorg::branchSchemeName(o.scheme), o.slots,
+                    reorg::schedulerKindName(o.scheduler),
                     static_cast<unsigned long long>(st.slotsTotal -
                                                     st.slotsNop),
                     static_cast<unsigned long long>(st.slotsTotal),
