@@ -114,6 +114,7 @@ main()
             const std::string key =
                 strformat("%s.%s", sched.name, scheme.name);
             json.setSuite(key, p->stats);
+            json.setEnergy(key + ".energy", p->stats);
             json.set(key + ".slot_fill_ratio", st.slotFillRatio());
             json.set(key + ".static_slots", st.slotsTotal);
             json.set(key + ".static_slot_nops", st.slotsNop);

@@ -476,6 +476,7 @@ fullSuiteReport()
 
     bench::BenchJson json("simulator_speed");
     json.setSuite("suite", a.stats);
+    json.setEnergy("energy", a.stats);
     json.setTiming("baseline", b.timing);
     json.setTiming("uncached", u.timing);
     json.setTiming("optimized", a.timing);
@@ -499,6 +500,7 @@ fullSuiteReport()
     // output and the --metrics-json CLI output one format.
     trace::MetricsRegistry metrics;
     workload::collectMetrics(a.stats, metrics);
+    workload::collectEnergy(a.stats, {}, metrics);
     workload::collectTiming(a.timing, metrics, "timing");
     if (metrics.writeJsonFile("BENCH_simulator_speed_metrics.json"))
         std::printf("wrote BENCH_simulator_speed_metrics.json\n");

@@ -18,6 +18,7 @@
 
 #include "assembler/assembler.hh"
 #include "common/sim_error.hh"
+#include "stats/energy.hh"
 #include "stats/table.hh"
 #include "workload/suite_runner.hh"
 #include "workload/workload.hh"
@@ -119,6 +120,22 @@ class BenchJson
         set(prefix + ".noop_fraction", s.noopFraction());
         set(prefix + ".icache_miss_ratio", s.icacheMissRatio());
         set(prefix + ".ecache_miss_ratio", s.ecacheMissRatio());
+    }
+
+    /** Record the priced energy breakdown under "<prefix>.". */
+    void
+    setEnergy(const std::string &prefix, const SuiteStats &s,
+              const stats::EnergyCosts &costs = {})
+    {
+        const stats::EnergyBreakdown e =
+            stats::computeEnergy(costs, s.energyCounts());
+        set(prefix + ".icache", e.icache);
+        set(prefix + ".ecache", e.ecache);
+        set(prefix + ".memory", e.memory);
+        set(prefix + ".static", e.staticCost);
+        set(prefix + ".total", e.total);
+        set(prefix + ".per_instruction", e.perInstruction(s.committed));
+        set(prefix + ".edp", e.energyDelay(s.cycles));
     }
 
     /** Record host-side throughput under "<prefix>." (phase-split). */

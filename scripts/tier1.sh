@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the default build plus the full test suite, then
-# smoke runs of every CLI tool (trace/metrics export, an explore sweep,
-# a fuzz session, a serve batch + load-generator bench — each checked
-# for worker-count determinism), malformed-flag usage-error checks for
-# all four tools, then the parallel-determinism test again under
+# smoke runs of every CLI tool (trace/metrics export, an explore sweep
+# plus its shard/merge byte-identity, a fuzz session, a serve batch +
+# load-generator bench — each checked for worker-count determinism, and
+# the mipsx-trend exit-code contract), malformed-flag usage-error checks
+# for all five tools, then the parallel-determinism test again under
 # ThreadSanitizer so data races in the suite runner cannot slip through.
 #
 # This script is the single entry point CI calls (.github/workflows),
@@ -65,16 +66,33 @@ header = open(sys.argv[1]).readline().rstrip("\n")
 assert header == "point,icache.missPenalty,icache.fetchWords,metric,value", \
     "bad CSV header: %r" % header
 sweep = json.load(open(sys.argv[2]))
-assert sweep["schema"] == "mipsx-explore-v1"
+assert sweep["schema"] == "mipsx-explore-v2"
 assert [a["param"] for a in sweep["grid"]["axes"]] == \
     ["icache.missPenalty", "icache.fetchWords"]
 assert len(sweep["points"]) == 4
 for p in sweep["points"]:
     assert p["failures"] == []
     assert p["metrics"]["suite.cpi"] > 0
+    assert p["metrics"]["energy.total"] > 0
 print("explore sweep smoke OK: %d points, %d metrics each"
       % (len(sweep["points"]), len(sweep["points"][0]["metrics"])))
 PYEOF
+
+echo "== tier-1: shard/merge byte-identity smoke run =="
+# The same sweep split into two shards and merged back must reproduce
+# the unsharded CSV and JSON byte for byte.
+"$build/tools/mipsx-explore" --quiet --suite fp \
+    --axis icache.missPenalty=2,3 --axis icache.fetchWords=1,2 \
+    --jobs 2 --shard 0/2 --json "$smoke/shard0.json"
+"$build/tools/mipsx-explore" --quiet --suite fp \
+    --axis icache.missPenalty=2,3 --axis icache.fetchWords=1,2 \
+    --jobs 2 --shard 1/2 --json "$smoke/shard1.json"
+"$build/tools/mipsx-explore" --quiet \
+    --merge "$smoke/shard1.json" "$smoke/shard0.json" \
+    --csv "$smoke/merged.csv" --json "$smoke/merged.json"
+cmp "$smoke/sweep1.csv" "$smoke/merged.csv"
+cmp "$smoke/sweep1.json" "$smoke/merged.json"
+echo "shard/merge smoke OK: merged output byte-identical to unsharded"
 
 echo "== tier-1: prepared-cache determinism smoke run =="
 # The same sweep with the prepared-image cache bypassed must emit
@@ -197,7 +215,36 @@ expect_usage "$build/tools/mipsx-fuzz" --runs=12x
 expect_usage "$build/tools/mipsx-fuzz" --seed 99999999999999999999
 expect_usage "$build/tools/mipsx-explore" --jobs -4
 expect_usage "$build/tools/mipsx-serve" --queue 0
-echo "usage-error smoke OK: all four tools exit 2"
+expect_usage "$build/tools/mipsx-trend" "$smoke/metrics.json"
+expect_usage "$build/tools/mipsx-trend" --threshold -1 \
+    "$smoke/metrics.json" "$smoke/metrics.json"
+echo "usage-error smoke OK: all five tools exit 2"
+
+echo "== tier-1: mipsx-trend gate smoke run =="
+# The trend comparator must pass identical runs, fail (exit 1) on a
+# gated regression, and reject malformed input with exit 2.
+"$build/tools/mipsx-trend" --quiet --gate cpu0.pipeline.cycles \
+    --md "$smoke/trend-ok.md" "$smoke/metrics.json" "$smoke/metrics.json"
+grep -q "no gated regression" "$smoke/trend-ok.md"
+python3 - "$smoke/metrics.json" "$smoke/doctored.json" << 'PYEOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+# A baseline that claims fewer cycles makes the current run regress.
+m["cpu0.pipeline.cycles"] = m["cpu0.pipeline.cycles"] // 2
+json.dump(m, open(sys.argv[2], "w"))
+PYEOF
+rc=0
+"$build/tools/mipsx-trend" --quiet --gate cpu0.pipeline.cycles \
+    --md "$smoke/trend-bad.md" "$smoke/doctored.json" \
+    "$smoke/metrics.json" || rc=$?
+[ "$rc" = 1 ] || { echo "expected exit 1 from a gated regression (got $rc)" >&2; exit 1; }
+grep -q "REGRESSED" "$smoke/trend-bad.md"
+echo '{not json' > "$smoke/trend-broken.json"
+rc=0
+"$build/tools/mipsx-trend" --quiet "$smoke/trend-broken.json" \
+    "$smoke/metrics.json" || rc=$?
+[ "$rc" = 2 ] || { echo "expected exit 2 from malformed input (got $rc)" >&2; exit 1; }
+echo "trend smoke OK: exit 0 clean / 1 gated regression / 2 bad input"
 
 echo "== tier-1: mipsx-serve batch smoke run =="
 # A daemon session over a small NDJSON batch must answer every request

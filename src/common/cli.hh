@@ -93,6 +93,31 @@ parseUnsigned(const char *flag, const std::string &value,
     return static_cast<unsigned>(parseU64(flag, value, min, max));
 }
 
+/**
+ * Parse @p value as a finite double at or above @p min. The whole
+ * string must be consumed; junk, infinities, NaN and undershoot raise
+ * UsageError naming @p flag.
+ */
+inline double
+parseDouble(const char *flag, const std::string &value, double min)
+{
+    if (value.empty() ||
+        std::isspace(static_cast<unsigned char>(value[0])))
+        usageError(strformat("%s: want a number, got '%s'", flag,
+                             value.c_str()));
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size() || end == value.c_str() ||
+        errno == ERANGE || v != v || v - v != 0)
+        usageError(strformat("%s: want a number, got '%s'", flag,
+                             value.c_str()));
+    if (v < min)
+        usageError(strformat("%s: value '%s' below the minimum %g",
+                             flag, value.c_str(), min));
+    return v;
+}
+
 /** An address-valued flag: hex (0x...), octal (0...) or decimal. */
 inline std::uint32_t
 parseAddr(const char *flag, const std::string &value)

@@ -37,6 +37,7 @@ CpuConfig::validate() const
 {
     icache.validate();
     ecache.validate();
+    energy.validate();
     if (branchDelay < 1 || branchDelay > 2)
         fatal("Cpu: branchDelay must be 1 or 2");
     if (maxCycles == 0)
@@ -897,6 +898,23 @@ Cpu::step()
         stats_.cycles += missFsm_.drainStalls();
 }
 
+stats::EnergyCounts
+Cpu::energyCounts() const
+{
+    stats::EnergyCounts n;
+    n.cycles = stats_.cycles;
+    n.committed = stats_.committed;
+    n.icacheAccesses = icache_.accesses();
+    n.icacheMisses = icache_.misses();
+    n.icacheRefillWords = icache_.refillWords();
+    n.ecacheAccesses = ecache_.accesses();
+    n.ecacheMisses = ecache_.misses();
+    n.memTrafficCycles = ecache_.memoryTrafficCycles();
+    n.icacheSizeWords = config_.icache.totalWords();
+    n.ecacheSizeWords = config_.ecache.sizeWords;
+    return n;
+}
+
 void
 Cpu::dumpStats(std::ostream &os) const
 {
@@ -948,6 +966,18 @@ Cpu::dumpStats(std::ostream &os) const
     fsm.set("miss_imiss", double(missFsm_.occupancy(MissState::IMiss)));
     fsm.set("miss_emiss", double(missFsm_.occupancy(MissState::EMiss)));
     fsm.dump(os);
+
+    const auto counts = energyCounts();
+    const auto e = stats::computeEnergy(config_.energy, counts);
+    stats::Group en(strformat("cpu%u.energy", config_.cpuId));
+    en.set("icache", e.icache);
+    en.set("ecache", e.ecache);
+    en.set("memory", e.memory);
+    en.set("static", e.staticCost);
+    en.set("total", e.total);
+    en.set("per_instruction", e.perInstruction(counts.committed));
+    en.set("edp", e.energyDelay(counts.cycles));
+    en.dump(os);
 }
 
 void
@@ -981,6 +1011,7 @@ Cpu::collectMetrics(trace::MetricsRegistry &m) const
     m.set(p + "icache.tag_misses", icache_.tagMisses());
     m.set(p + "icache.subblock_misses", icache_.subBlockMisses());
     m.set(p + "icache.stall_cycles", icache_.stallCycles());
+    m.set(p + "icache.refill_words", icache_.refillWords());
     m.set(p + "icache.avg_fetch_cost", icache_.avgFetchCost());
 
     m.set(p + "ecache.accesses", ecache_.accesses());
@@ -990,6 +1021,9 @@ Cpu::collectMetrics(trace::MetricsRegistry &m) const
     m.set(p + "ecache.stall_cycles", ecache_.stallCycles());
     m.set(p + "ecache.memory_traffic_cycles",
           ecache_.memoryTrafficCycles());
+
+    stats::collectEnergy(config_.energy, energyCounts(), m,
+                         p + "energy");
 
     m.set(p + "fsm.squash_run",
           squashFsm_.occupancy(SquashState::Run));

@@ -42,6 +42,7 @@
 #include "memory/ecache.hh"
 #include "memory/icache.hh"
 #include "memory/main_memory.hh"
+#include "stats/energy.hh"
 #include "trace/trace.hh"
 
 namespace mipsx::trace
@@ -57,6 +58,14 @@ struct CpuConfig
 {
     memory::ICacheConfig icache{};
     memory::ECacheConfig ecache{};
+
+    /**
+     * Per-event cost table for the first-order energy model; priced
+     * against the cache counters after a run (stats/energy.hh) and
+     * exported as the "energy.*" metrics keys. Purely derived — no
+     * timing behaviour depends on it.
+     */
+    stats::EnergyCosts energy{};
 
     /**
      * Architectural branch delay: 2 for the real machine, 1 for the
@@ -274,6 +283,9 @@ class Cpu
     memory::ICache &icache() { return icache_; }
     const memory::ECache &ecache() const { return ecache_; }
     memory::ECache &ecache() { return ecache_; }
+
+    /** The event counts the energy model prices (stats/energy.hh). */
+    stats::EnergyCounts energyCounts() const;
     const SquashFsm &squashFsm() const { return squashFsm_; }
     const CacheMissFsm &missFsm() const { return missFsm_; }
     const PipelineStats &stats() const { return stats_; }

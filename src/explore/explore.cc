@@ -1,8 +1,12 @@
 #include "explore/explore.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "common/sim_error.hh"
@@ -65,17 +69,57 @@ suiteByName(const std::string &name)
                     name.c_str()));
 }
 
+namespace
+{
+
+/**
+ * Evaluate one point: base bindings, then the point's, then the suite,
+ * then the metrics snapshot ("suite.*" counts/ratios plus the priced
+ * "energy.*" breakdown — the cost table itself is sweepable, so it is
+ * read *after* the bindings applied it).
+ */
+SweepPointResult
+runPoint(const SweepConfig &config,
+         const std::vector<workload::Workload> &suite,
+         const GridPoint &point, std::size_t index, bool refined)
+{
+    workload::SuiteRunOptions opts = config.runner;
+    for (const auto &[param, value] : config.base)
+        applyParam(opts, param, value);
+    applyPoint(opts, point);
+
+    auto sr = workload::runSuite(suite, opts);
+    SweepPointResult pr;
+    pr.index = index;
+    pr.refined = refined;
+    pr.point = point;
+    pr.stats = sr.stats;
+    pr.failures = std::move(sr.failures);
+    workload::collectMetrics(pr.stats, pr.metrics, "suite");
+    workload::collectEnergy(pr.stats, opts.machine.cpu.energy,
+                            pr.metrics, "energy");
+    return pr;
+}
+
+} // namespace
+
 SweepResult
 runSweep(const SweepConfig &config,
          const std::vector<workload::Workload> &suite,
          const PointCallback &progress)
 {
     config.grid.validate();
+    if (config.shardCount < 1)
+        fatal("explore: shard count must be at least 1");
+    if (config.shardIndex >= config.shardCount)
+        fatal(strformat("explore: shard index %u out of range for %u "
+                        "shard(s)",
+                        config.shardIndex, config.shardCount));
     const auto points = expandGrid(config.grid);
 
     // Validate every point's bindings (and the base bindings) before
-    // simulating anything: a typo in value 7 of axis 3 must not cost a
-    // partial sweep.
+    // running anything — including the points other shards own, so a
+    // typo fails every shard of a split sweep identically and up front.
     for (const auto &pt : points) {
         workload::SuiteRunOptions probe = config.runner;
         for (const auto &[param, value] : config.base)
@@ -88,20 +132,13 @@ runSweep(const SweepConfig &config,
     res.suite = config.suite;
     res.base = config.base;
     res.workloads = static_cast<unsigned>(suite.size());
-    res.points.reserve(points.size());
+    res.shardIndex = config.shardIndex;
+    res.shardCount = config.shardCount;
 
     for (std::size_t i = 0; i < points.size(); ++i) {
-        workload::SuiteRunOptions opts = config.runner;
-        for (const auto &[param, value] : config.base)
-            applyParam(opts, param, value);
-        applyPoint(opts, points[i]);
-
-        auto sr = workload::runSuite(suite, opts);
-        SweepPointResult pr;
-        pr.point = points[i];
-        pr.stats = sr.stats;
-        pr.failures = std::move(sr.failures);
-        workload::collectMetrics(pr.stats, pr.metrics, "suite");
+        if (i % config.shardCount != config.shardIndex)
+            continue;
+        auto pr = runPoint(config, suite, points[i], i, false);
         if (progress)
             progress(i, points.size(), pr);
         res.points.push_back(std::move(pr));
@@ -113,6 +150,197 @@ SweepResult
 runSweep(const SweepConfig &config, const PointCallback &progress)
 {
     return runSweep(config, suiteByName(config.suite), progress);
+}
+
+void
+annotatePareto(SweepResult &r, const MetricObjective &x,
+               const MetricObjective &y)
+{
+    if (r.points.empty())
+        fatal("pareto: the sweep has no points");
+    std::vector<ParetoPoint> pts;
+    for (const auto &p : r.points) {
+        // A point with failed workloads aggregates a different suite
+        // than its neighbours; comparing it on the frontier would be
+        // apples to oranges.
+        if (p.stats.failures || !p.failures.empty())
+            continue;
+        for (const auto *o : {&x, &y}) {
+            if (!p.metrics.has(o->metric))
+                fatal(strformat("pareto: metric '%s' missing from sweep "
+                                "point %zu",
+                                o->metric.c_str(), p.index));
+        }
+        pts.push_back(
+            {p.index, p.metrics.get(x.metric), p.metrics.get(y.metric)});
+    }
+    if (pts.empty())
+        fatal("pareto: every sweep point failed");
+    const auto front = paretoFrontier(std::move(pts), x.minimize,
+                                      y.minimize);
+    r.pareto.present = true;
+    r.pareto.x = x;
+    r.pareto.y = y;
+    r.pareto.frontier.clear();
+    for (const auto &f : front)
+        r.pareto.frontier.push_back(f.index);
+    r.pareto.knee = front[kneePosition(front)].index;
+}
+
+namespace
+{
+
+/** Parse a full base-10 unsigned integer; false on anything else. */
+bool
+parseUint(const std::string &s, unsigned long long &out)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return errno == 0 && *end == '\0';
+}
+
+/** Canonical identity of a point's bindings (the evaluated-set key). */
+std::string
+bindingKey(const GridPoint &pt)
+{
+    std::string k;
+    for (const auto &[param, value] : pt.bindings) {
+        k += param;
+        k += '=';
+        k += value;
+        k += ';';
+    }
+    return k;
+}
+
+/** Largest power of two at or below @p x (x must be nonzero). */
+unsigned long long
+floorPow2(unsigned long long x)
+{
+    while (x & (x - 1))
+        x &= x - 1;
+    return x;
+}
+
+} // namespace
+
+SweepResult
+runAdaptiveSweep(const SweepConfig &config,
+                 const std::vector<workload::Workload> &suite,
+                 const AdaptiveOptions &adaptive,
+                 const PointCallback &progress)
+{
+    if (config.shardCount > 1)
+        fatal("explore: adaptive refinement cannot be sharded (run the "
+              "coarse sweep sharded, merge, then refine — or refine "
+              "unsharded)");
+
+    SweepResult res = runSweep(config, suite, progress);
+
+    std::set<std::string> seen;
+    for (const auto &p : res.points)
+        seen.insert(bindingKey(p.point));
+
+    const auto tryApply = [&](const GridPoint &pt) {
+        try {
+            workload::SuiteRunOptions probe = config.runner;
+            for (const auto &[param, value] : config.base)
+                applyParam(probe, param, value);
+            applyPoint(probe, pt);
+            return true;
+        } catch (const SimError &) {
+            return false;
+        }
+    };
+
+    while (res.points.size() < adaptive.pointBudget) {
+        annotatePareto(res, adaptive.x, adaptive.y);
+        const SweepPointResult *knee = nullptr;
+        for (const auto &p : res.points) {
+            if (p.index == res.pareto.knee) {
+                knee = &p;
+                break;
+            }
+        }
+
+        // Propose midpoints between the knee's value and its nearest
+        // evaluated neighbours, one bracket per numeric axis. Axis
+        // order and the lower-bracket-first rule fix the proposal
+        // order, so the search is reproducible.
+        std::vector<GridPoint> cands;
+        for (const auto &axis : res.grid.axes) {
+            const std::string *bound = knee->point.valueOf(axis.param);
+            unsigned long long v = 0;
+            if (!bound || !parseUint(*bound, v))
+                continue; // non-numeric axis: nothing to bisect
+
+            std::set<unsigned long long> values;
+            for (const auto &p : res.points) {
+                const std::string *s = p.point.valueOf(axis.param);
+                unsigned long long u = 0;
+                if (s && parseUint(*s, u))
+                    values.insert(u);
+            }
+
+            const auto propose = [&](unsigned long long lo,
+                                     unsigned long long hi) {
+                const unsigned long long mid = lo + (hi - lo) / 2;
+                // The raw midpoint first, then its power-of-two
+                // neighbours for the geometry parameters that reject
+                // everything else.
+                for (unsigned long long cand :
+                     {mid, mid ? floorPow2(mid) : 0ull,
+                      mid ? floorPow2(mid) << 1 : 0ull}) {
+                    if (cand <= lo || cand >= hi)
+                        continue;
+                    GridPoint pt = knee->point;
+                    for (auto &[param, value] : pt.bindings)
+                        if (param == axis.param)
+                            value = std::to_string(cand);
+                    if (seen.count(bindingKey(pt)) || !tryApply(pt))
+                        continue;
+                    seen.insert(bindingKey(pt));
+                    cands.push_back(std::move(pt));
+                    return;
+                }
+            };
+
+            const auto it = values.find(v);
+            if (it != values.end()) {
+                if (it != values.begin())
+                    propose(*std::prev(it), v);
+                if (std::next(it) != values.end())
+                    propose(v, *std::next(it));
+            }
+        }
+        if (cands.empty())
+            break;
+
+        for (const auto &pt : cands) {
+            if (res.points.size() >= adaptive.pointBudget)
+                break;
+            auto pr = runPoint(config, suite, pt, res.points.size(),
+                               true);
+            if (progress)
+                progress(pr.index, adaptive.pointBudget, pr);
+            res.points.push_back(std::move(pr));
+        }
+    }
+
+    annotatePareto(res, adaptive.x, adaptive.y);
+    return res;
+}
+
+SweepResult
+runAdaptiveSweep(const SweepConfig &config, const AdaptiveOptions &adaptive,
+                 const PointCallback &progress)
+{
+    return runAdaptiveSweep(config, suiteByName(config.suite), adaptive,
+                            progress);
 }
 
 namespace
@@ -160,9 +388,8 @@ writeCsv(std::ostream &os, const SweepResult &r)
     for (const auto &a : r.grid.axes)
         os << ',' << csvCell(a.param);
     os << ",metric,value\n";
-    for (std::size_t i = 0; i < r.points.size(); ++i) {
-        const auto &p = r.points[i];
-        std::string prefix = std::to_string(i);
+    for (const auto &p : r.points) {
+        std::string prefix = std::to_string(p.index);
         for (const auto &[param, value] : p.point.bindings) {
             prefix += ',';
             prefix += csvCell(value);
@@ -176,7 +403,7 @@ void
 writeJson(std::ostream &os, const SweepResult &r)
 {
     os << "{\n";
-    os << "  \"schema\": \"mipsx-explore-v1\",\n";
+    os << "  \"schema\": \"mipsx-explore-v2\",\n";
     os << "  \"suite\": \"" << jsonEscape(r.suite) << "\",\n";
     os << "  \"workloads\": " << r.workloads << ",\n";
     os << "  \"base\": {";
@@ -196,10 +423,28 @@ writeJson(std::ostream &os, const SweepResult &r)
         os << "]}";
     }
     os << "]},\n";
+    // The shard section appears only in a split run's output, so an
+    // unsharded sweep and a merged one stay byte-identical.
+    if (r.shardCount > 1) {
+        os << "  \"shard\": {\"index\": " << r.shardIndex
+           << ", \"count\": " << r.shardCount << "},\n";
+    }
+    if (r.pareto.present) {
+        const auto obj = [](const MetricObjective &o) {
+            return jsonEscape(o.metric) + (o.minimize ? ":min" : ":max");
+        };
+        os << "  \"pareto\": {\"x\": \"" << obj(r.pareto.x)
+           << "\", \"y\": \"" << obj(r.pareto.y)
+           << "\",\n             \"frontier\": [";
+        for (std::size_t i = 0; i < r.pareto.frontier.size(); ++i)
+            os << (i ? ", " : "") << r.pareto.frontier[i];
+        os << "], \"knee\": " << r.pareto.knee << "},\n";
+    }
     os << "  \"points\": [\n";
     for (std::size_t i = 0; i < r.points.size(); ++i) {
         const auto &p = r.points[i];
-        os << "    {\"bindings\": {";
+        os << "    {\"point\": " << p.index << ", \"refined\": "
+           << (p.refined ? "true" : "false") << ",\n     \"bindings\": {";
         for (std::size_t b = 0; b < p.point.bindings.size(); ++b) {
             const auto &[param, value] = p.point.bindings[b];
             os << (b ? ", " : "") << '"' << jsonEscape(param)
@@ -303,6 +548,193 @@ sweepFromJsonFile(const std::string &path)
     std::stringstream ss;
     ss << f.rdbuf();
     return sweepFromJson(ss.str());
+}
+
+namespace
+{
+
+/**
+ * Reload one metric from its JSON lexeme, preserving the writer's
+ * encoding: an all-digit lexeme was an integer metric (or a real that
+ * %.17g printed integrally — re-printing the integer gives the same
+ * bytes either way), anything else re-parses to the exact double the
+ * %.17g round-trip guarantees.
+ */
+void
+setMetricFromLexeme(trace::MetricsRegistry &m, const std::string &name,
+                    const std::string &lex)
+{
+    if (!lex.empty() &&
+        lex.find_first_not_of("0123456789") == std::string::npos) {
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(lex.c_str(), &end, 10);
+        if (errno == 0 && *end == '\0') {
+            m.set(name, static_cast<std::uint64_t>(v));
+            return;
+        }
+    }
+    m.set(name, std::strtod(lex.c_str(), nullptr));
+}
+
+const Json &
+member(const Json &obj, const char *key, const char *what)
+{
+    const Json *j = obj.find(key);
+    if (!j)
+        fatal(strformat("sweep result: %s is missing \"%s\"", what, key));
+    return *j;
+}
+
+} // namespace
+
+SweepResult
+sweepResultFromJson(const std::string &text)
+{
+    const Json doc = Json::parse(text);
+    if (!doc.isObject())
+        fatal("sweep result: the document must be a JSON object");
+    const std::string &schema =
+        member(doc, "schema", "the document").str();
+    if (schema != "mipsx-explore-v2")
+        fatal(strformat("sweep result: unsupported schema \"%s\" (this "
+                        "reader understands mipsx-explore-v2)",
+                        schema.c_str()));
+
+    SweepResult r;
+    r.suite = member(doc, "suite", "the document").str();
+    r.workloads = static_cast<unsigned>(
+        member(doc, "workloads", "the document").number());
+    for (const auto &[param, v] :
+         member(doc, "base", "the document").object())
+        r.base.emplace_back(param, v.str());
+    for (const auto &a :
+         member(member(doc, "grid", "the document"), "axes", "the grid")
+             .array()) {
+        GridAxis axis;
+        axis.param = member(a, "param", "a grid axis").str();
+        for (const auto &v : member(a, "values", "a grid axis").array())
+            axis.values.push_back(v.str());
+        r.grid.axes.push_back(std::move(axis));
+    }
+    if (const Json *shard = doc.find("shard")) {
+        r.shardIndex = static_cast<unsigned>(
+            member(*shard, "index", "the shard section").number());
+        r.shardCount = static_cast<unsigned>(
+            member(*shard, "count", "the shard section").number());
+        if (r.shardCount < 1 || r.shardIndex >= r.shardCount)
+            fatal(strformat("sweep result: bad shard %u/%u",
+                            r.shardIndex, r.shardCount));
+    }
+    if (const Json *pareto = doc.find("pareto")) {
+        r.pareto.present = true;
+        r.pareto.x = parseObjective(
+            member(*pareto, "x", "the pareto section").str());
+        r.pareto.y = parseObjective(
+            member(*pareto, "y", "the pareto section").str());
+        for (const auto &i :
+             member(*pareto, "frontier", "the pareto section").array())
+            r.pareto.frontier.push_back(
+                static_cast<std::size_t>(i.number()));
+        r.pareto.knee = static_cast<std::size_t>(
+            member(*pareto, "knee", "the pareto section").number());
+    }
+    for (const auto &p : member(doc, "points", "the document").array()) {
+        SweepPointResult pr;
+        pr.index = static_cast<std::size_t>(
+            member(p, "point", "a point").number());
+        pr.refined = member(p, "refined", "a point").boolean();
+        for (const auto &[param, v] :
+             member(p, "bindings", "a point").object())
+            pr.point.bindings.emplace_back(param, v.str());
+        for (const auto &f : member(p, "failures", "a point").array()) {
+            workload::SuiteFailure fail;
+            fail.name = f.str();
+            pr.failures.push_back(std::move(fail));
+        }
+        // The JSON carries names only; keep totalFailures() honest.
+        pr.stats.failures = static_cast<unsigned>(pr.failures.size());
+        for (const auto &[name, v] :
+             member(p, "metrics", "a point").object())
+            setMetricFromLexeme(pr.metrics, name, v.scalarString());
+        r.points.push_back(std::move(pr));
+    }
+    return r;
+}
+
+SweepResult
+sweepResultFromJsonFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(strformat("cannot open sweep result '%s'", path.c_str()));
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return sweepResultFromJson(ss.str());
+}
+
+SweepResult
+mergeShards(std::vector<SweepResult> shards)
+{
+    if (shards.empty())
+        fatal("merge: no shard outputs given");
+    const unsigned n = shards.front().shardCount;
+    if (shards.size() != n)
+        fatal(strformat("merge: got %zu shard output(s) for a %u-way "
+                        "split",
+                        shards.size(), n));
+
+    std::vector<char> have(n, 0);
+    const SweepResult &ref = shards.front();
+    for (const auto &s : shards) {
+        if (s.shardCount != n)
+            fatal(strformat("merge: mixed shard counts (%u vs %u)",
+                            s.shardCount, n));
+        if (have[s.shardIndex]++)
+            fatal(strformat("merge: shard %u appears twice",
+                            s.shardIndex));
+        if (s.suite != ref.suite || s.workloads != ref.workloads ||
+            s.base != ref.base)
+            fatal("merge: shard outputs disagree on suite, workload "
+                  "count or base bindings — not one sweep's shards");
+        if (s.grid.axes.size() != ref.grid.axes.size())
+            fatal("merge: shard outputs disagree on the grid");
+        for (std::size_t a = 0; a < s.grid.axes.size(); ++a) {
+            if (s.grid.axes[a].param != ref.grid.axes[a].param ||
+                s.grid.axes[a].values != ref.grid.axes[a].values)
+                fatal("merge: shard outputs disagree on the grid");
+        }
+    }
+
+    SweepResult out;
+    out.grid = ref.grid;
+    out.suite = ref.suite;
+    out.base = ref.base;
+    out.workloads = ref.workloads;
+    for (auto &s : shards) {
+        for (auto &p : s.points) {
+            if (p.index % n != s.shardIndex)
+                fatal(strformat("merge: point %zu does not belong to "
+                                "shard %u of %u",
+                                p.index, s.shardIndex, n));
+            out.points.push_back(std::move(p));
+        }
+    }
+    const std::size_t total = out.grid.points();
+    if (out.points.size() != total)
+        fatal(strformat("merge: %zu point(s) for a %zu-point grid — a "
+                        "shard output is truncated",
+                        out.points.size(), total));
+    std::sort(out.points.begin(), out.points.end(),
+              [](const SweepPointResult &a, const SweepPointResult &b) {
+                  return a.index < b.index;
+              });
+    for (std::size_t i = 0; i < out.points.size(); ++i) {
+        if (out.points[i].index != i)
+            fatal(strformat("merge: duplicate or missing point index "
+                            "%zu", i));
+    }
+    return out;
 }
 
 } // namespace mipsx::explore

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "explore/grid.hh"
+#include "explore/pareto.hh"
 #include "trace/metrics.hh"
 #include "workload/suite_runner.hh"
 #include "workload/workload.hh"
@@ -46,16 +47,41 @@ struct SweepConfig
     std::vector<std::pair<std::string, std::string>> base;
     /** Runner options under the bindings (jobs, predecode, ...). */
     workload::SuiteRunOptions runner{};
+    /**
+     * Shard selection: run only the grid points whose global index is
+     * congruent to shardIndex modulo shardCount. Every shard still
+     * validates the whole grid, and each point keeps its global index,
+     * so mergeShards() over all N shard outputs reproduces the
+     * unsharded sweep byte for byte.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
 };
 
 /** One grid point's run: its bindings and the suite aggregate. */
 struct SweepPointResult
 {
+    /** Global point index: grid expansion order, refinements after. */
+    std::size_t index = 0;
+    /** True when adaptive refinement added this point (not the grid). */
+    bool refined = false;
     GridPoint point;
     workload::SuiteStats stats;
     /** The "suite.*" snapshot of @ref stats (counts plus ratios). */
     trace::MetricsRegistry metrics;
     std::vector<workload::SuiteFailure> failures;
+};
+
+/**
+ * A Pareto-frontier annotation over a sweep's points (absent until
+ * annotatePareto() runs). Indices are global point indices.
+ */
+struct ParetoAnnotation
+{
+    bool present = false;
+    MetricObjective x, y;
+    std::vector<std::size_t> frontier; ///< ascending x, then y, then index
+    std::size_t knee = 0;              ///< global index of the knee point
 };
 
 /** A completed sweep. */
@@ -65,7 +91,10 @@ struct SweepResult
     std::string suite;
     std::vector<std::pair<std::string, std::string>> base;
     unsigned workloads = 0; ///< workloads run per point
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1; ///< 1 for an unsharded (or merged) sweep
     std::vector<SweepPointResult> points;
+    ParetoAnnotation pareto;
 
     unsigned totalFailures() const;
 
@@ -101,6 +130,47 @@ SweepResult runSweep(const SweepConfig &config,
 SweepResult runSweep(const SweepConfig &config,
                      const PointCallback &progress = {});
 
+/** Knobs for the adaptive (knee-refining) search. */
+struct AdaptiveOptions
+{
+    /** Objectives the frontier is extracted over. */
+    MetricObjective x{"suite.cycles", true};
+    MetricObjective y{"energy.total", true};
+    /**
+     * Total point budget, coarse grid included. A budget at or below
+     * the grid size degenerates to a plain sweep.
+     */
+    std::size_t pointBudget = 0;
+};
+
+/**
+ * Coarse-grid sweep followed by knee refinement: extract the Pareto
+ * frontier over the two objectives, locate its knee, and bisect the
+ * knee's numeric axes against their nearest evaluated neighbours until
+ * the point budget is spent or no new candidate exists. Candidates are
+ * proposed and evaluated in a fixed order derived only from the
+ * deterministic metrics, so the result is identical for every worker
+ * count. The returned sweep carries the final Pareto annotation.
+ * Incompatible with sharding (throws SimError when shardCount > 1).
+ */
+SweepResult runAdaptiveSweep(const SweepConfig &config,
+                             const std::vector<workload::Workload> &suite,
+                             const AdaptiveOptions &adaptive,
+                             const PointCallback &progress = {});
+SweepResult runAdaptiveSweep(const SweepConfig &config,
+                             const AdaptiveOptions &adaptive,
+                             const PointCallback &progress = {});
+
+/**
+ * Annotate @p r with the Pareto frontier and knee over two metric
+ * objectives. Points with failures are excluded from the frontier (a
+ * partial aggregate is not a design point). Throws SimError when the
+ * sweep is empty, when every point failed, or when a surviving point
+ * lacks one of the metrics.
+ */
+void annotatePareto(SweepResult &r, const MetricObjective &x,
+                    const MetricObjective &y);
+
 /**
  * Long-form CSV: header "point,<axis params...>,metric,value", one row
  * per point x metric. Cells are quoted only when they need it.
@@ -133,6 +203,28 @@ bool writeJsonFile(const std::string &path, const SweepResult &r);
 SweepConfig sweepFromJson(const std::string &text);
 /** sweepFromJson over a file's contents; throws SimError on IO. */
 SweepConfig sweepFromJsonFile(const std::string &path);
+
+/**
+ * Parse a writeJson() document (schema "mipsx-explore-v2") back into a
+ * SweepResult. Metric values round-trip exactly: integer lexemes
+ * reload as integers, reals re-parse to the identical double (%.17g is
+ * a lossless encoding), so re-emitting the parsed result reproduces
+ * the input byte for byte. Only what the JSON carries is restored —
+ * per-point SuiteStats are not (the failure *count* is).
+ */
+SweepResult sweepResultFromJson(const std::string &text);
+/** sweepResultFromJson over a file's contents; throws SimError on IO. */
+SweepResult sweepResultFromJsonFile(const std::string &path);
+
+/**
+ * Merge the outputs of a sharded sweep back into the unsharded result.
+ * Expects exactly one shard output for each index 0..N-1 of a common
+ * shard count N (any input order), with identical grid, suite, base
+ * and workload count; throws SimError otherwise. The merged result has
+ * shardCount 1 and its points in global index order, so writing it
+ * produces byte-identical CSV/JSON to a run without --shard.
+ */
+SweepResult mergeShards(std::vector<SweepResult> shards);
 
 } // namespace mipsx::explore
 

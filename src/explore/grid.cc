@@ -1,5 +1,6 @@
 #include "explore/grid.hh"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/bitfield.hh"
@@ -37,6 +38,21 @@ parsePow2(const std::string &param, const std::string &value)
     const unsigned v = parseU(param, value);
     if (!isPowerOf2(v))
         badValue(param, value, "a non-zero power of two");
+    return v;
+}
+
+double
+parseCost(const std::string &param, const std::string &value)
+{
+    if (value.empty())
+        badValue(param, value, "a non-negative number");
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    // Reject trailing junk, NaN/inf spellings and negative costs: the
+    // energy model prices events, and a negative or non-finite price
+    // would silently corrupt every derived energy metric.
+    if (*end != '\0' || !std::isfinite(v) || v < 0)
+        badValue(param, value, "a non-negative number");
     return v;
 }
 
@@ -282,6 +298,64 @@ const Param paramTable[] = {
      [](workload::SuiteRunOptions &o, const std::string &p,
         const std::string &v) {
          o.reorg.optimalMaxNodes = parseU(p, v);
+     }},
+    {{"energy.icacheRead", "non-negative number",
+      "energy cost of one instruction-cache access (model unit)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.icacheRead = parseCost(p, v);
+     }},
+    {{"energy.icacheReadPerKword", "non-negative number",
+      "capacity scaling of the icache read cost: extra energy per "
+      "access per 1024 words of array"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.icacheReadPerKword = parseCost(p, v);
+     }},
+    {{"energy.icacheMiss", "non-negative number",
+      "per-miss overhead energy in the instruction cache"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.icacheMiss = parseCost(p, v);
+     }},
+    {{"energy.icacheRefillWord", "non-negative number",
+      "energy per word written into the array on a refill (the double "
+      "fetch writes two)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.icacheRefillWord = parseCost(p, v);
+     }},
+    {{"energy.ecacheRead", "non-negative number",
+      "energy cost of one external-cache access"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.ecacheRead = parseCost(p, v);
+     }},
+    {{"energy.ecacheReadPerKword", "non-negative number",
+      "capacity scaling of the ecache read cost: extra energy per "
+      "access per 1024 words of array"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.ecacheReadPerKword = parseCost(p, v);
+     }},
+    {{"energy.ecacheMiss", "non-negative number",
+      "per-miss overhead energy in the external cache"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.ecacheMiss = parseCost(p, v);
+     }},
+    {{"energy.memCycle", "non-negative number",
+      "energy per cycle of main-memory bus traffic (refills, "
+      "write-throughs, copy-backs)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.memCycle = parseCost(p, v);
+     }},
+    {{"energy.cycleStatic", "non-negative number",
+      "static (leakage/clock) energy per machine cycle"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.cpu.energy.cycleStatic = parseCost(p, v);
      }},
     {{"coproc.nonCachedFetch", "boolean",
       "the rejected coprocessor interface: coprocessor instructions "

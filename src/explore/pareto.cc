@@ -1,0 +1,125 @@
+#include "explore/pareto.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/sim_error.hh"
+
+namespace mipsx::explore
+{
+
+MetricObjective
+parseObjective(const std::string &spec)
+{
+    MetricObjective o;
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+        o.metric = spec;
+    } else {
+        o.metric = spec.substr(0, colon);
+        const std::string dir = spec.substr(colon + 1);
+        if (dir == "min")
+            o.minimize = true;
+        else if (dir == "max")
+            o.minimize = false;
+        else
+            fatal(strformat("pareto: bad direction '%s' in '%s' (want "
+                            "min or max)",
+                            dir.c_str(), spec.c_str()));
+    }
+    if (o.metric.empty())
+        fatal(strformat("pareto: empty metric name in '%s'",
+                        spec.c_str()));
+    return o;
+}
+
+namespace
+{
+
+/** a dominates b under minimisation of both coordinates. */
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+} // namespace
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> pts, bool minX, bool minY)
+{
+    // Canonicalise to minimise-both, filter, then map back: one
+    // domination rule instead of four.
+    for (auto &p : pts) {
+        if (!minX)
+            p.x = -p.x;
+        if (!minY)
+            p.y = -p.y;
+    }
+    std::vector<ParetoPoint> front;
+    for (const auto &cand : pts) {
+        bool dominated = false;
+        for (const auto &other : pts) {
+            if (dominates(other, cand)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(cand);
+    }
+    for (auto &p : front) {
+        if (!minX)
+            p.x = -p.x;
+        if (!minY)
+            p.y = -p.y;
+    }
+    std::sort(front.begin(), front.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  if (a.x != b.x)
+                      return a.x < b.x;
+                  if (a.y != b.y)
+                      return a.y < b.y;
+                  return a.index < b.index;
+              });
+    return front;
+}
+
+std::size_t
+kneePosition(const std::vector<ParetoPoint> &frontier)
+{
+    if (frontier.empty())
+        fatal("pareto: knee of an empty frontier");
+    if (frontier.size() < 3)
+        return 0;
+
+    // Normalise to the frontier's bounding box so the two metrics'
+    // scales cannot drown each other, then take the point farthest from
+    // the endpoint chord (the classic max-distance knee).
+    const auto &a = frontier.front();
+    const auto &b = frontier.back();
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    const double sx = dx != 0 ? dx : 1.0;
+    const double sy = dy != 0 ? dy : 1.0;
+
+    std::size_t best = 0;
+    double bestDist = -1.0;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const double nx = (frontier[i].x - a.x) / sx;
+        const double ny = (frontier[i].y - a.y) / sy;
+        // Distance to the normalised chord (0,0)-(1,1) when both axes
+        // span; degenerate chords fall back to distance from the
+        // origin point.
+        const double dist = (dx != 0 && dy != 0)
+            ? std::fabs(nx - ny) / std::sqrt(2.0)
+            : std::hypot(nx, ny);
+        if (dist > bestDist + 1e-12) {
+            bestDist = dist;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace mipsx::explore

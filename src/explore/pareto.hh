@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pareto-frontier extraction and knee detection over sweep results.
+ *
+ * The paper's method is reading tradeoffs off design-point sweeps; once
+ * a sweep reports more than one cost (cycles *and* energy), the
+ * interesting points are the non-dominated ones and, of those, the knee
+ * — the point where trading more of one metric stops buying much of the
+ * other. Everything here is a pure function of the sweep's metric
+ * values: no randomness, no host state, so annotated outputs stay
+ * bit-identical across worker counts, shards and reruns.
+ */
+
+#ifndef MIPSX_EXPLORE_PARETO_HH
+#define MIPSX_EXPLORE_PARETO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mipsx::explore
+{
+
+/** One optimisation objective: a metric name and a direction. */
+struct MetricObjective
+{
+    std::string metric;
+    bool minimize = true;
+};
+
+/**
+ * Parse "metric", "metric:min" or "metric:max" (the --pareto CLI
+ * forms); throws SimError on an empty name or unknown suffix.
+ */
+MetricObjective parseObjective(const std::string &spec);
+
+/** One candidate design point: its index and objective values. */
+struct ParetoPoint
+{
+    std::size_t index = 0; ///< caller's point index (sweep order)
+    double x = 0;
+    double y = 0;
+};
+
+/**
+ * The non-dominated subset of @p pts under (minX, minY) directions.
+ *
+ * Domination is the standard weak form: a point is dominated when
+ * another point is at least as good in both objectives and strictly
+ * better in one. Exact ties (equal x *and* y) dominate nothing and
+ * are all kept — distinct configurations with identical costs are
+ * equally interesting to a designer.
+ *
+ * The frontier is returned sorted by ascending x, ties by ascending y,
+ * then by ascending index — a deterministic order regardless of the
+ * input's.
+ */
+std::vector<ParetoPoint> paretoFrontier(std::vector<ParetoPoint> pts,
+                                        bool minX, bool minY);
+
+/**
+ * The knee of a frontier (as returned by paretoFrontier): the point
+ * with the greatest perpendicular distance to the chord between the
+ * frontier's endpoints, in endpoint-normalised coordinates. Ties (and
+ * frontiers of fewer than three points) resolve to the lowest position;
+ * returns the *position within @p frontier*, not a point index.
+ * Throws SimError when the frontier is empty.
+ */
+std::size_t kneePosition(const std::vector<ParetoPoint> &frontier);
+
+} // namespace mipsx::explore
+
+#endif // MIPSX_EXPLORE_PARETO_HH

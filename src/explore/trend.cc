@@ -1,0 +1,329 @@
+#include "explore/trend.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "explore/json.hh"
+
+namespace mipsx::explore
+{
+
+const double *
+FlatMetrics::find(const std::string &key) const
+{
+    for (const auto &[k, v] : entries)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+FlatMetrics
+flatMetricsFromJson(const std::string &name, const std::string &text)
+{
+    const Json doc = Json::parse(text);
+    if (!doc.isObject())
+        fatal(strformat("trend: %s is not a flat JSON object",
+                        name.c_str()));
+    FlatMetrics fm;
+    fm.name = name;
+    for (const auto &[key, value] : doc.object()) {
+        switch (value.kind()) {
+        case Json::Kind::Number:
+            fm.entries.emplace_back(key, value.number());
+            break;
+        case Json::Kind::Bool:
+            fm.entries.emplace_back(key, value.boolean() ? 1.0 : 0.0);
+            break;
+        default:
+            break; // string annotations and the like: not metrics
+        }
+    }
+    return fm;
+}
+
+FlatMetrics
+flatMetricsFromJsonFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(strformat("trend: cannot open '%s'", path.c_str()));
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const auto slash = path.find_last_of('/');
+    return flatMetricsFromJson(
+        slash == std::string::npos ? path : path.substr(slash + 1),
+        ss.str());
+}
+
+bool
+higherIsBetter(const std::string &key)
+{
+    // Throughput-style names win; everything else (cycles, seconds,
+    // ratios, fractions, energy, misses) is a cost.
+    static const char *const patterns[] = {
+        "per_second", "per_sec",   "per_host_second", "speedup",
+        "throughput", "fill_rate", "instr_per",
+    };
+    for (const char *p : patterns)
+        if (key.find(p) != std::string::npos)
+            return true;
+    return false;
+}
+
+const char *
+trendStatusName(TrendStatus s)
+{
+    switch (s) {
+    case TrendStatus::Ok:
+        return "ok";
+    case TrendStatus::Improved:
+        return "improved";
+    case TrendStatus::Regressed:
+        return "REGRESSED";
+    }
+    return "?";
+}
+
+bool
+TrendReport::regressed() const
+{
+    if (!missingGates.empty())
+        return true;
+    for (const auto &row : rows)
+        if (row.gated && row.status == TrendStatus::Regressed)
+            return true;
+    return false;
+}
+
+TrendReport
+trendCompare(const std::vector<FlatMetrics> &runs,
+             const TrendOptions &opts)
+{
+    if (runs.size() < 2)
+        fatal("trend: need at least two files (baseline and current)");
+    if (!(opts.thresholdPct >= 0) || !std::isfinite(opts.thresholdPct))
+        fatal(strformat("trend: threshold must be a finite non-negative "
+                        "percentage (got %g)",
+                        opts.thresholdPct));
+
+    TrendReport rep;
+    rep.thresholdPct = opts.thresholdPct;
+    for (const auto &r : runs)
+        rep.names.push_back(r.name);
+
+    // Row order: the baseline's keys, then keys first seen later, in
+    // encounter order — deterministic regardless of set contents.
+    std::vector<std::string> keys;
+    for (const auto &r : runs)
+        for (const auto &[k, v] : r.entries)
+            if (std::find(keys.begin(), keys.end(), k) == keys.end())
+                keys.push_back(k);
+
+    const auto gated = [&](const std::string &key) {
+        return std::find(opts.gates.begin(), opts.gates.end(), key) !=
+               opts.gates.end();
+    };
+
+    for (const auto &key : keys) {
+        TrendRow row;
+        row.key = key;
+        row.higherBetter = higherIsBetter(key);
+        row.gated = gated(key);
+        for (const auto &r : runs) {
+            const double *v = r.find(key);
+            row.present.push_back(v != nullptr);
+            row.values.push_back(v ? *v : 0.0);
+        }
+        row.comparable = row.present.front() && row.present.back();
+        if (row.comparable) {
+            const double first = row.values.front();
+            const double last = row.values.back();
+            if (first != 0) {
+                row.deltaPct = 100.0 * (last - first) / std::fabs(first);
+            } else if (last != 0) {
+                row.deltaPct = last > 0
+                    ? std::numeric_limits<double>::infinity()
+                    : -std::numeric_limits<double>::infinity();
+            }
+            const double good =
+                row.higherBetter ? row.deltaPct : -row.deltaPct;
+            if (good > opts.thresholdPct)
+                row.status = TrendStatus::Improved;
+            else if (good < -opts.thresholdPct)
+                row.status = TrendStatus::Regressed;
+        }
+        rep.rows.push_back(std::move(row));
+    }
+
+    for (const auto &g : opts.gates) {
+        const bool inFirst = runs.front().find(g) != nullptr;
+        const bool inLast = runs.back().find(g) != nullptr;
+        if (!inFirst && !inLast)
+            fatal(strformat("trend: gated key '%s' exists in neither "
+                            "the baseline nor the current file (typo?)",
+                            g.c_str()));
+        if (!inFirst || !inLast)
+            rep.missingGates.push_back(g);
+    }
+    return rep;
+}
+
+namespace
+{
+
+std::string
+fmtValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+fmtDelta(const TrendRow &row)
+{
+    if (!row.comparable)
+        return "n/a";
+    if (std::isinf(row.deltaPct))
+        return row.deltaPct > 0 ? "+inf" : "-inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", row.deltaPct);
+    return buf;
+}
+
+std::string
+mdEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '|' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeTrendMarkdown(std::ostream &os, const TrendReport &r)
+{
+    os << "# mipsx-trend: " << mdEscape(r.names.front()) << " -> "
+       << mdEscape(r.names.back()) << "\n\n";
+    std::size_t ngates = 0;
+    for (const auto &row : r.rows)
+        ngates += row.gated;
+    os << "Threshold: " << fmtValue(r.thresholdPct) << "% on " << ngates
+       << " gated key(s); everything else is report-only.\n\n";
+    if (!r.missingGates.empty()) {
+        for (const auto &g : r.missingGates)
+            os << "**MISSING GATED KEY:** `" << g << "`\n";
+        os << "\n";
+    }
+
+    os << "| key |";
+    for (const auto &n : r.names)
+        os << ' ' << mdEscape(n) << " |";
+    os << " delta | direction | status |\n";
+    os << "|---|";
+    for (std::size_t i = 0; i < r.names.size(); ++i)
+        os << "---:|";
+    os << "---:|---|---|\n";
+    for (const auto &row : r.rows) {
+        os << "| `" << mdEscape(row.key) << (row.gated ? "` (gated) |"
+                                                       : "` |");
+        for (std::size_t i = 0; i < row.values.size(); ++i) {
+            if (row.present[i])
+                os << ' ' << fmtValue(row.values[i]) << " |";
+            else
+                os << " - |";
+        }
+        os << ' ' << fmtDelta(row) << " | "
+           << (row.higherBetter ? "higher" : "lower") << " | "
+           << trendStatusName(row.status) << " |\n";
+    }
+    os << "\nResult: "
+       << (r.regressed() ? "**REGRESSED**" : "no gated regression")
+       << "\n";
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isinf(v) || std::isnan(v)) {
+        os << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+writeTrendJson(std::ostream &os, const TrendReport &r)
+{
+    os << "{\n  \"schema\": \"mipsx-trend-v1\",\n";
+    os << "  \"threshold_pct\": ";
+    jsonNumber(os, r.thresholdPct);
+    os << ",\n  \"names\": [";
+    for (std::size_t i = 0; i < r.names.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(r.names[i]) << '"';
+    os << "],\n  \"regressed\": " << (r.regressed() ? "true" : "false")
+       << ",\n  \"missing_gated\": [";
+    for (std::size_t i = 0; i < r.missingGates.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(r.missingGates[i])
+           << '"';
+    os << "],\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < r.rows.size(); ++i) {
+        const auto &row = r.rows[i];
+        os << "    {\"key\": \"" << jsonEscape(row.key)
+           << "\", \"values\": [";
+        for (std::size_t v = 0; v < row.values.size(); ++v) {
+            os << (v ? ", " : "");
+            if (row.present[v])
+                jsonNumber(os, row.values[v]);
+            else
+                os << "null";
+        }
+        os << "], \"delta_pct\": ";
+        if (row.comparable)
+            jsonNumber(os, row.deltaPct);
+        else
+            os << "null";
+        os << ", \"higher_better\": "
+           << (row.higherBetter ? "true" : "false") << ", \"gated\": "
+           << (row.gated ? "true" : "false") << ", \"status\": \""
+           << trendStatusName(row.status) << "\"}"
+           << (i + 1 < r.rows.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace mipsx::explore

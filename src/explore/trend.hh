@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Trend comparison over flat benchmark JSON files.
+ *
+ * The BENCH_*.json files the harnesses emit are flat objects of named
+ * numbers. This module diffs a chronological sequence of them (baseline
+ * first, current last), classifies every key's movement against a
+ * percentage threshold, and renders the result as a markdown table or
+ * JSON. A caller-chosen subset of keys is *gated*: a gated key that
+ * worsens past the threshold — or disappears — marks the report
+ * regressed, which mipsx-trend turns into a nonzero exit for CI.
+ *
+ * Direction is inferred per key: throughput-style names (per_second,
+ * speedup, fill_rate, ...) are higher-is-better, everything else
+ * (cycles, seconds, ratios, energy) lower-is-better.
+ */
+
+#ifndef MIPSX_EXPLORE_TREND_HH
+#define MIPSX_EXPLORE_TREND_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mipsx::explore
+{
+
+/** One flat benchmark document: numeric (key, value) in file order. */
+struct FlatMetrics
+{
+    std::string name; ///< label for reports (usually the file stem)
+    std::vector<std::pair<std::string, double>> entries;
+
+    /** Value of @p key, or nullptr. */
+    const double *find(const std::string &key) const;
+};
+
+/**
+ * Parse a flat JSON object of metrics. Non-numeric members (the odd
+ * string annotation) are skipped; booleans count as 0/1. Throws
+ * SimError on malformed JSON or a non-object document.
+ */
+FlatMetrics flatMetricsFromJson(const std::string &name,
+                                const std::string &text);
+/** flatMetricsFromJson over a file; the label is the file's basename. */
+FlatMetrics flatMetricsFromJsonFile(const std::string &path);
+
+/** Whether a larger value of @p key is an improvement. */
+bool higherIsBetter(const std::string &key);
+
+/** How one key moved from the baseline to the current run. */
+enum class TrendStatus : std::uint8_t
+{
+    Ok,       ///< within threshold (or not comparable both ends)
+    Improved, ///< moved past the threshold in the good direction
+    Regressed ///< moved past the threshold in the bad direction
+};
+
+const char *trendStatusName(TrendStatus s);
+
+/** One key across every input file. */
+struct TrendRow
+{
+    std::string key;
+    std::vector<double> values; ///< one slot per input file
+    std::vector<char> present;  ///< whether the file has the key
+    /**
+     * Signed percent change first -> last relative to |first|;
+     * +/-infinity when the baseline is zero and the current is not.
+     * Meaningful only when @ref comparable.
+     */
+    double deltaPct = 0;
+    bool comparable = false; ///< present in both the first and last file
+    bool higherBetter = false;
+    bool gated = false;
+    TrendStatus status = TrendStatus::Ok;
+};
+
+/** Comparison knobs. */
+struct TrendOptions
+{
+    /** Percent movement beyond which a key counts as changed. */
+    double thresholdPct = 2.0;
+    /** Keys whose regression fails the report; empty = report-only. */
+    std::vector<std::string> gates;
+};
+
+/** The full comparison result. */
+struct TrendReport
+{
+    std::vector<std::string> names; ///< input labels, baseline first
+    double thresholdPct = 2.0;
+    std::vector<TrendRow> rows;
+    /** Gated keys absent from the baseline or the current file. */
+    std::vector<std::string> missingGates;
+
+    /** True when any gated key regressed or went missing. */
+    bool regressed() const;
+};
+
+/**
+ * Compare @p runs (chronological, baseline first, current last; at
+ * least two). Row order is the first file's key order, with keys new
+ * in later files appended in encounter order. Throws SimError when
+ * fewer than two runs are given or a gate names no known key in either
+ * end (a misspelled gate must not silently pass).
+ */
+TrendReport trendCompare(const std::vector<FlatMetrics> &runs,
+                         const TrendOptions &opts);
+
+/** Render the report as a markdown table. */
+void writeTrendMarkdown(std::ostream &os, const TrendReport &r);
+/** Render the report as JSON (schema "mipsx-trend-v1"). */
+void writeTrendJson(std::ostream &os, const TrendReport &r);
+
+} // namespace mipsx::explore
+
+#endif // MIPSX_EXPLORE_TREND_HH

@@ -53,6 +53,7 @@ ICache::clearStats()
     misses_.reset();
     tagMisses_.reset();
     subBlockMisses_.reset();
+    refillWords_.reset();
     stallCycles_.reset();
 }
 
@@ -194,6 +195,9 @@ ICache::fetchSlow(std::uint64_t key, std::uint64_t block_addr,
         const bool same_block = (next >> blockShift_) == block_addr;
         fillWord(next, same_block || config_.allocCrossBlock);
     }
+    // Only array writes count as refill words (the energy model prices
+    // them); the instruction-register path above writes nothing.
+    refillWords_ += res.numRefills;
     return res;
 }
 

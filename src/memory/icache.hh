@@ -137,6 +137,8 @@ class ICache
     std::uint64_t tagMisses() const { return tagMisses_.value(); }
     /** Misses where the tag was present but the word's valid bit clear. */
     std::uint64_t subBlockMisses() const { return subBlockMisses_.value(); }
+    /** Words fetched back from the next level (2 per double-fetch miss). */
+    std::uint64_t refillWords() const { return refillWords_.value(); }
     std::uint64_t stallCycles() const { return stallCycles_.value(); }
     double missRatio() const { return stats::ratio(misses_, accesses_); }
     /** Average cost of an instruction fetch in cycles (paper: 1.24). */
@@ -189,6 +191,7 @@ class ICache
     stats::Counter misses_;
     stats::Counter tagMisses_;
     stats::Counter subBlockMisses_;
+    stats::Counter refillWords_;
     stats::Counter stallCycles_;
 };
 

@@ -190,6 +190,7 @@ runOneSuite(const JobRequest &req, const ServeConfig &config)
         const auto res = workload::runSuite(suite, opts);
         trace::MetricsRegistry m;
         workload::collectMetrics(res.stats, m);
+        workload::collectEnergy(res.stats, opts.machine.cpu.energy, m);
 
         JobOutcome out;
         out.ok = true;

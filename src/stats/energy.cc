@@ -1,0 +1,63 @@
+#include "stats/energy.hh"
+
+#include <cmath>
+
+#include "common/sim_error.hh"
+
+namespace mipsx::stats
+{
+
+namespace
+{
+
+void
+checkCost(const char *name, double v)
+{
+    if (!std::isfinite(v) || v < 0)
+        fatal(strformat("energy: cost '%s' must be a finite non-negative "
+                        "number (got %g)",
+                        name, v));
+}
+
+double
+u2d(std::uint64_t v)
+{
+    return static_cast<double>(v);
+}
+
+} // namespace
+
+void
+EnergyCosts::validate() const
+{
+    checkCost("icacheRead", icacheRead);
+    checkCost("icacheReadPerKword", icacheReadPerKword);
+    checkCost("icacheMiss", icacheMiss);
+    checkCost("icacheRefillWord", icacheRefillWord);
+    checkCost("ecacheRead", ecacheRead);
+    checkCost("ecacheReadPerKword", ecacheReadPerKword);
+    checkCost("ecacheMiss", ecacheMiss);
+    checkCost("memCycle", memCycle);
+    checkCost("cycleStatic", cycleStatic);
+}
+
+EnergyBreakdown
+computeEnergy(const EnergyCosts &costs, const EnergyCounts &counts)
+{
+    EnergyBreakdown e;
+    const double icacheAccess = costs.icacheRead +
+        costs.icacheReadPerKword * u2d(counts.icacheSizeWords) / 1024.0;
+    const double ecacheAccess = costs.ecacheRead +
+        costs.ecacheReadPerKword * u2d(counts.ecacheSizeWords) / 1024.0;
+    e.icache = u2d(counts.icacheAccesses) * icacheAccess +
+               u2d(counts.icacheMisses) * costs.icacheMiss +
+               u2d(counts.icacheRefillWords) * costs.icacheRefillWord;
+    e.ecache = u2d(counts.ecacheAccesses) * ecacheAccess +
+               u2d(counts.ecacheMisses) * costs.ecacheMiss;
+    e.memory = u2d(counts.memTrafficCycles) * costs.memCycle;
+    e.staticCost = u2d(counts.cycles) * costs.cycleStatic;
+    e.total = e.icache + e.ecache + e.memory + e.staticCost;
+    return e;
+}
+
+} // namespace mipsx::stats

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * First-order cache/memory energy accounting.
+ *
+ * The paper's tradeoff studies read cycle costs off design-point
+ * sweeps; the natural companion axis (cf. the I-cache energy and
+ * DSE-tooling papers in PAPERS.md) is a first-order energy estimate:
+ * every cache event the timing model already counts — reads, misses,
+ * refill words, memory-bus traffic — is multiplied by a configurable
+ * per-event cost, so a sweep reports energy-delay tradeoffs instead of
+ * cycles alone.
+ *
+ * The cost table is *relative*, in arbitrary units. The defaults
+ * follow the usual first-order hierarchy scaling: an on-chip SRAM read
+ * is the unit, the off-chip Ecache costs an order of magnitude more,
+ * and a memory-bus cycle another factor of a few — close enough to
+ * rank design points, which is all the sweeps do with it. Every cost
+ * is validated (finite, non-negative) at configuration time, so a bad
+ * grid binding fails before any workload runs, exactly like the
+ * geometry parameters.
+ */
+
+#ifndef MIPSX_STATS_ENERGY_HH
+#define MIPSX_STATS_ENERGY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mipsx::stats
+{
+
+/**
+ * Per-event energy cost table (arbitrary units). All sweepable as
+ * "energy.*" explore parameters; see knownParams() in explore/grid.
+ */
+struct EnergyCosts
+{
+    /** One instruction-cache access (tag + data read). */
+    double icacheRead = 1.0;
+    /**
+     * Capacity scaling of the read cost: extra energy per access per
+     * 1024 words of array (longer bit/word lines in a bigger SRAM).
+     * This is what makes cache-geometry sweeps a genuine energy-delay
+     * tradeoff: growing the cache buys misses back but raises the
+     * price of every access.
+     */
+    double icacheReadPerKword = 0.5;
+    /** Per-miss overhead: tag re-check, victim choice, allocate. */
+    double icacheMiss = 2.0;
+    /** Per word written into the array on a refill (the double fetch
+     *  writes two). */
+    double icacheRefillWord = 4.0;
+    /** One external-cache access (off-chip SRAM read or write). */
+    double ecacheRead = 12.0;
+    /** Capacity scaling of the Ecache read, per 1024 words. */
+    double ecacheReadPerKword = 0.05;
+    /** Per-miss overhead in the Ecache beyond the bus traffic. */
+    double ecacheMiss = 24.0;
+    /** One cycle of main-memory bus traffic (refills, write-throughs,
+     *  copy-backs — whatever the Ecache charged to the bus). */
+    double memCycle = 50.0;
+    /** Static (leakage/clock) cost per machine cycle. */
+    double cycleStatic = 0.5;
+
+    /**
+     * Reject non-finite or negative costs with a SimError naming the
+     * field. CpuConfig::validate() calls this, so a bad table fails at
+     * machine-construction time; the explore parameters re-check at
+     * applyParam() time so a bad grid value names the parameter.
+     */
+    void validate() const;
+
+    bool operator==(const EnergyCosts &) const = default;
+};
+
+/** The event counts the model prices (all from existing counters). */
+struct EnergyCounts
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0; ///< instructions, for the EPI ratio
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t icacheRefillWords = 0;
+    std::uint64_t ecacheAccesses = 0;
+    std::uint64_t ecacheMisses = 0;
+    std::uint64_t memTrafficCycles = 0;
+    // Geometry echoes for the capacity-scaled read costs — these are
+    // configuration, not accumulating counters.
+    std::uint64_t icacheSizeWords = 0;
+    std::uint64_t ecacheSizeWords = 0;
+};
+
+/** The priced breakdown computeEnergy() returns (same units as costs). */
+struct EnergyBreakdown
+{
+    double icache = 0;     ///< reads + miss overhead + refill words
+    double ecache = 0;     ///< reads + miss overhead
+    double memory = 0;     ///< memory-bus traffic
+    double staticCost = 0; ///< per-cycle static/leakage
+    double total = 0;
+
+    /** Energy per committed instruction (0 when nothing committed). */
+    double perInstruction(std::uint64_t committed) const
+    {
+        return committed ? total / static_cast<double>(committed) : 0.0;
+    }
+    /** The energy-delay product: total x cycles. */
+    double energyDelay(std::uint64_t cycles) const
+    {
+        return total * static_cast<double>(cycles);
+    }
+};
+
+/** Price @p counts with @p costs (closed-form; no validation here). */
+EnergyBreakdown computeEnergy(const EnergyCosts &costs,
+                              const EnergyCounts &counts);
+
+/**
+ * Export the priced breakdown under "<prefix>." into any registry-like
+ * sink with set(name, double) — trace::MetricsRegistry in practice; a
+ * template so the stats library stays at the bottom of the dependency
+ * stack. These are the "energy.*" keys every sweep row, bench file and
+ * serve reply carries.
+ */
+template <typename Registry>
+void
+collectEnergy(const EnergyCosts &costs, const EnergyCounts &counts,
+              Registry &m, const std::string &prefix = "energy")
+{
+    const EnergyBreakdown e = computeEnergy(costs, counts);
+    const std::string p = prefix + ".";
+    m.set(p + "icache", e.icache);
+    m.set(p + "ecache", e.ecache);
+    m.set(p + "memory", e.memory);
+    m.set(p + "static", e.staticCost);
+    m.set(p + "total", e.total);
+    m.set(p + "per_instruction", e.perInstruction(counts.committed));
+    m.set(p + "edp", e.energyDelay(counts.cycles));
+}
+
+} // namespace mipsx::stats
+
+#endif // MIPSX_STATS_ENERGY_HH

@@ -1,5 +1,6 @@
 #include "workload/suite_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -87,10 +88,16 @@ runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
         out.stats.jumpWastedSlots = s.jumpWastedSlots;
         out.stats.icacheAccesses = machine.cpu().icache().accesses();
         out.stats.icacheMisses = machine.cpu().icache().misses();
+        out.stats.icacheRefillWords = machine.cpu().icache().refillWords();
         out.stats.icacheStalls = machine.cpu().icache().stallCycles();
         out.stats.ecacheAccesses = machine.cpu().ecache().accesses();
         out.stats.ecacheMisses = machine.cpu().ecache().misses();
+        out.stats.ecacheWritebacks = machine.cpu().ecache().writebacks();
+        out.stats.ecacheMemCycles =
+            machine.cpu().ecache().memoryTrafficCycles();
         out.stats.ecacheStalls = machine.cpu().ecache().stallCycles();
+        out.stats.icacheSizeWords = opts.machine.cpu.icache.totalWords();
+        out.stats.ecacheSizeWords = opts.machine.cpu.ecache.sizeWords;
     } catch (const std::exception &e) {
         out.stats = SuiteStats{};
         out.stats.failures = 1;
@@ -118,10 +125,15 @@ merge(SuiteStats &agg, const SuiteStats &s)
     agg.jumpWastedSlots += s.jumpWastedSlots;
     agg.icacheAccesses += s.icacheAccesses;
     agg.icacheMisses += s.icacheMisses;
+    agg.icacheRefillWords += s.icacheRefillWords;
     agg.icacheStalls += s.icacheStalls;
     agg.ecacheAccesses += s.ecacheAccesses;
     agg.ecacheMisses += s.ecacheMisses;
+    agg.ecacheWritebacks += s.ecacheWritebacks;
+    agg.ecacheMemCycles += s.ecacheMemCycles;
     agg.ecacheStalls += s.ecacheStalls;
+    agg.icacheSizeWords = std::max(agg.icacheSizeWords, s.icacheSizeWords);
+    agg.ecacheSizeWords = std::max(agg.ecacheSizeWords, s.ecacheSizeWords);
 }
 
 } // namespace
@@ -193,9 +205,12 @@ collectMetrics(const SuiteStats &s, trace::MetricsRegistry &m,
     m.set(p + "jump_wasted_slots", s.jumpWastedSlots);
     m.set(p + "icache_accesses", s.icacheAccesses);
     m.set(p + "icache_misses", s.icacheMisses);
+    m.set(p + "icache_refill_words", s.icacheRefillWords);
     m.set(p + "icache_stalls", s.icacheStalls);
     m.set(p + "ecache_accesses", s.ecacheAccesses);
     m.set(p + "ecache_misses", s.ecacheMisses);
+    m.set(p + "ecache_writebacks", s.ecacheWritebacks);
+    m.set(p + "ecache_memory_cycles", s.ecacheMemCycles);
     m.set(p + "ecache_stalls", s.ecacheStalls);
     m.set(p + "cpi", s.cpi());
     m.set(p + "noop_fraction", s.noopFraction());
@@ -218,6 +233,13 @@ collectTiming(const SuiteTiming &t, trace::MetricsRegistry &m,
     m.set(p + "jobs", t.jobs);
     m.set(p + "instr_per_host_second", t.instrPerHostSecond());
     m.set(p + "instr_per_sim_second", t.instrPerSimSecond());
+}
+
+void
+collectEnergy(const SuiteStats &s, const stats::EnergyCosts &costs,
+              trace::MetricsRegistry &m, const std::string &prefix)
+{
+    stats::collectEnergy(costs, s.energyCounts(), m, prefix);
 }
 
 } // namespace mipsx::workload

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/energy.hh"
 #include "trace/metrics.hh"
 #include "workload/workload.hh"
 
@@ -43,12 +44,37 @@ struct SuiteStats
     std::uint64_t jumpWastedSlots = 0;
     std::uint64_t icacheAccesses = 0;
     std::uint64_t icacheMisses = 0;
+    std::uint64_t icacheRefillWords = 0;
     std::uint64_t icacheStalls = 0;
     std::uint64_t ecacheAccesses = 0;
     std::uint64_t ecacheMisses = 0;
+    std::uint64_t ecacheWritebacks = 0;
+    std::uint64_t ecacheMemCycles = 0; ///< memory-bus traffic cycles
     std::uint64_t ecacheStalls = 0;
+    // Geometry echoes for the energy model's capacity-scaled read
+    // costs: configuration shared by every workload, so merge() takes
+    // the maximum instead of summing.
+    std::uint64_t icacheSizeWords = 0;
+    std::uint64_t ecacheSizeWords = 0;
 
     bool operator==(const SuiteStats &) const = default;
+
+    /** The aggregate event counts the energy model prices. */
+    stats::EnergyCounts energyCounts() const
+    {
+        stats::EnergyCounts n;
+        n.cycles = cycles;
+        n.committed = committed;
+        n.icacheAccesses = icacheAccesses;
+        n.icacheMisses = icacheMisses;
+        n.icacheRefillWords = icacheRefillWords;
+        n.ecacheAccesses = ecacheAccesses;
+        n.ecacheMisses = ecacheMisses;
+        n.memTrafficCycles = ecacheMemCycles;
+        n.icacheSizeWords = icacheSizeWords;
+        n.ecacheSizeWords = ecacheSizeWords;
+        return n;
+    }
 
     double cpi() const
     {
@@ -189,6 +215,15 @@ void collectMetrics(const SuiteStats &s, trace::MetricsRegistry &m,
  */
 void collectTiming(const SuiteTiming &t, trace::MetricsRegistry &m,
                    const std::string &prefix = "suite.timing");
+
+/**
+ * Price the aggregated cache/cycle counters of @p s with @p costs and
+ * export the breakdown into @p m under "<prefix>." — the "energy.*"
+ * keys every sweep row, bench file and serve suite reply carries.
+ */
+void collectEnergy(const SuiteStats &s, const stats::EnergyCosts &costs,
+                   trace::MetricsRegistry &m,
+                   const std::string &prefix = "energy");
 
 } // namespace mipsx::workload
 

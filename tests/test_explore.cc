@@ -92,6 +92,12 @@ TEST(Grid, KnownParams)
     EXPECT_TRUE(isKnownParam("icache.geometry"));
     EXPECT_TRUE(isKnownParam("branch.scheme"));
     EXPECT_TRUE(isKnownParam("predecode"));
+    EXPECT_TRUE(isKnownParam("energy.icacheRead"));
+    EXPECT_TRUE(isKnownParam("energy.icacheReadPerKword"));
+    EXPECT_TRUE(isKnownParam("energy.ecacheReadPerKword"));
+    EXPECT_TRUE(isKnownParam("energy.memCycle"));
+    EXPECT_TRUE(isKnownParam("energy.cycleStatic"));
+    EXPECT_FALSE(isKnownParam("energy.total")); // a metric, not a knob
     EXPECT_FALSE(isKnownParam("icache"));
     EXPECT_FALSE(isKnownParam(""));
     EXPECT_FALSE(knownParams().empty());
@@ -118,6 +124,13 @@ TEST(ApplyParam, AppliesValues)
 
     applyParam(o, "icache.repl", "fifo");
     EXPECT_EQ(o.machine.cpu.icache.repl, memory::IReplPolicy::Fifo);
+
+    applyParam(o, "energy.icacheRead", "2.5");
+    EXPECT_DOUBLE_EQ(o.machine.cpu.energy.icacheRead, 2.5);
+    applyParam(o, "energy.icacheReadPerKword", "0");
+    EXPECT_DOUBLE_EQ(o.machine.cpu.energy.icacheReadPerKword, 0.0);
+    applyParam(o, "energy.memCycle", "75");
+    EXPECT_DOUBLE_EQ(o.machine.cpu.energy.memCycle, 75.0);
 }
 
 TEST(ApplyParam, RejectsBadValues)
@@ -134,6 +147,12 @@ TEST(ApplyParam, RejectsBadValues)
     EXPECT_THROW(applyParam(o, "branch.slots", "3"), SimError);
     EXPECT_THROW(applyParam(o, "branch.scheme", "sometimes"), SimError);
     EXPECT_THROW(applyParam(o, "branch.profile", "maybe"), SimError);
+    // Energy costs validate eagerly too: finite and non-negative.
+    EXPECT_THROW(applyParam(o, "energy.icacheRead", "-1"), SimError);
+    EXPECT_THROW(applyParam(o, "energy.icacheRead", "abc"), SimError);
+    EXPECT_THROW(applyParam(o, "energy.icacheRead", "nan"), SimError);
+    EXPECT_THROW(applyParam(o, "energy.memCycle", "inf"), SimError);
+    EXPECT_THROW(applyParam(o, "energy.cycleStatic", ""), SimError);
 }
 
 // ---------------------------------------------------------------------
@@ -410,4 +429,8 @@ TEST(Determinism, OutputsIdenticalAcrossJobCountsAndRuns)
     // And nothing host-dependent leaks into the outputs.
     EXPECT_EQ(baseline.json.find("seconds"), std::string::npos);
     EXPECT_EQ(baseline.json.find("jobs"), std::string::npos);
+    // Every row carries the energy model's keys under the v2 schema.
+    EXPECT_NE(baseline.json.find("mipsx-explore-v2"), std::string::npos);
+    EXPECT_NE(baseline.json.find("energy.total"), std::string::npos);
+    EXPECT_NE(baseline.csv.find("energy.edp"), std::string::npos);
 }

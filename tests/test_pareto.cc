@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for the search-engine layer on top of the sweep runner: the
+ * energy cost model's closed form, Pareto-frontier extraction and knee
+ * detection, adaptive refinement's determinism across worker counts,
+ * and shard/merge byte-identity with an unsharded run.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "core/cpu.hh"
+#include "explore/explore.hh"
+#include "explore/pareto.hh"
+#include "stats/energy.hh"
+
+using namespace mipsx;
+using namespace mipsx::explore;
+
+// ---------------------------------------------------------------------
+// The energy model's closed form.
+
+TEST(Energy, ClosedFormMatchesHandMath)
+{
+    stats::EnergyCosts c;
+    c.icacheRead = 1.0;
+    c.icacheReadPerKword = 0.5;
+    c.icacheMiss = 2.0;
+    c.icacheRefillWord = 4.0;
+    c.ecacheRead = 12.0;
+    c.ecacheReadPerKword = 0.0;
+    c.ecacheMiss = 24.0;
+    c.memCycle = 50.0;
+    c.cycleStatic = 0.5;
+
+    stats::EnergyCounts n;
+    n.cycles = 1000;
+    n.committed = 800;
+    n.icacheAccesses = 900;
+    n.icacheMisses = 30;
+    n.icacheRefillWords = 60;
+    n.ecacheAccesses = 200;
+    n.ecacheMisses = 10;
+    n.memTrafficCycles = 40;
+    n.icacheSizeWords = 2048; // 2 Kwords -> +1.0 per icache access
+    n.ecacheSizeWords = 0;
+
+    const auto e = stats::computeEnergy(c, n);
+    EXPECT_DOUBLE_EQ(e.icache, 900 * (1.0 + 1.0) + 30 * 2.0 + 60 * 4.0);
+    EXPECT_DOUBLE_EQ(e.ecache, 200 * 12.0 + 10 * 24.0);
+    EXPECT_DOUBLE_EQ(e.memory, 40 * 50.0);
+    EXPECT_DOUBLE_EQ(e.staticCost, 1000 * 0.5);
+    EXPECT_DOUBLE_EQ(e.total,
+                     e.icache + e.ecache + e.memory + e.staticCost);
+    EXPECT_DOUBLE_EQ(e.perInstruction(n.committed), e.total / 800.0);
+    EXPECT_DOUBLE_EQ(e.energyDelay(n.cycles), e.total * 1000.0);
+    EXPECT_DOUBLE_EQ(e.perInstruction(0), 0.0);
+}
+
+TEST(Energy, ValidateRejectsBadCosts)
+{
+    stats::EnergyCosts c;
+    EXPECT_NO_THROW(c.validate()); // the defaults are a valid table
+
+    c = {};
+    c.icacheRead = -1.0;
+    EXPECT_THROW(c.validate(), SimError);
+    c = {};
+    c.memCycle = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(c.validate(), SimError);
+    c = {};
+    c.cycleStatic = std::nan("");
+    EXPECT_THROW(c.validate(), SimError);
+
+    // CpuConfig::validate() runs the table's check, so a hand-built
+    // machine with a bad cost fails at construction time too.
+    core::CpuConfig cpu;
+    cpu.energy.ecacheMiss = -5.0;
+    EXPECT_THROW(cpu.validate(), SimError);
+}
+
+// ---------------------------------------------------------------------
+// Pareto frontier and knee.
+
+TEST(Pareto, ParseObjective)
+{
+    EXPECT_EQ(parseObjective("suite.cycles").metric, "suite.cycles");
+    EXPECT_TRUE(parseObjective("suite.cycles").minimize);
+    EXPECT_TRUE(parseObjective("a.b:min").minimize);
+    EXPECT_FALSE(parseObjective("a.b:max").minimize);
+    EXPECT_EQ(parseObjective("a.b:max").metric, "a.b");
+    EXPECT_THROW(parseObjective("a.b:down"), SimError);
+    EXPECT_THROW(parseObjective(""), SimError);
+    EXPECT_THROW(parseObjective(":min"), SimError);
+}
+
+TEST(Pareto, RemovesDominatedPoints)
+{
+    // (1,5) and (5,1) trade off; (3,3) sits on neither side's shadow;
+    // (4,4) is dominated by (3,3); (6,6) by everything.
+    const std::vector<ParetoPoint> pts = {
+        {0, 4, 4}, {1, 1, 5}, {2, 5, 1}, {3, 3, 3}, {4, 6, 6}};
+    const auto f = paretoFrontier(pts, true, true);
+    ASSERT_EQ(f.size(), 3u);
+    // Sorted by ascending x.
+    EXPECT_EQ(f[0].index, 1u);
+    EXPECT_EQ(f[1].index, 3u);
+    EXPECT_EQ(f[2].index, 2u);
+}
+
+TEST(Pareto, WeakDominationRemovesEqualOnOneAxis)
+{
+    // (2,3) dominates (2,4): equal x, strictly better y.
+    const std::vector<ParetoPoint> pts = {{0, 2, 4}, {1, 2, 3}};
+    const auto f = paretoFrontier(pts, true, true);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0].index, 1u);
+}
+
+TEST(Pareto, ExactTiesAreAllKept)
+{
+    // Distinct configurations with identical costs are all reported.
+    const std::vector<ParetoPoint> pts = {{0, 2, 2}, {1, 2, 2}, {2, 9, 9}};
+    const auto f = paretoFrontier(pts, true, true);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0].index, 0u); // ties ordered by index
+    EXPECT_EQ(f[1].index, 1u);
+}
+
+TEST(Pareto, MaximizeDirections)
+{
+    // Maximizing both flips domination: (5,5) dominates everything.
+    const std::vector<ParetoPoint> pts = {{0, 1, 1}, {1, 5, 5}, {2, 3, 6}};
+    const auto f = paretoFrontier(pts, false, false);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0].index, 2u); // still sorted by ascending x
+    EXPECT_EQ(f[1].index, 1u);
+
+    // Mixed: minimize x, maximize y.
+    const std::vector<ParetoPoint> mixed = {{0, 1, 1}, {1, 2, 5}, {2, 3, 4}};
+    const auto g = paretoFrontier(mixed, true, false);
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_EQ(g[0].index, 0u);
+    EXPECT_EQ(g[1].index, 1u);
+}
+
+TEST(Pareto, KneeIsMaxDistanceFromChord)
+{
+    // A convex frontier: the middle point (1,1) is far from the
+    // (0,10)-(10,0) chord; (6,2) is closer to it.
+    const std::vector<ParetoPoint> f = {
+        {0, 0, 10}, {1, 1, 1}, {2, 6, 0.5}, {3, 10, 0}};
+    EXPECT_EQ(kneePosition(f), 1u);
+}
+
+TEST(Pareto, KneeDegenerateCases)
+{
+    EXPECT_THROW(kneePosition({}), SimError);
+    EXPECT_EQ(kneePosition({{0, 1, 1}}), 0u);
+    EXPECT_EQ(kneePosition({{0, 1, 2}, {1, 2, 1}}), 0u);
+    // A frontier flat in y: the fallback distance still picks a point
+    // deterministically.
+    const std::vector<ParetoPoint> flat = {{0, 0, 1}, {1, 5, 1}, {2, 9, 1}};
+    EXPECT_EQ(kneePosition(flat), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Sweeps: energy keys, annotation, refinement, sharding.
+
+namespace
+{
+
+std::vector<workload::Workload>
+tinySuite()
+{
+    auto ws = workload::fpWorkloads();
+    ws.resize(2);
+    return ws;
+}
+
+SweepConfig
+tinyConfig()
+{
+    SweepConfig cfg;
+    cfg.grid.axes = {{"icache.missPenalty", {"2", "3"}},
+                     {"icache.fetchWords", {"1", "2"}}};
+    return cfg;
+}
+
+std::string
+renderJson(const SweepResult &r)
+{
+    std::ostringstream os;
+    writeJson(os, r);
+    return os.str();
+}
+
+std::string
+renderCsv(const SweepResult &r)
+{
+    std::ostringstream os;
+    writeCsv(os, r);
+    return os.str();
+}
+
+} // namespace
+
+TEST(SweepEnergy, EveryPointCarriesEnergyKeys)
+{
+    const auto r = runSweep(tinyConfig(), tinySuite());
+    ASSERT_EQ(r.points.size(), 4u);
+    for (const auto &p : r.points) {
+        EXPECT_TRUE(p.metrics.has("energy.total"));
+        EXPECT_TRUE(p.metrics.has("energy.icache"));
+        EXPECT_TRUE(p.metrics.has("energy.per_instruction"));
+        EXPECT_TRUE(p.metrics.has("energy.edp"));
+        EXPECT_GT(p.metrics.get("energy.total"), 0.0);
+        // The snapshot prices the point's own aggregate exactly.
+        const auto e = stats::computeEnergy({}, p.stats.energyCounts());
+        EXPECT_DOUBLE_EQ(p.metrics.get("energy.total"), e.total);
+    }
+}
+
+TEST(SweepEnergy, CostTableIsSweepable)
+{
+    SweepConfig cfg;
+    cfg.grid.axes = {{"energy.cycleStatic", {"0", "100"}}};
+    const auto r = runSweep(cfg, tinySuite());
+    ASSERT_EQ(r.points.size(), 2u);
+    // Same run, different pricing: cycles identical, energy not.
+    EXPECT_EQ(r.points[0].stats.cycles, r.points[1].stats.cycles);
+    EXPECT_LT(r.points[0].metrics.get("energy.total"),
+              r.points[1].metrics.get("energy.total"));
+}
+
+TEST(AnnotatePareto, FrontierOverSweepMetrics)
+{
+    auto r = runSweep(tinyConfig(), tinySuite());
+    annotatePareto(r, parseObjective("suite.cycles:min"),
+                   parseObjective("energy.total:min"));
+    ASSERT_TRUE(r.pareto.present);
+    EXPECT_FALSE(r.pareto.frontier.empty());
+    // The knee is one of the frontier's points.
+    bool kneeOnFrontier = false;
+    for (const auto i : r.pareto.frontier)
+        kneeOnFrontier |= i == r.pareto.knee;
+    EXPECT_TRUE(kneeOnFrontier);
+    // The annotation lands in the JSON; an unannotated sweep's doesn't.
+    EXPECT_NE(renderJson(r).find("\"pareto\""), std::string::npos);
+    const auto plain = runSweep(tinyConfig(), tinySuite());
+    EXPECT_EQ(renderJson(plain).find("\"pareto\""), std::string::npos);
+
+    EXPECT_THROW(annotatePareto(r, parseObjective("no.such.metric"),
+                                parseObjective("energy.total")),
+                 SimError);
+}
+
+TEST(AdaptiveSweep, RefinesAndIsDeterministicAcrossJobCounts)
+{
+    SweepConfig cfg;
+    cfg.grid.axes = {{"icache.missPenalty", {"1", "16"}}};
+    cfg.runner.jobs = 0; // defer to MIPSX_BENCH_JOBS
+    AdaptiveOptions ad;
+    ad.x = parseObjective("suite.cycles:min");
+    ad.y = parseObjective("energy.total:min");
+    ad.pointBudget = 5;
+
+    std::string baseline;
+    for (const char *jobs : {"1", "4", "1"}) {
+        ASSERT_EQ(setenv("MIPSX_BENCH_JOBS", jobs, 1), 0);
+        const auto r = runAdaptiveSweep(cfg, tinySuite(), ad);
+        EXPECT_EQ(r.points.size(), 5u);
+        EXPECT_TRUE(r.pareto.present);
+        // Refined points bisect between the coarse values, carry the
+        // refined flag and extend the global index space.
+        for (std::size_t i = 0; i < r.points.size(); ++i) {
+            EXPECT_EQ(r.points[i].index, i);
+            EXPECT_EQ(r.points[i].refined, i >= 2);
+            EXPECT_TRUE(r.points[i].metrics.has("energy.total"));
+        }
+        const auto out = renderJson(r) + renderCsv(r);
+        if (baseline.empty())
+            baseline = out;
+        else
+            EXPECT_EQ(out, baseline) << "jobs=" << jobs;
+    }
+    unsetenv("MIPSX_BENCH_JOBS");
+    EXPECT_NE(baseline.find("\"refined\": true"), std::string::npos);
+}
+
+TEST(AdaptiveSweep, BudgetAtGridSizeDegeneratesToPlainSweep)
+{
+    auto cfg = tinyConfig();
+    AdaptiveOptions ad;
+    ad.pointBudget = 4; // == grid size: no refinement rounds
+    const auto r = runAdaptiveSweep(cfg, tinySuite(), ad);
+    EXPECT_EQ(r.points.size(), 4u);
+    for (const auto &p : r.points)
+        EXPECT_FALSE(p.refined);
+    EXPECT_TRUE(r.pareto.present); // still annotated
+
+    cfg.shardCount = 2;
+    EXPECT_THROW(runAdaptiveSweep(cfg, tinySuite(), ad), SimError);
+}
+
+TEST(Shards, MergeIsByteIdenticalToUnsharded)
+{
+    const auto whole = runSweep(tinyConfig(), tinySuite());
+
+    std::vector<SweepResult> parts;
+    for (unsigned s = 0; s < 2; ++s) {
+        auto cfg = tinyConfig();
+        cfg.shardIndex = s;
+        cfg.shardCount = 2;
+        auto r = runSweep(cfg, tinySuite());
+        EXPECT_EQ(r.points.size(), 2u);
+        // A shard's own output records which slice it is...
+        EXPECT_NE(renderJson(r).find("\"shard\""), std::string::npos);
+        // ...and round-trips through its JSON byte-identically.
+        auto parsed = sweepResultFromJson(renderJson(r));
+        EXPECT_EQ(renderJson(parsed), renderJson(r));
+        parts.push_back(std::move(parsed));
+    }
+
+    const auto merged = mergeShards(std::move(parts));
+    EXPECT_EQ(renderJson(merged), renderJson(whole));
+    EXPECT_EQ(renderCsv(merged), renderCsv(whole));
+}
+
+TEST(Shards, ValidationAndMergeErrors)
+{
+    auto cfg = tinyConfig();
+    cfg.shardIndex = 2;
+    cfg.shardCount = 2;
+    EXPECT_THROW(runSweep(cfg, tinySuite()), SimError);
+    cfg.shardIndex = 0;
+    cfg.shardCount = 0;
+    EXPECT_THROW(runSweep(cfg, tinySuite()), SimError);
+
+    // A bad axis value fails every shard up front, even when the bad
+    // point belongs to the other shard.
+    SweepConfig bad;
+    bad.grid.axes = {{"icache.missPenalty", {"2", "abc"}}};
+    bad.shardIndex = 0;
+    bad.shardCount = 2;
+    EXPECT_THROW(runSweep(bad, tinySuite()), SimError);
+
+    EXPECT_THROW(mergeShards({}), SimError);
+
+    auto half = [&](unsigned s) {
+        auto c = tinyConfig();
+        c.shardIndex = s;
+        c.shardCount = 2;
+        return runSweep(c, tinySuite());
+    };
+    // Missing a shard.
+    EXPECT_THROW(mergeShards({half(0)}), SimError);
+    // The same shard twice.
+    EXPECT_THROW(mergeShards({half(0), half(0)}), SimError);
+    // Shards of different sweeps.
+    auto other = half(1);
+    other.suite = "big-code";
+    EXPECT_THROW(mergeShards({half(0), std::move(other)}), SimError);
+}
+
+TEST(SweepResultJson, RejectsForeignDocuments)
+{
+    EXPECT_THROW(sweepResultFromJson("[]"), SimError);
+    EXPECT_THROW(sweepResultFromJson("{\"schema\": \"bogus\"}"),
+                 SimError);
+    EXPECT_THROW(sweepResultFromJson("{\"suite\": \"fp\"}"), SimError);
+    EXPECT_THROW(sweepResultFromJson("{nope"), SimError);
+}

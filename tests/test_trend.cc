@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the BENCH_*.json trend comparator behind mipsx-trend: flat
+ * metric parsing, direction inference, threshold classification, the
+ * gating rules CI relies on, and both report writers.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "explore/json.hh"
+#include "explore/trend.hh"
+
+using namespace mipsx;
+using namespace mipsx::explore;
+
+namespace
+{
+
+FlatMetrics
+flat(const std::string &name,
+     std::vector<std::pair<std::string, double>> entries)
+{
+    FlatMetrics m;
+    m.name = name;
+    m.entries = std::move(entries);
+    return m;
+}
+
+std::string
+markdown(const TrendReport &r)
+{
+    std::ostringstream os;
+    writeTrendMarkdown(os, r);
+    return os.str();
+}
+
+} // namespace
+
+TEST(FlatMetricsJson, ParsesNumbersSkipsStrings)
+{
+    const auto m = flatMetricsFromJson(
+        "bench",
+        "{\"suite.cycles\": 1200, \"suite.cpi\": 1.5,"
+        " \"schema\": \"mipsx-bench-v1\", \"ok\": true}");
+    EXPECT_EQ(m.name, "bench");
+    ASSERT_EQ(m.entries.size(), 3u); // the string is skipped
+    EXPECT_EQ(m.entries[0].first, "suite.cycles");
+    EXPECT_DOUBLE_EQ(*m.find("suite.cycles"), 1200.0);
+    EXPECT_DOUBLE_EQ(*m.find("ok"), 1.0); // booleans count as 0/1
+    EXPECT_EQ(m.find("nope"), nullptr);
+
+    EXPECT_THROW(flatMetricsFromJson("x", "[1, 2]"), SimError);
+    EXPECT_THROW(flatMetricsFromJson("x", "{broken"), SimError);
+    EXPECT_THROW(flatMetricsFromJsonFile("/no/such/file.json"), SimError);
+}
+
+TEST(Trend, DirectionInference)
+{
+    EXPECT_TRUE(higherIsBetter("timing.instr_per_host_second"));
+    EXPECT_TRUE(higherIsBetter("fill_rate"));
+    EXPECT_TRUE(higherIsBetter("reorg.speedup"));
+    EXPECT_FALSE(higherIsBetter("suite.cycles"));
+    EXPECT_FALSE(higherIsBetter("energy.total"));
+    EXPECT_FALSE(higherIsBetter("suite.cpi"));
+}
+
+TEST(Trend, ClassifiesAgainstThreshold)
+{
+    const auto base = flat("base", {{"suite.cycles", 1000},
+                                    {"suite.cpi", 1.50},
+                                    {"timing.instr_per_host_second", 100}});
+    const auto cur = flat("cur", {{"suite.cycles", 1010},  // +1%: ok
+                                  {"suite.cpi", 1.80},     // +20%: worse
+                                  {"timing.instr_per_host_second", 150}});
+    const auto r = trendCompare({base, cur}, {/*thresholdPct=*/2.0, {}});
+    ASSERT_EQ(r.rows.size(), 3u);
+    EXPECT_EQ(r.rows[0].status, TrendStatus::Ok);
+    EXPECT_EQ(r.rows[1].status, TrendStatus::Regressed);
+    EXPECT_NEAR(r.rows[1].deltaPct, 20.0, 1e-9);
+    // Throughput rose 50%: higher is better, so that's an improvement.
+    EXPECT_EQ(r.rows[2].status, TrendStatus::Improved);
+    EXPECT_TRUE(r.rows[2].higherBetter);
+    // Nothing gated: a regressed row doesn't fail the report.
+    EXPECT_FALSE(r.regressed());
+}
+
+TEST(Trend, GatedRegressionFailsReport)
+{
+    const auto base = flat("base", {{"suite.cycles", 1000}});
+    const auto worse = flat("cur", {{"suite.cycles", 1100}});
+    const auto same = flat("cur", {{"suite.cycles", 1001}});
+
+    TrendOptions gate;
+    gate.gates = {"suite.cycles"};
+    EXPECT_TRUE(trendCompare({base, worse}, gate).regressed());
+    EXPECT_FALSE(trendCompare({base, same}, gate).regressed());
+    // A gated *improvement* passes.
+    const auto better = flat("cur", {{"suite.cycles", 900}});
+    EXPECT_FALSE(trendCompare({base, better}, gate).regressed());
+    // A looser threshold forgives the same movement.
+    TrendOptions loose = gate;
+    loose.thresholdPct = 15.0;
+    EXPECT_FALSE(trendCompare({base, worse}, loose).regressed());
+}
+
+TEST(Trend, MissingGatedKeyFailsMisspelledGateThrows)
+{
+    const auto base = flat("base", {{"suite.cycles", 1000},
+                                    {"suite.cpi", 1.5}});
+    const auto cur = flat("cur", {{"suite.cycles", 1000}});
+
+    // Gated key vanished from the current run: regressed, and named.
+    TrendOptions gate;
+    gate.gates = {"suite.cpi"};
+    const auto r = trendCompare({base, cur}, gate);
+    EXPECT_TRUE(r.regressed());
+    ASSERT_EQ(r.missingGates.size(), 1u);
+    EXPECT_EQ(r.missingGates[0], "suite.cpi");
+
+    // A gate neither file knows is a typo, not a pass.
+    TrendOptions typo;
+    typo.gates = {"suite.cylces"};
+    EXPECT_THROW(trendCompare({base, cur}, typo), SimError);
+
+    // Fewer than two runs cannot trend.
+    EXPECT_THROW(trendCompare({base}, {}), SimError);
+    EXPECT_THROW(trendCompare({}, {}), SimError);
+}
+
+TEST(Trend, ZeroBaselineYieldsInfiniteDelta)
+{
+    const auto base = flat("base", {{"suite.failures", 0}});
+    const auto cur = flat("cur", {{"suite.failures", 2}});
+    TrendOptions gate;
+    gate.gates = {"suite.failures"};
+    const auto r = trendCompare({base, cur}, gate);
+    ASSERT_EQ(r.rows.size(), 1u);
+    EXPECT_TRUE(std::isinf(r.rows[0].deltaPct));
+    EXPECT_GT(r.rows[0].deltaPct, 0);
+    EXPECT_EQ(r.rows[0].status, TrendStatus::Regressed);
+    EXPECT_TRUE(r.regressed());
+}
+
+TEST(Trend, ThreeWayKeepsEveryColumnDeltaIsFirstToLast)
+{
+    const auto a = flat("a", {{"k", 100}});
+    const auto b = flat("b", {{"k", 500}});
+    const auto c = flat("c", {{"k", 104}});
+    const auto r = trendCompare({a, b, c}, {});
+    ASSERT_EQ(r.names.size(), 3u);
+    ASSERT_EQ(r.rows[0].values.size(), 3u);
+    EXPECT_DOUBLE_EQ(r.rows[0].values[1], 500.0);
+    // The wild middle run doesn't matter: delta is first -> last.
+    EXPECT_NEAR(r.rows[0].deltaPct, 4.0, 1e-9);
+}
+
+TEST(TrendWriters, MarkdownShape)
+{
+    const auto base = flat("base", {{"suite.cycles", 1000},
+                                    {"energy.total", 50}});
+    const auto cur = flat("cur", {{"suite.cycles", 1100},
+                                  {"energy.total", 50}});
+    TrendOptions gate;
+    gate.gates = {"suite.cycles"};
+    const auto bad = trendCompare({base, cur}, gate);
+    const auto md = markdown(bad);
+    EXPECT_NE(md.find("# mipsx-trend: base -> cur"), std::string::npos);
+    EXPECT_NE(md.find("| `suite.cycles` (gated) |"), std::string::npos);
+    EXPECT_NE(md.find("REGRESSED"), std::string::npos);
+
+    const auto ok = trendCompare(
+        {base, flat("cur", {{"suite.cycles", 1000}, {"energy.total", 50}})},
+        gate);
+    EXPECT_NE(markdown(ok).find("no gated regression"), std::string::npos);
+    EXPECT_EQ(markdown(ok).find("REGRESSED"), std::string::npos);
+}
+
+TEST(TrendWriters, JsonShapeRoundTrips)
+{
+    const auto base = flat("base", {{"suite.cycles", 1000}});
+    const auto cur = flat("cur", {{"suite.cycles", 1100}});
+    TrendOptions gate;
+    gate.gates = {"suite.cycles"};
+    std::ostringstream os;
+    writeTrendJson(os, trendCompare({base, cur}, gate));
+
+    // The writer's output is valid JSON with the documented shape.
+    const auto doc = Json::parse(os.str());
+    EXPECT_EQ(doc.find("schema")->str(), "mipsx-trend-v1");
+    EXPECT_EQ(doc.find("regressed")->boolean(), true);
+    ASSERT_NE(doc.find("rows"), nullptr);
+    EXPECT_EQ(doc.find("rows")->array().size(), 1u);
+}

@@ -28,6 +28,21 @@
  *                           point instead of using the process-wide
  *                           prepared-image cache (outputs identical;
  *                           the tier-1 determinism smoke diffs them)
+ *   --pareto X,Y            annotate the sweep with the Pareto frontier
+ *                           and knee over two metrics, each "KEY",
+ *                           "KEY:min" or "KEY:max" (e.g.
+ *                           "suite.cycles:min,energy.total:min")
+ *   --refine N              adaptive search: after the coarse grid,
+ *                           bisect the frontier knee's numeric axes
+ *                           until N total points (uses the --pareto
+ *                           objectives; default suite.cycles:min vs
+ *                           energy.total:min)
+ *   --shard I/N             run only grid points with index = I mod N
+ *                           (0-based); the JSON records the shard so
+ *                           --merge can reassemble the full sweep
+ *   --merge                 treat positional arguments as sharded JSON
+ *                           outputs, merge them, and write --csv/--json
+ *                           (byte-identical to an unsharded run)
  *   --quiet                 no per-point progress or summary table
  *   --list-params           print every sweepable parameter and exit
  */
@@ -36,6 +51,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/cli.hh"
@@ -56,9 +72,39 @@ usage(const char *argv0)
         "usage: %s [--grid FILE] [--axis PARAM=V1,V2,...]... "
         "[--set PARAM=V]...\n"
         "       [--suite NAME] [--jobs N] [--csv FILE] [--json FILE]\n"
-        "       [--no-cache] [--quiet] [--list-params]\n",
-        argv0);
+        "       [--pareto X,Y] [--refine N] [--shard I/N]\n"
+        "       [--no-cache] [--quiet] [--list-params]\n"
+        "       %s --merge SHARD.json... [--csv FILE] [--json FILE]\n",
+        argv0, argv0);
     std::exit(2);
+}
+
+/** Split "X,Y" into two metric objectives. */
+std::pair<explore::MetricObjective, explore::MetricObjective>
+parseParetoFlag(const std::string &arg)
+{
+    const auto comma = arg.find(',');
+    if (comma == std::string::npos)
+        fatal(strformat("--pareto: want X,Y (two metric objectives), "
+                        "got '%s'",
+                        arg.c_str()));
+    return {explore::parseObjective(arg.substr(0, comma)),
+            explore::parseObjective(arg.substr(comma + 1))};
+}
+
+/** Split "I/N" into (shardIndex, shardCount). */
+std::pair<unsigned, unsigned>
+parseShardFlag(const std::string &arg)
+{
+    const auto slash = arg.find('/');
+    if (slash == std::string::npos)
+        fatal(strformat("--shard: want I/N (e.g. 0/4), got '%s'",
+                        arg.c_str()));
+    const unsigned count = cli::parseUnsigned(
+        "--shard", arg.substr(slash + 1), 1);
+    const unsigned index = cli::parseUnsigned(
+        "--shard", arg.substr(0, slash), 0, count - 1);
+    return {index, count};
 }
 
 void
@@ -105,6 +151,11 @@ try {
     bool haveGrid = false;
     bool suiteSet = false;
     bool quiet = false;
+    bool merge = false;
+    bool havePareto = false;
+    std::size_t refineBudget = 0;
+    explore::AdaptiveOptions adaptive;
+    std::vector<std::string> shardFiles;
     std::string csvOut, jsonOut;
 
     for (int i = 1; i < argc; ++i) {
@@ -161,11 +212,58 @@ try {
             csvOut = flagValue("--csv");
         } else if (matches("--json")) {
             jsonOut = flagValue("--json");
+        } else if (matches("--pareto")) {
+            std::tie(adaptive.x, adaptive.y) =
+                parseParetoFlag(flagValue("--pareto"));
+            havePareto = true;
+        } else if (matches("--refine")) {
+            refineBudget =
+                cli::parseUnsigned("--refine", flagValue("--refine"), 1);
+        } else if (matches("--shard")) {
+            std::tie(cfg.shardIndex, cfg.shardCount) =
+                parseShardFlag(flagValue("--shard"));
+        } else if (a == "--merge") {
+            merge = true;
+        } else if (merge && (a.empty() || a[0] != '-')) {
+            shardFiles.push_back(a);
         } else {
             usage(argv[0]);
         }
     }
     (void)suiteSet;
+
+    if (merge) {
+        if (haveGrid || refineBudget || cfg.shardCount > 1)
+            fatal("--merge takes shard JSON files only (no grid, "
+                  "--refine or --shard)");
+        if (shardFiles.empty()) {
+            std::fprintf(stderr, "%s: --merge needs shard files\n",
+                         argv[0]);
+            usage(argv[0]);
+        }
+        std::vector<explore::SweepResult> shards;
+        shards.reserve(shardFiles.size());
+        for (const auto &f : shardFiles)
+            shards.push_back(explore::sweepResultFromJsonFile(f));
+        const auto result = explore::mergeShards(std::move(shards));
+        if (!quiet)
+            std::printf("merged %zu shard(s): %zu points\n",
+                        shardFiles.size(), result.points.size());
+        if (!csvOut.empty()) {
+            if (csvOut == "-")
+                explore::writeCsv(std::cout, result);
+            else if (!explore::writeCsvFile(csvOut, result))
+                return 1;
+        }
+        if (!jsonOut.empty()) {
+            if (jsonOut == "-")
+                explore::writeJson(std::cout, result);
+            else if (!explore::writeJsonFile(jsonOut, result))
+                return 1;
+        }
+        return result.totalFailures() ? 1 : 0;
+    }
+
     if (!haveGrid) {
         std::fprintf(stderr, "%s: no grid (use --axis or --grid)\n",
                      argv[0]);
@@ -198,7 +296,24 @@ try {
                     p.stats.failures, p.stats.failures == 1 ? "" : "s");
     };
 
-    const auto result = explore::runSweep(cfg, suite, progress);
+    explore::SweepResult result;
+    if (refineBudget) {
+        adaptive.pointBudget = refineBudget;
+        result = explore::runAdaptiveSweep(cfg, suite, adaptive, progress);
+    } else {
+        result = explore::runSweep(cfg, suite, progress);
+        if (havePareto)
+            explore::annotatePareto(result, adaptive.x, adaptive.y);
+    }
+
+    if (!quiet && result.pareto.present) {
+        std::printf("pareto (%s vs %s): frontier",
+                    result.pareto.x.metric.c_str(),
+                    result.pareto.y.metric.c_str());
+        for (const auto i : result.pareto.frontier)
+            std::printf(" %zu", i);
+        std::printf(", knee %zu\n", result.pareto.knee);
+    }
 
     if (!quiet) {
         std::vector<std::string> header{"point"};
@@ -208,9 +323,8 @@ try {
                               "cycles/branch"})
             header.push_back(m);
         stats::Table table("Sweep summary", header);
-        for (std::size_t i = 0; i < result.points.size(); ++i) {
-            const auto &p = result.points[i];
-            std::vector<std::string> row{std::to_string(i)};
+        for (const auto &p : result.points) {
+            std::vector<std::string> row{std::to_string(p.index)};
             for (const auto &[param, value] : p.point.bindings)
                 row.push_back(value);
             row.push_back(stats::Table::num(p.stats.cpi(), 3));

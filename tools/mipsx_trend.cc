@@ -1,0 +1,148 @@
+/**
+ * @file
+ * mipsx-trend — diff BENCH_*.json files and gate regressions.
+ *
+ *     mipsx-trend [options] BASELINE.json [MID.json ...] CURRENT.json
+ *
+ * Compares a chronological sequence of flat benchmark JSON files
+ * (baseline first, current last), prints a markdown trend table, and
+ * exits 1 when any --gate key worsened by more than --threshold percent
+ * (or disappeared). Ungated keys are always report-only, so host-timing
+ * noise can sit in the same table as the deterministic counters CI
+ * actually gates on.
+ *
+ * Options:
+ *   --gate KEY        gate KEY (repeatable; no gates = report-only)
+ *   --threshold PCT   regression threshold in percent (default 2)
+ *   --md FILE         write the markdown report to FILE ("-" = stdout)
+ *   --json FILE       write the JSON report to FILE ("-" = stdout)
+ *   --report-only     never exit 1; still prints REGRESSED rows
+ *   --quiet           suppress the default stdout report
+ *
+ * Exit codes: 0 no gated regression, 1 gated regression, 2 usage error
+ * or malformed input.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/sim_error.hh"
+#include "explore/trend.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--gate KEY]... [--threshold PCT] "
+                 "[--md FILE] [--json FILE]\n"
+                 "       [--report-only] [--quiet] BASELINE.json "
+                 "[MID.json ...] CURRENT.json\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+writeReport(const std::string &path, const explore::TrendReport &rep,
+            void (*writer)(std::ostream &, const explore::TrendReport &))
+{
+    if (path == "-") {
+        writer(std::cout, rep);
+        return true;
+    }
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "!! cannot write %s\n", path.c_str());
+        return false;
+    }
+    writer(f, rep);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    explore::TrendOptions opts;
+    std::vector<std::string> files;
+    std::string mdOut, jsonOut;
+    bool reportOnly = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        auto flagValue = [&](const char *flag) -> std::string {
+            const std::string pfx = std::string(flag) + "=";
+            if (a == flag)
+                return next();
+            return a.substr(pfx.size());
+        };
+        auto matches = [&](const char *flag) {
+            return a == flag || a.rfind(std::string(flag) + "=", 0) == 0;
+        };
+        if (matches("--gate")) {
+            opts.gates.push_back(flagValue("--gate"));
+        } else if (matches("--threshold")) {
+            opts.thresholdPct = cli::parseDouble(
+                "--threshold", flagValue("--threshold"), 0.0);
+        } else if (matches("--md")) {
+            mdOut = flagValue("--md");
+        } else if (matches("--json")) {
+            jsonOut = flagValue("--json");
+        } else if (a == "--report-only") {
+            reportOnly = true;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (!a.empty() && a[0] == '-' && a != "-") {
+            usage(argv[0]);
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.size() < 2)
+        usage(argv[0]);
+
+    std::vector<explore::FlatMetrics> runs;
+    runs.reserve(files.size());
+    for (const auto &f : files)
+        runs.push_back(explore::flatMetricsFromJsonFile(f));
+
+    const auto rep = explore::trendCompare(runs, opts);
+
+    if (!quiet && mdOut != "-")
+        explore::writeTrendMarkdown(std::cout, rep);
+    if (!mdOut.empty() &&
+        !writeReport(mdOut, rep, explore::writeTrendMarkdown))
+        return 2;
+    if (!jsonOut.empty() &&
+        !writeReport(jsonOut, rep, explore::writeTrendJson))
+        return 2;
+
+    if (rep.regressed()) {
+        std::fprintf(stderr, "mipsx-trend: gated regression (threshold "
+                             "%g%%)\n",
+                     rep.thresholdPct);
+        return reportOnly ? 0 : 1;
+    }
+    return 0;
+} catch (const cli::UsageError &e) {
+    std::fprintf(stderr, "mipsx-trend: %s\n", e.what());
+    return 2;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "mipsx-trend: %s\n", e.what());
+    return 2;
+}
