@@ -1,0 +1,231 @@
+/**
+ * @file
+ * E15 — parallel interval simulation over a cache-thrashing workload.
+ *
+ * The cycle-accurate pipeline is the slow path of every study in this
+ * repo, and it is serial by nature. This harness measures what the
+ * checkpointed interval engine buys on a multi-million-instruction
+ * scaled workload whose data footprint thrashes the external cache
+ * (the regime the paper's 50-270 KByte benchmarks lived in):
+ *
+ *  - a monolithic cycle-accurate run (the baseline everyone pays),
+ *  - sampled interval runs at --jobs 1/2/8 (plan once on the block-
+ *    mode ISS, simulate a 16k-instruction window per interval after a
+ *    12k warm-up, extrapolate to the interval length),
+ *  - an exact interval run (windows tile the whole run) whose stitched
+ *    instruction count must equal the monolithic run's bit for bit.
+ *
+ * The deterministic acceptance bars are enforced here (nonzero exit):
+ * estimated cycles within 1% of monolithic, byte-identical results at
+ * every jobs count, exact-mode instruction identity. The wall-clock
+ * speedup is reported but never gated — host timing belongs to the
+ * machine, not the simulator.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/interval.hh"
+#include "sim/machine.hh"
+#include "stats/table.hh"
+#include "workload/prepared.hh"
+#include "workload/workload.hh"
+
+using namespace mipsx;
+using bench::BenchJson;
+
+namespace
+{
+
+/** Best-of-k wall time: the minimum over @p k calls of @p fn. */
+template <typename Fn>
+double
+bestSeconds(unsigned k, Fn &&fn)
+{
+    double best = 1e300;
+    for (unsigned i = 0; i < k; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        best = std::min(best, dt.count());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "E15", "parallel interval simulation on a thrashing workload",
+        "checkpointed sampling makes big cycle-accurate runs cheap "
+        "without changing any verdict");
+
+    // ~19.5M dynamic instructions sweeping a 128K-word array through a
+    // 4K-word external cache: a 32x capacity thrash, so the monolithic
+    // steady state misses as hard as a freshly warmed interval window
+    // and the read-modify-write stores dirty every line a window
+    // touches (write-back traffic reproduces under short warm-up).
+    const auto w = workload::scaledLoopNest("bigwork", 1u << 17, 16, 77);
+    sim::MachineConfig cfg;
+    cfg.cpu.ecache.sizeWords = 4096;
+
+    const auto prep = workload::prepareWorkload(w, {}, false);
+    const auto *decoded = &prep->decoded;
+    const unsigned reps = 3;
+
+    // --- The monolithic baseline. -----------------------------------
+    core::RunResult monoResult;
+    std::uint64_t monoCommitted = 0;
+    const double monoSec = bestSeconds(reps, [&] {
+        sim::Machine m(cfg);
+        m.load(prep->image, decoded);
+        monoResult = m.run();
+        monoCommitted = m.cpu().stats().committed;
+    });
+    if (monoResult.reason != core::StopReason::Halt)
+        fatal("bigwork: monolithic run did not halt");
+
+    // --- Sampled interval runs at jobs 1/2/8. ------------------------
+    sim::IntervalConfig ic;
+    ic.intervals = 12;
+    ic.warmup = 12000;
+    ic.sample = 16000;
+    ic.totalHint = w.dynamicEstimate;
+    ic.phases = w.dynamicPhases;
+
+    struct JobsRun
+    {
+        unsigned jobs;
+        double seconds = 0;
+        sim::IntervalResult r;
+    } runs[] = {{1, 0, {}}, {2, 0, {}}, {8, 0, {}}};
+    for (auto &jr : runs) {
+        ic.jobs = jr.jobs;
+        jr.seconds = bestSeconds(reps, [&] {
+            jr.r = sim::runIntervals(prep->image, cfg, ic, decoded);
+        });
+        if (!jr.r.intervalRan)
+            fatal(strformat("bigwork: fell back at jobs %u: %s",
+                            jr.jobs, jr.r.fallback.c_str()));
+        if (!jr.r.passed)
+            fatal(strformat("bigwork: interval run failed at jobs %u",
+                            jr.jobs));
+    }
+
+    // Byte-identity across jobs counts: pieces, stitched and estimated
+    // aggregates must all match the jobs=1 reference exactly.
+    unsigned jobsMismatches = 0;
+    for (const auto &jr : {runs[1], runs[2]}) {
+        if (jr.r.pieces != runs[0].r.pieces ||
+            jr.r.stitched != runs[0].r.stitched ||
+            jr.r.estimated != runs[0].r.estimated)
+            ++jobsMismatches;
+    }
+
+    // --- The exact mode: windows tile the run, no extrapolation. -----
+    sim::IntervalConfig exact = ic;
+    exact.sample = 0;
+    exact.jobs = 8;
+    sim::IntervalResult exactRun;
+    const double exactSec = bestSeconds(1, [&] {
+        exactRun = sim::runIntervals(prep->image, cfg, exact, decoded);
+    });
+    const unsigned exactMismatch =
+        (!exactRun.exact ||
+         exactRun.stitched.pipeline.committed != monoCommitted)
+        ? 1
+        : 0;
+
+    // --- Report. ------------------------------------------------------
+    const auto &est = runs[0].r.estimated.pipeline;
+    const double cycErrPct = 100.0 *
+        (static_cast<double>(est.cycles) -
+         static_cast<double>(monoResult.cycles)) /
+        static_cast<double>(monoResult.cycles);
+    const double exactCycErrPct = 100.0 *
+        (static_cast<double>(exactRun.stitched.pipeline.cycles) -
+         static_cast<double>(monoResult.cycles)) /
+        static_cast<double>(monoResult.cycles);
+
+    stats::Table table("bigwork: monolithic vs interval (best of 3)",
+                       {"run", "seconds", "speedup", "cycles",
+                        "cycle err"});
+    table.addRow({"monolithic", strformat("%.3f", monoSec), "1.00x",
+                  strformat("%llu",
+                            (unsigned long long)monoResult.cycles),
+                  "--"});
+    for (const auto &jr : runs) {
+        table.addRow(
+            {strformat("intervals --jobs %u", jr.jobs),
+             strformat("%.3f", jr.seconds),
+             strformat("%.2fx", monoSec / jr.seconds),
+             strformat("%llu", (unsigned long long)
+                                   jr.r.estimated.pipeline.cycles),
+             strformat("%+.3f%%", cycErrPct)});
+    }
+    table.addRow({"intervals exact", strformat("%.3f", exactSec),
+                  strformat("%.2fx", monoSec / exactSec),
+                  strformat("%llu",
+                            (unsigned long long)
+                                exactRun.stitched.pipeline.cycles),
+                  strformat("%+.3f%%", exactCycErrPct)});
+    table.print(std::cout);
+
+    BenchJson json("bigwork");
+    json.set("bigwork.instructions", monoCommitted);
+    json.set("bigwork.mono.cycles", monoResult.cycles);
+    json.set("bigwork.estimated.cycles",
+             std::uint64_t(est.cycles));
+    json.set("bigwork.estimated.committed",
+             std::uint64_t(est.committed));
+    json.set("bigwork.estimated.cpi", est.cpi());
+    json.set("bigwork.cycle_error_pct", cycErrPct);
+    json.set("bigwork.cycle_error_abs_pct", std::fabs(cycErrPct));
+    json.set("bigwork.exact.cycles",
+             std::uint64_t(exactRun.stitched.pipeline.cycles));
+    json.set("bigwork.exact.committed",
+             std::uint64_t(exactRun.stitched.pipeline.committed));
+    json.set("bigwork.exact.cycle_error_abs_pct",
+             std::fabs(exactCycErrPct));
+    json.set("bigwork.jobs_mismatches", std::uint64_t(jobsMismatches));
+    json.set("bigwork.exact_committed_mismatch",
+             std::uint64_t(exactMismatch));
+    json.set("bigwork.intervals", std::uint64_t(ic.intervals));
+    json.set("bigwork.warmup", ic.warmup);
+    json.set("bigwork.sample", ic.sample);
+    json.set("bigwork.plan_iss_instructions",
+             runs[0].r.planIssInstructions);
+    json.set("bigwork.warmup_instructions",
+             runs[0].r.warmupInstructions);
+    // Host timing: report-only, never gated by the trend job.
+    json.set("bigwork.mono_seconds", monoSec);
+    json.set("bigwork.jobs1_seconds", runs[0].seconds);
+    json.set("bigwork.jobs2_seconds", runs[1].seconds);
+    json.set("bigwork.jobs8_seconds", runs[2].seconds);
+    json.set("bigwork.speedup_jobs1", monoSec / runs[0].seconds);
+    json.set("bigwork.speedup_jobs2", monoSec / runs[1].seconds);
+    json.set("bigwork.speedup_jobs8", monoSec / runs[2].seconds);
+    json.set("bigwork.exact_seconds", exactSec);
+    json.write();
+
+    std::printf("\nsampled estimate off by %+.3f%% over %llu "
+                "instructions; jobs 1/2/8 %s; exact mode %s\n",
+                cycErrPct, (unsigned long long)monoCommitted,
+                jobsMismatches ? "DIVERGED" : "byte-identical",
+                exactMismatch ? "MISMATCHED" : "instruction-exact");
+
+    // Deterministic acceptance bars only; wall-clock stays advisory.
+    if (std::fabs(cycErrPct) >= 1.0)
+        fatal("bigwork: sampled cycle estimate off by >= 1%");
+    if (jobsMismatches)
+        fatal("bigwork: results differ across jobs counts");
+    if (exactMismatch)
+        fatal("bigwork: exact tiling lost instructions");
+    return 0;
+}

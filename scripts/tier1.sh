@@ -294,6 +294,32 @@ cmp "$smoke/serve-j1.ndjson" "$smoke/serve-j4.ndjson"
 cmp "$smoke/serve-j1.ndjson" "$smoke/serve-j2.ndjson"
 echo "serve determinism smoke OK: --jobs 1/2/4 byte-identical"
 
+echo "== tier-1: interval simulation determinism smoke run =="
+# A checkpointed interval run with a warm-up that covers the full prior
+# history must stitch to the direct run's counters cycle for cycle, and
+# the metrics file must be byte-identical at any worker count.
+"$build/tools/mipsx-run" --intervals 4 --warmup 1000000000 --jobs 1 \
+    --metrics-json="$smoke/interval-j1.json" \
+    "$repo/examples/asm/sumarray.s" > /dev/null
+"$build/tools/mipsx-run" --intervals 4 --warmup 1000000000 --jobs 8 \
+    --metrics-json="$smoke/interval-j8.json" \
+    "$repo/examples/asm/sumarray.s" > /dev/null
+cmp "$smoke/interval-j1.json" "$smoke/interval-j8.json"
+python3 - "$smoke/interval-j1.json" "$smoke/direct.json" << 'PYEOF'
+import json, sys
+iv = json.load(open(sys.argv[1]))
+direct = json.load(open(sys.argv[2]))
+assert iv["interval.passed"] == 1
+assert iv["interval.fallback"] == 0
+assert iv["interval.exact"] == 1, "full warm-up must stitch exactly"
+assert iv["interval.cycles"] == direct["cpu0.pipeline.cycles"], \
+    "stitched cycles diverge from the direct run"
+assert iv["interval.committed"] == direct["cpu0.pipeline.instructions"], \
+    "stitched instructions diverge from the direct run"
+print("interval smoke OK: %d pieces stitch to %d cycles, --jobs 1/8 "
+      "byte-identical" % (iv["interval.intervals"], iv["interval.cycles"]))
+PYEOF
+
 echo "== tier-1: mipsx-serve load-generator bench =="
 # The load generator must push >=1000 jobs through an in-process
 # server and record throughput/latency stats in BENCH_serve.json.

@@ -28,6 +28,7 @@ stopReasonName(StopReason r)
       case StopReason::InvalidInstruction: return "invalid-instruction";
       case StopReason::UnhandledException: return "unhandled-exception";
       case StopReason::HazardViolation: return "hazard-violation";
+      case StopReason::CommitLimit: return "commit-limit";
     }
     return "?";
 }
@@ -1047,6 +1048,18 @@ RunResult
 Cpu::run()
 {
     while (!stopped())
+        step();
+    RunResult r;
+    r.reason = stop_;
+    r.cycles = stats_.cycles;
+    r.instructions = stats_.committed;
+    return r;
+}
+
+RunResult
+Cpu::runUntilCommitted(std::uint64_t target)
+{
+    while (!stopped() && stats_.committed < target)
         step();
     RunResult r;
     r.reason = stop_;

@@ -126,6 +126,7 @@ enum class StopReason : std::uint8_t
     InvalidInstruction,
     UnhandledException, ///< vectored to 0 but no handler is loaded
     HazardViolation,    ///< load-delay violation with stopOnHazard
+    CommitLimit,        ///< a caller-imposed retire-count cut was reached
 };
 
 const char *stopReasonName(StopReason r);
@@ -151,6 +152,8 @@ struct PipelineStats
     std::uint64_t exceptions = 0;
     std::uint64_t interrupts = 0;
     std::uint64_t hazardViolations = 0;
+
+    bool operator==(const PipelineStats &) const = default;
 
     double cpi() const
     {
@@ -216,6 +219,19 @@ class Cpu
 
     /** Run until the workload halts or a stop condition hits. */
     RunResult run();
+
+    /**
+     * Run until at least @p target instructions have retired (or a
+     * stop condition hits first). The pause happens *between* steps
+     * without entering a stopped state: at most one instruction
+     * retires per step, so the cut lands exactly at the requested
+     * retire count and a later run()/runUntilCommitted() resumes with
+     * the identical step sequence an uninterrupted run would have
+     * executed. The result's reason stays Running when the target cut
+     * the run (the interval engine maps that to CommitLimit); stop_
+     * is never set, so stopped() remains false.
+     */
+    RunResult runUntilCommitted(std::uint64_t target);
 
     /** Execute one w1-clocked cycle (plus any stall cycles it causes). */
     void step();

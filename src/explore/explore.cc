@@ -47,7 +47,7 @@ const std::vector<std::string> &
 suiteNames()
 {
     static const std::vector<std::string> names = {
-        "full", "big-code", "pascal", "lisp", "fp"};
+        "full", "big-code", "pascal", "lisp", "fp", "scaled"};
     return names;
 }
 
@@ -64,8 +64,10 @@ suiteByName(const std::string &name)
         return workload::lispWorkloads();
     if (name == "fp")
         return workload::fpWorkloads();
+    if (name == "scaled")
+        return workload::scaledWorkloads();
     fatal(strformat("explore: unknown suite '%s' (want full, big-code, "
-                    "pascal, lisp or fp)",
+                    "pascal, lisp, fp or scaled)",
                     name.c_str()));
 }
 

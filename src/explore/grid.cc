@@ -375,6 +375,46 @@ const Param paramTable[] = {
         const std::string &v) {
          o.machine.fastForward.instructions = parseU(p, v);
      }},
+    {{"machine.intervals", "integer >= 1",
+      "split every run into N checkpointed intervals simulated "
+      "independently and stitched deterministically (1 = monolithic)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         const unsigned n = parseU(p, v);
+         if (n == 0)
+             badValue(p, v, "at least 1 interval");
+         o.machine.intervals = n;
+     }},
+    {{"machine.warmup", "instruction count (0 = off)",
+      "warm-up prefix excluded from the stats: the gate of a plain "
+      "run, or each interval's cache re-priming prefix"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.warmupInstructions = parseU(p, v);
+     }},
+    {{"machine.sample", "instruction count (0 = exact)",
+      "cycle-accurate window per interval, extrapolated to the "
+      "interval's length (sampled simulation; needs intervals > 1)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.machine.sampleWindow = parseU(p, v);
+     }},
+    {{"mp.machines", "integer >= 1",
+      "run every workload on an N-CPU shared-memory multiprocessor in "
+      "lockstep (1 = the uniprocessor Machine)"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         const unsigned n = parseU(p, v);
+         if (n == 0 || n > 64)
+             badValue(p, v, "1 to 64 CPUs");
+         o.mpMachines = n;
+     }},
+    {{"mp.stackSpacing", "power of two",
+      "words between per-CPU stacks in the multiprocessor convention"},
+     [](workload::SuiteRunOptions &o, const std::string &p,
+        const std::string &v) {
+         o.mpStackSpacing = parsePow2(p, v);
+     }},
 };
 
 const Param *

@@ -120,6 +120,26 @@ class MainMemory
     std::size_t residentPages() const { return pages_.size(); }
 
     /**
+     * A deep copy of the memory image (pages + predecode flag) with an
+     * *empty* decode store. The interval planner snapshots its planning
+     * machine's memory at every checkpoint this way; dropping the
+     * cached decodes keeps the copy trivially exact under
+     * self-modifying code (the seeded run re-decodes lazily, the same
+     * rule as a cold start), and avoids sharing the DecodedImage's
+     * internal page cache across threads.
+     */
+    MainMemory
+    cloneImage() const
+    {
+        MainMemory out;
+        out.predecode_ = predecode_;
+        out.pages_.reserve(pages_.size());
+        for (const auto &[key, page] : pages_)
+            out.pages_.emplace(key, std::make_unique<Page>(*page));
+        return out;
+    }
+
+    /**
      * All non-zero words as a sorted (physKey -> value) map. Used by the
      * co-simulation checker to compare final memory states.
      */

@@ -21,6 +21,7 @@
 #include "common/sim_error.hh"
 #include "explore/explore.hh"
 #include "explore/grid.hh"
+#include "sim/interval.hh"
 #include "sim/machine.hh"
 #include "workload/prepared.hh"
 #include "workload/suite_runner.hh"
@@ -52,8 +53,12 @@ compactMetricsJson(const trace::MetricsRegistry &m)
 const workload::Workload *
 findWorkload(const std::string &name)
 {
-    static const std::vector<workload::Workload> all =
-        workload::fullSuite();
+    static const std::vector<workload::Workload> all = [] {
+        auto ws = workload::fullSuite();
+        const auto scaled = workload::scaledWorkloads();
+        ws.insert(ws.end(), scaled.begin(), scaled.end());
+        return ws;
+    }();
     for (const auto &w : all)
         if (w.name == name)
             return &w;
@@ -136,6 +141,47 @@ runOneProgram(const JobRequest &req, const ServeConfig &config)
     }
 
     try {
+        if (point.machine.intervals > 1) {
+            // The interval engine (machine.intervals/.warmup/.sample
+            // config params): checkpointed pieces on a one-worker pool
+            // — the serve job queue is the parallel axis — with the
+            // workload's own size/phase hints when it carries them.
+            sim::IntervalConfig ic;
+            ic.intervals = point.machine.intervals;
+            ic.warmup = point.machine.warmupInstructions;
+            ic.sample = point.machine.sampleWindow;
+            ic.jobs = 1;
+            ic.predecode = point.predecode;
+            ic.totalHint = w.dynamicEstimate;
+            ic.phases = w.dynamicPhases;
+            const auto r = sim::runIntervals(
+                prep->image, point.machine, ic,
+                point.predecode ? &prep->decoded : nullptr);
+            trace::MetricsRegistry m;
+            sim::collectMetrics(r, m);
+            JobOutcome out;
+            out.ok = true;
+            out.passed = r.passed;
+            out.resultJson = strformat(
+                "{\"stop\":%s,\"passed\":%s,\"cycles\":%llu,"
+                "\"instructions\":%llu,\"interval\":{"
+                "\"pieces\":%zu,\"exact\":%s,"
+                "\"warmup_instructions\":%llu,"
+                "\"warmup_cycles\":%llu},",
+                jsonQuote(core::stopReasonName(r.result.reason)).c_str(),
+                out.passed ? "true" : "false",
+                static_cast<unsigned long long>(
+                    r.estimated.pipeline.cycles),
+                static_cast<unsigned long long>(
+                    r.estimated.pipeline.committed),
+                r.pieces.size(), r.exact ? "true" : "false",
+                static_cast<unsigned long long>(r.warmupInstructions),
+                static_cast<unsigned long long>(r.warmupCycles));
+            out.resultJson += "\"metrics\":";
+            out.resultJson += compactMetricsJson(m);
+            out.resultJson += "}";
+            return out;
+        }
         sim::Machine machine(point.machine);
         machine.memory().setPredecodeEnabled(point.predecode);
         machine.load(prep->image,
@@ -162,6 +208,13 @@ runOneProgram(const JobRequest &req, const ServeConfig &config)
                 "\"fast_forward_steps\":%llu,",
                 static_cast<unsigned long long>(
                     machine.fastForwarded().issSteps));
+        if (machine.warmup().ran)
+            out.resultJson += strformat(
+                "\"warmup_instructions\":%llu,\"warmup_cycles\":%llu,",
+                static_cast<unsigned long long>(
+                    machine.warmup().baseline.pipeline.committed),
+                static_cast<unsigned long long>(
+                    machine.warmup().baseline.pipeline.cycles));
         out.resultJson += "\"metrics\":";
         out.resultJson += compactMetricsJson(m);
         out.resultJson += "}";

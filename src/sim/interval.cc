@@ -1,0 +1,415 @@
+#include "sim/interval.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "coproc/counter_cop.hh"
+#include "coproc/fpu.hh"
+#include "isa/isa.hh"
+#include "trace/metrics.hh"
+
+namespace mipsx::sim
+{
+
+namespace
+{
+
+const char *
+issStopName(IssStop st)
+{
+    switch (st) {
+      case IssStop::Running: return "running";
+      case IssStop::Halt: return "halt";
+      case IssStop::Fail: return "fail";
+      case IssStop::MaxSteps: return "max-steps";
+      case IssStop::InvalidInstruction: return "invalid-instruction";
+      case IssStop::UnhandledException: return "unhandled-exception";
+    }
+    return "?";
+}
+
+/**
+ * The planning ISS mirrors Machine::fastForwardPhase exactly: same
+ * mode, same initial PSW/stack, same coprocessors, block execution.
+ * Its maxSteps is the pipeline's cycle budget — the pipeline retires
+ * at most one instruction per cycle, so any run it could finish takes
+ * at most that many ISS steps.
+ */
+IssConfig
+planIssConfig(const MachineConfig &cfg, const assembler::Program &prog)
+{
+    IssConfig ic;
+    ic.mode = IssMode::Delayed;
+    ic.branchDelay = cfg.cpu.branchDelay;
+    ic.exec = IssExec::Block;
+    ic.initialPsw = cfg.cpu.initialPsw;
+    if (prog.entrySpace == AddressSpace::System)
+        ic.initialPsw |= isa::psw_bits::mode;
+    ic.maxSteps = cfg.cpu.maxCycles;
+    return ic;
+}
+
+void
+attachPlanCops(Iss &iss, const MachineConfig &cfg)
+{
+    if (cfg.attachFpu)
+        iss.attachCoprocessor(1, std::make_unique<coproc::Fpu>());
+    if (cfg.attachCounterCop)
+        iss.attachCoprocessor(2, std::make_unique<coproc::CounterCop>());
+}
+
+/** Snapshot the full architectural state at the ISS's current step. */
+Checkpoint
+capture(const Iss &iss, const memory::MainMemory &mem,
+        const MachineConfig &cfg)
+{
+    Checkpoint cp;
+    cp.steps = iss.stats().steps;
+    cp.pc = iss.pc();
+    cp.gprs.resize(numGprs, 0);
+    for (unsigned r = 1; r < numGprs; ++r)
+        cp.gprs[r] = iss.gpr(r);
+    cp.md = iss.md();
+    cp.psw = iss.psw().bits();
+    cp.pswOld = iss.pswOld().bits();
+    cp.pcChain.resize(pcChainDepth, 0);
+    for (unsigned i = 0; i < pcChainDepth; ++i)
+        cp.pcChain[i] = iss.pcChain().read(i);
+    if (cfg.attachFpu) {
+        cp.hasFpu = true;
+        const auto &src =
+            static_cast<const coproc::Fpu &>(iss.coprocessor(1));
+        for (unsigned r = 0; r < 32; ++r)
+            cp.fpuRegs[r] = src.regBits(r);
+        cp.fpuCondition = src.condition();
+    }
+    if (cfg.attachCounterCop) {
+        cp.hasCounterCop = true;
+        const auto &src =
+            static_cast<const coproc::CounterCop &>(iss.coprocessor(2));
+        cp.copCounter = src.counter();
+        cp.copThreshold = src.threshold();
+    }
+    cp.memory = mem.cloneImage();
+    return cp;
+}
+
+/** Round-to-nearest v * num / den without intermediate overflow. */
+std::uint64_t
+scaleCount(std::uint64_t v, std::uint64_t num, std::uint64_t den)
+{
+    if (!den || !v)
+        return 0;
+    const auto wide = static_cast<unsigned __int128>(v) * num + den / 2;
+    return static_cast<std::uint64_t>(wide / den);
+}
+
+/** Every counter of @p c scaled by num/den (window -> interval). */
+MachineCounters
+scaleCounters(const MachineCounters &c, std::uint64_t num,
+              std::uint64_t den)
+{
+    MachineCounters s;
+    const auto f = [&](std::uint64_t v) { return scaleCount(v, num, den); };
+    s.pipeline.cycles = f(c.pipeline.cycles);
+    s.pipeline.committed = f(c.pipeline.committed);
+    s.pipeline.committedNops = f(c.pipeline.committedNops);
+    s.pipeline.nopsInBranchSlots = f(c.pipeline.nopsInBranchSlots);
+    s.pipeline.nopsForLoadDelay = f(c.pipeline.nopsForLoadDelay);
+    s.pipeline.squashed = f(c.pipeline.squashed);
+    s.pipeline.branches = f(c.pipeline.branches);
+    s.pipeline.branchesTaken = f(c.pipeline.branchesTaken);
+    s.pipeline.branchSquashTriggers = f(c.pipeline.branchSquashTriggers);
+    s.pipeline.branchWastedSlots = f(c.pipeline.branchWastedSlots);
+    s.pipeline.jumps = f(c.pipeline.jumps);
+    s.pipeline.jumpWastedSlots = f(c.pipeline.jumpWastedSlots);
+    s.pipeline.traps = f(c.pipeline.traps);
+    s.pipeline.exceptions = f(c.pipeline.exceptions);
+    s.pipeline.interrupts = f(c.pipeline.interrupts);
+    s.pipeline.hazardViolations = f(c.pipeline.hazardViolations);
+    s.icacheAccesses = f(c.icacheAccesses);
+    s.icacheMisses = f(c.icacheMisses);
+    s.icacheRefillWords = f(c.icacheRefillWords);
+    s.icacheStalls = f(c.icacheStalls);
+    s.ecacheAccesses = f(c.ecacheAccesses);
+    s.ecacheMisses = f(c.ecacheMisses);
+    s.ecacheWritebacks = f(c.ecacheWritebacks);
+    s.ecacheMemCycles = f(c.ecacheMemCycles);
+    s.ecacheStalls = f(c.ecacheStalls);
+    return s;
+}
+
+/** One interval's marching orders (checkpoint + window geometry). */
+struct PieceSpec
+{
+    std::uint64_t handoff = 0; ///< checkpoint step (clean boundary)
+    std::uint64_t gateRel = 0; ///< warm-up commits before the gate
+    std::uint64_t cutRel = 0;  ///< retire cut past the handoff (0 = halt)
+    std::uint64_t length = 0;  ///< nominal interval length
+    Checkpoint cp;
+};
+
+/**
+ * The fallback (and <= 1 interval) path: one plain Machine run,
+ * reported as a single piece so callers see one result shape. This
+ * reproduces exactly what a non-interval run would have produced.
+ */
+IntervalResult
+runMonolithic(const assembler::Program &prog, const MachineConfig &cfg,
+              const IntervalConfig &ic,
+              const memory::DecodedImage::Snapshot *decoded,
+              std::string why)
+{
+    IntervalResult out;
+    out.fallback = std::move(why);
+    MachineConfig mc = cfg;
+    mc.intervals = 1;
+    Machine m(mc);
+    m.memory().setPredecodeEnabled(ic.predecode);
+    m.load(prog, ic.predecode ? decoded : nullptr);
+    out.result = m.run();
+    out.passed = out.result.halted();
+
+    IntervalPiece p;
+    p.handoff = m.fastForwarded().ran ? m.fastForwarded().issSteps : 0;
+    p.begin = p.handoff + m.warmup().baseline.pipeline.committed;
+    p.end = p.handoff + m.cpu().stats().committed;
+    p.length = p.end - p.begin;
+    p.reason = out.result.reason;
+    p.warmup = m.warmup().baseline;
+    p.steady = m.steadyCounters();
+    out.stitched = p.steady;
+    out.estimated = p.steady;
+    out.planInstructions = p.end;
+    out.planIssInstructions = p.handoff;
+    out.warmupInstructions = p.handoff + (p.begin - p.handoff);
+    out.warmupCycles = p.warmup.pipeline.cycles;
+    out.exact = out.passed && !m.fastForwarded().ran && !m.warmup().ran &&
+        !cfg.maxCommitted;
+    out.pieces.push_back(std::move(p));
+    return out;
+}
+
+} // namespace
+
+IntervalResult
+runIntervals(const assembler::Program &prog, const MachineConfig &cfg,
+             const IntervalConfig &ic,
+             const memory::DecodedImage::Snapshot *decoded)
+{
+    const unsigned want = std::max(1u, ic.intervals);
+    if (want <= 1)
+        return runMonolithic(prog, cfg, ic, decoded, "single interval");
+
+    std::uint64_t planIss = 0;
+
+    // How long is the run? The generator's hint if it gave one, else a
+    // whole-run ISS pass. Only boundary placement depends on this.
+    std::uint64_t total = ic.totalHint;
+    if (!total) {
+        memory::MainMemory mem;
+        mem.loadProgram(prog, decoded);
+        Iss iss(planIssConfig(cfg, prog), mem);
+        attachPlanCops(iss, cfg);
+        iss.reset(prog.entry);
+        iss.setGpr(isa::reg::sp, cfg.stackTop);
+        const IssStop st = iss.run();
+        planIss += iss.stats().steps;
+        if (st != IssStop::Halt && st != IssStop::Fail) {
+            return runMonolithic(
+                prog, cfg, ic, decoded,
+                std::string("plan: ISS stopped with ") + issStopName(st));
+        }
+        total = iss.stats().steps;
+    }
+    if (total < 2 * static_cast<std::uint64_t>(want)) {
+        return runMonolithic(prog, cfg, ic, decoded,
+                             "plan: run too short to split");
+    }
+
+    // Interval boundaries: equal instruction-count splits of [0, total),
+    // plus every phase hint, so no interval straddles a behaviour shift.
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(want - 1 + ic.phases.size());
+    for (unsigned i = 1; i < want; ++i)
+        bounds.push_back(total / want * i + total % want * i / want);
+    for (const std::uint64_t ph : ic.phases)
+        bounds.push_back(ph);
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    std::erase_if(bounds,
+                  [&](std::uint64_t b) { return b == 0 || b >= total; });
+
+    // Checkpoint pass: ONE continuous ISS run over its own memory,
+    // pausing at every interval's warm-up start (a clean boundary at
+    // or just past begin - warmup) to snapshot registers + memory.
+    // Serial and jobs-independent by construction.
+    std::vector<PieceSpec> specs;
+    specs.reserve(bounds.size() + 1);
+    {
+        memory::MainMemory mem;
+        mem.loadProgram(prog, decoded);
+        Iss iss(planIssConfig(cfg, prog), mem);
+        attachPlanCops(iss, cfg);
+        iss.reset(prog.entry);
+        iss.setGpr(isa::reg::sp, cfg.stackTop);
+
+        const std::size_t count = bounds.size() + 1;
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint64_t begin = i == 0 ? 0 : bounds[i - 1];
+            const std::uint64_t end = i + 1 < count ? bounds[i] : total;
+            const std::uint64_t target =
+                begin > ic.warmup ? begin - ic.warmup : 0;
+            if (target > iss.stats().steps) {
+                IssCheckpoint cp;
+                cp.steps = target;
+                if (iss.runUntil(cp) != IssStop::Running)
+                    break; // the run really ends before this piece
+            }
+            const std::uint64_t handoff = iss.stats().steps;
+            if (handoff >= end)
+                continue; // warm-up drain overshot the whole interval
+            PieceSpec sp;
+            sp.handoff = handoff;
+            sp.length = end - begin;
+            const std::uint64_t gate = std::max(begin, handoff);
+            sp.gateRel = gate - handoff;
+            std::uint64_t cut = end; // exact tiling: the next window
+            if (ic.sample)
+                cut = std::min(gate + ic.sample, end);
+            const bool toHalt = i + 1 == count && !ic.sample;
+            sp.cutRel = toHalt ? 0 : cut - handoff;
+            sp.cp = capture(iss, mem, cfg);
+            specs.push_back(std::move(sp));
+        }
+        planIss += iss.stats().steps;
+    }
+    if (specs.empty()) {
+        return runMonolithic(prog, cfg, ic, decoded,
+                             "plan: no viable intervals");
+    }
+
+    // Simulate the pieces cycle-accurately — independent machines, one
+    // result slot each, merged in interval order after the join.
+    std::vector<IntervalPiece> pieces(specs.size());
+    auto runPiece = [&](std::size_t i) {
+        PieceSpec &sp = specs[i];
+        MachineConfig mc = cfg;
+        mc.intervals = 1;
+        mc.fastForward = {};
+        mc.warmupInstructions = sp.gateRel;
+        mc.maxCommitted = sp.cutRel;
+        Machine m(mc);
+        m.seedCheckpoint(prog, std::move(sp.cp));
+        m.memory().setPredecodeEnabled(ic.predecode);
+        const core::RunResult r = m.run();
+        IntervalPiece &p = pieces[i];
+        p.index = static_cast<unsigned>(i);
+        p.handoff = sp.handoff;
+        p.begin = sp.handoff + m.warmup().baseline.pipeline.committed;
+        p.end = sp.handoff + m.cpu().stats().committed;
+        p.length = sp.length;
+        p.reason = r.reason;
+        p.warmup = m.warmup().baseline;
+        p.steady = m.steadyCounters();
+    };
+    const unsigned hw = std::thread::hardware_concurrency();
+    unsigned jobs = ic.jobs ? ic.jobs : (hw ? hw : 1);
+    jobs = std::min<unsigned>(std::max(jobs, 1u),
+                              static_cast<unsigned>(specs.size()));
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            runPiece(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (std::size_t i = next.fetch_add(1); i < specs.size();
+                 i = next.fetch_add(1))
+                runPiece(i);
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Stitch in interval order (deterministic for any jobs count).
+    IntervalResult out;
+    out.intervalRan = true;
+    out.planIssInstructions = planIss;
+    out.pieces = std::move(pieces);
+    bool contiguous = out.pieces.front().begin == 0;
+    bool cleanPieces = true;
+    for (std::size_t i = 0; i < out.pieces.size(); ++i) {
+        const IntervalPiece &p = out.pieces[i];
+        accumulateCounters(out.stitched, p.steady);
+        const std::uint64_t window = p.end - p.begin;
+        accumulateCounters(
+            out.estimated,
+            window == p.length ? p.steady
+                               : scaleCounters(p.steady, p.length, window));
+        out.warmupInstructions += p.begin - p.handoff;
+        out.warmupCycles += p.warmup.pipeline.cycles;
+        if (i + 1 < out.pieces.size() &&
+            p.end != out.pieces[i + 1].begin)
+            contiguous = false;
+        if (p.reason != core::StopReason::Halt &&
+            p.reason != core::StopReason::CommitLimit)
+            cleanPieces = false;
+    }
+    const IntervalPiece &last = out.pieces.back();
+    const bool finished = last.reason == core::StopReason::Halt ||
+        last.reason == core::StopReason::Fail;
+    out.exact = !ic.sample && contiguous && finished;
+    out.planInstructions = finished ? last.end : total;
+    out.result.reason = last.reason;
+    out.result.cycles = out.stitched.pipeline.cycles;
+    out.result.instructions = out.stitched.pipeline.committed;
+    out.passed = ic.sample
+        ? cleanPieces
+        : last.reason == core::StopReason::Halt;
+    return out;
+}
+
+void
+collectMetrics(const IntervalResult &r, trace::MetricsRegistry &m,
+               const std::string &prefix)
+{
+    const std::string p = prefix + ".";
+    m.set(p + "intervals",
+          static_cast<std::uint64_t>(r.pieces.size()));
+    m.set(p + "fallback", static_cast<std::uint64_t>(r.intervalRan ? 0 : 1));
+    m.set(p + "exact", static_cast<std::uint64_t>(r.exact ? 1 : 0));
+    m.set(p + "passed", static_cast<std::uint64_t>(r.passed ? 1 : 0));
+    m.set(p + "plan_instructions", r.planInstructions);
+    m.set(p + "plan_iss_instructions", r.planIssInstructions);
+    m.set(p + "warmup_instructions", r.warmupInstructions);
+    m.set(p + "warmup_cycles", r.warmupCycles);
+
+    const auto counters = [&](const char *tag, const MachineCounters &c) {
+        const std::string q = p + tag;
+        m.set(q + "cycles", c.pipeline.cycles);
+        m.set(q + "committed", c.pipeline.committed);
+        m.set(q + "committed_nops", c.pipeline.committedNops);
+        m.set(q + "squashed", c.pipeline.squashed);
+        m.set(q + "branches", c.pipeline.branches);
+        m.set(q + "branches_taken", c.pipeline.branchesTaken);
+        m.set(q + "jumps", c.pipeline.jumps);
+        m.set(q + "icache_accesses", c.icacheAccesses);
+        m.set(q + "icache_misses", c.icacheMisses);
+        m.set(q + "icache_stalls", c.icacheStalls);
+        m.set(q + "ecache_accesses", c.ecacheAccesses);
+        m.set(q + "ecache_misses", c.ecacheMisses);
+        m.set(q + "ecache_stalls", c.ecacheStalls);
+        m.set(q + "cpi", c.pipeline.cpi());
+    };
+    counters("", r.stitched);
+    counters("est_", r.estimated);
+}
+
+} // namespace mipsx::sim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parallel interval simulation: checkpointed cycle-accurate runs.
+ *
+ * A monolithic cycle-accurate run is serial by nature — every cycle
+ * depends on the last. This engine splits the run into N
+ * instruction-count intervals instead: a single functional (ISS,
+ * superblock mode) planning pass over the program snapshots the full
+ * architectural state — registers, coprocessors, and a deep copy of
+ * memory — at each interval's warm-up start, and each interval is then
+ * simulated cycle-accurately on its own Machine, independently of the
+ * others, on a worker pool. A configurable warm-up prefix re-primes the
+ * caches and branch state before each interval's stats gate opens
+ * (Machine::warmupInstructions), and the cut between adjacent windows
+ * is an exact retire count (Machine::maxCommitted), so with
+ * sampleWindow = 0 the per-interval windows tile the monolithic run
+ * without gaps or overlaps: stitching the per-interval counters in
+ * interval order reproduces the run's aggregate statistics exactly —
+ * not sampled — and byte-identically at any jobs count (the plan is
+ * computed serially; workers write only their own slots).
+ *
+ * With sampleWindow > 0 only the first sampleWindow retired
+ * instructions of each window are simulated cycle-accurately and the
+ * interval's counters are extrapolated to its nominal length — the
+ * classic sampled-simulation tradeoff. That mode is what makes a
+ * multi-million-instruction run *cheaper* than monolithic even on one
+ * core: the planning ISS runs ~10x faster than the pipeline, and only
+ * a fraction of the instructions pay cycle-accurate cost. Still
+ * deterministic and jobs-independent, but estimated, not exact.
+ */
+
+#ifndef MIPSX_SIM_INTERVAL_HH
+#define MIPSX_SIM_INTERVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "memory/decoded_image.hh"
+#include "sim/machine.hh"
+
+namespace mipsx::trace
+{
+class MetricsRegistry;
+} // namespace mipsx::trace
+
+namespace mipsx::sim
+{
+
+/** How to split and simulate one run (see file header). */
+struct IntervalConfig
+{
+    /** Interval count; <= 1 degrades to a monolithic run. */
+    unsigned intervals = 2;
+    /**
+     * Warm-up prefix: each interval's checkpoint is taken this many
+     * instructions *before* the interval's window so the pipeline
+     * re-primes caches and branch state cycle-accurately before the
+     * stats gate opens. 0 = cold-start windows. A warm-up at least as
+     * long as every interval's start covers the full prior history —
+     * every piece then replays from instruction 0 and the stitched
+     * counters equal the monolithic run's bit for bit.
+     */
+    std::uint64_t warmup = 0;
+    /** Measured window per interval; 0 = the whole interval (exact). */
+    std::uint64_t sample = 0;
+    /** Worker threads over intervals; 0 = hardware concurrency. */
+    unsigned jobs = 1;
+    /** Predecode inside the per-interval machines (suite default). */
+    bool predecode = true;
+    /**
+     * Expected dynamic instruction count. When nonzero the planner
+     * places interval boundaries from the hint and skips the
+     * whole-run ISS counting pass (the scaled workload generators know
+     * their dynamic size). Only boundary *placement* uses it — an
+     * inaccurate hint skews interval sizes, never correctness: the
+     * final piece always runs to the real halt.
+     */
+    std::uint64_t totalHint = 0;
+    /**
+     * Dynamic-instruction indices where the program's behaviour shifts
+     * (e.g. the end of a data-initialization loop). Each becomes an
+     * extra interval boundary, so no sampled window extrapolates one
+     * phase's timing across another — the dominant sampling error for
+     * phase-structured programs. Hints like totalHint: they move
+     * boundaries, never correctness.
+     */
+    std::vector<std::uint64_t> phases;
+};
+
+/** One interval's outcome. */
+struct IntervalPiece
+{
+    unsigned index = 0;
+    std::uint64_t handoff = 0; ///< checkpoint instruction (clean boundary)
+    std::uint64_t begin = 0;   ///< window start (stats gate), absolute
+    std::uint64_t end = 0;     ///< one past the window's last instruction
+    std::uint64_t length = 0;  ///< nominal interval length (extrapolation)
+    core::StopReason reason = core::StopReason::Running;
+    MachineCounters warmup; ///< counters the warm-up spent (excluded)
+    MachineCounters steady; ///< the window's stitched contribution
+
+    bool operator==(const IntervalPiece &) const = default;
+};
+
+/** A stitched interval run (or the monolithic fallback). */
+struct IntervalResult
+{
+    bool intervalRan = false; ///< false = monolithic fallback
+    std::string fallback;     ///< why, when !intervalRan
+    /** Dynamic instructions of the whole run (actual when it halted). */
+    std::uint64_t planInstructions = 0;
+    /** ISS instructions the planning/checkpoint passes executed. */
+    std::uint64_t planIssInstructions = 0;
+    /**
+     * Stitched verdict: the final piece's stop reason with the
+     * stitched cycle/instruction totals.
+     */
+    core::RunResult result;
+    bool passed = false;
+    /**
+     * True when the measured windows tile the whole run exactly once
+     * (contiguous, starting at 0, ending at the real halt): the
+     * stitched counters are then exact aggregates, not estimates.
+     */
+    bool exact = false;
+    std::vector<IntervalPiece> pieces;
+    /** Sum of the measured windows, in interval order. */
+    MachineCounters stitched;
+    /**
+     * Windows extrapolated to their nominal interval lengths — the
+     * whole-run estimate in sampled mode; equals stitched when exact.
+     */
+    MachineCounters estimated;
+    std::uint64_t warmupInstructions = 0; ///< warm-up commits, all pieces
+    std::uint64_t warmupCycles = 0;       ///< warm-up cycles, all pieces
+};
+
+/**
+ * Split, simulate and stitch (see file header). Falls back to one
+ * monolithic run — reproducing plain Machine behaviour exactly — when
+ * the run cannot be split: fewer than two intervals requested, the
+ * planning ISS did not reach a clean halt/fail, or the run is too
+ * short. @p decoded is the optional prepared predecode snapshot of
+ * exactly @p prog.
+ */
+IntervalResult
+runIntervals(const assembler::Program &prog, const MachineConfig &cfg,
+             const IntervalConfig &ic,
+             const memory::DecodedImage::Snapshot *decoded = nullptr);
+
+/**
+ * Export the stitched aggregates, the whole-run estimate and the
+ * warm-up/plan accounting into @p m under "<prefix>.". Deterministic
+ * for any jobs count.
+ */
+void collectMetrics(const IntervalResult &r, trace::MetricsRegistry &m,
+                    const std::string &prefix = "interval");
+
+} // namespace mipsx::sim
+
+#endif // MIPSX_SIM_INTERVAL_HH

@@ -7,6 +7,88 @@
 namespace mipsx::sim
 {
 
+namespace
+{
+
+core::PipelineStats
+subtractStats(const core::PipelineStats &a, const core::PipelineStats &b)
+{
+    core::PipelineStats d;
+    d.cycles = a.cycles - b.cycles;
+    d.committed = a.committed - b.committed;
+    d.committedNops = a.committedNops - b.committedNops;
+    d.nopsInBranchSlots = a.nopsInBranchSlots - b.nopsInBranchSlots;
+    d.nopsForLoadDelay = a.nopsForLoadDelay - b.nopsForLoadDelay;
+    d.squashed = a.squashed - b.squashed;
+    d.branches = a.branches - b.branches;
+    d.branchesTaken = a.branchesTaken - b.branchesTaken;
+    d.branchSquashTriggers =
+        a.branchSquashTriggers - b.branchSquashTriggers;
+    d.branchWastedSlots = a.branchWastedSlots - b.branchWastedSlots;
+    d.jumps = a.jumps - b.jumps;
+    d.jumpWastedSlots = a.jumpWastedSlots - b.jumpWastedSlots;
+    d.traps = a.traps - b.traps;
+    d.exceptions = a.exceptions - b.exceptions;
+    d.interrupts = a.interrupts - b.interrupts;
+    d.hazardViolations = a.hazardViolations - b.hazardViolations;
+    return d;
+}
+
+void
+accumulateStats(core::PipelineStats &into, const core::PipelineStats &d)
+{
+    into.cycles += d.cycles;
+    into.committed += d.committed;
+    into.committedNops += d.committedNops;
+    into.nopsInBranchSlots += d.nopsInBranchSlots;
+    into.nopsForLoadDelay += d.nopsForLoadDelay;
+    into.squashed += d.squashed;
+    into.branches += d.branches;
+    into.branchesTaken += d.branchesTaken;
+    into.branchSquashTriggers += d.branchSquashTriggers;
+    into.branchWastedSlots += d.branchWastedSlots;
+    into.jumps += d.jumps;
+    into.jumpWastedSlots += d.jumpWastedSlots;
+    into.traps += d.traps;
+    into.exceptions += d.exceptions;
+    into.interrupts += d.interrupts;
+    into.hazardViolations += d.hazardViolations;
+}
+
+} // namespace
+
+MachineCounters
+subtractCounters(const MachineCounters &a, const MachineCounters &b)
+{
+    MachineCounters d;
+    d.pipeline = subtractStats(a.pipeline, b.pipeline);
+    d.icacheAccesses = a.icacheAccesses - b.icacheAccesses;
+    d.icacheMisses = a.icacheMisses - b.icacheMisses;
+    d.icacheRefillWords = a.icacheRefillWords - b.icacheRefillWords;
+    d.icacheStalls = a.icacheStalls - b.icacheStalls;
+    d.ecacheAccesses = a.ecacheAccesses - b.ecacheAccesses;
+    d.ecacheMisses = a.ecacheMisses - b.ecacheMisses;
+    d.ecacheWritebacks = a.ecacheWritebacks - b.ecacheWritebacks;
+    d.ecacheMemCycles = a.ecacheMemCycles - b.ecacheMemCycles;
+    d.ecacheStalls = a.ecacheStalls - b.ecacheStalls;
+    return d;
+}
+
+void
+accumulateCounters(MachineCounters &into, const MachineCounters &d)
+{
+    accumulateStats(into.pipeline, d.pipeline);
+    into.icacheAccesses += d.icacheAccesses;
+    into.icacheMisses += d.icacheMisses;
+    into.icacheRefillWords += d.icacheRefillWords;
+    into.icacheStalls += d.icacheStalls;
+    into.ecacheAccesses += d.ecacheAccesses;
+    into.ecacheMisses += d.ecacheMisses;
+    into.ecacheWritebacks += d.ecacheWritebacks;
+    into.ecacheMemCycles += d.ecacheMemCycles;
+    into.ecacheStalls += d.ecacheStalls;
+}
+
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
     config_.validate();
@@ -33,6 +115,63 @@ Machine::load(const assembler::Program &prog,
     cpu_->setProgram(prog_);
 }
 
+void
+Machine::seedCheckpoint(const assembler::Program &prog, Checkpoint &&cp)
+{
+    mem_ = std::move(cp.memory);
+    prog_ = &prog;
+    cpu_->setProgram(prog_);
+    seed_ = std::move(cp);
+}
+
+void
+Machine::applySeed()
+{
+    const Checkpoint &cp = *seed_;
+    cpu_->reset(cp.pc);
+    for (unsigned r = 1; r < numGprs; ++r)
+        cpu_->setGpr(r, cp.gprs[r]);
+    cpu_->setMd(cp.md);
+    cpu_->setPsw(cp.psw);
+    cpu_->setPswOld(cp.pswOld);
+    for (unsigned i = 0; i < pcChainDepth; ++i)
+        cpu_->setPcChainEntry(i, cp.pcChain[i]);
+    if (cp.hasFpu && fpu_) {
+        for (unsigned r = 0; r < 32; ++r)
+            fpu_->setRegBits(r, cp.fpuRegs[r]);
+        fpu_->setCondition(cp.fpuCondition);
+    }
+    if (cp.hasCounterCop && config_.attachCounterCop) {
+        auto &dst =
+            static_cast<coproc::CounterCop &>(cpu_->coprocessor(2));
+        dst.setCounter(cp.copCounter);
+        dst.setThreshold(cp.copThreshold);
+    }
+}
+
+MachineCounters
+Machine::counters() const
+{
+    MachineCounters c;
+    c.pipeline = cpu_->stats();
+    c.icacheAccesses = cpu_->icache().accesses();
+    c.icacheMisses = cpu_->icache().misses();
+    c.icacheRefillWords = cpu_->icache().refillWords();
+    c.icacheStalls = cpu_->icache().stallCycles();
+    c.ecacheAccesses = cpu_->ecache().accesses();
+    c.ecacheMisses = cpu_->ecache().misses();
+    c.ecacheWritebacks = cpu_->ecache().writebacks();
+    c.ecacheMemCycles = cpu_->ecache().memoryTrafficCycles();
+    c.ecacheStalls = cpu_->ecache().stallCycles();
+    return c;
+}
+
+MachineCounters
+Machine::steadyCounters() const
+{
+    return subtractCounters(counters(), warmup_.baseline);
+}
+
 core::RunResult
 Machine::run()
 {
@@ -40,7 +179,10 @@ Machine::run()
         fatal("Machine::run: no program loaded");
     trace_.clear();
     ff_ = {};
-    if (config_.fastForward.enabled()) {
+    warmup_ = {};
+    if (seed_) {
+        applySeed();
+    } else if (config_.fastForward.enabled()) {
         if (auto early = fastForwardPhase())
             return *early;
     } else {
@@ -49,6 +191,29 @@ Machine::run()
             cpu_->setPsw(cpu_->psw().bits() | isa::psw_bits::mode);
         }
         cpu_->setGpr(isa::reg::sp, config_.stackTop);
+    }
+    if (config_.warmupInstructions) {
+        // Warm-up phase: caches, branch state and the pipeline itself
+        // accumulate normally; the gate just snapshots the counters so
+        // steadyCounters() measures only what follows. The pause is
+        // between steps — the subsequent run continues the identical
+        // step sequence an ungated run would have executed.
+        cpu_->runUntilCommitted(config_.warmupInstructions);
+        warmup_.ran = true;
+        warmup_.baseline = counters();
+        if (cpu_->stopped()) {
+            core::RunResult r;
+            r.reason = cpu_->stopReason();
+            r.cycles = cpu_->stats().cycles;
+            r.instructions = cpu_->stats().committed;
+            return r;
+        }
+    }
+    if (config_.maxCommitted) {
+        core::RunResult r = cpu_->runUntilCommitted(config_.maxCommitted);
+        if (r.reason == core::StopReason::Running)
+            r.reason = core::StopReason::CommitLimit;
+        return r;
     }
     return cpu_->run();
 }

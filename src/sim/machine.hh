@@ -9,10 +9,13 @@
 #ifndef MIPSX_SIM_MACHINE_HH
 #define MIPSX_SIM_MACHINE_HH
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "assembler/program.hh"
 #include "core/cpu.hh"
@@ -64,6 +67,46 @@ struct MachineConfig
     FastForward fastForward{};
 
     /**
+     * Run the first @p warmupInstructions retired instructions —
+     * counted from the pipeline handoff, i.e. after any fast-forward
+     * phase or checkpoint seed — with statistics gated off: run()
+     * snapshots every counter at the gate (Machine::warmup) and
+     * steadyCounters() reports totals minus that baseline. Caches and
+     * branch state arrive warm at the gate while the measured window
+     * excludes the warm-up itself. 0 disables the gate (the baseline
+     * stays zero, so steadyCounters() == counters() bit for bit).
+     */
+    std::uint64_t warmupInstructions = 0;
+
+    /**
+     * Stop with StopReason::CommitLimit once this many instructions
+     * (again counted from the handoff) have retired; 0 = run to halt.
+     * The cut is exact: at most one instruction retires per cycle, so
+     * the pipeline pauses at precisely this retire count — which is
+     * how the interval engine makes adjacent interval windows tile
+     * the monolithic run without gaps or overlaps.
+     */
+    std::uint64_t maxCommitted = 0;
+
+    /**
+     * Parallel interval simulation (sim/interval.hh): split the run
+     * into this many instruction-count intervals. Plain Machine::run()
+     * ignores the field — the suite runner, mipsx-run and mipsx-serve
+     * route runs with intervals > 1 through sim::runIntervals, which
+     * consumes it (together with warmupInstructions as the
+     * per-interval warm-up length and sampleWindow below).
+     */
+    unsigned intervals = 1;
+
+    /**
+     * Sampled interval simulation: measure only the first this-many
+     * retired instructions of each interval window and extrapolate the
+     * rest (sim/interval.hh). 0 = exact tiling — every instruction is
+     * simulated cycle-accurately exactly once. Ignored by plain run().
+     */
+    std::uint64_t sampleWindow = 0;
+
+    /**
      * Reject ill-formed configurations with a SimError before any
      * component is built (delegates to CpuConfig::validate). The
      * Machine constructor calls this.
@@ -78,6 +121,68 @@ struct FastForwardInfo
     std::uint64_t issSteps = 0; ///< instructions the ISS executed
     IssStop issStop = IssStop::Running; ///< Running = checkpoint reached
     addr_t handoffPc = 0;       ///< where the pipeline took over
+};
+
+/**
+ * Every counter one run accumulates: the pipeline statistics plus the
+ * cache timing-model counters. One value type so the warm-up gate can
+ * snapshot, subtract and compare them wholesale.
+ */
+struct MachineCounters
+{
+    core::PipelineStats pipeline;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t icacheRefillWords = 0;
+    std::uint64_t icacheStalls = 0;
+    std::uint64_t ecacheAccesses = 0;
+    std::uint64_t ecacheMisses = 0;
+    std::uint64_t ecacheWritebacks = 0;
+    std::uint64_t ecacheMemCycles = 0; ///< memory-bus traffic cycles
+    std::uint64_t ecacheStalls = 0;
+
+    bool operator==(const MachineCounters &) const = default;
+};
+
+/** Field-wise a - b (a must dominate b: a later snapshot of the run). */
+MachineCounters subtractCounters(const MachineCounters &a,
+                                 const MachineCounters &b);
+/** Field-wise accumulation (interval stitching). */
+void accumulateCounters(MachineCounters &into, const MachineCounters &d);
+
+/** What the warm-up gate of the last run() excluded (Machine::warmup). */
+struct WarmupInfo
+{
+    bool ran = false;         ///< a warm-up gate was applied
+    MachineCounters baseline; ///< every counter at the stats gate
+};
+
+/**
+ * A mid-run architectural snapshot: everything needed to resume
+ * execution at dynamic instruction @p steps on a fresh machine —
+ * registers, coprocessor state, and a deep copy of memory as of that
+ * instruction. Produced by the interval planner's single ISS pass
+ * (sim/interval.cc) and consumed by Machine::seedCheckpoint. The
+ * boundary is architecturally clean (Iss::runUntil), so seeding a
+ * pipeline from it reproduces exactly the execution a fast-forward
+ * handoff at the same instruction would.
+ */
+struct Checkpoint
+{
+    std::uint64_t steps = 0; ///< dynamic instructions retired before here
+    addr_t pc = 0;
+    std::vector<word_t> gprs;    ///< numGprs entries (index 0 unused)
+    word_t md = 0;
+    word_t psw = 0;
+    word_t pswOld = 0;
+    std::vector<word_t> pcChain; ///< pcChainDepth entries
+    bool hasFpu = false;
+    std::array<word_t, 32> fpuRegs{};
+    bool fpuCondition = false;
+    bool hasCounterCop = false;
+    word_t copCounter = 0;
+    word_t copThreshold = 0;
+    memory::MainMemory memory;   ///< deep image copy (cloneImage)
 };
 
 /** A complete pipelined MIPS-X system. */
@@ -95,11 +200,36 @@ class Machine
     void load(const assembler::Program &prog,
               const memory::DecodedImage::Snapshot *decoded = nullptr);
 
+    /**
+     * Seed this machine from a mid-run checkpoint instead of a cold
+     * start: adopts the checkpoint's memory image immediately, and the
+     * next run() starts the pipeline from the checkpoint's
+     * architectural state (no reset-to-entry, no fast-forward phase —
+     * mutually exclusive with MachineConfig::fastForward). @p prog is
+     * the program the checkpoint was taken from, kept for slot
+     * annotations and symbol reads. One-shot: the adopted memory is
+     * mutated by the run, so call run() once per seeding.
+     */
+    void seedCheckpoint(const assembler::Program &prog, Checkpoint &&cp);
+
     /** Reset and run the loaded program to completion. */
     core::RunResult run();
 
     /** The fast-forward phase of the last run() (ran=false if none). */
     const FastForwardInfo &fastForwarded() const { return ff_; }
+
+    /** The warm-up gate of the last run() (ran=false if none). */
+    const WarmupInfo &warmup() const { return warmup_; }
+
+    /** Every counter accumulated so far (pipeline + cache models). */
+    MachineCounters counters() const;
+
+    /**
+     * counters() minus the warm-up baseline: the steady-state window
+     * the run measured. Without a warm-up gate the baseline is zero,
+     * so this equals counters() bit for bit.
+     */
+    MachineCounters steadyCounters() const;
 
     core::Cpu &cpu() { return *cpu_; }
     const core::Cpu &cpu() const { return *cpu_; }
@@ -134,6 +264,9 @@ class Machine
      */
     std::optional<core::RunResult> fastForwardPhase();
 
+    /** Apply the seeded checkpoint's register state to a reset CPU. */
+    void applySeed();
+
     MachineConfig config_;
     memory::MainMemory mem_;
     trace::TraceBuffer trace_;
@@ -141,6 +274,8 @@ class Machine
     const assembler::Program *prog_ = nullptr;
     coproc::Fpu *fpu_ = nullptr;
     FastForwardInfo ff_;
+    WarmupInfo warmup_;
+    std::optional<Checkpoint> seed_; ///< memory already moved out
 };
 
 /** Result of a functional (ISS) run. */

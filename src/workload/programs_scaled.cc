@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Scalable cache-thrashing workloads for the interval engine.
+ *
+ * The rest of the suite runs tens of thousands of dynamic instructions —
+ * the right size for cross-model studies, far too small for the
+ * parallel interval engine's regime. These generators scale to millions
+ * of dynamic instructions with *data* footprints larger than the
+ * external cache (64K words direct-mapped by default), so their miss
+ * behaviour is capacity-driven like the paper's large benchmarks:
+ *
+ *  - loop-nest: strided read-modify-write sweeps over a large array
+ *    (structured imperative traversal, dirty lines, writebacks);
+ *  - pointer-chase: a full-period LCG permutation chased through a
+ *    link table (the Lisp car/cdr load-load interlock chain, with no
+ *    spatial locality at all);
+ *  - call-tree: binary recursion touching a hashed array slot at every
+ *    node (call/return density plus scattered data traffic).
+ *
+ * Every program is self-checking against a C++ mirror of the exact
+ * same arithmetic, and fills in Workload::dynamicEstimate from its
+ * loop structure so the interval planner can place boundaries without
+ * a counting pass.
+ *
+ * Footprints are capped at 2^18 words: the data section starts at
+ * 0x4000 and the default stack top is 0x70000, so anything larger
+ * would grow under the stack.
+ */
+
+#include "workload/workload.hh"
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/wl_util.hh"
+
+namespace mipsx::workload
+{
+
+namespace
+{
+
+/** Full-period LCG constants (Hull-Dobell for any power-of-two mod). */
+constexpr std::uint32_t lcgMult = 1664525u;
+constexpr std::uint32_t lcgAdd = 1013904223u;
+
+/** Round up to a power of two, clamped to [2^10, 2^18] (see header). */
+std::uint32_t
+clampFootprint(std::uint32_t want)
+{
+    std::uint32_t f = 1u << 10;
+    while (f < want && f < (1u << 18))
+        f <<= 1;
+    return f;
+}
+
+std::string
+scaledSource(word_t expected, std::uint32_t footprint,
+             const std::string &text)
+{
+    // result/exp come first: direct-address stores (st rX, result)
+    // encode the address in the offset field, so these labels must
+    // stay small; the big array goes last.
+    return strformat(R"(
+        .data
+result: .space 1
+exp:    .word %lld
+arr:    .space %u
+        .text
+)",
+                     static_cast<long long>(
+                         static_cast<std::int32_t>(expected)),
+                     footprint) +
+        text + checkRegion("result", "exp", 1);
+}
+
+} // namespace
+
+Workload
+scaledLoopNest(const char *name, std::uint32_t footprint_words,
+               unsigned passes, std::uint32_t seed)
+{
+    Lcg rng(seed);
+    const std::uint32_t f = clampFootprint(footprint_words);
+    const std::uint32_t mask = f - 1;
+    // An odd stride is coprime with the power-of-two footprint, so one
+    // pass touches every element exactly once — in an order that walks
+    // the whole array, not a cache-sized slice of it.
+    const std::uint32_t stride = (rng.next(f) | 1u) & mask;
+    const word_t initSeed = rng.next();
+    const word_t accSeed = rng.next();
+
+    // Mirror.
+    std::vector<word_t> arr(f);
+    word_t v = initSeed;
+    for (std::uint32_t i = 0; i < f; ++i) {
+        arr[i] = v;
+        v += lcgMult;
+    }
+    word_t acc = accSeed;
+    for (unsigned p = 0; p < passes; ++p) {
+        std::uint32_t idx = 0;
+        for (std::uint32_t j = 0; j < f; ++j) {
+            idx = (idx + stride) & mask;
+            const word_t old = arr[idx];
+            acc += old;
+            arr[idx] = old ^ acc;
+        }
+    }
+
+    const std::string text = strformat(R"(
+_start: la   r21, arr
+        li   r22, %u          ; index mask
+        li   r23, %u          ; init-value step
+        li   r3, %u           ; init value
+        mov  r4, r21
+        li   r5, %u           ; element count
+init:   st   r3, 0(r4)
+        add  r3, r3, r23
+        addi r4, r4, 1
+        addi r5, r5, -1
+        bnz  r5, init
+        li   r8, %u           ; sweep stride (odd)
+        li   r20, %u          ; passes
+        li   r2, %u           ; accumulator
+pass:   addi r6, r0, 0        ; idx
+        li   r7, %u
+inner:  add  r6, r6, r8
+        and  r6, r6, r22
+        add  r9, r21, r6
+        ld   r10, 0(r9)
+        add  r2, r2, r10
+        xor  r10, r10, r2
+        st   r10, 0(r9)
+        addi r7, r7, -1
+        bnz  r7, inner
+        addi r20, r20, -1
+        bnz  r20, pass
+        st   r2, result
+)",
+                                       mask, lcgMult, initSeed, f, stride,
+                                       passes, accSeed, f);
+
+    Workload w;
+    w.name = name;
+    w.family = Family::Pascal;
+    w.description = strformat(
+        "scaled loop nest: %u strided read-modify-write passes over "
+        "%u words",
+        passes, f);
+    w.source = scaledSource(acc, f, text);
+    // The reorganizer fills both delay slots of these tight loops from
+    // the loop body, so the dynamic count is the raw body count: 5 per
+    // init element, 9 per sweep element, plus pass/setup/check change.
+    w.dynamicEstimate = 5ull * f +
+        static_cast<std::uint64_t>(passes) * (9ull * f + 5) + 40;
+    w.dynamicPhases = {5ull * f + 11}; // init loop ends, sweeps begin
+    return w;
+}
+
+Workload
+scaledPointerChase(const char *name, std::uint32_t footprint_words,
+                   std::uint64_t steps, std::uint32_t seed)
+{
+    Lcg rng(seed);
+    const std::uint32_t f = clampFootprint(footprint_words);
+    const std::uint32_t mask = f - 1;
+    const word_t accSeed = rng.next();
+    // nxt[i] = (i*mult + add) mod f is a full-period LCG over the
+    // power-of-two footprint (mult = 1 mod 4, add odd), i.e. a single
+    // f-cycle permutation: the chase visits every element before it
+    // repeats, with LCG-scattered addresses — no spatial locality.
+    const std::uint32_t chase =
+        steps > 0xffffffffull ? 0xffffffffu
+                              : static_cast<std::uint32_t>(steps);
+
+    // Mirror: nxt[cur] = lcg(cur), so the chase IS the LCG orbit.
+    word_t acc = accSeed;
+    word_t cur = 0;
+    for (std::uint32_t k = 0; k < chase; ++k) {
+        cur = (cur * lcgMult + lcgAdd) & mask;
+        acc ^= cur;
+    }
+
+    const std::string text = strformat(R"(
+_start: la   r21, arr
+        li   r22, %u          ; index mask
+        li   r23, %u          ; lcg multiplier (table step)
+        li   r19, %u          ; lcg addend
+        and  r3, r19, r22     ; nxt[0]
+        mov  r4, r21
+        li   r5, %u           ; element count
+init:   st   r3, 0(r4)
+        add  r3, r3, r23
+        and  r3, r3, r22
+        addi r4, r4, 1
+        addi r5, r5, -1
+        bnz  r5, init
+        li   r20, %u          ; chase steps
+        addi r6, r0, 0        ; cur
+        li   r2, %u           ; accumulator
+chase:  add  r7, r21, r6
+        ld   r6, 0(r7)
+        xor  r2, r2, r6
+        addi r20, r20, -1
+        bnz  r20, chase
+        st   r2, result
+)",
+                                       mask, lcgMult, lcgAdd, f, chase,
+                                       accSeed);
+
+    Workload w;
+    w.name = name;
+    w.family = Family::Lisp;
+    w.description = strformat(
+        "scaled pointer chase: %u-step full-period permutation walk "
+        "through %u words",
+        chase, f);
+    w.source = scaledSource(acc, f, text);
+    // Filled delay slots again (see scaledLoopNest): 6 per init
+    // element, 5 per chase step, plus setup and self-check.
+    w.dynamicEstimate =
+        6ull * f + 5ull * static_cast<std::uint64_t>(chase) + 35;
+    w.dynamicPhases = {6ull * f + 17}; // table built, chase begins
+    return w;
+}
+
+namespace
+{
+
+/** The call-tree node: mirrors the assembly's tree procedure exactly. */
+void
+treeNode(unsigned depth, word_t s, word_t mask, word_t &acc,
+         std::vector<word_t> &arr)
+{
+    const word_t idx = (s ^ (s << 7) ^ (s >> 3)) & mask;
+    const word_t old = arr[idx];
+    acc += old;
+    arr[idx] = old ^ acc;
+    if (depth == 0)
+        return;
+    treeNode(depth - 1, s * 2 + 1, mask, acc, arr);
+    treeNode(depth - 1, s * 2 + 2, mask, acc, arr);
+}
+
+} // namespace
+
+Workload
+scaledCallTree(const char *name, std::uint32_t footprint_words,
+               unsigned depth, unsigned repeats, std::uint32_t seed)
+{
+    Lcg rng(seed);
+    const std::uint32_t f = clampFootprint(footprint_words);
+    const std::uint32_t mask = f - 1;
+    const word_t initSeed = rng.next();
+    if (depth > 24)
+        depth = 24;
+    if (repeats == 0)
+        repeats = 1;
+
+    // Mirror.
+    std::vector<word_t> arr(f);
+    word_t v = initSeed;
+    for (std::uint32_t i = 0; i < f; ++i) {
+        arr[i] = v;
+        v += lcgMult;
+    }
+    word_t acc = 0;
+    std::vector<word_t> roots(repeats);
+    for (unsigned r = 0; r < repeats; ++r) {
+        roots[r] = rng.next();
+        treeNode(depth, roots[r], mask, acc, arr);
+    }
+
+    // Root dispatch: load each repeat's root state from a table.
+    std::string text = strformat(R"(
+_start: la   r21, arr
+        li   r22, %u          ; index mask
+        li   r23, %u          ; init-value step
+        li   r3, %u           ; init value
+        mov  r4, r21
+        li   r5, %u           ; element count
+init:   st   r3, 0(r4)
+        add  r3, r3, r23
+        addi r4, r4, 1
+        addi r5, r5, -1
+        bnz  r5, init
+        addi r10, r0, 0       ; accumulator
+        la   r17, roots
+        li   r18, %u          ; repeats
+rloop:  ld   r3, 0(r17)       ; root state
+        addi r2, r0, %u       ; depth
+        call tree
+        addi r17, r17, 1
+        addi r18, r18, -1
+        bnz  r18, rloop
+        st   r10, result
+        b    check
+tree:   sll  r5, r3, 7        ; idx = (s ^ s<<7 ^ s>>3) & mask
+        xor  r5, r5, r3
+        srl  r6, r3, 3
+        xor  r5, r5, r6
+        and  r5, r5, r22
+        add  r5, r21, r5
+        ld   r6, 0(r5)
+        add  r10, r10, r6
+        xor  r6, r6, r10
+        st   r6, 0(r5)
+        bz   r2, tleaf
+        addi sp, sp, -3
+        st   ra, 0(sp)
+        st   r2, 1(sp)
+        st   r3, 2(sp)
+        addi r2, r2, -1
+        sll  r3, r3, 1
+        addi r3, r3, 1        ; left child: 2s+1
+        call tree
+        ld   r3, 2(sp)
+        ld   r2, 1(sp)
+        addi r2, r2, -1
+        sll  r3, r3, 1
+        addi r3, r3, 2        ; right child: 2s+2
+        call tree
+        ld   ra, 0(sp)
+        addi sp, sp, 3
+tleaf:  ret
+)",
+                                mask, lcgMult, initSeed, f, repeats, depth);
+
+    std::vector<std::int64_t> rootWords(roots.begin(), roots.end());
+
+    Workload w;
+    w.name = name;
+    w.family = Family::Lisp;
+    w.description = strformat(
+        "scaled call tree: %u repeats of depth-%u binary recursion over "
+        "%u words",
+        repeats, depth, f);
+    w.source = strformat(R"(
+        .data
+result: .space 1
+exp:    .word %lld
+)",
+                         static_cast<long long>(
+                             static_cast<std::int32_t>(acc))) +
+        wordData("roots", rootWords) +
+        strformat("arr:    .space %u\n", f) + "        .text\n" + text +
+        checkRegion("result", "exp", 1);
+    // 5 per init element (slots filled, as in scaledLoopNest); the
+    // recursion's call/ret slots mostly cannot be filled, so the node
+    // costs are empirical: ~13 per leaf (11 of work + ret), ~34 per
+    // internal node (work + two saved-frame recursions).
+    const std::uint64_t leaves = 1ull << depth;
+    const std::uint64_t internal = leaves - 1;
+    w.dynamicEstimate = 5ull * f +
+        static_cast<std::uint64_t>(repeats) *
+            (13 * leaves + 34 * internal + 8) +
+        40;
+    w.dynamicPhases = {5ull * f + 11}; // init loop ends, recursion begins
+    return w;
+}
+
+std::vector<Workload>
+scaledWorkloads()
+{
+    // ~2M dynamic instructions each, 2x-the-ecache footprints: big
+    // enough that interval simulation is the sensible way to run them,
+    // small enough for the explore grid. bench_bigwork builds larger
+    // instances from the generators directly.
+    return {
+        scaledLoopNest("scaled_loopnest", 1u << 17, 1, 11001),
+        scaledPointerChase("scaled_chase", 1u << 17, 200000, 11002),
+        scaledCallTree("scaled_calltree", 1u << 17, 15, 2, 11003),
+    };
+}
+
+} // namespace mipsx::workload

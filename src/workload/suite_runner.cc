@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/sim_error.hh"
+#include "mp/multi_machine.hh"
+#include "sim/interval.hh"
 #include "workload/prepared.hh"
 
 namespace mipsx::workload
@@ -37,6 +39,136 @@ struct WorkloadOutcome
     SuiteFailure failure;
 };
 
+/** Copy a machine-counter snapshot into a workload's stats slot. */
+void
+fillCounters(SuiteStats &s, const sim::MachineCounters &c)
+{
+    s.cycles = c.pipeline.cycles;
+    s.committed = c.pipeline.committed;
+    s.committedNops = c.pipeline.committedNops;
+    s.nopsInBranchSlots = c.pipeline.nopsInBranchSlots;
+    s.nopsForLoadDelay = c.pipeline.nopsForLoadDelay;
+    s.squashed = c.pipeline.squashed;
+    s.branches = c.pipeline.branches;
+    s.branchesTaken = c.pipeline.branchesTaken;
+    s.branchWastedSlots = c.pipeline.branchWastedSlots;
+    s.jumps = c.pipeline.jumps;
+    s.jumpWastedSlots = c.pipeline.jumpWastedSlots;
+    s.icacheAccesses = c.icacheAccesses;
+    s.icacheMisses = c.icacheMisses;
+    s.icacheRefillWords = c.icacheRefillWords;
+    s.icacheStalls = c.icacheStalls;
+    s.ecacheAccesses = c.ecacheAccesses;
+    s.ecacheMisses = c.ecacheMisses;
+    s.ecacheWritebacks = c.ecacheWritebacks;
+    s.ecacheMemCycles = c.ecacheMemCycles;
+    s.ecacheStalls = c.ecacheStalls;
+}
+
+/**
+ * The N-CPU lockstep path (SuiteRunOptions::mpMachines > 1): every CPU
+ * runs the same self-checking program; `cycles` stays the *global*
+ * cycle count while the instruction and cache counters aggregate over
+ * CPUs, so the suite CPI directly shows what bus contention costs.
+ */
+WorkloadOutcome
+runOneMp(const Workload &w, unsigned index, const SuiteRunOptions &opts,
+         const PreparedPtr &prep)
+{
+    WorkloadOutcome out;
+    mp::MultiMachineConfig mc;
+    mc.cpus = opts.mpMachines;
+    mc.cpu = opts.machine.cpu;
+    mc.stackSpacing = opts.mpStackSpacing;
+    mc.maxCycles = opts.machine.cpu.maxCycles;
+    mp::MultiMachine machine(mc);
+    machine.memory().setPredecodeEnabled(opts.predecode);
+    machine.load(prep->image);
+    const auto run0 = std::chrono::steady_clock::now();
+    const auto r = machine.run();
+    out.runSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - run0)
+                         .count();
+    if (!r.allHalted) {
+        out.stats.failures = 1;
+        out.failed = true;
+        out.failure = {index, w.name, "mp-not-halted", {}};
+        return out;
+    }
+    out.stats.workloads = 1;
+    out.stats.cycles = r.cycles;
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        auto &cpu = machine.cpu(i);
+        const auto &s = cpu.stats();
+        out.stats.committed += s.committed;
+        out.stats.committedNops += s.committedNops;
+        out.stats.nopsInBranchSlots += s.nopsInBranchSlots;
+        out.stats.nopsForLoadDelay += s.nopsForLoadDelay;
+        out.stats.squashed += s.squashed;
+        out.stats.branches += s.branches;
+        out.stats.branchesTaken += s.branchesTaken;
+        out.stats.branchWastedSlots += s.branchWastedSlots;
+        out.stats.jumps += s.jumps;
+        out.stats.jumpWastedSlots += s.jumpWastedSlots;
+        out.stats.icacheAccesses += cpu.icache().accesses();
+        out.stats.icacheMisses += cpu.icache().misses();
+        out.stats.icacheRefillWords += cpu.icache().refillWords();
+        out.stats.icacheStalls += cpu.icache().stallCycles();
+        out.stats.ecacheAccesses += cpu.ecache().accesses();
+        out.stats.ecacheMisses += cpu.ecache().misses();
+        out.stats.ecacheWritebacks += cpu.ecache().writebacks();
+        out.stats.ecacheMemCycles += cpu.ecache().memoryTrafficCycles();
+        out.stats.ecacheStalls += cpu.ecache().stallCycles();
+    }
+    out.stats.icacheSizeWords = opts.machine.cpu.icache.totalWords();
+    out.stats.ecacheSizeWords = opts.machine.cpu.ecache.sizeWords;
+    return out;
+}
+
+/**
+ * The interval path (machine.intervals > 1): checkpointed pieces with
+ * the workload's own size/phase hints. The piece pool stays at one
+ * worker — the suite pool over workloads is already the parallel axis
+ * here, and nesting pools would oversubscribe.
+ */
+WorkloadOutcome
+runOneIntervals(const Workload &w, unsigned index,
+                const SuiteRunOptions &opts, const PreparedPtr &prep)
+{
+    WorkloadOutcome out;
+    sim::IntervalConfig ic;
+    ic.intervals = opts.machine.intervals;
+    ic.warmup = opts.machine.warmupInstructions;
+    ic.sample = opts.machine.sampleWindow;
+    ic.jobs = 1;
+    ic.predecode = opts.predecode;
+    ic.totalHint = w.dynamicEstimate;
+    ic.phases = w.dynamicPhases;
+    const auto run0 = std::chrono::steady_clock::now();
+    const auto r = sim::runIntervals(
+        prep->image, opts.machine, ic,
+        opts.predecode ? &prep->decoded : nullptr);
+    out.runSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - run0)
+                         .count();
+    if (!r.passed) {
+        out.stats.failures = 1;
+        out.failed = true;
+        out.failure = {index, w.name,
+                       core::stopReasonName(r.result.reason), {}};
+        return out;
+    }
+    out.stats.workloads = 1;
+    // The whole-run estimate; equals the stitched exact aggregate
+    // whenever the windows tile the run (sampleWindow == 0).
+    fillCounters(out.stats, r.estimated);
+    out.stats.icacheSizeWords = opts.machine.cpu.icache.totalWords();
+    out.stats.ecacheSizeWords = opts.machine.cpu.ecache.sizeWords;
+    out.stats.warmupInstructions = r.warmupInstructions;
+    out.stats.warmupCycles = r.warmupCycles;
+    return out;
+}
+
 WorkloadOutcome
 runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
 {
@@ -46,6 +178,17 @@ runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
         const PreparedPtr prep = opts.preparedCache
             ? PreparedCache::global().get(w, opts.reorg, opts.useProfiles)
             : prepareWorkload(w, opts.reorg, opts.useProfiles);
+        if (opts.mpMachines > 1 || opts.machine.intervals > 1) {
+            out = opts.mpMachines > 1
+                ? runOneMp(w, index, opts, prep)
+                : runOneIntervals(w, index, opts, prep);
+            out.prepareSeconds = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     prep0)
+                                     .count() -
+                out.runSeconds;
+            return out;
+        }
         sim::Machine machine(opts.machine);
         machine.memory().setPredecodeEnabled(opts.predecode);
         // The snapshot's pages are adopted copy-on-write, so a self-
@@ -74,30 +217,18 @@ runOne(const Workload &w, unsigned index, const SuiteRunOptions &opts)
         }
 
         out.stats.workloads = 1;
-        const auto &s = machine.cpu().stats();
-        out.stats.cycles = s.cycles;
-        out.stats.committed = s.committed;
-        out.stats.committedNops = s.committedNops;
-        out.stats.nopsInBranchSlots = s.nopsInBranchSlots;
-        out.stats.nopsForLoadDelay = s.nopsForLoadDelay;
-        out.stats.squashed = s.squashed;
-        out.stats.branches = s.branches;
-        out.stats.branchesTaken = s.branchesTaken;
-        out.stats.branchWastedSlots = s.branchWastedSlots;
-        out.stats.jumps = s.jumps;
-        out.stats.jumpWastedSlots = s.jumpWastedSlots;
-        out.stats.icacheAccesses = machine.cpu().icache().accesses();
-        out.stats.icacheMisses = machine.cpu().icache().misses();
-        out.stats.icacheRefillWords = machine.cpu().icache().refillWords();
-        out.stats.icacheStalls = machine.cpu().icache().stallCycles();
-        out.stats.ecacheAccesses = machine.cpu().ecache().accesses();
-        out.stats.ecacheMisses = machine.cpu().ecache().misses();
-        out.stats.ecacheWritebacks = machine.cpu().ecache().writebacks();
-        out.stats.ecacheMemCycles =
-            machine.cpu().ecache().memoryTrafficCycles();
-        out.stats.ecacheStalls = machine.cpu().ecache().stallCycles();
+        // steadyCounters() == counters() bit for bit when no warm-up
+        // gate is configured, so the no-gate aggregate is unchanged.
+        fillCounters(out.stats, machine.steadyCounters());
         out.stats.icacheSizeWords = opts.machine.cpu.icache.totalWords();
         out.stats.ecacheSizeWords = opts.machine.cpu.ecache.sizeWords;
+        if (machine.warmup().ran) {
+            const auto &base = machine.warmup().baseline;
+            out.stats.warmupInstructions = base.pipeline.committed;
+            out.stats.warmupCycles = base.pipeline.cycles;
+        }
+        // ISS fast-forward steps are excluded instructions too.
+        out.stats.warmupInstructions += machine.fastForwarded().issSteps;
     } catch (const std::exception &e) {
         out.stats = SuiteStats{};
         out.stats.failures = 1;
@@ -134,6 +265,8 @@ merge(SuiteStats &agg, const SuiteStats &s)
     agg.ecacheStalls += s.ecacheStalls;
     agg.icacheSizeWords = std::max(agg.icacheSizeWords, s.icacheSizeWords);
     agg.ecacheSizeWords = std::max(agg.ecacheSizeWords, s.ecacheSizeWords);
+    agg.warmupInstructions += s.warmupInstructions;
+    agg.warmupCycles += s.warmupCycles;
 }
 
 } // namespace
@@ -219,6 +352,10 @@ collectMetrics(const SuiteStats &s, trace::MetricsRegistry &m,
     m.set(p + "icache_miss_ratio", s.icacheMissRatio());
     m.set(p + "avg_fetch_cost", s.avgFetchCost());
     m.set(p + "ecache_miss_ratio", s.ecacheMissRatio());
+    // Gated-out work, kept apart from the headline counters so a
+    // warm-up sweep can't be mistaken for a cycle-count change.
+    m.set(p + "warmup.instructions", s.warmupInstructions);
+    m.set(p + "warmup.cycles", s.warmupCycles);
 }
 
 void

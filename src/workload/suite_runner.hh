@@ -56,6 +56,15 @@ struct SuiteStats
     // the maximum instead of summing.
     std::uint64_t icacheSizeWords = 0;
     std::uint64_t ecacheSizeWords = 0;
+    /**
+     * Instructions and cycles the stats gates excluded: ISS
+     * fast-forward steps plus warm-up prefixes (plain runs' warm-up
+     * gate and every interval's re-priming prefix). Accounted
+     * separately — none of the headline counters above include them —
+     * and exported under the "<prefix>.warmup.*" keys.
+     */
+    std::uint64_t warmupInstructions = 0;
+    std::uint64_t warmupCycles = 0;
 
     bool operator==(const SuiteStats &) const = default;
 
@@ -176,6 +185,16 @@ struct SuiteRunOptions
      * stats, failures and sweep outputs are bit-identical either way.
      */
     bool preparedCache = true;
+    /**
+     * Run every workload on an N-CPU shared-memory MultiMachine
+     * instead of the uniprocessor Machine (all CPUs execute the same
+     * self-checking program in lockstep; the aggregate counters show
+     * bus contention). 0 or 1 = uniprocessor. Interval splitting
+     * (machine.intervals) applies to uniprocessor runs only.
+     */
+    unsigned mpMachines = 0;
+    /** Words between per-CPU stacks in the multiprocessor convention. */
+    addr_t mpStackSpacing = 0x2000;
 };
 
 /**

@@ -53,6 +53,21 @@ struct Workload
     Family family = Family::Pascal;
     std::string description;
     std::string source; ///< sequential-semantics MX32 assembly
+    /**
+     * Expected dynamic instruction count, 0 when unknown. The scaled
+     * generators compute it from their loop structure; the interval
+     * engine uses it to place interval boundaries without a counting
+     * pass. A hint, not a contract: it only skews interval sizes,
+     * never results.
+     */
+    std::uint64_t dynamicEstimate = 0;
+    /**
+     * Dynamic-instruction indices where the program's behaviour shifts
+     * (the end of an initialization loop, say). Forwarded to
+     * IntervalConfig::phases so sampled intervals never extrapolate
+     * one phase's timing across another. Hints, like dynamicEstimate.
+     */
+    std::vector<std::uint64_t> dynamicPhases;
 };
 
 /** The Pascal-like programs. */
@@ -75,6 +90,32 @@ std::vector<Workload> fullSuite();
  * r25/r26 id/count convention; not part of fullSuite).
  */
 std::vector<Workload> parallelWorkloads();
+
+/**
+ * Scalable cache-thrashing workloads (not part of fullSuite — they run
+ * for millions of dynamic instructions, the regime the parallel
+ * interval engine targets). Data footprints exceed the external cache,
+ * so the miss behaviour is capacity-driven like the paper's large
+ * benchmarks. Every workload fills in Workload::dynamicEstimate.
+ */
+std::vector<Workload> scaledWorkloads();
+
+/**
+ * The individual scaled generators, for custom sizes (bench_bigwork
+ * builds a multi-million-instruction instance). @p footprint_words is
+ * rounded up to a power of two. All are self-checking like the rest of
+ * the suite.
+ */
+/** Strided read-modify-write sweeps over a large array. */
+Workload scaledLoopNest(const char *name, std::uint32_t footprint_words,
+                        unsigned passes, std::uint32_t seed);
+/** Full-period pseudo-random pointer chase through a link table. */
+Workload scaledPointerChase(const char *name, std::uint32_t footprint_words,
+                            std::uint64_t steps, std::uint32_t seed);
+/** Binary call tree touching a large array at every node. */
+Workload scaledCallTree(const char *name, std::uint32_t footprint_words,
+                        unsigned depth, unsigned repeats,
+                        std::uint32_t seed);
 
 /** Result of running one workload on the pipeline machine. */
 struct WorkloadRun

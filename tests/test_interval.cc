@@ -1,0 +1,537 @@
+/**
+ * @file
+ * The parallel interval engine's one non-negotiable property is
+ * determinism: with a full warm-up the stitched counters must equal the
+ * monolithic run's bit for bit on every suite program, and the whole
+ * result must be byte-identical at any jobs count. The rest of the file
+ * covers the engine's edges — runs too short to split, boundary hints
+ * that are wildly wrong, commit cuts landing in branch delay slots,
+ * self-modifying text crossing a checkpoint, non-halting plans — plus
+ * the Machine-level warm-up gate and retire cut the engine is built on,
+ * and the scaled workloads' self-checks and dynamic-size hints.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "explore/grid.hh"
+#include "sim/interval.hh"
+#include "trace/metrics.hh"
+#include "workload/prepared.hh"
+#include "workload/suite_runner.hh"
+#include "workload/wl_util.hh"
+#include "workload/workload.hh"
+
+#include "helpers.hh"
+
+using namespace mipsx;
+
+namespace
+{
+
+struct Mono
+{
+    workload::PreparedPtr prep;
+    core::RunResult result;
+    sim::MachineCounters counters;
+    std::uint64_t committed = 0;
+};
+
+/** Monolithic reference run of a prepared workload. */
+Mono
+runMono(const workload::Workload &w, const sim::MachineConfig &cfg = {})
+{
+    Mono r;
+    r.prep = workload::prepareWorkload(w, {}, false);
+    sim::Machine m(cfg);
+    m.load(r.prep->image, &r.prep->decoded);
+    r.result = m.run();
+    r.counters = m.counters();
+    r.committed = m.cpu().stats().committed;
+    return r;
+}
+
+sim::IntervalResult
+runIv(const Mono &mono, const sim::MachineConfig &cfg,
+      const sim::IntervalConfig &ic)
+{
+    return sim::runIntervals(mono.prep->image, cfg, ic,
+                             &mono.prep->decoded);
+}
+
+/** A full warm-up: every piece replays from instruction 0. */
+constexpr std::uint64_t fullWarmup = 1ull << 40;
+
+} // namespace
+
+TEST(MachineGate, WarmupBaselineAndSteadyCounters)
+{
+    const char *src = R"(
+_start: addi r2, r0, 0
+        addi r3, r0, 50
+loop:   addi r2, r2, 1
+        addi r3, r3, -1
+        bnz  r3, loop
+        nop
+        nop
+        halt
+)";
+    sim::MachineConfig cfg;
+    cfg.warmupInstructions = 40;
+    auto r = test::runPipeline(src, cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    ASSERT_TRUE(r.machine->warmup().ran);
+    const auto &base = r.machine->warmup().baseline;
+    EXPECT_EQ(base.pipeline.committed, 40u);
+    const auto steady = r.machine->steadyCounters();
+    EXPECT_EQ(steady.pipeline.committed,
+              r.machine->cpu().stats().committed - 40);
+    // steady + baseline == totals, field for field.
+    auto sum = base;
+    sim::accumulateCounters(sum, steady);
+    EXPECT_EQ(sum, r.machine->counters());
+}
+
+TEST(MachineGate, CommitLimitCutsAtExactRetireCount)
+{
+    const char *src = R"(
+_start: addi r3, r0, 1000
+loop:   addi r3, r3, -1
+        bnz  r3, loop
+        nop
+        nop
+        halt
+)";
+    sim::MachineConfig cfg;
+    cfg.maxCommitted = 123;
+    auto r = test::runPipeline(src, cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::CommitLimit);
+    EXPECT_EQ(r.machine->cpu().stats().committed, 123u);
+    // The CPU was paused, not stopped: the machine can keep stepping.
+    EXPECT_FALSE(r.machine->cpu().stopped());
+}
+
+TEST(MachineGate, RunHaltingInsideWarmupReturnsCleanly)
+{
+    const char *src = R"(
+_start: addi r2, r0, 7
+        halt
+)";
+    sim::MachineConfig cfg;
+    cfg.warmupInstructions = 1000;
+    auto r = test::runPipeline(src, cfg);
+    EXPECT_EQ(r.result.reason, core::StopReason::Halt);
+    EXPECT_TRUE(r.machine->warmup().ran);
+    EXPECT_EQ(r.machine->steadyCounters().pipeline.committed, 0u);
+}
+
+TEST(Interval, FullWarmupIsBitIdenticalAcrossSuite)
+{
+    // The telescoping identity: with every checkpoint at instruction 0,
+    // each piece replays a prefix of the monolithic run, so baseline
+    // and cut snapshots land at identical points of the identical step
+    // sequence and the stitched sums equal the monolithic totals — for
+    // every counter, on every suite program.
+    for (const auto &w : workload::fullSuite()) {
+        SCOPED_TRACE(w.name);
+        const Mono mono = runMono(w);
+        ASSERT_EQ(mono.result.reason, core::StopReason::Halt);
+
+        sim::IntervalConfig ic;
+        ic.intervals = 4;
+        ic.warmup = fullWarmup;
+        ic.jobs = 2;
+        const auto r = runIv(mono, {}, ic);
+        ASSERT_TRUE(r.intervalRan) << r.fallback;
+        EXPECT_TRUE(r.exact);
+        EXPECT_TRUE(r.passed);
+        EXPECT_EQ(r.stitched, mono.counters);
+        EXPECT_EQ(r.estimated, mono.counters);
+        EXPECT_EQ(r.result.cycles, mono.result.cycles);
+        EXPECT_EQ(r.planInstructions, mono.committed);
+    }
+}
+
+TEST(Interval, ResultIsByteIdenticalAcrossJobsCounts)
+{
+    // Exact mode and sampled mode, jobs 1 vs 2 vs 8: the plan is
+    // serial, workers own distinct result slots, and the stitch walks
+    // them in interval order — the jobs knob must change nothing.
+    const auto w =
+        workload::scaledPointerChase("chase_jobs", 1u << 12, 20000, 42);
+    const Mono mono = runMono(w);
+    ASSERT_EQ(mono.result.reason, core::StopReason::Halt);
+
+    for (const std::uint64_t sample : {std::uint64_t{0},
+                                       std::uint64_t{1500}}) {
+        SCOPED_TRACE(sample ? "sampled" : "exact");
+        sim::IntervalConfig ic;
+        ic.intervals = 6;
+        ic.warmup = 800;
+        ic.sample = sample;
+        ic.jobs = 1;
+        const auto r1 = runIv(mono, {}, ic);
+        ic.jobs = 2;
+        const auto r2 = runIv(mono, {}, ic);
+        ic.jobs = 8;
+        const auto r8 = runIv(mono, {}, ic);
+        ASSERT_TRUE(r1.intervalRan) << r1.fallback;
+        EXPECT_TRUE(r1.passed);
+        EXPECT_EQ(r1.pieces, r2.pieces);
+        EXPECT_EQ(r1.pieces, r8.pieces);
+        EXPECT_EQ(r1.stitched, r2.stitched);
+        EXPECT_EQ(r1.stitched, r8.stitched);
+        EXPECT_EQ(r1.estimated, r2.estimated);
+        EXPECT_EQ(r1.estimated, r8.estimated);
+        EXPECT_EQ(r1.result.cycles, r8.result.cycles);
+    }
+}
+
+TEST(Interval, TooShortARunFallsBackToMonolithic)
+{
+    workload::Workload w;
+    w.name = "tiny";
+    w.source = R"(
+        .data
+result: .space 1
+exp:    .word 3
+        .text
+_start: addi r2, r0, 3
+        st   r2, result
+)" + workload::checkRegion("result", "exp", 1);
+    const Mono mono = runMono(w);
+    sim::IntervalConfig ic;
+    ic.intervals = 16;
+    const auto r = runIv(mono, {}, ic);
+    EXPECT_FALSE(r.intervalRan);
+    EXPECT_FALSE(r.fallback.empty());
+    EXPECT_TRUE(r.passed);
+    EXPECT_EQ(r.stitched, mono.counters);
+    EXPECT_EQ(r.result.cycles, mono.result.cycles);
+}
+
+TEST(Interval, WildSizeHintsOnlySkewIntervalSizes)
+{
+    const auto w = workload::bigCodeWorkloads().front();
+    const Mono mono = runMono(w);
+    ASSERT_EQ(mono.result.reason, core::StopReason::Halt);
+
+    // 100x too large: every boundary past the halt is planned away and
+    // the one surviving piece still tiles the run. 10x too small: the
+    // final piece absorbs the unplanned tail. Both stay exact.
+    for (const std::uint64_t hint :
+         {mono.committed * 100, mono.committed / 10}) {
+        SCOPED_TRACE(hint);
+        sim::IntervalConfig ic;
+        ic.intervals = 4;
+        ic.warmup = fullWarmup;
+        ic.totalHint = hint;
+        const auto r = runIv(mono, {}, ic);
+        ASSERT_TRUE(r.intervalRan) << r.fallback;
+        EXPECT_TRUE(r.exact);
+        EXPECT_EQ(r.stitched, mono.counters);
+        EXPECT_EQ(r.planInstructions, mono.committed);
+    }
+}
+
+TEST(Interval, CutsLandingInDelaySlotsStillTile)
+{
+    // A branch every third instruction: once the reorganizer lays this
+    // out for the pipeline, 7 intervals over ~800 dynamic instructions
+    // put several commit cuts on branches and inside their delay
+    // slots. The cut is a retire count, not a fetch boundary, so
+    // tiling must be unaffected.
+    const char *src = R"(
+        .data
+result: .space 1
+exp:    .word 201
+        .text
+_start: addi r2, r0, 0
+        addi r3, r0, 200
+loop:   addi r2, r2, 1
+        addi r3, r3, -1
+        bnz  r3, loop
+        addi r2, r2, 1
+        st   r2, result
+)";
+    workload::Workload w;
+    w.name = "branchy";
+    w.source = std::string(src) + workload::checkRegion("result", "exp", 1);
+    const Mono mono = runMono(w);
+    ASSERT_EQ(mono.result.reason, core::StopReason::Halt);
+
+    sim::IntervalConfig ic;
+    ic.intervals = 7;
+    ic.warmup = fullWarmup;
+    const auto r = runIv(mono, {}, ic);
+    ASSERT_TRUE(r.intervalRan) << r.fallback;
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.stitched, mono.counters);
+}
+
+TEST(Interval, SelfModifyingTextCrossesCheckpointsSafely)
+{
+    // Delayed-semantics self-modifying program (from the prepared-cache
+    // tests): a checkpoint's memory clone carries the patched words but
+    // drops every derived decode, so each piece re-decodes what the
+    // text really says at its handoff.
+    const char *src = R"(
+        .data
+ptrs:   .word patch, donor
+        .text
+_start: addi r10, r0, 0
+        addi r9, r0, 2
+        la   r1, ptrs
+        ld   r2, 0(r1)
+        ld   r3, 1(r1)
+        nop
+        ld   r4, 0(r3)
+loop:
+patch:  addi r10, r10, 1
+        st   r4, 0(r2)
+        nop
+        nop
+        nop
+        nop
+        addi r9, r9, -1
+        bnz  r9, loop
+        nop
+        nop
+        addi r11, r0, 6
+        beq  r10, r11, ok
+        nop
+        nop
+        fail
+ok:     halt
+donor:  addi r10, r10, 5
+)";
+    const auto prog = test::asmOrDie(src);
+    sim::Machine m{sim::MachineConfig{}};
+    m.load(prog);
+    const auto monoRes = m.run();
+    ASSERT_EQ(monoRes.reason, core::StopReason::Halt);
+    const auto monoCounters = m.counters();
+
+    sim::IntervalConfig ic;
+    ic.intervals = 2;
+    ic.warmup = fullWarmup;
+    const auto r = sim::runIntervals(prog, {}, ic);
+    ASSERT_TRUE(r.intervalRan) << r.fallback;
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.stitched, monoCounters);
+
+    // Partial warm-up: the second piece seeds from mid-loop state —
+    // patched or not per the architectural truth at that instruction —
+    // and the self-check still reaches halt.
+    sim::IntervalConfig part;
+    part.intervals = 2;
+    part.warmup = 4;
+    const auto rp = sim::runIntervals(prog, {}, part);
+    ASSERT_TRUE(rp.intervalRan) << rp.fallback;
+    EXPECT_TRUE(rp.passed);
+    EXPECT_EQ(rp.planInstructions, m.cpu().stats().committed);
+}
+
+TEST(Interval, NonHaltingPlanFallsBackToMonolithic)
+{
+    const char *src = R"(
+_start: addi r2, r0, 1
+loop:   addi r2, r2, 1
+        b    loop
+        nop
+)";
+    const auto prog = test::asmOrDie(src);
+    sim::MachineConfig cfg;
+    cfg.cpu.maxCycles = 20000;
+    sim::Machine m(cfg);
+    m.load(prog);
+    const auto monoRes = m.run();
+    ASSERT_EQ(monoRes.reason, core::StopReason::MaxCycles);
+
+    sim::IntervalConfig ic;
+    ic.intervals = 4;
+    const auto r = sim::runIntervals(prog, cfg, ic);
+    EXPECT_FALSE(r.intervalRan);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.result.reason, monoRes.reason);
+}
+
+TEST(Interval, MetricsExportIsPrefixedAndDeterministic)
+{
+    const auto w = workload::bigCodeWorkloads().front();
+    const Mono mono = runMono(w);
+    sim::IntervalConfig ic;
+    ic.intervals = 4;
+    ic.warmup = fullWarmup;
+    const auto r = runIv(mono, {}, ic);
+    ASSERT_TRUE(r.intervalRan) << r.fallback;
+
+    trace::MetricsRegistry m;
+    sim::collectMetrics(r, m);
+    EXPECT_EQ(m.get("interval.exact"), 1.0);
+    EXPECT_EQ(m.get("interval.passed"), 1.0);
+    EXPECT_EQ(m.get("interval.cycles"),
+              static_cast<double>(mono.result.cycles));
+    EXPECT_EQ(m.get("interval.committed"),
+              static_cast<double>(mono.committed));
+    EXPECT_EQ(m.get("interval.est_cycles"),
+              static_cast<double>(mono.result.cycles));
+}
+
+TEST(Scaled, WorkloadsSelfCheckAndEstimateTheirSize)
+{
+    for (const auto &w : workload::scaledWorkloads()) {
+        SCOPED_TRACE(w.name);
+        ASSERT_GT(w.dynamicEstimate, 1'000'000u);
+        const auto prep = workload::prepareWorkload(w, {}, false);
+        memory::MainMemory mem;
+        sim::IssConfig ic;
+        ic.mode = sim::IssMode::Delayed;
+        ic.exec = sim::IssExec::Block;
+        const auto r = sim::runIss(prep->image, mem, ic);
+        EXPECT_EQ(r.reason, sim::IssStop::Halt);
+        // The hint guides interval placement only, but a hint off by
+        // more than ~25% means a generator's loop math went stale.
+        const double ratio = static_cast<double>(w.dynamicEstimate) /
+            static_cast<double>(r.stats.steps);
+        EXPECT_GT(ratio, 0.75) << r.stats.steps;
+        EXPECT_LT(ratio, 1.25) << r.stats.steps;
+    }
+}
+
+TEST(Scaled, SampledIntervalsEstimateWithinTolerance)
+{
+    // The acceptance-style check at test scale: a read-modify-write
+    // sweep whose footprint is 8x the (shrunk) e-cache, so the
+    // monolithic steady state misses as hard as a cold sampled window
+    // does, and whose stores dirty every touched line, so a short
+    // warm-up reproduces the steady state's write-back traffic too.
+    // The phase hint keeps the init loop's timing out of the sweep
+    // intervals' extrapolation. bench_bigwork runs the full-size
+    // version of this configuration against the 1%-error acceptance
+    // bar; at this scale the bound is a little looser.
+    const auto w = workload::scaledLoopNest("loopnest_sampled",
+                                            1u << 15, 8, 9);
+    sim::MachineConfig mc;
+    mc.cpu.ecache.sizeWords = 4096;
+    const Mono mono = runMono(w, mc);
+    ASSERT_EQ(mono.result.reason, core::StopReason::Halt);
+
+    sim::IntervalConfig ic;
+    ic.intervals = 12;
+    ic.warmup = 12000;
+    ic.sample = 16000;
+    ic.jobs = 2;
+    ic.totalHint = w.dynamicEstimate;
+    ic.phases = w.dynamicPhases;
+    const auto r = runIv(mono, mc, ic);
+    ASSERT_TRUE(r.intervalRan) << r.fallback;
+    EXPECT_TRUE(r.passed);
+    EXPECT_FALSE(r.exact);
+
+    const double cycErr =
+        (static_cast<double>(r.estimated.pipeline.cycles) -
+         static_cast<double>(mono.result.cycles)) /
+        static_cast<double>(mono.result.cycles);
+    EXPECT_LT(std::abs(cycErr), 0.05) << r.estimated.pipeline.cycles;
+    const double instErr =
+        (static_cast<double>(r.estimated.pipeline.committed) -
+         static_cast<double>(mono.committed)) /
+        static_cast<double>(mono.committed);
+    EXPECT_LT(std::abs(instErr), 0.01) << r.estimated.pipeline.committed;
+}
+
+TEST(SuiteWiring, IntervalRouteMatchesPlainSuiteStats)
+{
+    // machine.intervals > 1 routes the suite runner through the
+    // interval engine; with a full warm-up the aggregate must equal
+    // the plain runner's bit for bit, with the replayed prefixes
+    // accounted under the separate warmup fields.
+    const auto ws = workload::pascalWorkloads();
+    workload::SuiteRunOptions plain;
+    const auto a = workload::runSuite(ws, plain);
+    ASSERT_EQ(a.stats.failures, 0u);
+    EXPECT_EQ(a.stats.warmupInstructions, 0u);
+
+    workload::SuiteRunOptions iv;
+    iv.machine.intervals = 3;
+    iv.machine.warmupInstructions = fullWarmup;
+    auto b = workload::runSuite(ws, iv);
+    EXPECT_EQ(b.stats.failures, 0u);
+    EXPECT_GT(b.stats.warmupInstructions, 0u);
+    EXPECT_GT(b.stats.warmupCycles, 0u);
+    b.stats.warmupInstructions = 0;
+    b.stats.warmupCycles = 0;
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(SuiteWiring, WarmupGateMovesCountersToWarmupKeys)
+{
+    // A plain (monolithic) run with a warm-up gate: the headline
+    // counters shrink by exactly what the warmup fields pick up.
+    const std::vector<workload::Workload> ws = {
+        workload::pascalWorkloads().at(0)};
+    workload::SuiteRunOptions plain;
+    const auto a = workload::runSuite(ws, plain);
+    ASSERT_EQ(a.stats.failures, 0u);
+
+    workload::SuiteRunOptions gated;
+    gated.machine.warmupInstructions = 100;
+    const auto b = workload::runSuite(ws, gated);
+    ASSERT_EQ(b.stats.failures, 0u);
+    EXPECT_EQ(b.stats.warmupInstructions, 100u);
+    EXPECT_GT(b.stats.warmupCycles, 0u);
+    EXPECT_EQ(b.stats.committed + b.stats.warmupInstructions,
+              a.stats.committed);
+    EXPECT_EQ(b.stats.cycles + b.stats.warmupCycles, a.stats.cycles);
+
+    trace::MetricsRegistry m;
+    workload::collectMetrics(b.stats, m);
+    EXPECT_EQ(m.get("suite.warmup.instructions"), 100.0);
+    EXPECT_GT(m.get("suite.warmup.cycles"), 0.0);
+}
+
+TEST(SuiteWiring, MpRouteRunsEveryCpuAndAggregates)
+{
+    // mp.machines > 1: every CPU executes the same self-checking
+    // program in lockstep over *shared* data — the CPUs race on the
+    // workload's arrays (coherently and deterministically), so the
+    // aggregate instruction count grows with the CPU count without
+    // scaling exactly. What must hold: everyone still self-checks
+    // clean, `cycles` stays the global count, and the whole aggregate
+    // reproduces bit for bit run over run.
+    const std::vector<workload::Workload> ws = {
+        workload::pascalWorkloads().at(0)};
+    workload::SuiteRunOptions plain;
+    const auto a = workload::runSuite(ws, plain);
+    ASSERT_EQ(a.stats.failures, 0u);
+
+    workload::SuiteRunOptions mp;
+    mp.mpMachines = 2;
+    const auto b = workload::runSuite(ws, mp);
+    ASSERT_EQ(b.stats.failures, 0u);
+    EXPECT_GT(b.stats.committed, a.stats.committed);
+    EXPECT_GE(b.stats.cycles, a.stats.cycles);
+    const auto c = workload::runSuite(ws, mp);
+    EXPECT_EQ(b.stats, c.stats);
+}
+
+TEST(SuiteWiring, ExploreParamsBindIntervalAndMpKnobs)
+{
+    workload::SuiteRunOptions o;
+    explore::applyParam(o, "machine.intervals", "8");
+    explore::applyParam(o, "machine.warmup", "12000");
+    explore::applyParam(o, "machine.sample", "16000");
+    explore::applyParam(o, "mp.machines", "4");
+    explore::applyParam(o, "mp.stackSpacing", "4096");
+    EXPECT_EQ(o.machine.intervals, 8u);
+    EXPECT_EQ(o.machine.warmupInstructions, 12000u);
+    EXPECT_EQ(o.machine.sampleWindow, 16000u);
+    EXPECT_EQ(o.mpMachines, 4u);
+    EXPECT_EQ(o.mpStackSpacing, 4096u);
+    EXPECT_TRUE(explore::isKnownParam("machine.intervals"));
+    EXPECT_TRUE(explore::isKnownParam("mp.machines"));
+}

@@ -30,6 +30,16 @@
  *                       cycle-accurate (caches start cold at handoff)
  *   --fast-forward-pc A like --fast-forward, to the next visit of
  *                       address A (hex ok)
+ *   --intervals N       split the run into N checkpointed intervals,
+ *                       simulate each cycle-accurately, stitch the
+ *                       counters deterministically (1 = monolithic)
+ *   --warmup K          instructions excluded before the stats gate:
+ *                       a plain run's warm-up, or each interval's
+ *                       cache re-priming prefix
+ *   --sample S          cycle-accurate window per interval,
+ *                       extrapolated to the interval length
+ *                       (0 = exact tiling)
+ *   --jobs J            worker threads over intervals (0 = all cores)
  */
 
 #include <cstdio>
@@ -46,6 +56,7 @@
 #include "isa/isa.hh"
 #include "mp/multi_machine.hh"
 #include "reorg/scheduler.hh"
+#include "sim/interval.hh"
 #include "sim/machine.hh"
 #include "trace/export.hh"
 #include "trace/metrics.hh"
@@ -71,6 +82,10 @@ struct Options
     unsigned slots = 2;
     unsigned mpCpus = 0;
     cycle_t maxCycles = 200'000'000;
+    unsigned intervals = 1;
+    std::uint64_t warmup = 0;
+    std::uint64_t sample = 0;
+    unsigned jobs = 1;
     std::uint64_t fastForward = 0;
     bool ffHasPc = false;
     addr_t ffPc = 0;
@@ -89,7 +104,9 @@ usage(const char *argv0)
                  "       [--icache-off] [--trace[=N]] [--trace-out F] "
                  "[--metrics-json F]\n"
                  "       [--disasm] [--max-cycles N] [--fast-forward N]\n"
-                 "       [--fast-forward-pc A] program.s\n",
+                 "       [--fast-forward-pc A] [--intervals N] "
+                 "[--warmup K]\n"
+                 "       [--sample S] [--jobs J] program.s\n",
                  argv0);
     std::exit(2);
 }
@@ -133,6 +150,24 @@ parseArgs(int argc, char **argv)
             o.slots = cli::parseUnsigned("--slots", next(), 1, 2);
         else if (a == "--max-cycles")
             o.maxCycles = cli::parseU64("--max-cycles", next(), 1);
+        else if (a == "--intervals")
+            o.intervals = cli::parseUnsigned("--intervals", next(), 1,
+                                             1u << 20);
+        else if (a.rfind("--intervals=", 0) == 0)
+            o.intervals = cli::parseUnsigned("--intervals",
+                                             a.substr(12), 1, 1u << 20);
+        else if (a == "--warmup")
+            o.warmup = cli::parseU64("--warmup", next());
+        else if (a.rfind("--warmup=", 0) == 0)
+            o.warmup = cli::parseU64("--warmup", a.substr(9));
+        else if (a == "--sample")
+            o.sample = cli::parseU64("--sample", next());
+        else if (a.rfind("--sample=", 0) == 0)
+            o.sample = cli::parseU64("--sample", a.substr(9));
+        else if (a == "--jobs")
+            o.jobs = cli::parseUnsigned("--jobs", next(), 0, 1024);
+        else if (a.rfind("--jobs=", 0) == 0)
+            o.jobs = cli::parseUnsigned("--jobs", a.substr(7), 0, 1024);
         else if (a == "--fast-forward")
             o.fastForward = cli::parseU64("--fast-forward", next());
         else if (a.rfind("--fast-forward=", 0) == 0)
@@ -330,6 +365,53 @@ try {
     cfg.fastForward.instructions = o.fastForward;
     cfg.fastForward.hasPc = o.ffHasPc;
     cfg.fastForward.pc = o.ffPc;
+    cfg.warmupInstructions = o.warmup;
+
+    if (o.intervals > 1) {
+        sim::IntervalConfig ic;
+        ic.intervals = o.intervals;
+        ic.warmup = o.warmup;
+        ic.sample = o.sample;
+        ic.jobs = o.jobs;
+        const auto r = sim::runIntervals(program, cfg, ic);
+        if (!r.intervalRan)
+            std::printf("interval run fell back to monolithic: %s\n",
+                        r.fallback.c_str());
+        std::printf("interval run: %s (%zu pieces, %s, jobs %u)\n",
+                    core::stopReasonName(r.result.reason),
+                    r.pieces.size(), r.exact ? "exact" : "sampled",
+                    o.jobs);
+        std::printf("  plan          %llu instructions (%llu ISS "
+                    "steps)\n",
+                    static_cast<unsigned long long>(r.planInstructions),
+                    static_cast<unsigned long long>(
+                        r.planIssInstructions));
+        const auto &e = r.estimated.pipeline;
+        std::printf("  cycles        %llu (stitched %llu)\n",
+                    static_cast<unsigned long long>(e.cycles),
+                    static_cast<unsigned long long>(
+                        r.stitched.pipeline.cycles));
+        std::printf("  instructions  %llu  (CPI %.3f)\n",
+                    static_cast<unsigned long long>(e.committed),
+                    e.cpi());
+        std::printf("  warm-up       %llu instructions, %llu cycles "
+                    "(excluded)\n",
+                    static_cast<unsigned long long>(
+                        r.warmupInstructions),
+                    static_cast<unsigned long long>(r.warmupCycles));
+        if (!o.metricsJson.empty()) {
+            trace::MetricsRegistry m;
+            sim::collectMetrics(r, m);
+            m.set("warmup.instructions", r.warmupInstructions);
+            m.set("warmup.cycles", r.warmupCycles);
+            if (!m.writeJsonFile(o.metricsJson))
+                fatal(strformat("cannot write '%s'",
+                                o.metricsJson.c_str()));
+            std::printf("  metrics       %zu counters -> %s\n",
+                        m.names().size(), o.metricsJson.c_str());
+        }
+        return r.passed ? 0 : 1;
+    }
     // --trace-out without an explicit --trace=N still needs a ring.
     cfg.traceDepth = o.traceDepth;
     if (!o.traceOut.empty() && cfg.traceDepth == 0)
@@ -354,6 +436,15 @@ try {
                     "handoff at %05x\n",
                     static_cast<unsigned long long>(ff.issSteps),
                     ff.handoffPc);
+    }
+    if (machine.warmup().ran) {
+        const auto &base = machine.warmup().baseline;
+        std::printf("  warm-up       %llu instructions, %llu cycles "
+                    "(excluded from steady-state counters)\n",
+                    static_cast<unsigned long long>(
+                        base.pipeline.committed),
+                    static_cast<unsigned long long>(
+                        base.pipeline.cycles));
     }
     std::printf("  cycles        %llu\n",
                 static_cast<unsigned long long>(s.cycles));
@@ -397,6 +488,13 @@ try {
     if (!o.metricsJson.empty()) {
         trace::MetricsRegistry m;
         machine.cpu().collectMetrics(m);
+        if (machine.warmup().ran) {
+            // Gated-out work under its own keys; the cpu.* counters
+            // above remain whole-run totals.
+            const auto &base = machine.warmup().baseline;
+            m.set("warmup.instructions", base.pipeline.committed);
+            m.set("warmup.cycles", base.pipeline.cycles);
+        }
         if (!m.writeJsonFile(o.metricsJson))
             fatal(strformat("cannot write '%s'", o.metricsJson.c_str()));
         std::printf("  metrics       %zu counters -> %s\n",
